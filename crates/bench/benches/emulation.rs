@@ -1,0 +1,122 @@
+//! Criterion benches for Figure 9 (end-to-end emulation vs depth/size) and
+//! Figure 10 (training step cost), plus the Bluestein-vs-radix-2 padding
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightridge::train::TrainConfig;
+use lightridge::{Detector, DonnBuilder};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_tensor::{Complex64, Fft2, Field};
+use std::time::Duration;
+
+fn forward_lightridge(n: usize, depth: usize, fft: &Fft2, transfer: &Field, phases: &[f64]) {
+    let mut f = Field::ones(n, n);
+    for _ in 0..depth {
+        fft.convolve_spectrum(&mut f, transfer);
+        for (z, &p) in f.as_mut_slice().iter_mut().zip(phases) {
+            *z = *z * Complex64::cis(p);
+        }
+    }
+    std::hint::black_box(&f);
+}
+
+fn forward_lightpipes(n: usize, depth: usize, phases: &[f64]) {
+    let mut f = lr_lightpipes::begin(n, 10e-6, 532e-9);
+    for _ in 0..depth {
+        f = lr_lightpipes::forvard(&f, 0.01);
+        f = lr_lightpipes::phase_mask(&f, phases);
+    }
+    std::hint::black_box(&f);
+}
+
+fn bench_fig9_emulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_emulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[100usize, 128] {
+        let phases: Vec<f64> = (0..n * n).map(|i| (i % 628) as f64 * 0.01).collect();
+        let fft = Fft2::new(n, n);
+        let transfer = Field::from_fn(n, n, |r, c| Complex64::cis((r * c) as f64 * 1e-4));
+        for &depth in &[1usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("lightridge_d{depth}"), n),
+                &n,
+                |b, _| b.iter(|| forward_lightridge(n, depth, &fft, &transfer, &phases)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("lightpipes_d{depth}"), n),
+                &n,
+                |b, _| b.iter(|| forward_lightpipes(n, depth, &phases)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig10_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_training_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &(n, depth) in &[(64usize, 1usize), (64, 5), (64, 10)] {
+        let grid = Grid::square(n, PixelPitch::from_um(36.0));
+        let data: Vec<(Vec<f64>, usize)> = (0..10)
+            .map(|i| ((0..n * n).map(|p| ((p + i) % 5) as f64 / 5.0).collect(), i % 10))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("epoch", format!("{n}x{n}_d{depth}")),
+            &depth,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+                            .distance(Distance::from_mm(20.0))
+                            .diffractive_layers(depth)
+                            .detector(Detector::grid_layout(n, n, 10, n / 8))
+                            .build()
+                    },
+                    |mut model| {
+                        let config = TrainConfig { epochs: 1, batch_size: 10, ..Default::default() };
+                        lightridge::train::train(&mut model, &data, &config);
+                        model
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bluestein_vs_radix2(c: &mut Criterion) {
+    // Ablation: a 200-point transform (Bluestein) vs padding to 256
+    // (radix-2). DONN emulation at the paper's native 200x200 pays the
+    // Bluestein premium to preserve the physical grid.
+    let mut group = c.benchmark_group("ablation_bluestein_vs_pad");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let f200 = Field::from_fn(200, 200, |r, c| Complex64::new(r as f64, c as f64));
+    let fft200 = Fft2::new(200, 200);
+    group.bench_function("native_200_bluestein", |b| {
+        b.iter_batched(
+            || f200.clone(),
+            |mut f| {
+                fft200.forward(&mut f);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let f256 = f200.pad_centered(256, 256);
+    let fft256 = Fft2::new(256, 256);
+    group.bench_function("padded_256_radix2", |b| {
+        b.iter_batched(
+            || f256.clone(),
+            |mut f| {
+                fft256.forward(&mut f);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9_emulation, bench_fig10_training_step, bench_bluestein_vs_radix2);
+criterion_main!(benches);

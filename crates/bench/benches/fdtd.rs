@@ -1,0 +1,51 @@
+//! Criterion bench for the §2.1 engine-choice ablation: one free-space hop
+//! emulated by full-vector FDTD versus the FFT transfer-function kernel.
+//!
+//! The FDTD cost grows with the *physical* hop volume (aperture × distance
+//! at λ/12 gridding, stepped for the crossing time); the FFT kernel costs
+//! two FFTs regardless of distance. The `lr-experiments fdtd` regenerator
+//! extrapolates these measurements to the paper's prototype scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lr_fdtd::{CwLineSource, Fdtd2D, SimGrid};
+use lr_tensor::{Complex64, Fft2, Field};
+use std::time::Duration;
+
+const CELLS_PER_WAVELENGTH: f64 = 12.0;
+
+fn bench_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdtd_vs_fft_hop");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Hop sizes in wavelengths (aperture = distance = w).
+    for &w in &[8usize, 16, 32] {
+        let ny = (w as f64 * CELLS_PER_WAVELENGTH) as usize;
+        let nx = ny + 30;
+        group.bench_with_input(BenchmarkId::new("fdtd", w), &w, |b, _| {
+            b.iter(|| {
+                let grid = SimGrid::new(nx, ny, CELLS_PER_WAVELENGTH);
+                let mut sim = Fdtd2D::new(grid);
+                sim.add_source(CwLineSource::uniform(4, ny));
+                sim.run(2 * grid.steps_to_cross(nx));
+                std::hint::black_box(sim.field_energy())
+            })
+        });
+
+        // Matching FFT kernel: the same aperture sampled at a 2λ device
+        // pitch (conservatively fine), one transfer-function hop.
+        let n = (w / 2).max(8);
+        let fft = Fft2::new(n, n);
+        let transfer = Field::from_fn(n, n, |r, c| Complex64::cis((r * c) as f64 * 1e-3));
+        group.bench_with_input(BenchmarkId::new("fft_kernel", w), &w, |b, _| {
+            b.iter(|| {
+                let mut f = Field::ones(n, n);
+                fft.convolve_spectrum(&mut f, &transfer);
+                std::hint::black_box(f)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop);
+criterion_main!(benches);

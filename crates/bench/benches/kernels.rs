@@ -1,0 +1,121 @@
+//! Criterion benches for Figure 8: the three dominant DONN operators
+//! (FFT2, iFFT2, complex elementwise multiply) in both engines, plus the
+//! ablation pair (plan cache on/off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lr_tensor::{clear_plan_cache, Complex64, Fft2, Field};
+use std::time::Duration;
+
+fn make_field(n: usize) -> Field {
+    Field::from_fn(n, n, |r, c| Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos()))
+}
+
+fn make_lp(n: usize) -> Vec<Vec<Complex64>> {
+    (0..n)
+        .map(|r| {
+            (0..n)
+                .map(|c| Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos()))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_fft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fft2");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128, 200] {
+        let field = make_field(n);
+        let fft = Fft2::new(n, n);
+        group.bench_with_input(BenchmarkId::new("lightridge", n), &n, |b, _| {
+            b.iter_batched(
+                || field.clone(),
+                |mut f| {
+                    fft.forward(&mut f);
+                    f
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let lp = make_lp(n);
+        group.bench_with_input(BenchmarkId::new("lightpipes", n), &n, |b, _| {
+            b.iter(|| lr_lightpipes::fft2(&lp, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ifft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ifft2");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128] {
+        let field = make_field(n);
+        let fft = Fft2::new(n, n);
+        group.bench_with_input(BenchmarkId::new("lightridge", n), &n, |b, _| {
+            b.iter_batched(
+                || field.clone(),
+                |mut f| {
+                    fft.inverse(&mut f);
+                    f
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let lp = make_lp(n);
+        group.bench_with_input(BenchmarkId::new("lightpipes", n), &n, |b, _| {
+            b.iter(|| lr_lightpipes::fft2(&lp, true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_complex_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_complex_mm");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[128usize, 256] {
+        let mut field = make_field(n);
+        let transfer = Field::from_fn(n, n, |r, c| Complex64::cis((r * c) as f64 * 1e-4));
+        group.bench_with_input(BenchmarkId::new("lightridge_fused", n), &n, |b, _| {
+            b.iter(|| field.hadamard_assign(&transfer))
+        });
+        let lp = make_lp(n);
+        let lp_t = make_lp(n);
+        group.bench_with_input(BenchmarkId::new("lightpipes_alloc", n), &n, |b, _| {
+            b.iter(|| lr_lightpipes::complex_mm(&lp, &lp_t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_plan_cache");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n = 200; // Bluestein path, where planning is expensive
+    let field = make_field(n);
+    group.bench_function("cached_plan", |b| {
+        let fft = Fft2::new(n, n);
+        b.iter_batched(
+            || field.clone(),
+            |mut f| {
+                fft.forward(&mut f);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("plan_per_call", |b| {
+        b.iter_batched(
+            || field.clone(),
+            |mut f| {
+                clear_plan_cache();
+                let fft = Fft2::new(n, n);
+                fft.forward(&mut f);
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft2, bench_ifft2, bench_complex_mm, bench_plan_cache_ablation);
+criterion_main!(benches);

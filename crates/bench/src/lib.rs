@@ -1,0 +1,15 @@
+//! # lr-bench
+//!
+//! Criterion benchmark harness for the LightRidge paper's runtime artifacts:
+//!
+//! * `benches/kernels.rs` — Figure 8 operator breakdown (FFT2, iFFT2,
+//!   complex multiply; LightRidge vs LightPipes) and the plan-cache
+//!   ablation.
+//! * `benches/emulation.rs` — Figure 9 end-to-end emulation sweep, Figure
+//!   10 training-step cost, and the Bluestein-vs-padded-radix-2 ablation.
+//!
+//! Run with `cargo bench -p lr-bench`. The wall-clock-measured versions of
+//! the same artifacts (with paper-vs-measured framing) live in
+//! `lr-experiments fig8|fig9|fig10`.
+
+#![warn(missing_docs)]

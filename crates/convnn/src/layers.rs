@@ -1,0 +1,492 @@
+//! Real-valued NN layers with hand-written backward passes.
+//!
+//! These implement the paper's Table-4 baselines: an MLP
+//! (`40000 → 128 → 10`) and a CNN (two 5×5 conv + maxpool stages and two
+//! dense layers). Layouts are channel-major flat buffers
+//! (`[ch][row][col]`), and every layer exposes `forward` (with cache) and
+//! `backward` (accumulating parameter gradients).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of an activation: `channels × height × width` (dense layers use
+/// `1 × 1 × features`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shape {
+    /// Channel count.
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Shape { channels, height, width }
+    }
+
+    /// Flat feature shape `1×1×n`.
+    pub fn flat(n: usize) -> Self {
+        Shape { channels: 1, height: 1, width: n }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// True if the shape has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fully connected layer `y = Wx + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// `weights[o * in + i]`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform initialization.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "features must be nonzero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / in_features as f64).sqrt();
+        let weights = (0..in_features * out_features)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear { in_features, out_features, weights, bias: vec![0.0; out_features] }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Total parameter count (weights + bias).
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Flat parameter view: weights then bias.
+    pub fn params(&self) -> Vec<f64> {
+        let mut p = self.weights.clone();
+        p.extend_from_slice(&self.bias);
+        p
+    }
+
+    /// Writes back a flat parameter vector (inverse of [`Linear::params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches.
+    pub fn set_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.num_params(), "parameter length mismatch");
+        let (w, b) = p.split_at(self.weights.len());
+        self.weights.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_features, "input feature mismatch");
+        let mut y = self.bias.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            *yo += row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f64>();
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW, db` into `param_grads` (layout
+    /// matching [`Linear::params`]) and returns `dx`.
+    pub fn backward(&self, x: &[f64], dy: &[f64], param_grads: &mut [f64]) -> Vec<f64> {
+        assert_eq!(dy.len(), self.out_features, "output gradient mismatch");
+        assert_eq!(param_grads.len(), self.num_params(), "gradient buffer mismatch");
+        let (dw, db) = param_grads.split_at_mut(self.weights.len());
+        for (o, &g) in dy.iter().enumerate() {
+            let row = &mut dw[o * self.in_features..(o + 1) * self.in_features];
+            for (ri, &xi) in row.iter_mut().zip(x) {
+                *ri += g * xi;
+            }
+            db[o] += g;
+        }
+        let mut dx = vec![0.0; self.in_features];
+        for (o, &g) in dy.iter().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            for (dxi, &w) in dx.iter_mut().zip(row) {
+                *dxi += g * w;
+            }
+        }
+        dx
+    }
+}
+
+/// 2-D convolution with square kernels, stride, and zero padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_shape: Shape,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// `weights[((o*in_ch + i)*k + kr)*k + kc]`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel/stride are zero or the output would be empty.
+    pub fn new(in_shape: Shape, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+        assert!(kernel > 0 && stride > 0 && out_channels > 0, "invalid conv parameters");
+        assert!(
+            in_shape.height + 2 * padding >= kernel && in_shape.width + 2 * padding >= kernel,
+            "kernel larger than padded input"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_shape.channels * kernel * kernel) as f64;
+        let bound = (6.0 / fan_in).sqrt();
+        let weights = (0..out_channels * in_shape.channels * kernel * kernel)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Conv2d { in_shape, out_channels, kernel, stride, padding, weights, bias: vec![0.0; out_channels] }
+    }
+
+    /// Output activation shape.
+    pub fn out_shape(&self) -> Shape {
+        let h = (self.in_shape.height + 2 * self.padding - self.kernel) / self.stride + 1;
+        let w = (self.in_shape.width + 2 * self.padding - self.kernel) / self.stride + 1;
+        Shape::new(self.out_channels, h, w)
+    }
+
+    /// Input activation shape.
+    pub fn in_shape(&self) -> Shape {
+        self.in_shape
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Flat parameter view: weights then bias.
+    pub fn params(&self) -> Vec<f64> {
+        let mut p = self.weights.clone();
+        p.extend_from_slice(&self.bias);
+        p
+    }
+
+    /// Writes back a flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches.
+    pub fn set_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.num_params(), "parameter length mismatch");
+        let (w, b) = p.split_at(self.weights.len());
+        self.weights.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+
+    #[inline]
+    fn at(&self, x: &[f64], ch: usize, r: isize, c: isize) -> f64 {
+        if r < 0 || c < 0 || r as usize >= self.in_shape.height || c as usize >= self.in_shape.width {
+            0.0
+        } else {
+            x[(ch * self.in_shape.height + r as usize) * self.in_shape.width + c as usize]
+        }
+    }
+
+    /// Forward pass over a channel-major input buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` mismatches the input shape.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_shape.len(), "input shape mismatch");
+        let out = self.out_shape();
+        let k = self.kernel;
+        let mut y = vec![0.0; out.len()];
+        for o in 0..self.out_channels {
+            for orow in 0..out.height {
+                for ocol in 0..out.width {
+                    let mut acc = self.bias[o];
+                    let base_r = (orow * self.stride) as isize - self.padding as isize;
+                    let base_c = (ocol * self.stride) as isize - self.padding as isize;
+                    for i in 0..self.in_shape.channels {
+                        for kr in 0..k {
+                            for kc in 0..k {
+                                let w = self.weights[((o * self.in_shape.channels + i) * k + kr) * k + kc];
+                                acc += w * self.at(x, i, base_r + kr as isize, base_c + kc as isize);
+                            }
+                        }
+                    }
+                    y[(o * out.height + orow) * out.width + ocol] = acc;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter grads, returns `dx`.
+    pub fn backward(&self, x: &[f64], dy: &[f64], param_grads: &mut [f64]) -> Vec<f64> {
+        let out = self.out_shape();
+        assert_eq!(dy.len(), out.len(), "output gradient mismatch");
+        assert_eq!(param_grads.len(), self.num_params(), "gradient buffer mismatch");
+        let k = self.kernel;
+        let (dw, db) = param_grads.split_at_mut(self.weights.len());
+        let mut dx = vec![0.0; self.in_shape.len()];
+        for o in 0..self.out_channels {
+            for orow in 0..out.height {
+                for ocol in 0..out.width {
+                    let g = dy[(o * out.height + orow) * out.width + ocol];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db[o] += g;
+                    let base_r = (orow * self.stride) as isize - self.padding as isize;
+                    let base_c = (ocol * self.stride) as isize - self.padding as isize;
+                    for i in 0..self.in_shape.channels {
+                        for kr in 0..k {
+                            for kc in 0..k {
+                                let r = base_r + kr as isize;
+                                let c = base_c + kc as isize;
+                                let widx = ((o * self.in_shape.channels + i) * k + kr) * k + kc;
+                                let xv = self.at(x, i, r, c);
+                                dw[widx] += g * xv;
+                                if r >= 0
+                                    && c >= 0
+                                    && (r as usize) < self.in_shape.height
+                                    && (c as usize) < self.in_shape.width
+                                {
+                                    dx[(i * self.in_shape.height + r as usize) * self.in_shape.width
+                                        + c as usize] += g * self.weights[widx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// Max pooling with square windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    in_shape: Shape,
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel/stride are zero or larger than the input.
+    pub fn new(in_shape: Shape, kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "invalid pool parameters");
+        assert!(
+            in_shape.height >= kernel && in_shape.width >= kernel,
+            "pool window larger than input"
+        );
+        MaxPool2d { in_shape, kernel, stride }
+    }
+
+    /// Output shape.
+    pub fn out_shape(&self) -> Shape {
+        let h = (self.in_shape.height - self.kernel) / self.stride + 1;
+        let w = (self.in_shape.width - self.kernel) / self.stride + 1;
+        Shape::new(self.in_shape.channels, h, w)
+    }
+
+    /// Forward pass; also returns the argmax indices for backward.
+    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<usize>) {
+        assert_eq!(x.len(), self.in_shape.len(), "input shape mismatch");
+        let out = self.out_shape();
+        let mut y = vec![0.0; out.len()];
+        let mut arg = vec![0usize; out.len()];
+        for ch in 0..out.channels {
+            for orow in 0..out.height {
+                for ocol in 0..out.width {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for kr in 0..self.kernel {
+                        for kc in 0..self.kernel {
+                            let r = orow * self.stride + kr;
+                            let c = ocol * self.stride + kc;
+                            let idx = (ch * self.in_shape.height + r) * self.in_shape.width + c;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = (ch * out.height + orow) * out.width + ocol;
+                    y[oidx] = best;
+                    arg[oidx] = best_idx;
+                }
+            }
+        }
+        (y, arg)
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    pub fn backward(&self, dy: &[f64], argmax: &[usize]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.in_shape.len()];
+        for (&g, &idx) in dy.iter().zip(argmax) {
+            dx[idx] += g;
+        }
+        dx
+    }
+}
+
+/// ReLU activation: `y = max(0, x)`.
+pub fn relu(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// ReLU backward: gradients pass where the input was positive.
+pub fn relu_backward(x: &[f64], dy: &[f64]) -> Vec<f64> {
+    x.iter().zip(dy).map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_nn::gradcheck::check_gradient_sampled;
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut l = Linear::new(2, 2, 0);
+        l.set_params(&[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        let y = l.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let l = Linear::new(4, 3, 1);
+        let x = [0.3, -0.7, 1.2, 0.1];
+        let w = [0.5, -1.0, 0.25];
+        // loss = Σ w·y
+        let y = l.forward(&x);
+        assert_eq!(y.len(), 3);
+        let mut pg = vec![0.0; l.num_params()];
+        let dx = l.backward(&x, &w, &mut pg);
+        let report = check_gradient_sampled(
+            |p: &[f64]| {
+                let mut l2 = l.clone();
+                l2.set_params(p);
+                l2.forward(&x).iter().zip(&w).map(|(a, b)| a * b).sum()
+            },
+            &l.params(),
+            &pg,
+            1e-6,
+            10,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+        // Input gradient.
+        let report = check_gradient_sampled(
+            |xs: &[f64]| l.forward(xs).iter().zip(&w).map(|(a, b)| a * b).sum(),
+            &x,
+            &dx,
+            1e-6,
+            4,
+        );
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn conv_shapes_follow_formula() {
+        // Paper's CNN: 200x200, 5x5 kernel, stride 2, padding 2 -> 100x100.
+        let conv = Conv2d::new(Shape::new(1, 200, 200), 32, 5, 2, 2, 0);
+        assert_eq!(conv.out_shape(), Shape::new(32, 100, 100));
+        let pool = MaxPool2d::new(Shape::new(32, 100, 100), 3, 2);
+        assert_eq!(pool.out_shape(), Shape::new(32, 49, 49));
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let conv = Conv2d::new(Shape::new(2, 5, 5), 3, 3, 2, 1, 2);
+        let out = conv.out_shape();
+        let x: Vec<f64> = (0..2 * 5 * 5).map(|i| ((i * 7) % 11) as f64 / 11.0 - 0.4).collect();
+        let w: Vec<f64> = (0..out.len()).map(|i| ((i * 3) % 5) as f64 / 5.0 - 0.3).collect();
+        let mut pg = vec![0.0; conv.num_params()];
+        let dx = conv.backward(&x, &w, &mut pg);
+        let report = check_gradient_sampled(
+            |p: &[f64]| {
+                let mut c2 = conv.clone();
+                c2.set_params(p);
+                c2.forward(&x).iter().zip(&w).map(|(a, b)| a * b).sum()
+            },
+            &conv.params(),
+            &pg,
+            1e-6,
+            16,
+        );
+        assert!(report.passes(1e-5), "conv params: {report:?}");
+        let report = check_gradient_sampled(
+            |xs: &[f64]| conv.forward(xs).iter().zip(&w).map(|(a, b)| a * b).sum(),
+            &x,
+            &dx,
+            1e-6,
+            12,
+        );
+        assert!(report.passes(1e-5), "conv input: {report:?}");
+    }
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradient() {
+        let pool = MaxPool2d::new(Shape::new(1, 4, 4), 2, 2);
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 0.0, 0.0,
+            3.0, 4.0, 0.0, 5.0,
+            0.0, 0.0, 7.0, 6.0,
+            0.0, 9.0, 8.0, 0.0,
+        ];
+        let (y, arg) = pool.forward(&x);
+        assert_eq!(y, vec![4.0, 5.0, 9.0, 8.0]);
+        let dx = pool.backward(&[1.0, 1.0, 1.0, 1.0], &arg);
+        assert_eq!(dx[5], 1.0); // position of 4.0
+        assert_eq!(dx[7], 1.0); // position of 5.0
+        assert_eq!(dx.iter().sum::<f64>(), 4.0);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = [-1.0, 0.0, 2.0];
+        assert_eq!(relu(&x), vec![0.0, 0.0, 2.0]);
+        assert_eq!(relu_backward(&x, &[5.0, 5.0, 5.0]), vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn linear_validates_input() {
+        let l = Linear::new(3, 2, 0);
+        let _ = l.forward(&[1.0, 2.0]);
+    }
+}

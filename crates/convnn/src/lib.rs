@@ -1,0 +1,23 @@
+//! # lr-convnn
+//!
+//! Conventional real-valued neural networks — the digital baselines of the
+//! paper's Table 4 (an MLP `40000 → 128 → 10` and a two-stage CNN). Built
+//! on the shared `lr-nn` losses/optimizers with hand-written layer
+//! backward passes, so accuracy comparisons against the DONN use the same
+//! training substrate.
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_convnn::Network;
+//! let net = Network::mlp(64, 16, 4, 0);
+//! assert_eq!(net.forward(&vec![0.1; 64]).len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod layers;
+mod network;
+
+pub use layers::{relu, relu_backward, Conv2d, Linear, MaxPool2d, Shape};
+pub use network::{LabeledImage, Network, Stage};

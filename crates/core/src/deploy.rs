@@ -1,0 +1,406 @@
+//! Hardware deployment and emulation (`lr.model.to_system`).
+//!
+//! This module closes the loop the paper's Fig. 1 draws: a trained DONN is
+//! exported to device-specific fabrication data (SLM control levels or
+//! 3D-printed mask thicknesses) and — since we have no optical table — its
+//! physical deployment is *emulated* with the `lr-hardware` nonideality
+//! models: discrete device levels, per-pixel fabrication variation, coupled
+//! amplitude response, and camera capture noise/quantization.
+//!
+//! Two deployment flows are modeled:
+//!
+//! * **Raw flow** — free phases are post-training quantized to the nearest
+//!   device level. This is the flow that suffers the ≥30% accuracy gap.
+//! * **Codesign flow** — codesign layers deploy their argmax level, which is
+//!   exactly the state training optimized. The gap (ideally) vanishes.
+
+use crate::layers::codesign::CodesignMode;
+use crate::model::{DonnModel, Layer};
+use crate::train::LabeledImage;
+use lr_hardware::{CameraModel, CrosstalkModel, FabricationVariation, SlmModel};
+use lr_nn::metrics::argmax;
+use lr_optics::FreeSpace;
+use lr_tensor::{parallel, Complex64, Field};
+
+/// Fabrication export for one diffractive layer.
+#[derive(Debug, Clone)]
+pub struct LayerExport {
+    /// Device control level per pixel (row-major).
+    pub levels: Vec<usize>,
+    /// Device phase realized at each pixel (radians).
+    pub phases: Vec<f64>,
+}
+
+/// The full fabrication package produced by [`to_system`].
+#[derive(Debug, Clone)]
+pub struct SystemExport {
+    /// Device name the export targets.
+    pub device: String,
+    /// Per-layer control data.
+    pub layers: Vec<LayerExport>,
+}
+
+impl SystemExport {
+    /// Renders the export as the text payload LightRidge would hand to the
+    /// lab (one line per layer with level statistics).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("device: {}\n", self.device);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let min = layer.levels.iter().min().copied().unwrap_or(0);
+            let max = layer.levels.iter().max().copied().unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "layer {i}: {} pixels, levels [{min}, {max}]",
+                layer.levels.len()
+            );
+        }
+        s
+    }
+}
+
+/// Exports a trained model for a device: raw layers are quantized to the
+/// nearest device level, codesign layers dump their argmax levels.
+pub fn to_system(model: &DonnModel, device: &SlmModel) -> SystemExport {
+    let layers = model
+        .layers()
+        .iter()
+        .map(|layer| match layer {
+            Layer::Diffractive(l) => {
+                let (levels, phases) = device.quantize_mask(l.phases());
+                LayerExport { levels, phases }
+            }
+            Layer::Codesign(l) => {
+                let levels = l.hard_levels();
+                let phases = l.hard_phases();
+                LayerExport { levels, phases }
+            }
+            // Nonlinear films carry no control data; the export keeps an
+            // empty placeholder so layer indices stay aligned.
+            Layer::Nonlinear(_) => LayerExport { levels: Vec::new(), phases: Vec::new() },
+        })
+        .collect();
+    SystemExport { device: device.name().to_string(), layers }
+}
+
+/// A physical optical bench: the device the masks are realized on, the
+/// fabrication variation of this particular unit, and the readout camera.
+#[derive(Debug, Clone)]
+pub struct HardwareEnvironment {
+    /// Modulator device model.
+    pub device: SlmModel,
+    /// Frozen per-pixel fabrication errors of this unit.
+    pub fabrication: FabricationVariation,
+    /// Interpixel crosstalk of the modulator panel (paper §6).
+    pub crosstalk: CrosstalkModel,
+    /// Readout camera.
+    pub camera: CameraModel,
+    /// Camera noise seed (per capture session).
+    pub capture_seed: u64,
+}
+
+impl HardwareEnvironment {
+    /// The paper's visible-range prototype bench: LC2012 SLM with typical
+    /// fabrication variation, liquid-crystal interpixel crosstalk, and a
+    /// CS165MU1-style camera.
+    pub fn prototype(seed: u64) -> Self {
+        HardwareEnvironment {
+            device: SlmModel::lc2012(),
+            fabrication: FabricationVariation::typical_slm(seed),
+            crosstalk: CrosstalkModel::typical_lc(),
+            camera: CameraModel::cs165mu1(1.0),
+            capture_seed: seed,
+        }
+    }
+
+    /// An idealized bench (continuous device, no noise) — deployment on it
+    /// must match emulation exactly.
+    pub fn ideal() -> Self {
+        HardwareEnvironment {
+            device: SlmModel::ideal(1 << 16),
+            fabrication: FabricationVariation::none(),
+            crosstalk: CrosstalkModel::none(),
+            camera: CameraModel::ideal(),
+            capture_seed: 0,
+        }
+    }
+}
+
+/// A deployed physical DONN: fixed complex modulation masks (device states
+/// with this unit's fabrication errors baked in) between free-space hops,
+/// plus any nonlinear films.
+#[derive(Debug, Clone)]
+pub struct PhysicalDonn {
+    stages: Vec<PhysicalStage>,
+    final_propagator: FreeSpace,
+    detector: crate::layers::detector::Detector,
+    camera: CameraModel,
+    capture_seed: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PhysicalStage {
+    /// Free-space hop followed by a fixed modulation panel.
+    Modulated { propagator: FreeSpace, modulation: Field },
+    /// A saturable-absorber film at the current plane.
+    Nonlinear(crate::layers::nonlinear::SaturableAbsorber),
+}
+
+impl PhysicalDonn {
+    /// Realizes `model` on `env` hardware.
+    pub fn deploy(model: &DonnModel, env: &HardwareEnvironment) -> Self {
+        let export = to_system(model, &env.device);
+        let (rows, cols) = model.grid().shape();
+        let pixels = rows * cols;
+
+        let mut stages = Vec::with_capacity(model.depth());
+        for (i, (layer, exp)) in model.layers().iter().zip(&export.layers).enumerate() {
+            let propagator = match layer {
+                Layer::Diffractive(l) => l.propagator().clone(),
+                Layer::Codesign(l) => l.propagator().clone(),
+                Layer::Nonlinear(sa) => {
+                    stages.push(PhysicalStage::Nonlinear(sa.clone()));
+                    continue;
+                }
+            };
+            // This unit's frozen errors for this panel.
+            let fab_seed_offset = i as u64;
+            let fab = FabricationVariation::new(
+                env.fabrication.phase_sigma(),
+                env.fabrication.amplitude_sigma(),
+                env.capture_seed.wrapping_add(fab_seed_offset),
+            );
+            let phase_err = fab.sample_phase_errors(pixels);
+            let amp_fac = fab.sample_amplitude_factors(pixels);
+            let device_amp = env.device.amplitudes();
+            let data: Vec<Complex64> = (0..pixels)
+                .map(|p| {
+                    let amp = device_amp[exp.levels[p]] * amp_fac[p];
+                    Complex64::from_polar(amp, exp.phases[p] + phase_err[p])
+                })
+                .collect();
+            // Interpixel crosstalk blurs the realized complex modulation.
+            let mut interleaved: Vec<f64> =
+                data.iter().flat_map(|z| [z.re, z.im]).collect();
+            env.crosstalk.apply_complex(rows, cols, &mut interleaved);
+            let data: Vec<Complex64> = interleaved
+                .chunks_exact(2)
+                .map(|p| Complex64::new(p[0], p[1]))
+                .collect();
+            stages.push(PhysicalStage::Modulated {
+                propagator,
+                modulation: Field::from_vec(rows, cols, data),
+            });
+        }
+        PhysicalDonn {
+            stages,
+            final_propagator: model.final_propagator().clone(),
+            detector: model.detector().clone(),
+            camera: env.camera.clone(),
+            capture_seed: env.capture_seed,
+        }
+    }
+
+    /// All-optical inference: returns the class logits measured from the
+    /// camera capture.
+    pub fn infer(&self, input: &Field) -> Vec<f64> {
+        let captured = self.capture(input, 0);
+        self.detector.read_intensity(&captured)
+    }
+
+    /// The camera image of the detector plane for a given input —
+    /// LightRidge's Fig. 6 "experimental measurement".
+    pub fn capture(&self, input: &Field, shot: u64) -> Vec<f64> {
+        let mut u = input.clone();
+        for stage in &self.stages {
+            match stage {
+                PhysicalStage::Modulated { propagator, modulation } => {
+                    propagator.propagate(&mut u);
+                    u.hadamard_assign(modulation);
+                }
+                PhysicalStage::Nonlinear(sa) => {
+                    let (out, _) = sa.forward(&u);
+                    u = out;
+                }
+            }
+        }
+        self.final_propagator.propagate(&mut u);
+        let intensity = u.intensity();
+        // Normalize into the camera's dynamic range before capture.
+        let max = intensity.iter().cloned().fold(0.0, f64::max).max(1e-30);
+        let scaled: Vec<f64> = intensity.iter().map(|&i| i / max).collect();
+        let captured = self.camera.capture(&scaled, self.capture_seed.wrapping_add(shot));
+        captured.into_iter().map(|c| c * max).collect()
+    }
+
+    /// Classification accuracy of the deployed system.
+    pub fn evaluate(&self, data: &[LabeledImage]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let (rows, cols) = self.detector.shape();
+        let correct: usize = parallel::par_map(data.len(), |i| {
+            let (img, label) = &data[i];
+            let input = Field::from_amplitudes(rows, cols, img);
+            usize::from(argmax(&self.infer(&input)) == *label)
+        })
+        .into_iter()
+        .sum();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// The Fig. 1 experiment in one call: emulation accuracy vs deployed
+/// accuracy on the given bench. The difference is the sim-to-hardware gap.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Accuracy of the digital emulation (soft codesign states).
+    pub emulation_accuracy: f64,
+    /// Accuracy after physical deployment on the bench.
+    pub deployed_accuracy: f64,
+}
+
+impl DeploymentReport {
+    /// The accuracy gap (emulation − deployed).
+    pub fn gap(&self) -> f64 {
+        self.emulation_accuracy - self.deployed_accuracy
+    }
+}
+
+/// Evaluates a model both in emulation and deployed on `env`.
+pub fn deployment_report(
+    model: &DonnModel,
+    env: &HardwareEnvironment,
+    data: &[LabeledImage],
+) -> DeploymentReport {
+    let emulation_accuracy = crate::train::evaluate(model, data);
+    let physical = PhysicalDonn::deploy(model, env);
+    let deployed_accuracy = physical.evaluate(data);
+    DeploymentReport { emulation_accuracy, deployed_accuracy }
+}
+
+/// Per-digit correlation between emulated detector patterns and captured
+/// "experimental" patterns — the paper's Fig. 6 comparison.
+pub fn pattern_correlations(
+    model: &DonnModel,
+    env: &HardwareEnvironment,
+    inputs: &[Vec<f64>],
+) -> Vec<f64> {
+    let physical = PhysicalDonn::deploy(model, env);
+    let (rows, cols) = model.grid().shape();
+    inputs
+        .iter()
+        .map(|img| {
+            let input = Field::from_amplitudes(rows, cols, img);
+            let sim = model
+                .forward_trace(&input, CodesignMode::Soft, 0)
+                .detector_field
+                .intensity();
+            let exp = physical.capture(&input, 1);
+            lr_nn::metrics::pearson(&sim, &exp)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::detector::Detector;
+    use crate::model::DonnBuilder;
+    use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+
+    fn toy_data(n: usize) -> Vec<LabeledImage> {
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let mut img = vec![0.0; 256];
+                for r in 0..8 {
+                    for c in 4..12 {
+                        img[(r + label * 8) * 16 + c] = 1.0;
+                    }
+                }
+                img[i % 16] += 0.2;
+                (img, label)
+            })
+            .collect()
+    }
+
+    fn trained_raw_model() -> DonnModel {
+        let grid = Grid::square(16, PixelPitch::from_um(36.0));
+        let mut model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(10.0))
+            .diffractive_layers(2)
+            .detector(Detector::grid_layout(16, 16, 2, 4))
+            .build();
+        let data = toy_data(24);
+        let config = crate::train::TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        crate::train::train(&mut model, &data, &config);
+        model
+    }
+
+    #[test]
+    fn to_system_exports_all_layers() {
+        let model = trained_raw_model();
+        let export = to_system(&model, &SlmModel::ideal(256));
+        assert_eq!(export.layers.len(), 2);
+        assert!(export.layers.iter().all(|l| l.levels.len() == 256 && l.phases.len() == 256));
+        assert!(export.summary().contains("layer 0"));
+    }
+
+    #[test]
+    fn ideal_bench_deployment_matches_emulation() {
+        let model = trained_raw_model();
+        let data = toy_data(16);
+        let report = deployment_report(&model, &HardwareEnvironment::ideal(), &data);
+        assert!(
+            report.gap().abs() < 1e-9,
+            "ideal hardware must not open a gap: {report:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_bench_opens_gap_for_raw_model() {
+        let model = trained_raw_model();
+        let data = toy_data(16);
+        // A very coarse, noisy device.
+        let env = HardwareEnvironment {
+            device: SlmModel::uniform_bits(2),
+            fabrication: FabricationVariation::new(0.6, 0.1, 3),
+        crosstalk: lr_hardware::CrosstalkModel::typical_lc(),
+            camera: CameraModel::cs165mu1(1.0),
+            capture_seed: 3,
+        };
+        let report = deployment_report(&model, &env, &data);
+        assert!(
+            report.deployed_accuracy <= report.emulation_accuracy + 1e-9,
+            "deployment should not beat emulation: {report:?}"
+        );
+    }
+
+    #[test]
+    fn capture_is_deterministic_per_seed() {
+        let model = trained_raw_model();
+        let env = HardwareEnvironment::prototype(9);
+        let physical = PhysicalDonn::deploy(&model, &env);
+        let input = Field::ones(16, 16);
+        assert_eq!(physical.capture(&input, 0), physical.capture(&input, 0));
+        assert_ne!(physical.capture(&input, 0), physical.capture(&input, 1));
+    }
+
+    #[test]
+    fn pattern_correlation_high_on_good_bench() {
+        let model = trained_raw_model();
+        let env = HardwareEnvironment::prototype(5);
+        let inputs: Vec<Vec<f64>> = toy_data(4).into_iter().map(|(img, _)| img).collect();
+        let corrs = pattern_correlations(&model, &env, &inputs);
+        assert_eq!(corrs.len(), 4);
+        for c in corrs {
+            assert!(c > 0.8, "sim/experiment correlation too low: {c}");
+        }
+    }
+}

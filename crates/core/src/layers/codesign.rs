@@ -1,0 +1,494 @@
+//! Hardware-aware codesign diffractive layer (`lr.layers.diffractlayer`).
+//!
+//! Real modulators offer a *discrete*, *nonuniform* set of complex
+//! modulation states (measured phase + coupled amplitude per control level,
+//! see [`lr_hardware::SlmModel`]). Training free phases and quantizing
+//! afterwards opens the ≥30% sim-to-hardware gap of the paper's Fig. 1.
+//!
+//! LightRidge's codesign algorithm (paper §3.2, after Li et al. ICCAD'22)
+//! instead *trains in the device space*: each pixel holds a categorical
+//! distribution (logits) over the device's levels, relaxed with
+//! **Gumbel-Softmax** during training:
+//!
+//! ```text
+//! w = softmax((logits + Gumbel noise) / τ)      (training, differentiable)
+//! m = γ · Σ_l w_l · c_l,   c_l = a_l·e^{jθ_l}   (mixed device state)
+//! deployment: m = γ · c_argmax(logits)           (exactly realizable)
+//! ```
+//!
+//! As τ anneals toward 0 the soft mixture approaches the hard argmax, so the
+//! deployed (quantized) model matches what was trained — "quantization-aware
+//! training without quantization approximations".
+
+use lr_hardware::SlmModel;
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_tensor::{Complex64, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a codesign layer computes its modulation state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodesignMode {
+    /// Gumbel-noise softmax relaxation (training).
+    Train,
+    /// Noise-free softmax (validation during training).
+    Soft,
+    /// Hard argmax — the deployed, physically realizable configuration.
+    Deploy,
+}
+
+/// A diffractive layer whose parameters are per-pixel logits over the
+/// discrete modulation levels of a device.
+#[derive(Debug, Clone)]
+pub struct CodesignLayer {
+    propagator: FreeSpace,
+    device: SlmModel,
+    /// Complex modulation state per device level: `c_l = a_l·e^{jθ_l}`.
+    states: Vec<Complex64>,
+    /// Trainable logits, layout `[pixel * num_levels + level]`.
+    logits: Vec<f64>,
+    gamma: f64,
+    temperature: f64,
+}
+
+/// Forward activations cached for the backward pass.
+#[derive(Debug, Clone)]
+pub struct CodesignCache {
+    /// Wavefield after diffraction, before modulation.
+    pub propagated: Field,
+    /// Softmax weights per pixel (`[pixel * num_levels + level]`).
+    pub weights: Vec<f64>,
+    /// Realized modulation per pixel.
+    pub modulation: Vec<Complex64>,
+}
+
+impl CodesignLayer {
+    /// Creates a codesign layer for the given device, logits zeroed
+    /// (uniform distribution over levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` or `temperature` is not finite and positive.
+    pub fn new(
+        grid: Grid,
+        wavelength: Wavelength,
+        distance: Distance,
+        approximation: Approximation,
+        device: SlmModel,
+        gamma: f64,
+        temperature: f64,
+    ) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        assert!(
+            temperature.is_finite() && temperature > 0.0,
+            "temperature must be finite and positive"
+        );
+        let propagator = FreeSpace::new(grid, wavelength, distance, approximation);
+        let states = device
+            .phases()
+            .iter()
+            .zip(device.amplitudes())
+            .map(|(&p, &a)| Complex64::from_polar(a, p))
+            .collect();
+        let n = grid.rows() * grid.cols() * device.num_levels();
+        CodesignLayer {
+            propagator,
+            device,
+            states,
+            logits: vec![0.0; n],
+            gamma,
+            temperature,
+        }
+    }
+
+    /// Randomizes logits with small Gaussian-ish jitter so training breaks
+    /// symmetry deterministically per `seed`.
+    pub fn randomize_logits(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for l in &mut self.logits {
+            *l = rng.gen_range(-0.1..0.1);
+        }
+    }
+
+    /// Initializes logits so the argmax state matches the given free phases
+    /// — how a DSE-trained raw model is *refined* by codesign training
+    /// (paper Fig. 3 step 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases.len()` does not match the pixel count.
+    pub fn init_from_phases(&mut self, phases: &[f64], sharpness: f64) {
+        let pixels = self.num_pixels();
+        assert_eq!(phases.len(), pixels, "phase mask length mismatch");
+        let levels = self.device.num_levels();
+        for (p, &phase) in phases.iter().enumerate() {
+            let (best, _) = self.device.nearest_level(phase);
+            for l in 0..levels {
+                self.logits[p * levels + l] = if l == best { sharpness } else { 0.0 };
+            }
+        }
+    }
+
+    /// The layer's sampling grid.
+    pub fn grid(&self) -> Grid {
+        self.propagator.grid()
+    }
+
+    /// The free-space propagator feeding this layer.
+    pub fn propagator(&self) -> &FreeSpace {
+        &self.propagator
+    }
+
+    /// The device model this layer trains against.
+    pub fn device(&self) -> &SlmModel {
+        &self.device
+    }
+
+    /// Gumbel-Softmax temperature τ.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Updates τ (annealed across epochs by the trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not finite and positive.
+    pub fn set_temperature(&mut self, tau: f64) {
+        assert!(tau.is_finite() && tau > 0.0, "temperature must be finite and positive");
+        self.temperature = tau;
+    }
+
+    /// Amplitude regularization factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of pixels.
+    pub fn num_pixels(&self) -> usize {
+        let (r, c) = self.grid().shape();
+        r * c
+    }
+
+    /// Number of trainable parameters (`pixels × levels`).
+    pub fn num_params(&self) -> usize {
+        self.logits.len()
+    }
+
+    /// Immutable view of the logits.
+    pub fn logits(&self) -> &[f64] {
+        &self.logits
+    }
+
+    /// Mutable view of the logits (the optimizer's target).
+    pub fn logits_mut(&mut self) -> &mut [f64] {
+        &mut self.logits
+    }
+
+    /// The hard (deployable) level per pixel: `argmax` of the logits.
+    pub fn hard_levels(&self) -> Vec<usize> {
+        let levels = self.device.num_levels();
+        (0..self.num_pixels())
+            .map(|p| {
+                let row = &self.logits[p * levels..(p + 1) * levels];
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// The deployed phase mask (radians) per pixel.
+    pub fn hard_phases(&self) -> Vec<f64> {
+        let phases = self.device.phases();
+        self.hard_levels().into_iter().map(|l| phases[l]).collect()
+    }
+
+    /// Forward pass. `seed` drives the Gumbel noise in [`CodesignMode::Train`]
+    /// (vary it per sample/step); ignored in the other modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the layer grid.
+    pub fn forward(&self, input: &Field, mode: CodesignMode, seed: u64) -> (Field, CodesignCache) {
+        assert_eq!(input.shape(), self.grid().shape(), "input/grid shape mismatch");
+        let mut u = input.clone();
+        self.propagator.propagate(&mut u);
+        let propagated = u.clone();
+
+        let levels = self.device.num_levels();
+        let pixels = self.num_pixels();
+        let mut weights = vec![0.0; pixels * levels];
+        let mut modulation = vec![Complex64::ZERO; pixels];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inv_tau = 1.0 / self.temperature;
+
+        for p in 0..pixels {
+            let row = &self.logits[p * levels..(p + 1) * levels];
+            let w = &mut weights[p * levels..(p + 1) * levels];
+            match mode {
+                CodesignMode::Deploy => {
+                    let mut best = 0;
+                    for (i, &v) in row.iter().enumerate() {
+                        if v > row[best] {
+                            best = i;
+                        }
+                    }
+                    w[best] = 1.0;
+                }
+                CodesignMode::Train | CodesignMode::Soft => {
+                    // y_l = (logit_l [+ gumbel]) / τ, w = softmax(y)
+                    let mut max = f64::NEG_INFINITY;
+                    for (i, &v) in row.iter().enumerate() {
+                        let noise = if mode == CodesignMode::Train {
+                            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                            -(-u1.ln()).ln()
+                        } else {
+                            0.0
+                        };
+                        w[i] = (v + noise) * inv_tau;
+                        max = max.max(w[i]);
+                    }
+                    let mut sum = 0.0;
+                    for wi in w.iter_mut() {
+                        *wi = (*wi - max).exp();
+                        sum += *wi;
+                    }
+                    for wi in w.iter_mut() {
+                        *wi /= sum;
+                    }
+                }
+            }
+            let mut m = Complex64::ZERO;
+            for (l, &wi) in w.iter().enumerate() {
+                m += self.states[l] * wi;
+            }
+            modulation[p] = m * self.gamma;
+        }
+
+        for (z, &m) in u.as_mut_slice().iter_mut().zip(&modulation) {
+            *z *= m;
+        }
+        (u, CodesignCache { propagated, weights, modulation })
+    }
+
+    /// Backward pass: accumulates `dL/dlogits` into `logit_grads` (`+=`) and
+    /// returns `∂L/∂(input)̄`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `logit_grads` has the wrong length.
+    pub fn backward(
+        &self,
+        grad_output: &Field,
+        cache: &CodesignCache,
+        logit_grads: &mut [f64],
+    ) -> Field {
+        assert_eq!(grad_output.shape(), self.grid().shape(), "gradient shape mismatch");
+        assert_eq!(logit_grads.len(), self.logits.len(), "logit gradient buffer length mismatch");
+        let levels = self.device.num_levels();
+        let pixels = self.num_pixels();
+        let inv_tau = 1.0 / self.temperature;
+
+        let g = grad_output.as_slice();
+        let u = cache.propagated.as_slice();
+        let mut dw = vec![0.0; levels];
+        for p in 0..pixels {
+            // dL/dw_l = 2·Re( conj(g_p) · u_p · γ · c_l )
+            let gu = g[p].conj() * u[p] * self.gamma;
+            for l in 0..levels {
+                dw[l] = 2.0 * (gu * self.states[l]).re;
+            }
+            // Softmax Jacobian with the 1/τ chain factor:
+            // dL/dlogit_k = (w_k/τ)·(dL/dw_k − Σ_l dL/dw_l·w_l)
+            let w = &cache.weights[p * levels..(p + 1) * levels];
+            let dot: f64 = dw.iter().zip(w).map(|(&d, &wi)| d * wi).sum();
+            let out_row = &mut logit_grads[p * levels..(p + 1) * levels];
+            for l in 0..levels {
+                out_row[l] += w[l] * inv_tau * (dw[l] - dot);
+            }
+        }
+
+        // g_u = g_out · conj(m); then adjoint diffraction.
+        let mut g_in = grad_output.clone();
+        for (gi, &m) in g_in.as_mut_slice().iter_mut().zip(&cache.modulation) {
+            *gi *= m.conj();
+        }
+        self.propagator.adjoint(&mut g_in);
+        g_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_nn::gradcheck::check_gradient_sampled;
+    use lr_optics::PixelPitch;
+
+    fn small_layer(levels: usize) -> CodesignLayer {
+        let grid = Grid::square(6, PixelPitch::from_um(36.0));
+        let mut l = CodesignLayer::new(
+            grid,
+            Wavelength::from_nm(532.0),
+            Distance::from_mm(30.0),
+            Approximation::RayleighSommerfeld,
+            SlmModel::ideal(levels),
+            1.0,
+            0.7,
+        );
+        l.randomize_logits(3);
+        l
+    }
+
+    fn test_input() -> Field {
+        Field::from_fn(6, 6, |r, c| Complex64::new(0.4 + (r as f64 * 0.5).sin(), (c as f64 * 0.3).cos()))
+    }
+
+    #[test]
+    fn soft_weights_sum_to_one() {
+        let layer = small_layer(8);
+        let (_, cache) = layer.forward(&test_input(), CodesignMode::Soft, 0);
+        let levels = 8;
+        for p in 0..layer.num_pixels() {
+            let s: f64 = cache.weights[p * levels..(p + 1) * levels].iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "weights must be a distribution");
+        }
+    }
+
+    #[test]
+    fn deploy_weights_are_one_hot() {
+        let layer = small_layer(8);
+        let (_, cache) = layer.forward(&test_input(), CodesignMode::Deploy, 0);
+        for p in 0..layer.num_pixels() {
+            let row = &cache.weights[p * 8..(p + 1) * 8];
+            assert_eq!(row.iter().filter(|&&w| w == 1.0).count(), 1);
+            assert_eq!(row.iter().filter(|&&w| w == 0.0).count(), 7);
+        }
+    }
+
+    #[test]
+    fn deploy_modulation_is_exact_device_state() {
+        let layer = small_layer(8);
+        let (_, cache) = layer.forward(&test_input(), CodesignMode::Deploy, 0);
+        let levels = layer.hard_levels();
+        for (p, &level) in levels.iter().enumerate() {
+            let expect = layer.states[level] * layer.gamma();
+            assert!((cache.modulation[p] - expect).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn train_mode_noise_varies_with_seed_but_is_reproducible() {
+        let layer = small_layer(8);
+        let x = test_input();
+        let (a, _) = layer.forward(&x, CodesignMode::Train, 1);
+        let (a2, _) = layer.forward(&x, CodesignMode::Train, 1);
+        let (b, _) = layer.forward(&x, CodesignMode::Train, 2);
+        assert_eq!(a, a2, "same seed must reproduce");
+        assert!(a.distance(&b) > 0.0, "different seeds must differ");
+    }
+
+    #[test]
+    fn low_temperature_approaches_hard_argmax() {
+        let mut layer = small_layer(8);
+        // Give every pixel an unambiguous winning level with a clear margin.
+        let pixels = layer.num_pixels();
+        for p in 0..pixels {
+            for l in 0..8 {
+                layer.logits_mut()[p * 8 + l] = if l == p % 8 { 2.0 } else { 0.0 };
+            }
+        }
+        let x = test_input();
+        let (hard, _) = layer.forward(&x, CodesignMode::Deploy, 0);
+        layer.set_temperature(0.05);
+        let (soft, _) = layer.forward(&x, CodesignMode::Soft, 0);
+        assert!(
+            soft.distance(&hard) < 1e-3 * hard.total_power().sqrt().max(1.0),
+            "τ→0 soft forward should match deployment"
+        );
+    }
+
+    #[test]
+    fn logit_gradient_matches_finite_difference() {
+        let layer = small_layer(4);
+        let x = test_input();
+        let n = layer.num_pixels();
+        let w: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 11) as f64 / 11.0).collect();
+
+        let loss_of = |l: &CodesignLayer| {
+            let (out, _) = l.forward(&x, CodesignMode::Soft, 0);
+            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&x, CodesignMode::Soft, 0);
+        let g_out = Field::from_vec(
+            6,
+            6,
+            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+        );
+        let mut analytic = vec![0.0; layer.num_params()];
+        layer.backward(&g_out, &cache, &mut analytic);
+
+        let report = check_gradient_sampled(
+            |logits: &[f64]| {
+                let mut l = layer.clone();
+                l.logits_mut().copy_from_slice(logits);
+                loss_of(&l)
+            },
+            layer.logits(),
+            &analytic,
+            1e-6,
+            24,
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn init_from_phases_deploys_to_nearest_levels() {
+        let mut layer = small_layer(16);
+        let phases: Vec<f64> = (0..layer.num_pixels())
+            .map(|i| (i as f64 * 0.37) % std::f64::consts::TAU)
+            .collect();
+        layer.init_from_phases(&phases, 5.0);
+        let deployed = layer.hard_phases();
+        let device = layer.device().clone();
+        for (&p, &d) in phases.iter().zip(&deployed) {
+            assert!((device.quantize(p) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn input_gradient_directional_check() {
+        let layer = small_layer(4);
+        let x = test_input();
+        let n = layer.num_pixels();
+        let w: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 7.0).collect();
+        let loss_of = |f: &Field| {
+            let (out, _) = layer.forward(f, CodesignMode::Soft, 0);
+            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&x, CodesignMode::Soft, 0);
+        let g_out = Field::from_vec(
+            6,
+            6,
+            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+        );
+        let mut scratch = vec![0.0; layer.num_params()];
+        let g_in = layer.backward(&g_out, &cache, &mut scratch);
+        let d = Field::from_fn(6, 6, |r, c| Complex64::new(0.1 * r as f64, -0.2 * c as f64));
+        let h = 1e-6;
+        let mut xp = x.clone();
+        xp.axpy(h, &d);
+        let mut xm = x.clone();
+        xm.axpy(-h, &d);
+        let numeric = (loss_of(&xp) - loss_of(&xm)) / (2.0 * h);
+        let analytic = 2.0 * g_in.inner(&d).re;
+        assert!(
+            (numeric - analytic).abs() < 1e-4 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Detector plane (`lr.layers.detector`).
+//!
+//! The detector is the analog→digital boundary of a DONN: it captures the
+//! light-intensity pattern and, for classification, sums the intensity in
+//! one pre-defined region per class (paper §2.1). The class whose region
+//! collects the most light is the prediction; `Softmax` of the region sums
+//! feeds the MSE training loss.
+
+use lr_tensor::{Complex64, Field};
+
+/// One rectangular detector region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectorRegion {
+    /// Top row (inclusive).
+    pub row: usize,
+    /// Left column (inclusive).
+    pub col: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+}
+
+impl DetectorRegion {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty.
+    pub fn new(row: usize, col: usize, height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "detector region must be non-empty");
+        DetectorRegion { row, col, height, width }
+    }
+
+    /// True if `(r, c)` lies inside this region.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r >= self.row && r < self.row + self.height && c >= self.col && c < self.col + self.width
+    }
+
+    /// Region area in pixels.
+    pub fn area(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+/// A classification detector: one region per class on a `rows × cols`
+/// plane.
+///
+/// # Examples
+///
+/// ```
+/// use lightridge::Detector;
+/// use lr_tensor::Field;
+///
+/// let det = Detector::grid_layout(64, 64, 10, 6);
+/// assert_eq!(det.num_classes(), 10);
+/// let logits = det.read(&Field::ones(64, 64));
+/// assert_eq!(logits.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detector {
+    rows: usize,
+    cols: usize,
+    regions: Vec<DetectorRegion>,
+}
+
+impl Detector {
+    /// Creates a detector from explicit regions (the paper's
+    /// `x_loc`/`y_loc`/`det_size` interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no regions, a region exceeds the plane, or two
+    /// regions overlap.
+    pub fn new(rows: usize, cols: usize, regions: Vec<DetectorRegion>) -> Self {
+        assert!(!regions.is_empty(), "detector needs at least one region");
+        for (i, r) in regions.iter().enumerate() {
+            assert!(
+                r.row + r.height <= rows && r.col + r.width <= cols,
+                "region {i} exceeds the detector plane"
+            );
+            for (j, other) in regions.iter().enumerate().take(i) {
+                let disjoint = r.row + r.height <= other.row
+                    || other.row + other.height <= r.row
+                    || r.col + r.width <= other.col
+                    || other.col + other.width <= r.col;
+                assert!(disjoint, "regions {j} and {i} overlap");
+            }
+        }
+        Detector { rows, cols, regions }
+    }
+
+    /// Builds the paper's standard layout: `num_classes` square regions of
+    /// side `det_size`, placed evenly on a centered grid (2 rows of 5 for 10
+    /// classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not fit the plane.
+    pub fn grid_layout(rows: usize, cols: usize, num_classes: usize, det_size: usize) -> Self {
+        assert!(num_classes > 0 && det_size > 0, "need classes and a region size");
+        // Choose a near-square arrangement: r_rows × r_cols ≥ num_classes.
+        let r_cols = (num_classes as f64).sqrt().ceil() as usize;
+        let r_rows = num_classes.div_ceil(r_cols);
+        let cell_h = rows / (r_rows + 1);
+        let cell_w = cols / (r_cols + 1);
+        assert!(
+            cell_h >= det_size && cell_w >= det_size,
+            "detector layout does not fit: {num_classes} classes of {det_size}px on {rows}x{cols}"
+        );
+        let mut regions = Vec::with_capacity(num_classes);
+        for k in 0..num_classes {
+            let gr = k / r_cols;
+            let gc = k % r_cols;
+            let center_r = (gr + 1) * rows / (r_rows + 1);
+            let center_c = (gc + 1) * cols / (r_cols + 1);
+            regions.push(DetectorRegion::new(
+                center_r - det_size / 2,
+                center_c - det_size / 2,
+                det_size,
+                det_size,
+            ));
+        }
+        Detector::new(rows, cols, regions)
+    }
+
+    /// Plane shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of classes (regions).
+    pub fn num_classes(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The regions.
+    pub fn regions(&self) -> &[DetectorRegion] {
+        &self.regions
+    }
+
+    /// Reads the class logits: per-region intensity sums `I_k = Σ |U_p|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field shape does not match the detector plane.
+    pub fn read(&self, field: &Field) -> Vec<f64> {
+        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
+        self.regions
+            .iter()
+            .map(|reg| {
+                let mut sum = 0.0;
+                for r in reg.row..reg.row + reg.height {
+                    for c in reg.col..reg.col + reg.width {
+                        sum += field[(r, c)].norm_sqr();
+                    }
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// Reads logits from a *measured intensity image* (post-camera), for
+    /// hardware-emulation paths where noise was applied to the intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity.len() != rows*cols`.
+    pub fn read_intensity(&self, intensity: &[f64]) -> Vec<f64> {
+        assert_eq!(intensity.len(), self.rows * self.cols, "intensity buffer length mismatch");
+        self.regions
+            .iter()
+            .map(|reg| {
+                let mut sum = 0.0;
+                for r in reg.row..reg.row + reg.height {
+                    for c in reg.col..reg.col + reg.width {
+                        sum += intensity[r * self.cols + c];
+                    }
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// Backward pass: expands per-class gradients `dL/dI_k` into the field
+    /// gradient `∂L/∂(U)̄ = dL/dI_p · U_p` (zero outside regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn backward(&self, field: &Field, logit_grads: &[f64]) -> Field {
+        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
+        assert_eq!(logit_grads.len(), self.regions.len(), "logit gradient length mismatch");
+        let mut g = Field::zeros(self.rows, self.cols);
+        for (reg, &dl) in self.regions.iter().zip(logit_grads) {
+            for r in reg.row..reg.row + reg.height {
+                for c in reg.col..reg.col + reg.width {
+                    g[(r, c)] = field[(r, c)] * dl;
+                }
+            }
+        }
+        g
+    }
+
+    /// Fraction of the plane covered by detector regions — the
+    /// under-utilization observation that motivates the segmentation
+    /// architecture (paper §5.6.2).
+    pub fn coverage(&self) -> f64 {
+        let used: usize = self.regions.iter().map(DetectorRegion::area).sum();
+        used as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+/// Whole-plane intensity readout for image-to-image tasks (segmentation):
+/// `I_p = |U_p|²` with backward `∂L/∂(U)̄ = dL/dI ⊙ U`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneReadout;
+
+impl PlaneReadout {
+    /// Reads the full intensity image.
+    pub fn read(&self, field: &Field) -> Vec<f64> {
+        field.intensity()
+    }
+
+    /// Backward pass from per-pixel intensity gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity_grads.len()` does not match the field.
+    pub fn backward(&self, field: &Field, intensity_grads: &[f64]) -> Field {
+        assert_eq!(intensity_grads.len(), field.len(), "gradient length mismatch");
+        let (rows, cols) = field.shape();
+        let data = field
+            .as_slice()
+            .iter()
+            .zip(intensity_grads)
+            .map(|(&u, &g)| u * g)
+            .collect::<Vec<Complex64>>();
+        Field::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_layout_ten_classes() {
+        let det = Detector::grid_layout(64, 64, 10, 6);
+        assert_eq!(det.num_classes(), 10);
+        for reg in det.regions() {
+            assert_eq!(reg.area(), 36);
+        }
+        assert!(det.coverage() < 0.15, "classification detectors underuse the plane");
+    }
+
+    #[test]
+    fn read_sums_region_intensity() {
+        let det = Detector::new(8, 8, vec![DetectorRegion::new(0, 0, 2, 2), DetectorRegion::new(4, 4, 2, 2)]);
+        let mut f = Field::zeros(8, 8);
+        f[(0, 0)] = Complex64::new(2.0, 0.0); // intensity 4
+        f[(1, 1)] = Complex64::new(0.0, 1.0); // intensity 1
+        f[(5, 5)] = Complex64::new(3.0, 4.0); // intensity 25
+        f[(7, 7)] = Complex64::new(9.0, 0.0); // outside all regions
+        let logits = det.read(&f);
+        assert_eq!(logits, vec![5.0, 25.0]);
+    }
+
+    #[test]
+    fn read_intensity_matches_read() {
+        let det = Detector::grid_layout(16, 16, 4, 3);
+        let f = Field::from_fn(16, 16, |r, c| Complex64::new(r as f64 * 0.1, c as f64 * 0.05));
+        let a = det.read(&f);
+        let b = det.read_intensity(&f.intensity());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_zero_outside_regions() {
+        let det = Detector::new(8, 8, vec![DetectorRegion::new(2, 2, 2, 2)]);
+        let f = Field::filled(8, 8, Complex64::new(1.0, 1.0));
+        let g = det.backward(&f, &[0.5]);
+        assert_eq!(g[(0, 0)], Complex64::ZERO);
+        assert_eq!(g[(2, 2)], Complex64::new(0.5, 0.5));
+        assert_eq!(g[(3, 3)], Complex64::new(0.5, 0.5));
+        assert_eq!(g[(4, 4)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn detector_gradient_is_consistent_with_intensity_derivative() {
+        // L = Σ_k a_k·I_k. Perturb the field along direction d, compare
+        // 2·Re⟨g, d⟩ against finite differences.
+        let det = Detector::grid_layout(16, 16, 4, 3);
+        let f = Field::from_fn(16, 16, |r, c| Complex64::new((r + c) as f64 * 0.07, r as f64 * 0.03));
+        let a = [0.3, -0.7, 1.1, 0.2];
+        let loss = |field: &Field| -> f64 {
+            det.read(field).iter().zip(&a).map(|(i, &ai)| ai * i).sum()
+        };
+        let g = det.backward(&f, &a);
+        let d = Field::from_fn(16, 16, |r, c| Complex64::new(0.05 * c as f64, -0.02 * r as f64));
+        let h = 1e-6;
+        let mut fp = f.clone();
+        fp.axpy(h, &d);
+        let mut fm = f.clone();
+        fm.axpy(-h, &d);
+        let numeric = (loss(&fp) - loss(&fm)) / (2.0 * h);
+        let analytic = 2.0 * g.inner(&d).re;
+        assert!((numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_regions_rejected() {
+        let _ = Detector::new(
+            8,
+            8,
+            vec![DetectorRegion::new(0, 0, 4, 4), DetectorRegion::new(2, 2, 4, 4)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_plane_region_rejected() {
+        let _ = Detector::new(8, 8, vec![DetectorRegion::new(6, 6, 4, 4)]);
+    }
+
+    #[test]
+    fn plane_readout_roundtrip() {
+        let f = Field::from_fn(4, 4, |r, c| Complex64::new(r as f64, c as f64));
+        let ro = PlaneReadout;
+        let i = ro.read(&f);
+        assert_eq!(i.len(), 16);
+        assert!((i[5] - f[(1, 1)].norm_sqr()).abs() < 1e-12);
+        let g = ro.backward(&f, &vec![1.0; 16]);
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn grid_layout_regions_disjoint_various_counts() {
+        for classes in [2, 3, 5, 9, 10, 16] {
+            let det = Detector::grid_layout(100, 100, classes, 8);
+            assert_eq!(det.num_classes(), classes);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The raw trainable diffractive layer (`lr.layers.diffractlayer_raw`).
+//!
+//! A diffractive layer does two things (paper §3.1, Fig. 4b): free-space
+//! **diffraction** of the incoming wavefield over the layer distance `z`
+//! (Eq. 5–7), then per-pixel **phase modulation** `U ← γ·e^{jφ}·U` (Eq. 9),
+//! where the phases `φ` are the layer's trainable parameters and `γ` is the
+//! paper's complex-valued regularization factor (§3.2) that rebalances
+//! amplitude/phase gradient magnitudes.
+//!
+//! Backward passes are hand-derived Wirtinger gradients (gradient convention
+//! `g = ∂L/∂ū`):
+//!
+//! * through modulation: `g_u = g_out · m̄`,
+//! * phase parameter:    `dL/dφ = 2·Re( ḡ_out · j·out )`,
+//! * through diffraction: adjoint propagation (conjugated transfer function).
+
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_tensor::{Complex64, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// A free-phase (hardware-unaware) trainable diffractive layer.
+///
+/// # Examples
+///
+/// ```
+/// use lightridge::DiffractiveLayer;
+/// use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
+/// use lr_tensor::Field;
+///
+/// let grid = Grid::square(32, PixelPitch::from_um(36.0));
+/// let layer = DiffractiveLayer::new(
+///     grid,
+///     Wavelength::from_nm(532.0),
+///     Distance::from_mm(300.0),
+///     Approximation::RayleighSommerfeld,
+///     1.0,
+/// );
+/// let input = Field::ones(32, 32);
+/// let (out, _cache) = layer.forward(&input);
+/// assert_eq!(out.shape(), (32, 32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiffractiveLayer {
+    propagator: FreeSpace,
+    /// Trainable per-pixel phases (radians), row-major.
+    phases: Vec<f64>,
+    /// Amplitude regularization factor γ (paper §3.2).
+    gamma: f64,
+}
+
+/// Per-sample forward activations needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct DiffractiveCache {
+    /// Wavefield after diffraction, before modulation (`U²` in the paper).
+    pub propagated: Field,
+    /// Layer output (`U_l`), kept for the phase gradient.
+    pub output: Field,
+}
+
+impl DiffractiveLayer {
+    /// Creates a layer with zero-initialized phases.
+    pub fn new(
+        grid: Grid,
+        wavelength: Wavelength,
+        distance: Distance,
+        approximation: Approximation,
+        gamma: f64,
+    ) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        let propagator = FreeSpace::new(grid, wavelength, distance, approximation);
+        let n = grid.rows() * grid.cols();
+        DiffractiveLayer { propagator, phases: vec![0.0; n], gamma }
+    }
+
+    /// Randomizes phases uniformly in `[0, 2π)` (the usual DONN init).
+    pub fn randomize_phases(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in &mut self.phases {
+            *p = rng.gen_range(0.0..TAU);
+        }
+    }
+
+    /// The layer's sampling grid.
+    pub fn grid(&self) -> Grid {
+        self.propagator.grid()
+    }
+
+    /// The free-space propagator feeding this layer.
+    pub fn propagator(&self) -> &FreeSpace {
+        &self.propagator
+    }
+
+    /// Amplitude regularization factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Replaces γ (used by the Fig. 7 regularization sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not finite and positive.
+    pub fn set_gamma(&mut self, gamma: f64) {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        self.gamma = gamma;
+    }
+
+    /// Immutable view of the trainable phases.
+    pub fn phases(&self) -> &[f64] {
+        &self.phases
+    }
+
+    /// Mutable view of the trainable phases (the optimizer's target).
+    pub fn phases_mut(&mut self) -> &mut [f64] {
+        &mut self.phases
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Current phase mask as a field of unit phasors `γ·e^{jφ}`.
+    pub fn modulation_field(&self) -> Field {
+        let (rows, cols) = self.grid().shape();
+        let gamma = self.gamma;
+        Field::from_vec(
+            rows,
+            cols,
+            self.phases.iter().map(|&p| Complex64::cis(p) * gamma).collect(),
+        )
+    }
+
+    /// Forward pass: diffract, then modulate. Returns the output field and
+    /// the cache needed by [`DiffractiveLayer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the layer grid.
+    pub fn forward(&self, input: &Field) -> (Field, DiffractiveCache) {
+        let mut u = input.clone();
+        self.propagator.propagate(&mut u);
+        let propagated = u.clone();
+        let gamma = self.gamma;
+        for (z, &phi) in u.as_mut_slice().iter_mut().zip(&self.phases) {
+            *z *= Complex64::cis(phi) * gamma;
+        }
+        let output = u.clone();
+        (u, DiffractiveCache { propagated, output })
+    }
+
+    /// Inference-only forward pass (no cache).
+    pub fn infer(&self, input: &Field) -> Field {
+        let mut u = input.clone();
+        self.propagator.propagate(&mut u);
+        let gamma = self.gamma;
+        for (z, &phi) in u.as_mut_slice().iter_mut().zip(&self.phases) {
+            *z *= Complex64::cis(phi) * gamma;
+        }
+        u
+    }
+
+    /// Backward pass.
+    ///
+    /// `grad_output` is `∂L/∂(output)̄`; `phase_grads` accumulates `dL/dφ`
+    /// (`+=`, so batches can share a buffer); the return value is
+    /// `∂L/∂(input)̄` for the upstream layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the layer grid or `phase_grads` has
+    /// the wrong length.
+    pub fn backward(
+        &self,
+        grad_output: &Field,
+        cache: &DiffractiveCache,
+        phase_grads: &mut [f64],
+    ) -> Field {
+        assert_eq!(grad_output.shape(), self.grid().shape(), "gradient shape mismatch");
+        assert_eq!(phase_grads.len(), self.phases.len(), "phase gradient buffer length mismatch");
+        // dL/dφ_p = 2·Re( conj(g_p) · j · out_p )
+        for ((g, &out), acc) in grad_output
+            .as_slice()
+            .iter()
+            .zip(cache.output.as_slice())
+            .zip(phase_grads.iter_mut())
+        {
+            *acc += 2.0 * (g.conj() * (Complex64::I * out)).re;
+        }
+        // g_u = g_out · conj(m), m = γ e^{jφ}
+        let gamma = self.gamma;
+        let mut g_in = grad_output.clone();
+        for (g, &phi) in g_in.as_mut_slice().iter_mut().zip(&self.phases) {
+            *g *= Complex64::cis(-phi) * gamma;
+        }
+        // back through the diffraction
+        self.propagator.adjoint(&mut g_in);
+        g_in
+    }
+
+    /// The deployment view of this layer: its phases quantized to a device's
+    /// nearest levels (post-training quantization, the paper's *raw* flow).
+    pub fn quantized_phases(&self, device: &lr_hardware::SlmModel) -> Vec<f64> {
+        device.quantize_mask(&self.phases).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_nn::gradcheck::check_gradient_sampled;
+    use lr_optics::PixelPitch;
+
+    fn small_layer() -> DiffractiveLayer {
+        let grid = Grid::square(8, PixelPitch::from_um(36.0));
+        let mut l = DiffractiveLayer::new(
+            grid,
+            Wavelength::from_nm(532.0),
+            Distance::from_mm(30.0),
+            Approximation::RayleighSommerfeld,
+            1.0,
+        );
+        l.randomize_phases(11);
+        l
+    }
+
+    fn test_input() -> Field {
+        Field::from_fn(8, 8, |r, c| Complex64::new((r as f64 * 0.3).sin() + 0.5, (c as f64 * 0.2).cos()))
+    }
+
+    /// Scalar "loss" for gradient testing: L = Σ w_p·|out_p|² with fixed
+    /// random-ish weights, so dL/d(out*)_p = w_p·out_p.
+    fn toy_loss_weights(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37 + 11) % 17) as f64 / 17.0).collect()
+    }
+
+    #[test]
+    fn forward_preserves_shape_and_is_finite() {
+        let layer = small_layer();
+        let (out, cache) = layer.forward(&test_input());
+        assert_eq!(out.shape(), (8, 8));
+        assert!(out.is_finite());
+        assert_eq!(cache.propagated.shape(), (8, 8));
+        assert_eq!(out, cache.output);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let layer = small_layer();
+        let x = test_input();
+        let (out, _) = layer.forward(&x);
+        assert_eq!(layer.infer(&x), out);
+    }
+
+    #[test]
+    fn gamma_scales_output_linearly() {
+        let mut layer = small_layer();
+        let x = test_input();
+        let (out1, _) = layer.forward(&x);
+        layer.set_gamma(2.0);
+        let (out2, _) = layer.forward(&x);
+        for (a, b) in out1.as_slice().iter().zip(out2.as_slice()) {
+            assert!((*a * 2.0 - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_gradient_matches_finite_difference() {
+        let layer = small_layer();
+        let x = test_input();
+        let w = toy_loss_weights(64);
+
+        // Analytic gradient.
+        let (out, cache) = layer.forward(&x);
+        let g_out = Field::from_vec(
+            8,
+            8,
+            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+        );
+        let mut analytic = vec![0.0; 64];
+        layer.backward(&g_out, &cache, &mut analytic);
+
+        // Numeric: perturb each phase, recompute loss.
+        let loss = |phases: &[f64]| {
+            let mut l = layer.clone();
+            l.phases_mut().copy_from_slice(phases);
+            let (out, _) = l.forward(&x);
+            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+        };
+        let report = check_gradient_sampled(loss, layer.phases(), &analytic, 1e-6, 16);
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn input_gradient_matches_directional_finite_difference() {
+        // Check ∂L/∂u via a directional derivative along a complex direction.
+        let layer = small_layer();
+        let x = test_input();
+        let w = toy_loss_weights(64);
+        let loss_of = |field: &Field| {
+            let (out, _) = layer.forward(field);
+            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&x);
+        let g_out = Field::from_vec(
+            8,
+            8,
+            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+        );
+        let mut scratch = vec![0.0; 64];
+        let g_in = layer.backward(&g_out, &cache, &mut scratch);
+
+        // Direction d: an arbitrary complex perturbation field.
+        let d = Field::from_fn(8, 8, |r, c| Complex64::new(0.3 * (r as f64 - 3.0), 0.2 * (c as f64 - 4.0)));
+        let h = 1e-6;
+        let mut xp = x.clone();
+        xp.axpy(h, &d);
+        let mut xm = x.clone();
+        xm.axpy(-h, &d);
+        let numeric = (loss_of(&xp) - loss_of(&xm)) / (2.0 * h);
+        // dL along direction d = 2·Re⟨g_in, d⟩.
+        let analytic = 2.0 * g_in.inner(&d).re;
+        assert!(
+            (numeric - analytic).abs() < 1e-4 * (1.0 + numeric.abs()),
+            "directional derivative mismatch: numeric {numeric}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn zero_phase_layer_is_pure_propagation() {
+        let grid = Grid::square(8, PixelPitch::from_um(36.0));
+        let layer = DiffractiveLayer::new(
+            grid,
+            Wavelength::from_nm(532.0),
+            Distance::from_mm(30.0),
+            Approximation::Fresnel,
+            1.0,
+        );
+        let x = test_input();
+        let (out, cache) = layer.forward(&x);
+        assert!(out.distance(&cache.propagated) < 1e-12);
+    }
+
+    #[test]
+    fn randomize_is_deterministic_per_seed() {
+        let mut a = small_layer();
+        let mut b = small_layer();
+        a.randomize_phases(5);
+        b.randomize_phases(5);
+        assert_eq!(a.phases(), b.phases());
+        b.randomize_phases(6);
+        assert_ne!(a.phases(), b.phases());
+        assert!(a.phases().iter().all(|&p| (0.0..TAU).contains(&p)));
+    }
+
+    #[test]
+    fn modulation_field_unit_magnitude_at_gamma_one() {
+        let layer = small_layer();
+        let m = layer.modulation_field();
+        for z in m.as_slice() {
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantized_phases_close_to_free_phases() {
+        let layer = small_layer();
+        let device = lr_hardware::SlmModel::ideal(256);
+        let q = layer.quantized_phases(&device);
+        for (&free, &quant) in layer.phases().iter().zip(&q) {
+            assert!(lr_hardware::circular_distance(free, quant) < TAU / 256.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let grid = Grid::square(4, PixelPitch::from_um(36.0));
+        let _ = DiffractiveLayer::new(
+            grid,
+            Wavelength::from_nm(532.0),
+            Distance::from_mm(30.0),
+            Approximation::Fresnel,
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Trainable optical layer implementations (`lr.layers`).
+
+pub mod codesign;
+pub mod detector;
+pub mod diffractive;
+pub mod nonlinear;

@@ -1,0 +1,720 @@
+//! Sequential DONN container (`lr.models` in the paper's DSL).
+//!
+//! A [`DonnModel`] stacks diffractive layers in propagation order, adds the
+//! final free-space hop to the detector plane, and reads out class logits
+//! through a [`Detector`]. It exposes the forward/backward pair the trainer
+//! drives, plus inference entry points for emulation, deployment, and
+//! visualization.
+
+use crate::layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
+use crate::layers::detector::Detector;
+use crate::layers::diffractive::{DiffractiveCache, DiffractiveLayer};
+use crate::layers::nonlinear::{NonlinearCache, SaturableAbsorber};
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_tensor::Field;
+
+/// One optical layer: free-phase, hardware-codesign, or a parameter-free
+/// nonlinear thin film.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Raw free-phase layer (`lr.layers.diffractlayer_raw`).
+    Diffractive(DiffractiveLayer),
+    /// Hardware-aware Gumbel-Softmax layer (`lr.layers.diffractlayer`).
+    Codesign(CodesignLayer),
+    /// Saturable-absorber nonlinearity at the current plane (paper §6).
+    Nonlinear(SaturableAbsorber),
+}
+
+impl Layer {
+    /// Number of trainable parameters in this layer.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Diffractive(l) => l.num_params(),
+            Layer::Codesign(l) => l.num_params(),
+            Layer::Nonlinear(_) => 0,
+        }
+    }
+
+    /// Immutable view of the flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        match self {
+            Layer::Diffractive(l) => l.phases(),
+            Layer::Codesign(l) => l.logits(),
+            Layer::Nonlinear(_) => &[],
+        }
+    }
+
+    /// Mutable view of the flat parameter vector.
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        match self {
+            Layer::Diffractive(l) => l.phases_mut(),
+            Layer::Codesign(l) => l.logits_mut(),
+            Layer::Nonlinear(_) => &mut [],
+        }
+    }
+
+    /// The currently-deployable phase mask of this layer (radians): free
+    /// phases for raw layers, argmax device phases for codesign layers,
+    /// empty for non-modulating layers.
+    pub fn phase_mask(&self) -> Vec<f64> {
+        match self {
+            Layer::Diffractive(l) => l.phases().to_vec(),
+            Layer::Codesign(l) => l.hard_phases(),
+            Layer::Nonlinear(_) => Vec::new(),
+        }
+    }
+}
+
+/// Per-layer forward activations for one sample.
+#[derive(Debug, Clone)]
+pub enum LayerCache {
+    /// Cache of a raw layer.
+    Diffractive(DiffractiveCache),
+    /// Cache of a codesign layer.
+    Codesign(CodesignCache),
+    /// Cache of a nonlinear layer.
+    Nonlinear(NonlinearCache),
+}
+
+/// Full forward trace of one sample (needed for the backward pass).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    caches: Vec<LayerCache>,
+    /// Wavefield on the detector plane.
+    pub detector_field: Field,
+    /// Class logits (detector region intensity sums).
+    pub logits: Vec<f64>,
+}
+
+/// Gradient buffers matching a model's layers; accumulated across a batch.
+#[derive(Debug, Clone)]
+pub struct ModelGrads {
+    per_layer: Vec<Vec<f64>>,
+}
+
+impl ModelGrads {
+    /// Creates zeroed buffers shaped like `model`'s parameters.
+    pub fn zeros_like(model: &DonnModel) -> Self {
+        ModelGrads {
+            per_layer: model.layers.iter().map(|l| vec![0.0; l.num_params()]).collect(),
+        }
+    }
+
+    /// Gradient buffer of layer `i`.
+    pub fn layer(&self, i: usize) -> &[f64] {
+        &self.per_layer[i]
+    }
+
+    /// Accumulates another gradient set: `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, other: &ModelGrads) {
+        assert_eq!(self.per_layer.len(), other.per_layer.len(), "gradient layer count mismatch");
+        for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
+            assert_eq!(a.len(), b.len(), "gradient buffer length mismatch");
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, s: f64) {
+        for layer in &mut self.per_layer {
+            for g in layer.iter_mut() {
+                *g *= s;
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients — a training-health diagnostic.
+    pub fn norm(&self) -> f64 {
+        self.per_layer
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|g| g * g)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A complete DONN: stacked layers → final free-space hop → detector.
+///
+/// # Examples
+///
+/// ```
+/// use lightridge::{DonnBuilder, Detector};
+/// use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
+/// use lr_tensor::Field;
+///
+/// let grid = Grid::square(32, PixelPitch::from_um(36.0));
+/// let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+///     .distance(Distance::from_mm(100.0))
+///     .diffractive_layers(2)
+///     .detector(Detector::grid_layout(32, 32, 4, 3))
+///     .build();
+/// let logits = model.infer(&Field::ones(32, 32));
+/// assert_eq!(logits.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DonnModel {
+    grid: Grid,
+    wavelength: Wavelength,
+    layers: Vec<Layer>,
+    final_propagator: FreeSpace,
+    detector: Detector,
+}
+
+impl DonnModel {
+    /// Assembles a model from parts. Prefer [`crate::DonnBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no layers or the detector plane does not match
+    /// the grid.
+    pub fn from_parts(
+        grid: Grid,
+        wavelength: Wavelength,
+        layers: Vec<Layer>,
+        final_propagator: FreeSpace,
+        detector: Detector,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a DONN needs at least one diffractive layer");
+        assert_eq!(detector.shape(), grid.shape(), "detector plane must match the grid");
+        DonnModel { grid, wavelength, layers, final_propagator, detector }
+    }
+
+    /// The model's sampling grid.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Design wavelength.
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// The stacked layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (optimizer / deployment editing).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Model depth (number of diffractive layers).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The final free-space hop onto the detector plane.
+    pub fn final_propagator(&self) -> &FreeSpace {
+        &self.final_propagator
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.detector.num_classes()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Full forward pass with trace. `seed` drives per-sample Gumbel noise
+    /// for codesign layers in [`CodesignMode::Train`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the grid.
+    pub fn forward_trace(&self, input: &Field, mode: CodesignMode, seed: u64) -> Trace {
+        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        let mut u = input.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                Layer::Diffractive(l) => {
+                    let (out, cache) = l.forward(&u);
+                    u = out;
+                    caches.push(LayerCache::Diffractive(cache));
+                }
+                Layer::Codesign(l) => {
+                    // Decorrelate noise across layers.
+                    let layer_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
+                    let (out, cache) = l.forward(&u, mode, layer_seed);
+                    u = out;
+                    caches.push(LayerCache::Codesign(cache));
+                }
+                Layer::Nonlinear(l) => {
+                    let (out, cache) = l.forward(&u);
+                    u = out;
+                    caches.push(LayerCache::Nonlinear(cache));
+                }
+            }
+        }
+        self.final_propagator.propagate(&mut u);
+        let logits = self.detector.read(&u);
+        Trace { caches, detector_field: u, logits }
+    }
+
+    /// Inference: emulation-mode logits (soft codesign states, no noise).
+    pub fn infer(&self, input: &Field) -> Vec<f64> {
+        self.forward_trace(input, CodesignMode::Soft, 0).logits
+    }
+
+    /// Inference with hard (deployable) codesign states.
+    pub fn infer_deployed(&self, input: &Field) -> Vec<f64> {
+        self.forward_trace(input, CodesignMode::Deploy, 0).logits
+    }
+
+    /// The intensity pattern on the detector plane (the paper's Fig. 6
+    /// "detector pattern"), in emulation mode.
+    pub fn detector_pattern(&self, input: &Field) -> Vec<f64> {
+        self.forward_trace(input, CodesignMode::Soft, 0)
+            .detector_field
+            .intensity()
+    }
+
+    /// Intensity frames of the light as it propagates through the system:
+    /// one frame after each layer plus the detector plane. The paper's
+    /// tutorial visualizes exactly this sequence (inaccessible in physical
+    /// all-optical inference, available in emulation).
+    pub fn propagation_frames(&self, input: &Field) -> Vec<Vec<f64>> {
+        let trace = self.forward_trace(input, CodesignMode::Soft, 0);
+        let mut frames: Vec<Vec<f64>> = trace
+            .caches
+            .iter()
+            .map(|cache| match cache {
+                LayerCache::Diffractive(c) => c.output.intensity(),
+                LayerCache::Codesign(c) => {
+                    // Reconstruct the modulated output from the cache.
+                    let mut out = c.propagated.clone();
+                    for (z, &m) in out.as_mut_slice().iter_mut().zip(&c.modulation) {
+                        *z *= m;
+                    }
+                    out.intensity()
+                }
+                LayerCache::Nonlinear(c) => c.input.intensity(),
+            })
+            .collect();
+        frames.push(trace.detector_field.intensity());
+        frames
+    }
+
+    /// Backward pass from per-class logit gradients; accumulates parameter
+    /// gradients into `grads` and returns the input-field gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logit_grads` length differs from the class count or the
+    /// trace does not belong to this model.
+    pub fn backward(&self, trace: &Trace, logit_grads: &[f64], grads: &mut ModelGrads) -> Field {
+        assert_eq!(logit_grads.len(), self.num_classes(), "logit gradient length mismatch");
+        assert_eq!(trace.caches.len(), self.layers.len(), "trace/model depth mismatch");
+        let mut g = self.detector.backward(&trace.detector_field, logit_grads);
+        self.final_propagator.adjoint(&mut g);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let buf = &mut grads.per_layer[i];
+            g = match (layer, &trace.caches[i]) {
+                (Layer::Diffractive(l), LayerCache::Diffractive(c)) => l.backward(&g, c, buf),
+                (Layer::Codesign(l), LayerCache::Codesign(c)) => l.backward(&g, c, buf),
+                (Layer::Nonlinear(l), LayerCache::Nonlinear(c)) => l.backward(&g, c),
+                _ => panic!("trace cache kind does not match layer kind at layer {i}"),
+            };
+        }
+        g
+    }
+
+    /// Sets the Gumbel-Softmax temperature of every codesign layer.
+    pub fn set_temperature(&mut self, tau: f64) {
+        for layer in &mut self.layers {
+            if let Layer::Codesign(l) = layer {
+                l.set_temperature(tau);
+            }
+        }
+    }
+
+    /// Sets γ on every raw diffractive layer (Fig. 7 regularization sweep).
+    pub fn set_gamma(&mut self, gamma: f64) {
+        for layer in &mut self.layers {
+            if let Layer::Diffractive(l) = layer {
+                l.set_gamma(gamma);
+            }
+        }
+    }
+
+    /// Per-layer deployable phase masks (radians).
+    pub fn phase_masks(&self) -> Vec<Vec<f64>> {
+        self.layers.iter().map(Layer::phase_mask).collect()
+    }
+}
+
+/// Builder for [`DonnModel`] — the `lr.models` front-end of the DSL.
+#[derive(Debug, Clone)]
+pub struct DonnBuilder {
+    grid: Grid,
+    wavelength: Wavelength,
+    distance: Distance,
+    approximation: Approximation,
+    gamma: f64,
+    layers: Vec<LayerSpec>,
+    detector: Option<Detector>,
+    init_seed: u64,
+}
+
+#[derive(Debug, Clone)]
+enum LayerSpec {
+    Diffractive,
+    Codesign { device: lr_hardware::SlmModel, temperature: f64 },
+    Nonlinear { alpha: f64, saturation: f64 },
+}
+
+impl DonnBuilder {
+    /// Starts a builder with paper-default optics: 0.3 m spacing,
+    /// Rayleigh-Sommerfeld approximation, γ = 1.
+    pub fn new(grid: Grid, wavelength: Wavelength) -> Self {
+        DonnBuilder {
+            grid,
+            wavelength,
+            distance: Distance::from_meters(0.3),
+            approximation: Approximation::RayleighSommerfeld,
+            gamma: 1.0,
+            layers: Vec::new(),
+            detector: None,
+            init_seed: 42,
+        }
+    }
+
+    /// Sets the layer-to-layer (and source/detector) spacing.
+    pub fn distance(mut self, distance: Distance) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Selects the diffraction approximation.
+    pub fn approximation(mut self, approximation: Approximation) -> Self {
+        self.approximation = approximation;
+        self
+    }
+
+    /// Sets the complex-valued regularization factor γ (paper §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not finite and positive.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Appends `count` raw diffractive layers.
+    pub fn diffractive_layers(mut self, count: usize) -> Self {
+        for _ in 0..count {
+            self.layers.push(LayerSpec::Diffractive);
+        }
+        self
+    }
+
+    /// Appends `count` hardware-codesign layers for `device`.
+    pub fn codesign_layers(mut self, count: usize, device: lr_hardware::SlmModel, temperature: f64) -> Self {
+        for _ in 0..count {
+            self.layers.push(LayerSpec::Codesign { device: device.clone(), temperature });
+        }
+        self
+    }
+
+    /// Appends a saturable-absorber nonlinearity at the current plane
+    /// (paper §6: "non-linearity in DONN systems ... realized by nonlinear
+    /// optical materials").
+    pub fn nonlinearity(mut self, alpha: f64, saturation: f64) -> Self {
+        self.layers.push(LayerSpec::Nonlinear { alpha, saturation });
+        self
+    }
+
+    /// Sets the detector.
+    pub fn detector(mut self, detector: Detector) -> Self {
+        self.detector = Some(detector);
+        self
+    }
+
+    /// Sets the parameter-initialization seed.
+    pub fn init_seed(mut self, seed: u64) -> Self {
+        self.init_seed = seed;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added or no detector was set.
+    pub fn build(self) -> DonnModel {
+        assert!(!self.layers.is_empty(), "add at least one layer before build()");
+        let detector = self.detector.expect("set a detector before build()");
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (i, spec) in self.layers.into_iter().enumerate() {
+            let seed = self.init_seed.wrapping_add(i as u64 * 7919);
+            match spec {
+                LayerSpec::Diffractive => {
+                    let mut l = DiffractiveLayer::new(
+                        self.grid,
+                        self.wavelength,
+                        self.distance,
+                        self.approximation,
+                        self.gamma,
+                    );
+                    l.randomize_phases(seed);
+                    layers.push(Layer::Diffractive(l));
+                }
+                LayerSpec::Codesign { device, temperature } => {
+                    let mut l = CodesignLayer::new(
+                        self.grid,
+                        self.wavelength,
+                        self.distance,
+                        self.approximation,
+                        device,
+                        self.gamma,
+                        temperature,
+                    );
+                    l.randomize_logits(seed);
+                    layers.push(Layer::Codesign(l));
+                }
+                LayerSpec::Nonlinear { alpha, saturation } => {
+                    layers.push(Layer::Nonlinear(SaturableAbsorber::new(alpha, saturation)));
+                }
+            }
+        }
+        let final_propagator =
+            FreeSpace::new(self.grid, self.wavelength, self.distance, self.approximation);
+        DonnModel::from_parts(self.grid, self.wavelength, layers, final_propagator, detector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_nn::loss::{one_hot, softmax_mse};
+    use lr_optics::PixelPitch;
+    use lr_tensor::Complex64;
+
+    fn tiny_model(depth: usize) -> DonnModel {
+        let grid = Grid::square(16, PixelPitch::from_um(36.0));
+        DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(20.0))
+            .diffractive_layers(depth)
+            .detector(Detector::grid_layout(16, 16, 4, 3))
+            .build()
+    }
+
+    fn sample_input() -> Field {
+        Field::from_fn(16, 16, |r, c| {
+            let on = (r / 4 + c / 4) % 2 == 0;
+            Complex64::from_real(if on { 1.0 } else { 0.0 })
+        })
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let model = tiny_model(3);
+        let logits = model.infer(&sample_input());
+        assert_eq!(logits.len(), 4);
+        assert!(logits.iter().all(|&l| l.is_finite() && l >= 0.0));
+        assert!(logits.iter().sum::<f64>() > 0.0, "some light must reach the detector");
+    }
+
+    #[test]
+    fn trace_and_infer_agree() {
+        let model = tiny_model(2);
+        let x = sample_input();
+        let trace = model.forward_trace(&x, CodesignMode::Soft, 0);
+        assert_eq!(trace.logits, model.infer(&x));
+        assert_eq!(trace.detector_field.shape(), (16, 16));
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        // Full-pipeline finite-difference check through 2 layers, final
+        // propagation, detector, softmax-MSE loss.
+        let model = tiny_model(2);
+        let x = sample_input();
+        let target = one_hot(1, 4);
+
+        let trace = model.forward_trace(&x, CodesignMode::Soft, 0);
+        let (_, logit_grads) = softmax_mse(&trace.logits, &target);
+        let mut grads = ModelGrads::zeros_like(&model);
+        model.backward(&trace, &logit_grads, &mut grads);
+
+        for layer_idx in 0..2 {
+            let params = model.layers()[layer_idx].params().to_vec();
+            let report = lr_nn::gradcheck::check_gradient_sampled(
+                |p: &[f64]| {
+                    let mut m = model.clone();
+                    m.layers_mut()[layer_idx].params_mut().copy_from_slice(p);
+                    let t = m.forward_trace(&x, CodesignMode::Soft, 0);
+                    softmax_mse(&t.logits, &target).0
+                },
+                &params,
+                grads.layer(layer_idx),
+                1e-5,
+                12,
+            );
+            assert!(report.passes(1e-3), "layer {layer_idx}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_linear() {
+        let model = tiny_model(1);
+        let x = sample_input();
+        let target = one_hot(0, 4);
+        let trace = model.forward_trace(&x, CodesignMode::Soft, 0);
+        let (_, lg) = softmax_mse(&trace.logits, &target);
+        let mut g1 = ModelGrads::zeros_like(&model);
+        model.backward(&trace, &lg, &mut g1);
+        let mut g2 = ModelGrads::zeros_like(&model);
+        model.backward(&trace, &lg, &mut g2);
+        model.backward(&trace, &lg, &mut g2);
+        // g2 accumulated twice = 2×g1
+        for (a, b) in g1.layer(0).iter().zip(g2.layer(0)) {
+            assert!((2.0 * a - b).abs() < 1e-10);
+        }
+        g2.scale(0.5);
+        for (a, b) in g1.layer(0).iter().zip(g2.layer(0)) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mixed_stack_builds_and_runs() {
+        let grid = Grid::square(12, PixelPitch::from_um(36.0));
+        let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(20.0))
+            .diffractive_layers(1)
+            .codesign_layers(1, lr_hardware::SlmModel::ideal(8), 1.0)
+            .detector(Detector::grid_layout(12, 12, 2, 3))
+            .build();
+        assert_eq!(model.depth(), 2);
+        assert!(model.num_params() > 0);
+        let logits = model.infer(&Field::ones(12, 12));
+        assert_eq!(logits.len(), 2);
+        let deployed = model.infer_deployed(&Field::ones(12, 12));
+        assert_eq!(deployed.len(), 2);
+    }
+
+    #[test]
+    fn phase_masks_per_layer() {
+        let model = tiny_model(3);
+        let masks = model.phase_masks();
+        assert_eq!(masks.len(), 3);
+        assert!(masks.iter().all(|m| m.len() == 256));
+    }
+
+    #[test]
+    fn grads_norm_positive_after_backward() {
+        let model = tiny_model(2);
+        let x = sample_input();
+        let trace = model.forward_trace(&x, CodesignMode::Soft, 0);
+        let (_, lg) = softmax_mse(&trace.logits, &one_hot(2, 4));
+        let mut grads = ModelGrads::zeros_like(&model);
+        assert_eq!(grads.norm(), 0.0);
+        model.backward(&trace, &lg, &mut grads);
+        assert!(grads.norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn builder_requires_layers() {
+        let grid = Grid::square(8, PixelPitch::from_um(36.0));
+        let _ = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .detector(Detector::grid_layout(8, 8, 2, 2))
+            .build();
+    }
+
+    #[test]
+    fn nonlinear_stack_end_to_end_gradient_check() {
+        // Diffractive -> saturable absorber -> diffractive: gradients must
+        // flow correctly through the parameter-free nonlinear film.
+        let grid = Grid::square(16, PixelPitch::from_um(36.0));
+        let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(20.0))
+            .diffractive_layers(1)
+            .nonlinearity(0.3, 0.5)
+            .diffractive_layers(1)
+            .detector(Detector::grid_layout(16, 16, 4, 3))
+            .init_seed(9)
+            .build();
+        assert_eq!(model.depth(), 3);
+        assert_eq!(model.layers()[1].num_params(), 0);
+
+        let x = sample_input();
+        let target = one_hot(2, 4);
+        let trace = model.forward_trace(&x, CodesignMode::Soft, 0);
+        let (_, logit_grads) = softmax_mse(&trace.logits, &target);
+        let mut grads = ModelGrads::zeros_like(&model);
+        model.backward(&trace, &logit_grads, &mut grads);
+
+        for layer_idx in [0usize, 2] {
+            let params = model.layers()[layer_idx].params().to_vec();
+            let report = lr_nn::gradcheck::check_gradient_sampled(
+                |p: &[f64]| {
+                    let mut m = model.clone();
+                    m.layers_mut()[layer_idx].params_mut().copy_from_slice(p);
+                    let t = m.forward_trace(&x, CodesignMode::Soft, 0);
+                    softmax_mse(&t.logits, &target).0
+                },
+                &params,
+                grads.layer(layer_idx),
+                1e-5,
+                10,
+            );
+            assert!(report.passes(1e-3), "layer {layer_idx}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn propagation_frames_cover_every_plane() {
+        let model = tiny_model(3);
+        let frames = model.propagation_frames(&sample_input());
+        // 3 layer planes + detector plane.
+        assert_eq!(frames.len(), 4);
+        assert!(frames.iter().all(|f| f.len() == 256));
+        // The detector frame matches detector_pattern.
+        assert_eq!(frames[3], model.detector_pattern(&sample_input()));
+        // Light never vanishes completely mid-stack.
+        assert!(frames.iter().all(|f| f.iter().sum::<f64>() > 0.0));
+    }
+
+    #[test]
+    fn nonlinear_layer_changes_forward() {
+        let grid = Grid::square(12, PixelPitch::from_um(36.0));
+        let base = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(20.0))
+            .diffractive_layers(2)
+            .detector(Detector::grid_layout(12, 12, 2, 3))
+            .init_seed(4)
+            .build();
+        let with_nl = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(20.0))
+            .diffractive_layers(1)
+            .nonlinearity(0.2, 0.1)
+            .diffractive_layers(1)
+            .detector(Detector::grid_layout(12, 12, 2, 3))
+            .init_seed(4)
+            .build();
+        let x = Field::ones(12, 12);
+        let a = base.infer(&x);
+        let b = with_nl.infer(&x);
+        assert!(a.iter().zip(&b).any(|(p, q)| (p - q).abs() > 1e-9));
+    }
+}

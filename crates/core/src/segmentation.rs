@@ -1,0 +1,434 @@
+//! All-optical image segmentation DONN (paper §5.6.2, Fig. 13).
+//!
+//! Classification detectors use a tiny fraction of the output plane; the
+//! rest of the spatial information is discarded. The paper's segmentation
+//! architecture keeps the whole plane as an image-to-image system and adds
+//! two innovations:
+//!
+//! 1. **Optical skip connection** — a beam splitter taps the (less
+//!    diffracted) input field around the first half of the stack and
+//!    recombines it before the second half, restoring original-image
+//!    features the aggressive diffraction has washed out (the ResNet idea,
+//!    in optics).
+//! 2. **Layer normalization** of the detector-plane intensity — *training
+//!    only* — which rescales the arbitrary optical intensity into a
+//!    well-conditioned range so MSE gradients don't vanish/explode.
+//!
+//! The baseline (no skip, no layer norm, raw-intensity MSE as in the
+//! Lin/Zhou training recipes) is included for the Fig. 13 comparison.
+
+use crate::layers::detector::PlaneReadout;
+use crate::layers::diffractive::{DiffractiveCache, DiffractiveLayer};
+use lr_nn::{Adam, Optimizer};
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_tensor::{parallel, Field};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An image/mask pair: grayscale input and binary target mask, both
+/// row-major at the model resolution.
+pub type MaskedImage = (Vec<f64>, Vec<f64>);
+
+/// Architectural switches for the Fig. 13 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentationOptions {
+    /// Enable the optical skip connection.
+    pub skip_connection: bool,
+    /// Enable train-time layer normalization (+ sigmoid head).
+    pub layer_norm: bool,
+}
+
+impl SegmentationOptions {
+    /// The paper's proposed architecture: both innovations on.
+    pub fn proposed() -> Self {
+        SegmentationOptions { skip_connection: true, layer_norm: true }
+    }
+
+    /// The baseline recipe (no skip, no layer norm).
+    pub fn baseline() -> Self {
+        SegmentationOptions { skip_connection: false, layer_norm: false }
+    }
+}
+
+/// A segmentation DONN: `pre` layers → (skip merge) → `post` layers →
+/// whole-plane intensity readout.
+#[derive(Debug, Clone)]
+pub struct SegmentationDonn {
+    pre: Vec<DiffractiveLayer>,
+    post: Vec<DiffractiveLayer>,
+    /// Free-space path of the skip branch (matched to the pre-stack length).
+    skip_propagator: FreeSpace,
+    final_propagator: FreeSpace,
+    options: SegmentationOptions,
+    grid: Grid,
+}
+
+struct SegTrace {
+    pre_caches: Vec<DiffractiveCache>,
+    post_caches: Vec<DiffractiveCache>,
+    detector_field: Field,
+    intensity: Vec<f64>,
+    /// LayerNorm internals (mean, inv_std, normalized values) when enabled.
+    ln: Option<(f64, f64, Vec<f64>)>,
+    prediction: Vec<f64>,
+}
+
+impl SegmentationDonn {
+    /// Builds a `depth`-layer segmentation DONN; the skip connection taps
+    /// after `depth/2` layers (rounded down, at least 1 when enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(
+        grid: Grid,
+        wavelength: Wavelength,
+        distance: Distance,
+        approximation: Approximation,
+        depth: usize,
+        options: SegmentationOptions,
+        init_seed: u64,
+    ) -> Self {
+        assert!(depth > 0, "segmentation DONN needs at least one layer");
+        let split = if options.skip_connection { (depth / 2).max(1).min(depth) } else { depth };
+        let make = |i: usize| {
+            let mut l = DiffractiveLayer::new(grid, wavelength, distance, approximation, 1.0);
+            l.randomize_phases(init_seed.wrapping_add(i as u64 * 7919));
+            l
+        };
+        let pre: Vec<_> = (0..split).map(make).collect();
+        let post: Vec<_> = (split..depth).map(make).collect();
+        // The skip branch travels the same optical path length as the pre
+        // stack (split hops of `distance`).
+        let skip_propagator = FreeSpace::new(
+            grid,
+            wavelength,
+            Distance::from_meters(distance.meters() * split as f64),
+            approximation,
+        );
+        let final_propagator = FreeSpace::new(grid, wavelength, distance, approximation);
+        SegmentationDonn { pre, post, skip_propagator, final_propagator, options, grid }
+    }
+
+    /// The architecture switches in effect.
+    pub fn options(&self) -> SegmentationOptions {
+        self.options
+    }
+
+    /// Total depth (pre + post layers).
+    pub fn depth(&self) -> usize {
+        self.pre.len() + self.post.len()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        (self.pre.len() + self.post.len()) * self.grid.rows() * self.grid.cols()
+    }
+
+    fn forward(&self, input: &Field) -> SegTrace {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        // Beam splitter: both branches get the field scaled by 1/√2 (when
+        // the skip path is enabled).
+        let (mut u, skip_in) = if self.options.skip_connection {
+            (input.scaled(inv_sqrt2), Some(input.scaled(inv_sqrt2)))
+        } else {
+            (input.clone(), None)
+        };
+        let mut pre_caches = Vec::with_capacity(self.pre.len());
+        for layer in &self.pre {
+            let (out, cache) = layer.forward(&u);
+            u = out;
+            pre_caches.push(cache);
+        }
+        if let Some(mut skip) = skip_in {
+            self.skip_propagator.propagate(&mut skip);
+            // Recombining splitter: (main + skip)/√2.
+            u = (&u + &skip).scaled(inv_sqrt2);
+        }
+        let mut post_caches = Vec::with_capacity(self.post.len());
+        for layer in &self.post {
+            let (out, cache) = layer.forward(&u);
+            u = out;
+            post_caches.push(cache);
+        }
+        self.final_propagator.propagate(&mut u);
+        let intensity = PlaneReadout.read(&u);
+        let (ln, prediction) = if self.options.layer_norm {
+            let (mean, inv_std, z) = layer_norm(&intensity);
+            let p: Vec<f64> = z.iter().map(|&v| sigmoid(v)).collect();
+            (Some((mean, inv_std, z)), p)
+        } else {
+            (None, intensity.clone())
+        };
+        SegTrace { pre_caches, post_caches, detector_field: u, intensity, ln, prediction }
+    }
+
+    /// Predicted binary mask for an input image, thresholded at the mean
+    /// detector intensity (a threshold an analog comparator could realize).
+    pub fn predict_mask(&self, image: &[f64]) -> Vec<f64> {
+        let (rows, cols) = self.grid.shape();
+        let input = Field::from_amplitudes(rows, cols, image);
+        let trace = self.forward(&input);
+        let mean = trace.intensity.iter().sum::<f64>() / trace.intensity.len() as f64;
+        trace.intensity.iter().map(|&i| f64::from(i >= mean)).collect()
+    }
+
+    /// Mean IoU over a dataset.
+    pub fn evaluate_iou(&self, data: &[MaskedImage]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = parallel::par_map(data.len(), |i| {
+            let (img, mask) = &data[i];
+            lr_nn::metrics::binary_iou(&self.predict_mask(img), mask)
+        })
+        .into_iter()
+        .sum();
+        sum / data.len() as f64
+    }
+
+    /// Trains with per-pixel MSE (through LayerNorm + sigmoid when enabled);
+    /// returns mean loss per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or image/mask sizes mismatch the grid.
+    pub fn train(
+        &mut self,
+        data: &[MaskedImage],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        assert!(!data.is_empty(), "training set must be non-empty");
+        let (rows, cols) = self.grid.shape();
+        for (img, mask) in data {
+            assert_eq!(img.len(), rows * cols, "image size mismatch");
+            assert_eq!(mask.len(), rows * cols, "mask size mismatch");
+        }
+        let mut opt = Adam::new(lr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        let n_layers = self.depth();
+
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(batch_size) {
+                let workers = parallel::threads().min(batch.len()).max(1);
+                let shard = batch.len().div_ceil(workers);
+                let results = parallel::par_map(workers, |w| {
+                    let mut grads: Vec<Vec<f64>> = vec![vec![0.0; rows * cols]; n_layers];
+                    let mut loss_sum = 0.0;
+                    for &idx in batch.iter().skip(w * shard).take(shard) {
+                        let (img, mask) = &data[idx];
+                        let input = Field::from_amplitudes(rows, cols, img);
+                        let trace = self.forward(&input);
+                        let (loss, g) = lr_nn::loss::mse(&trace.prediction, mask);
+                        loss_sum += loss;
+                        self.backward(&trace, &g, &mut grads);
+                    }
+                    (grads, loss_sum)
+                });
+                let mut total: Vec<Vec<f64>> = vec![vec![0.0; rows * cols]; n_layers];
+                for (grads, loss) in results {
+                    epoch_loss += loss;
+                    for (t, g) in total.iter_mut().zip(&grads) {
+                        for (a, &b) in t.iter_mut().zip(g) {
+                            *a += b;
+                        }
+                    }
+                }
+                let scale = 1.0 / batch.len() as f64;
+                let split = self.pre.len();
+                for (i, layer) in self.pre.iter_mut().chain(self.post.iter_mut()).enumerate() {
+                    let g: Vec<f64> = total[i].iter().map(|v| v * scale).collect();
+                    opt.step(i, layer.phases_mut(), &g);
+                }
+                debug_assert!(split <= n_layers);
+            }
+            history.push(epoch_loss / data.len() as f64);
+        }
+        history
+    }
+
+    /// Backward pass from prediction gradients, accumulating per-layer phase
+    /// gradients (`pre` layers first, then `post`).
+    fn backward(&self, trace: &SegTrace, pred_grads: &[f64], grads: &mut [Vec<f64>]) {
+        // Head: sigmoid + LayerNorm (if enabled) down to intensity grads.
+        let intensity_grads: Vec<f64> = if let Some((_, inv_std, z)) = &trace.ln {
+            // dL/dz_i = dL/dp_i · p_i(1−p_i)
+            let dz: Vec<f64> = pred_grads
+                .iter()
+                .zip(&trace.prediction)
+                .map(|(&g, &p)| g * p * (1.0 - p))
+                .collect();
+            layer_norm_backward(&dz, z, *inv_std)
+        } else {
+            pred_grads.to_vec()
+        };
+        let mut g = PlaneReadout.backward(&trace.detector_field, &intensity_grads);
+        self.final_propagator.adjoint(&mut g);
+        let split = self.pre.len();
+        for (i, layer) in self.post.iter().enumerate().rev() {
+            g = layer.backward(&g, &trace.post_caches[i], &mut grads[split + i]);
+        }
+        if self.options.skip_connection {
+            // Recombiner adjoint: both branches receive g/√2; the skip branch
+            // ends at the (non-trainable) input, so only the main branch
+            // continues.
+            g.scale_inplace(std::f64::consts::FRAC_1_SQRT_2);
+        }
+        for (i, layer) in self.pre.iter().enumerate().rev() {
+            g = layer.backward(&g, &trace.pre_caches[i], &mut grads[i]);
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Normalizes to zero mean / unit variance; returns `(mean, inv_std, z)`.
+fn layer_norm(x: &[f64]) -> (f64, f64, Vec<f64>) {
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n;
+    let inv_std = 1.0 / (var + 1e-12).sqrt();
+    let z = x.iter().map(|&v| (v - mean) * inv_std).collect();
+    (mean, inv_std, z)
+}
+
+/// Standard LayerNorm backward:
+/// `dL/dx_i = inv_std·(g_i − mean(g) − z_i·mean(g⊙z))`.
+fn layer_norm_backward(g: &[f64], z: &[f64], inv_std: f64) -> Vec<f64> {
+    let n = g.len() as f64;
+    let mean_g = g.iter().sum::<f64>() / n;
+    let mean_gz = g.iter().zip(z).map(|(&gi, &zi)| gi * zi).sum::<f64>() / n;
+    g.iter()
+        .zip(z)
+        .map(|(&gi, &zi)| inv_std * (gi - mean_g - zi * mean_gz))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_optics::PixelPitch;
+
+    fn toy_masks(n: usize, size: usize) -> Vec<MaskedImage> {
+        // "Buildings": bright rectangles whose mask is the rectangle itself.
+        (0..n)
+            .map(|i| {
+                let mut img = vec![0.05; size * size];
+                let mut mask = vec![0.0; size * size];
+                let w = size / 3;
+                let r0 = (i * 3) % (size - w);
+                let c0 = (i * 5) % (size - w);
+                for r in r0..r0 + w {
+                    for c in c0..c0 + w {
+                        img[r * size + c] = 1.0;
+                        mask[r * size + c] = 1.0;
+                    }
+                }
+                (img, mask)
+            })
+            .collect()
+    }
+
+    fn donn(options: SegmentationOptions) -> SegmentationDonn {
+        let grid = Grid::square(16, PixelPitch::from_um(36.0));
+        SegmentationDonn::new(
+            grid,
+            Wavelength::from_nm(532.0),
+            Distance::from_mm(5.0),
+            Approximation::RayleighSommerfeld,
+            3,
+            options,
+            13,
+        )
+    }
+
+    #[test]
+    fn architecture_splits_at_half_depth() {
+        let d = donn(SegmentationOptions::proposed());
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.pre.len(), 1);
+        assert_eq!(d.post.len(), 2);
+        let b = donn(SegmentationOptions::baseline());
+        assert_eq!(b.pre.len(), 3);
+        assert_eq!(b.post.len(), 0);
+    }
+
+    #[test]
+    fn layer_norm_statistics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let (mean, inv_std, z) = layer_norm(&x);
+        assert!((mean - 2.5).abs() < 1e-12);
+        let zm: f64 = z.iter().sum::<f64>() / 4.0;
+        let zv: f64 = z.iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!(zm.abs() < 1e-12);
+        assert!((zv - 1.0).abs() < 1e-9);
+        assert!(inv_std > 0.0);
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_difference() {
+        let x = [0.3, 1.7, -0.4, 2.2, 0.9];
+        let w = [0.2, -0.5, 1.0, 0.1, 0.7]; // loss = Σ w·LN(x)
+        let loss = |x: &[f64]| -> f64 {
+            let (_, _, z) = layer_norm(x);
+            z.iter().zip(&w).map(|(&zi, &wi)| zi * wi).sum()
+        };
+        let (_, inv_std, z) = layer_norm(&x);
+        let analytic = layer_norm_backward(&w, &z, inv_std);
+        let report = lr_nn::gradcheck::check_gradient(loss, &x, &analytic, 1e-6);
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut d = donn(SegmentationOptions::proposed());
+        let data = toy_masks(12, 16);
+        let losses = d.train(&data, 6, 6, 0.05, 1);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "segmentation loss must decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn predict_mask_is_binary_and_shaped() {
+        let d = donn(SegmentationOptions::proposed());
+        let (img, _) = &toy_masks(1, 16)[0];
+        let mask = d.predict_mask(img);
+        assert_eq!(mask.len(), 256);
+        assert!(mask.iter().all(|&m| m == 0.0 || m == 1.0));
+    }
+
+    #[test]
+    fn iou_improves_with_training() {
+        let data = toy_masks(12, 16);
+        let mut d = donn(SegmentationOptions::proposed());
+        let before = d.evaluate_iou(&data);
+        d.train(&data, 8, 6, 0.05, 2);
+        let after = d.evaluate_iou(&data);
+        assert!(after > before - 0.05, "IoU should not collapse: {before} -> {after}");
+        assert!(after > 0.2, "trained IoU too low: {after}");
+    }
+
+    #[test]
+    fn skip_connection_changes_forward() {
+        let with = donn(SegmentationOptions::proposed());
+        let without = donn(SegmentationOptions { skip_connection: false, layer_norm: true });
+        let (img, _) = &toy_masks(1, 16)[0];
+        let input = Field::from_amplitudes(16, 16, img);
+        let a = with.forward(&input).intensity;
+        let b = without.forward(&input).intensity;
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-9, "skip connection must alter the optical path");
+    }
+}

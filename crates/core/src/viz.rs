@@ -1,0 +1,197 @@
+//! Terminal visualization (`lr.layers.view()`).
+//!
+//! The paper's tooling renders trained phase masks and detector patterns;
+//! here we render them as ASCII heatmaps so examples and experiment
+//! binaries can show what the optics are doing without a plotting stack.
+
+use lr_tensor::Field;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Renders a row-major scalar image as an ASCII heatmap, linearly mapping
+/// `[min, max]` onto ten brightness glyphs. `max_width` columns are kept
+/// (the image is subsampled if wider).
+///
+/// # Panics
+///
+/// Panics if `values.len() != rows * cols` or the image is empty.
+pub fn ascii_heatmap(values: &[f64], rows: usize, cols: usize, max_width: usize) -> String {
+    assert_eq!(values.len(), rows * cols, "heatmap buffer length mismatch");
+    assert!(rows > 0 && cols > 0 && max_width > 0, "empty heatmap");
+    let step = cols.div_ceil(max_width).max(1);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-30);
+    let mut out = String::with_capacity((cols / step + 1) * (rows / step));
+    for r in (0..rows).step_by(step) {
+        for c in (0..cols).step_by(step) {
+            let v = (values[r * cols + c] - lo) / span;
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the intensity pattern `|U|²` of a field.
+pub fn view_intensity(field: &Field, max_width: usize) -> String {
+    let (r, c) = field.shape();
+    ascii_heatmap(&field.intensity(), r, c, max_width)
+}
+
+/// Renders a phase mask (radians, any range; wrapped to `[0, 2π)`).
+pub fn view_phase(phases: &[f64], rows: usize, cols: usize, max_width: usize) -> String {
+    let wrapped: Vec<f64> = phases.iter().map(|p| p.rem_euclid(std::f64::consts::TAU)).collect();
+    ascii_heatmap(&wrapped, rows, cols, max_width)
+}
+
+/// Renders a labelled bar chart of class logits (detector readings).
+pub fn view_logits(logits: &[f64], labels: Option<&[&str]>) -> String {
+    use std::fmt::Write;
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(1e-30);
+    let mut out = String::new();
+    for (i, &v) in logits.iter().enumerate() {
+        let bar_len = ((v / max).max(0.0) * 40.0).round() as usize;
+        let label = labels
+            .and_then(|l| l.get(i).copied())
+            .map(String::from)
+            .unwrap_or_else(|| format!("class {i}"));
+        let _ = writeln!(out, "{label:>10} | {} {v:.4}", "█".repeat(bar_len));
+    }
+    out
+}
+
+/// Side-by-side rendering of two heatmaps (e.g. simulation vs experiment in
+/// Fig. 6).
+///
+/// # Panics
+///
+/// Panics if the images have different shapes.
+pub fn side_by_side(
+    left: &[f64],
+    right: &[f64],
+    rows: usize,
+    cols: usize,
+    max_width: usize,
+    titles: (&str, &str),
+) -> String {
+    assert_eq!(left.len(), right.len(), "images must have the same shape");
+    let l = ascii_heatmap(left, rows, cols, max_width);
+    let r = ascii_heatmap(right, rows, cols, max_width);
+    let l_lines: Vec<&str> = l.lines().collect();
+    let r_lines: Vec<&str> = r.lines().collect();
+    let width = l_lines.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = format!("{:<width$}   {}\n", titles.0, titles.1, width = width);
+    for (a, b) in l_lines.iter().zip(&r_lines) {
+        out.push_str(&format!("{a:<width$}   {b}\n", width = width));
+    }
+    out
+}
+
+/// Writes a row-major scalar image as a binary PGM (P5) file, linearly
+/// mapped to 8-bit — the artifact format for trained masks and detector
+/// patterns in the docs.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+///
+/// # Panics
+///
+/// Panics if `values.len() != rows * cols`.
+pub fn save_pgm(
+    path: impl AsRef<std::path::Path>,
+    values: &[f64],
+    rows: usize,
+    cols: usize,
+) -> std::io::Result<()> {
+    assert_eq!(values.len(), rows * cols, "image buffer length mismatch");
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-30);
+    let mut bytes = format!("P5\n{cols} {rows}\n255\n").into_bytes();
+    bytes.extend(values.iter().map(|&v| (((v - lo) / span) * 255.0).round() as u8));
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_tensor::Complex64;
+
+    #[test]
+    fn heatmap_shape_and_shading() {
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let s = ascii_heatmap(&vals, 4, 4, 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Smallest value maps to space, largest to '@'.
+        assert_eq!(s.as_bytes()[0], b' ');
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn heatmap_subsamples_wide_images() {
+        let vals = vec![1.0; 100 * 100];
+        let s = ascii_heatmap(&vals, 100, 100, 25);
+        let first = s.lines().next().unwrap();
+        assert!(first.len() <= 25);
+    }
+
+    #[test]
+    fn heatmap_constant_image_does_not_panic() {
+        let s = ascii_heatmap(&[3.0; 9], 3, 3, 3);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn view_intensity_runs() {
+        let f = Field::from_fn(8, 8, |r, c| Complex64::new((r * c) as f64, 0.0));
+        let s = view_intensity(&f, 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn view_phase_wraps() {
+        // -π/2 and 3π/2 are the same phase: identical glyphs.
+        let a = view_phase(&[-std::f64::consts::FRAC_PI_2, 0.0], 1, 2, 2);
+        let b = view_phase(&[3.0 * std::f64::consts::FRAC_PI_2, 0.0], 1, 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logits_bars_scale() {
+        let s = view_logits(&[1.0, 0.5, 0.0], None);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let count = |l: &str| l.matches('█').count();
+        assert!(count(lines[0]) > count(lines[1]));
+        assert_eq!(count(lines[2]), 0);
+    }
+
+    #[test]
+    fn side_by_side_aligns() {
+        let img = vec![0.0, 1.0, 2.0, 3.0];
+        let s = side_by_side(&img, &img, 2, 2, 2, ("sim", "exp"));
+        assert!(s.starts_with("sim"));
+        assert!(s.contains("exp"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn pgm_roundtrip_header_and_payload() {
+        let dir = std::env::temp_dir().join("lr_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mask.pgm");
+        save_pgm(&path, &[0.0, 0.5, 1.0, 0.25], 2, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        let pixels = &bytes[bytes.len() - 4..];
+        assert_eq!(pixels[0], 0);
+        assert_eq!(pixels[2], 255);
+        assert!(pixels[1] > pixels[3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! Procedural urban-scene segmentation substitute for CityScapes
+//! (paper §5.6.2, Fig. 13).
+//!
+//! The paper's segmentation case study reduces CityScapes to gray-scale
+//! images with *binary* building-vs-rest masks. This generator synthesizes
+//! the same task: a textured "street" background with bright rectangular
+//! building blocks (plus distractor objects that must NOT be segmented),
+//! and the ground-truth mask marking the buildings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An image/mask pair, both row-major and the same size.
+pub type MaskedImage = (Vec<f64>, Vec<f64>);
+
+/// Configuration for the urban-scene generator.
+#[derive(Debug, Clone)]
+pub struct CityscapeConfig {
+    /// Output side length.
+    pub size: usize,
+    /// Number of building blocks per image.
+    pub buildings: usize,
+    /// Number of small bright distractors (not part of the mask).
+    pub distractors: usize,
+    /// Background texture amplitude.
+    pub texture: f64,
+}
+
+impl Default for CityscapeConfig {
+    fn default() -> Self {
+        CityscapeConfig { size: 64, buildings: 3, distractors: 2, texture: 0.15 }
+    }
+}
+
+/// Renders one scene with its binary building mask.
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+pub fn render_scene(config: &CityscapeConfig, rng: &mut StdRng) -> MaskedImage {
+    assert!(config.size > 0, "image size must be nonzero");
+    let n = config.size;
+    let mut img = vec![0.0; n * n];
+    let mut mask = vec![0.0; n * n];
+
+    // Street background: soft horizontal texture.
+    for r in 0..n {
+        for c in 0..n {
+            let t = 0.2 + config.texture * ((r as f64 * 0.7).sin() * 0.5 + 0.5);
+            img[r * n + c] = t + rng.gen::<f64>() * 0.05;
+        }
+    }
+
+    // Buildings: tall bright rectangles rising from a skyline row.
+    let skyline = n * 3 / 4;
+    for _ in 0..config.buildings {
+        let w = rng.gen_range(n / 8..n / 3);
+        let h = rng.gen_range(n / 3..skyline);
+        let c0 = rng.gen_range(0..n.saturating_sub(w).max(1));
+        let r0 = skyline.saturating_sub(h);
+        let brightness = rng.gen_range(0.75..1.0);
+        for r in r0..skyline {
+            for c in c0..(c0 + w).min(n) {
+                img[r * n + c] = brightness + rng.gen::<f64>() * 0.05;
+                mask[r * n + c] = 1.0;
+            }
+        }
+    }
+
+    // Distractors: small bright blobs (cars/lights) below the skyline that
+    // the model must learn to exclude.
+    for _ in 0..config.distractors {
+        let cr = rng.gen_range(skyline..n.max(skyline + 1)).min(n - 1);
+        let cc = rng.gen_range(2..n - 2);
+        for dr in 0..2usize {
+            for dc in 0..3usize {
+                let r = (cr + dr).min(n - 1);
+                let c = (cc + dc).min(n - 1);
+                img[r * n + c] = 0.9;
+            }
+        }
+    }
+
+    for v in &mut img {
+        *v = v.clamp(0.0, 1.0);
+    }
+    (img, mask)
+}
+
+/// Generates `n` scene/mask pairs.
+pub fn generate(n: usize, config: &CityscapeConfig, seed: u64) -> Vec<MaskedImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| render_scene(config, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_mark_bright_buildings() {
+        let config = CityscapeConfig::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (img, mask) = render_scene(&config, &mut rng);
+        let building_px: Vec<f64> = img
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m == 1.0)
+            .map(|(&i, _)| i)
+            .collect();
+        let bg_px: Vec<f64> = img
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m == 0.0)
+            .map(|(&i, _)| i)
+            .collect();
+        assert!(!building_px.is_empty(), "mask must be non-trivial");
+        let mean_b = building_px.iter().sum::<f64>() / building_px.len() as f64;
+        let mean_bg = bg_px.iter().sum::<f64>() / bg_px.len() as f64;
+        assert!(mean_b > mean_bg + 0.2, "buildings should be brighter: {mean_b} vs {mean_bg}");
+    }
+
+    #[test]
+    fn mask_is_binary_and_bounded_fraction() {
+        let config = CityscapeConfig::default();
+        let data = generate(8, &config, 1);
+        for (_, mask) in &data {
+            assert!(mask.iter().all(|&m| m == 0.0 || m == 1.0));
+            let frac = mask.iter().sum::<f64>() / mask.len() as f64;
+            assert!(frac > 0.02 && frac < 0.75, "building fraction {frac} implausible");
+        }
+    }
+
+    #[test]
+    fn distractors_are_not_in_mask() {
+        // With zero buildings, the mask must be empty even though
+        // distractors brighten the image.
+        let config = CityscapeConfig { buildings: 0, distractors: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (img, mask) = render_scene(&config, &mut rng);
+        assert!(mask.iter().all(|&m| m == 0.0));
+        assert!(img.iter().cloned().fold(0.0, f64::max) > 0.8, "distractors must be bright");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = CityscapeConfig::default();
+        assert_eq!(generate(4, &config, 5), generate(4, &config, 5));
+        assert_ne!(generate(4, &config, 5), generate(4, &config, 6));
+    }
+}

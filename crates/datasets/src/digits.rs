@@ -1,0 +1,179 @@
+//! Procedural handwritten-digit substitute for MNIST-10.
+//!
+//! We have no offline MNIST archive, so this generator renders the ten
+//! digit glyphs from a 7×5 bitmap font with randomized position, scale,
+//! stroke jitter, and pixel noise. The resulting task has the same
+//! structure the DONN experiments need: 10 classes, sparse bright-on-dark
+//! intensity images, learnable by phase-only diffractive stacks. The
+//! substitution is recorded in DESIGN.md.
+
+use crate::LabeledImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 7×5 bitmap font for digits 0–9 (row-major, 1 = stroke).
+const GLYPHS: [[u8; 35]; 10] = [
+    // 0
+    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,1,1, 1,0,1,0,1, 1,1,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    // 1
+    [0,0,1,0,0, 0,1,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,1,1,1,0],
+    // 2
+    [0,1,1,1,0, 1,0,0,0,1, 0,0,0,0,1, 0,0,0,1,0, 0,0,1,0,0, 0,1,0,0,0, 1,1,1,1,1],
+    // 3
+    [1,1,1,1,1, 0,0,0,1,0, 0,0,1,0,0, 0,0,0,1,0, 0,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    // 4
+    [0,0,0,1,0, 0,0,1,1,0, 0,1,0,1,0, 1,0,0,1,0, 1,1,1,1,1, 0,0,0,1,0, 0,0,0,1,0],
+    // 5
+    [1,1,1,1,1, 1,0,0,0,0, 1,1,1,1,0, 0,0,0,0,1, 0,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    // 6
+    [0,0,1,1,0, 0,1,0,0,0, 1,0,0,0,0, 1,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    // 7
+    [1,1,1,1,1, 0,0,0,0,1, 0,0,0,1,0, 0,0,1,0,0, 0,1,0,0,0, 0,1,0,0,0, 0,1,0,0,0],
+    // 8
+    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    // 9
+    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,1, 0,0,0,0,1, 0,0,0,1,0, 0,1,1,0,0],
+];
+
+/// Configuration for the digit generator.
+#[derive(Debug, Clone)]
+pub struct DigitsConfig {
+    /// Output image side length (images are square).
+    pub size: usize,
+    /// Fraction of the image the glyph occupies (0.3–0.9 sensible).
+    pub glyph_scale: f64,
+    /// Maximum random translation as a fraction of the image size.
+    pub jitter: f64,
+    /// Additive uniform background noise amplitude.
+    pub noise: f64,
+    /// Binarize output at 0.5 (the paper's prototype uses binarized MNIST).
+    pub binarize: bool,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> Self {
+        DigitsConfig { size: 64, glyph_scale: 0.6, jitter: 0.08, noise: 0.05, binarize: true }
+    }
+}
+
+/// Renders one digit sample.
+///
+/// # Panics
+///
+/// Panics if `digit > 9` or the configured size is zero.
+pub fn render_digit(digit: usize, config: &DigitsConfig, rng: &mut StdRng) -> Vec<f64> {
+    assert!(digit < 10, "digit must be 0..=9");
+    assert!(config.size > 0, "image size must be nonzero");
+    let n = config.size;
+    let glyph = &GLYPHS[digit];
+    let scale = config.glyph_scale * (0.9 + 0.2 * rng.gen::<f64>());
+    let gh = (n as f64 * scale) as usize;
+    let gw = gh * 5 / 7;
+    let max_shift = (config.jitter * n as f64) as isize;
+    let dr = rng.gen_range(-max_shift..=max_shift);
+    let dc = rng.gen_range(-max_shift..=max_shift);
+    let r0 = (n as isize - gh as isize) / 2 + dr;
+    let c0 = (n as isize - gw as isize) / 2 + dc;
+
+    let mut img = vec![0.0; n * n];
+    for r in 0..gh {
+        for c in 0..gw {
+            let src_r = r * 7 / gh.max(1);
+            let src_c = c * 5 / gw.max(1);
+            if glyph[src_r.min(6) * 5 + src_c.min(4)] == 1 {
+                let rr = r0 + r as isize;
+                let cc = c0 + c as isize;
+                if rr >= 0 && cc >= 0 && (rr as usize) < n && (cc as usize) < n {
+                    // Stroke intensity jitter emulates handwriting pressure.
+                    img[rr as usize * n + cc as usize] = 0.8 + 0.2 * rng.gen::<f64>();
+                }
+            }
+        }
+    }
+    if config.noise > 0.0 {
+        for v in &mut img {
+            *v = (*v + rng.gen::<f64>() * config.noise).min(1.0);
+        }
+    }
+    if config.binarize {
+        for v in &mut img {
+            *v = f64::from(*v >= 0.5);
+        }
+    }
+    img
+}
+
+/// Generates a balanced labeled dataset of `n` digit images.
+pub fn generate(n: usize, config: &DigitsConfig, seed: u64) -> Vec<LabeledImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let digit = i % 10;
+            (render_digit(digit, config, &mut rng), digit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_digits_nonempty_and_distinct() {
+        let config = DigitsConfig { noise: 0.0, jitter: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let imgs: Vec<Vec<f64>> = (0..10).map(|d| render_digit(d, &config, &mut rng)).collect();
+        for (d, img) in imgs.iter().enumerate() {
+            let on = img.iter().filter(|&&v| v > 0.5).count();
+            assert!(on > 20, "digit {d} glyph too sparse ({on} px)");
+            assert!(on < img.len() / 2, "digit {d} glyph too dense");
+        }
+        // Pairwise distinctness: at least 10% differing pixels.
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let diff = imgs[a]
+                    .iter()
+                    .zip(&imgs[b])
+                    .filter(|(x, y)| (*x > &0.5) != (*y > &0.5))
+                    .count();
+                assert!(diff > imgs[a].len() / 50, "digits {a} and {b} too similar");
+            }
+        }
+    }
+
+    #[test]
+    fn binarized_output_is_binary() {
+        let config = DigitsConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = render_digit(3, &config, &mut rng);
+        assert!(img.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn generate_is_balanced_and_deterministic() {
+        let config = DigitsConfig::default();
+        let a = generate(50, &config, 9);
+        let b = generate(50, &config, 9);
+        assert_eq!(a.len(), 50);
+        for d in 0..10 {
+            assert_eq!(a.iter().filter(|(_, l)| *l == d).count(), 5);
+        }
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y), "same seed must reproduce");
+        let c = generate(50, &config, 10);
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y), "different seeds must differ");
+    }
+
+    #[test]
+    fn images_have_requested_size() {
+        let config = DigitsConfig { size: 48, ..Default::default() };
+        let data = generate(3, &config, 0);
+        assert!(data.iter().all(|(img, _)| img.len() == 48 * 48));
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=9")]
+    fn rejects_out_of_range_digit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = render_digit(10, &DigitsConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,180 @@
+//! Procedural cursive-glyph substitute for Kuzushiji-MNIST.
+//!
+//! KMNIST (Clanuwat et al. 2018) contains cursive Japanese characters: the
+//! strokes are curved, connected, and less axis-aligned than Latin digits.
+//! This generator renders ten cursive-style glyphs — hooks, sweeps, and
+//! loop fragments on a 7×5 grid — with the same randomized placement,
+//! scale, stroke-pressure, and noise pipeline as [`crate::digits`]. Paper
+//! §4 claims the DSE analytical model trained on MNIST transfers to
+//! "MNIST-like datasets such as FashionMNIST, Kuzushiji-MNIST,
+//! Extension-MNIST-Letters"; this dataset (and [`crate::letters`]) lets the
+//! `dse-transfer` experiment test that claim.
+
+use crate::LabeledImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 7×5 bitmap font of ten cursive-style glyphs (row-major, 1 = stroke).
+/// Deliberately curvier / more diagonal than the digit font: hooks,
+/// sweeping tails, and crossing strokes.
+const GLYPHS: [[u8; 35]; 10] = [
+    // su-like: horizontal bar with descending hook
+    [1,1,1,1,1, 0,0,1,0,0, 0,1,1,1,0, 0,1,0,1,0, 0,0,1,1,0, 0,0,0,1,0, 0,1,1,0,0],
+    // tsu-like: shallow arc opening downward
+    [0,0,0,0,0, 1,1,0,0,0, 0,0,1,1,0, 0,0,0,0,1, 0,0,0,0,1, 0,0,0,1,0, 0,1,1,0,0],
+    // ha-like: vertical with right sweeping branch
+    [0,1,0,0,0, 0,1,0,1,0, 0,1,1,0,1, 1,1,0,0,1, 0,1,0,0,1, 0,1,0,1,0, 0,1,0,0,0],
+    // na-like: cross with sweeping lower tail
+    [0,0,1,0,0, 1,1,1,1,1, 0,0,1,0,0, 0,1,0,1,0, 0,1,0,0,1, 1,0,0,0,1, 0,0,0,1,0],
+    // re-like: vertical with rightward flick
+    [0,1,0,0,0, 0,1,0,0,0, 0,1,1,0,0, 1,1,0,1,0, 0,1,0,0,1, 0,1,0,0,1, 0,1,0,1,0],
+    // ya-like: diagonal sweep with crossing stroke
+    [0,0,0,1,0, 1,0,1,1,0, 0,1,1,0,1, 0,0,1,0,1, 0,1,0,1,0, 0,1,0,0,0, 1,0,0,0,0],
+    // ma-like: double horizontal with center loop tail
+    [1,1,1,1,1, 0,0,1,0,0, 1,1,1,1,1, 0,0,1,0,0, 0,1,1,1,0, 0,1,0,1,0, 0,0,1,1,0],
+    // ki-like: two bars with diagonal crossing
+    [0,1,0,0,0, 1,1,1,1,0, 0,1,0,0,0, 1,1,1,1,0, 0,1,1,0,0, 0,0,0,1,0, 0,0,1,1,0],
+    // o-like: loop with diagonal entry
+    [0,0,1,0,0, 0,0,1,0,0, 1,1,1,1,0, 0,0,1,0,1, 0,1,1,1,1, 1,0,1,0,1, 0,1,1,1,0],
+    // n-like: single sweeping S-curve
+    [0,0,1,0,0, 0,1,0,0,0, 0,1,0,0,0, 1,0,1,0,0, 1,0,0,1,0, 1,0,0,0,1, 0,0,0,0,1],
+];
+
+/// Configuration for the cursive-glyph generator.
+#[derive(Debug, Clone)]
+pub struct KuzushijiConfig {
+    /// Output image side length (images are square).
+    pub size: usize,
+    /// Fraction of the image the glyph occupies.
+    pub glyph_scale: f64,
+    /// Maximum random translation as a fraction of the image size.
+    pub jitter: f64,
+    /// Additive uniform background noise amplitude.
+    pub noise: f64,
+    /// Binarize output at 0.5.
+    pub binarize: bool,
+}
+
+impl Default for KuzushijiConfig {
+    fn default() -> Self {
+        KuzushijiConfig { size: 64, glyph_scale: 0.6, jitter: 0.08, noise: 0.05, binarize: true }
+    }
+}
+
+/// Renders one cursive-glyph sample.
+///
+/// # Panics
+///
+/// Panics if `class > 9` or the configured size is zero.
+pub fn render_glyph(class: usize, config: &KuzushijiConfig, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 10, "class must be 0..=9");
+    assert!(config.size > 0, "image size must be nonzero");
+    let n = config.size;
+    let glyph = &GLYPHS[class];
+    let scale = config.glyph_scale * (0.9 + 0.2 * rng.gen::<f64>());
+    let gh = (n as f64 * scale) as usize;
+    let gw = gh * 5 / 7;
+    let max_shift = (config.jitter * n as f64) as isize;
+    let dr = rng.gen_range(-max_shift..=max_shift);
+    let dc = rng.gen_range(-max_shift..=max_shift);
+    let r0 = (n as isize - gh as isize) / 2 + dr;
+    let c0 = (n as isize - gw as isize) / 2 + dc;
+
+    let mut img = vec![0.0; n * n];
+    for r in 0..gh {
+        for c in 0..gw {
+            let src_r = r * 7 / gh.max(1);
+            let src_c = c * 5 / gw.max(1);
+            if glyph[src_r.min(6) * 5 + src_c.min(4)] == 1 {
+                let rr = r0 + r as isize;
+                let cc = c0 + c as isize;
+                if rr >= 0 && cc >= 0 && (rr as usize) < n && (cc as usize) < n {
+                    img[rr as usize * n + cc as usize] = 0.8 + 0.2 * rng.gen::<f64>();
+                }
+            }
+        }
+    }
+    if config.noise > 0.0 {
+        for v in &mut img {
+            *v = (*v + rng.gen::<f64>() * config.noise).min(1.0);
+        }
+    }
+    if config.binarize {
+        for v in &mut img {
+            *v = f64::from(*v >= 0.5);
+        }
+    }
+    img
+}
+
+/// Generates a balanced labeled dataset of `n` cursive-glyph images.
+pub fn generate(n: usize, config: &KuzushijiConfig, seed: u64) -> Vec<LabeledImage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let class = i % 10;
+            (render_glyph(class, config, &mut rng), class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_labels_in_range() {
+        let config = KuzushijiConfig { size: 24, ..Default::default() };
+        let data = generate(50, &config, 3);
+        assert_eq!(data.len(), 50);
+        for class in 0..10 {
+            assert_eq!(data.iter().filter(|(_, l)| *l == class).count(), 5);
+        }
+        for (img, _) in &data {
+            assert_eq!(img.len(), 24 * 24);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = KuzushijiConfig { size: 16, ..Default::default() };
+        assert_eq!(generate(20, &config, 7), generate(20, &config, 7));
+        assert_ne!(generate(20, &config, 7), generate(20, &config, 8));
+    }
+
+    #[test]
+    fn glyphs_are_mutually_distinct() {
+        // Raw bitmaps must differ pairwise in at least 6 cells — otherwise
+        // the classes are too confusable to be a meaningful task.
+        for a in 0..10 {
+            for b in a + 1..10 {
+                let diff = GLYPHS[a]
+                    .iter()
+                    .zip(&GLYPHS[b])
+                    .filter(|(x, y)| x != y)
+                    .count();
+                assert!(diff >= 6, "glyphs {a} and {b} differ in only {diff} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_free_binarized_glyph_is_sparse() {
+        let config =
+            KuzushijiConfig { size: 32, noise: 0.0, jitter: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = render_glyph(0, &config, &mut rng);
+        let lit = img.iter().filter(|&&v| v > 0.5).count();
+        // Strokes are sparse: between 2% and 40% of pixels.
+        assert!(lit > img.len() / 50 && lit < img.len() * 2 / 5, "lit = {lit}");
+    }
+
+    #[test]
+    #[should_panic(expected = "class must be")]
+    fn rejects_out_of_range_class() {
+        let config = KuzushijiConfig::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = render_glyph(10, &config, &mut rng);
+    }
+}

@@ -1,0 +1,90 @@
+//! # lr-datasets
+//!
+//! Procedural dataset generators for LightRidge-RS experiments.
+//!
+//! No public image archives ship with this environment, so every dataset
+//! the paper evaluates on is replaced by a procedural generator with the
+//! same task structure (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`digits`] — MNIST-10 substitute: rendered digit glyphs.
+//! * [`fashion`] — FashionMNIST substitute: clothing silhouettes.
+//! * [`kuzushiji`] — Kuzushiji-MNIST substitute: cursive-style glyphs.
+//! * [`letters`] — EMNIST-Letters substitute: uppercase letter glyphs.
+//! * [`scenes`] — Places365 substitute: RGB environment archetypes.
+//! * [`cityscape`] — CityScapes substitute: urban scenes + building masks.
+//!
+//! All generators are deterministic per seed, so experiments reproduce.
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_datasets::digits::{self, DigitsConfig};
+//!
+//! let config = DigitsConfig { size: 32, ..Default::default() };
+//! let data = lr_datasets::split(digits::generate(100, &config, 7), 0.8);
+//! assert_eq!(data.train.len(), 80);
+//! assert_eq!(data.test.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cityscape;
+pub mod digits;
+pub mod fashion;
+pub mod kuzushiji;
+pub mod letters;
+pub mod scenes;
+
+/// An intensity image (row-major amplitudes in `[0, 1]`) with a class label.
+pub type LabeledImage = (Vec<f64>, usize);
+
+/// A train/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split<T> {
+    /// Training portion.
+    pub train: Vec<T>,
+    /// Held-out test portion.
+    pub test: Vec<T>,
+}
+
+/// Splits a dataset, putting the first `fraction` of samples in `train`.
+/// Generators interleave classes, so a prefix split stays balanced.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1)`.
+pub fn split<T>(mut data: Vec<T>, fraction: f64) -> Split<T> {
+    assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+    let cut = ((data.len() as f64) * fraction).round() as usize;
+    let test = data.split_off(cut.min(data.len()));
+    Split { train: data, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_order_and_counts() {
+        let data: Vec<usize> = (0..10).collect();
+        let s = split(data, 0.7);
+        assert_eq!(s.train, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.test, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn split_stays_class_balanced_for_interleaved_data() {
+        let config = digits::DigitsConfig { size: 16, ..Default::default() };
+        let s = split(digits::generate(100, &config, 0), 0.8);
+        for class in 0..10 {
+            let train_n = s.train.iter().filter(|(_, l)| *l == class).count();
+            assert_eq!(train_n, 8, "class {class} unbalanced in train");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn split_validates_fraction() {
+        let _ = split(vec![1, 2, 3], 1.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Gradient-boosted regression trees (the paper's "analytical model").
+//!
+//! LightRidge-DSE fits a gradient-boosting regression model (paper §4,
+//! citing scikit-learn's `GradientBoostingRegressor` with
+//! `n_estimators=3500, learning_rate=0.2, max_depth=3`) over DSE sample
+//! points `(λ, unit size, distance) → accuracy`, then uses the fitted
+//! model to predict the design space at a *new* wavelength. This is a
+//! from-scratch CART + boosting implementation with the same knobs.
+
+/// A binary regression tree fit by variance-reduction CART splitting.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in `nodes`.
+        left: usize,
+        /// Index of the right child in `nodes`.
+        right: usize,
+    },
+}
+
+/// Hyperparameters for a single tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 3, min_samples_split: 2 }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths mismatch, or feature vectors are
+    /// ragged.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: TreeConfig) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on no samples");
+        assert_eq!(x.len(), y.len(), "sample/target length mismatch");
+        let d = x[0].len();
+        assert!(x.iter().all(|row| row.len() == d), "ragged feature matrix");
+        let mut nodes = Vec::new();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        build(&mut nodes, x, y, &indices, 0, config);
+        RegressionTree { nodes }
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn build(
+    nodes: &mut Vec<Node>,
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    depth: usize,
+    config: TreeConfig,
+) -> usize {
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+    let my_index = nodes.len();
+    if depth >= config.max_depth || indices.len() < config.min_samples_split {
+        nodes.push(Node::Leaf { value: mean });
+        return my_index;
+    }
+    match best_split(x, y, indices) {
+        None => {
+            nodes.push(Node::Leaf { value: mean });
+            my_index
+        }
+        Some((feature, threshold)) => {
+            let (l_idx, r_idx): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| x[i][feature] <= threshold);
+            if l_idx.is_empty() || r_idx.is_empty() {
+                nodes.push(Node::Leaf { value: mean });
+                return my_index;
+            }
+            // Reserve the split node, then build both subtrees and record
+            // their actual indices.
+            nodes.push(Node::Leaf { value: mean }); // placeholder
+            let left = build(nodes, x, y, &l_idx, depth + 1, config);
+            let right = build(nodes, x, y, &r_idx, depth + 1, config);
+            nodes[my_index] = Node::Split { feature, threshold, left, right };
+            my_index
+        }
+    }
+}
+
+/// Finds the `(feature, threshold)` minimizing weighted child variance.
+fn best_split(x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Option<(usize, f64)> {
+    let n = indices.len();
+    if n < 2 {
+        return None;
+    }
+    let d = x[indices[0]].len();
+    let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+
+    for f in 0..d {
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(n - 1) {
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            // Can't split between identical feature values.
+            if x[i][f] == x[order[k + 1]][f] {
+                continue;
+            }
+            let nl = (k + 1) as f64;
+            let nr = (n - k - 1) as f64;
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            if best.is_none_or(|(_, _, b)| sse < b) {
+                let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+    best.and_then(|(f, t, sse)| if sse < parent_sse - 1e-15 { Some((f, t)) } else { None })
+}
+
+/// Gradient-boosted ensemble of regression trees (squared loss).
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+/// Boosting hyperparameters (defaults mirror the paper: 3500 estimators,
+/// learning rate 0.2, depth 3 — scaled down by callers in quick mode).
+#[derive(Debug, Clone, Copy)]
+pub struct BoostConfig {
+    /// Number of boosting stages.
+    pub n_estimators: usize,
+    /// Shrinkage applied to every stage.
+    pub learning_rate: f64,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+}
+
+impl Default for BoostConfig {
+    fn default() -> Self {
+        BoostConfig { n_estimators: 3500, learning_rate: 0.2, max_depth: 3 }
+    }
+}
+
+impl GradientBoostingRegressor {
+    /// Fits the ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/ragged inputs or non-positive hyperparameters.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: BoostConfig) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "sample/target length mismatch");
+        assert!(config.n_estimators > 0 && config.learning_rate > 0.0, "invalid boosting config");
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut residuals: Vec<f64> = y.iter().map(|&v| v - base).collect();
+        let tree_config = TreeConfig { max_depth: config.max_depth, min_samples_split: 2 };
+        let mut trees = Vec::with_capacity(config.n_estimators);
+        for _ in 0..config.n_estimators {
+            let tree = RegressionTree::fit(x, &residuals, tree_config);
+            for (r, xi) in residuals.iter_mut().zip(x) {
+                *r -= config.learning_rate * tree.predict(xi);
+            }
+            trees.push(tree);
+            // Early stop once residuals are numerically dead.
+            if residuals.iter().map(|r| r * r).sum::<f64>() < 1e-18 {
+                break;
+            }
+        }
+        GradientBoostingRegressor { base, learning_rate: config.learning_rate, trees }
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict(features)).sum::<f64>()
+    }
+
+    /// Number of fitted stages (may be fewer than requested after early
+    /// stopping).
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Training R²: `1 − SSE/SST` on the given data.
+    pub fn r_squared(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sst: f64 = y.iter().map(|&v| (v - mean).powi(2)).sum();
+        let sse: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, &yi)| (self.predict(xi) - yi).powi(2))
+            .sum();
+        if sst == 0.0 {
+            1.0
+        } else {
+            1.0 - sse / sst
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tree_fits_step_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, TreeConfig::default());
+        assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-12);
+        assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_depth_zero_predicts_mean() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = [3.0, 6.0, 9.0];
+        let tree = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 0, min_samples_split: 2 });
+        assert!((tree.predict(&[0.0]) - 6.0).abs() < 1e-12);
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn tree_splits_on_informative_feature() {
+        // Feature 0 is noise; feature 1 determines y.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![((i * 17) % 7) as f64, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 10.0).collect();
+        let tree = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 2, min_samples_split: 2 });
+        assert!((tree.predict(&[3.0, 0.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[3.0, 1.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boosting_fits_smooth_surface() {
+        // y = sin(x0) + 0.5·x1 on a grid.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                let a = i as f64 * 0.4;
+                let b = j as f64 * 0.3;
+                x.push(vec![a, b]);
+                y.push(a.sin() + 0.5 * b);
+            }
+        }
+        let model = GradientBoostingRegressor::fit(
+            &x,
+            &y,
+            BoostConfig { n_estimators: 200, learning_rate: 0.2, max_depth: 3 },
+        );
+        assert!(model.r_squared(&x, &y) > 0.99, "R² = {}", model.r_squared(&x, &y));
+        // Interpolation at an unseen point.
+        let pred = model.predict(&[2.2, 1.6]);
+        let truth = 2.2f64.sin() + 0.8;
+        assert!((pred - truth).abs() < 0.1, "pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn boosting_improves_over_single_tree() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.2]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0]).sin() * 3.0).collect();
+        let one = GradientBoostingRegressor::fit(
+            &x,
+            &y,
+            BoostConfig { n_estimators: 1, learning_rate: 1.0, max_depth: 2 },
+        );
+        let many = GradientBoostingRegressor::fit(
+            &x,
+            &y,
+            BoostConfig { n_estimators: 100, learning_rate: 0.2, max_depth: 2 },
+        );
+        assert!(many.r_squared(&x, &y) > one.r_squared(&x, &y));
+    }
+
+    #[test]
+    fn constant_target_early_stops() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.2; 10];
+        let model = GradientBoostingRegressor::fit(&x, &y, BoostConfig::default());
+        assert!(model.num_trees() < 3500, "constant fit must early-stop");
+        assert!((model.predict(&[5.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn rejects_empty_fit() {
+        let _ = RegressionTree::fit(&[], &[], TreeConfig::default());
+    }
+}

@@ -1,0 +1,40 @@
+//! # lr-dse
+//!
+//! LightRidge-DSE: the architectural design-space exploration engine of
+//! paper §4. A from-scratch gradient-boosted regression model (the `gbdt` module)
+//! is fitted on `(λ, unit size, distance) → accuracy` points swept at two
+//! source wavelengths, then *predicts* the design space at a new
+//! wavelength, replacing a full grid search with a couple of validation
+//! emulations (the paper reports ~60× fewer training runs).
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_dse::{AnalyticalDse, BoostConfig, DsePoint};
+//!
+//! // Fit the analytical model on (synthetic) explored points…
+//! let points: Vec<DsePoint> = (1..20)
+//!     .map(|i| DsePoint {
+//!         wavelength_m: 532e-9,
+//!         unit_size_m: i as f64 * 5e-6,
+//!         distance_m: 0.3,
+//!         accuracy: 1.0 / (1.0 + (i as f64 - 8.0).powi(2)),
+//!     })
+//!     .collect();
+//! let dse = AnalyticalDse::fit(&points, BoostConfig { n_estimators: 50, learning_rate: 0.2, max_depth: 3 });
+//! // …and query the predicted-best design.
+//! let units: Vec<f64> = (1..20).map(|i| i as f64 * 5e-6).collect();
+//! let best = dse.best_on_grid(532e-9, &units, &[0.3]);
+//! assert!((best.unit_size_m - 4e-5).abs() < 2e-5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod gbdt;
+
+pub use engine::{
+    evaluate_design, evaluate_design_on, sensitivity_analysis, sweep, AnalyticalDse, DsePoint,
+    DseTask, SensitivityRow,
+};
+pub use gbdt::{BoostConfig, GradientBoostingRegressor, RegressionTree, TreeConfig};

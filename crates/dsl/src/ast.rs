@@ -1,0 +1,145 @@
+//! Untyped syntax tree produced by the parser.
+//!
+//! The AST keeps source spans on every node so the semantic layer
+//! ([`crate::spec`]) can report errors at the exact position of the
+//! offending construct, and keeps the unit each quantity was written in so
+//! the formatter can echo the author's spelling.
+
+use crate::error::Span;
+use crate::token::Unit;
+
+/// A right-hand-side value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A bare number: `0.5`, `42`.
+    Number(f64),
+    /// A length: value converted to metres plus the unit it was written in.
+    Quantity(f64, Unit),
+    /// A bare name: `uniform`, `rayleigh_sommerfeld`, `lc2012`.
+    Ident(String),
+    /// A parameterized name: `gaussian(waist = 1.2 mm)`.
+    Call(String, Vec<Argument>),
+}
+
+impl Value {
+    /// A short description for error messages (`number`, `length`, ...).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "number",
+            Value::Quantity(..) => "length",
+            Value::Ident(_) => "name",
+            Value::Call(..) => "parameterized name",
+        }
+    }
+}
+
+/// A named argument inside a call: `waist = 1.2 mm`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Argument {
+    /// Argument name.
+    pub name: String,
+    /// Argument value.
+    pub value: Value,
+    /// Position of the argument name.
+    pub span: Span,
+}
+
+/// A `key = value;` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Key name.
+    pub key: String,
+    /// Assigned value.
+    pub value: Value,
+    /// Position of the key.
+    pub span: Span,
+}
+
+/// A layer statement inside the `layers` section:
+/// `diffractive x 5;` or `codesign x 3 { device = lc2012; }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEntry {
+    /// Layer kind name (`diffractive`, `codesign`, `nonlinearity`).
+    pub kind: String,
+    /// Repetition count (`x N`, default 1).
+    pub count: usize,
+    /// Options from the attached block, if any.
+    pub options: Vec<Assignment>,
+    /// Position of the kind name.
+    pub span: Span,
+}
+
+/// One `name { ... }` section of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (`laser`, `grid`, `propagation`, `layers`, `detector`,
+    /// `training`).
+    pub name: String,
+    /// `key = value;` statements in order.
+    pub assignments: Vec<Assignment>,
+    /// Layer statements in order (only meaningful in `layers`).
+    pub layers: Vec<LayerEntry>,
+    /// Position of the section name.
+    pub span: Span,
+}
+
+/// A whole `system <name> { ... }` program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The system's name.
+    pub name: String,
+    /// Sections in source order.
+    pub sections: Vec<Section>,
+    /// Position of the `system` keyword.
+    pub span: Span,
+}
+
+impl Program {
+    /// The first section with the given name, if present.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+impl Section {
+    /// The first assignment with the given key, if present.
+    pub fn assignment(&self, key: &str) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_helpers() {
+        let section = Section {
+            name: "grid".into(),
+            assignments: vec![Assignment {
+                key: "size".into(),
+                value: Value::Number(200.0),
+                span: Span::new(1, 1),
+            }],
+            layers: vec![],
+            span: Span::new(1, 1),
+        };
+        let program = Program {
+            name: "sys".into(),
+            sections: vec![section],
+            span: Span::new(1, 1),
+        };
+        assert!(program.section("grid").is_some());
+        assert!(program.section("laser").is_none());
+        assert!(program.section("grid").unwrap().assignment("size").is_some());
+        assert!(program.section("grid").unwrap().assignment("pixel").is_none());
+    }
+
+    #[test]
+    fn value_describe() {
+        assert_eq!(Value::Number(1.0).describe(), "number");
+        assert_eq!(Value::Quantity(1.0, Unit::Meter).describe(), "length");
+        assert_eq!(Value::Ident("uniform".into()).describe(), "name");
+        assert_eq!(Value::Call("gaussian".into(), vec![]).describe(), "parameterized name");
+    }
+}

@@ -1,0 +1,220 @@
+//! Compiler: validated [`SystemSpec`] → ready-to-train LightRidge objects.
+
+use crate::spec::{
+    ApproxSpec, DeviceSpec, LayerSpecEntry, ProfileSpec, SystemSpec,
+};
+use lightridge::train::TrainConfig;
+use lightridge::{Detector, DonnBuilder, DonnModel};
+use lr_hardware::SlmModel;
+use lr_optics::{
+    Approximation, BeamProfile, Distance, Grid, Laser, PixelPitch, Wavelength,
+};
+
+/// Everything a compiled DSL program yields: the emulation model, the laser
+/// it assumes, and the training configuration from the `training` section.
+#[derive(Debug, Clone)]
+pub struct CompiledSystem {
+    /// Ready-to-train DONN model.
+    pub model: DonnModel,
+    /// The configured laser source.
+    pub laser: Laser,
+    /// Training hyperparameters (`lr.train` settings).
+    pub train_config: TrainConfig,
+}
+
+impl ApproxSpec {
+    /// Maps to the optics-kernel enum.
+    pub fn to_optics(self) -> Approximation {
+        match self {
+            ApproxSpec::RayleighSommerfeld => Approximation::RayleighSommerfeld,
+            ApproxSpec::Fresnel => Approximation::Fresnel,
+            ApproxSpec::Fraunhofer => Approximation::Fraunhofer,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// Instantiates the hardware model this spec names.
+    pub fn to_device(self) -> SlmModel {
+        match self {
+            DeviceSpec::Lc2012 => SlmModel::lc2012(),
+            DeviceSpec::Ideal { levels } => SlmModel::ideal(levels),
+            DeviceSpec::Bits { bits } => SlmModel::uniform_bits(bits),
+        }
+    }
+}
+
+impl ProfileSpec {
+    /// Maps to the optics-kernel beam profile.
+    pub fn to_profile(self) -> BeamProfile {
+        match self {
+            ProfileSpec::Uniform => BeamProfile::Uniform,
+            ProfileSpec::Gaussian { waist } => BeamProfile::Gaussian { waist },
+            ProfileSpec::Bessel { radial_wavenumber, envelope } => {
+                BeamProfile::Bessel { radial_wavenumber, envelope }
+            }
+        }
+    }
+}
+
+/// Compiles a validated spec into a model, laser, and training config.
+///
+/// Validation in [`SystemSpec::from_program`] guarantees this cannot panic
+/// for any spec it produced.
+///
+/// # Examples
+///
+/// ```
+/// let compiled = lr_dsl::compile_str(
+///     "system demo {
+///          laser { wavelength = 532 nm; }
+///          grid { size = 32; pixel = 36 um; }
+///          propagation { distance = 20 mm; }
+///          layers { diffractive x 3; }
+///          detector { classes = 10; det_size = 2; }
+///      }",
+/// )?;
+/// assert_eq!(compiled.model.depth(), 3);
+/// assert_eq!(compiled.model.num_classes(), 10);
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+pub fn compile(spec: &SystemSpec) -> CompiledSystem {
+    let grid = Grid::square(spec.grid.size, PixelPitch::from_meters(spec.grid.pixel));
+    let wavelength = Wavelength::from_meters(spec.laser.wavelength);
+    let mut builder = DonnBuilder::new(grid, wavelength)
+        .distance(Distance::from_meters(spec.propagation.distance))
+        .approximation(spec.propagation.approx.to_optics())
+        .gamma(spec.training.gamma)
+        .init_seed(spec.training.seed);
+    for layer in &spec.layers {
+        builder = match layer {
+            LayerSpecEntry::Diffractive { count } => builder.diffractive_layers(*count),
+            LayerSpecEntry::Codesign { count, device, temperature } => {
+                builder.codesign_layers(*count, device.to_device(), *temperature)
+            }
+            LayerSpecEntry::Nonlinearity { alpha, saturation } => {
+                builder.nonlinearity(*alpha, *saturation)
+            }
+        };
+    }
+    let detector = Detector::grid_layout(
+        spec.grid.size,
+        spec.grid.size,
+        spec.detector.classes,
+        spec.detector.det_size,
+    );
+    let model = builder.detector(detector).build();
+    let laser = Laser::new(wavelength, spec.laser.profile.to_profile());
+    let train_config = TrainConfig {
+        epochs: spec.training.epochs,
+        batch_size: spec.training.batch_size,
+        learning_rate: spec.training.learning_rate,
+        initial_temperature: spec.training.initial_temperature,
+        final_temperature: spec.training.final_temperature,
+        seed: spec.training.seed,
+        verbose: false,
+    };
+    CompiledSystem { model, laser, train_config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+    use lightridge::Layer;
+
+    #[test]
+    fn compiles_mixed_stack_in_order() {
+        let spec = parse_spec(
+            "system s {
+                laser { wavelength = 532 nm; }
+                grid { size = 32; pixel = 36 um; }
+                propagation { distance = 20 mm; approx = fresnel; }
+                layers {
+                    diffractive x 2;
+                    nonlinearity { alpha = 0.4; saturation = 1.5; }
+                    codesign x 1 { device = ideal(levels = 8); }
+                }
+                detector { classes = 4; det_size = 3; }
+                training { gamma = 1.3; epochs = 2; batch_size = 4; learning_rate = 0.2; }
+            }",
+        )
+        .unwrap();
+        let compiled = compile(&spec);
+        let layers = compiled.model.layers();
+        assert_eq!(layers.len(), 4);
+        assert!(matches!(layers[0], Layer::Diffractive(_)));
+        assert!(matches!(layers[1], Layer::Diffractive(_)));
+        assert!(matches!(layers[2], Layer::Nonlinear(_)));
+        assert!(matches!(layers[3], Layer::Codesign(_)));
+        assert_eq!(compiled.model.num_classes(), 4);
+        assert_eq!(compiled.train_config.epochs, 2);
+        assert_eq!(compiled.train_config.learning_rate, 0.2);
+        assert_eq!(compiled.laser.wavelength().nanometers(), 532.0);
+    }
+
+    #[test]
+    fn depth_counts_only_modulating_layers() {
+        let spec = parse_spec(
+            "system s {
+                laser { wavelength = 532 nm; }
+                grid { size = 16; pixel = 36 um; }
+                layers { diffractive x 3; nonlinearity; }
+                detector { classes = 2; det_size = 2; }
+            }",
+        )
+        .unwrap();
+        let compiled = compile(&spec);
+        // `depth()` counts every optical element; the DSL's modulating-layer
+        // count excludes the parameter-free nonlinearity.
+        assert_eq!(compiled.model.depth(), 4);
+        assert_eq!(spec.num_modulating_layers(), 3);
+    }
+
+    #[test]
+    fn codesign_device_levels_respected() {
+        let spec = parse_spec(
+            "system s {
+                laser { wavelength = 532 nm; }
+                grid { size = 16; pixel = 36 um; }
+                layers { codesign { device = bits(n = 3); } }
+                detector { classes = 2; det_size = 2; }
+            }",
+        )
+        .unwrap();
+        let compiled = compile(&spec);
+        match &compiled.model.layers()[0] {
+            Layer::Codesign(l) => assert_eq!(l.device().num_levels(), 8),
+            other => panic!("expected codesign layer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_model_trains_end_to_end() {
+        let compiled = crate::compile_str(
+            "system tiny {
+                laser { wavelength = 532 nm; }
+                grid { size = 16; pixel = 36 um; }
+                propagation { distance = 5 mm; }
+                layers { diffractive x 2; }
+                detector { classes = 2; det_size = 3; }
+                training { epochs = 3; batch_size = 8; learning_rate = 0.2; gamma = 1.0; }
+            }",
+        )
+        .unwrap();
+        let mut model = compiled.model;
+        let mut data = Vec::new();
+        for i in 0..16 {
+            let label = i % 2;
+            let mut img = vec![0.0; 16 * 16];
+            for r in 0..8 {
+                for c in 4..12 {
+                    img[(r + label * 8) * 16 + c] = 1.0;
+                }
+            }
+            data.push((img, label));
+        }
+        lightridge::train::train(&mut model, &data, &compiled.train_config);
+        assert!(lightridge::train::evaluate(&model, &data) > 0.5);
+    }
+}

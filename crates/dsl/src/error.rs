@@ -1,0 +1,154 @@
+//! Spanned error type shared by the lexer, parser, and compiler.
+
+use std::fmt;
+
+/// A source position (1-based line and column), attached to every token and
+/// every error so mistakes in a `.donn` file are reported precisely.
+///
+/// # Examples
+///
+/// ```
+/// use lr_dsl::Span;
+/// let span = Span::new(3, 14);
+/// assert_eq!(span.to_string(), "line 3, column 14");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: usize, column: usize) -> Self {
+        Span { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// What went wrong while processing a DSL program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A character the lexer does not understand.
+    UnexpectedCharacter,
+    /// A malformed numeric literal.
+    BadNumber,
+    /// The parser met a token it did not expect.
+    UnexpectedToken,
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A section, key, or enum value the language does not define.
+    UnknownName,
+    /// The same key or section was given twice.
+    Duplicate,
+    /// A required key or section is missing.
+    Missing,
+    /// A value has the wrong type or unit (e.g. a bare number where a
+    /// length was required).
+    TypeMismatch,
+    /// A value is out of its physical or structural range.
+    InvalidValue,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::UnexpectedCharacter => "unexpected character",
+            ErrorKind::BadNumber => "malformed number",
+            ErrorKind::UnexpectedToken => "unexpected token",
+            ErrorKind::UnexpectedEof => "unexpected end of input",
+            ErrorKind::UnknownName => "unknown name",
+            ErrorKind::Duplicate => "duplicate definition",
+            ErrorKind::Missing => "missing definition",
+            ErrorKind::TypeMismatch => "type mismatch",
+            ErrorKind::InvalidValue => "invalid value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced while lexing, parsing, validating, or compiling a DSL
+/// program.
+///
+/// # Examples
+///
+/// ```
+/// use lr_dsl::parse;
+/// let err = parse("system bad {").unwrap_err();
+/// assert!(err.to_string().contains("line 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    kind: ErrorKind,
+    span: Span,
+    message: String,
+}
+
+impl DslError {
+    /// Creates an error of `kind` at `span` with a human-readable `message`.
+    pub fn new(kind: ErrorKind, span: Span, message: impl Into<String>) -> Self {
+        DslError { kind, span, message: message.into() }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// Where in the source the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The detailed message (without position prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.span, self.kind, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Convenience alias for DSL results.
+pub type Result<T> = std::result::Result<T, DslError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_kind_and_message() {
+        let e = DslError::new(ErrorKind::UnknownName, Span::new(2, 5), "no section 'lasr'");
+        let s = e.to_string();
+        assert!(s.contains("line 2, column 5"), "{s}");
+        assert!(s.contains("unknown name"), "{s}");
+        assert!(s.contains("lasr"), "{s}");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let e = DslError::new(ErrorKind::Missing, Span::new(1, 1), "m");
+        assert_eq!(*e.kind(), ErrorKind::Missing);
+        assert_eq!(e.span(), Span::new(1, 1));
+        assert_eq!(e.message(), "m");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        let e = DslError::new(ErrorKind::BadNumber, Span::new(1, 2), "x");
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,193 @@
+//! Canonical formatter: [`SystemSpec`] → DSL text.
+//!
+//! The emitted text always parses back to an identical spec
+//! (`parse_spec(format_spec(&s)) == s`, bit-exact on every float): lengths
+//! are printed in the largest unit that converts back *exactly*, falling
+//! back to metres (which is always exact), and numbers use Rust's
+//! shortest-round-trip float formatting.
+
+use crate::spec::{DeviceSpec, LayerSpecEntry, ProfileSpec, SystemSpec};
+use crate::token::Unit;
+use std::fmt::Write as _;
+
+/// Formats a length in metres, choosing the smallest unit that round-trips
+/// exactly with a mantissa in [1, 1000) — engineering notation — and
+/// falling back to metres (always exact) otherwise.
+fn fmt_length(meters: f64) -> String {
+    for unit in [Unit::Nanometer, Unit::Micrometer, Unit::Millimeter] {
+        let scaled = meters / unit.to_meters();
+        let exact = scaled * unit.to_meters() == meters;
+        if exact && (1.0..1000.0).contains(&scaled.abs()) {
+            return format!("{scaled} {}", unit.suffix());
+        }
+    }
+    format!("{meters} m")
+}
+
+fn fmt_profile(profile: &ProfileSpec) -> String {
+    match profile {
+        ProfileSpec::Uniform => "uniform".to_string(),
+        ProfileSpec::Gaussian { waist } => format!("gaussian(waist = {})", fmt_length(*waist)),
+        ProfileSpec::Bessel { radial_wavenumber, envelope } => {
+            format!("bessel(k = {radial_wavenumber}, envelope = {})", fmt_length(*envelope))
+        }
+    }
+}
+
+fn fmt_device(device: &DeviceSpec) -> String {
+    match device {
+        DeviceSpec::Lc2012 => "lc2012".to_string(),
+        DeviceSpec::Ideal { levels } => format!("ideal(levels = {levels})"),
+        DeviceSpec::Bits { bits } => format!("bits(n = {bits})"),
+    }
+}
+
+/// Renders a spec as canonical DSL text.
+///
+/// # Examples
+///
+/// ```
+/// use lr_dsl::{parse_spec, format_spec};
+/// let spec = parse_spec(
+///     "system demo {
+///          laser { wavelength = 532 nm; }
+///          grid { size = 32; pixel = 36 um; }
+///          layers { diffractive x 3; }
+///          detector { classes = 10; det_size = 2; }
+///      }",
+/// )?;
+/// let text = format_spec(&spec);
+/// assert_eq!(parse_spec(&text)?, spec);
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+pub fn format_spec(spec: &SystemSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "system {} {{", spec.name);
+
+    let _ = writeln!(out, "    laser {{");
+    let _ = writeln!(out, "        wavelength = {};", fmt_length(spec.laser.wavelength));
+    let _ = writeln!(out, "        profile = {};", fmt_profile(&spec.laser.profile));
+    let _ = writeln!(out, "    }}");
+
+    let _ = writeln!(out, "    grid {{");
+    let _ = writeln!(out, "        size = {};", spec.grid.size);
+    let _ = writeln!(out, "        pixel = {};", fmt_length(spec.grid.pixel));
+    let _ = writeln!(out, "    }}");
+
+    let _ = writeln!(out, "    propagation {{");
+    let _ = writeln!(out, "        distance = {};", fmt_length(spec.propagation.distance));
+    let _ = writeln!(out, "        approx = {};", spec.propagation.approx.name());
+    let _ = writeln!(out, "    }}");
+
+    let _ = writeln!(out, "    layers {{");
+    for layer in &spec.layers {
+        match layer {
+            LayerSpecEntry::Diffractive { count } => {
+                let _ = writeln!(out, "        diffractive x {count};");
+            }
+            LayerSpecEntry::Codesign { count, device, temperature } => {
+                let _ = writeln!(
+                    out,
+                    "        codesign x {count} {{ device = {}; temperature = {temperature}; }}",
+                    fmt_device(device)
+                );
+            }
+            LayerSpecEntry::Nonlinearity { alpha, saturation } => {
+                let _ = writeln!(
+                    out,
+                    "        nonlinearity {{ alpha = {alpha}; saturation = {saturation}; }}"
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "    }}");
+
+    let _ = writeln!(out, "    detector {{");
+    let _ = writeln!(out, "        classes = {};", spec.detector.classes);
+    let _ = writeln!(out, "        det_size = {};", spec.detector.det_size);
+    let _ = writeln!(out, "    }}");
+
+    let t = &spec.training;
+    let _ = writeln!(out, "    training {{");
+    let _ = writeln!(out, "        gamma = {};", t.gamma);
+    let _ = writeln!(out, "        learning_rate = {};", t.learning_rate);
+    let _ = writeln!(out, "        epochs = {};", t.epochs);
+    let _ = writeln!(out, "        batch_size = {};", t.batch_size);
+    let _ = writeln!(out, "        seed = {};", t.seed);
+    let _ = writeln!(out, "        initial_temperature = {};", t.initial_temperature);
+    let _ = writeln!(out, "        final_temperature = {};", t.final_temperature);
+    let _ = writeln!(out, "    }}");
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    #[test]
+    fn length_formatting_prefers_readable_units() {
+        assert_eq!(fmt_length(532e-9), "532 nm");
+        assert_eq!(fmt_length(36e-6), "36 um");
+        assert_eq!(fmt_length(1.2e-3), "1.2 mm");
+        assert_eq!(fmt_length(0.3), "300 mm");
+        assert_eq!(fmt_length(1.0), "1 m");
+    }
+
+    #[test]
+    fn length_formatting_always_roundtrips_exactly() {
+        for &v in &[532e-9, 36e-6, 0.3, 1.0, 2.7e-4, 5.32e-7, 0.1 + 0.2, f64::MIN_POSITIVE] {
+            let s = fmt_length(v);
+            let (num, unit) = s.split_once(' ').unwrap();
+            let parsed: f64 = num.parse().unwrap();
+            let scale = match unit {
+                "nm" => 1e-9,
+                "um" => 1e-6,
+                "mm" => 1e-3,
+                "m" => 1.0,
+                other => panic!("unexpected unit {other}"),
+            };
+            assert_eq!(parsed * scale, v, "round-trip failed for {v:e} via '{s}'");
+        }
+    }
+
+    #[test]
+    fn formatted_output_parses_back_identically() {
+        let spec = parse_spec(
+            "system full {
+                laser { wavelength = 632 nm; profile = bessel(k = 5000, envelope = 1 mm); }
+                grid { size = 64; pixel = 10 um; }
+                propagation { distance = 0.1 m; approx = fraunhofer; }
+                layers {
+                    codesign x 2 { device = bits(n = 4); temperature = 2.0; }
+                    nonlinearity { alpha = 0.3; saturation = 2.0; }
+                    diffractive x 1;
+                }
+                detector { classes = 4; det_size = 4; }
+                training { gamma = 1.5; learning_rate = 0.1; epochs = 7; batch_size = 16; seed = 9; }
+            }",
+        )
+        .unwrap();
+        let text = format_spec(&spec);
+        let reparsed = parse_spec(&text).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn formatting_is_idempotent() {
+        let spec = parse_spec(
+            "system s {
+                laser { wavelength = 532 nm; }
+                grid { size = 32; pixel = 36 um; }
+                layers { diffractive x 3; }
+                detector { classes = 10; det_size = 2; }
+            }",
+        )
+        .unwrap();
+        let once = format_spec(&spec);
+        let twice = format_spec(&parse_spec(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,137 @@
+//! # lr-dsl
+//!
+//! The textual domain-specific language of the LightRidge reproduction —
+//! the front-end the paper calls "versatile and flexible optical system
+//! modeling and user-friendly domain-specific-language" (§1, §3.3,
+//! Table 2). A complete DONN system — laser, plane geometry, propagation
+//! physics, layer stack, detector layout, and training hyperparameters —
+//! is described in a single declarative `system` block and compiled into a
+//! ready-to-train [`lightridge::DonnModel`].
+//!
+//! ## The language
+//!
+//! ```text
+//! # The paper's §5.1 visible-range prototype, verbatim.
+//! system prototype_532nm {
+//!     laser {
+//!         wavelength = 532 nm;           # Thorlabs CPS532
+//!         profile = uniform;             # or gaussian(waist = 1.2 mm)
+//!     }
+//!     grid {
+//!         size = 200;                    # 200×200 diffraction units
+//!         pixel = 36 um;                 # SLM pixel pitch
+//!     }
+//!     propagation {
+//!         distance = 0.28 m;             # 11 inches on the optical table
+//!         approx = rayleigh_sommerfeld;  # | fresnel | fraunhofer
+//!     }
+//!     layers {
+//!         codesign x 3 { device = lc2012; temperature = 1.0; }
+//!     }
+//!     detector {
+//!         classes = 10;
+//!         det_size = 20;
+//!     }
+//!     training {
+//!         gamma = 1.0;                   # complex-valued regularization
+//!         learning_rate = 0.5;
+//!         epochs = 100;
+//!         batch_size = 500;
+//!     }
+//! }
+//! ```
+//!
+//! Lengths carry units (`nm`, `um`, `mm`, `m`); everything else is a bare
+//! number or a name. `propagation` and `training` are optional and default
+//! to the paper's settings. Errors — lexical, syntactic, or semantic — are
+//! reported with line/column spans.
+//!
+//! ## Pipeline
+//!
+//! [`parse`] → [`ast::Program`] → [`SystemSpec::from_program`] (validation)
+//! → [`compile`] → [`CompiledSystem`], or [`compile_str`] for the whole
+//! chain:
+//!
+//! ```
+//! let compiled = lr_dsl::compile_str(
+//!     "system quick {
+//!          laser { wavelength = 532 nm; }
+//!          grid { size = 32; pixel = 36 um; }
+//!          propagation { distance = 20 mm; }
+//!          layers { diffractive x 3; }
+//!          detector { classes = 10; det_size = 2; }
+//!      }",
+//! )?;
+//! assert_eq!(compiled.model.depth(), 3);
+//! # Ok::<(), lr_dsl::DslError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod format;
+pub mod parser;
+pub mod spec;
+pub mod token;
+
+pub use compile::{compile, CompiledSystem};
+pub use error::{DslError, ErrorKind, Result, Span};
+pub use format::format_spec;
+pub use parser::parse;
+pub use spec::{
+    ApproxSpec, DetectorSpec, DeviceSpec, GridSpec, LaserSpec, LayerSpecEntry, ProfileSpec,
+    PropagationSpec, SystemSpec, TrainingSpec,
+};
+
+/// Parses and validates DSL source into a typed [`SystemSpec`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its span.
+///
+/// # Examples
+///
+/// ```
+/// let spec = lr_dsl::parse_spec(
+///     "system s {
+///          laser { wavelength = 532 nm; }
+///          grid { size = 32; pixel = 36 um; }
+///          layers { diffractive x 3; }
+///          detector { classes = 10; det_size = 2; }
+///      }",
+/// )?;
+/// assert_eq!(spec.num_modulating_layers(), 3);
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+pub fn parse_spec(src: &str) -> Result<SystemSpec> {
+    SystemSpec::from_program(&parse(src)?)
+}
+
+/// Parses, validates, and compiles DSL source in one call.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its span.
+pub fn compile_str(src: &str) -> Result<CompiledSystem> {
+    Ok(compile(&parse_spec(src)?))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_str_chains_all_stages() {
+        let err = super::compile_str(
+            "system s {
+                laser { wavelength = 532 nm; }
+                grid { size = 0; pixel = 36 um; }
+                layers { diffractive; }
+                detector { classes = 2; det_size = 2; }
+            }",
+        )
+        .unwrap_err();
+        // Validation (not a panic) catches the bad size before compilation.
+        assert_eq!(*err.kind(), super::ErrorKind::InvalidValue);
+    }
+}

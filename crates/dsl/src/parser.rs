@@ -1,0 +1,295 @@
+//! Recursive-descent parser: token stream → [`Program`].
+
+use crate::ast::{Argument, Assignment, LayerEntry, Program, Section, Value};
+use crate::error::{DslError, ErrorKind, Result, Span};
+use crate::token::{tokenize, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error_here(&self, expected: &str) -> DslError {
+        let tok = self.peek();
+        let kind = if tok.kind == TokenKind::Eof {
+            ErrorKind::UnexpectedEof
+        } else {
+            ErrorKind::UnexpectedToken
+        };
+        DslError::new(kind, tok.span, format!("expected {expected}, found {}", tok.kind.describe()))
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span)> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.error_here(what)),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) if name == kw => Ok(self.bump().span),
+            _ => Err(self.error_here(&format!("keyword '{kw}'"))),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Span> {
+        if &self.peek().kind == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error_here(what))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Value::Number(n))
+            }
+            TokenKind::Quantity(meters, unit) => {
+                self.bump();
+                Ok(Value::Quantity(meters, unit))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            let (arg_name, arg_span) = self.expect_ident("an argument name")?;
+                            self.expect(&TokenKind::Equals, "'=' after argument name")?;
+                            let value = self.parse_value()?;
+                            args.push(Argument { name: arg_name, value, span: arg_span });
+                            if self.peek().kind == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')' closing the argument list")?;
+                    Ok(Value::Call(name, args))
+                } else {
+                    Ok(Value::Ident(name))
+                }
+            }
+            _ => Err(self.error_here("a value (number, length, or name)")),
+        }
+    }
+
+    fn parse_assignment(&mut self, key: String, span: Span) -> Result<Assignment> {
+        self.expect(&TokenKind::Equals, "'='")?;
+        let value = self.parse_value()?;
+        self.expect(&TokenKind::Semicolon, "';' terminating the assignment")?;
+        Ok(Assignment { key, value, span })
+    }
+
+    fn parse_layer_entry(&mut self, kind: String, span: Span) -> Result<LayerEntry> {
+        // Optional repetition: `x N`.
+        let mut count = 1usize;
+        if let TokenKind::Ident(word) = &self.peek().kind {
+            if word == "x" {
+                self.bump();
+                match self.peek().kind {
+                    TokenKind::Number(n) => {
+                        if n.fract() != 0.0 || !(1.0..=1e6).contains(&n) {
+                            return Err(DslError::new(
+                                ErrorKind::InvalidValue,
+                                self.peek().span,
+                                format!("layer count must be a positive integer, got {n}"),
+                            ));
+                        }
+                        count = n as usize;
+                        self.bump();
+                    }
+                    _ => return Err(self.error_here("a layer count after 'x'")),
+                }
+            }
+        }
+        // Optional option block.
+        let mut options = Vec::new();
+        if self.peek().kind == TokenKind::LBrace {
+            self.bump();
+            while self.peek().kind != TokenKind::RBrace {
+                let (key, key_span) = self.expect_ident("an option name or '}'")?;
+                options.push(self.parse_assignment(key, key_span)?);
+            }
+            self.expect(&TokenKind::RBrace, "'}'")?;
+        }
+        // Optional trailing semicolon.
+        if self.peek().kind == TokenKind::Semicolon {
+            self.bump();
+        }
+        Ok(LayerEntry { kind, count, options, span })
+    }
+
+    fn parse_section(&mut self) -> Result<Section> {
+        let (name, span) = self.expect_ident("a section name")?;
+        self.expect(&TokenKind::LBrace, "'{' opening the section")?;
+        let mut assignments = Vec::new();
+        let mut layers = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let (word, word_span) = self.expect_ident("a statement or '}'")?;
+            if self.peek().kind == TokenKind::Equals {
+                assignments.push(self.parse_assignment(word, word_span)?);
+            } else {
+                layers.push(self.parse_layer_entry(word, word_span)?);
+            }
+        }
+        self.expect(&TokenKind::RBrace, "'}' closing the section")?;
+        Ok(Section { name, assignments, layers, span })
+    }
+
+    fn parse_program(&mut self) -> Result<Program> {
+        let span = self.expect_keyword("system")?;
+        let (name, _) = self.expect_ident("the system name")?;
+        self.expect(&TokenKind::LBrace, "'{' opening the system")?;
+        let mut sections = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            sections.push(self.parse_section()?);
+        }
+        self.expect(&TokenKind::RBrace, "'}' closing the system")?;
+        self.expect(&TokenKind::Eof, "end of input after the system")?;
+        Ok(Program { name, sections, span })
+    }
+}
+
+/// Parses DSL source into an untyped [`Program`].
+///
+/// # Errors
+///
+/// Returns a spanned [`DslError`] describing the first lexical or
+/// syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// let program = lr_dsl::parse(
+///     "system demo { laser { wavelength = 532 nm; } }",
+/// )?;
+/// assert_eq!(program.name, "demo");
+/// assert_eq!(program.sections.len(), 1);
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, pos: 0 }.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Unit;
+
+    #[test]
+    fn parses_minimal_system() {
+        let p = parse("system s {}").unwrap();
+        assert_eq!(p.name, "s");
+        assert!(p.sections.is_empty());
+    }
+
+    #[test]
+    fn parses_assignments_of_each_value_kind() {
+        let p = parse(
+            "system s { a { n = 3; q = 36 um; i = uniform; \
+             c = gaussian(waist = 1.2 mm, power = 2); } }",
+        )
+        .unwrap();
+        let section = p.section("a").unwrap();
+        assert_eq!(section.assignment("n").unwrap().value, Value::Number(3.0));
+        assert_eq!(
+            section.assignment("q").unwrap().value,
+            Value::Quantity(36e-6, Unit::Micrometer)
+        );
+        assert_eq!(section.assignment("i").unwrap().value, Value::Ident("uniform".into()));
+        match &section.assignment("c").unwrap().value {
+            Value::Call(name, args) => {
+                assert_eq!(name, "gaussian");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[0].name, "waist");
+                assert_eq!(args[0].value, Value::Quantity(1.2e-3, Unit::Millimeter));
+                assert_eq!(args[1].value, Value::Number(2.0));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_layer_statements() {
+        let p = parse(
+            "system s { layers { diffractive x 5; \
+             codesign x 3 { device = lc2012; temperature = 1.0; } \
+             nonlinearity { alpha = 0.5; saturation = 1.0; } } }",
+        )
+        .unwrap();
+        let layers = &p.section("layers").unwrap().layers;
+        assert_eq!(layers.len(), 3);
+        assert_eq!((layers[0].kind.as_str(), layers[0].count), ("diffractive", 5));
+        assert_eq!((layers[1].kind.as_str(), layers[1].count), ("codesign", 3));
+        assert_eq!(layers[1].options.len(), 2);
+        assert_eq!((layers[2].kind.as_str(), layers[2].count), ("nonlinearity", 1));
+    }
+
+    #[test]
+    fn reports_missing_semicolon_with_position() {
+        let err = parse("system s { a { n = 3 } }").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnexpectedToken);
+        assert!(err.message().contains("';'"), "{err}");
+        assert_eq!(err.span().line, 1);
+    }
+
+    #[test]
+    fn reports_unclosed_brace_as_eof() {
+        let err = parse("system s { a {").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn reports_missing_system_keyword() {
+        let err = parse("model s {}").unwrap_err();
+        assert!(err.message().contains("system"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fractional_layer_count() {
+        let err = parse("system s { layers { diffractive x 2.5; } }").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::InvalidValue);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("system s {} extra").unwrap_err();
+        assert!(err.message().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn empty_call_argument_list_is_allowed() {
+        let p = parse("system s { a { v = thing(); } }").unwrap();
+        match &p.section("a").unwrap().assignment("v").unwrap().value {
+            Value::Call(name, args) => {
+                assert_eq!(name, "thing");
+                assert!(args.is_empty());
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

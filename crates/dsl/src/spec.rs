@@ -1,0 +1,921 @@
+//! Typed, validated system specification.
+//!
+//! [`SystemSpec::from_program`] lowers the untyped AST into a fully-typed
+//! spec, rejecting unknown sections/keys, duplicates, type mismatches, and
+//! physically meaningless values — each with the span of the offending
+//! construct. A valid spec always compiles (see [`crate::compile`]).
+
+use crate::ast::{Assignment, LayerEntry, Program, Section, Value};
+use crate::error::{DslError, ErrorKind, Result, Span};
+
+/// Transverse beam profile of the source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileSpec {
+    /// Uniform plane wave (the default: the image shapes the amplitude).
+    Uniform,
+    /// Gaussian beam with 1/e waist radius in metres.
+    Gaussian {
+        /// Waist radius (metres).
+        waist: f64,
+    },
+    /// Bessel beam with radial wavenumber (rad/m) and Gaussian envelope
+    /// radius (metres).
+    Bessel {
+        /// Radial wavenumber (rad/m).
+        radial_wavenumber: f64,
+        /// Envelope radius (metres).
+        envelope: f64,
+    },
+}
+
+/// Scalar-diffraction approximation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxSpec {
+    /// Rayleigh-Sommerfeld / angular spectrum (paper Eq. 1).
+    RayleighSommerfeld,
+    /// Fresnel near-field approximation (paper Eq. 3).
+    Fresnel,
+    /// Fraunhofer far-field approximation (paper Eq. 4).
+    Fraunhofer,
+}
+
+impl ApproxSpec {
+    /// Canonical DSL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproxSpec::RayleighSommerfeld => "rayleigh_sommerfeld",
+            ApproxSpec::Fresnel => "fresnel",
+            ApproxSpec::Fraunhofer => "fraunhofer",
+        }
+    }
+}
+
+/// Phase-modulation device referenced by a `codesign` layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// The paper's HOLOEYE LC2012 SLM model (measured-style nonlinear
+    /// response, 256 levels).
+    Lc2012,
+    /// An idealized device with `levels` uniform phase levels over [0, 2π).
+    Ideal {
+        /// Number of discrete levels.
+        levels: usize,
+    },
+    /// An idealized device with `2^bits` uniform levels.
+    Bits {
+        /// Device precision in bits.
+        bits: u32,
+    },
+}
+
+/// One entry of the `layers` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpecEntry {
+    /// `count` raw free-phase diffractive layers.
+    Diffractive {
+        /// Repetition count.
+        count: usize,
+    },
+    /// `count` hardware-codesign (Gumbel-Softmax) layers.
+    Codesign {
+        /// Repetition count.
+        count: usize,
+        /// Target device.
+        device: DeviceSpec,
+        /// Initial Gumbel-Softmax temperature.
+        temperature: f64,
+    },
+    /// A saturable-absorber nonlinearity at the current plane.
+    Nonlinearity {
+        /// Absorption coefficient α.
+        alpha: f64,
+        /// Saturation intensity.
+        saturation: f64,
+    },
+}
+
+/// Laser source settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaserSpec {
+    /// Wavelength in metres.
+    pub wavelength: f64,
+    /// Beam profile.
+    pub profile: ProfileSpec,
+}
+
+/// Diffractive-plane geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Side length in pixels (square planes, as in the paper).
+    pub size: usize,
+    /// Diffraction unit (pixel) pitch in metres.
+    pub pixel: f64,
+}
+
+/// Free-space propagation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropagationSpec {
+    /// Layer-to-layer (and source/detector) spacing in metres.
+    pub distance: f64,
+    /// Diffraction approximation.
+    pub approx: ApproxSpec,
+}
+
+/// Detector layout settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorSpec {
+    /// Number of classes (= number of detector regions).
+    pub classes: usize,
+    /// Side length of each square detector region in pixels.
+    pub det_size: usize,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSpec {
+    /// Complex-valued regularization factor γ (paper §3.2).
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initialization / shuffling seed.
+    pub seed: u64,
+    /// Gumbel temperature at epoch 0.
+    pub initial_temperature: f64,
+    /// Gumbel temperature at the final epoch.
+    pub final_temperature: f64,
+}
+
+impl Default for TrainingSpec {
+    fn default() -> Self {
+        TrainingSpec {
+            gamma: 1.0,
+            learning_rate: 0.5,
+            epochs: 5,
+            batch_size: 32,
+            seed: 42,
+            initial_temperature: 1.0,
+            final_temperature: 0.2,
+        }
+    }
+}
+
+/// A complete, validated DONN system specification.
+///
+/// # Examples
+///
+/// ```
+/// use lr_dsl::{parse, SystemSpec};
+/// let program = parse(
+///     "system demo {
+///          laser { wavelength = 532 nm; }
+///          grid { size = 32; pixel = 36 um; }
+///          layers { diffractive x 3; }
+///          detector { classes = 10; det_size = 2; }
+///      }",
+/// )?;
+/// let spec = SystemSpec::from_program(&program)?;
+/// assert_eq!(spec.grid.size, 32);
+/// assert_eq!(spec.num_modulating_layers(), 3);
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// System name.
+    pub name: String,
+    /// Laser source.
+    pub laser: LaserSpec,
+    /// Plane geometry.
+    pub grid: GridSpec,
+    /// Free-space propagation.
+    pub propagation: PropagationSpec,
+    /// Layer stack in propagation order.
+    pub layers: Vec<LayerSpecEntry>,
+    /// Detector layout.
+    pub detector: DetectorSpec,
+    /// Training hyperparameters.
+    pub training: TrainingSpec,
+}
+
+impl SystemSpec {
+    /// Total number of phase-modulating layers (codesign + diffractive),
+    /// i.e. the paper's "depth D".
+    pub fn num_modulating_layers(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerSpecEntry::Diffractive { count } => *count,
+                LayerSpecEntry::Codesign { count, .. } => *count,
+                LayerSpecEntry::Nonlinearity { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Validates and lowers a parsed [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a spanned [`DslError`] on unknown sections or keys,
+    /// duplicates, missing required definitions, type mismatches, or
+    /// out-of-range values.
+    pub fn from_program(program: &Program) -> Result<Self> {
+        check_sections(program)?;
+        let laser = lower_laser(required_section(program, "laser")?)?;
+        let grid = lower_grid(required_section(program, "grid")?)?;
+        let propagation = match program.section("propagation") {
+            Some(s) => lower_propagation(s)?,
+            None => PropagationSpec { distance: 0.3, approx: ApproxSpec::RayleighSommerfeld },
+        };
+        let layers = lower_layers(required_section(program, "layers")?)?;
+        let detector = lower_detector(required_section(program, "detector")?, &grid)?;
+        let training = match program.section("training") {
+            Some(s) => lower_training(s)?,
+            None => TrainingSpec::default(),
+        };
+        check_physics(program, &laser, &grid, &propagation)?;
+        Ok(SystemSpec {
+            name: program.name.clone(),
+            laser,
+            grid,
+            propagation,
+            layers,
+            detector,
+            training,
+        })
+    }
+}
+
+const SECTIONS: [&str; 6] = ["laser", "grid", "propagation", "layers", "detector", "training"];
+
+fn check_sections(program: &Program) -> Result<()> {
+    let mut seen: Vec<&str> = Vec::new();
+    for section in &program.sections {
+        if !SECTIONS.contains(&section.name.as_str()) {
+            return Err(DslError::new(
+                ErrorKind::UnknownName,
+                section.span,
+                format!("no section '{}'; expected one of: {}", section.name, SECTIONS.join(", ")),
+            ));
+        }
+        if seen.contains(&section.name.as_str()) {
+            return Err(DslError::new(
+                ErrorKind::Duplicate,
+                section.span,
+                format!("section '{}' defined twice", section.name),
+            ));
+        }
+        if section.name != "layers" {
+            if let Some(layer) = section.layers.first() {
+                return Err(DslError::new(
+                    ErrorKind::UnexpectedToken,
+                    layer.span,
+                    format!(
+                        "layer statement '{}' is only allowed in the 'layers' section",
+                        layer.kind
+                    ),
+                ));
+            }
+        }
+        seen.push(&section.name);
+    }
+    Ok(())
+}
+
+fn required_section<'a>(program: &'a Program, name: &str) -> Result<&'a Section> {
+    program.section(name).ok_or_else(|| {
+        DslError::new(ErrorKind::Missing, program.span, format!("required section '{name}' is missing"))
+    })
+}
+
+fn check_known_keys(section: &Section, known: &[&str]) -> Result<()> {
+    let mut seen: Vec<&str> = Vec::new();
+    for a in &section.assignments {
+        if !known.contains(&a.key.as_str()) {
+            return Err(DslError::new(
+                ErrorKind::UnknownName,
+                a.span,
+                format!("section '{}' has no key '{}'; expected one of: {}", section.name, a.key, known.join(", ")),
+            ));
+        }
+        if seen.contains(&a.key.as_str()) {
+            return Err(DslError::new(
+                ErrorKind::Duplicate,
+                a.span,
+                format!("key '{}' assigned twice in section '{}'", a.key, section.name),
+            ));
+        }
+        seen.push(&a.key);
+    }
+    Ok(())
+}
+
+fn length_of(a: &Assignment) -> Result<f64> {
+    match &a.value {
+        Value::Quantity(meters, _) => Ok(*meters),
+        other => Err(DslError::new(
+            ErrorKind::TypeMismatch,
+            a.span,
+            format!("'{}' must be a length with a unit (e.g. 532 nm), got a {}", a.key, other.describe()),
+        )),
+    }
+}
+
+fn number_of(a: &Assignment) -> Result<f64> {
+    match &a.value {
+        Value::Number(n) => Ok(*n),
+        other => Err(DslError::new(
+            ErrorKind::TypeMismatch,
+            a.span,
+            format!("'{}' must be a bare number, got a {}", a.key, other.describe()),
+        )),
+    }
+}
+
+fn positive_number_of(a: &Assignment) -> Result<f64> {
+    let n = number_of(a)?;
+    if !(n.is_finite() && n > 0.0) {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            a.span,
+            format!("'{}' must be finite and positive, got {n}", a.key),
+        ));
+    }
+    Ok(n)
+}
+
+fn positive_int_of(a: &Assignment) -> Result<usize> {
+    let n = number_of(a)?;
+    if n.fract() != 0.0 || !(1.0..=1e9).contains(&n) {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            a.span,
+            format!("'{}' must be a positive integer, got {n}", a.key),
+        ));
+    }
+    Ok(n as usize)
+}
+
+fn arg_length(args: &[crate::ast::Argument], name: &str, call_span: Span, call: &str) -> Result<f64> {
+    let arg = args.iter().find(|a| a.name == name).ok_or_else(|| {
+        DslError::new(ErrorKind::Missing, call_span, format!("{call}(...) needs argument '{name}'"))
+    })?;
+    match &arg.value {
+        Value::Quantity(meters, _) => Ok(*meters),
+        other => Err(DslError::new(
+            ErrorKind::TypeMismatch,
+            arg.span,
+            format!("argument '{name}' of {call}(...) must be a length, got a {}", other.describe()),
+        )),
+    }
+}
+
+fn arg_number(args: &[crate::ast::Argument], name: &str, call_span: Span, call: &str) -> Result<f64> {
+    let arg = args.iter().find(|a| a.name == name).ok_or_else(|| {
+        DslError::new(ErrorKind::Missing, call_span, format!("{call}(...) needs argument '{name}'"))
+    })?;
+    match &arg.value {
+        Value::Number(n) => Ok(*n),
+        other => Err(DslError::new(
+            ErrorKind::TypeMismatch,
+            arg.span,
+            format!("argument '{name}' of {call}(...) must be a number, got a {}", other.describe()),
+        )),
+    }
+}
+
+fn lower_laser(section: &Section) -> Result<LaserSpec> {
+    check_known_keys(section, &["wavelength", "profile"])?;
+    let wavelength = match section.assignment("wavelength") {
+        Some(a) => length_of(a)?,
+        None => {
+            return Err(DslError::new(
+                ErrorKind::Missing,
+                section.span,
+                "laser section needs 'wavelength' (e.g. wavelength = 532 nm;)",
+            ))
+        }
+    };
+    let profile = match section.assignment("profile") {
+        None => ProfileSpec::Uniform,
+        Some(a) => match &a.value {
+            Value::Ident(name) if name == "uniform" => ProfileSpec::Uniform,
+            Value::Call(name, args) if name == "gaussian" => {
+                ProfileSpec::Gaussian { waist: arg_length(args, "waist", a.span, "gaussian")? }
+            }
+            Value::Call(name, args) if name == "bessel" => ProfileSpec::Bessel {
+                radial_wavenumber: arg_number(args, "k", a.span, "bessel")?,
+                envelope: arg_length(args, "envelope", a.span, "bessel")?,
+            },
+            other => {
+                return Err(DslError::new(
+                    ErrorKind::UnknownName,
+                    a.span,
+                    format!(
+                        "profile must be uniform, gaussian(waist = ...), or bessel(k = ..., envelope = ...); got {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        },
+    };
+    Ok(LaserSpec { wavelength, profile })
+}
+
+fn lower_grid(section: &Section) -> Result<GridSpec> {
+    check_known_keys(section, &["size", "pixel"])?;
+    let size = match section.assignment("size") {
+        Some(a) => positive_int_of(a)?,
+        None => {
+            return Err(DslError::new(ErrorKind::Missing, section.span, "grid section needs 'size'"))
+        }
+    };
+    if !(4..=4096).contains(&size) {
+        let a = section.assignment("size").expect("checked above");
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            a.span,
+            format!("grid size must be in [4, 4096], got {size}"),
+        ));
+    }
+    let pixel = match section.assignment("pixel") {
+        Some(a) => length_of(a)?,
+        None => {
+            return Err(DslError::new(ErrorKind::Missing, section.span, "grid section needs 'pixel'"))
+        }
+    };
+    if !(pixel.is_finite() && pixel > 0.0) {
+        let a = section.assignment("pixel").expect("checked above");
+        return Err(DslError::new(ErrorKind::InvalidValue, a.span, "pixel pitch must be positive"));
+    }
+    Ok(GridSpec { size, pixel })
+}
+
+fn lower_propagation(section: &Section) -> Result<PropagationSpec> {
+    check_known_keys(section, &["distance", "approx"])?;
+    let distance = match section.assignment("distance") {
+        Some(a) => {
+            let d = length_of(a)?;
+            if !(d.is_finite() && d > 0.0) {
+                return Err(DslError::new(ErrorKind::InvalidValue, a.span, "distance must be positive"));
+            }
+            d
+        }
+        None => 0.3,
+    };
+    let approx = match section.assignment("approx") {
+        None => ApproxSpec::RayleighSommerfeld,
+        Some(a) => match &a.value {
+            Value::Ident(name) => match name.as_str() {
+                "rayleigh_sommerfeld" => ApproxSpec::RayleighSommerfeld,
+                "fresnel" => ApproxSpec::Fresnel,
+                "fraunhofer" => ApproxSpec::Fraunhofer,
+                other => {
+                    return Err(DslError::new(
+                        ErrorKind::UnknownName,
+                        a.span,
+                        format!("approx must be rayleigh_sommerfeld, fresnel, or fraunhofer; got '{other}'"),
+                    ))
+                }
+            },
+            other => {
+                return Err(DslError::new(
+                    ErrorKind::TypeMismatch,
+                    a.span,
+                    format!("approx must be a name, got a {}", other.describe()),
+                ))
+            }
+        },
+    };
+    Ok(PropagationSpec { distance, approx })
+}
+
+fn lower_device(entry: &LayerEntry) -> Result<DeviceSpec> {
+    let Some(a) = entry.options.iter().find(|o| o.key == "device") else {
+        return Ok(DeviceSpec::Lc2012);
+    };
+    match &a.value {
+        Value::Ident(name) if name == "lc2012" => Ok(DeviceSpec::Lc2012),
+        Value::Call(name, args) if name == "ideal" => {
+            let levels = arg_number(args, "levels", a.span, "ideal")?;
+            if levels.fract() != 0.0 || !(2.0..=65536.0).contains(&levels) {
+                return Err(DslError::new(
+                    ErrorKind::InvalidValue,
+                    a.span,
+                    format!("ideal(levels = ...) needs an integer in [2, 65536], got {levels}"),
+                ));
+            }
+            Ok(DeviceSpec::Ideal { levels: levels as usize })
+        }
+        Value::Call(name, args) if name == "bits" => {
+            let bits = arg_number(args, "n", a.span, "bits")?;
+            if bits.fract() != 0.0 || !(1.0..=16.0).contains(&bits) {
+                return Err(DslError::new(
+                    ErrorKind::InvalidValue,
+                    a.span,
+                    format!("bits(n = ...) needs an integer in [1, 16], got {bits}"),
+                ));
+            }
+            Ok(DeviceSpec::Bits { bits: bits as u32 })
+        }
+        other => Err(DslError::new(
+            ErrorKind::UnknownName,
+            a.span,
+            format!(
+                "device must be lc2012, ideal(levels = N), or bits(n = N); got {}",
+                other.describe()
+            ),
+        )),
+    }
+}
+
+fn option_number(entry: &LayerEntry, key: &str, default: f64) -> Result<f64> {
+    match entry.options.iter().find(|o| o.key == key) {
+        Some(a) => positive_number_of(a),
+        None => Ok(default),
+    }
+}
+
+fn lower_layers(section: &Section) -> Result<Vec<LayerSpecEntry>> {
+    check_known_keys(section, &[])?; // no plain assignments allowed here
+    if section.layers.is_empty() {
+        return Err(DslError::new(
+            ErrorKind::Missing,
+            section.span,
+            "layers section needs at least one layer statement (e.g. diffractive x 3;)",
+        ));
+    }
+    let mut out = Vec::with_capacity(section.layers.len());
+    for entry in &section.layers {
+        match entry.kind.as_str() {
+            "diffractive" => {
+                check_layer_options(entry, &[])?;
+                out.push(LayerSpecEntry::Diffractive { count: entry.count });
+            }
+            "codesign" => {
+                check_layer_options(entry, &["device", "temperature"])?;
+                out.push(LayerSpecEntry::Codesign {
+                    count: entry.count,
+                    device: lower_device(entry)?,
+                    temperature: option_number(entry, "temperature", 1.0)?,
+                });
+            }
+            "nonlinearity" => {
+                check_layer_options(entry, &["alpha", "saturation"])?;
+                let alpha = option_number(entry, "alpha", 0.5)?;
+                if alpha > 1.0 {
+                    return Err(DslError::new(
+                        ErrorKind::InvalidValue,
+                        entry.span,
+                        format!(
+                            "nonlinearity alpha is a low-power transmission and must be in (0, 1], got {alpha}"
+                        ),
+                    ));
+                }
+                out.push(LayerSpecEntry::Nonlinearity {
+                    alpha,
+                    saturation: option_number(entry, "saturation", 1.0)?,
+                });
+            }
+            other => {
+                return Err(DslError::new(
+                    ErrorKind::UnknownName,
+                    entry.span,
+                    format!("no layer kind '{other}'; expected diffractive, codesign, or nonlinearity"),
+                ))
+            }
+        }
+    }
+    if !out.iter().any(|l| !matches!(l, LayerSpecEntry::Nonlinearity { .. })) {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            section.span,
+            "the stack needs at least one modulating (diffractive or codesign) layer",
+        ));
+    }
+    Ok(out)
+}
+
+fn check_layer_options(entry: &LayerEntry, known: &[&str]) -> Result<()> {
+    for o in &entry.options {
+        if !known.contains(&o.key.as_str()) {
+            return Err(DslError::new(
+                ErrorKind::UnknownName,
+                o.span,
+                format!(
+                    "layer '{}' has no option '{}'{}",
+                    entry.kind,
+                    o.key,
+                    if known.is_empty() {
+                        " (it takes none)".to_string()
+                    } else {
+                        format!("; expected one of: {}", known.join(", "))
+                    }
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lower_detector(section: &Section, grid: &GridSpec) -> Result<DetectorSpec> {
+    check_known_keys(section, &["classes", "det_size"])?;
+    let classes = match section.assignment("classes") {
+        Some(a) => positive_int_of(a)?,
+        None => {
+            return Err(DslError::new(ErrorKind::Missing, section.span, "detector section needs 'classes'"))
+        }
+    };
+    let det_size = match section.assignment("det_size") {
+        Some(a) => positive_int_of(a)?,
+        None => {
+            return Err(DslError::new(ErrorKind::Missing, section.span, "detector section needs 'det_size'"))
+        }
+    };
+    // Same fit condition as lightridge::Detector::grid_layout, checked here
+    // so a valid spec never panics downstream.
+    let r_cols = (classes as f64).sqrt().ceil() as usize;
+    let r_rows = classes.div_ceil(r_cols);
+    let cell_h = grid.size / (r_rows + 1);
+    let cell_w = grid.size / (r_cols + 1);
+    if cell_h < det_size || cell_w < det_size {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            section.span,
+            format!(
+                "detector layout does not fit: {classes} regions of {det_size}px on a {s}x{s} plane",
+                s = grid.size
+            ),
+        ));
+    }
+    Ok(DetectorSpec { classes, det_size })
+}
+
+fn lower_training(section: &Section) -> Result<TrainingSpec> {
+    check_known_keys(
+        section,
+        &["gamma", "learning_rate", "epochs", "batch_size", "seed", "initial_temperature", "final_temperature"],
+    )?;
+    let d = TrainingSpec::default();
+    let mut spec = d.clone();
+    if let Some(a) = section.assignment("gamma") {
+        spec.gamma = positive_number_of(a)?;
+    }
+    if let Some(a) = section.assignment("learning_rate") {
+        spec.learning_rate = positive_number_of(a)?;
+    }
+    if let Some(a) = section.assignment("epochs") {
+        spec.epochs = positive_int_of(a)?;
+    }
+    if let Some(a) = section.assignment("batch_size") {
+        spec.batch_size = positive_int_of(a)?;
+    }
+    if let Some(a) = section.assignment("seed") {
+        spec.seed = positive_int_of(a)? as u64;
+    }
+    if let Some(a) = section.assignment("initial_temperature") {
+        spec.initial_temperature = positive_number_of(a)?;
+    }
+    if let Some(a) = section.assignment("final_temperature") {
+        spec.final_temperature = positive_number_of(a)?;
+    }
+    Ok(spec)
+}
+
+fn check_physics(
+    program: &Program,
+    laser: &LaserSpec,
+    grid: &GridSpec,
+    propagation: &PropagationSpec,
+) -> Result<()> {
+    let span = program.span;
+    if !(1e-7..=1e-3).contains(&laser.wavelength) {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            span,
+            format!(
+                "wavelength {:.3e} m is outside the supported 100 nm – 1 mm band",
+                laser.wavelength
+            ),
+        ));
+    }
+    if grid.pixel < laser.wavelength / 2.0 {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            span,
+            format!(
+                "pixel pitch {:.3e} m is below λ/2 = {:.3e} m; the scalar model needs pitch ≥ λ/2",
+                grid.pixel,
+                laser.wavelength / 2.0
+            ),
+        ));
+    }
+    if propagation.distance < laser.wavelength {
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            span,
+            "propagation distance must be at least one wavelength",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn spec_of(src: &str) -> Result<SystemSpec> {
+        SystemSpec::from_program(&parse(src)?)
+    }
+
+    const MINIMAL: &str = "system demo {
+        laser { wavelength = 532 nm; }
+        grid { size = 32; pixel = 36 um; }
+        layers { diffractive x 3; }
+        detector { classes = 10; det_size = 2; }
+    }";
+
+    #[test]
+    fn minimal_program_lowers_with_defaults() {
+        let s = spec_of(MINIMAL).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.laser.profile, ProfileSpec::Uniform);
+        assert_eq!(s.propagation.distance, 0.3);
+        assert_eq!(s.propagation.approx, ApproxSpec::RayleighSommerfeld);
+        assert_eq!(s.training, TrainingSpec::default());
+        assert_eq!(s.num_modulating_layers(), 3);
+    }
+
+    #[test]
+    fn full_program_lowers_every_field() {
+        let s = spec_of(
+            "system full {
+                laser { wavelength = 632 nm; profile = gaussian(waist = 1.2 mm); }
+                grid { size = 64; pixel = 10 um; }
+                propagation { distance = 0.1 m; approx = fresnel; }
+                layers {
+                    codesign x 2 { device = ideal(levels = 16); temperature = 2.0; }
+                    nonlinearity { alpha = 0.3; saturation = 2.0; }
+                    diffractive x 1;
+                }
+                detector { classes = 4; det_size = 4; }
+                training { gamma = 1.5; learning_rate = 0.1; epochs = 7; batch_size = 16; seed = 9; }
+            }",
+        )
+        .unwrap();
+        assert_eq!(s.laser.wavelength, 632e-9);
+        assert_eq!(s.laser.profile, ProfileSpec::Gaussian { waist: 1.2e-3 });
+        assert_eq!(s.propagation.approx, ApproxSpec::Fresnel);
+        assert_eq!(s.layers.len(), 3);
+        assert_eq!(
+            s.layers[0],
+            LayerSpecEntry::Codesign {
+                count: 2,
+                device: DeviceSpec::Ideal { levels: 16 },
+                temperature: 2.0
+            }
+        );
+        assert_eq!(s.layers[1], LayerSpecEntry::Nonlinearity { alpha: 0.3, saturation: 2.0 });
+        assert_eq!(s.training.epochs, 7);
+        assert_eq!(s.num_modulating_layers(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_section() {
+        let err = spec_of("system s { lasr { wavelength = 532 nm; } }").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnknownName);
+        assert!(err.message().contains("lasr"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_section_and_key() {
+        let err = spec_of(&format!(
+            "system s {{ laser {{ wavelength = 532 nm; }} laser {{ wavelength = 632 nm; }} }}"
+        ))
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::Duplicate);
+
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; wavelength = 632 nm; }
+              grid { size = 32; pixel = 36 um; } layers { diffractive; }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::Duplicate);
+    }
+
+    #[test]
+    fn rejects_missing_required_section() {
+        let err = spec_of("system s { laser { wavelength = 532 nm; } }").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::Missing);
+        assert!(err.message().contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wavelength_without_unit() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532; }
+              grid { size = 32; pixel = 36 um; } layers { diffractive; }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::TypeMismatch);
+    }
+
+    #[test]
+    fn rejects_subwavelength_pixels() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; }
+              grid { size = 32; pixel = 100 nm; } layers { diffractive; }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::InvalidValue);
+        assert!(err.message().contains("λ/2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_detector_layout() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; }
+              grid { size = 16; pixel = 36 um; } layers { diffractive; }
+              detector { classes = 10; det_size = 8; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::InvalidValue);
+        assert!(err.message().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stack_of_only_nonlinearities() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; }
+              grid { size = 32; pixel = 36 um; }
+              layers { nonlinearity { alpha = 0.5; saturation = 1.0; } }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::InvalidValue);
+    }
+
+    #[test]
+    fn rejects_nonlinearity_alpha_above_one() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; }
+              grid { size = 32; pixel = 36 um; }
+              layers { diffractive; nonlinearity { alpha = 1.5; } }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::InvalidValue);
+        assert!(err.message().contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_layer_option() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; }
+              grid { size = 32; pixel = 36 um; }
+              layers { diffractive x 2 { gamma = 1.0; } }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnknownName);
+        assert!(err.message().contains("takes none"), "{err}");
+    }
+
+    #[test]
+    fn layer_statements_rejected_outside_layers_section() {
+        let err = spec_of(
+            "system s { laser { wavelength = 532 nm; diffractive x 2; }
+              grid { size = 32; pixel = 36 um; } layers { diffractive; }
+              detector { classes = 2; det_size = 2; } }",
+        )
+        .unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnexpectedToken);
+    }
+
+    #[test]
+    fn device_variants_lower() {
+        for (txt, want) in [
+            ("lc2012", DeviceSpec::Lc2012),
+            ("ideal(levels = 256)", DeviceSpec::Ideal { levels: 256 }),
+            ("bits(n = 4)", DeviceSpec::Bits { bits: 4 }),
+        ] {
+            let s = spec_of(&format!(
+                "system s {{ laser {{ wavelength = 532 nm; }}
+                  grid {{ size = 32; pixel = 36 um; }}
+                  layers {{ codesign x 1 {{ device = {txt}; }} }}
+                  detector {{ classes = 2; det_size = 2; }} }}"
+            ))
+            .unwrap();
+            match &s.layers[0] {
+                LayerSpecEntry::Codesign { device, .. } => assert_eq!(*device, want),
+                other => panic!("expected codesign, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Lexer for the LightRidge DSL.
+//!
+//! The token stream is deliberately small: identifiers, numbers with an
+//! optional length-unit suffix (`532 nm`, `36um`, `0.3 m`), punctuation, and
+//! `#`-to-end-of-line comments.
+
+use crate::error::{DslError, ErrorKind, Result, Span};
+
+/// A length unit suffix accepted after a numeric literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Nanometres (×10⁻⁹ m).
+    Nanometer,
+    /// Micrometres (×10⁻⁶ m).
+    Micrometer,
+    /// Millimetres (×10⁻³ m).
+    Millimeter,
+    /// Metres.
+    Meter,
+}
+
+impl Unit {
+    /// Multiplier converting a literal in this unit to metres.
+    pub fn to_meters(self) -> f64 {
+        match self {
+            Unit::Nanometer => 1e-9,
+            Unit::Micrometer => 1e-6,
+            Unit::Millimeter => 1e-3,
+            Unit::Meter => 1.0,
+        }
+    }
+
+    /// The canonical suffix spelling (`nm`, `um`, `mm`, `m`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Nanometer => "nm",
+            Unit::Micrometer => "um",
+            Unit::Millimeter => "mm",
+            Unit::Meter => "m",
+        }
+    }
+
+    fn from_suffix(s: &str) -> Option<Self> {
+        match s {
+            "nm" => Some(Unit::Nanometer),
+            "um" => Some(Unit::Micrometer),
+            "mm" => Some(Unit::Millimeter),
+            "m" => Some(Unit::Meter),
+            _ => None,
+        }
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`system`, `laser`, `rayleigh_sommerfeld`).
+    Ident(String),
+    /// A bare number (`3`, `0.5`, `1e-3`).
+    Number(f64),
+    /// A number with a length-unit suffix (`532 nm` ⇒ value in metres).
+    Quantity(f64, Unit),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Equals,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Quantity(n, u) => format!("quantity {n} {}", u.suffix()),
+            TokenKind::LBrace => "'{'".to_string(),
+            TokenKind::RBrace => "'}'".to_string(),
+            TokenKind::LParen => "'('".to_string(),
+            TokenKind::RParen => "')'".to_string(),
+            TokenKind::Equals => "'='".to_string(),
+            TokenKind::Semicolon => "';'".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<TokenKind> {
+        let start = self.pos;
+        // Optional leading sign is consumed by the caller only for '-'.
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut saw_digit = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.bump();
+                }
+                b'.' => {
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    // Exponent: only if followed by digit or sign+digit;
+                    // otherwise it is the start of a unit/identifier suffix.
+                    let next = self.src.get(self.pos + 1).copied();
+                    let next2 = self.src.get(self.pos + 2).copied();
+                    let exp_follows = matches!(next, Some(b'0'..=b'9'))
+                        || (matches!(next, Some(b'+') | Some(b'-'))
+                            && matches!(next2, Some(b'0'..=b'9')));
+                    if !exp_follows {
+                        break;
+                    }
+                    self.bump(); // e
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("number slice is ASCII");
+        if !saw_digit {
+            return Err(DslError::new(ErrorKind::BadNumber, span, format!("'{text}' has no digits")));
+        }
+        let value: f64 = text.parse().map_err(|_| {
+            DslError::new(ErrorKind::BadNumber, span, format!("cannot parse '{text}' as a number"))
+        })?;
+
+        // Optional unit suffix, possibly separated by spaces: `532nm`, `532 nm`.
+        let save = (self.pos, self.line, self.column);
+        self.skip_trivia();
+        if matches!(self.peek(), Some(b) if b.is_ascii_alphabetic()) {
+            let word_start = self.pos;
+            let save_word = (self.line, self.column);
+            let word = self.lex_ident();
+            if let Some(unit) = Unit::from_suffix(&word) {
+                return Ok(TokenKind::Quantity(value * unit.to_meters(), unit));
+            }
+            // Not a unit: rewind the identifier so it lexes as its own token.
+            self.pos = word_start;
+            self.line = save_word.0;
+            self.column = save_word.1;
+            return Ok(TokenKind::Number(value));
+        }
+        self.pos = save.0;
+        self.line = save.1;
+        self.column = save.2;
+        Ok(TokenKind::Number(value))
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let span = self.span();
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, span });
+        };
+        let kind = match b {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Equals
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'0'..=b'9' | b'.' | b'-' => self.lex_number(span)?,
+            b if b.is_ascii_alphabetic() || b == b'_' => TokenKind::Ident(self.lex_ident()),
+            other => {
+                return Err(DslError::new(
+                    ErrorKind::UnexpectedCharacter,
+                    span,
+                    format!("'{}' is not part of the DSL", other as char),
+                ));
+            }
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+/// Tokenizes `src` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a spanned [`DslError`] on characters outside the language or
+/// malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use lr_dsl::token::{tokenize, TokenKind, Unit};
+/// let toks = tokenize("wavelength = 532 nm;")?;
+/// assert_eq!(toks[0].kind, TokenKind::Ident("wavelength".into()));
+/// assert_eq!(toks[2].kind, TokenKind::Quantity(532e-9, Unit::Nanometer));
+/// # Ok::<(), lr_dsl::DslError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let eof = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        assert_eq!(
+            kinds("system s { }"),
+            vec![
+                TokenKind::Ident("system".into()),
+                TokenKind::Ident("s".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_plain_and_scientific() {
+        assert_eq!(kinds("3"), vec![TokenKind::Number(3.0), TokenKind::Eof]);
+        assert_eq!(kinds("0.5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(1e-3), TokenKind::Eof]);
+        assert_eq!(kinds("-2.5e2"), vec![TokenKind::Number(-250.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_quantities_with_and_without_space() {
+        assert_eq!(
+            kinds("532nm"),
+            vec![TokenKind::Quantity(532e-9, Unit::Nanometer), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("36 um"),
+            vec![TokenKind::Quantity(36e-6, Unit::Micrometer), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("0.3 m"),
+            vec![TokenKind::Quantity(0.3, Unit::Meter), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_non_unit_ident_stays_split() {
+        assert_eq!(
+            kinds("5 layers"),
+            vec![TokenKind::Number(5.0), TokenKind::Ident("layers".into()), TokenKind::Eof]
+        );
+        // `x` is not a unit: `3 x` must not fuse.
+        assert_eq!(
+            kinds("3 x"),
+            vec![TokenKind::Number(3.0), TokenKind::Ident("x".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a # comment with = { symbols\nb"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnexpectedCharacter);
+        assert_eq!(err.span(), Span::new(1, 3));
+    }
+
+    #[test]
+    fn rejects_bare_dot() {
+        let err = tokenize(".").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::BadNumber);
+    }
+
+    #[test]
+    fn exponent_vs_unit_disambiguation() {
+        // `1e3` is 1000; `1 e3` would be number then ident; `1m` is a metre.
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(kinds("1m"), vec![TokenKind::Quantity(1.0, Unit::Meter), TokenKind::Eof]);
+        assert_eq!(
+            kinds("2epochs"),
+            vec![TokenKind::Number(2.0), TokenKind::Ident("epochs".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unit_multipliers() {
+        assert_eq!(Unit::Nanometer.to_meters(), 1e-9);
+        assert_eq!(Unit::Micrometer.to_meters(), 1e-6);
+        assert_eq!(Unit::Millimeter.to_meters(), 1e-3);
+        assert_eq!(Unit::Meter.to_meters(), 1.0);
+        for u in [Unit::Nanometer, Unit::Micrometer, Unit::Millimeter, Unit::Meter] {
+            assert_eq!(Unit::from_suffix(u.suffix()), Some(u));
+        }
+    }
+}

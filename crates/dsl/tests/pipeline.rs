@@ -1,0 +1,82 @@
+//! Integration: the full DSL pipeline — text → parse → validate → compile →
+//! train → evaluate → deploy — on a real (toy-scale) task.
+
+use lr_dsl::{compile_str, format_spec, parse_spec};
+
+const SYSTEM: &str = "
+system integration {
+    laser { wavelength = 532 nm; }
+    grid { size = 16; pixel = 36 um; }
+    propagation { distance = 5 mm; }
+    layers { diffractive x 2; }
+    detector { classes = 2; det_size = 3; }
+    training { epochs = 4; batch_size = 8; learning_rate = 0.2; seed = 3; }
+}";
+
+fn halves_dataset(size: usize, n: usize) -> Vec<(Vec<f64>, usize)> {
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let mut img = vec![0.0; size * size];
+            for r in 0..size / 2 {
+                for c in size / 4..3 * size / 4 {
+                    img[(r + label * size / 2) * size + c] = 1.0;
+                }
+            }
+            (img, label)
+        })
+        .collect()
+}
+
+#[test]
+fn dsl_text_trains_to_above_chance_and_deploys() {
+    let compiled = compile_str(SYSTEM).expect("valid program");
+    let mut model = compiled.model;
+    assert_eq!(model.depth(), 2);
+    assert_eq!(model.num_classes(), 2);
+
+    let data = halves_dataset(16, 24);
+    lightridge::train::train(&mut model, &data, &compiled.train_config);
+    let accuracy = lightridge::train::evaluate(&model, &data);
+    assert!(accuracy > 0.6, "DSL-built model failed to learn: accuracy {accuracy}");
+
+    // Deployment artifacts exist and have the right shape.
+    let masks = model.phase_masks();
+    assert_eq!(masks.len(), 2);
+    assert!(masks.iter().all(|m| m.len() == 16 * 16));
+    assert!(masks.iter().flatten().all(|p| p.is_finite()));
+}
+
+#[test]
+fn canonical_form_compiles_to_the_same_architecture() {
+    let spec = parse_spec(SYSTEM).expect("valid program");
+    let round_tripped = parse_spec(&format_spec(&spec)).expect("canonical form parses");
+    assert_eq!(round_tripped, spec);
+
+    let a = lr_dsl::compile(&spec);
+    let b = lr_dsl::compile(&round_tripped);
+    assert_eq!(a.model.num_params(), b.model.num_params());
+    assert_eq!(a.model.depth(), b.model.depth());
+    // Same seeds ⇒ bit-identical initial parameters.
+    for (la, lb) in a.model.layers().iter().zip(b.model.layers()) {
+        assert_eq!(la.params(), lb.params());
+    }
+}
+
+#[test]
+fn error_messages_point_at_the_problem() {
+    // A realistic typo: wrong key name inside a valid program.
+    let err = compile_str(
+        "system s {
+            laser { wavelenght = 532 nm; }
+            grid { size = 16; pixel = 36 um; }
+            layers { diffractive; }
+            detector { classes = 2; det_size = 3; }
+        }",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("wavelenght"), "{msg}");
+    assert!(msg.contains("wavelength"), "suggestion list missing: {msg}");
+}

@@ -1,0 +1,159 @@
+//! Property tests: the formatter and parser are exact inverses on the space
+//! of valid specs, and the parser never panics on arbitrary input.
+
+use lr_dsl::{
+    format_spec, parse, parse_spec, ApproxSpec, DetectorSpec, DeviceSpec, GridSpec, LaserSpec,
+    LayerSpecEntry, ProfileSpec, PropagationSpec, SystemSpec, TrainingSpec,
+};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+fn arb_profile() -> impl Strategy<Value = ProfileSpec> {
+    prop_oneof![
+        Just(ProfileSpec::Uniform),
+        (1e-6..1e-2f64).prop_map(|waist| ProfileSpec::Gaussian { waist }),
+        ((1.0..1e6f64), (1e-6..1e-2f64)).prop_map(|(radial_wavenumber, envelope)| {
+            ProfileSpec::Bessel { radial_wavenumber, envelope }
+        }),
+    ]
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    prop_oneof![
+        Just(DeviceSpec::Lc2012),
+        (2usize..512).prop_map(|levels| DeviceSpec::Ideal { levels }),
+        (1u32..9).prop_map(|bits| DeviceSpec::Bits { bits }),
+    ]
+}
+
+fn arb_layer() -> impl Strategy<Value = LayerSpecEntry> {
+    prop_oneof![
+        (1usize..6).prop_map(|count| LayerSpecEntry::Diffractive { count }),
+        ((1usize..4), arb_device(), 0.1..4.0f64).prop_map(|(count, device, temperature)| {
+            LayerSpecEntry::Codesign { count, device, temperature }
+        }),
+        ((0.01..=1.0f64), (0.1..10.0f64)).prop_map(|(alpha, saturation)| {
+            LayerSpecEntry::Nonlinearity { alpha, saturation }
+        }),
+    ]
+}
+
+prop_compose! {
+    fn arb_spec()(
+        name in arb_ident(),
+        wavelength in 4e-7..8e-7f64,
+        profile in arb_profile(),
+        size in 16usize..128,
+        pixel_um in 1.0..100.0f64,
+        distance in 1e-3..1.0f64,
+        approx in prop_oneof![
+            Just(ApproxSpec::RayleighSommerfeld),
+            Just(ApproxSpec::Fresnel),
+            Just(ApproxSpec::Fraunhofer),
+        ],
+        mut layers in prop::collection::vec(arb_layer(), 1..5),
+        classes in 2usize..5,
+        gamma in 0.1..4.0f64,
+        learning_rate in 1e-3..1.0f64,
+        epochs in 1usize..50,
+        batch_size in 1usize..512,
+        seed in 1u64..1_000_000,
+        initial_temperature in 0.1..5.0f64,
+        final_temperature in 0.01..1.0f64,
+    ) -> SystemSpec {
+        // Guarantee at least one modulating layer.
+        if !layers.iter().any(|l| !matches!(l, LayerSpecEntry::Nonlinearity { .. })) {
+            layers.push(LayerSpecEntry::Diffractive { count: 1 });
+        }
+        SystemSpec {
+            name,
+            laser: LaserSpec { wavelength, profile },
+            grid: GridSpec { size, pixel: pixel_um * 1e-6 },
+            propagation: PropagationSpec { distance, approx },
+            layers,
+            detector: DetectorSpec { classes, det_size: 2 },
+            training: TrainingSpec {
+                gamma,
+                learning_rate,
+                epochs,
+                batch_size,
+                seed,
+                initial_temperature,
+                final_temperature,
+            },
+        }
+    }
+}
+
+proptest! {
+    /// format → parse is the identity on valid specs, bit-exact on floats.
+    #[test]
+    fn format_parse_roundtrip(spec in arb_spec()) {
+        let text = format_spec(&spec);
+        let reparsed = parse_spec(&text)
+            .unwrap_or_else(|e| panic!("formatted spec failed to parse: {e}\n{text}"));
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    /// Formatting is idempotent: format(parse(format(s))) == format(s).
+    #[test]
+    fn format_is_idempotent(spec in arb_spec()) {
+        let once = format_spec(&spec);
+        let twice = format_spec(&parse_spec(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser returns errors, never panics, on arbitrary junk.
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// The parser also survives junk made of language-ish fragments.
+    #[test]
+    fn parser_never_panics_on_fragments(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("system".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("=".to_string()),
+                Just(";".to_string()),
+                Just("532 nm".to_string()),
+                Just("laser".to_string()),
+                Just("x 3".to_string()),
+                arb_ident(),
+            ],
+            0..30,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse(&src);
+    }
+}
+
+proptest! {
+    // Compiling allocates field-sized parameter buffers and FFT plans, so
+    // keep the case count small; the property is about panic-freedom, not
+    // distribution coverage.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Validation is sufficient: every spec the validator would accept
+    /// compiles into a model without panicking, with the promised shape.
+    #[test]
+    fn valid_specs_always_compile(spec in arb_spec()) {
+        // Round-trip through text so the compiled spec is exactly one the
+        // parser itself admits.
+        let reparsed = parse_spec(&format_spec(&spec)).expect("formatter emits valid programs");
+        let compiled = lr_dsl::compile(&reparsed);
+        prop_assert_eq!(compiled.model.num_classes(), spec.detector.classes);
+        prop_assert_eq!(
+            compiled.model.layers().iter().filter(|l| l.num_params() > 0).count()
+                >= spec.num_modulating_layers().min(1),
+            true
+        );
+    }
+}

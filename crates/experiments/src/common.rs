@@ -1,0 +1,122 @@
+//! Shared utilities for the per-figure experiment regenerators.
+
+use std::time::Instant;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Minutes on a 2-core box: reduced sizes/samples/epochs. Shapes of the
+    /// paper's results are preserved; absolute numbers are smaller.
+    Quick,
+    /// Closer to paper scale (hours). Same code paths.
+    Full,
+}
+
+impl Mode {
+    /// Picks `quick` or `full` value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Mode::Quick => quick,
+            Mode::Full => full,
+        }
+    }
+}
+
+/// Median wall-clock seconds of `runs` executions of `f` (after one
+/// warm-up).
+pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    assert!(runs > 0, "need at least one run");
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// A report accumulator: builds the text block an experiment prints and
+/// archives.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title banner.
+    pub fn new(title: &str) -> Self {
+        let mut r = Report::default();
+        r.line(&format!("==== {title} ===="));
+        r
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.lines.push(s.to_string());
+    }
+
+    /// Appends a `paper vs measured` row.
+    pub fn row(&mut self, label: &str, paper: &str, measured: &str) {
+        self.line(&format!("{label:<38} paper: {paper:<18} measured: {measured}"));
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// The accumulated text.
+    pub fn text(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a speedup ratio like `6.4x`.
+pub fn speedup(baseline_s: f64, ours_s: f64) -> String {
+    format!("{:.1}x", baseline_s / ours_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_pick() {
+        assert_eq!(Mode::Quick.pick(1, 2), 1);
+        assert_eq!(Mode::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn time_median_positive() {
+        let t = time_median(3, || {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("t");
+        r.row("metric", "1.0", "0.9");
+        assert!(r.text().contains("==== t ===="));
+        assert!(r.text().contains("metric"));
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(6.4, 1.0), "6.4x");
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 10: large-scale DONN training runtime.
+//!
+//! The paper measures seconds/epoch while sweeping model depth (up to 30
+//! layers) and system size (100²–500²), observing (1) runtime ≈ linear in
+//! depth and (2) a jump when the system size outgrows the accelerator's
+//! fast memory. We measure seconds/epoch of the real training loop
+//! (forward + backward + Adam) on this machine.
+
+use crate::common::{Mode, Report};
+use lightridge::train::{self, TrainConfig};
+use lightridge::{Detector, DonnBuilder};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use std::time::Instant;
+
+/// R² of an ordinary least-squares line through `(depth, time)` points.
+fn linear_fit_r2(depths: &[usize], times: &[f64]) -> f64 {
+    let n = depths.len() as f64;
+    let mx = depths.iter().map(|&d| d as f64).sum::<f64>() / n;
+    let my = times.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&d, &t) in depths.iter().zip(times) {
+        let dx = d as f64 - mx;
+        let dy = t - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+fn epoch_seconds(n: usize, depth: usize, samples: usize) -> f64 {
+    let grid = Grid::square(n, PixelPitch::from_um(36.0));
+    let mut model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(20.0))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(n, n, 10, (n / 8).max(2)))
+        .build();
+    // Synthetic data: content does not matter for runtime.
+    let data: Vec<(Vec<f64>, usize)> = (0..samples)
+        .map(|i| {
+            let img: Vec<f64> = (0..n * n).map(|p| ((p + i) % 7) as f64 / 7.0).collect();
+            (img, i % 10)
+        })
+        .collect();
+    let config = TrainConfig { epochs: 1, batch_size: 10, ..TrainConfig::default() };
+    let t = Instant::now();
+    train::train(&mut model, &data, &config);
+    t.elapsed().as_secs_f64()
+}
+
+/// Runs the experiment.
+pub fn run(mode: Mode) -> Report {
+    let mut report = Report::new("Figure 10: training runtime scaling (s/epoch)");
+    let sizes: Vec<usize> = mode.pick(vec![64, 128], vec![100, 200, 300, 400, 500]);
+    let depths: Vec<usize> = mode.pick(vec![1, 5, 10, 20, 30], vec![1, 5, 10, 20, 30]);
+    let samples = mode.pick(20, 100);
+    report.line(&format!("({samples} samples per epoch, batch 10, Adam)"));
+    report.line(&format!("{:>6} {:>6} {:>14}", "size", "depth", "s/epoch"));
+
+    let mut per_size: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &n in &sizes {
+        let mut times = Vec::new();
+        for &depth in &depths {
+            let s = epoch_seconds(n, depth, samples);
+            times.push(s);
+            report.line(&format!("{n:>6} {depth:>6} {s:>14.2}"));
+        }
+        per_size.push((n, times));
+    }
+    report.blank();
+    report.row(
+        "30-layer epoch at largest size",
+        "~280 s/epoch @500^2 (GPU)",
+        &format!(
+            "{:.1} s/epoch @{}^2 (CPU)",
+            per_size.last().unwrap().1.last().unwrap(),
+            sizes.last().unwrap()
+        ),
+    );
+
+    // Shape check 1: runtime is an affine function of depth
+    // (overhead + per-layer cost): the linear fit over (depth, time)
+    // explains almost all the variance.
+    let (_, times) = &per_size[0];
+    let r2 = linear_fit_r2(&depths, times);
+    report.line(&format!(
+        "shape check: runtime ~linear in depth (linear-fit R^2 = {r2:.3}): {}",
+        if r2 > 0.9 { "PASS" } else { "FAIL" }
+    ));
+    // Shape check 2: bigger systems cost superlinearly more per pixel is
+    // allowed; just confirm monotone growth with size.
+    let grows = per_size.windows(2).all(|w| w[1].1[0] > w[0].1[0]);
+    report.line(&format!(
+        "shape check: runtime grows with system size: {}",
+        if grows { "PASS" } else { "FAIL" }
+    ));
+    report
+}

@@ -1,0 +1,123 @@
+//! Figure 5 + §5.1: DSE heatmaps and analytical-model transfer.
+//!
+//! Sweeps the (diffraction unit size, diffraction distance) design space at
+//! λ = 432 nm and 632 nm, fits the gradient-boosted analytical model,
+//! predicts the 532 nm design space, validates it with a real grid sweep,
+//! and reports the predicted-vs-validated best point plus the grid-search
+//! savings.
+
+use crate::common::{f3, Mode, Report};
+use lightridge::viz;
+use lr_dse::{sweep, AnalyticalDse, BoostConfig, DsePoint, DseTask};
+
+/// Builds the (unit size, distance) axes for a wavelength: unit sizes from
+/// `10λ` to `110λ` (paper's range), distances spanning the useful
+/// diffraction regime for the task's aperture.
+pub fn axes(wavelength_m: f64, grid_points: usize, task: &DseTask) -> (Vec<f64>, Vec<f64>) {
+    let units: Vec<f64> = (0..grid_points)
+        .map(|i| wavelength_m * (10.0 + 100.0 * i as f64 / (grid_points - 1) as f64))
+        .collect();
+    // Distance axis scaled so mid-axis diffraction spread ≈ half aperture
+    // for the mid unit size; paper uses 0.1–0.6 m at 200×200.
+    let mid_unit = wavelength_m * 60.0;
+    let aperture = task.system_size as f64 * mid_unit;
+    let z_mid = 0.5 * aperture * mid_unit / wavelength_m;
+    let distances: Vec<f64> = (0..grid_points)
+        .map(|i| z_mid * (0.2 + 1.8 * i as f64 / (grid_points - 1) as f64))
+        .collect();
+    (units, distances)
+}
+
+fn heatmap(points: &[DsePoint], units: usize, dists: usize, width: usize) -> String {
+    let vals: Vec<f64> = points.iter().map(|p| p.accuracy).collect();
+    viz::ascii_heatmap(&vals, units, dists, width)
+}
+
+/// Runs the experiment.
+pub fn run(mode: Mode) -> Report {
+    let mut report = Report::new("Figure 5: design-space exploration with analytical model");
+    let task = mode.pick(DseTask::tiny(), DseTask::quick());
+    let grid_points = mode.pick(5, 11);
+
+    let mut train_points = Vec::new();
+    for &lambda in &[432e-9, 632e-9] {
+        let (units, dists) = axes(lambda, grid_points, &task);
+        let pts = sweep(lambda, &units, &dists, &task);
+        report.line(&format!(
+            "emulated design space at {} nm ({} points):",
+            lambda * 1e9,
+            pts.len()
+        ));
+        report.line(&heatmap(&pts, units.len(), dists.len(), 24));
+        train_points.extend(pts);
+    }
+
+    let boost = BoostConfig {
+        n_estimators: mode.pick(400, 3500),
+        learning_rate: 0.2,
+        max_depth: 3,
+    };
+    let dse = AnalyticalDse::fit(&train_points, boost);
+    report.line(&format!(
+        "analytical model fit R^2 on explored points: {}",
+        f3(dse.r_squared(&train_points))
+    ));
+
+    // Predict 532 nm, validate with a real sweep.
+    let lambda = 532e-9;
+    let (units, dists) = axes(lambda, grid_points, &task);
+    let predicted = dse.predict_grid(lambda, &units, &dists);
+    report.line("predicted design space at 532 nm:");
+    report.line(&heatmap(&predicted, units.len(), dists.len(), 24));
+
+    let validated = sweep(lambda, &units, &dists, &task);
+    report.line("grid-search validation at 532 nm:");
+    report.line(&heatmap(&validated, units.len(), dists.len(), 24));
+
+    let best_pred = dse.best_on_grid(lambda, &units, &dists);
+    let best_valid = validated
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+        .unwrap();
+    // Accuracy of the *validated* performance at the predicted point.
+    let at_predicted = validated
+        .iter()
+        .find(|p| p.unit_size_m == best_pred.unit_size_m && p.distance_m == best_pred.distance_m)
+        .unwrap();
+
+    report.blank();
+    report.row(
+        "predicted best point (unit size / distance)",
+        "36um / ~0.3m @200x200",
+        &format!(
+            "{:.1}um / {:.4}m @{}x{}",
+            best_pred.unit_size_m * 1e6,
+            best_pred.distance_m,
+            task.system_size,
+            task.system_size
+        ),
+    );
+    report.row(
+        "validated accuracy at predicted point",
+        "0.97 (star point)",
+        &f3(at_predicted.accuracy),
+    );
+    report.row("grid-search best accuracy", "0.97", &f3(best_valid.accuracy));
+    report.row(
+        "DSE speedup (grid points avoided)",
+        "60x fewer emulations",
+        &format!(
+            "{}x ({} grid points vs ~2 validation runs)",
+            validated.len() / 2,
+            validated.len()
+        ),
+    );
+    let regret = best_valid.accuracy - at_predicted.accuracy;
+    report.line(&format!(
+        "shape check: prediction regret {} <= 0.15: {}",
+        f3(regret),
+        if regret <= 0.15 { "PASS" } else { "FAIL" }
+    ));
+    report
+}

@@ -1,0 +1,72 @@
+//! # lr-experiments
+//!
+//! One regenerator per table and figure of the LightRidge paper's
+//! evaluation (§5). Each module's `run(mode)` reproduces the corresponding
+//! artifact at `Quick` (minutes, reduced scale) or `Full` scale and prints
+//! paper-reported vs measured rows plus explicit *shape checks* (who wins,
+//! by roughly what factor).
+//!
+//! Run them through the `lr-experiments` binary:
+//!
+//! ```text
+//! lr-experiments fig1          # deployment gap
+//! lr-experiments fig5 --full   # DSE heatmaps at paper scale
+//! lr-experiments all           # everything, quick mode
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dse_transfer;
+pub mod ext_features;
+pub mod fdtd_scaling;
+pub mod fig10_training_scale;
+pub mod fig11_onchip;
+pub mod fig13_segmentation;
+pub mod fig1_deployment_gap;
+pub mod fig5_dse;
+pub mod fig6_prototype;
+pub mod fig7_regularization;
+pub mod fig8_kernels;
+pub mod fig9_speedups;
+pub mod tab1_frameworks;
+pub mod tab3_sensitivity;
+pub mod tab4_energy;
+pub mod tab5_rgb;
+
+use common::{Mode, Report};
+
+/// All experiment ids, in paper order (paper artifacts first, then the
+/// §2.1 FDTD-scaling argument, the §4 cross-dataset DSE-transfer claim,
+/// and the §6 future-work extensions).
+pub const EXPERIMENTS: [&str; 16] = [
+    "fig1", "tab1", "fig5", "tab3", "fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "fig11",
+    "tab5", "fig13", "fdtd", "dse-transfer", "ext",
+];
+
+/// Dispatches one experiment by id.
+///
+/// # Panics
+///
+/// Panics if the id is unknown.
+pub fn run_experiment(id: &str, mode: Mode) -> Report {
+    match id {
+        "fig1" => fig1_deployment_gap::run(mode),
+        "tab1" => tab1_frameworks::run(mode),
+        "fig5" => fig5_dse::run(mode),
+        "tab3" => tab3_sensitivity::run(mode),
+        "fig6" => fig6_prototype::run(mode),
+        "fig7" => fig7_regularization::run(mode),
+        "fig8" => fig8_kernels::run(mode),
+        "fig9" => fig9_speedups::run(mode),
+        "fig10" => fig10_training_scale::run(mode),
+        "tab4" => tab4_energy::run(mode),
+        "fig11" => fig11_onchip::run(mode),
+        "tab5" => tab5_rgb::run(mode),
+        "fig13" => fig13_segmentation::run(mode),
+        "fdtd" => fdtd_scaling::run(mode),
+        "dse-transfer" => dse_transfer::run(mode),
+        "ext" => ext_features::run(mode),
+        other => panic!("unknown experiment id: {other} (known: {EXPERIMENTS:?})"),
+    }
+}

@@ -1,0 +1,94 @@
+//! Table 5 / Figure 12: multi-channel RGB DONN classification.
+//!
+//! Three optical channels (beam-split R/G/B paths, five diffractive layers
+//! each) merge their intensities on one shared detector and train against a
+//! shared loss. The paper reports top-1/3/5 of 0.52/0.73/0.84 on Places365
+//! vs a 0.23/0.48/0.67 baseline. Our baseline is the same budget spent on
+//! a single-channel DONN fed the grayscale merge — isolating the value of
+//! the multi-channel architecture.
+
+use crate::common::{f3, Mode, Report};
+use lightridge::train::{self, TrainConfig};
+use lightridge::{Detector, DonnBuilder, MultiChannelDonn};
+use lr_datasets::scenes::{self, ScenesConfig};
+use lr_nn::metrics::top_k_correct;
+use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
+
+/// Runs the experiment.
+pub fn run(mode: Mode) -> Report {
+    let mut report = Report::new("Table 5: multi-channel RGB DONN (Places365-substitute scenes)");
+    let size = mode.pick(32, 256);
+    let depth = mode.pick(2, 5);
+    let (n_train, n_test, epochs) = mode.pick((240, 120, 6), (2000, 500, 50));
+
+    let cfg = ScenesConfig { size, ..Default::default() };
+    let data = scenes::generate(n_train + n_test, &cfg, 51);
+    let (train_rgb, test_rgb) = data.split_at(n_train);
+    let classes = 6;
+    let detector = Detector::grid_layout(size, size, classes, size / 8);
+
+    // --- Multi-channel RGB DONN ---
+    let grid = Grid::square(size, PixelPitch::from_um(36.0));
+    let mut rgb_model = MultiChannelDonn::new(
+        grid,
+        Wavelength::from_nm(532.0),
+        Distance::from_mm(20.0),
+        Approximation::RayleighSommerfeld,
+        depth,
+        detector.clone(),
+        61,
+    );
+    rgb_model.train(train_rgb, epochs, 24, 0.3, 6);
+    let top1 = rgb_model.evaluate_top_k(test_rgb, 1);
+    let top3 = rgb_model.evaluate_top_k(test_rgb, 3);
+    let top5 = rgb_model.evaluate_top_k(test_rgb, 5);
+
+    // --- Baseline: grayscale single channel, same optical budget/epochs ---
+    let gray_train: Vec<(Vec<f64>, usize)> =
+        train_rgb.iter().map(|(img, l)| (scenes::to_grayscale(img), *l)).collect();
+    let gray_test: Vec<(Vec<f64>, usize)> =
+        test_rgb.iter().map(|(img, l)| (scenes::to_grayscale(img), *l)).collect();
+    let mut baseline = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(20.0))
+        .diffractive_layers(depth)
+        .detector(detector)
+        .init_seed(62)
+        .build();
+    train::train(
+        &mut baseline,
+        &gray_train,
+        &TrainConfig { epochs, batch_size: 24, learning_rate: 0.3, ..TrainConfig::default() },
+    );
+    let base_topk = |k: usize| -> f64 {
+        let correct = gray_test
+            .iter()
+            .filter(|(img, l)| {
+                let input = lr_tensor::Field::from_amplitudes(size, size, img);
+                top_k_correct(&baseline.infer(&input), *l, k)
+            })
+            .count();
+        correct as f64 / gray_test.len() as f64
+    };
+    let b1 = base_topk(1);
+    let b3 = base_topk(3);
+    let b5 = base_topk(5);
+
+    report.line(&format!("(6 scene classes, {depth}-layer channels, {size}x{size})"));
+    report.row("RGB-DONN top-1", "0.52", &f3(top1));
+    report.row("RGB-DONN top-3", "0.73", &f3(top3));
+    report.row("RGB-DONN top-5", "0.84", &f3(top5));
+    report.row("baseline top-1", "0.23", &f3(b1));
+    report.row("baseline top-3", "0.48", &f3(b3));
+    report.row("baseline top-5", "0.67", &f3(b5));
+    report.blank();
+    // The paper: "ours outperforms the baseline most at the top-1
+    // accuracy" — so the check demands a decisive top-1 win and no top-5
+    // regression.
+    let pass = top1 > b1 + 0.1 && top5 >= b5 - 0.05;
+    report.line(&format!(
+        "shape check: multi-channel beats grayscale baseline, biggest win at top-1: {}",
+        if pass { "PASS" } else { "FAIL" }
+    ));
+    let _ = top3;
+    report
+}

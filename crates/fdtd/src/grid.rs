@@ -1,0 +1,156 @@
+//! Yee-grid configuration: resolution, Courant number, and the unit system.
+//!
+//! The solver works in normalized units: the speed of light is 1, space is
+//! measured in cells of size `dx`, and one time step advances `courant·dx`.
+//! Physical problems are mapped in by expressing the wavelength in cells
+//! (`cells_per_wavelength`), which is also the knob the paper's §2.1
+//! argument turns: FDTD needs the *entire* domain gridded at λ/10–λ/20,
+//! while the FFT kernels sample at the device pitch (tens of λ).
+
+/// Configuration of a 2-D finite-difference time-domain simulation.
+///
+/// Axis convention: `x` (index `i`, `0..nx`) is the propagation axis,
+/// `y` (index `j`, `0..ny`) the transverse axis.
+///
+/// # Examples
+///
+/// ```
+/// use lr_fdtd::SimGrid;
+/// let grid = SimGrid::new(300, 200, 15.0);
+/// assert_eq!(grid.nx(), 300);
+/// assert!(grid.courant() <= 1.0 / 2f64.sqrt());
+/// assert!((grid.steps_per_period() - 30.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimGrid {
+    nx: usize,
+    ny: usize,
+    cells_per_wavelength: f64,
+    courant: f64,
+}
+
+impl SimGrid {
+    /// Default Courant number: half the 2-D stability limit `1/√2`, giving
+    /// an integer number of steps per period for common resolutions.
+    pub const DEFAULT_COURANT: f64 = 0.5;
+
+    /// Creates a grid of `nx × ny` cells with the source wavelength spanning
+    /// `cells_per_wavelength` cells, at the default Courant number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is < 8 cells or the wavelength is resolved
+    /// by fewer than 8 cells (the dispersion error would dominate).
+    pub fn new(nx: usize, ny: usize, cells_per_wavelength: f64) -> Self {
+        Self::with_courant(nx, ny, cells_per_wavelength, Self::DEFAULT_COURANT)
+    }
+
+    /// Creates a grid with an explicit Courant number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensions < 8, wavelength resolution < 8 cells, or a
+    /// Courant number outside `(0, 1/√2]` (the 2-D stability limit).
+    pub fn with_courant(nx: usize, ny: usize, cells_per_wavelength: f64, courant: f64) -> Self {
+        assert!(nx >= 8 && ny >= 8, "domain must be at least 8x8 cells, got {nx}x{ny}");
+        assert!(
+            cells_per_wavelength >= 8.0,
+            "need >= 8 cells per wavelength for acceptable numerical dispersion, got {cells_per_wavelength}"
+        );
+        let limit = 1.0 / 2f64.sqrt();
+        assert!(
+            courant > 0.0 && courant <= limit + 1e-12,
+            "Courant number {courant} violates the 2-D stability limit {limit:.4}"
+        );
+        SimGrid { nx, ny, cells_per_wavelength, courant }
+    }
+
+    /// Cells along the propagation axis.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along the transverse axis.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of Yee cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Source wavelength in cells.
+    pub fn cells_per_wavelength(&self) -> f64 {
+        self.cells_per_wavelength
+    }
+
+    /// Courant number `c·dt/dx`.
+    pub fn courant(&self) -> f64 {
+        self.courant
+    }
+
+    /// Angular frequency of the source per time step (radians/step).
+    pub fn omega_per_step(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.courant / self.cells_per_wavelength
+    }
+
+    /// Time steps per source period.
+    pub fn steps_per_period(&self) -> f64 {
+        self.cells_per_wavelength / self.courant
+    }
+
+    /// Steps for light to cross `cells` grid cells.
+    pub fn steps_to_cross(&self, cells: usize) -> usize {
+        (cells as f64 / self.courant).ceil() as usize
+    }
+
+    /// Estimated working-set size in bytes (three field arrays + one
+    /// material array of `f64`).
+    pub fn memory_bytes(&self) -> usize {
+        4 * self.num_cells() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_derived_quantities() {
+        let g = SimGrid::new(100, 50, 20.0);
+        assert_eq!(g.nx(), 100);
+        assert_eq!(g.ny(), 50);
+        assert_eq!(g.num_cells(), 5000);
+        assert_eq!(g.cells_per_wavelength(), 20.0);
+        assert_eq!(g.courant(), 0.5);
+        assert_eq!(g.steps_per_period(), 40.0);
+        assert_eq!(g.steps_to_cross(10), 20);
+        assert_eq!(g.memory_bytes(), 4 * 5000 * 8);
+    }
+
+    #[test]
+    fn omega_matches_period() {
+        let g = SimGrid::new(64, 64, 16.0);
+        let total_phase = g.omega_per_step() * g.steps_per_period();
+        assert!((total_phase - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stability limit")]
+    fn rejects_unstable_courant() {
+        let _ = SimGrid::with_courant(64, 64, 16.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn rejects_tiny_domain() {
+        let _ = SimGrid::new(4, 64, 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells per wavelength")]
+    fn rejects_coarse_wavelength() {
+        let _ = SimGrid::new(64, 64, 4.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # lr-fdtd
+//!
+//! A 2-D finite-difference time-domain (FDTD, Yee 1966) Maxwell solver —
+//! the "full-vector differentiable numerical simulation of photonic
+//! structures" the LightRidge paper weighs against FFT-based scalar
+//! diffraction in §2.1 and rejects for DONN emulation because "the DONN
+//! system size will be expanded exponentially in the FDTD-based
+//! emulation".
+//!
+//! This crate exists for two reasons:
+//!
+//! 1. **Cross-engine validation.** Steady-state continuous-wave FDTD runs
+//!    are compared against the angular-spectrum kernels (here via the
+//!    independent [`validate::angular_spectrum_1d`] oracle), grounding the
+//!    production FFT kernels in a discretization of Maxwell's equations
+//!    with *no scalar approximation at all*.
+//! 2. **Reproducing the §2.1 scaling argument.** [`validate::fdtd_hop_cost`]
+//!    vs [`validate::fft_hop_cost`] (and the measured sweep in
+//!    `lr-experiments fdtd`) quantify why a 200×200, 0.3 m DONN hop is
+//!    minutes for the FFT kernel and CPU-millennia for FDTD.
+//!
+//! ## Model
+//!
+//! TMz polarization on a Yee grid (`Ez`, `Hx`, `Hy`), vacuum or
+//! per-cell relative permittivity, Mur first-order absorbing boundaries,
+//! soft CW line sources with raised-cosine turn-on, and phasor extraction
+//! by quadrature projection at steady state.
+//!
+//! ```
+//! use lr_fdtd::{CwLineSource, Fdtd2D, SimGrid};
+//!
+//! // A plane wave crossing a 160×40-cell vacuum domain.
+//! let grid = SimGrid::new(160, 40, 12.0);
+//! let mut sim = Fdtd2D::new(grid);
+//! sim.add_source(CwLineSource::uniform(4, grid.ny()));
+//! let phasor = sim.steady_state_phasor(120, 4);
+//! let magnitude: f64 = phasor.iter().map(|(re, im)| (re * re + im * im).sqrt()).sum::<f64>()
+//!     / phasor.len() as f64;
+//! assert!(magnitude > 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod grid;
+mod solver;
+mod source;
+pub mod validate;
+
+pub use grid::SimGrid;
+pub use solver::Fdtd2D;
+pub use source::CwLineSource;

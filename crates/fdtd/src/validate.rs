@@ -1,0 +1,220 @@
+//! Cross-engine reference: a 1-D angular-spectrum propagator matching the
+//! FDTD solver's 2-D world (one transverse axis + one propagation axis),
+//! plus the §2.1 cost model comparing FDTD against the FFT kernels.
+//!
+//! The propagator is deliberately a naive `O(N²)` DFT — it is a *test
+//! oracle*, independent of `lr-tensor`'s FFT machinery, so agreement
+//! between the three engines (FDTD ↔ this oracle ↔ the production kernels)
+//! is meaningful.
+
+/// Propagates a complex 1-D field a distance `z` using the exact scalar
+/// transfer function of 2-D free space,
+/// `H(f) = exp(j·k·z·√(1 − (λf)²))`, with evanescent components decayed.
+///
+/// `field` is `(re, im)` per cell, `pitch` the cell size and `wavelength`
+/// the wavelength in the same length unit as `z`.
+///
+/// # Panics
+///
+/// Panics if the field is empty or any parameter is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use lr_fdtd::validate::angular_spectrum_1d;
+/// let aperture: Vec<(f64, f64)> =
+///     (0..64).map(|j| if (24..40).contains(&j) { (1.0, 0.0) } else { (0.0, 0.0) }).collect();
+/// let out = angular_spectrum_1d(&aperture, 1.0, 12.0, 40.0);
+/// assert_eq!(out.len(), 64);
+/// // The propagating spectrum conserves power; only the evanescent part
+/// // of the hard-edged slit decays away.
+/// let power = |f: &[(f64, f64)]| f.iter().map(|(a, b)| a * a + b * b).sum::<f64>();
+/// assert!(power(&out) <= power(&aperture) * (1.0 + 1e-9));
+/// assert!(power(&out) > 0.8 * power(&aperture));
+/// ```
+pub fn angular_spectrum_1d(
+    field: &[(f64, f64)],
+    pitch: f64,
+    wavelength: f64,
+    z: f64,
+) -> Vec<(f64, f64)> {
+    assert!(!field.is_empty(), "field must not be empty");
+    assert!(pitch > 0.0 && wavelength > 0.0 && z >= 0.0, "parameters must be positive");
+    let n = field.len();
+    let nf = n as f64;
+    let k = 2.0 * std::f64::consts::PI / wavelength;
+
+    // Forward DFT.
+    let mut spectrum = vec![(0.0, 0.0); n];
+    for (m, slot) in spectrum.iter_mut().enumerate() {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (j, &(fr, fi)) in field.iter().enumerate() {
+            let phase = -2.0 * std::f64::consts::PI * (m * j) as f64 / nf;
+            let (s, c) = phase.sin_cos();
+            re += fr * c - fi * s;
+            im += fr * s + fi * c;
+        }
+        *slot = (re, im);
+    }
+
+    // Transfer function per DFT bin (signed frequency).
+    for (m, slot) in spectrum.iter_mut().enumerate() {
+        let signed = if m <= n / 2 { m as f64 } else { m as f64 - nf };
+        let f = signed / (nf * pitch);
+        let arg = 1.0 - (wavelength * f) * (wavelength * f);
+        let (hr, hi) = if arg >= 0.0 {
+            let phase = k * z * arg.sqrt();
+            (phase.cos(), phase.sin())
+        } else {
+            // Evanescent: pure decay.
+            let decay = (-k * z * (-arg).sqrt()).exp();
+            (decay, 0.0)
+        };
+        let (sr, si) = *slot;
+        *slot = (sr * hr - si * hi, sr * hi + si * hr);
+    }
+
+    // Inverse DFT.
+    let mut out = vec![(0.0, 0.0); n];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (m, &(sr, si)) in spectrum.iter().enumerate() {
+            let phase = 2.0 * std::f64::consts::PI * (m * j) as f64 / nf;
+            let (s, c) = phase.sin_cos();
+            re += sr * c - si * s;
+            im += sr * s + si * c;
+        }
+        *slot = (re / nf, im / nf);
+    }
+    out
+}
+
+/// The §2.1 cost model: operations and memory to emulate one free-space
+/// hop of a DONN layer, for both engines.
+///
+/// * FDTD: the whole `aperture × distance` volume is gridded at
+///   `cells_per_wavelength` (λ/10–λ/20), stepped until the wave crosses —
+///   cost grows with the *physical distance* in wavelengths, cubically
+///   overall.
+/// * FFT kernel: two FFTs + one multiply on the `N`-pixel plane,
+///   independent of distance.
+///
+/// All quantities are in wavelengths / pixels, so the comparison is
+/// dimensionless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopCost {
+    /// Floating-point cell-updates (FDTD) or butterfly ops (FFT).
+    pub ops: f64,
+    /// Working set in bytes.
+    pub memory_bytes: f64,
+}
+
+/// Cost of one hop via FDTD.
+///
+/// `aperture_wavelengths × distance_wavelengths` domain at
+/// `cells_per_wavelength` resolution, run for the crossing time at
+/// Courant ½ (×2 for settle), ~6 flops per cell-update, 4 `f64` arrays.
+pub fn fdtd_hop_cost(
+    aperture_wavelengths: f64,
+    distance_wavelengths: f64,
+    cells_per_wavelength: f64,
+) -> HopCost {
+    let nx = distance_wavelengths * cells_per_wavelength;
+    let ny = aperture_wavelengths * cells_per_wavelength;
+    let steps = 2.0 * nx / 0.5;
+    HopCost { ops: 6.0 * nx * ny * steps, memory_bytes: 4.0 * 8.0 * nx * ny }
+}
+
+/// Cost of one hop via the FFT transfer-function kernel on an `n × n`
+/// plane: two 2-D FFTs (`~2·5·n²·log₂(n²)`) plus one complex multiply.
+pub fn fft_hop_cost(n: f64) -> HopCost {
+    let n2 = n * n;
+    let fft = 5.0 * n2 * (n2.log2().max(1.0));
+    HopCost { ops: 2.0 * fft + 6.0 * n2, memory_bytes: 2.0 * 16.0 * n2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(f: &[(f64, f64)]) -> f64 {
+        f.iter().map(|(a, b)| a * a + b * b).sum()
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let field: Vec<(f64, f64)> =
+            (0..32).map(|j| ((j as f64 * 0.3).sin(), (j as f64 * 0.1).cos())).collect();
+        let out = angular_spectrum_1d(&field, 1.0, 10.0, 0.0);
+        for (a, b) in field.iter().zip(&out) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn propagation_conserves_power_without_evanescent_content() {
+        // A smooth, wide profile has negligible evanescent content.
+        let field: Vec<(f64, f64)> = (0..128)
+            .map(|j| {
+                let x = (j as f64 - 64.0) / 20.0;
+                ((-x * x).exp(), 0.0)
+            })
+            .collect();
+        let out = angular_spectrum_1d(&field, 1.0, 16.0, 60.0);
+        let rel = (power(&out) - power(&field)).abs() / power(&field);
+        assert!(rel < 1e-6, "power not conserved: rel err {rel:.3e}");
+    }
+
+    #[test]
+    fn propagation_spreads_a_slit() {
+        let field: Vec<(f64, f64)> =
+            (0..128).map(|j| if (56..72).contains(&j) { (1.0, 0.0) } else { (0.0, 0.0) }).collect();
+        let out = angular_spectrum_1d(&field, 1.0, 12.0, 80.0);
+        // Light must have appeared outside the geometric shadow.
+        let outside: f64 = out[20..40].iter().map(|(a, b)| a * a + b * b).sum();
+        assert!(outside > 1e-4, "no diffraction spread observed");
+    }
+
+    #[test]
+    fn linearity_of_the_propagator() {
+        let f1: Vec<(f64, f64)> =
+            (0..64).map(|j| ((j as f64 * 0.2).sin().max(0.0), 0.0)).collect();
+        let f2: Vec<(f64, f64)> =
+            (0..64).map(|j| (0.0, (j as f64 * 0.15).cos().max(0.0))).collect();
+        let sum: Vec<(f64, f64)> =
+            f1.iter().zip(&f2).map(|(a, b)| (a.0 + b.0, a.1 + b.1)).collect();
+        let p1 = angular_spectrum_1d(&f1, 1.0, 10.0, 30.0);
+        let p2 = angular_spectrum_1d(&f2, 1.0, 10.0, 30.0);
+        let ps = angular_spectrum_1d(&sum, 1.0, 10.0, 30.0);
+        for ((a, b), s) in p1.iter().zip(&p2).zip(&ps) {
+            assert!((a.0 + b.0 - s.0).abs() < 1e-9);
+            assert!((a.1 + b.1 - s.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fdtd_cost_grows_with_distance_but_fft_does_not() {
+        let near = fdtd_hop_cost(100.0, 10.0, 15.0);
+        let far = fdtd_hop_cost(100.0, 100.0, 15.0);
+        assert!(far.ops > 50.0 * near.ops, "FDTD cost must grow ~quadratically with distance");
+        let fft = fft_hop_cost(200.0);
+        assert_eq!(fft.ops, fft_hop_cost(200.0).ops, "FFT cost is distance-independent");
+    }
+
+    #[test]
+    fn paper_scale_fdtd_is_infeasible() {
+        // Paper prototype: 200×200 @ 36 µm pitch = 7.2 mm aperture
+        // ≈ 13,534 λ at 532 nm; distance 0.3 m ≈ 563,910 λ.
+        let fdtd = fdtd_hop_cost(13_534.0, 563_910.0, 15.0);
+        let fft = fft_hop_cost(200.0);
+        assert!(
+            fdtd.ops / fft.ops > 1e9,
+            "the §2.1 infeasibility argument requires >10^9 op ratio, got {:.1e}",
+            fdtd.ops / fft.ops
+        );
+        // > 1 TB of fields.
+        assert!(fdtd.memory_bytes > 1e12);
+    }
+}

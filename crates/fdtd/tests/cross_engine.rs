@@ -1,0 +1,198 @@
+//! Cross-engine validation: steady-state CW FDTD against the independent
+//! 1-D angular-spectrum oracle. Agreement here grounds the scalar FFT
+//! kernels (which share the oracle's math) in a direct discretization of
+//! Maxwell's equations.
+
+use lr_fdtd::validate::angular_spectrum_1d;
+use lr_fdtd::{CwLineSource, Fdtd2D, SimGrid};
+
+fn magnitudes(phasor: &[(f64, f64)]) -> Vec<f64> {
+    phasor.iter().map(|(re, im)| (re * re + im * im).sqrt()).collect()
+}
+
+fn normalize(v: &mut [f64]) {
+    let max = v.iter().cloned().fold(0.0, f64::max);
+    assert!(max > 1e-9, "signal is empty");
+    for x in v.iter_mut() {
+        *x /= max;
+    }
+}
+
+fn local_maxima(v: &[f64], floor: f64) -> Vec<usize> {
+    let mut peaks = Vec::new();
+    for j in 1..v.len() - 1 {
+        if v[j] > floor && v[j] >= v[j - 1] && v[j] >= v[j + 1] {
+            peaks.push(j);
+        }
+    }
+    peaks
+}
+
+/// Gaussian-apertured CW beam: the FDTD steady-state amplitude profile a
+/// fixed distance downstream must match the angular-spectrum prediction.
+#[test]
+fn gaussian_aperture_profile_matches_angular_spectrum() {
+    let cells_per_wavelength = 12.0;
+    let ny = 96;
+    let nx = 150;
+    let src_row = 6;
+    let probe_row = 86;
+
+    // Gaussian transverse profile, narrow enough to diffract visibly.
+    let sigma = 8.0;
+    let profile: Vec<f64> = (0..ny)
+        .map(|j| {
+            let x = (j as f64 - ny as f64 / 2.0) / sigma;
+            (-x * x / 2.0).exp()
+        })
+        .collect();
+
+    let grid = SimGrid::new(nx, ny, cells_per_wavelength);
+    let mut sim = Fdtd2D::new(grid);
+    sim.add_source(CwLineSource::with_profile(src_row, profile.clone()));
+    let mut fdtd_mag = magnitudes(&sim.steady_state_phasor(probe_row, 8));
+
+    let field: Vec<(f64, f64)> = profile.iter().map(|&a| (a, 0.0)).collect();
+    let z = (probe_row - src_row) as f64;
+    let predicted = angular_spectrum_1d(&field, 1.0, cells_per_wavelength, z);
+    let mut oracle_mag = magnitudes(&predicted);
+
+    normalize(&mut fdtd_mag);
+    normalize(&mut oracle_mag);
+
+    // Compare away from the transverse Mur boundaries.
+    let lo = 12;
+    let hi = ny - 12;
+    let mut err2 = 0.0;
+    let mut norm2 = 0.0;
+    for j in lo..hi {
+        err2 += (fdtd_mag[j] - oracle_mag[j]).powi(2);
+        norm2 += oracle_mag[j].powi(2);
+    }
+    let rel = (err2 / norm2).sqrt();
+    assert!(
+        rel < 0.15,
+        "FDTD and angular-spectrum beam profiles disagree: relative L2 error {rel:.3}"
+    );
+}
+
+/// Field-transplant test on a double-slit scene: the complex field FDTD
+/// measures just behind the wall, propagated forward by the
+/// angular-spectrum oracle, must land on the field FDTD itself measures at
+/// the far probe — a pure free-space propagation comparison with no
+/// aperture-model mismatch.
+#[test]
+fn double_slit_fdtd_field_transplants_through_the_oracle() {
+    let cells_per_wavelength = 12.0;
+    let ny = 120;
+    let nx = 210; // keep the far probe well clear of the x1 Mur boundary
+    let src_row = 6;
+    let wall_row = 30;
+    let behind_row = 37; // just past the 3-cell wall
+    let probe_row = 150;
+
+    // Two slits of width 18 cells (1.5 λ — wide enough that the diffracted
+    // orders stay away from grazing incidence, where first-order Mur
+    // boundaries reflect), centers 36 cells apart.
+    let slit_w = 18usize;
+    let c1 = ny / 2 - 18;
+    let c2 = ny / 2 + 18;
+    let open = |j: usize| {
+        (j >= c1 - slit_w / 2 && j < c1 + slit_w / 2)
+            || (j >= c2 - slit_w / 2 && j < c2 + slit_w / 2)
+    };
+
+    let grid = SimGrid::new(nx, ny, cells_per_wavelength);
+    let mut sim = Fdtd2D::new(grid);
+    sim.add_source(CwLineSource::uniform(src_row, ny));
+    for j in 0..ny {
+        if !open(j) {
+            for w in 0..3 {
+                sim.set_blocker(wall_row + w, j);
+            }
+        }
+    }
+    let phasors = sim.steady_state_phasor_rows(&[behind_row, probe_row], 8);
+    let behind = &phasors[0];
+    let mut fdtd_mag = magnitudes(&phasors[1]);
+
+    // Oracle: take FDTD's own field behind the wall and propagate it.
+    // Zero-pad 4× first — the DFT-based oracle is transversely periodic,
+    // while the FDTD domain has absorbing boundaries; without padding the
+    // slit pair becomes an infinite slit array and the fringe spacing
+    // halves.
+    let pad = 4 * ny;
+    let mut padded = vec![(0.0, 0.0); pad];
+    let offset = (pad - ny) / 2;
+    padded[offset..offset + ny].copy_from_slice(behind);
+    let z = (probe_row - behind_row) as f64;
+    let predicted = angular_spectrum_1d(&padded, 1.0, cells_per_wavelength, z);
+    let mut oracle_mag = magnitudes(&predicted[offset..offset + ny]);
+
+    normalize(&mut fdtd_mag);
+    normalize(&mut oracle_mag);
+
+    // Compare away from the transverse boundaries (first-order Mur
+    // reflects obliquely-incident diffracted orders near the edges).
+    let lo = 20;
+    let hi = ny - 20;
+    let mut err2 = 0.0;
+    let mut norm2 = 0.0;
+    for j in lo..hi {
+        err2 += (fdtd_mag[j] - oracle_mag[j]).powi(2);
+        norm2 += oracle_mag[j].powi(2);
+    }
+    let rel = (err2 / norm2).sqrt();
+    assert!(
+        rel < 0.25,
+        "transplanted field diverges from FDTD downstream field: relative L2 error {rel:.3}"
+    );
+
+    // The sharper physics check: the fringe *pattern* must be aligned —
+    // the normalized cross-correlation of the two profiles must peak at
+    // (or within a sixth of a wavelength of) zero shift. Fringe geometry
+    // is exact physics; contrast is limited by the first-order Mur
+    // boundaries and FDTD numerical dispersion.
+    let window_f: Vec<f64> = fdtd_mag[lo..hi].to_vec();
+    let window_o: Vec<f64> = oracle_mag[lo..hi].to_vec();
+    let corr_at = |shift: i64| -> f64 {
+        let mut num = 0.0;
+        let mut fa = 0.0;
+        let mut oa = 0.0;
+        for j in 0..window_f.len() {
+            let k = j as i64 + shift;
+            if k < 0 || k as usize >= window_o.len() {
+                continue;
+            }
+            num += window_f[j] * window_o[k as usize];
+            fa += window_f[j] * window_f[j];
+            oa += window_o[k as usize] * window_o[k as usize];
+        }
+        num / (fa.sqrt() * oa.sqrt()).max(1e-12)
+    };
+    let (best_shift, best_corr) = (-8..=8i64)
+        .map(|s| (s, corr_at(s)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    assert!(
+        best_corr > 0.9,
+        "fringe patterns decorrelated: best correlation {best_corr:.3} at shift {best_shift}"
+    );
+    assert!(
+        best_shift.unsigned_abs() <= 2,
+        "fringe patterns misaligned: correlation peaks at shift {best_shift} cells"
+    );
+    // And there must actually be fringes to align.
+    assert!(
+        local_maxima(&window_f, 0.5).len() >= 2,
+        "expected interference fringes in the FDTD profile"
+    );
+}
+
+/// Failure injection: a Courant number above the 2-D limit must be
+/// rejected at construction, because the leapfrog scheme would explode.
+#[test]
+fn unstable_courant_is_rejected_up_front() {
+    let result = std::panic::catch_unwind(|| SimGrid::with_courant(64, 64, 12.0, 0.95));
+    assert!(result.is_err(), "Courant 0.95 > 1/sqrt(2) must be rejected");
+}

@@ -1,0 +1,173 @@
+//! Interpixel crosstalk model (paper §6, after Lou et al., Optics Letters
+//! 2023).
+//!
+//! Adjacent modulator pixels are not independent: liquid-crystal fringing
+//! fields and fabrication blur couple each pixel's realized modulation to
+//! its neighbours, most visibly where the trained mask has sharp phase
+//! steps. We model this as a normalized spatial low-pass on the *complex
+//! modulation* (not on the phase, which would wrap incorrectly):
+//!
+//! ```text
+//! m'(p) = Σ_q k(q) · m(p − q),   k = (1−s)·δ + s·blur₃ₓ₃
+//! ```
+//!
+//! with coupling strength `s ∈ [0, 1)`.
+
+/// A 3×3 normalized crosstalk kernel with configurable coupling strength.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkModel {
+    strength: f64,
+}
+
+impl CrosstalkModel {
+    /// Creates a model with coupling strength `s ∈ [0, 1)`. `s = 0` means
+    /// perfectly independent pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength` is outside `[0, 1)`.
+    pub fn new(strength: f64) -> Self {
+        assert!((0.0..1.0).contains(&strength), "coupling strength must be in [0,1)");
+        CrosstalkModel { strength }
+    }
+
+    /// No crosstalk.
+    pub fn none() -> Self {
+        CrosstalkModel { strength: 0.0 }
+    }
+
+    /// Typical visible-range liquid-crystal panel (a few percent coupling).
+    pub fn typical_lc() -> Self {
+        CrosstalkModel { strength: 0.08 }
+    }
+
+    /// Coupling strength.
+    pub fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    /// The effective 3×3 kernel, row-major, summing to 1.
+    pub fn kernel(&self) -> [f64; 9] {
+        let s = self.strength;
+        // Neighbour weights: 4-neighbours twice the diagonal weight.
+        let side = s / 6.0;
+        let diag = s / 12.0;
+        [
+            diag, side, diag,
+            side, 1.0 - s, side,
+            diag, side, diag,
+        ]
+    }
+
+    /// Applies crosstalk to a row-major complex modulation mask given as
+    /// interleaved `(re, im)` pairs of length `2·rows·cols`, in place.
+    ///
+    /// Using the complex representation keeps phase wrapping physical: the
+    /// blur acts on the modulated field contribution, not on the wrapped
+    /// phase value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not `2·rows·cols`.
+    pub fn apply_complex(&self, rows: usize, cols: usize, interleaved: &mut [f64]) {
+        assert_eq!(interleaved.len(), 2 * rows * cols, "buffer length mismatch");
+        if self.strength == 0.0 {
+            return;
+        }
+        let k = self.kernel();
+        let src = interleaved.to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                let mut weight = 0.0;
+                for (ki, (dr, dc)) in [
+                    (-1isize, -1isize), (-1, 0), (-1, 1),
+                    (0, -1), (0, 0), (0, 1),
+                    (1, -1), (1, 0), (1, 1),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    let rr = r as isize + dr;
+                    let cc = c as isize + dc;
+                    if rr >= 0 && cc >= 0 && (rr as usize) < rows && (cc as usize) < cols {
+                        let idx = 2 * (rr as usize * cols + cc as usize);
+                        re += k[ki] * src[idx];
+                        im += k[ki] * src[idx + 1];
+                        weight += k[ki];
+                    }
+                }
+                // Renormalize at the borders so edges are not dimmed.
+                let idx = 2 * (r * cols + c);
+                interleaved[idx] = re / weight;
+                interleaved[idx + 1] = im / weight;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_normalized() {
+        for s in [0.0, 0.05, 0.3, 0.9] {
+            let k = CrosstalkModel::new(s).kernel();
+            let sum: f64 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "kernel must sum to 1 at s={s}");
+            assert!(k.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let ct = CrosstalkModel::none();
+        let mut buf: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let orig = buf.clone();
+        ct.apply_complex(4, 4, &mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn uniform_mask_is_fixed_point() {
+        let ct = CrosstalkModel::typical_lc();
+        let mut buf = vec![0.0; 2 * 16];
+        for i in 0..16 {
+            buf[2 * i] = 0.6; // re
+            buf[2 * i + 1] = -0.2; // im
+        }
+        let orig = buf.clone();
+        ct.apply_complex(4, 4, &mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12, "uniform masks see no crosstalk");
+        }
+    }
+
+    #[test]
+    fn sharp_edges_get_smoothed() {
+        let ct = CrosstalkModel::new(0.3);
+        // A step mask: left half (1,0), right half (-1,0) — a π phase step.
+        let (rows, cols) = (4, 4);
+        let mut buf = vec![0.0; 2 * rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                buf[2 * (r * cols + c)] = if c < cols / 2 { 1.0 } else { -1.0 };
+            }
+        }
+        ct.apply_complex(rows, cols, &mut buf);
+        // At the step boundary the magnitude drops below 1 (destructive
+        // mixing), away from it stays ~1.
+        let at_edge = buf[2 * 1]; // (0,1): next to the step
+        let far = buf[0]; // (0,0): corner
+        assert!(at_edge.abs() < 1.0 - 1e-3, "edge pixel must be attenuated: {at_edge}");
+        assert!(far.abs() > at_edge.abs(), "interior pixel less affected");
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1)")]
+    fn rejects_full_coupling() {
+        let _ = CrosstalkModel::new(1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # lr-hardware
+//!
+//! Optical hardware device models for LightRidge-RS: SLM discrete phase
+//! response curves, fabrication variations, camera/detector noise and ADC
+//! quantization, 3D-printed THz mask fabrication, and the Table-4 energy
+//! models.
+//!
+//! These models are what turns "training a DONN" into "training a DONN that
+//! survives deployment" (paper Challenge 2): the codesign layer in the
+//! `lightridge` crate trains against [`SlmModel`] level tables, and the
+//! hardware-emulation path perturbs deployment with [`FabricationVariation`]
+//! and [`CameraModel`] to reproduce the sim-to-hardware gap of Fig. 1/6.
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_hardware::SlmModel;
+//!
+//! let slm = SlmModel::lc2012();
+//! // Quantize a trained free phase to the nearest device state.
+//! let (level, device_phase) = slm.nearest_level(1.234);
+//! assert!(lr_hardware::circular_distance(1.234, device_phase) < 0.1);
+//! assert!(level < slm.num_levels());
+//! ```
+
+#![warn(missing_docs)]
+
+mod crosstalk;
+pub mod energy;
+mod mask;
+mod noise;
+mod slm;
+
+pub use crosstalk::CrosstalkModel;
+pub use mask::PrintedMask;
+pub use noise::{uniform_detector_noise, CameraModel, FabricationVariation};
+pub use slm::{circular_distance, SlmModel};

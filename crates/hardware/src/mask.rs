@@ -1,0 +1,153 @@
+//! 3D-printed phase mask model (THz deployment path).
+//!
+//! For terahertz DONNs, SLMs cannot modulate efficiently; the paper deploys
+//! with 3D-printed masks whose per-pixel *thickness* encodes the trained
+//! phase (§2.2). `lr.model.to_system` dumps a thickness array for the
+//! printer; this module implements that conversion and its inverse.
+
+use std::f64::consts::TAU;
+
+/// Material and printer parameters of a 3D-printed diffractive mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrintedMask {
+    refractive_index: f64,
+    wavelength_m: f64,
+    layer_height_m: f64,
+    base_thickness_m: f64,
+}
+
+impl PrintedMask {
+    /// Creates a mask model.
+    ///
+    /// * `refractive_index` — material index `n` at the design wavelength
+    ///   (UV-curable resins at THz: ~1.7).
+    /// * `wavelength_m` — design wavelength in metres.
+    /// * `layer_height_m` — printer vertical resolution (thickness quantum).
+    /// * `base_thickness_m` — substrate thickness added to every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refractive_index <= 1`, or any length is non-positive.
+    pub fn new(
+        refractive_index: f64,
+        wavelength_m: f64,
+        layer_height_m: f64,
+        base_thickness_m: f64,
+    ) -> Self {
+        assert!(refractive_index > 1.0, "refractive index must exceed 1");
+        assert!(wavelength_m > 0.0, "wavelength must be positive");
+        assert!(layer_height_m > 0.0, "layer height must be positive");
+        assert!(base_thickness_m >= 0.0, "base thickness must be ≥ 0");
+        PrintedMask { refractive_index, wavelength_m, layer_height_m, base_thickness_m }
+    }
+
+    /// The paper's THz reference setup: resin masks (n ≈ 1.7) at 0.4 THz
+    /// (λ = 0.75 mm) printed at 0.1 mm layer height on a 1 mm base.
+    pub fn thz_resin() -> Self {
+        Self::new(1.7, 0.75e-3, 0.1e-3, 1.0e-3)
+    }
+
+    /// Thickness step producing a full 2π phase shift: `λ/(n−1)`.
+    pub fn two_pi_thickness(&self) -> f64 {
+        self.wavelength_m / (self.refractive_index - 1.0)
+    }
+
+    /// Converts a phase (radians) to printed thickness (metres), wrapping
+    /// into one 2π zone and snapping to the printer's layer grid.
+    pub fn phase_to_thickness(&self, phase: f64) -> f64 {
+        let wrapped = phase.rem_euclid(TAU);
+        let ideal = wrapped / TAU * self.two_pi_thickness();
+        let snapped = (ideal / self.layer_height_m).round() * self.layer_height_m;
+        self.base_thickness_m + snapped
+    }
+
+    /// Phase realized by a given printed thickness.
+    pub fn thickness_to_phase(&self, thickness_m: f64) -> f64 {
+        let h = (thickness_m - self.base_thickness_m).max(0.0);
+        (h / self.two_pi_thickness() * TAU).rem_euclid(TAU)
+    }
+
+    /// Converts a whole phase mask to a thickness array (the fabrication
+    /// file payload of `lr.model.to_system` for THz systems).
+    pub fn thickness_map(&self, phases: &[f64]) -> Vec<f64> {
+        phases.iter().map(|&p| self.phase_to_thickness(p)).collect()
+    }
+
+    /// Phase error introduced by layer-height quantization for a given
+    /// target phase (radians).
+    pub fn quantization_error(&self, phase: f64) -> f64 {
+        let realized = self.thickness_to_phase(self.phase_to_thickness(phase));
+        crate::slm::circular_distance(phase.rem_euclid(TAU), realized)
+    }
+
+    /// Number of distinct phase levels this printer/material combination can
+    /// realize within one 2π zone.
+    pub fn effective_levels(&self) -> usize {
+        (self.two_pi_thickness() / self.layer_height_m).round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_pi_thickness_formula() {
+        let m = PrintedMask::new(1.5, 1.0e-3, 0.01e-3, 0.0);
+        assert!((m.two_pi_thickness() - 2.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_thickness_roundtrip_within_quantum() {
+        let m = PrintedMask::thz_resin();
+        for k in 0..32 {
+            let phase = TAU * k as f64 / 32.0;
+            let realized = m.thickness_to_phase(m.phase_to_thickness(phase));
+            let quantum_phase = m.layer_height_m / m.two_pi_thickness() * TAU;
+            assert!(
+                crate::slm::circular_distance(phase, realized) <= quantum_phase / 2.0 + 1e-9,
+                "phase {phase} realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn thickness_includes_base() {
+        let m = PrintedMask::thz_resin();
+        assert!(m.phase_to_thickness(0.0) >= 1.0e-3 - 1e-12);
+    }
+
+    #[test]
+    fn effective_levels_counts_quanta() {
+        let m = PrintedMask::new(1.5, 1.0e-3, 0.1e-3, 0.0);
+        // 2π thickness = 2mm, layer 0.1mm -> 20 levels
+        assert_eq!(m.effective_levels(), 20);
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let m = PrintedMask::thz_resin();
+        let quantum_phase = m.layer_height_m / m.two_pi_thickness() * TAU;
+        for k in 0..100 {
+            let phase = TAU * k as f64 / 100.0;
+            assert!(m.quantization_error(phase) <= quantum_phase / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn thickness_map_is_elementwise() {
+        let m = PrintedMask::thz_resin();
+        let phases = [0.0, 1.0, 3.0, 6.0];
+        let t = m.thickness_map(&phases);
+        assert_eq!(t.len(), 4);
+        for (i, &p) in phases.iter().enumerate() {
+            assert_eq!(t[i], m.phase_to_thickness(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_vacuum_index() {
+        let _ = PrintedMask::new(1.0, 1e-3, 1e-4, 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Device non-ideality models.
+//!
+//! The algorithm–hardware miscorrelation gap the paper attacks (Challenge 2,
+//! Fig. 1) comes from exactly these effects: per-pixel fabrication
+//! variations in the modulator, non-uniform optical response, and detector
+//! noise/quantization. We model them as parameterized stochastic processes
+//! so "hardware deployment" can be emulated and the codesign algorithm's
+//! gap-closing behaviour reproduced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-pixel static fabrication variation of a modulator panel.
+///
+/// Sampling with the same seed reproduces the *same physical unit* — the
+/// errors are frozen at fabrication time, which is why hardware-in-the-loop
+/// calibration (the expensive flow LightRidge avoids) can compensate them.
+///
+/// # Examples
+///
+/// ```
+/// use lr_hardware::FabricationVariation;
+/// let fab = FabricationVariation::new(0.05, 0.02, 42);
+/// let unit_a = fab.sample_phase_errors(16);
+/// let unit_b = fab.sample_phase_errors(16);
+/// assert_eq!(unit_a, unit_b, "same seed = same physical unit");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricationVariation {
+    phase_sigma: f64,
+    amplitude_sigma: f64,
+    seed: u64,
+}
+
+impl FabricationVariation {
+    /// Creates a variation model.
+    ///
+    /// * `phase_sigma` — std-dev of per-pixel phase error, radians.
+    /// * `amplitude_sigma` — std-dev of per-pixel relative transmission error.
+    /// * `seed` — identity of the physical unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sigma is negative or non-finite.
+    pub fn new(phase_sigma: f64, amplitude_sigma: f64, seed: u64) -> Self {
+        assert!(phase_sigma >= 0.0 && phase_sigma.is_finite(), "phase_sigma must be ≥ 0");
+        assert!(
+            amplitude_sigma >= 0.0 && amplitude_sigma.is_finite(),
+            "amplitude_sigma must be ≥ 0"
+        );
+        FabricationVariation { phase_sigma, amplitude_sigma, seed }
+    }
+
+    /// A perfect device (no variation).
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0, 0)
+    }
+
+    /// Typical visible-range SLM panel: ~0.05 rad phase error, 2%
+    /// transmission variation.
+    pub fn typical_slm(seed: u64) -> Self {
+        Self::new(0.05, 0.02, seed)
+    }
+
+    /// Phase error std-dev (radians).
+    pub fn phase_sigma(&self) -> f64 {
+        self.phase_sigma
+    }
+
+    /// Amplitude error std-dev (relative).
+    pub fn amplitude_sigma(&self) -> f64 {
+        self.amplitude_sigma
+    }
+
+    /// Samples the frozen per-pixel phase errors of this unit.
+    pub fn sample_phase_errors(&self, len: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        (0..len).map(|_| gaussian(&mut rng) * self.phase_sigma).collect()
+    }
+
+    /// Samples the frozen per-pixel transmission factors (centered at 1).
+    pub fn sample_amplitude_factors(&self, len: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5851_f42d_4c95_7f2d);
+        (0..len)
+            .map(|_| (1.0 + gaussian(&mut rng) * self.amplitude_sigma).max(0.0))
+            .collect()
+    }
+}
+
+/// CMOS camera / photodetector model: shot noise, read noise, saturation,
+/// and ADC quantization (the analog-to-digital conversion the paper notes
+/// bounds practical DONN efficiency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraModel {
+    shot_noise_scale: f64,
+    read_noise: f64,
+    bit_depth: u32,
+    saturation: f64,
+}
+
+impl CameraModel {
+    /// Creates a camera model.
+    ///
+    /// * `shot_noise_scale` — multiplies `√I` photon noise (0 disables).
+    /// * `read_noise` — additive Gaussian noise std-dev, in intensity units.
+    /// * `bit_depth` — ADC bits (quantization steps = 2^bits).
+    /// * `saturation` — full-well intensity; inputs clip here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if noise terms are negative, `bit_depth` is 0 or > 24, or
+    /// `saturation` is not positive.
+    pub fn new(shot_noise_scale: f64, read_noise: f64, bit_depth: u32, saturation: f64) -> Self {
+        assert!(shot_noise_scale >= 0.0, "shot noise must be ≥ 0");
+        assert!(read_noise >= 0.0, "read noise must be ≥ 0");
+        assert!((1..=24).contains(&bit_depth), "bit depth must be 1..=24");
+        assert!(saturation > 0.0, "saturation must be positive");
+        CameraModel { shot_noise_scale, read_noise, bit_depth, saturation }
+    }
+
+    /// An ideal (noise-free, continuous, unbounded) detector.
+    pub fn ideal() -> Self {
+        CameraModel {
+            shot_noise_scale: 0.0,
+            read_noise: 0.0,
+            bit_depth: 24,
+            saturation: f64::INFINITY,
+        }
+    }
+
+    /// A Thorlabs-CS165MU1-style 10-bit CMOS sensor with mild noise, with
+    /// full well at the given `saturation` intensity.
+    pub fn cs165mu1(saturation: f64) -> Self {
+        Self::new(0.01, 0.002 * saturation, 10, saturation)
+    }
+
+    /// ADC bit depth.
+    pub fn bit_depth(&self) -> u32 {
+        self.bit_depth
+    }
+
+    /// Captures an intensity pattern, applying noise, clipping, and ADC
+    /// quantization. Deterministic per (`pattern`, `seed`).
+    pub fn capture(&self, intensity: &[f64], seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steps = (1u64 << self.bit_depth) as f64;
+        intensity
+            .iter()
+            .map(|&i| {
+                let mut v = i.max(0.0);
+                if self.shot_noise_scale > 0.0 {
+                    v += gaussian(&mut rng) * self.shot_noise_scale * v.sqrt();
+                }
+                if self.read_noise > 0.0 {
+                    v += gaussian(&mut rng) * self.read_noise;
+                }
+                v = v.clamp(0.0, self.saturation);
+                if self.saturation.is_finite() {
+                    // Quantize to the ADC grid.
+                    v = (v / self.saturation * steps).round() / steps * self.saturation;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// Uniform random intensity perturbation at the detector, bounded by
+/// `±bound·max(I)` — the noise model of the paper's Fig. 7 robustness study
+/// ("random uniform noise at the detector ... with upper bound 1%, 3%, 5%
+/// intensity noise").
+pub fn uniform_detector_noise(intensity: &[f64], bound: f64, seed: u64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&bound), "noise bound must be in [0,1]");
+    if bound == 0.0 {
+        return intensity.to_vec();
+    }
+    let max = intensity.iter().cloned().fold(0.0, f64::max);
+    let mut rng = StdRng::seed_from_u64(seed);
+    intensity
+        .iter()
+        .map(|&i| (i + rng.gen_range(-1.0..1.0) * bound * max).max(0.0))
+        .collect()
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabrication_errors_deterministic_per_seed() {
+        let fab = FabricationVariation::typical_slm(7);
+        assert_eq!(fab.sample_phase_errors(100), fab.sample_phase_errors(100));
+        let other = FabricationVariation::typical_slm(8);
+        assert_ne!(fab.sample_phase_errors(100), other.sample_phase_errors(100));
+    }
+
+    #[test]
+    fn fabrication_statistics_roughly_match_sigma() {
+        let fab = FabricationVariation::new(0.1, 0.05, 3);
+        let e = fab.sample_phase_errors(20000);
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        let var = e.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / e.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+        let a = fab.sample_amplitude_factors(20000);
+        let am = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((am - 1.0).abs() < 0.01);
+        assert!(a.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn none_variation_is_zero() {
+        let fab = FabricationVariation::none();
+        assert!(fab.sample_phase_errors(10).iter().all(|&e| e == 0.0));
+        assert!(fab.sample_amplitude_factors(10).iter().all(|&a| a == 1.0));
+    }
+
+    #[test]
+    fn ideal_camera_is_transparent() {
+        let cam = CameraModel::ideal();
+        let i = vec![0.0, 0.5, 1.0, 123.456];
+        let out = cam.capture(&i, 0);
+        for (a, b) in out.iter().zip(&i) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn camera_quantizes_and_clips() {
+        let cam = CameraModel::new(0.0, 0.0, 2, 1.0); // 4 ADC steps
+        let out = cam.capture(&[0.0, 0.3, 0.6, 2.0], 0);
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 0.25).abs() < 1e-12);
+        assert!((out[2] - 0.5).abs() < 1e-12);
+        assert_eq!(out[3], 1.0, "over-saturation clips to full well");
+    }
+
+    #[test]
+    fn camera_noise_deterministic_per_seed() {
+        let cam = CameraModel::cs165mu1(1.0);
+        let i = vec![0.5; 64];
+        assert_eq!(cam.capture(&i, 1), cam.capture(&i, 1));
+        assert_ne!(cam.capture(&i, 1), cam.capture(&i, 2));
+    }
+
+    #[test]
+    fn uniform_noise_bounded() {
+        let i = vec![1.0; 1000];
+        let noisy = uniform_detector_noise(&i, 0.05, 9);
+        for &v in &noisy {
+            assert!(v >= 0.95 - 1e-12 && v <= 1.05 + 1e-12, "sample {v} out of bound");
+        }
+        // Zero bound is identity.
+        assert_eq!(uniform_detector_noise(&i, 0.0, 9), i);
+    }
+
+    #[test]
+    fn uniform_noise_scales_with_max_intensity() {
+        let i = vec![0.0, 10.0];
+        let noisy = uniform_detector_noise(&i, 0.01, 4);
+        // noise magnitude is relative to max = 10.0, so up to 0.1 absolute
+        assert!((noisy[1] - 10.0).abs() <= 0.1 + 1e-12);
+    }
+}

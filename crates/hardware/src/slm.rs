@@ -1,0 +1,243 @@
+//! Spatial light modulator (SLM) device models.
+//!
+//! Real SLMs provide a *discrete* set of phase-modulation states (one per
+//! control voltage level), the mapping from control level to phase is
+//! *nonlinear*, and each unit deviates from the calibration curve because of
+//! fabrication variations (paper §2.2). LightRidge's codesign algorithm
+//! trains directly in this discrete device space; this module supplies the
+//! device model it trains against and the noisy "physical" instance used to
+//! emulate hardware deployment.
+
+use std::f64::consts::TAU;
+
+/// A phase-modulator device: the ordered list of *measured* phase states
+/// (radians) reachable by its control levels, with the matching amplitude
+/// transmission per state.
+///
+/// # Examples
+///
+/// ```
+/// use lr_hardware::SlmModel;
+/// let slm = SlmModel::ideal(256);
+/// assert_eq!(slm.num_levels(), 256);
+/// let (level, phase) = slm.nearest_level(3.14);
+/// assert!((phase - 3.14).abs() < 0.02);
+/// assert!(level < 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlmModel {
+    name: String,
+    phases: Vec<f64>,
+    amplitudes: Vec<f64>,
+}
+
+impl SlmModel {
+    /// A device with `num_levels` phase states uniformly covering `[0, 2π)`
+    /// and unit transmission — the idealized modulator used for raw
+    /// (hardware-unaware) training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_levels < 2`.
+    pub fn ideal(num_levels: usize) -> Self {
+        assert!(num_levels >= 2, "a modulator needs at least two levels");
+        let phases = (0..num_levels).map(|i| TAU * i as f64 / num_levels as f64).collect();
+        SlmModel {
+            name: format!("ideal-{num_levels}"),
+            phases,
+            amplitudes: vec![1.0; num_levels],
+        }
+    }
+
+    /// A twisted-nematic liquid-crystal SLM in the style of the paper's
+    /// HOLOEYE LC2012 prototype device: 256 control levels whose phase
+    /// response is a *nonlinear* (sigmoid-saturating) function of the level,
+    /// covering close to `[0, 2π]`, with mild coupled amplitude modulation.
+    pub fn lc2012() -> Self {
+        let n = 256;
+        let mut phases = Vec::with_capacity(n);
+        let mut amplitudes = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f64 / (n - 1) as f64;
+            // Nonlinear voltage→phase curve: a saturating sigmoid mixed with
+            // a sub-linear power law — slow start, steep middle, saturation
+            // at the top; spans ≈ [0, 0.98·2π] with s(0)=0, s(1)=1.
+            let sigmoid = ((4.0 * (x - 0.5)).tanh() / (2.0f64).tanh() + 1.0) / 2.0;
+            let s = 0.7 * sigmoid + 0.3 * x.powf(1.5);
+            let phase = 0.98 * TAU * s.clamp(0.0, 1.0);
+            // Coupled amplitude dip mid-range (typical of TN cells).
+            let amp = 1.0 - 0.08 * (std::f64::consts::PI * x).sin().powi(2);
+            phases.push(phase);
+            amplitudes.push(amp);
+        }
+        SlmModel { name: "lc2012".into(), phases, amplitudes }
+    }
+
+    /// Builds a device from explicit measured response vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are given or the vectors' lengths
+    /// differ.
+    pub fn from_response(name: impl Into<String>, phases: Vec<f64>, amplitudes: Vec<f64>) -> Self {
+        assert!(phases.len() >= 2, "a modulator needs at least two levels");
+        assert_eq!(phases.len(), amplitudes.len(), "phase/amplitude tables must align");
+        SlmModel { name: name.into(), phases, amplitudes }
+    }
+
+    /// A low-precision device with `bits` of control (2^bits levels),
+    /// uniform response — used for the precision axis of the DSE space.
+    pub fn uniform_bits(bits: u32) -> Self {
+        Self::ideal(1usize << bits)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of discrete control levels.
+    pub fn num_levels(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Measured phase (radians) for each control level.
+    pub fn phases(&self) -> &[f64] {
+        &self.phases
+    }
+
+    /// Amplitude transmission for each control level.
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amplitudes
+    }
+
+    /// Finds the control level whose phase is circularly closest to
+    /// `phase`, returning `(level, device_phase)`.
+    pub fn nearest_level(&self, phase: f64) -> (usize, f64) {
+        let target = phase.rem_euclid(TAU);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &p) in self.phases.iter().enumerate() {
+            let d = circular_distance(target, p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        (best, self.phases[best])
+    }
+
+    /// Quantizes a free phase value to the nearest device phase.
+    pub fn quantize(&self, phase: f64) -> f64 {
+        self.nearest_level(phase).1
+    }
+
+    /// Quantizes a whole phase mask, returning `(levels, device_phases)`.
+    pub fn quantize_mask(&self, phases: &[f64]) -> (Vec<usize>, Vec<f64>) {
+        let mut levels = Vec::with_capacity(phases.len());
+        let mut quantized = Vec::with_capacity(phases.len());
+        for &p in phases {
+            let (l, q) = self.nearest_level(p);
+            levels.push(l);
+            quantized.push(q);
+        }
+        (levels, quantized)
+    }
+
+    /// Worst-case phase quantization error (radians) over a dense probe of
+    /// `[0, 2π)` — a diagnostic for how faithful deployment can be.
+    pub fn max_quantization_error(&self) -> f64 {
+        let probes = 4096;
+        (0..probes)
+            .map(|i| {
+                let phase = TAU * i as f64 / probes as f64;
+                circular_distance(phase, self.quantize(phase))
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Circular (wrapped) distance between two phases in radians.
+pub fn circular_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(TAU);
+    d.min(TAU - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_levels_uniform() {
+        let slm = SlmModel::ideal(4);
+        let expect = [0.0, TAU / 4.0, TAU / 2.0, 3.0 * TAU / 4.0];
+        for (p, e) in slm.phases().iter().zip(expect) {
+            assert!((p - e).abs() < 1e-12);
+        }
+        assert!(slm.amplitudes().iter().all(|&a| a == 1.0));
+    }
+
+    #[test]
+    fn nearest_level_wraps() {
+        let slm = SlmModel::ideal(4);
+        // 2π−0.01 is circularly closest to level 0 (phase 0).
+        let (level, phase) = slm.nearest_level(TAU - 0.01);
+        assert_eq!(level, 0);
+        assert_eq!(phase, 0.0);
+        // Negative input phases are wrapped too.
+        let (level, _) = slm.nearest_level(-TAU / 4.0);
+        assert_eq!(level, 3);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let slm = SlmModel::ideal(256);
+        let half_step = TAU / 256.0 / 2.0;
+        assert!(slm.max_quantization_error() <= half_step + 1e-9);
+        // Coarser devices quantize worse.
+        let coarse = SlmModel::uniform_bits(2);
+        assert!(coarse.max_quantization_error() > slm.max_quantization_error());
+    }
+
+    #[test]
+    fn lc2012_covers_near_two_pi_monotonically() {
+        let slm = SlmModel::lc2012();
+        assert_eq!(slm.num_levels(), 256);
+        let p = slm.phases();
+        assert!(p[0] < 0.1);
+        assert!(p[255] > 0.9 * TAU);
+        for w in p.windows(2) {
+            assert!(w[1] >= w[0], "LC response must be monotone");
+        }
+        // Nonlinearity: midpoint is not exactly half the range.
+        let mid = p[128] / p[255];
+        assert!((mid - 0.5).abs() > 1e-3, "curve should be nonlinear, got midpoint ratio {mid}");
+        // Amplitude dips mid-range.
+        let a = slm.amplitudes();
+        assert!(a[128] < a[0]);
+        assert!(a[128] < a[255]);
+    }
+
+    #[test]
+    fn quantize_mask_roundtrip_on_device_phases() {
+        let slm = SlmModel::lc2012();
+        let phases: Vec<f64> = slm.phases().iter().step_by(16).copied().collect();
+        let (_, q) = slm.quantize_mask(&phases);
+        for (orig, quant) in phases.iter().zip(&q) {
+            assert!((orig - quant).abs() < 1e-12, "device phases must be fixed points");
+        }
+    }
+
+    #[test]
+    fn circular_distance_symmetric() {
+        assert!((circular_distance(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+        assert!((circular_distance(1.0, 4.0) - 3.0).abs() < 1e-12);
+        assert_eq!(circular_distance(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two levels")]
+    fn rejects_single_level() {
+        let _ = SlmModel::ideal(1);
+    }
+}

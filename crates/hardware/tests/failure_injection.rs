@@ -1,0 +1,165 @@
+//! Failure-injection tests for the hardware models: the deployment stack
+//! must degrade *gracefully and monotonically* as device nonidealities
+//! grow, stay deterministic per seed (fabrication errors are frozen at
+//! fab time, not re-rolled per inference), and never produce unphysical
+//! outputs (negative intensities, non-finite values, energy gain).
+
+use lr_hardware::{
+    CameraModel, CrosstalkModel, FabricationVariation, SlmModel,
+};
+
+#[test]
+fn fabrication_errors_are_frozen_per_seed() {
+    let fab = FabricationVariation::new(0.2, 0.05, 42);
+    let a = fab.sample_phase_errors(128);
+    let b = fab.sample_phase_errors(128);
+    assert_eq!(a, b, "fabrication errors must be frozen, not re-rolled");
+    let other = FabricationVariation::new(0.2, 0.05, 43);
+    assert_ne!(a, other.sample_phase_errors(128), "different dies must differ");
+}
+
+#[test]
+fn fabrication_error_magnitude_tracks_sigma() {
+    let small = FabricationVariation::new(0.05, 0.0, 7);
+    let large = FabricationVariation::new(0.5, 0.0, 7);
+    let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+    let rms_small = rms(&small.sample_phase_errors(4096));
+    let rms_large = rms(&large.sample_phase_errors(4096));
+    assert!(
+        rms_large > 5.0 * rms_small,
+        "σ=0.5 should give ~10x the RMS of σ=0.05: {rms_small:.4} vs {rms_large:.4}"
+    );
+    assert!((rms_small - 0.05).abs() < 0.01, "RMS should approximate sigma");
+}
+
+#[test]
+fn amplitude_factors_stay_positive() {
+    let fab = FabricationVariation::new(0.0, 0.2, 3);
+    let factors = fab.sample_amplitude_factors(4096);
+    assert!(
+        factors.iter().all(|&f| f > 0.0 && f.is_finite()),
+        "an etched pixel can attenuate but not produce negative amplitude"
+    );
+}
+
+#[test]
+fn camera_output_is_physical_for_any_input() {
+    let camera = CameraModel::cs165mu1(4.0);
+    // Adversarial input: zeros, saturating values, tiny values.
+    let intensity: Vec<f64> =
+        (0..256).map(|i| match i % 4 {
+            0 => 0.0,
+            1 => 1e-12,
+            2 => 3.9,
+            _ => 100.0, // far beyond saturation
+        }).collect();
+    let captured = camera.capture(&intensity, 9);
+    assert_eq!(captured.len(), intensity.len());
+    for &v in &captured {
+        assert!(v.is_finite(), "camera produced a non-finite sample");
+        assert!(v >= 0.0, "camera produced negative intensity");
+        assert!(v <= 4.0 + 1e-9, "camera exceeded its saturation level");
+    }
+}
+
+#[test]
+fn camera_noise_scales_with_configured_level() {
+    let clean = CameraModel::new(0.0, 0.0, 16, 10.0);
+    let noisy = CameraModel::new(0.2, 0.05, 16, 10.0);
+    let intensity = vec![1.0; 4096];
+    let dev = |cap: &[f64]| {
+        (cap.iter().map(|&v| (v - 1.0) * (v - 1.0)).sum::<f64>() / cap.len() as f64).sqrt()
+    };
+    let clean_dev = dev(&clean.capture(&intensity, 5));
+    let noisy_dev = dev(&noisy.capture(&intensity, 5));
+    // The clean camera only quantizes (16-bit: tiny); the noisy one must
+    // show clearly larger deviation.
+    assert!(clean_dev < 1e-3, "ideal-ish camera deviation too large: {clean_dev}");
+    assert!(noisy_dev > 10.0 * clean_dev.max(1e-6), "noise level not reflected");
+}
+
+#[test]
+fn quantization_error_shrinks_with_bit_depth() {
+    let intensity: Vec<f64> = (0..512).map(|i| i as f64 / 511.0).collect();
+    let mut last_err = f64::INFINITY;
+    for bits in [2u32, 4, 8, 12] {
+        let camera = CameraModel::new(0.0, 0.0, bits, 1.0);
+        let captured = camera.capture(&intensity, 0);
+        let err: f64 = captured
+            .iter()
+            .zip(&intensity)
+            .map(|(c, i)| (c - i).abs())
+            .sum::<f64>()
+            / intensity.len() as f64;
+        assert!(
+            err < last_err + 1e-12,
+            "mean ADC error must shrink with bit depth: {err} at {bits} bits"
+        );
+        last_err = err;
+    }
+    assert!(last_err < 1e-3, "12-bit ADC error should be tiny: {last_err}");
+}
+
+fn interleaved_from_phases(phases: &[f64]) -> Vec<f64> {
+    phases.iter().flat_map(|&p| [p.cos(), p.sin()]).collect()
+}
+
+#[test]
+fn crosstalk_never_amplifies_total_modulation_energy() {
+    // Apply increasing coupling to a checkerboard phase mask and verify
+    // the complex modulation keeps unit-or-less magnitude everywhere.
+    let n = 16;
+    let phases: Vec<f64> =
+        (0..n * n).map(|i| if (i / n + i % n) % 2 == 0 { 0.0 } else { 3.0 }).collect();
+    for &coupling in &[0.0, 0.1, 0.3, 0.5] {
+        let model = CrosstalkModel::new(coupling);
+        let mut buf = interleaved_from_phases(&phases);
+        model.apply_complex(n, n, &mut buf);
+        assert_eq!(buf.len(), 2 * phases.len());
+        for pair in buf.chunks_exact(2) {
+            let mag = (pair[0] * pair[0] + pair[1] * pair[1]).sqrt();
+            assert!(mag <= 1.0 + 1e-9, "crosstalk created gain: |m| = {mag}");
+            assert!(mag.is_finite());
+        }
+    }
+}
+
+#[test]
+fn zero_coupling_crosstalk_is_identity() {
+    let n = 8;
+    let phases: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37) % 6.28).collect();
+    let model = CrosstalkModel::new(0.0);
+    let mut buf = interleaved_from_phases(&phases);
+    model.apply_complex(n, n, &mut buf);
+    for (pair, &p) in buf.chunks_exact(2).zip(&phases) {
+        assert!((pair[0] - p.cos()).abs() < 1e-12 && (pair[1] - p.sin()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn slm_with_one_dead_band_still_quantizes_into_valid_levels() {
+    // A device whose response curve has a gap (dead band) — every
+    // requested phase must still map to one of the *available* states.
+    let phases: Vec<f64> = (0..32)
+        .map(|i| {
+            let p = i as f64 / 32.0 * std::f64::consts::TAU;
+            // Carve out a dead band: no states between 2.0 and 4.0 rad.
+            if (2.0..4.0).contains(&p) {
+                p - 2.0
+            } else {
+                p
+            }
+        })
+        .collect();
+    let amplitudes = vec![1.0; 32];
+    let device = SlmModel::from_response("gappy", phases.clone(), amplitudes);
+    for k in 0..64 {
+        let wanted = k as f64 / 64.0 * std::f64::consts::TAU;
+        let (level, actual) = device.nearest_level(wanted);
+        assert!(level < 32);
+        assert!(
+            phases.iter().any(|&p| (p - actual).abs() < 1e-12),
+            "quantizer invented a state: {actual}"
+        );
+    }
+}

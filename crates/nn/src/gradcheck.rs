@@ -1,0 +1,172 @@
+//! Finite-difference gradient verification.
+//!
+//! The Rust ecosystem has no mature complex autodiff, so every backward pass
+//! in this framework is hand-derived (Wirtinger calculus). These utilities
+//! are the safety net: they compare analytic parameter gradients against
+//! central finite differences of the loss.
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f64,
+    /// Largest relative difference (normalized by magnitude max).
+    pub max_rel_err: f64,
+    /// Index of the worst-offending parameter.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst index.
+    pub analytic_at_worst: f64,
+    /// Numeric gradient at the worst index.
+    pub numeric_at_worst: f64,
+}
+
+impl GradCheckReport {
+    /// True if the analytic gradient agrees with finite differences within
+    /// `tol` (relative, with an absolute floor of `tol`).
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_err < tol || self.max_abs_err < tol
+    }
+}
+
+/// Checks an analytic gradient against central finite differences.
+///
+/// `loss_fn` must evaluate the loss at a given parameter vector; `params`
+/// is the linearization point and `analytic` the gradient to verify. `h`
+/// is the probe step (1e-5 .. 1e-6 is typical for f64).
+///
+/// # Panics
+///
+/// Panics if `params.len() != analytic.len()` or `params` is empty.
+pub fn check_gradient(
+    mut loss_fn: impl FnMut(&[f64]) -> f64,
+    params: &[f64],
+    analytic: &[f64],
+    h: f64,
+) -> GradCheckReport {
+    assert_eq!(params.len(), analytic.len(), "params/gradient length mismatch");
+    assert!(!params.is_empty(), "cannot check empty parameter vector");
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        worst_index: 0,
+        analytic_at_worst: analytic[0],
+        numeric_at_worst: 0.0,
+    };
+    let mut probe = params.to_vec();
+    for i in 0..params.len() {
+        probe[i] = params[i] + h;
+        let lp = loss_fn(&probe);
+        probe[i] = params[i] - h;
+        let lm = loss_fn(&probe);
+        probe[i] = params[i];
+        let numeric = (lp - lm) / (2.0 * h);
+        let abs_err = (analytic[i] - numeric).abs();
+        let scale = analytic[i].abs().max(numeric.abs()).max(1e-8);
+        let rel_err = abs_err / scale;
+        if rel_err > report.max_rel_err {
+            report.max_rel_err = rel_err;
+            report.worst_index = i;
+            report.analytic_at_worst = analytic[i];
+            report.numeric_at_worst = numeric;
+        }
+        report.max_abs_err = report.max_abs_err.max(abs_err);
+    }
+    report
+}
+
+/// Checks a random subset of `count` parameter indices — full checks are
+/// `O(params²)` in loss evaluations and too slow for field-sized tensors.
+///
+/// Indices are chosen deterministically by striding, so failures reproduce.
+///
+/// # Panics
+///
+/// Panics if `params.len() != analytic.len()`, or either is empty, or
+/// `count == 0`.
+pub fn check_gradient_sampled(
+    mut loss_fn: impl FnMut(&[f64]) -> f64,
+    params: &[f64],
+    analytic: &[f64],
+    h: f64,
+    count: usize,
+) -> GradCheckReport {
+    assert_eq!(params.len(), analytic.len(), "params/gradient length mismatch");
+    assert!(!params.is_empty() && count > 0, "nothing to check");
+    let stride = (params.len() / count.min(params.len())).max(1);
+    let indices: Vec<usize> = (0..params.len()).step_by(stride).take(count).collect();
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        worst_index: indices[0],
+        analytic_at_worst: analytic[indices[0]],
+        numeric_at_worst: 0.0,
+    };
+    let mut probe = params.to_vec();
+    for &i in &indices {
+        probe[i] = params[i] + h;
+        let lp = loss_fn(&probe);
+        probe[i] = params[i] - h;
+        let lm = loss_fn(&probe);
+        probe[i] = params[i];
+        let numeric = (lp - lm) / (2.0 * h);
+        let abs_err = (analytic[i] - numeric).abs();
+        let scale = analytic[i].abs().max(numeric.abs()).max(1e-8);
+        let rel_err = abs_err / scale;
+        if rel_err > report.max_rel_err {
+            report.max_rel_err = rel_err;
+            report.worst_index = i;
+            report.analytic_at_worst = analytic[i];
+            report.numeric_at_worst = numeric;
+        }
+        report.max_abs_err = report.max_abs_err.max(abs_err);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_passes() {
+        // f(x) = Σ xᵢ², ∇f = 2x
+        let x = [1.0, -2.0, 0.5];
+        let g = [2.0, -4.0, 1.0];
+        let report = check_gradient(|p| p.iter().map(|v| v * v).sum(), &x, &g, 1e-6);
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let x = [1.0, -2.0];
+        let g = [2.0, 4.0]; // sign error in second component
+        let report = check_gradient(|p| p.iter().map(|v| v * v).sum(), &x, &g, 1e-6);
+        assert!(!report.passes(1e-3));
+        assert_eq!(report.worst_index, 1);
+    }
+
+    #[test]
+    fn sampled_check_covers_strided_indices() {
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+        let g: Vec<f64> = x.iter().map(|v| (2.0 * v).cos()).collect();
+        // f = Σ sin(2x)/2 so df/dx_i = cos(2x_i)
+        let report = check_gradient_sampled(
+            |p| p.iter().map(|v| (2.0 * v).sin() / 2.0).sum(),
+            &x,
+            &g,
+            1e-6,
+            10,
+        );
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn transcendental_gradient_passes() {
+        // f(x) = sin(x0)·exp(x1)
+        let x: [f64; 2] = [0.7, -0.3];
+        let g = [x[0].cos() * x[1].exp(), x[0].sin() * x[1].exp()];
+        let report = check_gradient(|p| p[0].sin() * p[1].exp(), &x, &g, 1e-6);
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+}

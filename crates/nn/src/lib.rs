@@ -1,0 +1,35 @@
+//! # lr-nn
+//!
+//! Training substrate for LightRidge-RS: optimizers (Adam/SGD as used in the
+//! paper §5.1), the paper's `Softmax+MSE` DONN loss with hand-derived
+//! gradients, evaluation metrics, and finite-difference gradient-check
+//! utilities that stand in for an autodiff engine's test oracle.
+//!
+//! The optical layers themselves live in the `lightridge` crate; this crate
+//! is deliberately free of optics so the conventional-NN baseline
+//! (`lr-convnn`) can share it.
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_nn::{Adam, Optimizer, loss::softmax_mse, loss::one_hot};
+//!
+//! // Fit 3 logits to a one-hot target with the paper's loss.
+//! let mut logits = vec![0.0; 3];
+//! let target = one_hot(1, 3);
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..200 {
+//!     let (_, grad) = softmax_mse(&logits, &target);
+//!     opt.step(0, &mut logits, &grad);
+//! }
+//! assert_eq!(lr_nn::metrics::argmax(&logits), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod loss;
+pub mod metrics;
+mod optim;
+
+pub use optim::{Adam, Optimizer, Sgd, StepDecay};

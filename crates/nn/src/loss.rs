@@ -1,0 +1,179 @@
+//! Loss functions in the paper's training pipeline.
+//!
+//! The DONN prediction head is: detector-region intensities `I` →
+//! `Softmax(I)` → MSE against the one-hot label (paper §2.1:
+//! `L = ‖Softmax(I) − t‖²`). Cross-entropy is provided for the
+//! conventional-NN baselines of Table 4.
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// `L = ‖softmax(logits) − target‖²` and its gradient w.r.t. `logits`.
+///
+/// This is the paper's DONN loss: the detector intensities play the role of
+/// logits and the target is a one-hot label vector.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use lr_nn::loss::softmax_mse;
+/// let (loss, grad) = softmax_mse(&[5.0, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+/// assert!(loss < 0.01);
+/// assert_eq!(grad.len(), 3);
+/// ```
+pub fn softmax_mse(logits: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(logits.len(), target.len(), "logits/target length mismatch");
+    let s = softmax(logits);
+    let loss: f64 = s.iter().zip(target).map(|(&si, &ti)| (si - ti).powi(2)).sum();
+    // dL/ds_i = 2(s_i - t_i); ds_i/dI_k = s_i(δ_ik - s_k)
+    // dL/dI_k = 2·s_k·[ (s_k - t_k) - Σ_i (s_i - t_i)·s_i ]
+    let dot: f64 = s.iter().zip(target).map(|(&si, &ti)| (si - ti) * si).sum();
+    let grad = s
+        .iter()
+        .zip(target)
+        .map(|(&sk, &tk)| 2.0 * sk * ((sk - tk) - dot))
+        .collect();
+    (loss, grad)
+}
+
+/// Softmax cross-entropy `L = −Σ t·log s` and its gradient `s − t`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn softmax_cross_entropy(logits: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(logits.len(), target.len(), "logits/target length mismatch");
+    let s = softmax(logits);
+    let loss: f64 = s
+        .iter()
+        .zip(target)
+        .map(|(&si, &ti)| if ti > 0.0 { -ti * si.max(1e-300).ln() } else { 0.0 })
+        .sum();
+    let grad = s.iter().zip(target).map(|(&si, &ti)| si - ti).collect();
+    (loss, grad)
+}
+
+/// Plain mean squared error over raw values (used by the segmentation DONN,
+/// which regresses an intensity image against a mask): `L = mean((x−t)²)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn mse(values: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(values.len(), target.len(), "values/target length mismatch");
+    assert!(!values.is_empty(), "mse of empty slices is undefined");
+    let n = values.len() as f64;
+    let loss: f64 = values.iter().zip(target).map(|(&v, &t)| (v - t).powi(2)).sum::<f64>() / n;
+    let grad = values.iter().zip(target).map(|(&v, &t)| 2.0 * (v - t) / n).collect();
+    (loss, grad)
+}
+
+/// One-hot encodes `class` into a vector of length `num_classes`.
+///
+/// # Panics
+///
+/// Panics if `class >= num_classes`.
+pub fn one_hot(class: usize, num_classes: usize) -> Vec<f64> {
+    assert!(class < num_classes, "class index out of range");
+    let mut v = vec![0.0; num_classes];
+    v[class] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+        let h = 1e-6;
+        (0..x.len())
+            .map(|i| {
+                let mut xp = x.to_vec();
+                let mut xm = x.to_vec();
+                xp[i] += h;
+                xm[i] -= h;
+                (f(&xp) - f(&xm)) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let s = softmax(&[1000.0, 1000.0, 999.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(s[0] > s[2]);
+    }
+
+    #[test]
+    fn softmax_mse_gradient_matches_finite_difference() {
+        let logits = [0.3, -1.2, 2.0, 0.0];
+        let target = one_hot(2, 4);
+        let (_, grad) = softmax_mse(&logits, &target);
+        let fd = finite_diff(|x| softmax_mse(x, &target).0, &logits);
+        for (g, f) in grad.iter().zip(&fd) {
+            assert!((g - f).abs() < 1e-6, "grad {g} vs fd {f}");
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_matches_finite_difference() {
+        let logits = [0.5, 1.5, -0.5];
+        let target = one_hot(0, 3);
+        let (_, grad) = softmax_cross_entropy(&logits, &target);
+        let fd = finite_diff(|x| softmax_cross_entropy(x, &target).0, &logits);
+        for (g, f) in grad.iter().zip(&fd) {
+            assert!((g - f).abs() < 1e-6, "grad {g} vs fd {f}");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let values = [0.1, 0.9, 0.4];
+        let target = [0.0, 1.0, 1.0];
+        let (_, grad) = mse(&values, &target);
+        let fd = finite_diff(|x| mse(x, &target).0, &values);
+        for (g, f) in grad.iter().zip(&fd) {
+            assert!((g - f).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn losses_are_zero_at_optimum() {
+        let t = one_hot(1, 3);
+        // Perfect (saturated) softmax prediction.
+        let (loss, _) = softmax_mse(&[-100.0, 100.0, -100.0], &t);
+        assert!(loss < 1e-12);
+        let (loss, grad) = mse(&[0.0, 1.0], &[0.0, 1.0]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        assert_eq!(one_hot(2, 4), vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_bounds_checked() {
+        let _ = one_hot(4, 4);
+    }
+
+    #[test]
+    fn loss_decreases_toward_target() {
+        let t = one_hot(0, 3);
+        let (l1, _) = softmax_mse(&[0.0, 0.0, 0.0], &t);
+        let (l2, _) = softmax_mse(&[2.0, 0.0, 0.0], &t);
+        assert!(l2 < l1, "moving logit toward target must reduce loss");
+    }
+}

@@ -1,0 +1,287 @@
+//! Evaluation metrics: accuracy, top-k, confusion matrices, prediction
+//! confidence (used in the paper's Fig. 7 robustness study), and the
+//! IoU/Dice scores for the segmentation experiments (Fig. 13).
+
+/// Index of the largest element.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty.
+pub fn argmax(scores: &[f64]) -> usize {
+    assert!(!scores.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// True if the correct `label` appears among the `k` highest scores.
+pub fn top_k_correct(scores: &[f64], label: usize, k: usize) -> bool {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.into_iter().take(k).any(|i| i == label)
+}
+
+/// Running classification-accuracy accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use lr_nn::metrics::Accuracy;
+/// let mut acc = Accuracy::new();
+/// acc.update(&[0.1, 0.9], 1);
+/// acc.update(&[0.8, 0.2], 1);
+/// assert_eq!(acc.value(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn update(&mut self, scores: &[f64], label: usize) {
+        if argmax(scores) == label {
+            self.correct += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Fraction correct so far (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+}
+
+/// Confusion matrix over `n` classes; rows = truth, cols = prediction.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix { n, counts: vec![0; n * n] }
+    }
+
+    /// Records one `(truth, prediction)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(truth < self.n && prediction < self.n, "class index out of range");
+        self.counts[truth * self.n + prediction] += 1;
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn get(&self, truth: usize, prediction: usize) -> usize {
+        self.counts[truth * self.n + prediction]
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: usize = (0..self.n).map(|i| self.get(i, i)).sum();
+        trace as f64 / total as f64
+    }
+
+    /// Per-class recall (correct / truth-count), `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.n).map(|c| self.get(class, c)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Prediction confidence: the softmax probability assigned to the chosen
+/// class. The paper's Fig. 7 uses this to show deeper DONNs are more
+/// noise-robust.
+pub fn confidence(scores: &[f64]) -> f64 {
+    let s = crate::loss::softmax(scores);
+    s[argmax(&s)]
+}
+
+/// Intersection-over-union for binary masks thresholded at `0.5`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn binary_iou(prediction: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(prediction.len(), target.len(), "mask length mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in prediction.iter().zip(target) {
+        let p = p >= 0.5;
+        let t = t >= 0.5;
+        if p && t {
+            inter += 1;
+        }
+        if p || t {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0 // both empty: perfect agreement
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient (F1 over pixels) for binary masks thresholded at `0.5`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dice(prediction: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(prediction.len(), target.len(), "mask length mismatch");
+    let mut inter = 0usize;
+    let mut p_count = 0usize;
+    let mut t_count = 0usize;
+    for (&p, &t) in prediction.iter().zip(target) {
+        let p = p >= 0.5;
+        let t = t >= 0.5;
+        if p && t {
+            inter += 1;
+        }
+        p_count += p as usize;
+        t_count += t as usize;
+    }
+    if p_count + t_count == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / (p_count + t_count) as f64
+    }
+}
+
+/// Pearson correlation between two equal-length series — the paper's
+/// measure of simulation/experiment agreement (Fig. 6).
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two samples are given.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    assert!(a.len() >= 2, "need at least two samples");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn top_k_widens_acceptance() {
+        let scores = [0.1, 0.5, 0.3, 0.05, 0.05];
+        assert!(top_k_correct(&scores, 1, 1));
+        assert!(!top_k_correct(&scores, 2, 1));
+        assert!(top_k_correct(&scores, 2, 2));
+        assert!(top_k_correct(&scores, 0, 3));
+        assert!(!top_k_correct(&scores, 3, 3));
+    }
+
+    #[test]
+    fn accuracy_accumulates() {
+        let mut acc = Accuracy::new();
+        assert_eq!(acc.value(), 0.0);
+        for i in 0..10 {
+            let mut scores = vec![0.0; 3];
+            scores[i % 3] = 1.0;
+            acc.update(&scores, 0);
+        }
+        assert_eq!(acc.count(), 10);
+        assert!((acc.value() - 0.4).abs() < 1e-12); // i%3==0 for 0,3,6,9
+    }
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.get(0, 1), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(cm.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn iou_and_dice_bounds() {
+        let p = [1.0, 1.0, 0.0, 0.0];
+        let t = [1.0, 0.0, 1.0, 0.0];
+        assert!((binary_iou(&p, &t) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((dice(&p, &t) - 0.5).abs() < 1e-12);
+        assert_eq!(binary_iou(&p, &p), 1.0);
+        assert_eq!(dice(&[0.0; 4], &[0.0; 4]), 1.0);
+    }
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let a = [1.0, 2.0, 5.0, -1.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_increases_with_margin() {
+        assert!(confidence(&[10.0, 0.0]) > confidence(&[1.0, 0.0]));
+    }
+}

@@ -1,0 +1,303 @@
+//! First-order optimizers.
+//!
+//! DONN training in the paper uses Adam (§5.1, lr = 0.5); SGD with momentum
+//! is provided for the baselines and ablations. Optimizers operate on flat
+//! `f64` parameter slices — phases, Gumbel logits, and the γ regularization
+//! factor are all real-valued parameters.
+
+use std::collections::HashMap;
+
+/// A first-order optimizer over named flat parameter tensors.
+///
+/// Implementations hold per-tensor state (moments) keyed by the caller's
+/// `key`, so one optimizer instance can serve a whole model.
+pub trait Optimizer {
+    /// Applies one update step: `params ← params − update(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`.
+    fn step(&mut self, key: usize, params: &mut [f64], grads: &[f64]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (used by schedulers).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional momentum.
+///
+/// # Examples
+///
+/// ```
+/// use lr_nn::{Optimizer, Sgd};
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// let mut p = vec![1.0];
+/// opt.step(0, &mut p, &[2.0]);
+/// assert!((p[0] - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: HashMap<usize, Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Enables classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.momentum == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(key)
+            .or_insert_with(|| vec![0.0; params.len()]);
+        assert_eq!(v.len(), params.len(), "parameter tensor changed size under key");
+        for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            *vi = self.momentum * *vi + g;
+            *p -= self.lr * *vi;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) — the optimizer used for all DONN training in
+/// the paper.
+///
+/// # Examples
+///
+/// ```
+/// use lr_nn::{Adam, Optimizer};
+/// let mut opt = Adam::new(0.5);
+/// let mut phase = vec![0.0; 4];
+/// opt.step(0, &mut phase, &[1.0, -1.0, 0.5, 0.0]);
+/// assert!(phase[0] < 0.0 && phase[1] > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    state: HashMap<usize, AdamState>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the default betas `(0.9, 0.999)` and `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, state: HashMap::new() }
+    }
+
+    /// Overrides the exponential decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either beta is outside `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        let st = self.state.entry(key).or_insert_with(|| AdamState {
+            m: vec![0.0; params.len()],
+            v: vec![0.0; params.len()],
+            t: 0,
+        });
+        assert_eq!(st.m.len(), params.len(), "parameter tensor changed size under key");
+        st.t += 1;
+        let b1t = 1.0 - self.beta1.powi(st.t as i32);
+        let b2t = 1.0 - self.beta2.powi(st.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * g;
+            st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = st.m[i] / b1t;
+            let v_hat = st.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Step-decay learning-rate schedule: multiplies the rate by `gamma` every
+/// `step_epochs` epochs.
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    initial_lr: f64,
+    gamma: f64,
+    step_epochs: usize,
+}
+
+impl StepDecay {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `(0, 1]` or `step_epochs == 0`.
+    pub fn new(initial_lr: f64, gamma: f64, step_epochs: usize) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+        assert!(step_epochs > 0, "step_epochs must be nonzero");
+        StepDecay { initial_lr, gamma, step_epochs }
+    }
+
+    /// Learning rate at `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f64 {
+        self.initial_lr * self.gamma.powi((epoch / self.step_epochs) as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: usize) {
+        opt.set_learning_rate(self.at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        // minimize f(x) = (x-3)^2
+        let mut opt = Sgd::new(0.1);
+        let mut x = vec![0.0];
+        for _ in 0..200 {
+            let g = 2.0 * (x[0] - 3.0);
+            opt.step(0, &mut x, &[g]);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f64, iters: usize| {
+            let mut opt = Sgd::new(0.01);
+            if momentum > 0.0 {
+                opt = opt.with_momentum(momentum);
+            }
+            let mut x = vec![10.0];
+            for _ in 0..iters {
+                let g = 2.0 * x[0];
+                opt.step(0, &mut x, &[g]);
+            }
+            x[0].abs()
+        };
+        assert!(run(0.9, 50) < run(0.0, 50), "momentum should make faster progress");
+    }
+
+    #[test]
+    fn adam_converges_on_rosenbrock_1d_slice() {
+        // minimize f(x, y) = (1-x)^2 + 100(y - x^2)^2
+        let mut opt = Adam::new(0.02);
+        let mut p = vec![-1.0, 1.0];
+        for _ in 0..8000 {
+            let (x, y) = (p[0], p[1]);
+            let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+            let gy = 200.0 * (y - x * x);
+            opt.step(0, &mut p, &[gx, gy]);
+        }
+        assert!((p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.05, "got {p:?}");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // On the very first step Adam moves by ~lr regardless of grad scale.
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0];
+        opt.step(0, &mut a, &[1e-4]);
+        assert!((a[0] + 0.1).abs() < 1e-3, "first Adam step should be ≈ -lr, got {}", a[0]);
+    }
+
+    #[test]
+    fn separate_keys_have_separate_state() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0];
+        let mut b = vec![0.0];
+        for _ in 0..10 {
+            opt.step(0, &mut a, &[1.0]);
+        }
+        opt.step(1, &mut b, &[1.0]);
+        // b's first step is bias-corrected like a fresh optimizer.
+        assert!((b[0] + 0.1).abs() < 1e-6);
+        assert!(a[0] < b[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn step_validates_lengths() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![0.0; 3];
+        opt.step(0, &mut p, &[1.0]);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let sched = StepDecay::new(0.5, 0.5, 10);
+        assert_eq!(sched.at(0), 0.5);
+        assert_eq!(sched.at(9), 0.5);
+        assert_eq!(sched.at(10), 0.25);
+        assert_eq!(sched.at(25), 0.125);
+        let mut opt = Sgd::new(0.5);
+        sched.apply(&mut opt, 20);
+        assert_eq!(opt.learning_rate(), 0.125);
+    }
+}

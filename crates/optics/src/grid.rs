@@ -1,0 +1,159 @@
+//! Sampling grid for wavefields.
+//!
+//! A [`Grid`] couples a field's sample count to the physical pitch of the
+//! diffraction units, providing the spatial and spatial-frequency
+//! coordinates every diffraction kernel needs.
+
+use crate::units::PixelPitch;
+
+/// A uniform 2-D sampling grid: `rows × cols` samples at `pitch` spacing.
+///
+/// # Examples
+///
+/// ```
+/// use lr_optics::{Grid, PixelPitch};
+/// let g = Grid::square(200, PixelPitch::from_um(36.0));
+/// assert!((g.width_meters() - 0.0072).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    pitch: PixelPitch,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, pitch: PixelPitch) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be nonzero");
+        Grid { rows, cols, pitch }
+    }
+
+    /// Creates a square `n × n` grid.
+    pub fn square(n: usize, pitch: PixelPitch) -> Self {
+        Self::new(n, n, pitch)
+    }
+
+    /// Number of rows (y samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (x samples).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Sample pitch (diffraction unit size).
+    pub fn pitch(&self) -> PixelPitch {
+        self.pitch
+    }
+
+    /// Physical aperture width `cols · pitch` in metres.
+    pub fn width_meters(&self) -> f64 {
+        self.cols as f64 * self.pitch.meters()
+    }
+
+    /// Physical aperture height `rows · pitch` in metres.
+    pub fn height_meters(&self) -> f64 {
+        self.rows as f64 * self.pitch.meters()
+    }
+
+    /// Physical x coordinate (metres) of column `c`, centered so the grid
+    /// spans `[-W/2, W/2)`.
+    pub fn x_coord(&self, c: usize) -> f64 {
+        (c as f64 - self.cols as f64 / 2.0) * self.pitch.meters()
+    }
+
+    /// Physical y coordinate (metres) of row `r`, centered.
+    pub fn y_coord(&self, r: usize) -> f64 {
+        (r as f64 - self.rows as f64 / 2.0) * self.pitch.meters()
+    }
+
+    /// Spatial frequency (cycles/m) of FFT bin `k` along an axis of `n`
+    /// samples, following the standard FFT ordering (non-negative
+    /// frequencies first, then negative).
+    pub fn frequency(&self, k: usize, n: usize) -> f64 {
+        let k = k as isize;
+        let n_i = n as isize;
+        let signed = if k <= n_i / 2 { k } else { k - n_i };
+        signed as f64 / (n as f64 * self.pitch.meters())
+    }
+
+    /// Frequency of FFT bin `k` along the x (column) axis.
+    pub fn fx(&self, k: usize) -> f64 {
+        self.frequency(k, self.cols)
+    }
+
+    /// Frequency of FFT bin `k` along the y (row) axis.
+    pub fn fy(&self, k: usize) -> f64 {
+        self.frequency(k, self.rows)
+    }
+
+    /// Nyquist frequency `1/(2·pitch)` in cycles/m.
+    pub fn nyquist(&self) -> f64 {
+        0.5 / self.pitch.meters()
+    }
+
+    /// Maximum radial distance from the grid center to a corner, in metres.
+    /// Used by the Fresnel/Fraunhofer validity diagnostics.
+    pub fn max_radius(&self) -> f64 {
+        let hx = self.width_meters() / 2.0;
+        let hy = self.height_meters() / 2.0;
+        hx.hypot(hy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_centered() {
+        let g = Grid::square(4, PixelPitch::from_um(10.0));
+        assert!((g.x_coord(0) + 20e-6).abs() < 1e-18);
+        assert!((g.x_coord(2)).abs() < 1e-18);
+        assert!((g.y_coord(3) - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn frequencies_fft_ordered() {
+        let g = Grid::square(4, PixelPitch::from_um(10.0));
+        let df = 1.0 / (4.0 * 10e-6);
+        assert!((g.fx(0)).abs() < 1e-9);
+        assert!((g.fx(1) - df).abs() < 1e-6);
+        assert!((g.fx(2) - 2.0 * df).abs() < 1e-6); // n/2 bin kept positive
+        assert!((g.fx(3) + df).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nyquist_bound() {
+        let g = Grid::square(8, PixelPitch::from_um(36.0));
+        for k in 0..8 {
+            assert!(g.fx(k).abs() <= g.nyquist() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn physical_extent() {
+        let g = Grid::new(100, 200, PixelPitch::from_um(36.0));
+        assert!((g.width_meters() - 200.0 * 36e-6).abs() < 1e-12);
+        assert!((g.height_meters() - 100.0 * 36e-6).abs() < 1e-12);
+        assert!(g.max_radius() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_empty_grid() {
+        let _ = Grid::new(0, 10, PixelPitch::from_um(1.0));
+    }
+}

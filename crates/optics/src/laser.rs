@@ -1,0 +1,231 @@
+//! Coherent laser source modeling (`lr.laser` in the paper's DSL).
+//!
+//! A [`Laser`] couples a wavelength to a transverse beam profile and emits
+//! the complex illumination field on a given [`Grid`]. The paper's module
+//! table lists "various laser source modelings with flexible wavelength
+//! settings and beam profiles, e.g., Gaussian beam, Bessel beam".
+
+use crate::grid::Grid;
+use crate::units::Wavelength;
+use lr_tensor::{Complex64, Field};
+
+/// Transverse intensity/phase profile of the source beam.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BeamProfile {
+    /// Uniform plane wave of unit amplitude (the default for DONN input
+    /// encoding, where the image itself shapes the amplitude).
+    Uniform,
+    /// Gaussian beam `exp(-r²/w₀²)` with waist radius `w0` in metres.
+    Gaussian {
+        /// 1/e amplitude waist radius (metres).
+        waist: f64,
+    },
+    /// Zeroth-order Bessel beam `J₀(k_r·r)` with radial wavenumber `k_r`
+    /// (rad/m), apodized by a Gaussian envelope of radius `envelope`.
+    Bessel {
+        /// Radial wavenumber (rad/m).
+        radial_wavenumber: f64,
+        /// Gaussian apodization radius (metres).
+        envelope: f64,
+    },
+}
+
+/// A continuous-wave coherent laser source.
+///
+/// # Examples
+///
+/// ```
+/// use lr_optics::{Laser, BeamProfile, Grid, PixelPitch, Wavelength};
+/// let laser = Laser::new(Wavelength::from_nm(532.0), BeamProfile::Uniform);
+/// let grid = Grid::square(32, PixelPitch::from_um(36.0));
+/// let beam = laser.emit(&grid);
+/// assert_eq!(beam.shape(), (32, 32));
+/// assert!((beam.total_power() - 1024.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Laser {
+    wavelength: Wavelength,
+    profile: BeamProfile,
+}
+
+impl Laser {
+    /// Creates a laser with the given wavelength and beam profile.
+    pub fn new(wavelength: Wavelength, profile: BeamProfile) -> Self {
+        Laser { wavelength, profile }
+    }
+
+    /// Convenience constructor for the paper's experimental prototype: a
+    /// 532 nm CW source (Thorlabs CPS532) with uniform profile.
+    pub fn green_532() -> Self {
+        Laser::new(Wavelength::from_nm(532.0), BeamProfile::Uniform)
+    }
+
+    /// Source wavelength.
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Transverse beam profile.
+    pub fn profile(&self) -> BeamProfile {
+        self.profile
+    }
+
+    /// Emits the complex illumination field on `grid` (phase zero).
+    pub fn emit(&self, grid: &Grid) -> Field {
+        match self.profile {
+            BeamProfile::Uniform => Field::ones(grid.rows(), grid.cols()),
+            BeamProfile::Gaussian { waist } => Field::from_fn(grid.rows(), grid.cols(), |r, c| {
+                let x = grid.x_coord(c);
+                let y = grid.y_coord(r);
+                let a = (-(x * x + y * y) / (waist * waist)).exp();
+                Complex64::from_real(a)
+            }),
+            BeamProfile::Bessel { radial_wavenumber, envelope } => {
+                Field::from_fn(grid.rows(), grid.cols(), |r, c| {
+                    let x = grid.x_coord(c);
+                    let y = grid.y_coord(r);
+                    let rad = x.hypot(y);
+                    let a = bessel_j0(radial_wavenumber * rad)
+                        * (-(rad * rad) / (envelope * envelope)).exp();
+                    Complex64::from_real(a)
+                })
+            }
+        }
+    }
+
+    /// Encodes an intensity image onto the beam: the image amplitudes
+    /// multiply the beam profile sample-wise (paper §3.1: `θ=0, A=I`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != grid.rows()*grid.cols()`.
+    pub fn encode(&self, grid: &Grid, image: &[f64]) -> Field {
+        assert_eq!(
+            image.len(),
+            grid.rows() * grid.cols(),
+            "image length must match grid"
+        );
+        let mut beam = self.emit(grid);
+        for (b, &i) in beam.as_mut_slice().iter_mut().zip(image) {
+            *b *= i;
+        }
+        beam
+    }
+}
+
+/// Bessel function of the first kind, order zero.
+///
+/// Polynomial/asymptotic approximation (Abramowitz & Stegun 9.4.1/9.4.3),
+/// accurate to ~1e-7 — plenty for beam-profile synthesis.
+// The 0.636619772 below *is* the 2/π of the Bessel asymptotic form
+// (A&S 9.4.3), spelled to the published table's precision.
+#[allow(clippy::approx_constant)]
+pub fn bessel_j0(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 8.0 {
+        let y = x * x;
+        let p1 = 57568490574.0
+            + y * (-13362590354.0
+                + y * (651619640.7 + y * (-11214424.18 + y * (77392.33017 + y * (-184.9052456)))));
+        let p2 = 57568490411.0
+            + y * (1029532985.0 + y * (9494680.718 + y * (59272.64853 + y * (267.8532712 + y))));
+        p1 / p2
+    } else {
+        let z = 8.0 / ax;
+        let y = z * z;
+        let xx = ax - 0.785398164;
+        let p1 = 1.0
+            + y * (-0.1098628627e-2 + y * (0.2734510407e-4 + y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
+        let p2 = -0.1562499995e-1
+            + y * (0.1430488765e-3 + y * (-0.6911147651e-5 + y * (0.7621095161e-6 - y * 0.934935152e-7)));
+        (0.636619772 / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::PixelPitch;
+
+    #[test]
+    fn uniform_beam_is_flat() {
+        let laser = Laser::green_532();
+        let grid = Grid::square(8, PixelPitch::from_um(36.0));
+        let beam = laser.emit(&grid);
+        for z in beam.as_slice() {
+            assert_eq!(*z, Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center_and_decays() {
+        let grid = Grid::square(33, PixelPitch::from_um(10.0));
+        let laser = Laser::new(
+            Wavelength::from_nm(532.0),
+            BeamProfile::Gaussian { waist: 100e-6 },
+        );
+        let beam = laser.emit(&grid);
+        let center = beam[(16, 16)].re;
+        let edge = beam[(0, 0)].re;
+        assert!(center > 0.9, "center should be near peak, got {center}");
+        assert!(edge < center, "edge should decay");
+        // Radial symmetry.
+        assert!((beam[(16, 0)].re - beam[(0, 16)].re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_waist_matches_1_over_e() {
+        // At r = waist, amplitude should be 1/e of peak.
+        let pitch = 10e-6;
+        let waist = 50e-6; // 5 pixels
+        let grid = Grid::square(64, PixelPitch::from_meters(pitch));
+        let laser = Laser::new(Wavelength::from_nm(532.0), BeamProfile::Gaussian { waist });
+        let beam = laser.emit(&grid);
+        // center is at index 32; r = waist is 5 pixels away
+        let a0 = beam[(32, 32)].re;
+        let aw = beam[(32, 37)].re;
+        assert!((aw / a0 - (-1.0f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bessel_j0_reference_values() {
+        // Reference values from A&S tables.
+        assert!((bessel_j0(0.0) - 1.0).abs() < 1e-7);
+        assert!((bessel_j0(1.0) - 0.7651976866).abs() < 1e-6);
+        assert!((bessel_j0(2.4048255577) - 0.0).abs() < 1e-6); // first zero
+        assert!((bessel_j0(10.0) + 0.2459357645).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bessel_beam_rings() {
+        // 64-wide grid puts sample (32, 32) exactly at the origin.
+        let grid = Grid::square(64, PixelPitch::from_um(10.0));
+        let laser = Laser::new(
+            Wavelength::from_nm(532.0),
+            BeamProfile::Bessel { radial_wavenumber: 2.4048255577 / 100e-6, envelope: 500e-6 },
+        );
+        let beam = laser.emit(&grid);
+        // Central lobe positive, first zero at r = 100 um = 10 pixels.
+        assert!(beam[(32, 32)].re > 0.9);
+        assert!(beam[(32, 42)].re.abs() < 0.05, "expected near-zero at first Bessel zero");
+    }
+
+    #[test]
+    fn encode_multiplies_image() {
+        let grid = Grid::square(4, PixelPitch::from_um(36.0));
+        let laser = Laser::green_532();
+        let image: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        let field = laser.encode(&grid, &image);
+        for (z, &i) in field.as_slice().iter().zip(&image) {
+            assert!((z.re - i).abs() < 1e-12);
+            assert_eq!(z.im, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match grid")]
+    fn encode_validates_length() {
+        let grid = Grid::square(4, PixelPitch::from_um(36.0));
+        Laser::green_532().encode(&grid, &[1.0; 15]);
+    }
+}

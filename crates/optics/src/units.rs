@@ -1,0 +1,168 @@
+//! Physical unit newtypes.
+//!
+//! Optical design mixes quantities spanning nine orders of magnitude
+//! (nanometre wavelengths, micrometre pixels, metre-scale distances), and
+//! transposing them is the classic DONN design bug. These newtypes make the
+//! units part of the type system; internally everything is stored in metres.
+
+use std::fmt;
+
+macro_rules! length_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Constructs from metres.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `m` is not finite and strictly positive.
+            pub fn from_meters(m: f64) -> Self {
+                assert!(m.is_finite() && m > 0.0, concat!(stringify!($name), " must be finite and positive"));
+                $name(m)
+            }
+
+            /// Constructs from millimetres.
+            pub fn from_mm(mm: f64) -> Self {
+                Self::from_meters(mm * 1e-3)
+            }
+
+            /// Constructs from micrometres.
+            pub fn from_um(um: f64) -> Self {
+                Self::from_meters(um * 1e-6)
+            }
+
+            /// Constructs from nanometres.
+            pub fn from_nm(nm: f64) -> Self {
+                Self::from_meters(nm * 1e-9)
+            }
+
+            /// Value in metres.
+            #[inline(always)]
+            pub fn meters(self) -> f64 {
+                self.0
+            }
+
+            /// Value in micrometres.
+            #[inline(always)]
+            pub fn micrometers(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Value in nanometres.
+            #[inline(always)]
+            pub fn nanometers(self) -> f64 {
+                self.0 * 1e9
+            }
+
+            /// Returns this length scaled by a dimensionless factor.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the scaled value is not finite and positive.
+            pub fn scaled(self, factor: f64) -> Self {
+                Self::from_meters(self.0 * factor)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({} m)"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0 < 1e-6 {
+                    write!(f, "{:.1} nm", self.0 * 1e9)
+                } else if self.0 < 1e-3 {
+                    write!(f, "{:.2} um", self.0 * 1e6)
+                } else if self.0 < 1.0 {
+                    write!(f, "{:.2} mm", self.0 * 1e3)
+                } else {
+                    write!(f, "{:.3} m", self.0)
+                }
+            }
+        }
+    };
+}
+
+length_newtype! {
+    /// Laser wavelength λ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lr_optics::Wavelength;
+    /// let green = Wavelength::from_nm(532.0);
+    /// assert!((green.meters() - 5.32e-7).abs() < 1e-20);
+    /// ```
+    Wavelength
+}
+
+length_newtype! {
+    /// Propagation distance z between planes.
+    Distance
+}
+
+length_newtype! {
+    /// Diffraction unit (modulator pixel) pitch.
+    PixelPitch
+}
+
+impl Wavelength {
+    /// Wavenumber `k = 2π/λ` in rad/m.
+    #[inline(always)]
+    pub fn wavenumber(self) -> f64 {
+        2.0 * std::f64::consts::PI / self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let w = Wavelength::from_nm(532.0);
+        assert!((w.nanometers() - 532.0).abs() < 1e-9);
+        let d = Distance::from_mm(300.0);
+        assert!((d.meters() - 0.3).abs() < 1e-12);
+        let p = PixelPitch::from_um(36.0);
+        assert!((p.micrometers() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavenumber_is_2pi_over_lambda() {
+        let w = Wavelength::from_nm(532.0);
+        assert!((w.wavenumber() * w.meters() - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let _ = Distance::from_meters(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Wavelength::from_meters(f64::NAN);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Wavelength::from_nm(532.0)), "532.0 nm");
+        assert_eq!(format!("{}", PixelPitch::from_um(36.0)), "36.00 um");
+        assert_eq!(format!("{}", Distance::from_mm(300.0)), "300.00 mm");
+        assert_eq!(format!("{}", Distance::from_meters(1.5)), "1.500 m");
+    }
+
+    #[test]
+    fn scaled_length() {
+        let d = Distance::from_meters(0.3);
+        assert!((d.scaled(1.05).meters() - 0.315).abs() < 1e-12);
+    }
+}

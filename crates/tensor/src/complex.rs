@@ -1,0 +1,404 @@
+//! Minimal, fast complex scalar used throughout the framework.
+//!
+//! The optics kernels only need `f64` precision arithmetic, conjugation,
+//! polar conversions and the complex exponential, so we implement a small
+//! `Copy` value type rather than pulling in an external crate. The layout is
+//! `#[repr(C)]` `(re, im)` so a `&[Complex64]` can be reinterpreted as an
+//! interleaved buffer when needed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + j·im`.
+///
+/// # Examples
+///
+/// ```
+/// use lr_tensor::Complex64;
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+/// assert!((a * b - Complex64::new(-2.0, 1.0)).norm() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit `j`.
+pub const J: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = J;
+
+    /// Creates a complex number from rectangular components.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    #[inline(always)]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: r * c, im: r * s }
+    }
+
+    /// Unit-magnitude complex exponential `e^{jθ}` (a pure phase factor).
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|² = z·z̄` — the optical *intensity* of a field
+    /// sample.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `(magnitude, phase)` pair.
+    #[inline(always)]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.norm(), self.arg())
+    }
+
+    /// Complex exponential `e^z = e^{re}·(cos im + j sin im)`.
+    #[inline(always)]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`, mirroring `f64` division.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Principal square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = self.to_polar();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Fused multiply-add: `self * b + c`, as a single expression so the
+    /// optimizer can vectorize the interleaved form.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Complex64 {
+            re: self.re * b.re - self.im * b.im + c.re,
+            im: self.re * b.im + self.im * b.re + c.im,
+        }
+    }
+
+    /// True if both components are finite.
+    #[inline(always)]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    // Division by reciprocal-multiply is the intended formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: f64) -> Self {
+        Complex64 { re: self.re + rhs, im: self.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: f64) {
+        let inv = 1.0 / rhs;
+        self.re *= inv;
+        self.im *= inv;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    #[inline(always)]
+    fn from((re, im): (f64, f64)) -> Self {
+        Complex64::new(re, im)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}j", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < EPS
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(3.0, -4.0);
+        let b = Complex64::new(-1.5, 2.5);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * Complex64::ONE, a));
+        assert!(close(a + Complex64::ZERO, a));
+        assert!(close(-a + a, Complex64::ZERO));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(3.0, -4.0);
+        assert!(close(a.conj().conj(), a));
+        assert!((a * a.conj()).im.abs() < EPS);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < EPS);
+    }
+
+    #[test]
+    fn norm_and_polar() {
+        let a = Complex64::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < EPS);
+        assert!((a.norm_sqr() - 25.0).abs() < EPS);
+        let (r, t) = a.to_polar();
+        assert!(close(Complex64::from_polar(r, t), a));
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.3927;
+            let z = Complex64::cis(theta);
+            assert!((z.norm() - 1.0).abs() < EPS);
+            assert!((z.arg() - wrap(theta)).abs() < 1e-10);
+        }
+        fn wrap(mut t: f64) -> f64 {
+            use std::f64::consts::PI;
+            while t > PI {
+                t -= 2.0 * PI;
+            }
+            while t <= -PI {
+                t += 2.0 * PI;
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn exp_matches_euler() {
+        let z = Complex64::new(0.5, 1.2);
+        let e = z.exp();
+        let expected = Complex64::from_polar(0.5f64.exp(), 1.2);
+        assert!(close(e, expected));
+    }
+
+    #[test]
+    fn inv_and_div() {
+        let a = Complex64::new(2.0, -7.0);
+        assert!(close(a * a.inv(), Complex64::ONE));
+        assert!(close(a / a, Complex64::ONE));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s - z).norm() < 1e-10, "sqrt({z:?}) = {s:?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_composition() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 0.25);
+        let c = Complex64::new(10.0, -3.0);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let a = Complex64::new(1.0, -2.0);
+        assert!(close(a * 2.0, Complex64::new(2.0, -4.0)));
+        assert!(close(2.0 * a, a * 2.0));
+        assert!(close(a / 2.0, Complex64::new(0.5, -1.0)));
+        assert!(close(a + 1.0, Complex64::new(2.0, -2.0)));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let v = vec![Complex64::new(1.0, 1.0); 8];
+        let s: Complex64 = v.into_iter().sum();
+        assert!(close(s, Complex64::new(8.0, 8.0)));
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        assert_eq!(format!("{:?}", Complex64::new(1.0, -2.0)), "1-2j");
+        assert_eq!(format!("{:?}", Complex64::ZERO), "0+0j");
+    }
+}

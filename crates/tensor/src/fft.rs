@@ -1,0 +1,571 @@
+//! Fast Fourier transforms for the optics kernels.
+//!
+//! The diffraction kernels in LightRidge are built on 2-D FFT convolution
+//! (paper Eq. 6–7). This module implements the transforms from scratch:
+//!
+//! * **Radix-2 Cooley-Tukey** (iterative, precomputed twiddles and
+//!   bit-reversal permutation) for power-of-two sizes.
+//! * **Bluestein's chirp-z algorithm** for arbitrary sizes — the paper's
+//!   system resolutions (200², 350², 500²) are *not* powers of two.
+//! * A global, thread-safe **plan cache** so repeated propagations at the
+//!   same resolution reuse twiddle tables and chirp spectra. Plan reuse is
+//!   one of the runtime optimizations that separates LightRidge from the
+//!   LightPipes baseline (paper Table 1, Fig. 8).
+//!
+//! Normalization convention: forward transforms are unnormalized, inverse
+//! transforms carry the `1/N` factor. For the 2-D transforms the inverse
+//! therefore scales by `1/(rows·cols)`.
+
+use crate::complex::Complex64;
+use crate::field::Field;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X_k = Σ x_j · e^{-2πi jk/N}` (unnormalized).
+    Forward,
+    /// `x_j = (1/N) Σ X_k · e^{+2πi jk/N}`.
+    Inverse,
+}
+
+/// A reusable 1-D FFT plan for a fixed length.
+///
+/// Plans are cheap to share (`Arc`) and safe to use from multiple threads;
+/// per-call scratch is passed in by the caller.
+///
+/// # Examples
+///
+/// ```
+/// use lr_tensor::{Complex64, FftPlan, Direction};
+/// let plan = FftPlan::new(6);
+/// let mut data: Vec<Complex64> = (0..6).map(|i| Complex64::new(i as f64, 0.0)).collect();
+/// let orig = data.clone();
+/// let mut scratch = plan.make_scratch();
+/// plan.process(&mut data, Direction::Forward, &mut scratch);
+/// plan.process(&mut data, Direction::Inverse, &mut scratch);
+/// for (a, b) in data.iter().zip(&orig) {
+///     assert!((*a - *b).norm() < 1e-10);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    Radix2(Radix2Plan),
+    Bluestein(BluesteinPlan),
+}
+
+#[derive(Debug)]
+struct Radix2Plan {
+    /// Bit-reversal permutation indices.
+    bitrev: Vec<u32>,
+    /// `tw[k] = e^{-2πi k/n}` for `k < n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+#[derive(Debug)]
+struct BluesteinPlan {
+    /// Inner power-of-two convolution length `m ≥ 2n-1`.
+    m: usize,
+    inner: Radix2Plan,
+    /// Forward chirp `c_j = e^{-iπ j²/n}` for `j < n`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT (length `m`) of the wrapped conjugate chirp.
+    chirp_spectrum: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be nonzero");
+        let kind = if n.is_power_of_two() {
+            PlanKind::Radix2(Radix2Plan::new(n))
+        } else {
+            PlanKind::Bluestein(BluesteinPlan::new(n))
+        };
+        FftPlan { n, kind }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n > 0` is enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if this plan uses Bluestein's algorithm (non-power-of-two size).
+    pub fn is_bluestein(&self) -> bool {
+        matches!(self.kind, PlanKind::Bluestein(_))
+    }
+
+    /// Allocates a scratch buffer sized for this plan. Reuse it across calls
+    /// to avoid per-transform allocation.
+    pub fn make_scratch(&self) -> Vec<Complex64> {
+        match &self.kind {
+            PlanKind::Radix2(_) => Vec::new(),
+            PlanKind::Bluestein(b) => vec![Complex64::ZERO; b.m],
+        }
+    }
+
+    /// Transforms `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex64], dir: Direction, scratch: &mut Vec<Complex64>) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        match dir {
+            Direction::Forward => self.forward(data, scratch),
+            Direction::Inverse => {
+                // x = conj(F(conj(X))) / n
+                for z in data.iter_mut() {
+                    *z = z.conj();
+                }
+                self.forward(data, scratch);
+                let inv_n = 1.0 / self.n as f64;
+                for z in data.iter_mut() {
+                    *z = z.conj() * inv_n;
+                }
+            }
+        }
+    }
+
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        match &self.kind {
+            PlanKind::Radix2(p) => p.forward(data),
+            PlanKind::Bluestein(p) => p.forward(data, scratch),
+        }
+    }
+}
+
+impl Radix2Plan {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two());
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        Radix2Plan { bitrev, twiddles }
+    }
+
+    /// Iterative decimation-in-time radix-2 FFT.
+    fn forward(&self, data: &mut [Complex64]) {
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for (i, &r) in self.bitrev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                data.swap(i, r);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for base in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = data[base + k];
+                    let b = data[base + k + half] * w;
+                    data[base + k] = a + b;
+                    data[base + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+impl BluesteinPlan {
+    fn new(n: usize) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+        // c_j = e^{-iπ j²/n}. j² is reduced mod 2n in integer arithmetic so
+        // the phase argument stays small and fully precise for large n.
+        let two_n = 2 * n as u64;
+        let chirp: Vec<Complex64> = (0..n as u64)
+            .map(|j| Complex64::cis(-PI * ((j * j) % two_n) as f64 / n as f64))
+            .collect();
+        // Wrapped conjugate chirp B: B[0..n) = conj(c), B[m-j] = conj(c_j).
+        let mut b = vec![Complex64::ZERO; m];
+        for j in 0..n {
+            b[j] = chirp[j].conj();
+            if j > 0 {
+                b[m - j] = chirp[j].conj();
+            }
+        }
+        inner.forward(&mut b);
+        BluesteinPlan { m, inner, chirp, chirp_spectrum: b }
+    }
+
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        let n = data.len();
+        let m = self.m;
+        scratch.clear();
+        scratch.resize(m, Complex64::ZERO);
+        // a_j = x_j · c_j, zero padded to m.
+        for j in 0..n {
+            scratch[j] = data[j] * self.chirp[j];
+        }
+        self.inner.forward(scratch);
+        // Pointwise multiply with the chirp spectrum (the circular
+        // convolution theorem), then inverse transform.
+        for (s, &h) in scratch.iter_mut().zip(&self.chirp_spectrum) {
+            *s *= h;
+        }
+        // Inverse inner FFT via conjugation.
+        for z in scratch.iter_mut() {
+            *z = z.conj();
+        }
+        self.inner.forward(scratch);
+        let inv_m = 1.0 / m as f64;
+        // X_k = c_k · conv_k.
+        for k in 0..n {
+            data[k] = scratch[k].conj() * inv_m * self.chirp[k];
+        }
+    }
+}
+
+/// Global plan cache keyed by transform length.
+static PLAN_CACHE: Mutex<Option<HashMap<usize, Arc<FftPlan>>>> = Mutex::new(None);
+
+/// Returns a cached plan for length `n`, creating it on first use.
+///
+/// The cache is process-global and thread-safe; this is the fast path used
+/// by all LightRidge propagation kernels. The LightPipes-style baseline
+/// deliberately bypasses it to model plan-per-call overhead.
+pub fn planner(n: usize) -> Arc<FftPlan> {
+    let mut guard = PLAN_CACHE.lock();
+    let cache = guard.get_or_insert_with(HashMap::new);
+    cache.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))).clone()
+}
+
+/// Clears the global plan cache (used by the runtime ablation benches).
+pub fn clear_plan_cache() {
+    *PLAN_CACHE.lock() = None;
+}
+
+/// Number of plans currently cached.
+pub fn plan_cache_len() -> usize {
+    PLAN_CACHE.lock().as_ref().map_or(0, |c| c.len())
+}
+
+/// A 2-D FFT engine for a fixed field shape, holding one plan per axis.
+///
+/// # Examples
+///
+/// ```
+/// use lr_tensor::{Complex64, Field, Fft2};
+/// let fft = Fft2::new(4, 6);
+/// let f = Field::from_fn(4, 6, |r, c| Complex64::new((r + c) as f64, 0.0));
+/// let mut g = f.clone();
+/// fft.forward(&mut g);
+/// fft.inverse(&mut g);
+/// assert!(f.distance(&g) < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2 {
+    rows: usize,
+    cols: usize,
+    row_plan: Arc<FftPlan>,
+    col_plan: Arc<FftPlan>,
+}
+
+impl Fft2 {
+    /// Builds (or fetches from the global cache) plans for a `rows × cols`
+    /// field.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Fft2 {
+            rows,
+            cols,
+            row_plan: planner(cols),
+            col_plan: planner(rows),
+        }
+    }
+
+    /// Field shape this engine transforms.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// In-place forward 2-D FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not match the planned shape.
+    pub fn forward(&self, field: &mut Field) {
+        self.process(field, Direction::Forward);
+    }
+
+    /// In-place inverse 2-D FFT (scaled by `1/(rows·cols)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not match the planned shape.
+    pub fn inverse(&self, field: &mut Field) {
+        self.process(field, Direction::Inverse);
+    }
+
+    /// In-place 2-D transform in the given direction.
+    pub fn process(&self, field: &mut Field, dir: Direction) {
+        assert_eq!(field.shape(), (self.rows, self.cols), "Fft2 shape mismatch");
+        let mut scratch = self.row_plan.make_scratch();
+        for r in 0..self.rows {
+            self.row_plan.process(field.row_mut(r), dir, &mut scratch);
+        }
+        let mut t = field.transpose();
+        let mut scratch = self.col_plan.make_scratch();
+        for r in 0..self.cols {
+            self.col_plan.process(t.row_mut(r), dir, &mut scratch);
+        }
+        *field = t.transpose();
+    }
+
+    /// Fused `IFFT2( FFT2(field) ⊙ transfer )` — a single-pass free-space
+    /// propagation step. This is the operator-fusion fast path the paper's
+    /// runtime evaluation credits for part of the speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match.
+    pub fn convolve_spectrum(&self, field: &mut Field, transfer: &Field) {
+        self.forward(field);
+        field.hadamard_assign(transfer);
+        self.inverse(field);
+    }
+
+    /// Adjoint of [`Fft2::convolve_spectrum`]: propagates a gradient with the
+    /// conjugated transfer function. Under the `(1, 1/N)` normalization the
+    /// adjoint of `F⁻¹ diag(H) F` is exactly `F⁻¹ diag(H̄) F`.
+    pub fn convolve_spectrum_adjoint(&self, grad: &mut Field, transfer: &Field) {
+        self.forward(grad);
+        grad.hadamard_conj_assign(transfer);
+        self.inverse(grad);
+    }
+}
+
+/// Naive `O(n²)` DFT used as a reference in tests.
+pub fn dft_naive(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let w = Complex64::cis(sign * 2.0 * PI * (j * k % n) as f64 / n as f64);
+            acc += x * w;
+        }
+        *o = match dir {
+            Direction::Forward => acc,
+            Direction::Inverse => acc / n as f64,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize) {
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let orig = data.clone();
+        let mut scratch = plan.make_scratch();
+        plan.process(&mut data, Direction::Forward, &mut scratch);
+        plan.process(&mut data, Direction::Inverse, &mut scratch);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((*a - *b).norm() < 1e-9, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_power_of_two() {
+        for n in [1, 2, 4, 8, 64, 256, 1024] {
+            roundtrip(n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_sizes() {
+        for n in [3, 5, 6, 7, 12, 100, 200, 350, 500] {
+            roundtrip(n);
+        }
+    }
+
+    fn against_naive(n: usize) {
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).cos(), (i as f64 * 0.5).sin()))
+            .collect();
+        let expected = dft_naive(&input, Direction::Forward);
+        let plan = FftPlan::new(n);
+        let mut data = input.clone();
+        let mut scratch = plan.make_scratch();
+        plan.process(&mut data, Direction::Forward, &mut scratch);
+        for (a, b) in data.iter().zip(&expected) {
+            assert!((*a - *b).norm() < 1e-8 * (n as f64), "mismatch vs naive DFT at n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2, 3, 4, 5, 8, 16, 20, 31, 64, 100] {
+            against_naive(n);
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 16;
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        let plan = FftPlan::new(n);
+        let mut scratch = plan.make_scratch();
+        plan.process(&mut data, Direction::Forward, &mut scratch);
+        for z in &data {
+            assert!((*z - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_1d() {
+        let n = 200; // Bluestein path
+        let data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let plan = FftPlan::new(n);
+        let mut spec = data.clone();
+        let mut scratch = plan.make_scratch();
+        plan.process(&mut spec, Direction::Forward, &mut scratch);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum();
+        assert!(
+            (freq_energy / n as f64 - time_energy).abs() < 1e-8 * time_energy,
+            "Parseval violated"
+        );
+    }
+
+    #[test]
+    fn fft2_roundtrip_mixed_sizes() {
+        for &(r, c) in &[(4, 4), (8, 16), (5, 7), (20, 20), (3, 8)] {
+            let fft = Fft2::new(r, c);
+            let f = Field::from_fn(r, c, |i, j| Complex64::new((i * c + j) as f64, (i + j) as f64));
+            let mut g = f.clone();
+            fft.forward(&mut g);
+            fft.inverse(&mut g);
+            assert!(f.distance(&g) < 1e-8, "fft2 roundtrip {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn fft2_separable_impulse() {
+        // FFT2 of a centered impulse is a pure phase ramp; of an origin
+        // impulse it is flat ones.
+        let fft = Fft2::new(8, 8);
+        let mut f = Field::zeros(8, 8);
+        f[(0, 0)] = Complex64::ONE;
+        fft.forward(&mut f);
+        for z in f.as_slice() {
+            assert!((*z - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft2_dc_component_is_sum() {
+        let fft = Fft2::new(6, 10);
+        let f = Field::from_fn(6, 10, |i, j| Complex64::new(i as f64, j as f64));
+        let total = f.sum();
+        let mut g = f.clone();
+        fft.forward(&mut g);
+        assert!((g[(0, 0)] - total).norm() < 1e-9);
+    }
+
+    #[test]
+    fn convolve_spectrum_identity_transfer() {
+        let fft = Fft2::new(8, 8);
+        let f = Field::from_fn(8, 8, |i, j| Complex64::new(i as f64, j as f64));
+        let h = Field::ones(8, 8);
+        let mut g = f.clone();
+        fft.convolve_spectrum(&mut g, &h);
+        assert!(f.distance(&g) < 1e-9);
+    }
+
+    #[test]
+    fn convolve_adjoint_identity() {
+        // <A x, y> == <x, A^H y> for A = IFFT ∘ diag(H) ∘ FFT.
+        let fft = Fft2::new(8, 8);
+        let h = Field::from_fn(8, 8, |i, j| {
+            Complex64::cis(0.3 * i as f64 + 0.17 * j as f64) * (1.0 + 0.1 * j as f64)
+        });
+        let x = Field::from_fn(8, 8, |i, j| Complex64::new((i * j) as f64 * 0.1, i as f64 - j as f64));
+        let y = Field::from_fn(8, 8, |i, j| Complex64::new((i + 2 * j) as f64 * 0.05, 1.0));
+        let mut ax = x.clone();
+        fft.convolve_spectrum(&mut ax, &h);
+        let mut ahy = y.clone();
+        fft.convolve_spectrum_adjoint(&mut ahy, &h);
+        let lhs = ax.inner(&y);
+        let rhs = x.inner(&ahy);
+        assert!((lhs - rhs).norm() < 1e-8, "adjoint identity violated: {lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn plan_cache_shares_plans() {
+        clear_plan_cache();
+        let a = planner(64);
+        let b = planner(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(plan_cache_len(), 1);
+        let _c = planner(128);
+        assert_eq!(plan_cache_len(), 2);
+        clear_plan_cache();
+        assert_eq!(plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48; // power-of-two? no: 48 = 16*3 -> Bluestein path
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.5)).collect();
+        let y: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
+        let alpha = Complex64::new(0.3, -0.8);
+
+        let mut combo: Vec<Complex64> =
+            x.iter().zip(&y).map(|(&a, &b)| a * alpha + b).collect();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut scratch = plan.make_scratch();
+        plan.process(&mut combo, Direction::Forward, &mut scratch);
+        plan.process(&mut fx, Direction::Forward, &mut scratch);
+        plan.process(&mut fy, Direction::Forward, &mut scratch);
+        for k in 0..n {
+            let expect = fx[k] * alpha + fy[k];
+            assert!((combo[k] - expect).norm() < 1e-7, "linearity failed at {k}");
+        }
+    }
+}

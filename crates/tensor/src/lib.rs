@@ -1,0 +1,41 @@
+//! # lr-tensor
+//!
+//! Complex-valued tensor and FFT substrate for
+//! [LightRidge-RS](https://github.com/lightridge/lightridge-rs), a Rust
+//! reproduction of the LightRidge diffractive optical neural network (DONN)
+//! framework (ASPLOS 2023/24).
+//!
+//! The crate provides the three tensor-level operators the paper identifies
+//! as the DONN workload (Fig. 8): complex 2-D FFT ([`Fft2::forward`]),
+//! inverse 2-D FFT ([`Fft2::inverse`]), and fused complex elementwise
+//! multiplication ([`Field::hadamard_assign`]) — plus the plan cache and
+//! batch-parallel execution that give LightRidge its runtime edge over the
+//! LightPipes-style baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use lr_tensor::{Complex64, Field, Fft2};
+//!
+//! // A 64×64 field with a centered square aperture.
+//! let mut u = Field::from_fn(64, 64, |r, c| {
+//!     let inside = (24..40).contains(&r) && (24..40).contains(&c);
+//!     if inside { Complex64::ONE } else { Complex64::ZERO }
+//! });
+//!
+//! // Propagate through a (here: identity) spectral transfer function.
+//! let h = Field::ones(64, 64);
+//! Fft2::new(64, 64).convolve_spectrum(&mut u, &h);
+//! assert!((u.total_power() - 256.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod fft;
+mod field;
+pub mod parallel;
+
+pub use complex::{Complex64, J};
+pub use fft::{clear_plan_cache, dft_naive, plan_cache_len, planner, Direction, Fft2, FftPlan};
+pub use field::Field;

@@ -1,0 +1,151 @@
+//! Batch parallelism helpers.
+//!
+//! DONN training parallelizes naturally over the *batch* dimension: each
+//! sample's forward/backward pass is independent given shared read-only
+//! parameters. These helpers run a closure over a batch using scoped threads
+//! (crossbeam), which is how the "accelerated" LightRidge backend uses
+//! multi-core CPUs (the paper's GPU backend plays the same role on CUDA).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`par_map`] and friends.
+///
+/// Defaults to the machine's available parallelism; override with
+/// [`set_threads`] (the single-thread setting is the "CPU baseline"
+/// configuration in the runtime benches).
+pub fn threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count (`0` restores the default).
+pub fn set_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Applies `f` to every item index in `0..len`, in parallel, collecting
+/// results in order.
+///
+/// `f` must be `Sync` because multiple worker threads call it concurrently.
+/// Falls back to a sequential loop when one thread suffices.
+pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let out_ptr = &out_ptr;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let value = f(i);
+                    // SAFETY: each index i is claimed by exactly one worker
+                    // via the atomic counter, so no two threads write the
+                    // same slot, and the vector outlives the scope.
+                    unsafe {
+                        *out_ptr.0.add(i) = Some(value);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// Applies `f` to chunks of `items`, mutating them in place in parallel.
+pub fn par_chunks_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    let workers = threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let base = &base;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    // SAFETY: disjoint indices, claimed once each.
+                    let item = unsafe { &mut *base.0.add(i) };
+                    f(i, item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at indices claimed through the
+// atomic work counter, guaranteeing exclusive access per slot.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let result = par_map(100, |i| i * i);
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_chunks_mut_updates_all() {
+        let mut v = vec![0usize; 64];
+        par_chunks_mut(&mut v, |i, x| *x = i * 3);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 3);
+        }
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        let default = threads();
+        assert!(default >= 1);
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        let r = par_map(16, |i| i + 1);
+        assert_eq!(r[15], 16);
+        set_threads(0);
+        assert_eq!(threads(), default);
+    }
+}

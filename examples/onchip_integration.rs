@@ -1,0 +1,76 @@
+//! On-chip DONN integration (paper §5.5, Fig. 11): the CMOS detector fixes
+//! the diffraction unit to its 3.45 µm pixel pitch; we search the layer
+//! distance, train, and dump the nano-printing fabrication data (per-layer
+//! thickness maps) plus the resulting monolithic stack dimensions.
+//!
+//! Run with: `cargo run --release --example onchip_integration`
+
+use lightridge::deploy::to_system;
+use lightridge::train::{self, TrainConfig};
+use lightridge::{Detector, DonnBuilder};
+use lr_datasets::digits::{self, DigitsConfig};
+use lr_hardware::{PrintedMask, SlmModel};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+
+fn main() {
+    let size = 32;
+    let pitch = PixelPitch::from_um(3.45); // CS165MU1 pixel
+    let lambda = Wavelength::from_nm(532.0);
+    let depth = 5;
+    let grid = Grid::square(size, pitch);
+
+    // Mini-DSE over the only free parameter: the layer distance.
+    let aperture = size as f64 * pitch.meters();
+    let candidates: Vec<f64> = (1..=4)
+        .map(|i| 0.25 * i as f64 * aperture * pitch.meters() / lambda.meters())
+        .collect();
+    let config = DigitsConfig { size, ..Default::default() };
+    let train_set = digits::generate(300, &config, 13);
+    let test_set = digits::generate(100, &config, 14);
+
+    let mut best = (candidates[0], 0.0);
+    for &z in &candidates {
+        let mut probe = DonnBuilder::new(grid, lambda)
+            .distance(Distance::from_meters(z))
+            .diffractive_layers(2)
+            .detector(Detector::grid_layout(size, size, 10, size / 8))
+            .build();
+        train::train(
+            &mut probe,
+            &train_set,
+            &TrainConfig { epochs: 3, batch_size: 25, learning_rate: 0.3, ..Default::default() },
+        );
+        let acc = train::evaluate(&probe, &test_set);
+        println!("DSE probe: z = {:>7.1} um -> accuracy {acc:.3}", z * 1e6);
+        if acc > best.1 {
+            best = (z, acc);
+        }
+    }
+    let z_star = best.0;
+
+    // Full-depth training at the chosen distance.
+    let mut model = DonnBuilder::new(grid, lambda)
+        .distance(Distance::from_meters(z_star))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(size, size, 10, size / 8))
+        .build();
+    train::train(
+        &mut model,
+        &train_set,
+        &TrainConfig { epochs: 8, batch_size: 25, learning_rate: 0.3, ..Default::default() },
+    );
+    println!("\ntrained {depth}-layer on-chip model: accuracy {:.3}", train::evaluate(&model, &test_set));
+
+    // Fabrication: phase -> printed thickness for every layer.
+    let export = to_system(&model, &SlmModel::ideal(256));
+    let printer = PrintedMask::new(1.5, lambda.meters(), 20e-9, 0.0);
+    println!("\nfabrication package ({} layers):", export.layers.len());
+    for (i, layer) in export.layers.iter().enumerate() {
+        let t = printer.thickness_map(&layer.phases);
+        let max = t.iter().cloned().fold(0.0, f64::max);
+        println!("  layer {i}: {} pixels, max thickness {:.3} um", t.len(), max * 1e6);
+    }
+    let flat = aperture * 1e6;
+    let height = (depth + 1) as f64 * z_star * 1e6;
+    println!("\nmonolithic stack: {flat:.0} x {flat:.0} x {height:.0} um (cf. paper: 690 x 690 x 2660 um)");
+}
