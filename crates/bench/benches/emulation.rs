@@ -14,7 +14,7 @@ fn forward_lightridge(n: usize, depth: usize, fft: &Fft2, transfer: &Field, phas
     for _ in 0..depth {
         fft.convolve_spectrum(&mut f, transfer);
         for (z, &p) in f.as_mut_slice().iter_mut().zip(phases) {
-            *z = *z * Complex64::cis(p);
+            *z *= Complex64::cis(p);
         }
     }
     std::hint::black_box(&f);

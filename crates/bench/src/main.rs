@@ -1,0 +1,184 @@
+//! `lr-bench` — machine-readable perf artifacts for the kernel hot path.
+//!
+//! Emits `BENCH_kernels.json` with median wall-clock timings for the
+//! operators the paper's Fig. 8 tracks (2-D FFT at the system resolutions)
+//! plus a batched end-to-end forward pass, each measured for both the
+//! current zero-copy pipeline and the pre-optimization reference
+//! (transpose-based FFT2, plain radix-2 butterflies, clone-per-layer
+//! forward, thread-spawn-per-batch parallelism). Future PRs diff this file
+//! to keep a perf trajectory.
+//!
+//! Usage: `lr-bench [--out PATH] [--quick]`
+
+use lightridge::{Detector, DonnBuilder, DonnModel, Layer};
+use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
+use lr_tensor::{parallel, Complex64, Direction, Fft2, Field};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median of per-iteration nanosecond timings for `samples` runs of `f`.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    // Warm-up run (fills plan caches, thread-local workspaces, the pool).
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn make_field(n: usize) -> Field {
+    Field::from_fn(n, n, |r, c| Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos()))
+}
+
+/// The pre-change per-sample forward pass: clone per layer, reference
+/// (transpose + radix-2) FFT convolution, allocating detector readout.
+fn reference_forward(model: &DonnModel, input: &Field) -> Vec<f64> {
+    let mut u = input.clone();
+    for layer in model.layers() {
+        if let Layer::Diffractive(l) = layer {
+            let fft = Fft2::new(u.rows(), u.cols());
+            let transfer = l.propagator().transfer().expect("spectral propagator");
+            let mut f = u.clone();
+            fft.process_reference(&mut f, Direction::Forward);
+            f.hadamard_assign(transfer);
+            fft.process_reference(&mut f, Direction::Inverse);
+            let gamma = l.gamma();
+            for (z, &phi) in f.as_mut_slice().iter_mut().zip(l.phases()) {
+                *z *= Complex64::cis(phi) * gamma;
+            }
+            u = f;
+        }
+    }
+    let fft = Fft2::new(u.rows(), u.cols());
+    let transfer = model.final_propagator().transfer().expect("spectral propagator");
+    let mut f = u.clone();
+    fft.process_reference(&mut f, Direction::Forward);
+    f.hadamard_assign(transfer);
+    fft.process_reference(&mut f, Direction::Inverse);
+    model.detector().read(&f)
+}
+
+/// The pre-change batch strategy: spawn a fresh set of scoped threads per
+/// batch (what `crossbeam::scope` used to do on every call).
+fn reference_batched_forward(model: &DonnModel, batch: &[Field]) -> usize {
+    let workers = parallel::threads().min(batch.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= batch.len() {
+                    break;
+                }
+                let logits = reference_forward(model, &batch[i]);
+                done.fetch_add(logits.len(), std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    done.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The current batch strategy: persistent pool + per-shard workspaces +
+/// allocation-free inference.
+fn pooled_batched_forward(model: &DonnModel, batch: &[Field]) -> usize {
+    let workers = parallel::threads().min(batch.len()).max(1);
+    let shard = batch.len().div_ceil(workers);
+    parallel::par_map(workers, |w| {
+        let mut ws = model.make_workspace();
+        let mut logits = Vec::with_capacity(model.num_classes());
+        let mut count = 0usize;
+        for input in batch.iter().skip(w * shard).take(shard) {
+            model.infer_into(input, &mut ws, &mut logits);
+            count += logits.len();
+        }
+        count
+    })
+    .into_iter()
+    .sum()
+}
+
+fn donn_200(grid_n: usize, depth: usize) -> DonnModel {
+    let grid = Grid::square(grid_n, PixelPitch::from_um(36.0));
+    DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(300.0))
+        .approximation(Approximation::RayleighSommerfeld)
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(grid_n, grid_n, 10, grid_n / 12))
+        .build()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let (fft_samples, fwd_samples) = if quick { (5, 3) } else { (15, 7) };
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // --- Fig. 8 FFT2 kernels: current vs pre-change reference -----------
+    for &n in &[200usize, 350, 500] {
+        let fft = Fft2::new(n, n);
+        let base = make_field(n);
+        let mut f = base.clone();
+        let new_ns = median_ns(fft_samples, || {
+            f.copy_from(&base);
+            fft.forward(&mut f);
+        });
+        entries.push((format!("fig8_fft2/lightridge/{n}"), new_ns));
+        if n == 200 {
+            let mut g = base.clone();
+            let ref_ns = median_ns(fft_samples, || {
+                g.copy_from(&base);
+                fft.process_reference(&mut g, Direction::Forward);
+            });
+            entries.push((format!("fig8_fft2/reference/{n}"), ref_ns));
+            entries.push((format!("fig8_fft2/speedup/{n}"), ref_ns / new_ns));
+        }
+    }
+
+    // --- Batched end-to-end forward pass --------------------------------
+    let model = donn_200(200, 3);
+    let batch: Vec<Field> = (0..16)
+        .map(|i| {
+            Field::from_fn(200, 200, |r, c| {
+                Complex64::from_real(if (r + c + i) % 7 < 3 { 1.0 } else { 0.0 })
+            })
+        })
+        .collect();
+    let new_ns = median_ns(fwd_samples, || {
+        std::hint::black_box(pooled_batched_forward(&model, &batch));
+    });
+    entries.push(("batched_forward/lightridge/200x3x16".to_string(), new_ns));
+    let ref_ns = median_ns(fwd_samples.min(3), || {
+        std::hint::black_box(reference_batched_forward(&model, &batch));
+    });
+    entries.push(("batched_forward/reference/200x3x16".to_string(), ref_ns));
+    entries.push(("batched_forward/speedup/200x3x16".to_string(), ref_ns / new_ns));
+
+    // --- Emit ------------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"lr-bench\",");
+    let _ = writeln!(json, "  \"threads\": {},", parallel::threads());
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    json.push_str("  \"median_ns\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{k}\": {v:.1}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write bench artifact");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -21,7 +21,7 @@
 //! training without quantization approximations".
 
 use lr_hardware::SlmModel;
-use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
 use lr_tensor::{Complex64, Field};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -218,6 +218,32 @@ impl CodesignLayer {
         assert_eq!(input.shape(), self.grid().shape(), "input/grid shape mismatch");
         let mut u = input.clone();
         self.propagator.propagate(&mut u);
+        let cache = self.modulate_with_cache(&mut u, mode, seed);
+        (u, cache)
+    }
+
+    /// Forward pass transforming `u` in place through caller-owned scratch
+    /// and returning a fresh cache — the trace-building fast path
+    /// ([`crate::DonnModel::forward_trace_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn forward_through(
+        &self,
+        u: &mut Field,
+        mode: CodesignMode,
+        seed: u64,
+        scratch: &mut PropagationScratch,
+    ) -> CodesignCache {
+        assert_eq!(u.shape(), self.grid().shape(), "input/grid shape mismatch");
+        self.propagator.propagate_with(u, scratch);
+        self.modulate_with_cache(u, mode, seed)
+    }
+
+    /// Computes the per-pixel modulation for `mode`, applies it to the
+    /// already-propagated `u` in place, and returns the activation cache.
+    fn modulate_with_cache(&self, u: &mut Field, mode: CodesignMode, seed: u64) -> CodesignCache {
         let propagated = u.clone();
 
         let levels = self.device.num_levels();
@@ -273,7 +299,60 @@ impl CodesignLayer {
         for (z, &m) in u.as_mut_slice().iter_mut().zip(&modulation) {
             *z *= m;
         }
-        (u, CodesignCache { propagated, weights, modulation })
+        CodesignCache { propagated, weights, modulation }
+    }
+
+    /// In-place inference step through caller-owned scratch: diffract, then
+    /// modulate with the noise-free soft mixture ([`CodesignMode::Soft`]) or
+    /// the hard argmax state ([`CodesignMode::Deploy`]). Per-pixel weights
+    /// are folded on the fly, so no weight or modulation buffers are
+    /// allocated — this is the workspace fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid, or if `mode` is
+    /// [`CodesignMode::Train`] (training needs the cache-producing
+    /// [`CodesignLayer::forward`]).
+    pub fn infer_inplace(&self, u: &mut Field, mode: CodesignMode, scratch: &mut PropagationScratch) {
+        assert!(
+            mode != CodesignMode::Train,
+            "infer_inplace supports Soft/Deploy; Train needs forward()"
+        );
+        assert_eq!(u.shape(), self.grid().shape(), "input/grid shape mismatch");
+        self.propagator.propagate_with(u, scratch);
+        let levels = self.device.num_levels();
+        let inv_tau = 1.0 / self.temperature;
+        for (p, z) in u.as_mut_slice().iter_mut().enumerate() {
+            let row = &self.logits[p * levels..(p + 1) * levels];
+            let m = match mode {
+                CodesignMode::Deploy => {
+                    let mut best = 0;
+                    for (i, &v) in row.iter().enumerate() {
+                        if v > row[best] {
+                            best = i;
+                        }
+                    }
+                    self.states[best]
+                }
+                _ => {
+                    // Soft mixture without materializing the weights:
+                    // m = Σ_l softmax_l·c_l = Σ_l e^{(v_l−max)/τ}·c_l / Σ_l e^{(v_l−max)/τ}
+                    let mut max = f64::NEG_INFINITY;
+                    for &v in row {
+                        max = max.max(v * inv_tau);
+                    }
+                    let mut num = Complex64::ZERO;
+                    let mut den = 0.0;
+                    for (l, &v) in row.iter().enumerate() {
+                        let e = (v * inv_tau - max).exp();
+                        num += self.states[l] * e;
+                        den += e;
+                    }
+                    num / den
+                }
+            };
+            *z *= m * self.gamma;
+        }
     }
 
     /// Backward pass: accumulates `dL/dlogits` into `logit_grads` (`+=`) and
@@ -300,8 +379,8 @@ impl CodesignLayer {
         for p in 0..pixels {
             // dL/dw_l = 2·Re( conj(g_p) · u_p · γ · c_l )
             let gu = g[p].conj() * u[p] * self.gamma;
-            for l in 0..levels {
-                dw[l] = 2.0 * (gu * self.states[l]).re;
+            for (d, &state) in dw.iter_mut().zip(&self.states) {
+                *d = 2.0 * (gu * state).re;
             }
             // Softmax Jacobian with the 1/τ chain factor:
             // dL/dlogit_k = (w_k/τ)·(dL/dw_k − Σ_l dL/dw_l·w_l)

@@ -145,19 +145,29 @@ impl Detector {
     ///
     /// Panics if the field shape does not match the detector plane.
     pub fn read(&self, field: &Field) -> Vec<f64> {
+        let mut logits = Vec::with_capacity(self.regions.len());
+        self.read_into(field, &mut logits);
+        logits
+    }
+
+    /// [`Detector::read`] into a caller-owned buffer — allocation-free once
+    /// `out` has warmed up to `num_classes` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field shape does not match the detector plane.
+    pub fn read_into(&self, field: &Field, out: &mut Vec<f64>) {
         assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
-        self.regions
-            .iter()
-            .map(|reg| {
-                let mut sum = 0.0;
-                for r in reg.row..reg.row + reg.height {
-                    for c in reg.col..reg.col + reg.width {
-                        sum += field[(r, c)].norm_sqr();
-                    }
+        out.clear();
+        for reg in &self.regions {
+            let mut sum = 0.0;
+            for r in reg.row..reg.row + reg.height {
+                for c in reg.col..reg.col + reg.width {
+                    sum += field[(r, c)].norm_sqr();
                 }
-                sum
-            })
-            .collect()
+            }
+            out.push(sum);
+        }
     }
 
     /// Reads logits from a *measured intensity image* (post-camera), for
@@ -189,17 +199,28 @@ impl Detector {
     ///
     /// Panics if shapes disagree.
     pub fn backward(&self, field: &Field, logit_grads: &[f64]) -> Field {
-        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
-        assert_eq!(logit_grads.len(), self.regions.len(), "logit gradient length mismatch");
         let mut g = Field::zeros(self.rows, self.cols);
+        self.backward_into(field, logit_grads, &mut g);
+        g
+    }
+
+    /// [`Detector::backward`] into a caller-owned field (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn backward_into(&self, field: &Field, logit_grads: &[f64], out: &mut Field) {
+        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
+        assert_eq!(out.shape(), (self.rows, self.cols), "gradient/detector shape mismatch");
+        assert_eq!(logit_grads.len(), self.regions.len(), "logit gradient length mismatch");
+        out.as_mut_slice().fill(Complex64::ZERO);
         for (reg, &dl) in self.regions.iter().zip(logit_grads) {
             for r in reg.row..reg.row + reg.height {
                 for c in reg.col..reg.col + reg.width {
-                    g[(r, c)] = field[(r, c)] * dl;
+                    out[(r, c)] = field[(r, c)] * dl;
                 }
             }
         }
-        g
     }
 
     /// Fraction of the plane covered by detector regions — the
@@ -333,7 +354,7 @@ mod tests {
         let i = ro.read(&f);
         assert_eq!(i.len(), 16);
         assert!((i[5] - f[(1, 1)].norm_sqr()).abs() < 1e-12);
-        let g = ro.backward(&f, &vec![1.0; 16]);
+        let g = ro.backward(&f, &[1.0; 16]);
         assert_eq!(g, f);
     }
 

@@ -14,7 +14,7 @@
 //! * phase parameter:    `dL/dφ = 2·Re( ḡ_out · j·out )`,
 //! * through diffraction: adjoint propagation (conjugated transfer function).
 
-use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
 use lr_tensor::{Complex64, Field};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +57,14 @@ pub struct DiffractiveCache {
     pub propagated: Field,
     /// Layer output (`U_l`), kept for the phase gradient.
     pub output: Field,
+}
+
+impl DiffractiveCache {
+    /// Pre-allocates a cache for a `rows × cols` layer, for reuse through
+    /// [`DiffractiveLayer::forward_into`].
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DiffractiveCache { propagated: Field::zeros(rows, cols), output: Field::zeros(rows, cols) }
+    }
 }
 
 impl DiffractiveLayer {
@@ -143,10 +151,7 @@ impl DiffractiveLayer {
         let mut u = input.clone();
         self.propagator.propagate(&mut u);
         let propagated = u.clone();
-        let gamma = self.gamma;
-        for (z, &phi) in u.as_mut_slice().iter_mut().zip(&self.phases) {
-            *z *= Complex64::cis(phi) * gamma;
-        }
+        self.modulate_inplace(&mut u);
         let output = u.clone();
         (u, DiffractiveCache { propagated, output })
     }
@@ -155,11 +160,64 @@ impl DiffractiveLayer {
     pub fn infer(&self, input: &Field) -> Field {
         let mut u = input.clone();
         self.propagator.propagate(&mut u);
+        self.modulate_inplace(&mut u);
+        u
+    }
+
+    /// Applies the phase modulation `U ← γ·e^{jφ}·U` in place.
+    #[inline]
+    fn modulate_inplace(&self, u: &mut Field) {
         let gamma = self.gamma;
         for (z, &phi) in u.as_mut_slice().iter_mut().zip(&self.phases) {
             *z *= Complex64::cis(phi) * gamma;
         }
-        u
+    }
+
+    /// In-place inference step through caller-owned scratch: diffract and
+    /// modulate `u` with **zero heap allocation** (the workspace fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn infer_inplace(&self, u: &mut Field, scratch: &mut PropagationScratch) {
+        self.propagator.propagate_with(u, scratch);
+        self.modulate_inplace(u);
+    }
+
+    /// Forward pass through caller-owned scratch and a reusable cache: `u`
+    /// is transformed in place into the layer output, and the per-sample
+    /// activations are *copied into* `cache` instead of freshly allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn forward_into(
+        &self,
+        u: &mut Field,
+        cache: &mut DiffractiveCache,
+        scratch: &mut PropagationScratch,
+    ) {
+        self.propagator.propagate_with(u, scratch);
+        cache.propagated.copy_from(u);
+        self.modulate_inplace(u);
+        cache.output.copy_from(u);
+    }
+
+    /// Forward pass transforming `u` in place and returning a fresh cache —
+    /// the trace-building fast path ([`crate::DonnModel::forward_trace_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn forward_through(
+        &self,
+        u: &mut Field,
+        scratch: &mut PropagationScratch,
+    ) -> DiffractiveCache {
+        self.propagator.propagate_with(u, scratch);
+        let propagated = u.clone();
+        self.modulate_inplace(u);
+        DiffractiveCache { propagated, output: u.clone() }
     }
 
     /// Backward pass.
@@ -178,9 +236,42 @@ impl DiffractiveLayer {
         cache: &DiffractiveCache,
         phase_grads: &mut [f64],
     ) -> Field {
+        let mut g_in = grad_output.clone();
+        self.accumulate_phase_grads(grad_output, cache, phase_grads);
+        self.backprop_modulation(&mut g_in);
+        self.propagator.adjoint(&mut g_in);
+        g_in
+    }
+
+    /// [`DiffractiveLayer::backward`] operating on the gradient **in
+    /// place** through caller-owned scratch — no per-sample allocation.
+    /// `grad` enters as `∂L/∂(output)̄` and leaves as `∂L/∂(input)̄`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the layer grid or `phase_grads` has
+    /// the wrong length.
+    pub fn backward_inplace(
+        &self,
+        grad: &mut Field,
+        cache: &DiffractiveCache,
+        phase_grads: &mut [f64],
+        scratch: &mut PropagationScratch,
+    ) {
+        self.accumulate_phase_grads(grad, cache, phase_grads);
+        self.backprop_modulation(grad);
+        self.propagator.adjoint_with(grad, scratch);
+    }
+
+    /// `dL/dφ_p += 2·Re( conj(g_p) · j · out_p )`.
+    fn accumulate_phase_grads(
+        &self,
+        grad_output: &Field,
+        cache: &DiffractiveCache,
+        phase_grads: &mut [f64],
+    ) {
         assert_eq!(grad_output.shape(), self.grid().shape(), "gradient shape mismatch");
         assert_eq!(phase_grads.len(), self.phases.len(), "phase gradient buffer length mismatch");
-        // dL/dφ_p = 2·Re( conj(g_p) · j · out_p )
         for ((g, &out), acc) in grad_output
             .as_slice()
             .iter()
@@ -189,15 +280,14 @@ impl DiffractiveLayer {
         {
             *acc += 2.0 * (g.conj() * (Complex64::I * out)).re;
         }
-        // g_u = g_out · conj(m), m = γ e^{jφ}
+    }
+
+    /// `g_u = g_out · conj(m)`, `m = γ e^{jφ}`, in place.
+    fn backprop_modulation(&self, g: &mut Field) {
         let gamma = self.gamma;
-        let mut g_in = grad_output.clone();
-        for (g, &phi) in g_in.as_mut_slice().iter_mut().zip(&self.phases) {
+        for (g, &phi) in g.as_mut_slice().iter_mut().zip(&self.phases) {
             *g *= Complex64::cis(-phi) * gamma;
         }
-        // back through the diffraction
-        self.propagator.adjoint(&mut g_in);
-        g_in
     }
 
     /// The deployment view of this layer: its phases quantized to a device's
@@ -252,6 +342,36 @@ mod tests {
         let x = test_input();
         let (out, _) = layer.forward(&x);
         assert_eq!(layer.infer(&x), out);
+    }
+
+    #[test]
+    fn workspace_paths_match_forward() {
+        // infer_inplace, forward_into (reusable cache), and forward_through
+        // must all reproduce the allocating forward pass bit for bit.
+        let layer = small_layer();
+        let x = test_input();
+        let (out, cache) = layer.forward(&x);
+        let mut scratch = layer.propagator().make_scratch();
+
+        let mut u = x.clone();
+        layer.infer_inplace(&mut u, &mut scratch);
+        assert_eq!(u, out);
+
+        let mut u = x.clone();
+        let mut reused = DiffractiveCache::zeros(8, 8);
+        layer.forward_into(&mut u, &mut reused, &mut scratch);
+        assert_eq!(u, out);
+        assert_eq!(reused.propagated, cache.propagated);
+        assert_eq!(reused.output, cache.output);
+        // Second sample through the same cache buffers (the reuse contract).
+        let mut u2 = out.clone();
+        layer.forward_into(&mut u2, &mut reused, &mut scratch);
+        assert_eq!(reused.output, u2);
+
+        let mut u = x.clone();
+        let through = layer.forward_through(&mut u, &mut scratch);
+        assert_eq!(u, out);
+        assert_eq!(through.propagated, cache.propagated);
     }
 
     #[test]

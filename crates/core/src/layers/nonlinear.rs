@@ -95,6 +95,19 @@ impl SaturableAbsorber {
         (out, NonlinearCache { input: input.clone() })
     }
 
+    /// In-place inference step (elementwise, allocation-free).
+    pub fn infer_inplace(&self, u: &mut Field) {
+        u.map_inplace(|z| z * self.transmission(z.norm_sqr()));
+    }
+
+    /// Forward pass transforming `u` in place and returning a fresh cache —
+    /// the trace-building fast path.
+    pub fn forward_through(&self, u: &mut Field) -> NonlinearCache {
+        let cache = NonlinearCache { input: u.clone() };
+        self.infer_inplace(u);
+        cache
+    }
+
     /// Backward pass: returns `∂L/∂(input)̄` from `∂L/∂(output)̄`.
     ///
     /// # Panics

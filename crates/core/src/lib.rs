@@ -75,7 +75,7 @@ pub use layers::detector::{Detector, DetectorRegion, PlaneReadout};
 pub use layers::diffractive::{DiffractiveCache, DiffractiveLayer};
 pub use layers::nonlinear::{NonlinearCache, SaturableAbsorber};
 pub use ensemble::DonnEnsemble;
-pub use model::{DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, Trace};
+pub use model::{DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, PropagationWorkspace, Trace};
 pub use multichannel::MultiChannelDonn;
 pub use multitask::{MultiTaskDonn, MultiTaskImage};
 pub use segmentation::{SegmentationDonn, SegmentationOptions};

@@ -10,8 +10,9 @@ use crate::layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
 use crate::layers::detector::Detector;
 use crate::layers::diffractive::{DiffractiveCache, DiffractiveLayer};
 use crate::layers::nonlinear::{NonlinearCache, SaturableAbsorber};
-use lr_optics::{Approximation, Distance, FreeSpace, Grid, Wavelength};
+use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
 use lr_tensor::Field;
+use std::cell::RefCell;
 
 /// One optical layer: free-phase, hardware-codesign, or a parameter-free
 /// nonlinear thin film.
@@ -140,6 +141,76 @@ impl ModelGrads {
     }
 }
 
+/// Reusable per-thread buffers for forward/backward passes: one running
+/// wavefield, one gradient field, and the propagation scratch (FFT
+/// workspace + shift staging) shared by every layer of one model shape.
+///
+/// Build one per `(thread, model)` via [`DonnModel::make_workspace`] and
+/// thread it through [`DonnModel::infer_into`],
+/// [`DonnModel::forward_trace_with`], and [`DonnModel::backward_with`]. The
+/// inference path then performs **zero heap allocations** in steady state
+/// (verified by the counting-allocator test in `tests/zero_alloc.rs`).
+/// Workspaces are not `Sync`; each worker thread owns its own.
+#[derive(Debug, Clone)]
+pub struct PropagationWorkspace {
+    rows: usize,
+    cols: usize,
+    scratch: PropagationScratch,
+    u: Field,
+    grad: Field,
+}
+
+impl PropagationWorkspace {
+    /// Builds a workspace for a `rows × cols` plane.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        PropagationWorkspace {
+            rows,
+            cols,
+            scratch: PropagationScratch::new(rows, cols),
+            u: Field::zeros(rows, cols),
+            grad: Field::zeros(rows, cols),
+        }
+    }
+
+    /// Plane shape this workspace serves.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The input-field gradient left behind by the latest
+    /// [`DonnModel::backward_with`] call.
+    pub fn input_grad(&self) -> &Field {
+        &self.grad
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace pool backing the workspace-free entry points
+    /// (`infer`, `forward_trace`, `backward`), so existing call sites get
+    /// buffer reuse without an API change.
+    static TLS_WORKSPACES: RefCell<Vec<PropagationWorkspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lends this thread's workspace for `shape` to `f`, creating it on first
+/// use for that shape on this thread.
+fn with_tls_workspace<R>(shape: (usize, usize), f: impl FnOnce(&mut PropagationWorkspace) -> R) -> R {
+    let mut ws = TLS_WORKSPACES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.iter().position(|w| w.shape() == shape) {
+            Some(i) => cache.swap_remove(i),
+            None => PropagationWorkspace::new(shape.0, shape.1),
+        }
+    });
+    let out = f(&mut ws);
+    TLS_WORKSPACES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() < 4 {
+            cache.push(ws);
+        }
+    });
+    out
+}
+
 /// A complete DONN: stacked layers → final free-space hop → detector.
 ///
 /// # Examples
@@ -231,50 +302,117 @@ impl DonnModel {
         self.layers.iter().map(Layer::num_params).sum()
     }
 
+    /// Allocates a [`PropagationWorkspace`] sized for this model's grid.
+    pub fn make_workspace(&self) -> PropagationWorkspace {
+        let (rows, cols) = self.grid.shape();
+        PropagationWorkspace::new(rows, cols)
+    }
+
     /// Full forward pass with trace. `seed` drives per-sample Gumbel noise
     /// for codesign layers in [`CodesignMode::Train`].
+    ///
+    /// Borrows this thread's cached workspace; batch loops that own their
+    /// workspaces should call [`DonnModel::forward_trace_with`] directly.
     ///
     /// # Panics
     ///
     /// Panics if the input shape does not match the grid.
     pub fn forward_trace(&self, input: &Field, mode: CodesignMode, seed: u64) -> Trace {
+        with_tls_workspace(self.grid.shape(), |ws| self.forward_trace_with(input, mode, seed, ws))
+    }
+
+    /// [`DonnModel::forward_trace`] through a caller-owned workspace: the
+    /// running wavefield lives in the workspace and every free-space hop
+    /// reuses its FFT scratch, so the only per-sample allocations left are
+    /// the activation caches the returned [`Trace`] owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the grid.
+    pub fn forward_trace_with(
+        &self,
+        input: &Field,
+        mode: CodesignMode,
+        seed: u64,
+        ws: &mut PropagationWorkspace,
+    ) -> Trace {
         assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
-        let mut u = input.clone();
+        ws.u.copy_from(input);
         let mut caches = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
             match layer {
                 Layer::Diffractive(l) => {
-                    let (out, cache) = l.forward(&u);
-                    u = out;
-                    caches.push(LayerCache::Diffractive(cache));
+                    caches.push(LayerCache::Diffractive(l.forward_through(&mut ws.u, &mut ws.scratch)));
                 }
                 Layer::Codesign(l) => {
                     // Decorrelate noise across layers.
                     let layer_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
-                    let (out, cache) = l.forward(&u, mode, layer_seed);
-                    u = out;
-                    caches.push(LayerCache::Codesign(cache));
+                    caches.push(LayerCache::Codesign(l.forward_through(
+                        &mut ws.u,
+                        mode,
+                        layer_seed,
+                        &mut ws.scratch,
+                    )));
                 }
                 Layer::Nonlinear(l) => {
-                    let (out, cache) = l.forward(&u);
-                    u = out;
-                    caches.push(LayerCache::Nonlinear(cache));
+                    caches.push(LayerCache::Nonlinear(l.forward_through(&mut ws.u)));
                 }
             }
         }
-        self.final_propagator.propagate(&mut u);
-        let logits = self.detector.read(&u);
-        Trace { caches, detector_field: u, logits }
+        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        let logits = self.detector.read(&ws.u);
+        Trace { caches, detector_field: ws.u.clone(), logits }
+    }
+
+    /// Inference logits through a caller-owned workspace and output buffer:
+    /// **zero heap allocations** in steady state (the paper's emulation hot
+    /// path). Codesign layers use their noise-free states per `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the grid or `mode` is
+    /// [`CodesignMode::Train`].
+    pub fn infer_mode_into(
+        &self,
+        input: &Field,
+        mode: CodesignMode,
+        ws: &mut PropagationWorkspace,
+        logits: &mut Vec<f64>,
+    ) {
+        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        ws.u.copy_from(input);
+        for layer in &self.layers {
+            match layer {
+                Layer::Diffractive(l) => l.infer_inplace(&mut ws.u, &mut ws.scratch),
+                Layer::Codesign(l) => l.infer_inplace(&mut ws.u, mode, &mut ws.scratch),
+                Layer::Nonlinear(l) => l.infer_inplace(&mut ws.u),
+            }
+        }
+        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        self.detector.read_into(&ws.u, logits);
+    }
+
+    /// Emulation-mode [`DonnModel::infer_mode_into`] (soft codesign states).
+    pub fn infer_into(&self, input: &Field, ws: &mut PropagationWorkspace, logits: &mut Vec<f64>) {
+        self.infer_mode_into(input, CodesignMode::Soft, ws, logits);
     }
 
     /// Inference: emulation-mode logits (soft codesign states, no noise).
     pub fn infer(&self, input: &Field) -> Vec<f64> {
-        self.forward_trace(input, CodesignMode::Soft, 0).logits
+        let mut logits = Vec::with_capacity(self.num_classes());
+        with_tls_workspace(self.grid.shape(), |ws| {
+            self.infer_mode_into(input, CodesignMode::Soft, ws, &mut logits);
+        });
+        logits
     }
 
     /// Inference with hard (deployable) codesign states.
     pub fn infer_deployed(&self, input: &Field) -> Vec<f64> {
-        self.forward_trace(input, CodesignMode::Deploy, 0).logits
+        let mut logits = Vec::with_capacity(self.num_classes());
+        with_tls_workspace(self.grid.shape(), |ws| {
+            self.infer_mode_into(input, CodesignMode::Deploy, ws, &mut logits);
+        });
+        logits
     }
 
     /// The intensity pattern on the detector plane (the paper's Fig. 6
@@ -319,20 +457,51 @@ impl DonnModel {
     /// Panics if `logit_grads` length differs from the class count or the
     /// trace does not belong to this model.
     pub fn backward(&self, trace: &Trace, logit_grads: &[f64], grads: &mut ModelGrads) -> Field {
+        with_tls_workspace(self.grid.shape(), |ws| {
+            self.backward_with(trace, logit_grads, grads, ws);
+            ws.grad.clone()
+        })
+    }
+
+    /// [`DonnModel::backward`] through a caller-owned workspace. The
+    /// gradient field lives in the workspace and is left in
+    /// [`PropagationWorkspace::input_grad`]; parameter gradients accumulate
+    /// into `grads` as usual. Diffractive layers and the detector/final-hop
+    /// stages run fully in place; codesign and nonlinear layers still
+    /// allocate one field per layer per sample in their backward steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logit_grads` length differs from the class count or the
+    /// trace does not belong to this model.
+    pub fn backward_with(
+        &self,
+        trace: &Trace,
+        logit_grads: &[f64],
+        grads: &mut ModelGrads,
+        ws: &mut PropagationWorkspace,
+    ) {
         assert_eq!(logit_grads.len(), self.num_classes(), "logit gradient length mismatch");
         assert_eq!(trace.caches.len(), self.layers.len(), "trace/model depth mismatch");
-        let mut g = self.detector.backward(&trace.detector_field, logit_grads);
-        self.final_propagator.adjoint(&mut g);
+        self.detector.backward_into(&trace.detector_field, logit_grads, &mut ws.grad);
+        self.final_propagator.adjoint_with(&mut ws.grad, &mut ws.scratch);
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let buf = &mut grads.per_layer[i];
-            g = match (layer, &trace.caches[i]) {
-                (Layer::Diffractive(l), LayerCache::Diffractive(c)) => l.backward(&g, c, buf),
-                (Layer::Codesign(l), LayerCache::Codesign(c)) => l.backward(&g, c, buf),
-                (Layer::Nonlinear(l), LayerCache::Nonlinear(c)) => l.backward(&g, c),
+            match (layer, &trace.caches[i]) {
+                (Layer::Diffractive(l), LayerCache::Diffractive(c)) => {
+                    l.backward_inplace(&mut ws.grad, c, buf, &mut ws.scratch);
+                }
+                (Layer::Codesign(l), LayerCache::Codesign(c)) => {
+                    let g = l.backward(&ws.grad, c, buf);
+                    ws.grad.copy_from(&g);
+                }
+                (Layer::Nonlinear(l), LayerCache::Nonlinear(c)) => {
+                    let g = l.backward(&ws.grad, c);
+                    ws.grad.copy_from(&g);
+                }
                 _ => panic!("trace cache kind does not match layer kind at layer {i}"),
-            };
+            }
         }
-        g
     }
 
     /// Sets the Gumbel-Softmax temperature of every codesign layer.

@@ -371,7 +371,7 @@ mod tests {
             Distance::from_mm(10.0),
             Approximation::RayleighSommerfeld,
             1,
-            vec![vec![region.clone()], vec![region]],
+            vec![vec![region], vec![region]],
             3,
         );
     }

@@ -155,6 +155,9 @@ fn batch_gradients(
     let (rows, cols) = model.grid().shape();
 
     let shards = parallel::par_map(workers, |w| {
+        // One workspace per shard: every sample in the shard reuses the
+        // same wavefield/gradient/FFT scratch buffers.
+        let mut ws = model.make_workspace();
         let mut grads = ModelGrads::zeros_like(model);
         let mut loss_sum = 0.0;
         let mut correct = 0usize;
@@ -165,14 +168,14 @@ fn batch_gradients(
                 .wrapping_mul(1_000_003)
                 .wrapping_add(batch_idx.wrapping_mul(4099))
                 .wrapping_add(idx as u64);
-            let trace = model.forward_trace(&input, CodesignMode::Train, seed);
+            let trace = model.forward_trace_with(&input, CodesignMode::Train, seed, &mut ws);
             let target = one_hot(*label, classes);
             let (loss, logit_grads) = softmax_mse(&trace.logits, &target);
             loss_sum += loss;
             if argmax(&trace.logits) == *label {
                 correct += 1;
             }
-            model.backward(&trace, &logit_grads, &mut grads);
+            model.backward_with(&trace, &logit_grads, &mut grads, &mut ws);
         }
         (grads, loss_sum, correct)
     });
@@ -210,11 +213,18 @@ fn evaluate_mode(model: &DonnModel, data: &[LabeledImage], mode: CodesignMode) -
         return 0.0;
     }
     let (rows, cols) = model.grid().shape();
-    let correct: usize = parallel::par_map(data.len(), |i| {
-        let (img, label) = &data[i];
-        let input = Field::from_amplitudes(rows, cols, img);
-        let trace = model.forward_trace(&input, mode, 0);
-        usize::from(argmax(&trace.logits) == *label)
+    let workers = parallel::threads().min(data.len()).max(1);
+    let shard_size = data.len().div_ceil(workers);
+    let correct: usize = parallel::par_map(workers, |w| {
+        let mut ws = model.make_workspace();
+        let mut logits = Vec::with_capacity(model.num_classes());
+        let mut correct = 0usize;
+        for (img, label) in data.iter().skip(w * shard_size).take(shard_size) {
+            let input = Field::from_amplitudes(rows, cols, img);
+            model.infer_mode_into(&input, mode, &mut ws, &mut logits);
+            correct += usize::from(argmax(&logits) == *label);
+        }
+        correct
     })
     .into_iter()
     .sum();

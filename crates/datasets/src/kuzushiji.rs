@@ -144,6 +144,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // pairwise indices, not iteration
     fn glyphs_are_mutually_distinct() {
         // Raw bitmaps must differ pairwise in at least 6 cells — otherwise
         // the classes are too confusable to be a meaningful task.

@@ -162,6 +162,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // pairwise indices, not iteration
     fn glyphs_are_mutually_distinct() {
         for a in 0..NUM_LETTERS {
             for b in a + 1..NUM_LETTERS {

@@ -316,15 +316,14 @@ pub fn sensitivity_analysis(
     task: &DseTask,
 ) -> Vec<SensitivityRow> {
     let eval = |lambda: f64, unit: f64, dist: f64| evaluate_design(lambda, unit, dist, task);
-    let mut rows = Vec::with_capacity(3);
-    rows.push(SensitivityRow {
+    let mut rows = vec![SensitivityRow {
         parameter: "wavelength",
         shifts: shifts.to_vec(),
         accuracies: shifts
             .iter()
             .map(|s| eval(base.wavelength_m * (1.0 + s), base.unit_size_m, base.distance_m))
             .collect(),
-    });
+    }];
     rows.push(SensitivityRow {
         parameter: "distance",
         shifts: shifts.to_vec(),

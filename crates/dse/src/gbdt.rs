@@ -129,6 +129,9 @@ fn best_split(x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Option<(usize, f6
     let parent_sse = total_sq - total_sum * total_sum / n as f64;
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
 
+    // Indexing by feature id is the natural form here: `f` selects a
+    // column across rows, not an element of one row.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..d {
         let mut order: Vec<usize> = indices.to_vec();
         order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));

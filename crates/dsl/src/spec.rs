@@ -792,10 +792,9 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_section_and_key() {
-        let err = spec_of(&format!(
-            "system s {{ laser {{ wavelength = 532 nm; }} laser {{ wavelength = 632 nm; }} }}"
-        ))
-        .unwrap_err();
+        let err =
+            spec_of("system s { laser { wavelength = 532 nm; } laser { wavelength = 632 nm; } }")
+                .unwrap_err();
         assert_eq!(*err.kind(), ErrorKind::Duplicate);
 
         let err = spec_of(

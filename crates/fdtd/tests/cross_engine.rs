@@ -159,13 +159,13 @@ fn double_slit_fdtd_field_transplants_through_the_oracle() {
         let mut num = 0.0;
         let mut fa = 0.0;
         let mut oa = 0.0;
-        for j in 0..window_f.len() {
+        for (j, &wf) in window_f.iter().enumerate() {
             let k = j as i64 + shift;
             if k < 0 || k as usize >= window_o.len() {
                 continue;
             }
-            num += window_f[j] * window_o[k as usize];
-            fa += window_f[j] * window_f[j];
+            num += wf * window_o[k as usize];
+            fa += wf * wf;
             oa += window_o[k as usize] * window_o[k as usize];
         }
         num / (fa.sqrt() * oa.sqrt()).max(1e-12)

@@ -159,7 +159,7 @@ mod tests {
         ct.apply_complex(rows, cols, &mut buf);
         // At the step boundary the magnitude drops below 1 (destructive
         // mixing), away from it stays ~1.
-        let at_edge = buf[2 * 1]; // (0,1): next to the step
+        let at_edge = buf[2]; // re component of (0,1): next to the step
         let far = buf[0]; // (0,0): corner
         assert!(at_edge.abs() < 1.0 - 1e-3, "edge pixel must be attenuated: {at_edge}");
         assert!(far.abs() > at_edge.abs(), "interior pixel less affected");

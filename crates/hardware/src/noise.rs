@@ -255,7 +255,7 @@ mod tests {
         let i = vec![1.0; 1000];
         let noisy = uniform_detector_noise(&i, 0.05, 9);
         for &v in &noisy {
-            assert!(v >= 0.95 - 1e-12 && v <= 1.05 + 1e-12, "sample {v} out of bound");
+            assert!((0.95 - 1e-12..=1.05 + 1e-12).contains(&v), "sample {v} out of bound");
         }
         // Zero bound is identity.
         assert_eq!(uniform_detector_noise(&i, 0.0, 9), i);

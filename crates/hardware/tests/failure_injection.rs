@@ -127,7 +127,7 @@ fn crosstalk_never_amplifies_total_modulation_energy() {
 #[test]
 fn zero_coupling_crosstalk_is_identity() {
     let n = 8;
-    let phases: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37) % 6.28).collect();
+    let phases: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37) % std::f64::consts::TAU).collect();
     let model = CrosstalkModel::new(0.0);
     let mut buf = interleaved_from_phases(&phases);
     model.apply_complex(n, n, &mut buf);

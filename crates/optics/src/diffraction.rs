@@ -17,8 +17,11 @@
 
 use crate::grid::Grid;
 use crate::units::{Distance, PixelPitch, Wavelength};
-use lr_tensor::{Complex64, Fft2, Field, J};
+use lr_tensor::{Complex64, Direction, Fft2, Fft2Workspace, Field, J};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// Which scalar-diffraction approximation to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -91,6 +94,105 @@ pub fn rayleigh_sommerfeld_tf(
 fn band_limit_freq(lambda: f64, z: f64, n: usize, pitch: PixelPitch) -> f64 {
     let df = 1.0 / (n as f64 * pitch.meters());
     1.0 / (lambda * ((2.0 * df * z).powi(2) + 1.0).sqrt())
+}
+
+/// Cache key for spectral transfer functions: the full geometry that
+/// determines the kernel, with floats keyed by their bit patterns (exact
+/// reuse only — nearby geometries build their own kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct TransferKey {
+    rows: usize,
+    cols: usize,
+    pitch_bits: u64,
+    lambda_bits: u64,
+    z_bits: u64,
+    kind: TransferKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TransferKind {
+    RayleighSommerfeld { band_limit: bool },
+    Fresnel,
+}
+
+impl TransferKey {
+    fn new(grid: &Grid, wavelength: Wavelength, distance: Distance, kind: TransferKind) -> Self {
+        TransferKey {
+            rows: grid.rows(),
+            cols: grid.cols(),
+            pitch_bits: grid.pitch().meters().to_bits(),
+            lambda_bits: wavelength.meters().to_bits(),
+            z_bits: distance.meters().to_bits(),
+            kind,
+        }
+    }
+}
+
+/// Global transfer-function cache keyed by `(shape, pitch, λ, z, approx)`.
+///
+/// Every `FreeSpace` plan for the same geometry shares one kernel: a
+/// DONN stacks many identically-spaced layers, so without this cache model
+/// construction rebuilds the same `O(N²)`-trig field once per layer.
+static TRANSFER_CACHE: Mutex<Option<HashMap<TransferKey, Arc<Field>>>> = Mutex::new(None);
+
+/// Cache capacity. Keys are exact float bit patterns, so a DSE parameter
+/// sweep produces an unbounded stream of single-use keys; without a cap
+/// each swept design would leak one field-sized kernel for the process
+/// lifetime. A model reuses only a handful of geometries, so a small cap
+/// keeps the construction win while bounding memory.
+const TRANSFER_CACHE_CAP: usize = 32;
+
+fn cached_transfer(key: TransferKey, build: impl FnOnce() -> Field) -> Arc<Field> {
+    if let Some(hit) = TRANSFER_CACHE.lock().as_ref().and_then(|c| c.get(&key).cloned()) {
+        return hit;
+    }
+    // Build outside the lock: kernels are large and trig-heavy, and two
+    // racing builders produce identical fields (the first insert is kept;
+    // a racing loser's build is dropped).
+    let built = Arc::new(build());
+    let mut guard = TRANSFER_CACHE.lock();
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if cache.len() >= TRANSFER_CACHE_CAP {
+        // Sweep-shaped workloads never revisit keys, so arbitrary eviction
+        // is as good as LRU here and keeps the entry type simple.
+        if let Some(&victim) = cache.keys().next() {
+            cache.remove(&victim);
+        }
+    }
+    cache.entry(key).or_insert(built).clone()
+}
+
+/// Cached variant of [`rayleigh_sommerfeld_tf`]: returns the shared kernel
+/// for this exact geometry, building it on first use.
+pub fn rayleigh_sommerfeld_tf_cached(
+    grid: &Grid,
+    wavelength: Wavelength,
+    distance: Distance,
+    band_limit: bool,
+) -> Arc<Field> {
+    let key = TransferKey::new(
+        grid,
+        wavelength,
+        distance,
+        TransferKind::RayleighSommerfeld { band_limit },
+    );
+    cached_transfer(key, || rayleigh_sommerfeld_tf(grid, wavelength, distance, band_limit))
+}
+
+/// Cached variant of [`fresnel_tf`].
+pub fn fresnel_tf_cached(grid: &Grid, wavelength: Wavelength, distance: Distance) -> Arc<Field> {
+    let key = TransferKey::new(grid, wavelength, distance, TransferKind::Fresnel);
+    cached_transfer(key, || fresnel_tf(grid, wavelength, distance))
+}
+
+/// Clears the global transfer-function cache (ablation benches and tests).
+pub fn clear_transfer_cache() {
+    *TRANSFER_CACHE.lock() = None;
+}
+
+/// Number of transfer functions currently cached.
+pub fn transfer_cache_len() -> usize {
+    TRANSFER_CACHE.lock().as_ref().map_or(0, |c| c.len())
 }
 
 /// Builds the Fresnel transfer function
@@ -183,10 +285,40 @@ pub struct FreeSpace {
 
 #[derive(Debug, Clone)]
 enum Inner {
-    /// Spectral convolution: `U ← IFFT(FFT(U) ⊙ H)`.
-    Spectral { transfer: Field, fft: Fft2 },
+    /// Spectral convolution: `U ← IFFT(FFT(U) ⊙ H)`. The kernel is shared
+    /// through the global transfer cache.
+    Spectral { transfer: Arc<Field>, fft: Fft2 },
     /// Fraunhofer: `U ← scale · D_post ⊙ fftshift(FFT(ifftshift(U)))`.
     SingleFourier { post_phase: Field, scale: Complex64, fft: Fft2 },
+}
+
+/// Caller-owned scratch for allocation-free propagation
+/// ([`FreeSpace::propagate_with`] / [`FreeSpace::adjoint_with`]).
+///
+/// Owns the 2-D FFT workspace plus the staging field the Fraunhofer shifts
+/// write through. Build one per `(thread, grid shape)` via
+/// [`FreeSpace::make_scratch`] and reuse it for every propagation at that
+/// shape; the spectral (Rayleigh-Sommerfeld / Fresnel) paths then perform
+/// zero heap allocations in steady state.
+#[derive(Debug, Clone)]
+pub struct PropagationScratch {
+    fft: Fft2Workspace,
+    shift: Field,
+}
+
+impl PropagationScratch {
+    /// Builds scratch for a `rows × cols` plane.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        PropagationScratch {
+            fft: Fft2::new(rows, cols).make_workspace(),
+            shift: Field::zeros(rows, cols),
+        }
+    }
+
+    /// Plane shape this scratch serves.
+    pub fn shape(&self) -> (usize, usize) {
+        self.fft.shape()
+    }
 }
 
 impl FreeSpace {
@@ -212,11 +344,11 @@ impl FreeSpace {
         let fft = Fft2::new(grid.rows(), grid.cols());
         let inner = match approximation {
             Approximation::RayleighSommerfeld => Inner::Spectral {
-                transfer: rayleigh_sommerfeld_tf(&grid, wavelength, distance, band_limit),
+                transfer: rayleigh_sommerfeld_tf_cached(&grid, wavelength, distance, band_limit),
                 fft,
             },
             Approximation::Fresnel => Inner::Spectral {
-                transfer: fresnel_tf(&grid, wavelength, distance),
+                transfer: fresnel_tf_cached(&grid, wavelength, distance),
                 fft,
             },
             Approximation::Fraunhofer => {
@@ -281,7 +413,16 @@ impl FreeSpace {
         }
     }
 
+    /// Allocates scratch sized for this propagator's grid, for use with
+    /// [`FreeSpace::propagate_with`] / [`FreeSpace::adjoint_with`].
+    pub fn make_scratch(&self) -> PropagationScratch {
+        PropagationScratch::new(self.grid.rows(), self.grid.cols())
+    }
+
     /// Propagates `field` in place over the planned distance.
+    ///
+    /// Internally borrows thread-local FFT scratch; allocation-sensitive
+    /// callers should prefer [`FreeSpace::propagate_with`].
     ///
     /// # Panics
     ///
@@ -293,13 +434,37 @@ impl FreeSpace {
             Inner::SingleFourier { post_phase, scale, fft } => {
                 let mut shifted = field.ifftshift();
                 fft.forward(&mut shifted);
-                let mut out = shifted.fftshift();
-                out.hadamard_assign(post_phase);
-                out.scale_inplace(1.0); // keep layout; complex scale below
-                for z in out.as_mut_slice() {
+                shifted.fftshift_into(field);
+                field.hadamard_assign(post_phase);
+                for z in field.as_mut_slice() {
                     *z *= *scale;
                 }
-                *field = out;
+            }
+        }
+    }
+
+    /// [`FreeSpace::propagate`] with caller-owned scratch — the
+    /// zero-allocation fast path the propagation workspaces thread through
+    /// every layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` or `scratch` does not match the planned grid.
+    pub fn propagate_with(&self, field: &mut Field, scratch: &mut PropagationScratch) {
+        assert_eq!(field.shape(), self.grid.shape(), "field/grid shape mismatch");
+        assert_eq!(scratch.shape(), self.grid.shape(), "scratch/grid shape mismatch");
+        match &self.inner {
+            Inner::Spectral { transfer, fft } => {
+                fft.convolve_spectrum_with(field, transfer, &mut scratch.fft);
+            }
+            Inner::SingleFourier { post_phase, scale, fft } => {
+                field.ifftshift_into(&mut scratch.shift);
+                fft.process_with(&mut scratch.shift, Direction::Forward, &mut scratch.fft);
+                scratch.shift.fftshift_into(field);
+                field.hadamard_assign(post_phase);
+                for z in field.as_mut_slice() {
+                    *z *= *scale;
+                }
             }
         }
     }
@@ -319,16 +484,41 @@ impl FreeSpace {
                 // A = diag(post)·P₂·F·P₁·s  ⇒  Aᴴ = s̄·P₁⁻¹·Fᴴ·P₂⁻¹·diag(post̄)
                 // with Fᴴ = N·F⁻¹.
                 let n = (self.grid.rows() * self.grid.cols()) as f64;
-                let mut g = grad.clone();
-                g.hadamard_conj_assign(post_phase);
-                let mut g = g.ifftshift();
+                grad.hadamard_conj_assign(post_phase);
+                let mut g = grad.ifftshift();
                 fft.inverse(&mut g);
-                let mut g = g.fftshift();
+                g.fftshift_into(grad);
                 let s = scale.conj() * n;
-                for z in g.as_mut_slice() {
+                for z in grad.as_mut_slice() {
                     *z *= s;
                 }
-                *grad = g;
+            }
+        }
+    }
+
+    /// [`FreeSpace::adjoint`] with caller-owned scratch (zero allocation on
+    /// the spectral paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` or `scratch` does not match the planned grid.
+    pub fn adjoint_with(&self, grad: &mut Field, scratch: &mut PropagationScratch) {
+        assert_eq!(grad.shape(), self.grid.shape(), "field/grid shape mismatch");
+        assert_eq!(scratch.shape(), self.grid.shape(), "scratch/grid shape mismatch");
+        match &self.inner {
+            Inner::Spectral { transfer, fft } => {
+                fft.convolve_spectrum_adjoint_with(grad, transfer, &mut scratch.fft);
+            }
+            Inner::SingleFourier { post_phase, scale, fft } => {
+                let n = (self.grid.rows() * self.grid.cols()) as f64;
+                grad.hadamard_conj_assign(post_phase);
+                grad.ifftshift_into(&mut scratch.shift);
+                fft.process_with(&mut scratch.shift, Direction::Inverse, &mut scratch.fft);
+                scratch.shift.fftshift_into(grad);
+                let s = scale.conj() * n;
+                for z in grad.as_mut_slice() {
+                    *z *= s;
+                }
             }
         }
     }

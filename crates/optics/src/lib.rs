@@ -33,8 +33,9 @@ mod laser;
 mod units;
 
 pub use diffraction::{
-    fresnel_ir_spectrum, fresnel_tf, rayleigh_sommerfeld_ir_spectrum, rayleigh_sommerfeld_tf,
-    Approximation, FreeSpace,
+    clear_transfer_cache, fresnel_ir_spectrum, fresnel_tf, fresnel_tf_cached,
+    rayleigh_sommerfeld_ir_spectrum, rayleigh_sommerfeld_tf, rayleigh_sommerfeld_tf_cached,
+    transfer_cache_len, Approximation, FreeSpace, PropagationScratch,
 };
 pub use grid::Grid;
 pub use laser::{bessel_j0, BeamProfile, Laser};

@@ -18,7 +18,7 @@ fn talbot_self_imaging_of_periodic_grating() {
     let period_px = 16usize;
     let period = period_px as f64 * pitch;
     let grating = Field::from_fn(n, n, |_, c| {
-        if (c / (period_px / 2)) % 2 == 0 {
+        if (c / (period_px / 2)).is_multiple_of(2) {
             Complex64::ONE
         } else {
             Complex64::ZERO

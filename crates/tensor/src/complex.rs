@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn cis_is_unit_phase() {
         for k in 0..16 {
-            let theta = k as f64 * 0.3927;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             let z = Complex64::cis(theta);
             assert!((z.norm() - 1.0).abs() < EPS);
             assert!((z.arg() - wrap(theta)).abs() < 1e-10);

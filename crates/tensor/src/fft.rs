@@ -3,14 +3,44 @@
 //! The diffraction kernels in LightRidge are built on 2-D FFT convolution
 //! (paper Eq. 6–7). This module implements the transforms from scratch:
 //!
-//! * **Radix-2 Cooley-Tukey** (iterative, precomputed twiddles and
-//!   bit-reversal permutation) for power-of-two sizes.
+//! * **Radix-4/radix-2 Cooley-Tukey** (iterative, precomputed twiddles and
+//!   bit-reversal permutation) for power-of-two sizes. Stages are fused in
+//!   pairs into radix-4 butterflies — half the passes over the data of a
+//!   plain radix-2 loop — with a single radix-2 stage first when the stage
+//!   count is odd.
 //! * **Bluestein's chirp-z algorithm** for arbitrary sizes — the paper's
 //!   system resolutions (200², 350², 500²) are *not* powers of two.
 //! * A global, thread-safe **plan cache** so repeated propagations at the
 //!   same resolution reuse twiddle tables and chirp spectra. Plan reuse is
 //!   one of the runtime optimizations that separates LightRidge from the
 //!   LightPipes baseline (paper Table 1, Fig. 8).
+//! * A **zero-allocation 2-D pipeline**: [`Fft2`] transforms rows in place
+//!   and columns through a cache-blocked strided kernel that stages a few
+//!   columns at a time in a reusable buffer — no transpose fields are ever
+//!   materialized (earlier revisions allocated two full fields per 2-D
+//!   transform). Large fields additionally split their row/column loops
+//!   across the persistent worker pool (`crate::parallel`).
+//!
+//! # Workspace-reuse contract
+//!
+//! All per-call scratch lives in an [`Fft2Workspace`] (2-D) or a plain
+//! `Vec<Complex64>` (1-D, from [`FftPlan::make_scratch`]):
+//!
+//! * **Ownership** — the *caller* owns workspaces and passes them by
+//!   `&mut`. [`Fft2::process_with`] performs **zero heap allocations** once
+//!   the workspace has warmed up for its shape. The convenience entry
+//!   points ([`Fft2::forward`], [`Fft2::inverse`], …) borrow a
+//!   thread-local workspace keyed by shape, so they are also
+//!   allocation-free in steady state without any API change.
+//! * **Thread safety** — plans are immutable after construction and shared
+//!   via `Arc`; the global plan cache is a mutex-guarded map touched once
+//!   per new length. Workspaces are *not* `Sync`; each thread uses its
+//!   own (the thread-local pool guarantees this for implicit calls).
+//! * **Parallel mode** — when a field is large (≥ `PAR_MIN_LEN` samples),
+//!   the current thread is not already inside a parallel region, and more
+//!   than one worker is configured, row/column loops run on the persistent
+//!   pool and each worker thread draws scratch from its own thread-local
+//!   pool (the caller's workspace is not shared across threads).
 //!
 //! Normalization convention: forward transforms are unnormalized, inverse
 //! transforms carry the `1/N` factor. For the 2-D transforms the inverse
@@ -18,7 +48,9 @@
 
 use crate::complex::Complex64;
 use crate::field::Field;
+use crate::parallel;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -60,6 +92,11 @@ pub struct FftPlan {
 #[derive(Debug)]
 enum PlanKind {
     Radix2(Radix2Plan),
+    /// Smooth (2·3·5·7-factorable) lengths — the paper's 200/350/500
+    /// resolutions — run a Stockham autosort mixed-radix pipeline, several
+    /// times cheaper than the Bluestein fallback. The pre-change Bluestein
+    /// plan is kept alongside as the `process_reference` oracle.
+    Mixed { mixed: MixedRadixPlan, reference: BluesteinPlan },
     Bluestein(BluesteinPlan),
 }
 
@@ -67,8 +104,22 @@ enum PlanKind {
 struct Radix2Plan {
     /// Bit-reversal permutation indices.
     bitrev: Vec<u32>,
-    /// `tw[k] = e^{-2πi k/n}` for `k < n/2`.
+    /// `tw[k] = e^{-2πi k/n}` for `k < n/2` (reference kernel).
     twiddles: Vec<Complex64>,
+    /// Per-pass twiddle triples `(wa, wb0, wb1)` for the fused radix-4
+    /// stages, laid out sequentially in traversal order so the hot loop
+    /// streams them instead of gathering `tw[k·stride]`.
+    fused: Vec<FusedStage>,
+}
+
+/// One fused pair of stages (sizes `2h` and `4h`) of the radix-4 kernel.
+#[derive(Debug)]
+struct FusedStage {
+    /// Half the first fused stage: quartets span `4·half` elements.
+    half: usize,
+    /// `[wa_k, wb0_k, wb1_k]` for `k in 1..half` (the `k = 0` lane has the
+    /// trivial twiddles `1, 1, −j` and is special-cased).
+    tw: Vec<Complex64>,
 }
 
 #[derive(Debug)]
@@ -78,6 +129,9 @@ struct BluesteinPlan {
     inner: Radix2Plan,
     /// Forward chirp `c_j = e^{-iπ j²/n}` for `j < n`.
     chirp: Vec<Complex64>,
+    /// `c_k / m` — the output chirp with the inner-inverse normalization
+    /// folded in (one multiply per sample instead of two).
+    post_chirp: Vec<Complex64>,
     /// Forward FFT (length `m`) of the wrapped conjugate chirp.
     chirp_spectrum: Vec<Complex64>,
 }
@@ -92,6 +146,11 @@ impl FftPlan {
         assert!(n > 0, "FFT length must be nonzero");
         let kind = if n.is_power_of_two() {
             PlanKind::Radix2(Radix2Plan::new(n))
+        } else if let Some(factors) = MixedRadixPlan::factorize(n) {
+            PlanKind::Mixed {
+                mixed: MixedRadixPlan::new(n, &factors),
+                reference: BluesteinPlan::new(n),
+            }
         } else {
             PlanKind::Bluestein(BluesteinPlan::new(n))
         };
@@ -103,23 +162,41 @@ impl FftPlan {
         self.n
     }
 
-    /// Always false (`n > 0` is enforced at construction).
+    /// True if the plan length is zero. Construction enforces `n > 0`, so
+    /// this is honest but always `false` for plans built through
+    /// [`FftPlan::new`].
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
-    /// True if this plan uses Bluestein's algorithm (non-power-of-two size).
+    /// True if this plan's fast path uses Bluestein's algorithm (lengths
+    /// with a prime factor above 7; the paper's smooth resolutions use the
+    /// mixed-radix pipeline instead).
     pub fn is_bluestein(&self) -> bool {
         matches!(self.kind, PlanKind::Bluestein(_))
+    }
+
+    /// True if this plan uses the Stockham mixed-radix pipeline
+    /// (non-power-of-two, 2·3·5·7-smooth length).
+    pub fn is_mixed_radix(&self) -> bool {
+        matches!(self.kind, PlanKind::Mixed { .. })
+    }
+
+    /// Scratch length this plan needs (`0` for pure radix-2 plans).
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            PlanKind::Radix2(_) => 0,
+            // The reference Bluestein buffer (m ≥ 2n−1) also covers the
+            // Stockham ping-pong buffer (n).
+            PlanKind::Mixed { reference, .. } => reference.m,
+            PlanKind::Bluestein(b) => b.m,
+        }
     }
 
     /// Allocates a scratch buffer sized for this plan. Reuse it across calls
     /// to avoid per-transform allocation.
     pub fn make_scratch(&self) -> Vec<Complex64> {
-        match &self.kind {
-            PlanKind::Radix2(_) => Vec::new(),
-            PlanKind::Bluestein(b) => vec![Complex64::ZERO; b.m],
-        }
+        vec![Complex64::ZERO; self.scratch_len()]
     }
 
     /// Transforms `data` in place.
@@ -128,15 +205,52 @@ impl FftPlan {
     ///
     /// Panics if `data.len() != self.len()`.
     pub fn process(&self, data: &mut [Complex64], dir: Direction, scratch: &mut Vec<Complex64>) {
+        self.process_impl(data, dir, scratch, false);
+    }
+
+    /// Transforms `data` in place with the pre-optimization kernels: plain
+    /// radix-2 butterflies, no stage fusion. Kept as the bit-level oracle
+    /// for the radix-4 path and as the baseline the perf artifacts
+    /// (`BENCH_kernels.json`) compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn process_reference(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        self.process_impl(data, dir, scratch, true);
+    }
+
+    fn process_impl(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        scratch: &mut Vec<Complex64>,
+        reference: bool,
+    ) {
         assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
         match dir {
-            Direction::Forward => self.forward(data, scratch),
+            Direction::Forward => self.forward(data, scratch, reference),
             Direction::Inverse => {
+                if let (PlanKind::Radix2(p), false) = (&self.kind, reference) {
+                    // Conjugated-twiddle kernel: bit-identical to the
+                    // conj(F(conj(·)))/n sandwich, two passes cheaper.
+                    p.backward_noscale(data);
+                    let inv_n = 1.0 / self.n as f64;
+                    for z in data.iter_mut() {
+                        *z *= inv_n;
+                    }
+                    return;
+                }
                 // x = conj(F(conj(X))) / n
                 for z in data.iter_mut() {
                     *z = z.conj();
                 }
-                self.forward(data, scratch);
+                self.forward(data, scratch, reference);
                 let inv_n = 1.0 / self.n as f64;
                 for z in data.iter_mut() {
                     *z = z.conj() * inv_n;
@@ -145,10 +259,23 @@ impl FftPlan {
         }
     }
 
-    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>, reference: bool) {
         match &self.kind {
-            PlanKind::Radix2(p) => p.forward(data),
-            PlanKind::Bluestein(p) => p.forward(data, scratch),
+            PlanKind::Radix2(p) => {
+                if reference {
+                    p.forward_reference(data);
+                } else {
+                    p.forward(data);
+                }
+            }
+            PlanKind::Mixed { mixed, reference: oracle } => {
+                if reference {
+                    oracle.forward_reference(data, scratch);
+                } else {
+                    mixed.forward(data, scratch);
+                }
+            }
+            PlanKind::Bluestein(p) => p.forward(data, scratch, reference),
         }
     }
 }
@@ -160,25 +287,156 @@ impl Radix2Plan {
         let bitrev = (0..n as u32)
             .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
             .collect();
-        let twiddles = (0..n / 2)
+        let twiddles: Vec<Complex64> = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
             .collect();
-        Radix2Plan { bitrev, twiddles }
+        // Precompute the fused-stage twiddle stream: after the optional
+        // leading radix-2 stage, each radix-4 pass fuses stages of size
+        // `2h` and `4h`; its lane-k twiddles are wa = e^{-2πik/2h},
+        // wb0 = e^{-2πik/4h}, wb1 = e^{-2πi(k+h)/4h}.
+        let mut fused = Vec::new();
+        let mut len = if bits % 2 == 1 { 4 } else { 2 };
+        while len * 2 <= n {
+            let h = len / 2;
+            let stride1 = n / len;
+            let stride2 = n / (len * 2);
+            let mut tw = Vec::with_capacity(3 * (h - 1));
+            for k in 1..h {
+                tw.push(twiddles[k * stride1]);
+                tw.push(twiddles[k * stride2]);
+                tw.push(twiddles[(k + h) * stride2]);
+            }
+            fused.push(FusedStage { half: h, tw });
+            len *= 4;
+        }
+        Radix2Plan { bitrev, twiddles, fused }
     }
 
-    /// Iterative decimation-in-time radix-2 FFT.
-    fn forward(&self, data: &mut [Complex64]) {
-        let n = data.len();
-        if n <= 1 {
-            return;
-        }
-        // Bit-reversal permutation.
+    /// Bit-reversal permutation shared by both butterfly kernels.
+    #[inline]
+    fn permute(&self, data: &mut [Complex64]) {
         for (i, &r) in self.bitrev.iter().enumerate() {
             let r = r as usize;
             if i < r {
                 data.swap(i, r);
             }
         }
+    }
+
+    /// Iterative decimation-in-time FFT with stages fused in pairs into
+    /// radix-4 butterflies (one pass over the data per pair instead of
+    /// two). `e^{-2πi/n}` kernel.
+    fn forward(&self, data: &mut [Complex64]) {
+        self.butterflies::<false>(data);
+    }
+
+    /// The unnormalized inverse (`e^{+2πi/n}` kernel, no `1/n`): the same
+    /// butterfly network with conjugated twiddles. Lets Bluestein's inner
+    /// inverse run without the two extra conjugation passes of
+    /// `conj(F(conj(·)))`.
+    fn backward_noscale(&self, data: &mut [Complex64]) {
+        self.butterflies::<true>(data);
+    }
+
+    /// Radix-4 butterfly network over bit-reversed data. The twiddle
+    /// stream is precomputed per stage in traversal order; the `k = 0`
+    /// lane (twiddles `1, 1, ∓j`) is special-cased to pure adds/swaps.
+    fn butterflies<const INV: bool>(&self, data: &mut [Complex64]) {
+        #[inline(always)]
+        fn mul_tw<const INV: bool>(a: Complex64, w: Complex64) -> Complex64 {
+            if INV {
+                a * w.conj()
+            } else {
+                a * w
+            }
+        }
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        self.permute(data);
+        let ptr = data.as_mut_ptr();
+        if n.trailing_zeros() & 1 == 1 {
+            // Odd stage count: one radix-2 stage (twiddle 1) brings the
+            // remaining count even so the radix-4 passes can finish the job.
+            let mut base = 0;
+            while base < n {
+                // SAFETY: base + 1 < n (n is an even power of two here).
+                unsafe {
+                    let a = *ptr.add(base);
+                    let b = *ptr.add(base + 1);
+                    *ptr.add(base) = a + b;
+                    *ptr.add(base + 1) = a - b;
+                }
+                base += 2;
+            }
+        }
+        for stage in &self.fused {
+            let h = stage.half;
+            let block = 4 * h;
+            let tw = stage.tw.as_ptr();
+            let mut base = 0;
+            while base < n {
+                // SAFETY: every index below is < base + 4h ≤ n, and the
+                // twiddle stream holds 3·(h−1) entries read at ti < 3(h−1).
+                unsafe {
+                    // k = 0: wa = wb0 = 1, wb1 = ∓j — no multiplies.
+                    let p0 = ptr.add(base);
+                    let p1 = ptr.add(base + h);
+                    let p2 = ptr.add(base + 2 * h);
+                    let p3 = ptr.add(base + 3 * h);
+                    let (a0, a1, a2, a3) = (*p0, *p1, *p2, *p3);
+                    let u0 = a0 + a1;
+                    let u1 = a0 - a1;
+                    let u2 = a2 + a3;
+                    let u3 = a2 - a3;
+                    let v1 = if INV {
+                        Complex64::new(-u3.im, u3.re)
+                    } else {
+                        Complex64::new(u3.im, -u3.re)
+                    };
+                    *p0 = u0 + u2;
+                    *p2 = u0 - u2;
+                    *p1 = u1 + v1;
+                    *p3 = u1 - v1;
+                    let mut ti = 0;
+                    for k in 1..h {
+                        let wa = *tw.add(ti);
+                        let wb0 = *tw.add(ti + 1);
+                        let wb1 = *tw.add(ti + 2);
+                        ti += 3;
+                        let p0 = ptr.add(base + k);
+                        let p1 = ptr.add(base + k + h);
+                        let p2 = ptr.add(base + k + 2 * h);
+                        let p3 = ptr.add(base + k + 3 * h);
+                        let a0 = *p0;
+                        let a1 = mul_tw::<INV>(*p1, wa);
+                        let a2 = *p2;
+                        let a3 = mul_tw::<INV>(*p3, wa);
+                        let u0 = a0 + a1;
+                        let u1 = a0 - a1;
+                        let u2 = a2 + a3;
+                        let u3 = a2 - a3;
+                        let v0 = mul_tw::<INV>(u2, wb0);
+                        let v1 = mul_tw::<INV>(u3, wb1);
+                        *p0 = u0 + v0;
+                        *p2 = u0 - v0;
+                        *p1 = u1 + v1;
+                        *p3 = u1 - v1;
+                    }
+                }
+                base += block;
+            }
+        }
+    }
+
+    /// The pre-optimization butterfly loop: one radix-2 pass per stage.
+    fn forward_reference(&self, data: &mut [Complex64]) {
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        self.permute(data);
         let mut len = 2;
         while len <= n {
             let half = len / 2;
@@ -216,33 +474,238 @@ impl BluesteinPlan {
             }
         }
         inner.forward(&mut b);
-        BluesteinPlan { m, inner, chirp, chirp_spectrum: b }
+        let inv_m = 1.0 / m as f64;
+        let post_chirp = chirp.iter().map(|&c| c * inv_m).collect();
+        BluesteinPlan { m, inner, chirp, post_chirp, chirp_spectrum: b }
     }
 
-    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>, reference: bool) {
+        if reference {
+            self.forward_reference(data, scratch);
+            return;
+        }
+        let n = data.len();
+        let m = self.m;
+        if scratch.len() != m {
+            scratch.clear();
+            scratch.resize(m, Complex64::ZERO);
+        }
+        // a_j = x_j · c_j, zero padded to m (only the tail needs clearing —
+        // the head is overwritten).
+        for ((s, &x), &c) in scratch.iter_mut().zip(data.iter()).zip(&self.chirp) {
+            *s = x * c;
+        }
+        scratch[n..m].fill(Complex64::ZERO);
+        self.inner.forward(scratch);
+        // Pointwise multiply with the chirp spectrum (the circular
+        // convolution theorem), then the unnormalized inner inverse.
+        for (s, &h) in scratch.iter_mut().zip(&self.chirp_spectrum) {
+            *s *= h;
+        }
+        self.inner.backward_noscale(scratch);
+        // X_k = c_k/m · conv_k.
+        for ((x, &s), &c) in data.iter_mut().zip(scratch.iter()).zip(&self.post_chirp) {
+            *x = s * c;
+        }
+    }
+
+    /// The pre-optimization Bluestein pipeline: full-buffer re-zeroing,
+    /// radix-2 inner transforms, and the conj-sandwich inner inverse.
+    fn forward_reference(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
         let n = data.len();
         let m = self.m;
         scratch.clear();
         scratch.resize(m, Complex64::ZERO);
-        // a_j = x_j · c_j, zero padded to m.
         for j in 0..n {
             scratch[j] = data[j] * self.chirp[j];
         }
-        self.inner.forward(scratch);
-        // Pointwise multiply with the chirp spectrum (the circular
-        // convolution theorem), then inverse transform.
+        self.inner.forward_reference(scratch);
         for (s, &h) in scratch.iter_mut().zip(&self.chirp_spectrum) {
             *s *= h;
         }
-        // Inverse inner FFT via conjugation.
         for z in scratch.iter_mut() {
             *z = z.conj();
         }
-        self.inner.forward(scratch);
+        self.inner.forward_reference(scratch);
         let inv_m = 1.0 / m as f64;
-        // X_k = c_k · conv_k.
         for k in 0..n {
             data[k] = scratch[k].conj() * inv_m * self.chirp[k];
+        }
+    }
+}
+
+/// Stockham autosort mixed-radix FFT (decimation in frequency) for
+/// 2·3·5·7-smooth lengths — which covers every resolution the paper
+/// evaluates (200 = 2³·5², 350 = 2·5²·7, 500 = 2²·5³). Compared to the
+/// Bluestein fallback this avoids the two length-`m ≥ 2n` inner transforms
+/// and all chirp passes: one streaming pass per factor, ping-ponging
+/// between the data and one scratch buffer, no permutation pass.
+#[derive(Debug)]
+struct MixedRadixPlan {
+    n: usize,
+    stages: Vec<MixedStage>,
+}
+
+/// One radix-`r` Stockham pass. Entering sub-transform length is
+/// `n' = radix·m`; `s` is the product of previously processed radices.
+#[derive(Debug)]
+struct MixedStage {
+    radix: usize,
+    m: usize,
+    s: usize,
+    /// `tw[p·r + u] = e^{−2πi·p·u/n'}` — the post-butterfly twiddles.
+    tw: Vec<Complex64>,
+    /// `roots[u·r + t] = e^{−2πi·t·u/r}` — the r-point DFT matrix, rows
+    /// laid out per output `u` for sequential access.
+    roots: Vec<Complex64>,
+}
+
+impl MixedRadixPlan {
+    /// Returns the stage radix sequence if `n` is 2·3·5·7-smooth (and not
+    /// a power of two, which the dedicated radix-2 plan handles), else
+    /// `None`. Radix-4/2 stages run first (short strides), the pricier
+    /// odd radices last where the inner stride-`s` loops are long.
+    fn factorize(n: usize) -> Option<Vec<usize>> {
+        let mut rem = n;
+        let mut count = [0usize; 4]; // twos, threes, fives, sevens
+        for (i, p) in [2usize, 3, 5, 7].into_iter().enumerate() {
+            while rem.is_multiple_of(p) {
+                rem /= p;
+                count[i] += 1;
+            }
+        }
+        if rem != 1 {
+            return None;
+        }
+        let mut factors = Vec::new();
+        factors.extend(std::iter::repeat_n(4, count[0] / 2));
+        if count[0] % 2 == 1 {
+            factors.push(2);
+        }
+        factors.extend(std::iter::repeat_n(3, count[1]));
+        factors.extend(std::iter::repeat_n(5, count[2]));
+        factors.extend(std::iter::repeat_n(7, count[3]));
+        Some(factors)
+    }
+
+    fn new(n: usize, factors: &[usize]) -> Self {
+        let mut stages = Vec::with_capacity(factors.len());
+        let mut np = n; // sub-transform length entering the stage
+        let mut s = 1;
+        for &r in factors {
+            let m = np / r;
+            let mut tw = Vec::with_capacity(m * r);
+            for p in 0..m {
+                for u in 0..r {
+                    tw.push(Complex64::cis(-2.0 * PI * (p * u) as f64 / np as f64));
+                }
+            }
+            let mut roots = Vec::with_capacity(r * r);
+            for u in 0..r {
+                for t in 0..r {
+                    roots.push(Complex64::cis(-2.0 * PI * ((t * u) % r) as f64 / r as f64));
+                }
+            }
+            stages.push(MixedStage { radix: r, m, s, tw, roots });
+            np = m;
+            s *= r;
+        }
+        debug_assert_eq!(np, 1, "factorization must cover n");
+        MixedRadixPlan { n, stages }
+    }
+
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        let n = self.n;
+        if scratch.len() < n {
+            scratch.resize(n, Complex64::ZERO);
+        }
+        let scratch = &mut scratch[..n];
+        let mut in_data = true;
+        for stage in &self.stages {
+            if in_data {
+                Self::step(stage, data, scratch);
+            } else {
+                Self::step(stage, scratch, data);
+            }
+            in_data = !in_data;
+        }
+        if !in_data {
+            data.copy_from_slice(scratch);
+        }
+    }
+
+    /// One Stockham DIF pass: gather `r` points strided `s·m` apart, apply
+    /// the r-point DFT, twiddle by `w^{p·u}`, scatter with stride `s`.
+    /// All indices stay below `n' · s = n` by the stage invariants.
+    fn step(stage: &MixedStage, src: &[Complex64], dst: &mut [Complex64]) {
+        let (r, m, s) = (stage.radix, stage.m, stage.s);
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        match r {
+            2 => {
+                for p in 0..m {
+                    // u = 0 twiddle is 1; only the u = 1 lane twiddles.
+                    let w = stage.tw[p * 2 + 1];
+                    for q in 0..s {
+                        // SAFETY: q + s·(p + m·t) < s·m·r = n and
+                        // q + s·(r·p + u) < n (see method docs).
+                        unsafe {
+                            let a = *sp.add(q + s * p);
+                            let b = *sp.add(q + s * (p + m));
+                            *dp.add(q + s * (2 * p)) = a + b;
+                            *dp.add(q + s * (2 * p + 1)) = (a - b) * w;
+                        }
+                    }
+                }
+            }
+            4 => {
+                for p in 0..m {
+                    let w1 = stage.tw[p * 4 + 1];
+                    let w2 = stage.tw[p * 4 + 2];
+                    let w3 = stage.tw[p * 4 + 3];
+                    for q in 0..s {
+                        // SAFETY: as above; all indices < n.
+                        unsafe {
+                            let a0 = *sp.add(q + s * p);
+                            let a1 = *sp.add(q + s * (p + m));
+                            let a2 = *sp.add(q + s * (p + 2 * m));
+                            let a3 = *sp.add(q + s * (p + 3 * m));
+                            let t0 = a0 + a2;
+                            let t1 = a1 + a3;
+                            let t2 = a0 - a2;
+                            let t3 = a1 - a3;
+                            // -j·t3 and +j·t3
+                            let jt3 = Complex64::new(t3.im, -t3.re);
+                            *dp.add(q + s * (4 * p)) = t0 + t1;
+                            *dp.add(q + s * (4 * p + 1)) = (t2 + jt3) * w1;
+                            *dp.add(q + s * (4 * p + 2)) = (t0 - t1) * w2;
+                            *dp.add(q + s * (4 * p + 3)) = (t2 - jt3) * w3;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut at = [Complex64::ZERO; 8];
+                for p in 0..m {
+                    let wrow = &stage.tw[p * r..(p + 1) * r];
+                    for q in 0..s {
+                        // SAFETY: as above; all indices < n, r ≤ 7 < at.len().
+                        unsafe {
+                            for (t, a) in at[..r].iter_mut().enumerate() {
+                                *a = *sp.add(q + s * (p + m * t));
+                            }
+                            for (u, &w) in wrow.iter().enumerate() {
+                                let row = &stage.roots[u * r..u * r + r];
+                                let mut acc = at[0];
+                                for t in 1..r {
+                                    acc += at[t] * row[t];
+                                }
+                                *dp.add(q + s * (r * p + u)) = acc * w;
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -271,6 +734,41 @@ pub fn plan_cache_len() -> usize {
     PLAN_CACHE.lock().as_ref().map_or(0, |c| c.len())
 }
 
+/// Number of columns staged together by the strided column kernel. 32
+/// columns of `f64` complex samples are 512 bytes per row — a handful of
+/// cache lines — so the gather/scatter runs at near-streaming bandwidth.
+const COL_BLOCK: usize = 32;
+
+/// Fields with at least this many samples split their row/column FFT loops
+/// across the persistent worker pool (200² and larger at the paper's
+/// resolutions).
+const PAR_MIN_LEN: usize = 32_768;
+
+/// Owned scratch for one [`Fft2`] shape.
+///
+/// Holds the Bluestein convolution buffers for both axes plus the staging
+/// buffer of the cache-blocked column kernel. Allocated once per shape
+/// (`Fft2::make_workspace`) and reused for every subsequent transform; see
+/// the module docs for the full workspace-reuse contract.
+#[derive(Debug, Clone)]
+pub struct Fft2Workspace {
+    rows: usize,
+    cols: usize,
+    /// Bluestein scratch for the row (length-`cols`) plan.
+    row_scratch: Vec<Complex64>,
+    /// Bluestein scratch for the column (length-`rows`) plan.
+    col_scratch: Vec<Complex64>,
+    /// Column staging: up to [`COL_BLOCK`] columns stored contiguously.
+    col_block: Vec<Complex64>,
+}
+
+impl Fft2Workspace {
+    /// Shape this workspace serves.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
 /// A 2-D FFT engine for a fixed field shape, holding one plan per axis.
 ///
 /// # Examples
@@ -283,6 +781,16 @@ pub fn plan_cache_len() -> usize {
 /// fft.forward(&mut g);
 /// fft.inverse(&mut g);
 /// assert!(f.distance(&g) < 1e-10);
+/// ```
+///
+/// Allocation-sensitive callers own their scratch explicitly:
+///
+/// ```
+/// use lr_tensor::{Complex64, Field, Fft2, Direction};
+/// let fft = Fft2::new(8, 8);
+/// let mut ws = fft.make_workspace();
+/// let mut f = Field::ones(8, 8);
+/// fft.process_with(&mut f, Direction::Forward, &mut ws); // no allocation
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fft2 {
@@ -309,6 +817,17 @@ impl Fft2 {
         (self.rows, self.cols)
     }
 
+    /// Allocates a workspace sized for this engine's shape.
+    pub fn make_workspace(&self) -> Fft2Workspace {
+        Fft2Workspace {
+            rows: self.rows,
+            cols: self.cols,
+            row_scratch: self.row_plan.make_scratch(),
+            col_scratch: self.col_plan.make_scratch(),
+            col_block: vec![Complex64::ZERO; self.rows * COL_BLOCK.min(self.cols)],
+        }
+    }
+
     /// In-place forward 2-D FFT.
     ///
     /// # Panics
@@ -327,17 +846,145 @@ impl Fft2 {
         self.process(field, Direction::Inverse);
     }
 
-    /// In-place 2-D transform in the given direction.
+    /// In-place 2-D transform in the given direction, using a thread-local
+    /// workspace (allocation-free once warm for this shape).
     pub fn process(&self, field: &mut Field, dir: Direction) {
+        with_tls_workspace(self, |fft, ws| fft.process_with(field, dir, ws));
+    }
+
+    /// In-place 2-D transform using caller-owned scratch. Performs no heap
+    /// allocation (in sequential mode; see the module docs for how large
+    /// fields borrow per-thread scratch in parallel mode instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` or `workspace` does not match the planned shape.
+    pub fn process_with(&self, field: &mut Field, dir: Direction, workspace: &mut Fft2Workspace) {
+        assert_eq!(field.shape(), (self.rows, self.cols), "Fft2 shape mismatch");
+        assert_eq!(
+            workspace.shape(),
+            (self.rows, self.cols),
+            "Fft2 workspace shape mismatch"
+        );
+        let parallel_ok = self.rows * self.cols >= PAR_MIN_LEN
+            && parallel::threads() > 1
+            && !parallel::in_parallel_region();
+        if parallel_ok {
+            self.rows_pass_parallel(field, dir);
+            self.cols_pass_parallel(field, dir);
+        } else {
+            self.rows_pass(field, dir, &mut workspace.row_scratch);
+            self.cols_pass(field, dir, workspace);
+        }
+    }
+
+    /// Row transforms, sequential, in place.
+    fn rows_pass(&self, field: &mut Field, dir: Direction, scratch: &mut Vec<Complex64>) {
+        for r in 0..self.rows {
+            self.row_plan.process(field.row_mut(r), dir, scratch);
+        }
+    }
+
+    /// Column transforms through the cache-blocked strided kernel: gather up
+    /// to [`COL_BLOCK`] columns into contiguous staging, transform each, and
+    /// scatter back. No full-field transpose is ever materialized.
+    fn cols_pass(&self, field: &mut Field, dir: Direction, workspace: &mut Fft2Workspace) {
+        let (rows, cols) = (self.rows, self.cols);
+        let data = field.as_mut_slice();
+        let block = &mut workspace.col_block;
+        let scratch = &mut workspace.col_scratch;
+        let mut c0 = 0;
+        while c0 < cols {
+            let bw = COL_BLOCK.min(cols - c0);
+            // SAFETY: `data` is exclusively borrowed and all column indices
+            // are in bounds; see gather/scatter docs.
+            unsafe {
+                gather_columns(data.as_ptr(), rows, cols, c0, bw, block);
+            }
+            for k in 0..bw {
+                self.col_plan.process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
+            }
+            unsafe {
+                scatter_columns(block, rows, cols, c0, bw, data.as_mut_ptr());
+            }
+            c0 += bw;
+        }
+    }
+
+    /// Row transforms split across the worker pool; per-thread scratch.
+    fn rows_pass_parallel(&self, field: &mut Field, dir: Direction) {
+        let (rows, cols) = (self.rows, self.cols);
+        let tasks = parallel::threads().min(rows).max(1) * 4;
+        let chunk = rows.div_ceil(tasks);
+        let tasks = rows.div_ceil(chunk);
+        let base = RowsPtr(field.as_mut_slice().as_mut_ptr());
+        let plan = &self.row_plan;
+        parallel::par_for(tasks, |t| {
+            let base = &base; // capture the Sync wrapper, not the raw field
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(rows);
+            with_thread_scratch(plan.scratch_len(), |scratch| {
+                for r in lo..hi {
+                    // SAFETY: tasks own disjoint row ranges of the buffer,
+                    // which outlives par_for's completion barrier.
+                    let row = unsafe {
+                        std::slice::from_raw_parts_mut(base.0.add(r * cols), cols)
+                    };
+                    plan.process(row, dir, scratch);
+                }
+            });
+        });
+    }
+
+    /// Column blocks split across the worker pool; per-thread staging.
+    fn cols_pass_parallel(&self, field: &mut Field, dir: Direction) {
+        let (rows, cols) = (self.rows, self.cols);
+        let blocks = cols.div_ceil(COL_BLOCK);
+        let base = RowsPtr(field.as_mut_slice().as_mut_ptr());
+        let plan = &self.col_plan;
+        parallel::par_for(blocks, |b| {
+            let base = &base; // capture the Sync wrapper, not the raw field
+            let c0 = b * COL_BLOCK;
+            let bw = COL_BLOCK.min(cols - c0);
+            with_thread_scratch(rows * bw, |block| {
+                with_thread_scratch(plan.scratch_len(), |scratch| {
+                    // SAFETY: tasks touch disjoint column ranges [c0, c0+bw)
+                    // through raw pointer arithmetic only — no task ever
+                    // forms a reference spanning another task's columns —
+                    // and the buffer outlives par_for's completion barrier.
+                    unsafe {
+                        gather_columns(base.0, rows, cols, c0, bw, block);
+                    }
+                    for k in 0..bw {
+                        plan.process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
+                    }
+                    unsafe {
+                        scatter_columns(block, rows, cols, c0, bw, base.0);
+                    }
+                });
+            });
+        });
+    }
+
+    /// The pre-optimization 2-D pipeline: transform rows, materialize the
+    /// transpose, transform the former columns as rows, transpose back —
+    /// two full field allocations and copies per call, plain radix-2
+    /// butterflies. Kept as the numerical oracle for the strided kernel and
+    /// as the baseline the perf artifacts compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not match the planned shape.
+    pub fn process_reference(&self, field: &mut Field, dir: Direction) {
         assert_eq!(field.shape(), (self.rows, self.cols), "Fft2 shape mismatch");
         let mut scratch = self.row_plan.make_scratch();
         for r in 0..self.rows {
-            self.row_plan.process(field.row_mut(r), dir, &mut scratch);
+            self.row_plan.process_reference(field.row_mut(r), dir, &mut scratch);
         }
         let mut t = field.transpose();
         let mut scratch = self.col_plan.make_scratch();
         for r in 0..self.cols {
-            self.col_plan.process(t.row_mut(r), dir, &mut scratch);
+            self.col_plan.process_reference(t.row_mut(r), dir, &mut scratch);
         }
         *field = t.transpose();
     }
@@ -355,6 +1002,23 @@ impl Fft2 {
         self.inverse(field);
     }
 
+    /// [`Fft2::convolve_spectrum`] with caller-owned scratch (zero
+    /// allocation in sequential mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match.
+    pub fn convolve_spectrum_with(
+        &self,
+        field: &mut Field,
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        self.process_with(field, Direction::Forward, workspace);
+        field.hadamard_assign(transfer);
+        self.process_with(field, Direction::Inverse, workspace);
+    }
+
     /// Adjoint of [`Fft2::convolve_spectrum`]: propagates a gradient with the
     /// conjugated transfer function. Under the `(1, 1/N)` normalization the
     /// adjoint of `F⁻¹ diag(H) F` is exactly `F⁻¹ diag(H̄) F`.
@@ -363,6 +1027,138 @@ impl Fft2 {
         grad.hadamard_conj_assign(transfer);
         self.inverse(grad);
     }
+
+    /// [`Fft2::convolve_spectrum_adjoint`] with caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match.
+    pub fn convolve_spectrum_adjoint_with(
+        &self,
+        grad: &mut Field,
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        self.process_with(grad, Direction::Forward, workspace);
+        grad.hadamard_conj_assign(transfer);
+        self.process_with(grad, Direction::Inverse, workspace);
+    }
+}
+
+/// Copies columns `[c0, c0+bw)` of a row-major `rows × cols` buffer into
+/// column-major staging (`block[k·rows + r] = data[r·cols + c0 + k]`).
+///
+/// Takes a raw base pointer so concurrent tasks working on *disjoint*
+/// column ranges of one buffer never materialize overlapping `&`/`&mut`
+/// slices (which would be UB even with disjoint element access).
+///
+/// # Safety
+///
+/// `data` must point to at least `rows·cols` readable elements that no
+/// other thread writes in the accessed columns during the call, and
+/// `c0 + bw ≤ cols` must hold.
+#[inline]
+unsafe fn gather_columns(
+    data: *const Complex64,
+    rows: usize,
+    cols: usize,
+    c0: usize,
+    bw: usize,
+    block: &mut [Complex64],
+) {
+    debug_assert!(c0 + bw <= cols && block.len() >= rows * bw);
+    for r in 0..rows {
+        for k in 0..bw {
+            // SAFETY: r·cols + c0 + k < rows·cols by the caller contract.
+            block[k * rows + r] = unsafe { *data.add(r * cols + c0 + k) };
+        }
+    }
+}
+
+/// Inverse of [`gather_columns`].
+///
+/// # Safety
+///
+/// `data` must point to at least `rows·cols` writable elements whose
+/// columns `[c0, c0+bw)` no other thread accesses during the call, and
+/// `c0 + bw ≤ cols` must hold.
+#[inline]
+unsafe fn scatter_columns(
+    block: &[Complex64],
+    rows: usize,
+    cols: usize,
+    c0: usize,
+    bw: usize,
+    data: *mut Complex64,
+) {
+    debug_assert!(c0 + bw <= cols && block.len() >= rows * bw);
+    for r in 0..rows {
+        for k in 0..bw {
+            // SAFETY: r·cols + c0 + k < rows·cols by the caller contract.
+            unsafe {
+                *data.add(r * cols + c0 + k) = block[k * rows + r];
+            }
+        }
+    }
+}
+
+/// Shared-buffer pointer handed to disjoint parallel tasks.
+#[derive(Clone, Copy)]
+struct RowsPtr(*mut Complex64);
+// SAFETY: tasks dereference disjoint index ranges only (see call sites).
+unsafe impl Send for RowsPtr {}
+unsafe impl Sync for RowsPtr {}
+
+thread_local! {
+    /// Per-thread pool of scratch buffers for the parallel FFT loops.
+    static THREAD_SCRATCH: RefCell<Vec<Vec<Complex64>>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread [`Fft2Workspace`] cache backing the implicit entry points.
+    static TLS_WORKSPACES: RefCell<Vec<Fft2Workspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lends a per-thread scratch buffer of length exactly `min_len` to `f`.
+/// Buffers are recycled, so steady-state use allocates nothing. Contents
+/// are **unspecified** (only growth is zeroed — no full re-zeroing pass);
+/// every consumer fully overwrites what it reads.
+fn with_thread_scratch<R>(min_len: usize, f: impl FnOnce(&mut Vec<Complex64>) -> R) -> R {
+    let mut buf = THREAD_SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let found = pool.iter().position(|b| b.capacity() >= min_len);
+        match found {
+            Some(i) => pool.swap_remove(i),
+            None => Vec::with_capacity(min_len),
+        }
+    });
+    buf.resize(min_len, Complex64::ZERO);
+    let out = f(&mut buf);
+    THREAD_SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+/// Lends the thread-local workspace for `fft`'s shape to `f`, creating it
+/// on first use for that shape on this thread.
+fn with_tls_workspace<R>(fft: &Fft2, f: impl FnOnce(&Fft2, &mut Fft2Workspace) -> R) -> R {
+    let shape = fft.shape();
+    let mut ws = TLS_WORKSPACES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.iter().position(|w| w.shape() == shape) {
+            Some(i) => cache.swap_remove(i),
+            None => fft.make_workspace(),
+        }
+    });
+    let out = f(fft, &mut ws);
+    TLS_WORKSPACES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() < 8 {
+            cache.push(ws);
+        }
+    });
+    out
 }
 
 /// Naive `O(n²)` DFT used as a reference in tests.
@@ -407,7 +1203,7 @@ mod tests {
 
     #[test]
     fn roundtrip_power_of_two() {
-        for n in [1, 2, 4, 8, 64, 256, 1024] {
+        for n in [1, 2, 4, 8, 32, 64, 256, 1024] {
             roundtrip(n);
         }
     }
@@ -435,8 +1231,31 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        for n in [2, 3, 4, 5, 8, 16, 20, 31, 64, 100] {
+        // Powers of two cover both the even (4, 16, 64, 256) and odd
+        // (2, 8, 32, 128) stage-count paths of the radix-4 kernel.
+        for n in [2, 3, 4, 5, 8, 16, 20, 31, 32, 64, 100, 128, 256] {
             against_naive(n);
+        }
+    }
+
+    #[test]
+    fn radix4_agrees_with_reference_butterflies() {
+        for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let plan = FftPlan::new(n);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut fast = input.clone();
+            let mut slow = input;
+            let mut scratch = plan.make_scratch();
+            plan.process(&mut fast, Direction::Forward, &mut scratch);
+            plan.process_reference(&mut slow, Direction::Forward, &mut scratch);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(
+                    (*a - *b).norm() <= 1e-12 * (1.0 + b.norm()),
+                    "radix-4 diverged from radix-2 at n={n}"
+                );
+            }
         }
     }
 
@@ -472,14 +1291,105 @@ mod tests {
     }
 
     #[test]
+    fn plan_reports_shape_facts() {
+        // 200 = 2³·5² is smooth → mixed-radix fast path, Bluestein oracle.
+        let plan = FftPlan::new(200);
+        assert_eq!(plan.len(), 200);
+        assert!(!plan.is_empty());
+        assert!(plan.is_mixed_radix());
+        assert!(!plan.is_bluestein());
+        assert_eq!(plan.scratch_len(), 512); // (2·200-1).next_power_of_two()
+        // 211 is prime → true Bluestein path.
+        let prime = FftPlan::new(211);
+        assert!(prime.is_bluestein());
+        assert!(!prime.is_mixed_radix());
+        let pow2 = FftPlan::new(64);
+        assert!(!pow2.is_bluestein());
+        assert!(!pow2.is_mixed_radix());
+        assert_eq!(pow2.scratch_len(), 0);
+    }
+
+    #[test]
+    fn mixed_radix_factorization() {
+        assert_eq!(MixedRadixPlan::factorize(200), Some(vec![4, 2, 5, 5]));
+        assert_eq!(MixedRadixPlan::factorize(350), Some(vec![2, 5, 5, 7]));
+        assert_eq!(MixedRadixPlan::factorize(500), Some(vec![4, 5, 5, 5]));
+        assert_eq!(MixedRadixPlan::factorize(630), Some(vec![2, 3, 3, 5, 7]));
+        assert_eq!(MixedRadixPlan::factorize(211), None); // prime
+        assert_eq!(MixedRadixPlan::factorize(2 * 11), None); // factor 11
+    }
+
+    #[test]
+    fn mixed_radix_matches_bluestein_reference_on_paper_sizes() {
+        for n in [200usize, 350, 500, 105, 98, 45] {
+            let plan = FftPlan::new(n);
+            assert!(plan.is_mixed_radix(), "expected mixed-radix for {n}");
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.23).sin(), (i as f64 * 0.71).cos()))
+                .collect();
+            let mut fast = input.clone();
+            let mut slow = input;
+            let mut scratch = plan.make_scratch();
+            plan.process(&mut fast, Direction::Forward, &mut scratch);
+            plan.process_reference(&mut slow, Direction::Forward, &mut scratch);
+            let scale = (n as f64).sqrt();
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(
+                    (*a - *b).norm() <= 1e-10 * scale * (1.0 + b.norm()),
+                    "mixed-radix diverged from Bluestein oracle at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fft2_roundtrip_mixed_sizes() {
-        for &(r, c) in &[(4, 4), (8, 16), (5, 7), (20, 20), (3, 8)] {
+        for &(r, c) in &[(4, 4), (8, 16), (5, 7), (20, 20), (3, 8), (40, 33)] {
             let fft = Fft2::new(r, c);
             let f = Field::from_fn(r, c, |i, j| Complex64::new((i * c + j) as f64, (i + j) as f64));
             let mut g = f.clone();
             fft.forward(&mut g);
             fft.inverse(&mut g);
             assert!(f.distance(&g) < 1e-8, "fft2 roundtrip {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn fft2_workspace_path_matches_implicit_path() {
+        for &(r, c) in &[(8, 8), (5, 12), (33, 50)] {
+            let fft = Fft2::new(r, c);
+            let f = Field::from_fn(r, c, |i, j| {
+                Complex64::new((i as f64 * 0.7).cos(), (j as f64 * 0.3).sin())
+            });
+            let mut implicit = f.clone();
+            fft.forward(&mut implicit);
+            let mut ws = fft.make_workspace();
+            let mut explicit = f.clone();
+            fft.process_with(&mut explicit, Direction::Forward, &mut ws);
+            assert_eq!(implicit, explicit, "workspace path diverged at {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn fft2_strided_matches_reference_transpose_path() {
+        for &(r, c) in &[(8, 8), (20, 20), (16, 50), (50, 16), (33, 40)] {
+            let fft = Fft2::new(r, c);
+            let f = Field::from_fn(r, c, |i, j| {
+                Complex64::new((i as f64 * 1.1).sin() + 0.2, (j as f64 * 0.9).cos())
+            });
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut fast = f.clone();
+                fft.process(&mut fast, dir);
+                let mut slow = f.clone();
+                fft.process_reference(&mut slow, dir);
+                let scale = slow.max_norm().max(1.0);
+                for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                    assert!(
+                        (*a - *b).norm() <= 1e-12 * scale,
+                        "strided kernel diverged from transpose reference at {r}x{c}"
+                    );
+                }
+            }
         }
     }
 
@@ -514,6 +1424,10 @@ mod tests {
         let mut g = f.clone();
         fft.convolve_spectrum(&mut g, &h);
         assert!(f.distance(&g) < 1e-9);
+        let mut ws = fft.make_workspace();
+        let mut g2 = f.clone();
+        fft.convolve_spectrum_with(&mut g2, &h, &mut ws);
+        assert!(f.distance(&g2) < 1e-9);
     }
 
     #[test]
@@ -567,5 +1481,27 @@ mod tests {
             let expect = fx[k] * alpha + fy[k];
             assert!((combo[k] - expect).norm() < 1e-7, "linearity failed at {k}");
         }
+    }
+
+    #[test]
+    fn fft2_parallel_path_matches_sequential() {
+        // 256×256 = 65536 samples crosses PAR_MIN_LEN, engaging the pooled
+        // row/column loops when threads are available.
+        let _guard = parallel::thread_count_test_guard();
+        let n = 256;
+        let fft = Fft2::new(n, n);
+        let f = Field::from_fn(n, n, |r, c| {
+            Complex64::new((r as f64 * 0.01).sin(), (c as f64 * 0.02).cos())
+        });
+        // Force threads() > 1 so the pooled branch runs even on a
+        // single-core machine (the caller then claims every task itself).
+        parallel::set_threads(4);
+        let mut par = f.clone();
+        fft.forward(&mut par);
+        parallel::set_threads(1);
+        let mut seq = f.clone();
+        fft.forward(&mut seq);
+        parallel::set_threads(0);
+        assert_eq!(par, seq, "pooled FFT loops must be bit-identical to sequential");
     }
 }

@@ -107,10 +107,24 @@ impl Field {
         self.data.len()
     }
 
-    /// Always false: zero-sized fields cannot be constructed.
+    /// True if the field holds no samples. Construction enforces nonzero
+    /// dimensions, so this is honest but always `false` in practice.
     #[inline(always)]
     pub fn is_empty(&self) -> bool {
-        false
+        self.data.is_empty()
+    }
+
+    /// Copies every sample from `src` without reallocating — the
+    /// zero-allocation alternative to `*self = src.clone()` used by the
+    /// propagation workspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Field) {
+        assert_eq!(self.shape(), src.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Immutable view of the row-major sample buffer.
@@ -364,6 +378,44 @@ impl Field {
         Field::from_fn(self.rows, self.cols, |r, c| {
             self[((r + sr) % self.rows, (c + sc) % self.cols)]
         })
+    }
+
+    /// [`Field::fftshift`] written into a caller-owned field (no
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn fftshift_into(&self, out: &mut Field) {
+        assert_eq!(self.shape(), out.shape(), "fftshift_into: shape mismatch");
+        let sr = self.rows.div_ceil(2);
+        let sc = self.cols.div_ceil(2);
+        for r in 0..self.rows {
+            let src = self.row((r + sr) % self.rows);
+            let dst = out.row_mut(r);
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = src[(c + sc) % self.cols];
+            }
+        }
+    }
+
+    /// [`Field::ifftshift`] written into a caller-owned field (no
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn ifftshift_into(&self, out: &mut Field) {
+        assert_eq!(self.shape(), out.shape(), "ifftshift_into: shape mismatch");
+        let sr = self.rows / 2;
+        let sc = self.cols / 2;
+        for r in 0..self.rows {
+            let src = self.row((r + sr) % self.rows);
+            let dst = out.row_mut(r);
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = src[(c + sc) % self.cols];
+            }
+        }
     }
 
     /// Frobenius distance `‖self − rhs‖₂`.

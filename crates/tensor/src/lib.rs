@@ -37,5 +37,7 @@ mod field;
 pub mod parallel;
 
 pub use complex::{Complex64, J};
-pub use fft::{clear_plan_cache, dft_naive, plan_cache_len, planner, Direction, Fft2, FftPlan};
+pub use fft::{
+    clear_plan_cache, dft_naive, plan_cache_len, planner, Direction, Fft2, Fft2Workspace, FftPlan,
+};
 pub use field::Field;

@@ -1,15 +1,36 @@
-//! Batch parallelism helpers.
+//! Batch and kernel parallelism on a persistent worker pool.
 //!
 //! DONN training parallelizes naturally over the *batch* dimension: each
 //! sample's forward/backward pass is independent given shared read-only
-//! parameters. These helpers run a closure over a batch using scoped threads
-//! (crossbeam), which is how the "accelerated" LightRidge backend uses
-//! multi-core CPUs (the paper's GPU backend plays the same role on CUDA).
+//! parameters. Earlier revisions spawned a fresh set of scoped threads
+//! (crossbeam) on every [`par_map`] call, which costs two syscalls plus a
+//! stack allocation per worker per batch — measurable at emulation batch
+//! rates. This module instead keeps one **lazily-initialized persistent
+//! worker pool** for the whole process:
+//!
+//! * Workers are spawned once, on the first parallel call, and then sleep
+//!   on a condvar between jobs.
+//! * A job is `(closure, atomic index, length)`; workers and the calling
+//!   thread race on the atomic to claim indices (work stealing over an
+//!   atomic counter), so imbalanced items self-balance.
+//! * The caller always participates, clears the job, and blocks until every
+//!   worker has retired before returning, which is what makes lending
+//!   stack-borrowing closures to `'static` worker threads sound.
+//! * Nested parallel calls (from inside a worker, or from inside an already
+//!   parallel region on the caller) degrade to sequential execution instead
+//!   of deadlocking; the FFT row/column loops rely on this when invoked
+//!   under batch parallelism.
+//!
+//! Results are written by item index, so `par_map` output is **identical
+//! for any thread count** — determinism is covered by the test suite.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of worker threads used by [`par_map`] and friends.
+/// Number of worker threads used by [`par_map`] and friends (callers plus
+/// pool workers).
 ///
 /// Defaults to the machine's available parallelism; override with
 /// [`set_threads`] (the single-thread setting is the "CPU baseline"
@@ -29,44 +50,284 @@ pub fn set_threads(n: usize) {
     CONFIGURED_THREADS.store(n, Ordering::Relaxed);
 }
 
+thread_local! {
+    /// True while this thread is executing inside a parallel region (either
+    /// as a pool worker or as a caller driving a job). Nested parallel calls
+    /// check it and run sequentially.
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True if the current thread is already inside a parallel region.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|f| f.get())
+}
+
+/// Shared, lifetime-erased view of one job. The caller guarantees (by
+/// blocking until `running == 0`) that these pointers outlive every use.
+#[derive(Clone, Copy)]
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    next: *const AtomicUsize,
+    panicked: *const AtomicBool,
+    len: usize,
+    /// Maximum number of pool workers that may join this job.
+    worker_limit: usize,
+}
+
+// SAFETY: the pointers are dereferenced only between job publication and the
+// caller's running==0 barrier, during which the referents are alive.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped on every published job so sleeping workers can tell old from new.
+    generation: u64,
+    job: Option<Job>,
+    /// Pool workers currently holding a copy of `job`.
+    running: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Held for the duration of one job: the pool has a single job slot,
+    /// so a second top-level caller must not publish (it would overwrite
+    /// the live job and race the completion barrier). Contenders fall back
+    /// to inline sequential execution instead of blocking.
+    submission: Mutex<()>,
+    /// Number of spawned worker threads (callers add one more).
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .saturating_sub(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState { generation: 0, job: None, running: 0 }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submission: Mutex::new(()),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("lr-pool-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn lock(pool: &Pool) -> std::sync::MutexGuard<'_, PoolState> {
+    pool.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_PARALLEL_REGION.with(|f| f.set(true));
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(pool);
+            loop {
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    if let Some(job) = st.job {
+                        if st.running < job.worker_limit {
+                            st.running += 1;
+                            break job;
+                        }
+                    }
+                }
+                st = pool
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // SAFETY: `running` was incremented under the lock, so the caller's
+        // completion barrier keeps these referents alive while we run.
+        let func = unsafe { &*job.func };
+        let next = unsafe { &*job.next };
+        let panicked = unsafe { &*job.panicked };
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.len {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| func(i))).is_err() {
+                panicked.store(true, Ordering::Relaxed);
+                // Drain the remaining indices so the job still terminates.
+                next.store(job.len, Ordering::Relaxed);
+                break;
+            }
+        }
+        let mut st = lock(pool);
+        st.running -= 1;
+        if st.running == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Clears the published job and blocks until no worker still holds it.
+/// Runs from `Drop` so the barrier also holds when the caller's own closure
+/// panics mid-job (the borrowed stack frame must not unwind away first).
+struct CompletionBarrier {
+    pool: &'static Pool,
+}
+
+impl Drop for CompletionBarrier {
+    fn drop(&mut self) {
+        let mut st = lock(self.pool);
+        st.job = None;
+        while st.running > 0 {
+            st = self
+                .pool
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Outcome of a [`run_job`] attempt.
+enum JobOutcome {
+    /// Every index executed on the pool; flag is "a worker panicked".
+    Ran(bool),
+    /// The single job slot was busy (another top-level caller is mid-job);
+    /// nothing was executed — the caller should run sequentially inline.
+    Busy,
+}
+
+/// Runs `f(0..len)` with up to `extra_workers` pool threads assisting the
+/// calling thread. Blocks until every index has been executed.
+fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> JobOutcome {
+    let pool = pool();
+    // One job at a time: a concurrent top-level caller would overwrite the
+    // job slot and have its job cancelled by our completion barrier.
+    let _submission = match pool.submission.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => return JobOutcome::Busy,
+    };
+    let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    // SAFETY: lifetime erasure only; the completion barrier below (dropped
+    // even on unwind) guarantees no worker touches the pointers afterwards.
+    let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    {
+        let mut st = lock(pool);
+        st.generation += 1;
+        st.job = Some(Job {
+            func,
+            next: &next,
+            panicked: &panicked,
+            len,
+            worker_limit: extra_workers.min(pool.workers),
+        });
+        pool.work_cv.notify_all();
+    }
+    let barrier = CompletionBarrier { pool };
+    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+    let caller_region = CallerRegionReset;
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= len {
+            break;
+        }
+        f(i);
+    }
+    drop(caller_region);
+    drop(barrier);
+    JobOutcome::Ran(panicked.load(Ordering::Relaxed))
+}
+
+/// Resets the caller's parallel-region flag even on unwind.
+struct CallerRegionReset;
+
+impl Drop for CallerRegionReset {
+    fn drop(&mut self) {
+        IN_PARALLEL_REGION.with(|flag| flag.set(false));
+    }
+}
+
+/// True when a parallel call should degrade to a sequential loop.
+fn must_run_sequential(len: usize) -> bool {
+    len <= 1 || threads() <= 1 || in_parallel_region()
+}
+
+/// Runs `f` for every index in `0..len`, possibly in parallel on the
+/// persistent pool. This is the primitive behind [`par_map`] and the FFT
+/// row/column loops; `f` observes each index exactly once, in no particular
+/// order.
+///
+/// # Panics
+///
+/// Propagates (as a panic) any panic raised by `f` on a worker thread.
+pub fn par_for<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if must_run_sequential(len) {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let workers = threads().min(len);
+    match run_job(len, workers - 1, &f) {
+        JobOutcome::Ran(true) => panic!("worker thread panicked"),
+        JobOutcome::Ran(false) => {}
+        JobOutcome::Busy => {
+            for i in 0..len {
+                f(i);
+            }
+        }
+    }
+}
+
 /// Applies `f` to every item index in `0..len`, in parallel, collecting
 /// results in order.
 ///
 /// `f` must be `Sync` because multiple worker threads call it concurrently.
-/// Falls back to a sequential loop when one thread suffices.
+/// Falls back to a sequential loop when one thread suffices. Results are
+/// identical for any thread count (each index is computed exactly once and
+/// written to its own slot).
 pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(len.max(1));
-    if workers <= 1 || len <= 1 {
+    if must_run_sequential(len) {
         return (0..len).map(f).collect();
     }
     let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
     let out_ptr = SendPtr(out.as_mut_ptr());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                let out_ptr = &out_ptr;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    let value = f(i);
-                    // SAFETY: each index i is claimed by exactly one worker
-                    // via the atomic counter, so no two threads write the
-                    // same slot, and the vector outlives the scope.
-                    unsafe {
-                        *out_ptr.0.add(i) = Some(value);
-                    }
-                }
-            });
+    let write = |i: usize| {
+        let out_ptr = &out_ptr; // capture the Sync wrapper, not the raw field
+        let value = f(i);
+        // SAFETY: each index i is claimed by exactly one thread via the
+        // atomic work counter, so no two threads write the same slot, and
+        // the vector outlives the job's completion barrier.
+        unsafe {
+            *out_ptr.0.add(i) = Some(value);
         }
-    })
-    .expect("worker thread panicked");
+    };
+    let workers = threads().min(len);
+    match run_job(len, workers - 1, &write) {
+        JobOutcome::Ran(true) => panic!("worker thread panicked"),
+        JobOutcome::Ran(false) => {}
+        JobOutcome::Busy => {
+            for i in 0..len {
+                write(i);
+            }
+        }
+    }
     out.into_iter().map(|v| v.expect("all slots filled")).collect()
 }
 
@@ -77,32 +338,29 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     let len = items.len();
-    let workers = threads().min(len.max(1));
-    if workers <= 1 || len <= 1 {
+    if must_run_sequential(len) {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
         }
         return;
     }
-    let next = AtomicUsize::new(0);
     let base = SendPtr(items.as_mut_ptr());
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                let base = &base;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    // SAFETY: disjoint indices, claimed once each.
-                    let item = unsafe { &mut *base.0.add(i) };
-                    f(i, item);
-                }
-            });
+    let apply = |i: usize| {
+        let base = &base; // capture the Sync wrapper, not the raw field
+        // SAFETY: disjoint indices, claimed once each.
+        let item = unsafe { &mut *base.0.add(i) };
+        f(i, item);
+    };
+    let workers = threads().min(len);
+    match run_job(len, workers - 1, &apply) {
+        JobOutcome::Ran(true) => panic!("worker thread panicked"),
+        JobOutcome::Ran(false) => {}
+        JobOutcome::Busy => {
+            for i in 0..len {
+                apply(i);
+            }
         }
-    })
-    .expect("worker thread panicked");
+    }
 }
 
 struct SendPtr<T>(*mut T);
@@ -110,6 +368,15 @@ struct SendPtr<T>(*mut T);
 // atomic work counter, guaranteeing exclusive access per slot.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Serializes tests that mutate the process-global thread count
+/// ([`set_threads`]) so they cannot race each other when the test harness
+/// runs them concurrently.
+#[cfg(test)]
+pub(crate) fn thread_count_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 #[cfg(test)]
 mod tests {
@@ -138,7 +405,17 @@ mod tests {
     }
 
     #[test]
+    fn par_for_visits_every_index_once() {
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        par_for(counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn thread_override_roundtrip() {
+        let _guard = thread_count_test_guard();
         let default = threads();
         assert!(default >= 1);
         set_threads(1);
@@ -147,5 +424,37 @@ mod tests {
         assert_eq!(r[15], 16);
         set_threads(0);
         assert_eq!(threads(), default);
+    }
+
+    #[test]
+    fn nested_parallel_calls_degrade_gracefully() {
+        // par_map inside par_map must not deadlock: the inner call detects
+        // the parallel region and runs sequentially.
+        let outer = par_map(8, |i| par_map(8, move |j| i * 8 + j).iter().sum::<usize>());
+        let expected: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(outer, expected);
+    }
+
+    #[test]
+    fn pool_survives_many_jobs() {
+        // Exercises job-generation handling: many small jobs back to back.
+        for round in 0..200 {
+            let v = par_map(17, move |i| i + round);
+            assert_eq!(v[0], round);
+            assert_eq!(v[16], 16 + round);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(64, |i| {
+                assert!(i != 13, "boom");
+                i
+            })
+        });
+        assert!(result.is_err(), "panic in a parallel item must propagate");
+        // The pool must still be usable afterwards.
+        assert_eq!(par_map(4, |i| i), vec![0, 1, 2, 3]);
     }
 }

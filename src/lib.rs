@@ -1,0 +1,16 @@
+//! Workspace-root umbrella crate for LightRidge-RS.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`)
+//! and runnable examples (`examples/`) at the repository root; the library
+//! surface itself lives in the `crates/` members. For convenience it
+//! re-exports the crates an end user typically touches.
+
+#![warn(missing_docs)]
+
+pub use lightridge;
+pub use lr_datasets;
+pub use lr_dsl;
+pub use lr_hardware;
+pub use lr_nn;
+pub use lr_optics;
+pub use lr_tensor;

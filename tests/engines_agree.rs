@@ -53,7 +53,7 @@ fn trained_donn_forward_matches_lightpipes_reference() {
     for mask in &masks {
         prop.propagate(&mut u);
         for (zv, &p) in u.as_mut_slice().iter_mut().zip(mask) {
-            *zv = *zv * lr_tensor::Complex64::cis(p);
+            *zv *= lr_tensor::Complex64::cis(p);
         }
     }
     prop.propagate(&mut u);

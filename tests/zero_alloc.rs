@@ -1,0 +1,84 @@
+//! Counting-allocator proof of the zero-copy propagation pipeline: after
+//! warm-up, the workspace-threaded forward pass performs **zero heap
+//! allocations** per sample.
+//!
+//! This file must stay a single-test binary: the counting allocator is
+//! process-global, so any concurrently running test would pollute the
+//! counters. Sequential mode is forced (`set_threads(1)`) because the
+//! pooled FFT path intentionally draws from per-worker thread-local
+//! scratch instead of the caller's workspace.
+
+use lightridge::{Detector, DonnBuilder};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_tensor::{parallel, Complex64, Field};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_forward_pass_allocates_nothing() {
+    parallel::set_threads(1);
+
+    // A 3-layer 64×64 DONN — the same shape of pipeline as the paper's
+    // 200² systems (diffract → modulate per layer → final hop → detector).
+    let grid = Grid::square(64, PixelPitch::from_um(36.0));
+    let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(40.0))
+        .diffractive_layers(3)
+        .detector(Detector::grid_layout(64, 64, 10, 5))
+        .build();
+
+    let input = Field::from_fn(64, 64, |r, c| {
+        Complex64::from_real(if (r / 8 + c / 8) % 2 == 0 { 1.0 } else { 0.0 })
+    });
+    let mut ws = model.make_workspace();
+    let mut logits = Vec::with_capacity(model.num_classes());
+
+    // Warm-up: fills the global plan/transfer caches, sizes the workspace
+    // scratch, and reserves the logits buffer.
+    for _ in 0..3 {
+        model.infer_into(&input, &mut ws, &mut logits);
+    }
+    let reference_logits = logits.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        model.infer_into(&input, &mut ws, &mut logits);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forward pass must not allocate (got {} allocations over 10 passes)",
+        after - before
+    );
+    // And it must still compute the right thing.
+    assert_eq!(logits, reference_logits);
+    assert!(logits.iter().all(|l| l.is_finite() && *l >= 0.0));
+    assert!(logits.iter().sum::<f64>() > 0.0);
+
+    parallel::set_threads(0);
+}
