@@ -1,14 +1,22 @@
-//! `lr-bench` — machine-readable perf artifacts for the kernel hot path.
+//! `lr-bench` — machine-readable perf artifacts.
 //!
-//! Emits `BENCH_kernels.json` with median wall-clock timings for the
-//! operators the paper's Fig. 8 tracks (2-D FFT at the system resolutions)
-//! plus a batched end-to-end forward pass, each measured for both the
-//! current zero-copy pipeline and the pre-optimization reference
-//! (transpose-based FFT2, plain radix-2 butterflies, clone-per-layer
-//! forward, thread-spawn-per-batch parallelism). Future PRs diff this file
-//! to keep a perf trajectory.
+//! Default (kernels) mode emits `BENCH_kernels.json` with median
+//! wall-clock timings for the operators the paper's Fig. 8 tracks (2-D FFT
+//! at the system resolutions) plus a batched end-to-end forward pass, each
+//! measured for both the current zero-copy pipeline and the
+//! pre-optimization reference (transpose-based FFT2, plain radix-2
+//! butterflies, clone-per-layer forward, thread-spawn-per-batch
+//! parallelism). Future PRs diff this file to keep a perf trajectory.
 //!
-//! Usage: `lr-bench [--out PATH] [--quick]`
+//! `lr-bench serve` runs the deterministic synthetic load generator
+//! against the `lr-serve` runtime and emits `BENCH_serve.json` (see
+//! `serve_bench`).
+//!
+//! Usage:
+//! * `lr-bench [--out PATH] [--quick]`
+//! * `lr-bench serve [--out PATH] [--quick]`
+
+mod serve_bench;
 
 use lightridge::{Detector, DonnBuilder, DonnModel, Layer};
 use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
@@ -115,6 +123,10 @@ fn donn_200(grid_n: usize, depth: usize) -> DonnModel {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_bench::run(&args[1..]);
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")

@@ -1,0 +1,285 @@
+//! `lr-bench serve` — deterministic synthetic load test of the `lr-serve`
+//! runtime, emitting `BENCH_serve.json`.
+//!
+//! The build environment has no network, so the "traffic" is an
+//! **open-loop arrival schedule**: every client thread precomputes, from a
+//! fixed seed, the arrival time and target model of each of its requests
+//! (exponential interarrivals at the configured offered rate, mixed
+//! model/readout choice), then fires each request at its scheduled time.
+//! The schedule never depends on observed latency, so the offered load —
+//! and therefore the artifact — is reproducible run to run; only the
+//! measured latencies vary with the machine.
+//!
+//! Two scenarios run on a mixed two-model registry (an emulation-readout
+//! stack and a deployed-readout stack of a different geometry):
+//!
+//! * `steady_mixed` — offered rate ≈ 50% of calibrated single-worker
+//!   capacity: everything should complete; this is the throughput/latency
+//!   baseline future PRs diff.
+//! * `overload_shed` — offered rate ≈ 4× capacity against a short queue:
+//!   exercises admission control; the artifact records how much was
+//!   rejected and how far p99 stretches under saturation.
+
+use lightridge::{Detector, DonnBuilder, DonnModel};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_serve::{
+    AdmissionPolicy, BatchPolicy, ModelId, ModelRegistry, ReadoutMode, Server, ServerStats,
+    Transport,
+};
+use lr_tensor::{parallel, Complex64, Field};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
+    let grid = Grid::square(n, PixelPitch::from_um(36.0));
+    DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(30.0))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(n, n, 4, n / 8))
+        .init_seed(seed)
+        .build()
+}
+
+fn make_input(n: usize, phase: usize) -> Field {
+    Field::from_fn(n, n, |r, c| {
+        Complex64::from_real(if (r + c + phase) % 5 < 2 { 1.0 } else { 0.0 })
+    })
+}
+
+/// One precomputed request of the open-loop schedule.
+struct ScheduledRequest {
+    /// Offset from the scenario epoch.
+    at: Duration,
+    /// Which registered model to hit.
+    model: ModelId,
+    /// Which of the pregenerated inputs to send.
+    input_idx: usize,
+}
+
+/// Per-thread deterministic schedule: exponential interarrivals at
+/// `rate_rps` requests/second for this thread, 70/30 model mix.
+fn build_schedule(
+    seed: u64,
+    requests: usize,
+    rate_rps: f64,
+    model_a: ModelId,
+    model_b: ModelId,
+    num_inputs: usize,
+) -> Vec<ScheduledRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_rps;
+            let pick_b: f64 = rng.gen_range(0.0..1.0);
+            ScheduledRequest {
+                at: Duration::from_secs_f64(t),
+                model: if pick_b < 0.3 { model_b } else { model_a },
+                input_idx: rng.gen_range(0..num_inputs),
+            }
+        })
+        .collect()
+}
+
+struct ScenarioOutcome {
+    offered_rps: f64,
+    ok: u64,
+    failed: u64,
+    wall_secs: f64,
+    stats: ServerStats,
+}
+
+/// Runs one scenario: `threads` open-loop clients firing their schedules
+/// at a fresh server over `registry_models`, returning outcome counters
+/// plus the server's own stats snapshot.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    policy: BatchPolicy,
+    rate_rps: f64,
+    threads: usize,
+    requests_per_thread: usize,
+    seed: u64,
+    model_a: &DonnModel,
+    model_b: &DonnModel,
+) -> ScenarioOutcome {
+    let mut registry = ModelRegistry::new();
+    let a = registry.register_emulated("mnist-emulated", 1, model_a.clone(), ReadoutMode::Emulation);
+    let b = registry.register_emulated("mnist-deployed", 1, model_b.clone(), ReadoutMode::Deployed);
+    let server = Server::start(registry, policy);
+
+    let (na, _) = model_a.grid().shape();
+    let (nb, _) = model_b.grid().shape();
+    let inputs_a: Vec<Field> = (0..4).map(|p| make_input(na, p)).collect();
+    let inputs_b: Vec<Field> = (0..4).map(|p| make_input(nb, p)).collect();
+
+    let per_thread_rate = rate_rps / threads as f64;
+    let epoch = Instant::now();
+    let (ok, failed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let schedule = build_schedule(
+                    seed.wrapping_add(t as u64),
+                    requests_per_thread,
+                    per_thread_rate,
+                    a,
+                    b,
+                    inputs_a.len(),
+                );
+                // Each stream keeps one client per model so slots stay
+                // shape-stable (the zero-allocation serving contract).
+                let mut client_a = server.client();
+                let mut client_b = server.client();
+                let inputs_a = &inputs_a;
+                let inputs_b = &inputs_b;
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut failed = 0u64;
+                    let mut logits = Vec::new();
+                    for req in &schedule {
+                        let target = epoch + req.at;
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        let result = if req.model == a {
+                            client_a.infer(a, &inputs_a[req.input_idx], &mut logits)
+                        } else {
+                            client_b.infer(b, &inputs_b[req.input_idx], &mut logits)
+                        };
+                        match result {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .fold((0u64, 0u64), |(o, f), (a, b)| (o + a, f + b))
+    });
+    let wall_secs = epoch.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+    ScenarioOutcome { offered_rps: rate_rps, ok, failed, wall_secs, stats }
+}
+
+fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool) {
+    let s = &o.stats;
+    let l = &s.latency;
+    let _ = writeln!(json, "    \"{name}\": {{");
+    let _ = writeln!(json, "      \"offered_rps\": {:.1},", o.offered_rps);
+    let _ = writeln!(json, "      \"wall_secs\": {:.3},", o.wall_secs);
+    let _ = writeln!(json, "      \"client_ok\": {},", o.ok);
+    let _ = writeln!(json, "      \"client_failed\": {},", o.failed);
+    let _ = writeln!(json, "      \"completed\": {},", s.completed);
+    let _ = writeln!(json, "      \"rejected\": {},", s.rejected);
+    let _ = writeln!(json, "      \"shed\": {},", s.shed);
+    let _ = writeln!(json, "      \"throughput_rps\": {:.1},", o.ok as f64 / o.wall_secs.max(1e-12));
+    let _ = writeln!(json, "      \"mean_batch_size\": {:.3},", s.mean_batch_size);
+    let _ = writeln!(json, "      \"latency_ns\": {{");
+    let _ = writeln!(json, "        \"p50\": {},", l.p50_ns);
+    let _ = writeln!(json, "        \"p95\": {},", l.p95_ns);
+    let _ = writeln!(json, "        \"p99\": {},", l.p99_ns);
+    let _ = writeln!(json, "        \"mean\": {:.1},", l.mean_ns);
+    let _ = writeln!(json, "        \"max\": {}", l.max_ns);
+    let _ = writeln!(json, "      }}");
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
+/// Entry point for `lr-bench serve [--out PATH] [--quick]`.
+pub fn run(args: &[String]) {
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // Mixed two-model workload: emulation readout at one geometry,
+    // deployed readout at another.
+    let (na, nb, depth, threads, per_thread) =
+        if quick { (32, 48, 2, 2, 60) } else { (64, 96, 3, 4, 150) };
+    let model_a = donn(na, depth, 5);
+    let model_b = donn(nb, depth, 6);
+
+    // Calibrate capacity from the direct single-worker inference cost of
+    // the 70/30 mix so offered rates mean the same thing on any machine.
+    let mut ws_a = model_a.make_workspace();
+    let mut ws_b = model_b.make_workspace();
+    let mut logits = Vec::new();
+    let input_a = make_input(na, 0);
+    let input_b = make_input(nb, 0);
+    model_a.infer_into(&input_a, &mut ws_a, &mut logits); // warm plans
+    model_b.infer_into(&input_b, &mut ws_b, &mut logits);
+    let t0 = Instant::now();
+    let calib_rounds = if quick { 10 } else { 20 };
+    for _ in 0..calib_rounds {
+        for _ in 0..7 {
+            model_a.infer_into(&input_a, &mut ws_a, &mut logits);
+        }
+        for _ in 0..3 {
+            model_b.infer_into(&input_b, &mut ws_b, &mut logits);
+        }
+    }
+    let mixed_cost = t0.elapsed().as_secs_f64() / (calib_rounds as f64 * 10.0);
+    let capacity_rps = 1.0 / mixed_cost.max(1e-9);
+
+    let steady = run_scenario(
+        BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 128,
+            admission: AdmissionPolicy::RejectNew,
+            ..BatchPolicy::default()
+        },
+        0.5 * capacity_rps,
+        threads,
+        per_thread,
+        42,
+        &model_a,
+        &model_b,
+    );
+    // Overload needs more concurrent clients than the batcher + queue can
+    // absorb (threads > max_batch + queue_cap), otherwise blocking clients
+    // self-throttle below the cap and nothing is ever shed.
+    let overload_threads = threads * 4;
+    let overload = run_scenario(
+        BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 2,
+            admission: AdmissionPolicy::ShedOldest,
+            ..BatchPolicy::default()
+        },
+        4.0 * capacity_rps,
+        overload_threads,
+        per_thread.div_ceil(4),
+        43,
+        &model_a,
+        &model_b,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"lr-bench serve\",");
+    let _ = writeln!(json, "  \"threads\": {},", parallel::threads());
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(json, "  \"workload\": \"{na}x{na}@emulated (70%) + {nb}x{nb}@deployed (30%), depth {depth}\",");
+    let _ = writeln!(json, "  \"load_threads\": {threads},");
+    let _ = writeln!(json, "  \"requests_per_thread\": {per_thread},");
+    let _ = writeln!(json, "  \"calibrated_capacity_rps\": {capacity_rps:.1},");
+    json.push_str("  \"scenarios\": {\n");
+    write_scenario(&mut json, "steady_mixed", &steady, false);
+    write_scenario(&mut json, "overload_shed", &overload, true);
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -19,7 +19,7 @@ use crate::model::{DonnModel, Layer};
 use crate::train::LabeledImage;
 use lr_hardware::{CameraModel, CrosstalkModel, FabricationVariation, SlmModel};
 use lr_nn::metrics::argmax;
-use lr_optics::FreeSpace;
+use lr_optics::{FreeSpace, PropagationScratch};
 use lr_tensor::{parallel, Complex64, Field};
 
 /// Fabrication export for one diffractive layer.
@@ -146,6 +146,38 @@ enum PhysicalStage {
     Nonlinear(crate::layers::nonlinear::SaturableAbsorber),
 }
 
+/// Reusable per-thread buffers for deployed (all-optical emulated)
+/// inference: the running wavefield, FFT scratch, and the intensity/camera
+/// staging buffers. Build one per `(thread, deployed model)` via
+/// [`PhysicalDonn::make_workspace`]; the capture path then performs zero
+/// heap allocations in steady state — this is what lets serving registries
+/// serve `HardwareEnvironment`-emulated variants at the same cost contract
+/// as emulation-mode models.
+#[derive(Debug, Clone)]
+pub struct PhysicalWorkspace {
+    u: Field,
+    scratch: PropagationScratch,
+    intensity: Vec<f64>,
+    captured: Vec<f64>,
+}
+
+impl PhysicalWorkspace {
+    /// Builds a workspace for a `rows × cols` detector plane.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        PhysicalWorkspace {
+            u: Field::zeros(rows, cols),
+            scratch: PropagationScratch::new(rows, cols),
+            intensity: Vec::with_capacity(rows * cols),
+            captured: Vec::with_capacity(rows * cols),
+        }
+    }
+
+    /// Plane shape this workspace serves.
+    pub fn shape(&self) -> (usize, usize) {
+        self.u.shape()
+    }
+}
+
 impl PhysicalDonn {
     /// Realizes `model` on `env` hardware.
     pub fn deploy(model: &DonnModel, env: &HardwareEnvironment) -> Self {
@@ -201,36 +233,99 @@ impl PhysicalDonn {
         }
     }
 
+    /// The detector-plane shape of this deployed system.
+    pub fn shape(&self) -> (usize, usize) {
+        self.detector.shape()
+    }
+
+    /// Number of readout classes.
+    pub fn num_classes(&self) -> usize {
+        self.detector.num_classes()
+    }
+
+    /// Allocates a [`PhysicalWorkspace`] sized for this system's plane.
+    pub fn make_workspace(&self) -> PhysicalWorkspace {
+        let (rows, cols) = self.detector.shape();
+        PhysicalWorkspace::new(rows, cols)
+    }
+
     /// All-optical inference: returns the class logits measured from the
     /// camera capture.
     pub fn infer(&self, input: &Field) -> Vec<f64> {
-        let captured = self.capture(input, 0);
-        self.detector.read_intensity(&captured)
+        let mut ws = self.make_workspace();
+        let mut logits = Vec::with_capacity(self.detector.num_classes());
+        self.infer_with(input, &mut ws, &mut logits);
+        logits
+    }
+
+    /// [`PhysicalDonn::infer`] through a caller-owned workspace and output
+    /// buffer — **zero heap allocations** in steady state (the deployed
+    /// serving hot path, verified by the serve counting-allocator test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `ws` does not match the system's plane.
+    pub fn infer_with(&self, input: &Field, ws: &mut PhysicalWorkspace, logits: &mut Vec<f64>) {
+        self.capture_with(input, 0, ws);
+        self.detector.read_intensity_into(&ws.captured, logits);
     }
 
     /// The camera image of the detector plane for a given input —
     /// LightRidge's Fig. 6 "experimental measurement".
     pub fn capture(&self, input: &Field, shot: u64) -> Vec<f64> {
-        let mut u = input.clone();
+        let mut ws = self.make_workspace();
+        self.capture_with(input, shot, &mut ws);
+        ws.captured
+    }
+
+    /// [`PhysicalDonn::capture`] through a caller-owned workspace; the
+    /// captured image is left in the workspace's staging buffer
+    /// (allocation-free in steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `ws` does not match the system's plane.
+    fn capture_with(&self, input: &Field, shot: u64, ws: &mut PhysicalWorkspace) {
+        assert_eq!(input.shape(), self.detector.shape(), "input/plane shape mismatch");
+        assert_eq!(ws.shape(), self.detector.shape(), "workspace/plane shape mismatch");
+        ws.u.copy_from(input);
         for stage in &self.stages {
             match stage {
                 PhysicalStage::Modulated { propagator, modulation } => {
-                    propagator.propagate(&mut u);
-                    u.hadamard_assign(modulation);
+                    propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+                    ws.u.hadamard_assign(modulation);
                 }
-                PhysicalStage::Nonlinear(sa) => {
-                    let (out, _) = sa.forward(&u);
-                    u = out;
-                }
+                PhysicalStage::Nonlinear(sa) => sa.infer_inplace(&mut ws.u),
             }
         }
-        self.final_propagator.propagate(&mut u);
-        let intensity = u.intensity();
+        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        ws.u.intensity_into(&mut ws.intensity);
         // Normalize into the camera's dynamic range before capture.
-        let max = intensity.iter().cloned().fold(0.0, f64::max).max(1e-30);
-        let scaled: Vec<f64> = intensity.iter().map(|&i| i / max).collect();
-        let captured = self.camera.capture(&scaled, self.capture_seed.wrapping_add(shot));
-        captured.into_iter().map(|c| c * max).collect()
+        let max = ws.intensity.iter().cloned().fold(0.0, f64::max).max(1e-30);
+        for i in ws.intensity.iter_mut() {
+            *i /= max;
+        }
+        self.camera
+            .capture_into(&ws.intensity, self.capture_seed.wrapping_add(shot), &mut ws.captured);
+        for c in ws.captured.iter_mut() {
+            *c *= max;
+        }
+    }
+
+    /// Warms every global cache and this thread's scratch for the deployed
+    /// stack (FFT plans, transfer kernels) by running one dummy capture.
+    /// Registries call this at registration time; never on a hot path.
+    pub fn prewarm(&self) {
+        for stage in &self.stages {
+            if let PhysicalStage::Modulated { propagator, .. } = stage {
+                propagator.prewarm();
+            }
+        }
+        self.final_propagator.prewarm();
+        let (rows, cols) = self.detector.shape();
+        let mut ws = self.make_workspace();
+        let mut logits = Vec::with_capacity(self.detector.num_classes());
+        self.infer_with(&Field::ones(rows, cols), &mut ws, &mut logits);
     }
 
     /// Classification accuracy of the deployed system.

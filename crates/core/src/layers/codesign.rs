@@ -241,15 +241,53 @@ impl CodesignLayer {
         self.modulate_with_cache(u, mode, seed)
     }
 
+    /// [`CodesignLayer::forward_through`] reusing a caller-owned cache —
+    /// the trace-ring fast path: once the cache buffers are sized for this
+    /// layer, the pass performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn forward_into(
+        &self,
+        u: &mut Field,
+        mode: CodesignMode,
+        seed: u64,
+        scratch: &mut PropagationScratch,
+        cache: &mut CodesignCache,
+    ) {
+        assert_eq!(u.shape(), self.grid().shape(), "input/grid shape mismatch");
+        self.propagator.propagate_with(u, scratch);
+        self.modulate_into(u, mode, seed, cache);
+    }
+
     /// Computes the per-pixel modulation for `mode`, applies it to the
     /// already-propagated `u` in place, and returns the activation cache.
     fn modulate_with_cache(&self, u: &mut Field, mode: CodesignMode, seed: u64) -> CodesignCache {
-        let propagated = u.clone();
+        let mut cache = CodesignCache {
+            propagated: Field::zeros(u.rows(), u.cols()),
+            weights: Vec::new(),
+            modulation: Vec::new(),
+        };
+        self.modulate_into(u, mode, seed, &mut cache);
+        cache
+    }
+
+    /// [`CodesignLayer::modulate_with_cache`] writing into a reusable cache.
+    fn modulate_into(&self, u: &mut Field, mode: CodesignMode, seed: u64, cache: &mut CodesignCache) {
+        if cache.propagated.shape() != u.shape() {
+            cache.propagated = Field::zeros(u.rows(), u.cols());
+        }
+        cache.propagated.copy_from(u);
 
         let levels = self.device.num_levels();
         let pixels = self.num_pixels();
-        let mut weights = vec![0.0; pixels * levels];
-        let mut modulation = vec![Complex64::ZERO; pixels];
+        cache.weights.clear();
+        cache.weights.resize(pixels * levels, 0.0);
+        cache.modulation.clear();
+        cache.modulation.resize(pixels, Complex64::ZERO);
+        let weights = &mut cache.weights;
+        let modulation = &mut cache.modulation;
         let mut rng = StdRng::seed_from_u64(seed);
         let inv_tau = 1.0 / self.temperature;
 
@@ -296,10 +334,9 @@ impl CodesignLayer {
             modulation[p] = m * self.gamma;
         }
 
-        for (z, &m) in u.as_mut_slice().iter_mut().zip(&modulation) {
+        for (z, &m) in u.as_mut_slice().iter_mut().zip(modulation.iter()) {
             *z *= m;
         }
-        CodesignCache { propagated, weights, modulation }
     }
 
     /// In-place inference step through caller-owned scratch: diffract, then

@@ -177,19 +177,29 @@ impl Detector {
     ///
     /// Panics if `intensity.len() != rows*cols`.
     pub fn read_intensity(&self, intensity: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.regions.len());
+        self.read_intensity_into(intensity, &mut out);
+        out
+    }
+
+    /// [`Detector::read_intensity`] into a caller-owned buffer —
+    /// allocation-free once `out` has warmed up to `num_classes` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity.len() != rows*cols`.
+    pub fn read_intensity_into(&self, intensity: &[f64], out: &mut Vec<f64>) {
         assert_eq!(intensity.len(), self.rows * self.cols, "intensity buffer length mismatch");
-        self.regions
-            .iter()
-            .map(|reg| {
-                let mut sum = 0.0;
-                for r in reg.row..reg.row + reg.height {
-                    for c in reg.col..reg.col + reg.width {
-                        sum += intensity[r * self.cols + c];
-                    }
+        out.clear();
+        out.extend(self.regions.iter().map(|reg| {
+            let mut sum = 0.0;
+            for r in reg.row..reg.row + reg.height {
+                for c in reg.col..reg.col + reg.width {
+                    sum += intensity[r * self.cols + c];
                 }
-                sum
-            })
-            .collect()
+            }
+            sum
+        }));
     }
 
     /// Backward pass: expands per-class gradients `dL/dI_k` into the field

@@ -198,6 +198,9 @@ impl DiffractiveLayer {
         scratch: &mut PropagationScratch,
     ) {
         self.propagator.propagate_with(u, scratch);
+        if cache.propagated.shape() != u.shape() {
+            *cache = DiffractiveCache::zeros(u.rows(), u.cols());
+        }
         cache.propagated.copy_from(u);
         self.modulate_inplace(u);
         cache.output.copy_from(u);

@@ -108,6 +108,16 @@ impl SaturableAbsorber {
         cache
     }
 
+    /// [`SaturableAbsorber::forward_through`] reusing a caller-owned cache
+    /// (allocation-free once the cache field matches `u`'s shape).
+    pub fn forward_into(&self, u: &mut Field, cache: &mut NonlinearCache) {
+        if cache.input.shape() != u.shape() {
+            cache.input = Field::zeros(u.rows(), u.cols());
+        }
+        cache.input.copy_from(u);
+        self.infer_inplace(u);
+    }
+
     /// Backward pass: returns `∂L/∂(input)̄` from `∂L/∂(output)̄`.
     ///
     /// # Panics

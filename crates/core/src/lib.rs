@@ -77,5 +77,6 @@ pub use layers::nonlinear::{NonlinearCache, SaturableAbsorber};
 pub use ensemble::DonnEnsemble;
 pub use model::{DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, PropagationWorkspace, Trace};
 pub use multichannel::MultiChannelDonn;
+pub use train::TraceRing;
 pub use multitask::{MultiTaskDonn, MultiTaskImage};
 pub use segmentation::{SegmentationDonn, SegmentationOptions};

@@ -364,6 +364,76 @@ impl DonnModel {
         Trace { caches, detector_field: ws.u.clone(), logits }
     }
 
+    /// [`DonnModel::forward_trace_with`] through a caller-owned, reusable
+    /// [`Trace`]: per-layer activation caches, the detector field, and the
+    /// logits buffer are all overwritten in place instead of freshly
+    /// allocated. Once `trace` has been shaped by a prior pass over this
+    /// model, the whole forward trace performs **zero heap allocations**
+    /// for diffractive/nonlinear stacks (codesign layers reuse their
+    /// weight/modulation buffers too). Combined with
+    /// [`DonnModel::backward_with`] this extends the zero-allocation
+    /// workspace contract to the full training step (see the
+    /// [`crate::train::TraceRing`] per-worker ring and `tests/zero_alloc.rs`).
+    ///
+    /// A `trace` produced by a different model (or a previous shape) is
+    /// reshaped on the fly, allocating once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the grid.
+    pub fn forward_trace_into(
+        &self,
+        input: &Field,
+        mode: CodesignMode,
+        seed: u64,
+        ws: &mut PropagationWorkspace,
+        trace: &mut Trace,
+    ) {
+        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        ws.u.copy_from(input);
+        trace.caches.truncate(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let layer_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
+            // Reuse the cache slot in place when its kind matches the
+            // layer; replace it (allocating once) otherwise.
+            match (layer, trace.caches.get_mut(i)) {
+                (Layer::Diffractive(l), Some(LayerCache::Diffractive(c))) => {
+                    l.forward_into(&mut ws.u, c, &mut ws.scratch);
+                }
+                (Layer::Codesign(l), Some(LayerCache::Codesign(c))) => {
+                    l.forward_into(&mut ws.u, mode, layer_seed, &mut ws.scratch, c);
+                }
+                (Layer::Nonlinear(l), Some(LayerCache::Nonlinear(c))) => {
+                    l.forward_into(&mut ws.u, c);
+                }
+                (layer, slot) => {
+                    let fresh = match layer {
+                        Layer::Diffractive(l) => {
+                            LayerCache::Diffractive(l.forward_through(&mut ws.u, &mut ws.scratch))
+                        }
+                        Layer::Codesign(l) => LayerCache::Codesign(l.forward_through(
+                            &mut ws.u,
+                            mode,
+                            layer_seed,
+                            &mut ws.scratch,
+                        )),
+                        Layer::Nonlinear(l) => LayerCache::Nonlinear(l.forward_through(&mut ws.u)),
+                    };
+                    match slot {
+                        Some(slot) => *slot = fresh,
+                        None => trace.caches.push(fresh),
+                    }
+                }
+            }
+        }
+        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        if trace.detector_field.shape() != ws.u.shape() {
+            trace.detector_field = Field::zeros(ws.u.rows(), ws.u.cols());
+        }
+        trace.detector_field.copy_from(&ws.u);
+        self.detector.read_into(&ws.u, &mut trace.logits);
+    }
+
     /// Inference logits through a caller-owned workspace and output buffer:
     /// **zero heap allocations** in steady state (the paper's emulation hot
     /// path). Codesign layers use their noise-free states per `mode`.
@@ -395,6 +465,51 @@ impl DonnModel {
     /// Emulation-mode [`DonnModel::infer_mode_into`] (soft codesign states).
     pub fn infer_into(&self, input: &Field, ws: &mut PropagationWorkspace, logits: &mut Vec<f64>) {
         self.infer_mode_into(input, CodesignMode::Soft, ws, logits);
+    }
+
+    /// Batched [`DonnModel::infer_mode_into`] over a slice of requests: one
+    /// workspace serves every input in order, writing each logit vector
+    /// into the matching output slot. This is the registry-facing serving
+    /// primitive — a micro-batcher hands each worker a contiguous run of
+    /// requests and the worker's workspace amortizes across them with zero
+    /// steady-state allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `outputs` lengths differ, any input shape
+    /// mismatches the grid, or `mode` is [`CodesignMode::Train`].
+    pub fn infer_batch_into(
+        &self,
+        inputs: &[&Field],
+        mode: CodesignMode,
+        ws: &mut PropagationWorkspace,
+        outputs: &mut [Vec<f64>],
+    ) {
+        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+        for (input, out) in inputs.iter().zip(outputs.iter_mut()) {
+            self.infer_mode_into(input, mode, ws, out);
+        }
+    }
+
+    /// Forces every lazily-built piece of this model's inference fast path
+    /// into the global and per-thread caches: FFT plans and diffraction
+    /// transfer kernels for every hop, plus one dummy end-to-end inference
+    /// to size scratch. Serving registries call this at registration time
+    /// so the first real request pays no plan-construction latency; it
+    /// allocates, so never call it from a hot path.
+    pub fn prewarm(&self) {
+        for layer in &self.layers {
+            match layer {
+                Layer::Diffractive(l) => l.propagator().prewarm(),
+                Layer::Codesign(l) => l.propagator().prewarm(),
+                Layer::Nonlinear(_) => {}
+            }
+        }
+        self.final_propagator.prewarm();
+        let (rows, cols) = self.grid.shape();
+        let mut ws = self.make_workspace();
+        let mut logits = Vec::with_capacity(self.num_classes());
+        self.infer_into(&Field::ones(rows, cols), &mut ws, &mut logits);
     }
 
     /// Inference: emulation-mode logits (soft codesign states, no noise).

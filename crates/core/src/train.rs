@@ -11,8 +11,8 @@
 //! shard accumulating private gradient buffers that are merged afterwards.
 
 use crate::layers::codesign::CodesignMode;
-use crate::model::{DonnModel, ModelGrads};
-use lr_nn::loss::{one_hot, softmax_mse};
+use crate::model::{DonnModel, ModelGrads, PropagationWorkspace, Trace};
+use lr_nn::loss::{one_hot_into, softmax_mse_into};
 use lr_nn::metrics::{argmax, Accuracy};
 use lr_nn::{Adam, Optimizer};
 use lr_tensor::{parallel, Field};
@@ -55,6 +55,75 @@ impl Default for TrainConfig {
             final_temperature: 0.2,
             seed: 7,
             verbose: false,
+        }
+    }
+}
+
+/// A per-worker ring of reusable forward [`Trace`]s.
+///
+/// The forward pass of one sample produces a `Trace` whose per-layer
+/// activation caches used to be freshly allocated every sample — the last
+/// allocating piece of the training step after PR 1's workspace split. A
+/// `TraceRing` keeps `capacity` traces alive and cycles through them:
+/// [`TraceRing::forward`] overwrites the oldest slot in place via
+/// [`DonnModel::forward_trace_into`], so in steady state the forward trace
+/// (and, with [`DonnModel::backward_with`], the whole training step for
+/// diffractive stacks) performs **zero heap allocations** — enforced by
+/// `tests/zero_alloc.rs`.
+///
+/// Each shard/worker owns one ring, mirroring the workspace-reuse contract:
+/// rings are never shared across threads. The training loop uses capacity
+/// 1 (forward and backward alternate strictly, so one live trace
+/// suffices); capacity > 1 is for callers that interleave models or
+/// shapes — the ring then keeps one slot shaped per stream instead of
+/// reshaping (reallocating) a single slot on every switch.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    slots: Vec<Trace>,
+    capacity: usize,
+    next: usize,
+}
+
+impl TraceRing {
+    /// Creates an empty ring that will hold up to `capacity` traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        TraceRing { slots: Vec::with_capacity(capacity), capacity, next: 0 }
+    }
+
+    /// Number of trace slots currently materialized.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no trace has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs a forward pass through the next ring slot, reusing its buffers
+    /// in place (allocating only while the ring is still filling up), and
+    /// returns the completed trace.
+    pub fn forward<'a>(
+        &'a mut self,
+        model: &DonnModel,
+        input: &Field,
+        mode: CodesignMode,
+        seed: u64,
+        ws: &mut PropagationWorkspace,
+    ) -> &'a Trace {
+        if self.slots.len() < self.capacity {
+            self.slots.push(model.forward_trace_with(input, mode, seed, ws));
+            self.slots.last().expect("just pushed")
+        } else {
+            let i = self.next;
+            self.next = (self.next + 1) % self.capacity;
+            model.forward_trace_into(input, mode, seed, ws, &mut self.slots[i]);
+            &self.slots[i]
         }
     }
 }
@@ -155,27 +224,33 @@ fn batch_gradients(
     let (rows, cols) = model.grid().shape();
 
     let shards = parallel::par_map(workers, |w| {
-        // One workspace per shard: every sample in the shard reuses the
-        // same wavefield/gradient/FFT scratch buffers.
+        // One workspace, trace ring, and set of small buffers per shard:
+        // every sample in the shard reuses the same wavefield/gradient/FFT
+        // scratch, activation caches, and loss buffers — the steady-state
+        // training step allocates nothing (see tests/zero_alloc.rs).
         let mut ws = model.make_workspace();
+        let mut ring = TraceRing::new(1);
+        let mut input = Field::zeros(rows, cols);
+        let mut target = Vec::with_capacity(classes);
+        let mut logit_grads = Vec::with_capacity(classes);
         let mut grads = ModelGrads::zeros_like(model);
         let mut loss_sum = 0.0;
         let mut correct = 0usize;
         for &idx in batch.iter().skip(w * shard_size).take(shard_size) {
             let (img, label) = &data[idx];
-            let input = Field::from_amplitudes(rows, cols, img);
+            input.set_amplitudes(img);
             let seed = epoch
                 .wrapping_mul(1_000_003)
                 .wrapping_add(batch_idx.wrapping_mul(4099))
                 .wrapping_add(idx as u64);
-            let trace = model.forward_trace_with(&input, CodesignMode::Train, seed, &mut ws);
-            let target = one_hot(*label, classes);
-            let (loss, logit_grads) = softmax_mse(&trace.logits, &target);
+            let trace = ring.forward(model, &input, CodesignMode::Train, seed, &mut ws);
+            one_hot_into(*label, classes, &mut target);
+            let loss = softmax_mse_into(&trace.logits, &target, &mut logit_grads);
             loss_sum += loss;
             if argmax(&trace.logits) == *label {
                 correct += 1;
             }
-            model.backward_with(&trace, &logit_grads, &mut grads, &mut ws);
+            model.backward_with(trace, &logit_grads, &mut grads, &mut ws);
         }
         (grads, loss_sum, correct)
     });

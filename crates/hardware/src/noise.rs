@@ -142,26 +142,33 @@ impl CameraModel {
     /// Captures an intensity pattern, applying noise, clipping, and ADC
     /// quantization. Deterministic per (`pattern`, `seed`).
     pub fn capture(&self, intensity: &[f64], seed: u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(intensity.len());
+        self.capture_into(intensity, seed, &mut out);
+        out
+    }
+
+    /// [`CameraModel::capture`] into a caller-owned buffer — allocation-free
+    /// once `out`'s capacity covers the pattern, which is what keeps the
+    /// deployed-model serving path zero-allocation in steady state.
+    pub fn capture_into(&self, intensity: &[f64], seed: u64, out: &mut Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let steps = (1u64 << self.bit_depth) as f64;
-        intensity
-            .iter()
-            .map(|&i| {
-                let mut v = i.max(0.0);
-                if self.shot_noise_scale > 0.0 {
-                    v += gaussian(&mut rng) * self.shot_noise_scale * v.sqrt();
-                }
-                if self.read_noise > 0.0 {
-                    v += gaussian(&mut rng) * self.read_noise;
-                }
-                v = v.clamp(0.0, self.saturation);
-                if self.saturation.is_finite() {
-                    // Quantize to the ADC grid.
-                    v = (v / self.saturation * steps).round() / steps * self.saturation;
-                }
-                v
-            })
-            .collect()
+        out.clear();
+        out.extend(intensity.iter().map(|&i| {
+            let mut v = i.max(0.0);
+            if self.shot_noise_scale > 0.0 {
+                v += gaussian(&mut rng) * self.shot_noise_scale * v.sqrt();
+            }
+            if self.read_noise > 0.0 {
+                v += gaussian(&mut rng) * self.read_noise;
+            }
+            v = v.clamp(0.0, self.saturation);
+            if self.saturation.is_finite() {
+                // Quantize to the ADC grid.
+                v = (v / self.saturation * steps).round() / steps * self.saturation;
+            }
+            v
+        }));
     }
 }
 

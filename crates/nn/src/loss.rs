@@ -31,18 +31,41 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 /// assert_eq!(grad.len(), 3);
 /// ```
 pub fn softmax_mse(logits: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    let mut grad = Vec::with_capacity(logits.len());
+    let loss = softmax_mse_into(logits, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_mse`] writing the gradient into a caller-owned buffer:
+/// allocation-free once `grad`'s capacity covers the class count (the
+/// batched-training and serving hot paths).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn softmax_mse_into(logits: &[f64], target: &[f64], grad: &mut Vec<f64>) -> f64 {
     assert_eq!(logits.len(), target.len(), "logits/target length mismatch");
-    let s = softmax(logits);
-    let loss: f64 = s.iter().zip(target).map(|(&si, &ti)| (si - ti).powi(2)).sum();
+    // Stable softmax computed in place in the gradient buffer.
+    grad.clear();
+    grad.extend_from_slice(logits);
+    let max = grad.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for g in grad.iter_mut() {
+        *g = (*g - max).exp();
+        sum += *g;
+    }
+    for g in grad.iter_mut() {
+        *g /= sum;
+    }
+    let loss: f64 = grad.iter().zip(target).map(|(&si, &ti)| (si - ti).powi(2)).sum();
     // dL/ds_i = 2(s_i - t_i); ds_i/dI_k = s_i(δ_ik - s_k)
     // dL/dI_k = 2·s_k·[ (s_k - t_k) - Σ_i (s_i - t_i)·s_i ]
-    let dot: f64 = s.iter().zip(target).map(|(&si, &ti)| (si - ti) * si).sum();
-    let grad = s
-        .iter()
-        .zip(target)
-        .map(|(&sk, &tk)| 2.0 * sk * ((sk - tk) - dot))
-        .collect();
-    (loss, grad)
+    let dot: f64 = grad.iter().zip(target).map(|(&si, &ti)| (si - ti) * si).sum();
+    for (g, &tk) in grad.iter_mut().zip(target) {
+        let sk = *g;
+        *g = 2.0 * sk * ((sk - tk) - dot);
+    }
+    loss
 }
 
 /// Softmax cross-entropy `L = −Σ t·log s` and its gradient `s − t`.
@@ -83,10 +106,22 @@ pub fn mse(values: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
 ///
 /// Panics if `class >= num_classes`.
 pub fn one_hot(class: usize, num_classes: usize) -> Vec<f64> {
-    assert!(class < num_classes, "class index out of range");
-    let mut v = vec![0.0; num_classes];
-    v[class] = 1.0;
+    let mut v = Vec::with_capacity(num_classes);
+    one_hot_into(class, num_classes, &mut v);
     v
+}
+
+/// [`one_hot`] writing into a caller-owned buffer (allocation-free once the
+/// buffer's capacity covers `num_classes`).
+///
+/// # Panics
+///
+/// Panics if `class >= num_classes`.
+pub fn one_hot_into(class: usize, num_classes: usize, out: &mut Vec<f64>) {
+    assert!(class < num_classes, "class index out of range");
+    out.clear();
+    out.resize(num_classes, 0.0);
+    out[class] = 1.0;
 }
 
 #[cfg(test)]

@@ -523,6 +523,24 @@ impl FreeSpace {
         }
     }
 
+    /// Forces every lazily-materialized piece of this propagator's fast
+    /// path into the process-global and per-thread caches: the per-axis FFT
+    /// plans, the spectral transfer function (both already built at
+    /// construction and shared via the global caches), and — by running one
+    /// dummy propagate/adjoint round trip — the calling thread's
+    /// thread-local FFT scratch for this shape.
+    ///
+    /// Serving registries call this at model-registration time so that the
+    /// first real request pays no plan-construction or scratch-sizing
+    /// latency ("flat first-request latency"). The dummy round trip
+    /// allocates; call it from setup code, never from a hot path.
+    pub fn prewarm(&self) {
+        let mut probe = Field::ones(self.grid.rows(), self.grid.cols());
+        let mut scratch = self.make_scratch();
+        self.propagate_with(&mut probe, &mut scratch);
+        self.adjoint_with(&mut probe, &mut scratch);
+    }
+
     /// Fresnel-validity diagnostic: the ratio `z³ / (π/(4λ)·r⁴_max)` from
     /// the paper's stated condition `z³ ≫ π/(4λ)·[(x−ξ)²+(y−η)²]²_max`.
     /// Values ≫ 1 mean Fresnel is safe.

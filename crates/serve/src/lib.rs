@@ -1,0 +1,103 @@
+//! # lr-serve
+//!
+//! Batched inference **serving runtime** for trained DONNs: the subsystem
+//! that turns the zero-copy propagation pipeline into sustained request
+//! throughput. Where `lightridge::train`/`infer` run inference inside
+//! experiment loops, `lr-serve` accepts a stream of *independent* requests
+//! — as a production deployment front-end would — and coalesces them into
+//! micro-batches executed on the persistent worker pool.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients (any thread)                     serving runtime (one process)
+//!  ┌──────────────────┐  submit   ┌─────────────────────────────────────┐
+//!  │ InProcessClient  │──────────▶│  bounded request queue              │
+//!  │  (Transport)     │           │  · admission control                │
+//!  │  reusable slot:  │           │  · reject-new / shed-oldest         │
+//!  │  input + logits  │◀───wake───│  · per-model in-flight caps         │
+//!  └──────────────────┘           └──────────────┬──────────────────────┘
+//!        ▲                            drain ≤ max_batch within max_delay
+//!        │ bit-identical                         │
+//!        │ to direct infer          ┌────────────▼──────────────────────┐
+//!        │                          │  dynamic micro-batcher            │
+//!        │                          │  (long-lived dispatcher thread)   │
+//!        │                          │  shards the batch across worker   │
+//!        │                          │  contexts via lr_tensor::parallel │
+//!        │                          └────────────┬──────────────────────┘
+//!        │                                       │ per-worker, per-model
+//!        │                                       │ workspaces (zero-alloc)
+//!        │                          ┌────────────▼──────────────────────┐
+//!        │                          │  ModelRegistry                    │
+//!        └──────────────────────────│  versioned names → variants:      │
+//!                                   │  · emulation readout (soft)       │
+//!                                   │  · deployed readout (hard/argmax) │
+//!                                   │  · physical bench (HW-emulated)   │
+//!                                   │  plans + kernels prewarmed at     │
+//!                                   │  registration                     │
+//!                                   └────────────┬──────────────────────┘
+//!                                                │ latency / throughput
+//!                                   ┌────────────▼──────────────────────┐
+//!                                   │  MetricsCore → ServerStats        │
+//!                                   │  p50 / p95 / p99 histograms       │
+//!                                   └───────────────────────────────────┘
+//! ```
+//!
+//! ## The serving-path contract
+//!
+//! * **Zero steady-state allocations.** Every buffer on the request path is
+//!   preallocated and reused: clients own one request slot (input field +
+//!   logit buffer), workers own per-model
+//!   [`PropagationWorkspace`](lightridge::PropagationWorkspace)s /
+//!   [`PhysicalWorkspace`](lightridge::deploy::PhysicalWorkspace)s, the
+//!   queue is a bounded ring, and the latency histogram is a fixed array of
+//!   atomics. Enforced by the counting-allocator test
+//!   `tests/zero_alloc_serve.rs` at the workspace root.
+//! * **Bit-identical results.** A request served through the registry and
+//!   micro-batcher returns exactly the logits of a direct
+//!   `DonnModel::infer` call — batching, arrival order, and worker
+//!   assignment never change the numbers.
+//! * **Flat first-request latency.** Registration prewarms FFT plans and
+//!   diffraction kernels ([`lr_optics::FreeSpace::prewarm`]); server start
+//!   warms every per-worker workspace with a dummy pass.
+//! * **Bounded memory and graceful overload.** The queue depth is capped;
+//!   past the cap, admission either rejects the new request or sheds the
+//!   oldest queued one ([`AdmissionPolicy`]), and per-model in-flight caps
+//!   stop one hot model from starving the rest.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lightridge::{Detector, DonnBuilder};
+//! use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+//! use lr_serve::{BatchPolicy, ModelRegistry, ReadoutMode, Server, Transport};
+//! use lr_tensor::Field;
+//!
+//! let grid = Grid::square(16, PixelPitch::from_um(36.0));
+//! let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+//!     .distance(Distance::from_mm(20.0))
+//!     .diffractive_layers(2)
+//!     .detector(Detector::grid_layout(16, 16, 4, 3))
+//!     .build();
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.register_emulated("digits", 1, model.clone(), ReadoutMode::Emulation);
+//!
+//! let server = Server::start(registry, BatchPolicy::default());
+//! let id = server.resolve("digits", None).unwrap();
+//! let mut client = server.client();
+//! let mut logits = Vec::new();
+//! client.infer(id, &Field::ones(16, 16), &mut logits).unwrap();
+//! assert_eq!(logits, model.infer(&Field::ones(16, 16)));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod server;
+
+pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats};
+pub use registry::{ModelId, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant};
+pub use server::{AdmissionPolicy, BatchPolicy, InProcessClient, Server, ServeError, Transport};

@@ -1,0 +1,277 @@
+//! Serving metrics: allocation-free recording on the request path, with
+//! quantile summaries computed only at snapshot time.
+//!
+//! The latency histogram is HDR-style: fixed log₂ octaves subdivided into
+//! 8 linear sub-buckets, giving ≤ ~12% relative quantile error across the
+//! full nanosecond-to-minutes range with a constant 512-slot array of
+//! atomics — recording is two shifts, a mask, and one `fetch_add`, and
+//! never allocates (part of the serve-path zero-allocation contract).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sub-buckets per octave (3 bits of mantissa below the leading bit).
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `SUBS` get exact unit buckets.
+const BUCKETS: usize = 512;
+
+/// A fixed-size log-linear latency histogram with atomic buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn index_for(ns: u64) -> usize {
+        if ns < SUBS as u64 {
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros();
+        let sub = ((ns >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        let idx = SUBS + (octave - SUB_BITS) as usize * SUBS + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Representative (midpoint) value of bucket `idx`.
+    fn value_for(idx: usize) -> u64 {
+        if idx < SUBS {
+            return idx as u64;
+        }
+        let rel = idx - SUBS;
+        let octave = (rel / SUBS) as u32 + SUB_BITS;
+        let sub = (rel % SUBS) as u64;
+        let base = 1u64 << octave;
+        let step = base >> SUB_BITS;
+        base + sub * step + step / 2
+    }
+
+    /// Records one latency sample, in nanoseconds. Never allocates.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::index_for(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate latency at quantile `q ∈ [0, 1]`, in nanoseconds
+    /// (0 when nothing has been recorded).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::value_for(idx).min(self.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the distribution.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        LatencySummary {
+            count,
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64
+            },
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time latency distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Median latency (ns, approximate).
+    pub p50_ns: u64,
+    /// 95th-percentile latency (ns, approximate).
+    pub p95_ns: u64,
+    /// 99th-percentile latency (ns, approximate).
+    pub p99_ns: u64,
+    /// Worst observed latency (ns, exact).
+    pub max_ns: u64,
+}
+
+/// Per-model served-request counters in a [`ServerStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Registered model name.
+    pub name: String,
+    /// Registered model version.
+    pub version: u32,
+    /// Requests completed for this model.
+    pub completed: u64,
+}
+
+/// Point-in-time snapshot of the serving runtime's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused at admission (queue full under
+    /// [`crate::AdmissionPolicy::RejectNew`], or a per-model cap).
+    pub rejected: u64,
+    /// Queued requests dropped to make room
+    /// ([`crate::AdmissionPolicy::ShedOldest`]).
+    pub shed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean requests per executed micro-batch.
+    pub mean_batch_size: f64,
+    /// Completed requests per second of uptime.
+    pub throughput_rps: f64,
+    /// End-to-end (enqueue → response ready) latency distribution.
+    pub latency: LatencySummary,
+    /// Per-model completion counters, in registration order.
+    pub per_model: Vec<ModelStats>,
+}
+
+/// Shared counters the serve path records into. All operations on the
+/// request path are single atomic updates.
+#[derive(Debug)]
+pub(crate) struct MetricsCore {
+    started: Instant,
+    pub(crate) latency: LatencyHistogram,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    per_model_completed: Vec<AtomicU64>,
+}
+
+impl MetricsCore {
+    pub(crate) fn new(num_models: usize) -> Self {
+        MetricsCore {
+            started: Instant::now(),
+            latency: LatencyHistogram::new(),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            per_model_completed: (0..num_models).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record_completed(&self, model_idx: usize, latency_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.per_model_completed[model_idx].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_ns);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, names: &[(String, u32)]) -> ServerStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-12);
+        ServerStats {
+            uptime_secs: uptime,
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            throughput_rps: completed as f64 / uptime,
+            latency: self.latency.summary(),
+            per_model: names
+                .iter()
+                .zip(&self.per_model_completed)
+                .map(|((name, version), c)| ModelStats {
+                    name: name.clone(),
+                    version: *version,
+                    completed: c.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let s = h.summary();
+        // p50 near the middle of the uniform run, within HDR error.
+        assert!(s.p50_ns >= 400 && s.p50_ns <= 700, "p50 = {}", s.p50_ns);
+        // p99 lands in the outlier's bucket.
+        assert!(s.p99_ns >= 90_000, "p99 = {}", s.p99_ns);
+        assert_eq!(s.max_ns, 100_000);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        for exact in [37u64, 1_234, 55_555, 9_999_999, 123_456_789_012] {
+            let idx = LatencyHistogram::index_for(exact);
+            let rep = LatencyHistogram::value_for(idx);
+            let err = (rep as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.13, "value {exact}: representative {rep}, err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
+        assert_eq!(s.mean_ns, 0.0);
+    }
+}

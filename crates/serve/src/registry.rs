@@ -1,0 +1,277 @@
+//! Versioned model registry: the serving runtime's source of truth for
+//! what can be inferred.
+//!
+//! A deployment serves several *variants* of one trained stack — the paper
+//! itself evaluates emulation readout, deployed (argmax device state)
+//! readout, and the full hardware-emulated bench — so the registry stores
+//! each under a `name@version` key and an explicit [`ServableVariant`].
+//! Registration **prewarms** every lazily-built piece of the variant's
+//! fast path (FFT plans, diffraction transfer kernels, scratch sizing) so
+//! the first real request pays none of that latency.
+
+use lightridge::deploy::{HardwareEnvironment, PhysicalDonn, PhysicalWorkspace};
+use lightridge::{CodesignMode, DonnModel, PropagationWorkspace};
+use lr_tensor::Field;
+
+/// Opaque handle to one registered model variant; cheap to copy and valid
+/// for the registry (and any [`crate::Server`] built from it) forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+impl ModelId {
+    /// The registry slot index this handle points at.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Which detector-plane readout scheme an emulated variant serves.
+///
+/// Class-specific differential detection (Li et al., 2019) and the paper's
+/// own deployment-gap study both read several schemes off one trained
+/// stack; the registry makes each scheme its own servable entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadoutMode {
+    /// Soft codesign states — the training-time emulation readout.
+    Emulation,
+    /// Hard (argmax) codesign states — the deployable readout.
+    Deployed,
+}
+
+impl ReadoutMode {
+    fn codesign_mode(self) -> CodesignMode {
+        match self {
+            ReadoutMode::Emulation => CodesignMode::Soft,
+            ReadoutMode::Deployed => CodesignMode::Deploy,
+        }
+    }
+}
+
+/// One servable realization of a trained model.
+#[derive(Debug, Clone)]
+pub enum ServableVariant {
+    /// Digital emulation of the stack at a chosen readout.
+    Emulated {
+        /// The trained model.
+        model: DonnModel,
+        /// Noise-free codesign readout mode (Soft or Deploy).
+        mode: CodesignMode,
+    },
+    /// The stack realized on an emulated physical bench
+    /// ([`HardwareEnvironment`]): device quantization, fabrication errors,
+    /// crosstalk, and camera capture included.
+    Physical {
+        /// The deployed system.
+        donn: PhysicalDonn,
+    },
+}
+
+/// Per-worker scratch for one registered variant. Workers own one per
+/// `(worker, model)` pair; the serve path reuses it for every request.
+#[derive(Debug, Clone)]
+pub(crate) enum VariantWorkspace {
+    Emulated(PropagationWorkspace),
+    Physical(PhysicalWorkspace),
+}
+
+/// A model variant registered under a versioned name.
+#[derive(Debug)]
+pub struct RegisteredModel {
+    name: String,
+    version: u32,
+    variant: ServableVariant,
+    shape: (usize, usize),
+    classes: usize,
+}
+
+impl RegisteredModel {
+    /// Registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registered version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The servable variant.
+    pub fn variant(&self) -> &ServableVariant {
+        &self.variant
+    }
+
+    /// Input-plane shape requests must match.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Number of readout classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    pub(crate) fn make_workspace(&self) -> VariantWorkspace {
+        match &self.variant {
+            ServableVariant::Emulated { model, .. } => {
+                VariantWorkspace::Emulated(model.make_workspace())
+            }
+            ServableVariant::Physical { donn } => {
+                VariantWorkspace::Physical(donn.make_workspace())
+            }
+        }
+    }
+
+    /// Runs one inference through the given worker workspace. This is the
+    /// zero-allocation serve path.
+    pub(crate) fn infer_into(
+        &self,
+        input: &Field,
+        ws: &mut VariantWorkspace,
+        logits: &mut Vec<f64>,
+    ) {
+        match (&self.variant, ws) {
+            (ServableVariant::Emulated { model, mode }, VariantWorkspace::Emulated(ws)) => {
+                model.infer_mode_into(input, *mode, ws, logits);
+            }
+            (ServableVariant::Physical { donn }, VariantWorkspace::Physical(ws)) => {
+                donn.infer_with(input, ws, logits);
+            }
+            _ => unreachable!("variant/workspace kind mismatch"),
+        }
+    }
+
+    fn prewarm(&self) {
+        match &self.variant {
+            ServableVariant::Emulated { model, .. } => model.prewarm(),
+            ServableVariant::Physical { donn } => donn.prewarm(),
+        }
+    }
+}
+
+/// Versioned model store. Build one, register every variant a deployment
+/// serves, then hand it to [`crate::Server::start`] (the registry is
+/// frozen once serving begins — an open scaling item in the ROADMAP covers
+/// live re-registration).
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<RegisteredModel>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry { entries: Vec::new() }
+    }
+
+    /// Number of registered variants.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a digital-emulation variant of `model` under
+    /// `name@version` with the given readout scheme, prewarming its fast
+    /// path. Returns the handle requests use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name@version` is already registered.
+    pub fn register_emulated(
+        &mut self,
+        name: &str,
+        version: u32,
+        model: DonnModel,
+        readout: ReadoutMode,
+    ) -> ModelId {
+        let shape = model.grid().shape();
+        let classes = model.num_classes();
+        self.insert(RegisteredModel {
+            name: name.to_string(),
+            version,
+            variant: ServableVariant::Emulated { model, mode: readout.codesign_mode() },
+            shape,
+            classes,
+        })
+    }
+
+    /// Deploys `model` on `env` ([`PhysicalDonn::deploy`]) and registers
+    /// the resulting hardware-emulated bench under `name@version`,
+    /// prewarming its fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name@version` is already registered.
+    pub fn register_physical(
+        &mut self,
+        name: &str,
+        version: u32,
+        model: &DonnModel,
+        env: &HardwareEnvironment,
+    ) -> ModelId {
+        let donn = PhysicalDonn::deploy(model, env);
+        let shape = donn.shape();
+        let classes = donn.num_classes();
+        self.insert(RegisteredModel {
+            name: name.to_string(),
+            version,
+            variant: ServableVariant::Physical { donn },
+            shape,
+            classes,
+        })
+    }
+
+    fn insert(&mut self, entry: RegisteredModel) -> ModelId {
+        assert!(
+            self.resolve(&entry.name, Some(entry.version)).is_none(),
+            "model {}@{} is already registered",
+            entry.name,
+            entry.version
+        );
+        entry.prewarm();
+        let id = ModelId(self.entries.len());
+        self.entries.push(entry);
+        id
+    }
+
+    /// Looks up `name` at a specific `version`, or at the **highest**
+    /// registered version when `version` is `None`.
+    pub fn resolve(&self, name: &str, version: Option<u32>) -> Option<ModelId> {
+        match version {
+            Some(v) => self
+                .entries
+                .iter()
+                .position(|e| e.name == name && e.version == v)
+                .map(ModelId),
+            None => self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.name == name)
+                .max_by_key(|(_, e)| e.version)
+                .map(|(i, _)| ModelId(i)),
+        }
+    }
+
+    /// The entry behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this registry.
+    pub fn entry(&self, id: ModelId) -> &RegisteredModel {
+        &self.entries[id.0]
+    }
+
+    /// Checked lookup of an entry behind a handle.
+    pub fn get(&self, id: ModelId) -> Option<&RegisteredModel> {
+        self.entries.get(id.0)
+    }
+
+    /// Iterates over all registered entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModelId, &RegisteredModel)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ModelId(i), e))
+    }
+}

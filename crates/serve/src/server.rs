@@ -1,0 +1,633 @@
+//! The serving runtime: bounded request queue with admission control, the
+//! dynamic micro-batcher (a long-lived dispatcher thread driving the
+//! persistent worker pool), and the in-process transport.
+//!
+//! ## Request lifecycle
+//!
+//! 1. A client prepares its reusable [`RequestSlot`] (copies the input
+//!    field, stamps the enqueue time) and offers the slot to the queue.
+//! 2. Admission control checks the queue-depth cap and the per-model
+//!    in-flight cap. Past the cap, [`AdmissionPolicy::RejectNew`] errors
+//!    the new request immediately; [`AdmissionPolicy::ShedOldest`] fails
+//!    the oldest queued request and admits the new one.
+//! 3. The dispatcher drains up to `max_batch` requests, waiting at most
+//!    `max_delay` after the first drain to let a batch coalesce, then
+//!    shards the batch across worker contexts via
+//!    [`lr_tensor::parallel::par_chunks_mut`]. Each worker serves its
+//!    shard through per-model reusable workspaces (zero allocations).
+//! 4. The worker writes logits into the slot, records latency, and wakes
+//!    the waiting client.
+//!
+//! Locks are ordered queue → slot; nothing holds a slot lock while taking
+//! the queue lock, so the pair cannot deadlock.
+
+use crate::metrics::{MetricsCore, ServerStats};
+use crate::registry::{ModelId, ModelRegistry, VariantWorkspace};
+use lr_tensor::{parallel, Field};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// What to do with an arriving request when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the new request ([`ServeError::QueueFull`]); queued work is
+    /// never dropped. The right default when clients can retry.
+    #[default]
+    RejectNew,
+    /// Drop the **oldest** queued request (it fails with
+    /// [`ServeError::Shed`]) and admit the new one — freshest-first
+    /// semantics for latency-sensitive front-ends.
+    ShedOldest,
+}
+
+/// Micro-batching and admission configuration.
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Most requests coalesced into one executed batch.
+    pub max_batch: usize,
+    /// How long the dispatcher waits after draining the first request of a
+    /// batch for more arrivals before executing a partial batch.
+    pub max_delay: Duration,
+    /// Queue-depth cap (requests waiting, not yet picked up).
+    pub queue_cap: usize,
+    /// Behavior at the queue cap.
+    pub admission: AdmissionPolicy,
+    /// Per-model cap on in-flight (queued + executing) requests; stops one
+    /// hot model from starving the rest. Admission failures count as
+    /// rejections regardless of [`BatchPolicy::admission`].
+    pub per_model_inflight_cap: usize,
+    /// Worker contexts the batch is sharded over. Defaults to the
+    /// persistent pool width ([`parallel::threads`]).
+    pub workers: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+            queue_cap: 64,
+            admission: AdmissionPolicy::RejectNew,
+            per_model_inflight_cap: 64,
+            workers: parallel::threads(),
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission refused the request: the queue is at capacity under
+    /// [`AdmissionPolicy::RejectNew`].
+    QueueFull,
+    /// Admission refused the request: the target model is at its
+    /// in-flight cap.
+    ModelBusy,
+    /// The request was queued, then dropped to admit newer work
+    /// ([`AdmissionPolicy::ShedOldest`]).
+    Shed,
+    /// The server is shutting (or has shut) down.
+    ShuttingDown,
+    /// The handle does not name a registered model.
+    UnknownModel,
+    /// Inference panicked while serving this request's batch; the request
+    /// was failed rather than silently dropped and the server keeps
+    /// serving.
+    Internal,
+    /// The input plane does not match the model's grid.
+    ShapeMismatch {
+        /// Shape the registered model expects.
+        expected: (usize, usize),
+        /// Shape the request carried.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue at capacity"),
+            ServeError::ModelBusy => write!(f, "model at its in-flight cap"),
+            ServeError::Shed => write!(f, "request shed to admit newer work"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::UnknownModel => write!(f, "unknown model handle"),
+            ServeError::Internal => write!(f, "inference panicked while serving the batch"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "input shape {got:?} does not match model plane {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Where a request slot is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Idle,
+    Queued,
+    Done,
+    Failed(ServeError),
+}
+
+/// Mutable half of a request slot, guarded by the slot mutex.
+#[derive(Debug)]
+struct SlotState {
+    stage: Stage,
+    model: ModelId,
+    input: Field,
+    logits: Vec<f64>,
+    enqueued_at: Instant,
+}
+
+/// One client's reusable request cell: the input/output buffers live here
+/// across requests, which is what keeps the client side of the serve path
+/// allocation-free in steady state.
+#[derive(Debug)]
+struct RequestSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl RequestSlot {
+    fn new() -> Self {
+        RequestSlot {
+            state: Mutex::new(SlotState {
+                stage: Stage::Idle,
+                model: ModelId(0),
+                input: Field::zeros(1, 1),
+                logits: Vec::new(),
+                enqueued_at: Instant::now(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Fails a queued request and wakes its client.
+    fn fail(&self, err: ServeError) {
+        let mut st = self.lock();
+        if st.stage == Stage::Queued {
+            st.stage = Stage::Failed(err);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Queue state guarded by the queue mutex.
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<Arc<RequestSlot>>,
+    /// Queued + executing requests per model (registry order).
+    inflight: Vec<usize>,
+    shutdown: bool,
+}
+
+/// Shared core between the server handle, clients, and the dispatcher.
+struct ServerCore {
+    registry: ModelRegistry,
+    policy: BatchPolicy,
+    queue: Mutex<QueueState>,
+    /// Signals the dispatcher that work (or shutdown) arrived.
+    work_cv: Condvar,
+    metrics: MetricsCore,
+}
+
+impl ServerCore {
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One worker's execution context: a reusable workspace per registered
+/// model, sized and warmed at server start.
+struct WorkerCtx {
+    workspaces: Vec<VariantWorkspace>,
+}
+
+/// Transport-agnostic request front-end. The in-process implementation is
+/// [`InProcessClient`]; a network transport would implement the same trait
+/// on top of a socket and deserialize into its own slot.
+pub trait Transport {
+    /// Submits one inference and blocks until the response is ready,
+    /// writing class logits into `logits`. Allocation-free in steady state
+    /// for the in-process transport.
+    fn infer(&mut self, model: ModelId, input: &Field, logits: &mut Vec<f64>)
+        -> Result<(), ServeError>;
+}
+
+/// The in-process client: one reusable request slot bound to a server.
+/// Create one per client thread via [`Server::client`]; a client is `Send`
+/// but deliberately not shareable (each concurrent caller needs its own
+/// slot).
+pub struct InProcessClient {
+    core: Arc<ServerCore>,
+    slot: Arc<RequestSlot>,
+}
+
+impl Transport for InProcessClient {
+    fn infer(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), ServeError> {
+        let entry = self.core.registry.get(model).ok_or(ServeError::UnknownModel)?;
+        if entry.shape() != input.shape() {
+            return Err(ServeError::ShapeMismatch { expected: entry.shape(), got: input.shape() });
+        }
+        // Stage the request in our slot (slot lock only).
+        {
+            let mut st = self.slot.lock();
+            debug_assert_eq!(st.stage, Stage::Idle, "client reused while a request is in flight");
+            st.model = model;
+            if st.input.shape() != input.shape() {
+                st.input = input.clone();
+            } else {
+                st.input.copy_from(input);
+            }
+            st.enqueued_at = Instant::now();
+            st.stage = Stage::Queued;
+        }
+        // Admission (queue lock only — never while holding the slot lock).
+        let admitted = {
+            let mut q = self.core.lock_queue();
+            if q.shutdown {
+                Err(ServeError::ShuttingDown)
+            } else if q.inflight[model.0] >= self.core.policy.per_model_inflight_cap {
+                Err(ServeError::ModelBusy)
+            } else if q.queue.len() >= self.core.policy.queue_cap {
+                match self.core.policy.admission {
+                    AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
+                    AdmissionPolicy::ShedOldest => {
+                        let victim = q.queue.pop_front().expect("cap > 0 so queue non-empty");
+                        let victim_model = victim.lock().model;
+                        q.inflight[victim_model.0] -= 1;
+                        q.inflight[model.0] += 1;
+                        q.queue.push_back(Arc::clone(&self.slot));
+                        self.core.metrics.record_shed();
+                        // Fail the victim outside the queue lock.
+                        Ok(Some(victim))
+                    }
+                }
+            } else {
+                q.inflight[model.0] += 1;
+                q.queue.push_back(Arc::clone(&self.slot));
+                Ok(None)
+            }
+        };
+        match admitted {
+            Err(e) => {
+                self.slot.lock().stage = Stage::Idle;
+                if e != ServeError::ShuttingDown {
+                    self.core.metrics.record_rejected();
+                }
+                return Err(e);
+            }
+            Ok(victim) => {
+                self.core.work_cv.notify_all();
+                if let Some(victim) = victim {
+                    victim.fail(ServeError::Shed);
+                }
+            }
+        }
+        // Wait for the batcher to fill our slot.
+        let mut st = self.slot.lock();
+        while st.stage == Stage::Queued {
+            st = self
+                .slot
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let outcome = st.stage;
+        st.stage = Stage::Idle;
+        match outcome {
+            Stage::Done => {
+                logits.clear();
+                logits.extend_from_slice(&st.logits);
+                Ok(())
+            }
+            Stage::Failed(e) => Err(e),
+            Stage::Idle | Stage::Queued => unreachable!("wait loop exited in {outcome:?}"),
+        }
+    }
+}
+
+/// The serving runtime handle: owns the dispatcher thread and exposes
+/// clients, statistics, and shutdown.
+pub struct Server {
+    core: Arc<ServerCore>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts serving `registry` under `policy`: spawns the dispatcher
+    /// thread, builds one workspace per `(worker, model)` pair, and warms
+    /// every workspace with a dummy pass so the first real request hits a
+    /// fully warm path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty or the policy has a zero
+    /// `max_batch`, `queue_cap`, or `per_model_inflight_cap`.
+    pub fn start(registry: ModelRegistry, policy: BatchPolicy) -> Server {
+        assert!(!registry.is_empty(), "register at least one model before starting");
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        assert!(policy.queue_cap > 0, "queue_cap must be positive");
+        assert!(policy.per_model_inflight_cap > 0, "per_model_inflight_cap must be positive");
+        let workers = policy.workers.max(1);
+        let num_models = registry.len();
+        let core = Arc::new(ServerCore {
+            metrics: MetricsCore::new(num_models),
+            queue: Mutex::new(QueueState {
+                // One extra slot so shed-oldest can momentarily hold both
+                // the victim and its replacement without growing.
+                queue: VecDeque::with_capacity(policy.queue_cap + 1),
+                inflight: vec![0; num_models],
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            policy,
+            registry,
+        });
+
+        // Build and warm per-worker contexts: every (worker, model)
+        // workspace plus each worker's logits staging runs one dummy
+        // inference so the serve path starts fully allocated.
+        let mut ctxs: Vec<WorkerCtx> = (0..workers)
+            .map(|_| WorkerCtx {
+                workspaces: core.registry.iter().map(|(_, e)| e.make_workspace()).collect(),
+            })
+            .collect();
+        for ctx in &mut ctxs {
+            let mut probe = Vec::new();
+            for (id, entry) in core.registry.iter() {
+                let (rows, cols) = entry.shape();
+                entry.infer_into(&Field::ones(rows, cols), &mut ctx.workspaces[id.0], &mut probe);
+            }
+        }
+
+        let dispatcher_core = Arc::clone(&core);
+        let dispatcher = std::thread::Builder::new()
+            .name("lr-serve-batcher".to_string())
+            .spawn(move || dispatcher_loop(dispatcher_core, ctxs))
+            .expect("failed to spawn the lr-serve dispatcher");
+        Server { core, dispatcher: Some(dispatcher) }
+    }
+
+    /// Resolves a registered model by name (highest version when `version`
+    /// is `None`).
+    pub fn resolve(&self, name: &str, version: Option<u32>) -> Option<ModelId> {
+        self.core.registry.resolve(name, version)
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.core.registry
+    }
+
+    /// Creates a new in-process client with its own reusable request slot.
+    pub fn client(&self) -> InProcessClient {
+        InProcessClient { core: Arc::clone(&self.core), slot: Arc::new(RequestSlot::new()) }
+    }
+
+    /// Snapshot of throughput, latency quantiles, and admission counters.
+    pub fn stats(&self) -> ServerStats {
+        let names: Vec<(String, u32)> = self
+            .core
+            .registry
+            .iter()
+            .map(|(_, e)| (e.name().to_string(), e.version()))
+            .collect();
+        self.core.metrics.snapshot(&names)
+    }
+
+    /// Stops accepting requests, fails everything still queued with
+    /// [`ServeError::ShuttingDown`], and joins the dispatcher.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self.core.lock_queue();
+            q.shutdown = true;
+        }
+        self.core.work_cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        // Normally the dispatcher drained the queue on its way out; if it
+        // died some other way, make sure no client is left hanging.
+        drain_on_shutdown(self.core.lock_queue());
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The micro-batcher: drain → coalesce → execute, forever.
+fn dispatcher_loop(core: Arc<ServerCore>, mut ctxs: Vec<WorkerCtx>) {
+    let max_batch = core.policy.max_batch;
+    let max_delay = core.policy.max_delay;
+    let mut batch: Vec<Arc<RequestSlot>> = Vec::with_capacity(max_batch);
+    loop {
+        // Phase 1: collect a batch (queue lock held only while draining).
+        {
+            let mut q = core.lock_queue();
+            // Sleep until there is work or we are told to stop.
+            loop {
+                if q.shutdown {
+                    drain_on_shutdown(q);
+                    return;
+                }
+                if !q.queue.is_empty() {
+                    break;
+                }
+                q = core
+                    .work_cv
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            // Coalesce: drain what is there, then wait out the rest of the
+            // delay window for stragglers, up to max_batch.
+            let deadline = Instant::now() + max_delay;
+            loop {
+                while batch.len() < max_batch {
+                    match q.queue.pop_front() {
+                        Some(slot) => batch.push(slot),
+                        None => break,
+                    }
+                }
+                if batch.len() >= max_batch || q.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = core
+                    .work_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+                if timeout.timed_out() && q.queue.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: execute, sharding the batch across worker contexts.
+        // (In-flight accounting is retired per request inside serve_one,
+        // *before* the client is woken — a sequential caller must never
+        // see its own just-completed request still counted against the
+        // per-model cap.)
+        //
+        // A panic escaping inference must not kill the dispatcher: blocked
+        // clients would hang forever and the queue would never drain
+        // again. Contain it, fail the unserved slots, and keep serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(&core, &mut ctxs, &batch);
+        }));
+        if outcome.is_err() {
+            recover_failed_batch(&core, &batch);
+        }
+        batch.clear();
+    }
+}
+
+/// Fails every slot of a batch whose execution panicked. Served slots are
+/// already `Done` (and had their in-flight accounting retired inside
+/// `serve_one` — nothing in serve_one can panic *between* the decrement
+/// and `Done`), so only slots still `Queued` need failing and retiring.
+fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>]) {
+    for slot in batch {
+        let model = {
+            let st = slot.lock();
+            if st.stage != Stage::Queued {
+                continue;
+            }
+            st.model
+        };
+        {
+            let mut q = core.lock_queue();
+            q.inflight[model.0] -= 1;
+        }
+        slot.fail(ServeError::Internal);
+    }
+}
+
+/// Fails every queued request on shutdown. Consumes the queue guard.
+fn drain_on_shutdown(mut q: MutexGuard<'_, QueueState>) {
+    let mut leftovers: Vec<Arc<RequestSlot>> = Vec::with_capacity(q.queue.len());
+    while let Some(slot) = q.queue.pop_front() {
+        let model = slot.lock().model;
+        q.inflight[model.0] -= 1;
+        leftovers.push(slot);
+    }
+    drop(q);
+    for slot in leftovers {
+        slot.fail(ServeError::ShuttingDown);
+    }
+}
+
+/// Runs one batch: contiguous shards per worker, each through its own
+/// per-model workspaces. Zero allocations in steady state.
+fn execute_batch(core: &ServerCore, ctxs: &mut [WorkerCtx], batch: &[Arc<RequestSlot>]) {
+    let n = batch.len();
+    if n == 0 {
+        return;
+    }
+    let workers = ctxs.len().min(n).max(1);
+    let shard = n.div_ceil(workers);
+    parallel::par_chunks_mut(&mut ctxs[..workers], |w, ctx| {
+        let start = (w * shard).min(n);
+        let end = ((w + 1) * shard).min(n);
+        for slot in &batch[start..end] {
+            serve_one(core, ctx, slot);
+        }
+    });
+    core.metrics.record_batch();
+}
+
+/// Serves a single request into its slot and wakes the client.
+///
+/// Once a slot has been drained out of the queue nothing else can fail it
+/// (shed and shutdown only touch queued entries), so its stage here is
+/// always `Queued`; the compute happens under the slot lock, the in-flight
+/// decrement under the queue lock, and only then is the client woken —
+/// never both locks at once (ordering stays queue → slot elsewhere).
+fn serve_one(core: &ServerCore, ctx: &mut WorkerCtx, slot: &RequestSlot) {
+    let (model, latency_ns) = {
+        let mut st = slot.lock();
+        debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
+        let model = st.model;
+        let entry = core.registry.entry(model);
+        // Split the slot borrow: input read-only, logits written in place.
+        let state = &mut *st;
+        entry.infer_into(&state.input, &mut ctx.workspaces[model.0], &mut state.logits);
+        (model, u64::try_from(state.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    };
+    {
+        let mut q = core.lock_queue();
+        q.inflight[model.0] -= 1;
+    }
+    let mut st = slot.lock();
+    st.stage = Stage::Done;
+    drop(st);
+    core.metrics.record_completed(model.0, latency_ns);
+    slot.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ReadoutMode;
+    use lightridge::{Detector, DonnBuilder};
+    use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+
+    /// recover_failed_batch must fail every still-queued slot with
+    /// Internal, retire its in-flight accounting, and leave served slots
+    /// alone — the dispatcher's panic containment depends on exactly this.
+    #[test]
+    fn recover_failed_batch_fails_queued_and_retires_inflight() {
+        let grid = Grid::square(8, PixelPitch::from_um(36.0));
+        let model = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+            .distance(Distance::from_mm(10.0))
+            .diffractive_layers(1)
+            .detector(Detector::grid_layout(8, 8, 2, 2))
+            .build();
+        let mut registry = ModelRegistry::new();
+        let id = registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
+        let server = Server::start(registry, BatchPolicy::default());
+
+        // A batch of two drained slots mid-execution: one already served,
+        // one still queued when the (simulated) panic hit.
+        let served = Arc::new(RequestSlot::new());
+        served.lock().stage = Stage::Done;
+        let unserved = Arc::new(RequestSlot::new());
+        {
+            let mut st = unserved.lock();
+            st.stage = Stage::Queued;
+            st.model = id;
+        }
+        server.core.lock_queue().inflight[id.0] = 1;
+
+        let batch = vec![Arc::clone(&served), Arc::clone(&unserved)];
+        recover_failed_batch(&server.core, &batch);
+
+        assert_eq!(served.lock().stage, Stage::Done, "served slot must be untouched");
+        assert_eq!(unserved.lock().stage, Stage::Failed(ServeError::Internal));
+        assert_eq!(server.core.lock_queue().inflight[id.0], 0);
+        server.shutdown();
+    }
+}

@@ -72,6 +72,20 @@ impl Field {
         Field::from_vec(rows, cols, data)
     }
 
+    /// Re-encodes real amplitudes into this field in place (phase zero) —
+    /// the allocation-free counterpart of [`Field::from_amplitudes`] for
+    /// buffer-reusing batch loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len() != rows * cols`.
+    pub fn set_amplitudes(&mut self, amplitudes: &[f64]) {
+        assert_eq!(amplitudes.len(), self.data.len(), "buffer length must equal rows*cols");
+        for (z, &a) in self.data.iter_mut().zip(amplitudes) {
+            *z = Complex64::from_real(a);
+        }
+    }
+
     /// Builds a field by evaluating `f(row, col)` at every sample.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -249,6 +263,14 @@ impl Field {
     /// Per-sample intensity `|U|²` — what a photon detector measures.
     pub fn intensity(&self) -> Vec<f64> {
         self.data.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// [`Field::intensity`] into a caller-owned buffer (allocation-free
+    /// once `out`'s capacity covers the field) — the serving and deployed
+    /// capture hot paths reuse one buffer per worker.
+    pub fn intensity_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.data.iter().map(|z| z.norm_sqr()));
     }
 
     /// Per-sample amplitude `|U|`.

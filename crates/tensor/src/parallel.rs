@@ -20,6 +20,15 @@
 //!   parallel region on the caller) degrade to sequential execution instead
 //!   of deadlocking; the FFT row/column loops rely on this when invoked
 //!   under batch parallelism.
+//! * Concurrent **top-level** callers serialize on the single job slot:
+//!   the loser blocks until the slot frees and then runs its own job on the
+//!   pool. A long-lived dispatcher thread (the `lr-serve` micro-batcher)
+//!   can therefore submit batch after batch and always gets pool
+//!   parallelism, instead of being demoted to a sequential loop whenever
+//!   another thread happens to be mid-job. The flip side is head-of-line
+//!   blocking: a waiter stalls for the full duration of the current job,
+//!   so co-scheduling latency-sensitive serving with long training jobs
+//!   in one process wants pool partitioning (ROADMAP open item).
 //!
 //! Results are written by item index, so `par_map` output is **identical
 //! for any thread count** — determinism is covered by the test suite.
@@ -92,8 +101,15 @@ struct Pool {
     done_cv: Condvar,
     /// Held for the duration of one job: the pool has a single job slot,
     /// so a second top-level caller must not publish (it would overwrite
-    /// the live job and race the completion barrier). Contenders fall back
-    /// to inline sequential execution instead of blocking.
+    /// the live job and race the completion barrier). Contenders **block**
+    /// until the slot frees up and then run on the pool themselves — a
+    /// long-lived dispatcher thread (e.g. the `lr-serve` micro-batcher)
+    /// submits jobs back to back and must not silently degrade to
+    /// sequential execution whenever another top-level caller is mid-job.
+    /// Blocking here is deadlock-free: the lock is only ever taken by
+    /// top-level callers (nested calls short-circuit in
+    /// [`must_run_sequential`] before reaching the pool), and the holder
+    /// retires its job without needing any waiter to make progress.
     submission: Mutex<()>,
     /// Number of spawned worker threads (callers add one more).
     workers: usize,
@@ -195,26 +211,17 @@ impl Drop for CompletionBarrier {
     }
 }
 
-/// Outcome of a [`run_job`] attempt.
-enum JobOutcome {
-    /// Every index executed on the pool; flag is "a worker panicked".
-    Ran(bool),
-    /// The single job slot was busy (another top-level caller is mid-job);
-    /// nothing was executed — the caller should run sequentially inline.
-    Busy,
-}
-
 /// Runs `f(0..len)` with up to `extra_workers` pool threads assisting the
-/// calling thread. Blocks until every index has been executed.
-fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> JobOutcome {
+/// calling thread. Blocks until every index has been executed. Returns
+/// whether any worker panicked.
+fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> bool {
     let pool = pool();
     // One job at a time: a concurrent top-level caller would overwrite the
     // job slot and have its job cancelled by our completion barrier.
-    let _submission = match pool.submission.try_lock() {
-        Ok(guard) => guard,
-        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
-        Err(std::sync::TryLockError::WouldBlock) => return JobOutcome::Busy,
-    };
+    // Contended callers wait for the slot instead of degrading to a
+    // sequential loop (see the `submission` field docs for why blocking is
+    // sound here).
+    let _submission = pool.submission.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     // SAFETY: lifetime erasure only; the completion barrier below (dropped
@@ -244,7 +251,7 @@ fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> JobO
     }
     drop(caller_region);
     drop(barrier);
-    JobOutcome::Ran(panicked.load(Ordering::Relaxed))
+    panicked.load(Ordering::Relaxed)
 }
 
 /// Resets the caller's parallel-region flag even on unwind.
@@ -280,14 +287,8 @@ where
         return;
     }
     let workers = threads().min(len);
-    match run_job(len, workers - 1, &f) {
-        JobOutcome::Ran(true) => panic!("worker thread panicked"),
-        JobOutcome::Ran(false) => {}
-        JobOutcome::Busy => {
-            for i in 0..len {
-                f(i);
-            }
-        }
+    if run_job(len, workers - 1, &f) {
+        panic!("worker thread panicked");
     }
 }
 
@@ -319,14 +320,8 @@ where
         }
     };
     let workers = threads().min(len);
-    match run_job(len, workers - 1, &write) {
-        JobOutcome::Ran(true) => panic!("worker thread panicked"),
-        JobOutcome::Ran(false) => {}
-        JobOutcome::Busy => {
-            for i in 0..len {
-                write(i);
-            }
-        }
+    if run_job(len, workers - 1, &write) {
+        panic!("worker thread panicked");
     }
     out.into_iter().map(|v| v.expect("all slots filled")).collect()
 }
@@ -352,14 +347,8 @@ where
         f(i, item);
     };
     let workers = threads().min(len);
-    match run_job(len, workers - 1, &apply) {
-        JobOutcome::Ran(true) => panic!("worker thread panicked"),
-        JobOutcome::Ran(false) => {}
-        JobOutcome::Busy => {
-            for i in 0..len {
-                apply(i);
-            }
-        }
+    if run_job(len, workers - 1, &apply) {
+        panic!("worker thread panicked");
     }
 }
 
@@ -443,6 +432,38 @@ mod tests {
             assert_eq!(v[0], round);
             assert_eq!(v[16], 16 + round);
         }
+    }
+
+    #[test]
+    fn long_lived_dispatcher_submits_repeatedly_under_contention() {
+        // Regression test for the submission guard: a dedicated
+        // dispatcher thread (like the lr-serve batcher) submits jobs back
+        // to back while other top-level threads also submit. Contended
+        // submissions must queue on the job slot — not deadlock, not lose
+        // work — and every job must produce exact results.
+        let _guard = thread_count_test_guard();
+        set_threads(4); // force the pooled path even on single-core boxes
+        let dispatcher = std::thread::spawn(|| {
+            for round in 0..150usize {
+                let v = par_map(33, move |i| i * 2 + round);
+                assert_eq!(v[0], round);
+                assert_eq!(v[32], 64 + round);
+            }
+        });
+        let side = std::thread::spawn(|| {
+            for round in 0..150usize {
+                let mut buf = vec![0usize; 29];
+                par_chunks_mut(&mut buf, |i, x| *x = i + round);
+                assert_eq!(buf[28], 28 + round);
+            }
+        });
+        for round in 0..150usize {
+            let v = par_map(17, move |i| i + 3 * round);
+            assert_eq!(v[16], 16 + 3 * round);
+        }
+        dispatcher.join().expect("dispatcher thread must finish");
+        side.join().expect("side thread must finish");
+        set_threads(0);
     }
 
     #[test]

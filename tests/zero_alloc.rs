@@ -1,14 +1,17 @@
 //! Counting-allocator proof of the zero-copy propagation pipeline: after
 //! warm-up, the workspace-threaded forward pass performs **zero heap
-//! allocations** per sample.
+//! allocations** per sample — and, with the trace ring, so does the full
+//! forward-trace + backward training step.
 //!
 //! This file must stay a single-test binary: the counting allocator is
 //! process-global, so any concurrently running test would pollute the
 //! counters. Sequential mode is forced (`set_threads(1)`) because the
 //! pooled FFT path intentionally draws from per-worker thread-local
-//! scratch instead of the caller's workspace.
+//! scratch instead of the caller's workspace. The forward and backward
+//! phases run inside the one test function for the same reason.
 
-use lightridge::{Detector, DonnBuilder};
+use lightridge::{CodesignMode, Detector, DonnBuilder, ModelGrads, TraceRing};
+use lr_nn::loss::{one_hot_into, softmax_mse_into};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_tensor::{parallel, Complex64, Field};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -79,6 +82,49 @@ fn steady_state_forward_pass_allocates_nothing() {
     assert_eq!(logits, reference_logits);
     assert!(logits.iter().all(|l| l.is_finite() && *l >= 0.0));
     assert!(logits.iter().sum::<f64>() > 0.0);
+
+    // ---- Backward pass: the trace ring extends zero-allocation to the
+    // full training step (forward trace + loss + backward). ----
+    let mut ring = TraceRing::new(2);
+    let mut grads = ModelGrads::zeros_like(&model);
+    let mut target = Vec::with_capacity(model.num_classes());
+    let mut logit_grads = Vec::with_capacity(model.num_classes());
+
+    // Warm-up: fills the ring slots (2 traces), the loss buffers, and the
+    // workspace gradient field.
+    let train_step = |ring: &mut TraceRing,
+                          grads: &mut ModelGrads,
+                          target: &mut Vec<f64>,
+                          logit_grads: &mut Vec<f64>,
+                          ws: &mut lightridge::PropagationWorkspace| {
+        let trace = ring.forward(&model, &input, CodesignMode::Soft, 7, ws);
+        one_hot_into(2, model.num_classes(), target);
+        let loss = softmax_mse_into(&trace.logits, target, logit_grads);
+        model.backward_with(trace, logit_grads, grads, ws);
+        loss
+    };
+    for _ in 0..3 {
+        train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+    }
+    let reference_loss = train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+    let reference_norm = grads.norm();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut last_loss = 0.0;
+    for _ in 0..10 {
+        last_loss = train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state training step must not allocate (got {} allocations over 10 steps)",
+        after - before
+    );
+    // Reused traces/buffers must still compute the same things.
+    assert_eq!(last_loss, reference_loss);
+    assert!(grads.norm() > reference_norm, "gradients must keep accumulating");
 
     parallel::set_threads(0);
 }

@@ -1,0 +1,130 @@
+//! Counting-allocator proof of the serving-path contract: once the server
+//! is warm, a mixed two-model workload served through the registry and the
+//! dynamic micro-batcher performs **zero heap allocations** per request —
+//! client slot reuse, bounded queue, per-worker workspaces, and atomic
+//! metrics all included — and still returns logits bit-identical to direct
+//! inference.
+//!
+//! Like `zero_alloc.rs`, this must stay a single-test binary: the counting
+//! allocator is process-global. Sequential mode is forced
+//! (`set_threads(1)`) so batch execution runs inline on the dispatcher
+//! thread; the allocator counts allocations from *every* thread, so the
+//! dispatcher's steady state is covered too.
+
+use lightridge::{Detector, DonnBuilder, DonnModel};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_serve::{BatchPolicy, ModelRegistry, ReadoutMode, Server, Transport};
+use lr_tensor::{parallel, Complex64, Field};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
+    let grid = Grid::square(n, PixelPitch::from_um(36.0));
+    DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(30.0))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(n, n, 4, n / 8))
+        .init_seed(seed)
+        .build()
+}
+
+#[test]
+fn steady_state_serve_path_allocates_nothing() {
+    parallel::set_threads(1);
+
+    // A mixed two-model workload: different geometries, different readout
+    // schemes, interleaved per request — each worker context must juggle
+    // both models' workspaces without allocating.
+    let model_a = donn(32, 2, 5);
+    let model_b = donn(48, 3, 6);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("a", 1, model_a.clone(), ReadoutMode::Emulation);
+    registry.register_emulated("b", 1, model_b.clone(), ReadoutMode::Deployed);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            // Zero delay: with a single blocking client there is nothing
+            // to coalesce with; don't sleep inside the measured window.
+            max_delay: Duration::ZERO,
+            ..BatchPolicy::default()
+        },
+    );
+    let a = server.resolve("a", None).unwrap();
+    let b = server.resolve("b", None).unwrap();
+
+    let input_a = Field::from_fn(32, 32, |r, c| {
+        Complex64::from_real(if (r / 4 + c / 4) % 2 == 0 { 1.0 } else { 0.0 })
+    });
+    let input_b = Field::from_fn(48, 48, |r, c| {
+        Complex64::from_real(if (r + 2 * c) % 7 < 3 { 1.0 } else { 0.0 })
+    });
+    let reference_a = model_a.infer(&input_a);
+    let reference_b = model_b.infer_deployed(&input_b);
+
+    // One client per request stream (a client's reusable slot holds one
+    // input shape); the workload stays interleaved across both models at
+    // the server.
+    let mut client_a = server.client();
+    let mut client_b = server.client();
+    let mut logits = Vec::new();
+
+    // Warm-up: sizes each client slot and fills every reusable buffer on
+    // the path.
+    for _ in 0..4 {
+        client_a.infer(a, &input_a, &mut logits).unwrap();
+        assert_eq!(logits, reference_a);
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+        assert_eq!(logits, reference_b);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        client_a.infer(a, &input_a, &mut logits).unwrap();
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state serve path must not allocate (got {} allocations over 20 requests)",
+        after - before
+    );
+
+    // Still bit-identical to direct inference after the measured window.
+    client_a.infer(a, &input_a, &mut logits).unwrap();
+    assert_eq!(logits, reference_a);
+    client_b.infer(b, &input_b, &mut logits).unwrap();
+    assert_eq!(logits, reference_b);
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, 30);
+    assert!(stats.latency.p50_ns > 0);
+    server.shutdown();
+    parallel::set_threads(0);
+}
