@@ -31,7 +31,9 @@ fn forward_lightpipes(n: usize, depth: usize, phases: &[f64]) {
 
 fn bench_fig9_emulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_emulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &n in &[100usize, 128] {
         let phases: Vec<f64> = (0..n * n).map(|i| (i % 628) as f64 * 0.01).collect();
         let fft = Fft2::new(n, n);
@@ -54,11 +56,18 @@ fn bench_fig9_emulation(c: &mut Criterion) {
 
 fn bench_fig10_training_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_training_step");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for &(n, depth) in &[(64usize, 1usize), (64, 5), (64, 10)] {
         let grid = Grid::square(n, PixelPitch::from_um(36.0));
         let data: Vec<(Vec<f64>, usize)> = (0..10)
-            .map(|i| ((0..n * n).map(|p| ((p + i) % 5) as f64 / 5.0).collect(), i % 10))
+            .map(|i| {
+                (
+                    (0..n * n).map(|p| ((p + i) % 5) as f64 / 5.0).collect(),
+                    i % 10,
+                )
+            })
             .collect();
         group.bench_with_input(
             BenchmarkId::new("epoch", format!("{n}x{n}_d{depth}")),
@@ -73,7 +82,11 @@ fn bench_fig10_training_step(c: &mut Criterion) {
                             .build()
                     },
                     |mut model| {
-                        let config = TrainConfig { epochs: 1, batch_size: 10, ..Default::default() };
+                        let config = TrainConfig {
+                            epochs: 1,
+                            batch_size: 10,
+                            ..Default::default()
+                        };
                         lightridge::train::train(&mut model, &data, &config);
                         model
                     },
@@ -90,7 +103,9 @@ fn bench_bluestein_vs_radix2(c: &mut Criterion) {
     // (radix-2). DONN emulation at the paper's native 200x200 pays the
     // Bluestein premium to preserve the physical grid.
     let mut group = c.benchmark_group("ablation_bluestein_vs_pad");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let f200 = Field::from_fn(200, 200, |r, c| Complex64::new(r as f64, c as f64));
     let fft200 = Fft2::new(200, 200);
     group.bench_function("native_200_bluestein", |b| {
@@ -118,5 +133,10 @@ fn bench_bluestein_vs_radix2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig9_emulation, bench_fig10_training_step, bench_bluestein_vs_radix2);
+criterion_group!(
+    benches,
+    bench_fig9_emulation,
+    bench_fig10_training_step,
+    bench_bluestein_vs_radix2
+);
 criterion_main!(benches);

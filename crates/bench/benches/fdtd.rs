@@ -15,7 +15,9 @@ const CELLS_PER_WAVELENGTH: f64 = 12.0;
 
 fn bench_hop(c: &mut Criterion) {
     let mut group = c.benchmark_group("fdtd_vs_fft_hop");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // Hop sizes in wavelengths (aperture = distance = w).
     for &w in &[8usize, 16, 32] {

@@ -7,7 +7,9 @@ use lr_tensor::{clear_plan_cache, Complex64, Fft2, Field};
 use std::time::Duration;
 
 fn make_field(n: usize) -> Field {
-    Field::from_fn(n, n, |r, c| Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos()))
+    Field::from_fn(n, n, |r, c| {
+        Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos())
+    })
 }
 
 fn make_lp(n: usize) -> Vec<Vec<Complex64>> {
@@ -22,7 +24,9 @@ fn make_lp(n: usize) -> Vec<Vec<Complex64>> {
 
 fn bench_fft2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_fft2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[64usize, 128, 200] {
         let field = make_field(n);
         let fft = Fft2::new(n, n);
@@ -46,7 +50,9 @@ fn bench_fft2(c: &mut Criterion) {
 
 fn bench_ifft2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_ifft2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[64usize, 128] {
         let field = make_field(n);
         let fft = Fft2::new(n, n);
@@ -70,7 +76,9 @@ fn bench_ifft2(c: &mut Criterion) {
 
 fn bench_complex_mm(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_complex_mm");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[128usize, 256] {
         let mut field = make_field(n);
         let transfer = Field::from_fn(n, n, |r, c| Complex64::cis((r * c) as f64 * 1e-4));
@@ -88,7 +96,9 @@ fn bench_complex_mm(c: &mut Criterion) {
 
 fn bench_plan_cache_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_plan_cache");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 200; // Bluestein path, where planning is expensive
     let field = make_field(n);
     group.bench_function("cached_plan", |b| {
@@ -117,5 +127,11 @@ fn bench_plan_cache_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft2, bench_ifft2, bench_complex_mm, bench_plan_cache_ablation);
+criterion_group!(
+    benches,
+    bench_fft2,
+    bench_ifft2,
+    bench_complex_mm,
+    bench_plan_cache_ablation
+);
 criterion_main!(benches);

@@ -40,7 +40,9 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
 }
 
 fn make_field(n: usize) -> Field {
-    Field::from_fn(n, n, |r, c| Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos()))
+    Field::from_fn(n, n, |r, c| {
+        Complex64::new((r as f64 * 0.1).sin(), (c as f64 * 0.07).cos())
+    })
 }
 
 /// The pre-change per-sample forward pass: clone per layer, reference
@@ -63,7 +65,10 @@ fn reference_forward(model: &DonnModel, input: &Field) -> Vec<f64> {
         }
     }
     let fft = Fft2::new(u.rows(), u.cols());
-    let transfer = model.final_propagator().transfer().expect("spectral propagator");
+    let transfer = model
+        .final_propagator()
+        .transfer()
+        .expect("spectral propagator");
     let mut f = u.clone();
     fft.process_reference(&mut f, Direction::Forward);
     f.hadamard_assign(transfer);
@@ -176,13 +181,20 @@ fn main() {
         std::hint::black_box(reference_batched_forward(&model, &batch));
     });
     entries.push(("batched_forward/reference/200x3x16".to_string(), ref_ns));
-    entries.push(("batched_forward/speedup/200x3x16".to_string(), ref_ns / new_ns));
+    entries.push((
+        "batched_forward/speedup/200x3x16".to_string(),
+        ref_ns / new_ns,
+    ));
 
     // --- Emit ------------------------------------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"lr-bench\",");
     let _ = writeln!(json, "  \"threads\": {},", parallel::threads());
-    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
     json.push_str("  \"median_ns\": {\n");
     for (i, (k, v)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };

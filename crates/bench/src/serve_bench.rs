@@ -106,7 +106,8 @@ fn run_scenario(
     model_b: &DonnModel,
 ) -> ScenarioOutcome {
     let mut registry = ModelRegistry::new();
-    let a = registry.register_emulated("mnist-emulated", 1, model_a.clone(), ReadoutMode::Emulation);
+    let a =
+        registry.register_emulated("mnist-emulated", 1, model_a.clone(), ReadoutMode::Emulation);
     let b = registry.register_emulated("mnist-deployed", 1, model_b.clone(), ReadoutMode::Deployed);
     let server = Server::start(registry, policy);
 
@@ -166,7 +167,13 @@ fn run_scenario(
     let wall_secs = epoch.elapsed().as_secs_f64();
     let stats = server.stats();
     server.shutdown();
-    ScenarioOutcome { offered_rps: rate_rps, ok, failed, wall_secs, stats }
+    ScenarioOutcome {
+        offered_rps: rate_rps,
+        ok,
+        failed,
+        wall_secs,
+        stats,
+    }
 }
 
 fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool) {
@@ -180,7 +187,11 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
     let _ = writeln!(json, "      \"completed\": {},", s.completed);
     let _ = writeln!(json, "      \"rejected\": {},", s.rejected);
     let _ = writeln!(json, "      \"shed\": {},", s.shed);
-    let _ = writeln!(json, "      \"throughput_rps\": {:.1},", o.ok as f64 / o.wall_secs.max(1e-12));
+    let _ = writeln!(
+        json,
+        "      \"throughput_rps\": {:.1},",
+        o.ok as f64 / o.wall_secs.max(1e-12)
+    );
     let _ = writeln!(json, "      \"mean_batch_size\": {:.3},", s.mean_batch_size);
     let _ = writeln!(json, "      \"latency_ns\": {{");
     let _ = writeln!(json, "        \"p50\": {},", l.p50_ns);
@@ -204,8 +215,11 @@ pub fn run(args: &[String]) {
 
     // Mixed two-model workload: emulation readout at one geometry,
     // deployed readout at another.
-    let (na, nb, depth, threads, per_thread) =
-        if quick { (32, 48, 2, 2, 60) } else { (64, 96, 3, 4, 150) };
+    let (na, nb, depth, threads, per_thread) = if quick {
+        (32, 48, 2, 2, 60)
+    } else {
+        (64, 96, 3, 4, 150)
+    };
     let model_a = donn(na, depth, 5);
     let model_b = donn(nb, depth, 6);
 
@@ -269,8 +283,15 @@ pub fn run(args: &[String]) {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"lr-bench serve\",");
     let _ = writeln!(json, "  \"threads\": {},", parallel::threads());
-    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
-    let _ = writeln!(json, "  \"workload\": \"{na}x{na}@emulated (70%) + {nb}x{nb}@deployed (30%), depth {depth}\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"{na}x{na}@emulated (70%) + {nb}x{nb}@deployed (30%), depth {depth}\","
+    );
     let _ = writeln!(json, "  \"load_threads\": {threads},");
     let _ = writeln!(json, "  \"requests_per_thread\": {per_thread},");
     let _ = writeln!(json, "  \"calibrated_capacity_rps\": {capacity_rps:.1},");

@@ -24,12 +24,20 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Shape { channels, height, width }
+        Shape {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Flat feature shape `1×1×n`.
     pub fn flat(n: usize) -> Self {
-        Shape { channels: 1, height: 1, width: n }
+        Shape {
+            channels: 1,
+            height: 1,
+            width: n,
+        }
     }
 
     /// Total element count.
@@ -56,13 +64,21 @@ pub struct Linear {
 impl Linear {
     /// Creates a layer with Kaiming-uniform initialization.
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "features must be nonzero");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "features must be nonzero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = (6.0 / in_features as f64).sqrt();
         let weights = (0..in_features * out_features)
             .map(|_| rng.gen_range(-bound..bound))
             .collect();
-        Linear { in_features, out_features, weights, bias: vec![0.0; out_features] }
+        Linear {
+            in_features,
+            out_features,
+            weights,
+            bias: vec![0.0; out_features],
+        }
     }
 
     /// Input feature count.
@@ -118,7 +134,11 @@ impl Linear {
     /// matching [`Linear::params`]) and returns `dx`.
     pub fn backward(&self, x: &[f64], dy: &[f64], param_grads: &mut [f64]) -> Vec<f64> {
         assert_eq!(dy.len(), self.out_features, "output gradient mismatch");
-        assert_eq!(param_grads.len(), self.num_params(), "gradient buffer mismatch");
+        assert_eq!(
+            param_grads.len(),
+            self.num_params(),
+            "gradient buffer mismatch"
+        );
         let (dw, db) = param_grads.split_at_mut(self.weights.len());
         for (o, &g) in dy.iter().enumerate() {
             let row = &mut dw[o * self.in_features..(o + 1) * self.in_features];
@@ -157,8 +177,18 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if kernel/stride are zero or the output would be empty.
-    pub fn new(in_shape: Shape, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
-        assert!(kernel > 0 && stride > 0 && out_channels > 0, "invalid conv parameters");
+    pub fn new(
+        in_shape: Shape,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            kernel > 0 && stride > 0 && out_channels > 0,
+            "invalid conv parameters"
+        );
         assert!(
             in_shape.height + 2 * padding >= kernel && in_shape.width + 2 * padding >= kernel,
             "kernel larger than padded input"
@@ -169,7 +199,15 @@ impl Conv2d {
         let weights = (0..out_channels * in_shape.channels * kernel * kernel)
             .map(|_| rng.gen_range(-bound..bound))
             .collect();
-        Conv2d { in_shape, out_channels, kernel, stride, padding, weights, bias: vec![0.0; out_channels] }
+        Conv2d {
+            in_shape,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weights,
+            bias: vec![0.0; out_channels],
+        }
     }
 
     /// Output activation shape.
@@ -210,7 +248,8 @@ impl Conv2d {
 
     #[inline]
     fn at(&self, x: &[f64], ch: usize, r: isize, c: isize) -> f64 {
-        if r < 0 || c < 0 || r as usize >= self.in_shape.height || c as usize >= self.in_shape.width {
+        if r < 0 || c < 0 || r as usize >= self.in_shape.height || c as usize >= self.in_shape.width
+        {
             0.0
         } else {
             x[(ch * self.in_shape.height + r as usize) * self.in_shape.width + c as usize]
@@ -236,8 +275,10 @@ impl Conv2d {
                     for i in 0..self.in_shape.channels {
                         for kr in 0..k {
                             for kc in 0..k {
-                                let w = self.weights[((o * self.in_shape.channels + i) * k + kr) * k + kc];
-                                acc += w * self.at(x, i, base_r + kr as isize, base_c + kc as isize);
+                                let w = self.weights
+                                    [((o * self.in_shape.channels + i) * k + kr) * k + kc];
+                                acc +=
+                                    w * self.at(x, i, base_r + kr as isize, base_c + kc as isize);
                             }
                         }
                     }
@@ -252,7 +293,11 @@ impl Conv2d {
     pub fn backward(&self, x: &[f64], dy: &[f64], param_grads: &mut [f64]) -> Vec<f64> {
         let out = self.out_shape();
         assert_eq!(dy.len(), out.len(), "output gradient mismatch");
-        assert_eq!(param_grads.len(), self.num_params(), "gradient buffer mismatch");
+        assert_eq!(
+            param_grads.len(),
+            self.num_params(),
+            "gradient buffer mismatch"
+        );
         let k = self.kernel;
         let (dw, db) = param_grads.split_at_mut(self.weights.len());
         let mut dx = vec![0.0; self.in_shape.len()];
@@ -279,7 +324,8 @@ impl Conv2d {
                                     && (r as usize) < self.in_shape.height
                                     && (c as usize) < self.in_shape.width
                                 {
-                                    dx[(i * self.in_shape.height + r as usize) * self.in_shape.width
+                                    dx[(i * self.in_shape.height + r as usize)
+                                        * self.in_shape.width
                                         + c as usize] += g * self.weights[widx];
                                 }
                             }
@@ -312,7 +358,11 @@ impl MaxPool2d {
             in_shape.height >= kernel && in_shape.width >= kernel,
             "pool window larger than input"
         );
-        MaxPool2d { in_shape, kernel, stride }
+        MaxPool2d {
+            in_shape,
+            kernel,
+            stride,
+        }
     }
 
     /// Output shape.
@@ -370,7 +420,10 @@ pub fn relu(x: &[f64]) -> Vec<f64> {
 
 /// ReLU backward: gradients pass where the input was positive.
 pub fn relu_backward(x: &[f64], dy: &[f64]) -> Vec<f64> {
-    x.iter().zip(dy).map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 }).collect()
+    x.iter()
+        .zip(dy)
+        .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -432,8 +485,12 @@ mod tests {
     fn conv_gradcheck() {
         let conv = Conv2d::new(Shape::new(2, 5, 5), 3, 3, 2, 1, 2);
         let out = conv.out_shape();
-        let x: Vec<f64> = (0..2 * 5 * 5).map(|i| ((i * 7) % 11) as f64 / 11.0 - 0.4).collect();
-        let w: Vec<f64> = (0..out.len()).map(|i| ((i * 3) % 5) as f64 / 5.0 - 0.3).collect();
+        let x: Vec<f64> = (0..2 * 5 * 5)
+            .map(|i| ((i * 7) % 11) as f64 / 11.0 - 0.4)
+            .collect();
+        let w: Vec<f64> = (0..out.len())
+            .map(|i| ((i * 3) % 5) as f64 / 5.0 - 0.3)
+            .collect();
         let mut pg = vec![0.0; conv.num_params()];
         let dx = conv.backward(&x, &w, &mut pg);
         let report = check_gradient_sampled(

@@ -87,7 +87,14 @@ impl Network {
     /// # Panics
     ///
     /// Panics if the image is too small for the stage stack.
-    pub fn cnn(image_side: usize, c1: usize, c2: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+    pub fn cnn(
+        image_side: usize,
+        c1: usize,
+        c2: usize,
+        hidden: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
         let conv1 = Conv2d::new(Shape::new(1, image_side, image_side), c1, 5, 2, 2, seed);
         let s1 = conv1.out_shape();
         let pool1 = MaxPool2d::new(s1, 3, 2);
@@ -177,7 +184,10 @@ impl Network {
     }
 
     fn zero_grads(&self) -> Vec<Vec<f64>> {
-        self.stages.iter().map(|s| vec![0.0; s.num_params()]).collect()
+        self.stages
+            .iter()
+            .map(|s| vec![0.0; s.num_params()])
+            .collect()
     }
 
     fn apply(&mut self, opt: &mut Adam, grads: &[Vec<f64>], scale: f64) {
@@ -302,8 +312,15 @@ mod tests {
         let mut net = Network::mlp(12 * 12, 24, 4, 0);
         let data = blob_dataset(40, 12);
         let losses = net.train(&data, 4, 12, 12, 0.01, 1);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
-        assert!(net.evaluate(&data) > 0.9, "accuracy {}", net.evaluate(&data));
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
+        assert!(
+            net.evaluate(&data) > 0.9,
+            "accuracy {}",
+            net.evaluate(&data)
+        );
     }
 
     #[test]
@@ -313,7 +330,11 @@ mod tests {
         let mut net = Network::cnn(24, 4, 8, 16, 4, 0);
         let data = blob_dataset(24, 24);
         net.train(&data, 4, 8, 8, 0.01, 2);
-        assert!(net.evaluate(&data) > 0.8, "accuracy {}", net.evaluate(&data));
+        assert!(
+            net.evaluate(&data) > 0.8,
+            "accuracy {}",
+            net.evaluate(&data)
+        );
     }
 
     #[test]

@@ -77,10 +77,16 @@ pub fn to_system(model: &DonnModel, device: &SlmModel) -> SystemExport {
             }
             // Nonlinear films carry no control data; the export keeps an
             // empty placeholder so layer indices stay aligned.
-            Layer::Nonlinear(_) => LayerExport { levels: Vec::new(), phases: Vec::new() },
+            Layer::Nonlinear(_) => LayerExport {
+                levels: Vec::new(),
+                phases: Vec::new(),
+            },
         })
         .collect();
-    SystemExport { device: device.name().to_string(), layers }
+    SystemExport {
+        device: device.name().to_string(),
+        layers,
+    }
 }
 
 /// A physical optical bench: the device the masks are realized on, the
@@ -141,7 +147,10 @@ pub struct PhysicalDonn {
 #[derive(Debug, Clone)]
 enum PhysicalStage {
     /// Free-space hop followed by a fixed modulation panel.
-    Modulated { propagator: FreeSpace, modulation: Field },
+    Modulated {
+        propagator: FreeSpace,
+        modulation: Field,
+    },
     /// A saturable-absorber film at the current plane.
     Nonlinear(crate::layers::nonlinear::SaturableAbsorber),
 }
@@ -212,8 +221,7 @@ impl PhysicalDonn {
                 })
                 .collect();
             // Interpixel crosstalk blurs the realized complex modulation.
-            let mut interleaved: Vec<f64> =
-                data.iter().flat_map(|z| [z.re, z.im]).collect();
+            let mut interleaved: Vec<f64> = data.iter().flat_map(|z| [z.re, z.im]).collect();
             env.crosstalk.apply_complex(rows, cols, &mut interleaved);
             let data: Vec<Complex64> = interleaved
                 .chunks_exact(2)
@@ -286,27 +294,42 @@ impl PhysicalDonn {
     ///
     /// Panics if `input` or `ws` does not match the system's plane.
     fn capture_with(&self, input: &Field, shot: u64, ws: &mut PhysicalWorkspace) {
-        assert_eq!(input.shape(), self.detector.shape(), "input/plane shape mismatch");
-        assert_eq!(ws.shape(), self.detector.shape(), "workspace/plane shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.detector.shape(),
+            "input/plane shape mismatch"
+        );
+        assert_eq!(
+            ws.shape(),
+            self.detector.shape(),
+            "workspace/plane shape mismatch"
+        );
         ws.u.copy_from(input);
         for stage in &self.stages {
             match stage {
-                PhysicalStage::Modulated { propagator, modulation } => {
+                PhysicalStage::Modulated {
+                    propagator,
+                    modulation,
+                } => {
                     propagator.propagate_with(&mut ws.u, &mut ws.scratch);
                     ws.u.hadamard_assign(modulation);
                 }
                 PhysicalStage::Nonlinear(sa) => sa.infer_inplace(&mut ws.u),
             }
         }
-        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        self.final_propagator
+            .propagate_with(&mut ws.u, &mut ws.scratch);
         ws.u.intensity_into(&mut ws.intensity);
         // Normalize into the camera's dynamic range before capture.
         let max = ws.intensity.iter().cloned().fold(0.0, f64::max).max(1e-30);
         for i in ws.intensity.iter_mut() {
             *i /= max;
         }
-        self.camera
-            .capture_into(&ws.intensity, self.capture_seed.wrapping_add(shot), &mut ws.captured);
+        self.camera.capture_into(
+            &ws.intensity,
+            self.capture_seed.wrapping_add(shot),
+            &mut ws.captured,
+        );
         for c in ws.captured.iter_mut() {
             *c *= max;
         }
@@ -371,7 +394,10 @@ pub fn deployment_report(
     let emulation_accuracy = crate::train::evaluate(model, data);
     let physical = PhysicalDonn::deploy(model, env);
     let deployed_accuracy = physical.evaluate(data);
-    DeploymentReport { emulation_accuracy, deployed_accuracy }
+    DeploymentReport {
+        emulation_accuracy,
+        deployed_accuracy,
+    }
 }
 
 /// Per-digit correlation between emulated detector patterns and captured
@@ -443,7 +469,10 @@ mod tests {
         let model = trained_raw_model();
         let export = to_system(&model, &SlmModel::ideal(256));
         assert_eq!(export.layers.len(), 2);
-        assert!(export.layers.iter().all(|l| l.levels.len() == 256 && l.phases.len() == 256));
+        assert!(export
+            .layers
+            .iter()
+            .all(|l| l.levels.len() == 256 && l.phases.len() == 256));
         assert!(export.summary().contains("layer 0"));
     }
 
@@ -466,7 +495,7 @@ mod tests {
         let env = HardwareEnvironment {
             device: SlmModel::uniform_bits(2),
             fabrication: FabricationVariation::new(0.6, 0.1, 3),
-        crosstalk: lr_hardware::CrosstalkModel::typical_lc(),
+            crosstalk: lr_hardware::CrosstalkModel::typical_lc(),
             camera: CameraModel::cs165mu1(1.0),
             capture_seed: 3,
         };

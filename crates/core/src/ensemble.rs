@@ -109,7 +109,10 @@ impl DonnEnsemble {
     /// Accuracy of each individual member (for comparing against the
     /// ensemble vote).
     pub fn member_accuracies(&self, data: &[LabeledImage]) -> Vec<f64> {
-        self.members.iter().map(|m| train::evaluate(m, data)).collect()
+        self.members
+            .iter()
+            .map(|m| train::evaluate(m, data))
+            .collect()
     }
 }
 

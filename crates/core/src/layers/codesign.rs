@@ -78,7 +78,10 @@ impl CodesignLayer {
         gamma: f64,
         temperature: f64,
     ) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be finite and positive"
+        );
         assert!(
             temperature.is_finite() && temperature > 0.0,
             "temperature must be finite and positive"
@@ -155,7 +158,10 @@ impl CodesignLayer {
     ///
     /// Panics if `tau` is not finite and positive.
     pub fn set_temperature(&mut self, tau: f64) {
-        assert!(tau.is_finite() && tau > 0.0, "temperature must be finite and positive");
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "temperature must be finite and positive"
+        );
         self.temperature = tau;
     }
 
@@ -215,7 +221,11 @@ impl CodesignLayer {
     ///
     /// Panics if the input shape does not match the layer grid.
     pub fn forward(&self, input: &Field, mode: CodesignMode, seed: u64) -> (Field, CodesignCache) {
-        assert_eq!(input.shape(), self.grid().shape(), "input/grid shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.grid().shape(),
+            "input/grid shape mismatch"
+        );
         let mut u = input.clone();
         self.propagator.propagate(&mut u);
         let cache = self.modulate_with_cache(&mut u, mode, seed);
@@ -274,7 +284,13 @@ impl CodesignLayer {
     }
 
     /// [`CodesignLayer::modulate_with_cache`] writing into a reusable cache.
-    fn modulate_into(&self, u: &mut Field, mode: CodesignMode, seed: u64, cache: &mut CodesignCache) {
+    fn modulate_into(
+        &self,
+        u: &mut Field,
+        mode: CodesignMode,
+        seed: u64,
+        cache: &mut CodesignCache,
+    ) {
         if cache.propagated.shape() != u.shape() {
             cache.propagated = Field::zeros(u.rows(), u.cols());
         }
@@ -350,7 +366,12 @@ impl CodesignLayer {
     /// Panics if shapes do not match the layer grid, or if `mode` is
     /// [`CodesignMode::Train`] (training needs the cache-producing
     /// [`CodesignLayer::forward`]).
-    pub fn infer_inplace(&self, u: &mut Field, mode: CodesignMode, scratch: &mut PropagationScratch) {
+    pub fn infer_inplace(
+        &self,
+        u: &mut Field,
+        mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    ) {
         assert!(
             mode != CodesignMode::Train,
             "infer_inplace supports Soft/Deploy; Train needs forward()"
@@ -404,8 +425,16 @@ impl CodesignLayer {
         cache: &CodesignCache,
         logit_grads: &mut [f64],
     ) -> Field {
-        assert_eq!(grad_output.shape(), self.grid().shape(), "gradient shape mismatch");
-        assert_eq!(logit_grads.len(), self.logits.len(), "logit gradient buffer length mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            self.grid().shape(),
+            "gradient shape mismatch"
+        );
+        assert_eq!(
+            logit_grads.len(),
+            self.logits.len(),
+            "logit gradient buffer length mismatch"
+        );
         let levels = self.device.num_levels();
         let pixels = self.num_pixels();
         let inv_tau = 1.0 / self.temperature;
@@ -461,7 +490,9 @@ mod tests {
     }
 
     fn test_input() -> Field {
-        Field::from_fn(6, 6, |r, c| Complex64::new(0.4 + (r as f64 * 0.5).sin(), (c as f64 * 0.3).cos()))
+        Field::from_fn(6, 6, |r, c| {
+            Complex64::new(0.4 + (r as f64 * 0.5).sin(), (c as f64 * 0.3).cos())
+        })
     }
 
     #[test]
@@ -537,13 +568,21 @@ mod tests {
 
         let loss_of = |l: &CodesignLayer| {
             let (out, _) = l.forward(&x, CodesignMode::Soft, 0);
-            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(o, &wi)| wi * o.norm_sqr())
+                .sum::<f64>()
         };
         let (out, cache) = layer.forward(&x, CodesignMode::Soft, 0);
         let g_out = Field::from_vec(
             6,
             6,
-            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| o * wi)
+                .collect(),
         );
         let mut analytic = vec![0.0; layer.num_params()];
         layer.backward(&g_out, &cache, &mut analytic);
@@ -584,13 +623,21 @@ mod tests {
         let w: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 7.0).collect();
         let loss_of = |f: &Field| {
             let (out, _) = layer.forward(f, CodesignMode::Soft, 0);
-            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(o, &wi)| wi * o.norm_sqr())
+                .sum::<f64>()
         };
         let (out, cache) = layer.forward(&x, CodesignMode::Soft, 0);
         let g_out = Field::from_vec(
             6,
             6,
-            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| o * wi)
+                .collect(),
         );
         let mut scratch = vec![0.0; layer.num_params()];
         let g_in = layer.backward(&g_out, &cache, &mut scratch);

@@ -29,7 +29,12 @@ impl DetectorRegion {
     /// Panics if the region is empty.
     pub fn new(row: usize, col: usize, height: usize, width: usize) -> Self {
         assert!(height > 0 && width > 0, "detector region must be non-empty");
-        DetectorRegion { row, col, height, width }
+        DetectorRegion {
+            row,
+            col,
+            height,
+            width,
+        }
     }
 
     /// True if `(r, c)` lies inside this region.
@@ -87,7 +92,11 @@ impl Detector {
                 assert!(disjoint, "regions {j} and {i} overlap");
             }
         }
-        Detector { rows, cols, regions }
+        Detector {
+            rows,
+            cols,
+            regions,
+        }
     }
 
     /// Builds the paper's standard layout: `num_classes` square regions of
@@ -98,7 +107,10 @@ impl Detector {
     ///
     /// Panics if the layout does not fit the plane.
     pub fn grid_layout(rows: usize, cols: usize, num_classes: usize, det_size: usize) -> Self {
-        assert!(num_classes > 0 && det_size > 0, "need classes and a region size");
+        assert!(
+            num_classes > 0 && det_size > 0,
+            "need classes and a region size"
+        );
         // Choose a near-square arrangement: r_rows × r_cols ≥ num_classes.
         let r_cols = (num_classes as f64).sqrt().ceil() as usize;
         let r_rows = num_classes.div_ceil(r_cols);
@@ -157,7 +169,11 @@ impl Detector {
     ///
     /// Panics if the field shape does not match the detector plane.
     pub fn read_into(&self, field: &Field, out: &mut Vec<f64>) {
-        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
+        assert_eq!(
+            field.shape(),
+            (self.rows, self.cols),
+            "field/detector shape mismatch"
+        );
         out.clear();
         for reg in &self.regions {
             let mut sum = 0.0;
@@ -189,7 +205,11 @@ impl Detector {
     ///
     /// Panics if `intensity.len() != rows*cols`.
     pub fn read_intensity_into(&self, intensity: &[f64], out: &mut Vec<f64>) {
-        assert_eq!(intensity.len(), self.rows * self.cols, "intensity buffer length mismatch");
+        assert_eq!(
+            intensity.len(),
+            self.rows * self.cols,
+            "intensity buffer length mismatch"
+        );
         out.clear();
         out.extend(self.regions.iter().map(|reg| {
             let mut sum = 0.0;
@@ -220,9 +240,21 @@ impl Detector {
     ///
     /// Panics if shapes disagree.
     pub fn backward_into(&self, field: &Field, logit_grads: &[f64], out: &mut Field) {
-        assert_eq!(field.shape(), (self.rows, self.cols), "field/detector shape mismatch");
-        assert_eq!(out.shape(), (self.rows, self.cols), "gradient/detector shape mismatch");
-        assert_eq!(logit_grads.len(), self.regions.len(), "logit gradient length mismatch");
+        assert_eq!(
+            field.shape(),
+            (self.rows, self.cols),
+            "field/detector shape mismatch"
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, self.cols),
+            "gradient/detector shape mismatch"
+        );
+        assert_eq!(
+            logit_grads.len(),
+            self.regions.len(),
+            "logit gradient length mismatch"
+        );
         out.as_mut_slice().fill(Complex64::ZERO);
         for (reg, &dl) in self.regions.iter().zip(logit_grads) {
             for r in reg.row..reg.row + reg.height {
@@ -259,7 +291,11 @@ impl PlaneReadout {
     ///
     /// Panics if `intensity_grads.len()` does not match the field.
     pub fn backward(&self, field: &Field, intensity_grads: &[f64]) -> Field {
-        assert_eq!(intensity_grads.len(), field.len(), "gradient length mismatch");
+        assert_eq!(
+            intensity_grads.len(),
+            field.len(),
+            "gradient length mismatch"
+        );
         let (rows, cols) = field.shape();
         let data = field
             .as_slice()
@@ -282,12 +318,22 @@ mod tests {
         for reg in det.regions() {
             assert_eq!(reg.area(), 36);
         }
-        assert!(det.coverage() < 0.15, "classification detectors underuse the plane");
+        assert!(
+            det.coverage() < 0.15,
+            "classification detectors underuse the plane"
+        );
     }
 
     #[test]
     fn read_sums_region_intensity() {
-        let det = Detector::new(8, 8, vec![DetectorRegion::new(0, 0, 2, 2), DetectorRegion::new(4, 4, 2, 2)]);
+        let det = Detector::new(
+            8,
+            8,
+            vec![
+                DetectorRegion::new(0, 0, 2, 2),
+                DetectorRegion::new(4, 4, 2, 2),
+            ],
+        );
         let mut f = Field::zeros(8, 8);
         f[(0, 0)] = Complex64::new(2.0, 0.0); // intensity 4
         f[(1, 1)] = Complex64::new(0.0, 1.0); // intensity 1
@@ -300,7 +346,9 @@ mod tests {
     #[test]
     fn read_intensity_matches_read() {
         let det = Detector::grid_layout(16, 16, 4, 3);
-        let f = Field::from_fn(16, 16, |r, c| Complex64::new(r as f64 * 0.1, c as f64 * 0.05));
+        let f = Field::from_fn(16, 16, |r, c| {
+            Complex64::new(r as f64 * 0.1, c as f64 * 0.05)
+        });
         let a = det.read(&f);
         let b = det.read_intensity(&f.intensity());
         for (x, y) in a.iter().zip(&b) {
@@ -324,13 +372,16 @@ mod tests {
         // L = Σ_k a_k·I_k. Perturb the field along direction d, compare
         // 2·Re⟨g, d⟩ against finite differences.
         let det = Detector::grid_layout(16, 16, 4, 3);
-        let f = Field::from_fn(16, 16, |r, c| Complex64::new((r + c) as f64 * 0.07, r as f64 * 0.03));
+        let f = Field::from_fn(16, 16, |r, c| {
+            Complex64::new((r + c) as f64 * 0.07, r as f64 * 0.03)
+        });
         let a = [0.3, -0.7, 1.1, 0.2];
-        let loss = |field: &Field| -> f64 {
-            det.read(field).iter().zip(&a).map(|(i, &ai)| ai * i).sum()
-        };
+        let loss =
+            |field: &Field| -> f64 { det.read(field).iter().zip(&a).map(|(i, &ai)| ai * i).sum() };
         let g = det.backward(&f, &a);
-        let d = Field::from_fn(16, 16, |r, c| Complex64::new(0.05 * c as f64, -0.02 * r as f64));
+        let d = Field::from_fn(16, 16, |r, c| {
+            Complex64::new(0.05 * c as f64, -0.02 * r as f64)
+        });
         let h = 1e-6;
         let mut fp = f.clone();
         fp.axpy(h, &d);
@@ -347,7 +398,10 @@ mod tests {
         let _ = Detector::new(
             8,
             8,
-            vec![DetectorRegion::new(0, 0, 4, 4), DetectorRegion::new(2, 2, 4, 4)],
+            vec![
+                DetectorRegion::new(0, 0, 4, 4),
+                DetectorRegion::new(2, 2, 4, 4),
+            ],
         );
     }
 

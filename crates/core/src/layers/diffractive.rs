@@ -63,7 +63,10 @@ impl DiffractiveCache {
     /// Pre-allocates a cache for a `rows × cols` layer, for reuse through
     /// [`DiffractiveLayer::forward_into`].
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DiffractiveCache { propagated: Field::zeros(rows, cols), output: Field::zeros(rows, cols) }
+        DiffractiveCache {
+            propagated: Field::zeros(rows, cols),
+            output: Field::zeros(rows, cols),
+        }
     }
 }
 
@@ -76,10 +79,17 @@ impl DiffractiveLayer {
         approximation: Approximation,
         gamma: f64,
     ) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be finite and positive"
+        );
         let propagator = FreeSpace::new(grid, wavelength, distance, approximation);
         let n = grid.rows() * grid.cols();
-        DiffractiveLayer { propagator, phases: vec![0.0; n], gamma }
+        DiffractiveLayer {
+            propagator,
+            phases: vec![0.0; n],
+            gamma,
+        }
     }
 
     /// Randomizes phases uniformly in `[0, 2π)` (the usual DONN init).
@@ -111,7 +121,10 @@ impl DiffractiveLayer {
     ///
     /// Panics if `gamma` is not finite and positive.
     pub fn set_gamma(&mut self, gamma: f64) {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be finite and positive"
+        );
         self.gamma = gamma;
     }
 
@@ -137,7 +150,10 @@ impl DiffractiveLayer {
         Field::from_vec(
             rows,
             cols,
-            self.phases.iter().map(|&p| Complex64::cis(p) * gamma).collect(),
+            self.phases
+                .iter()
+                .map(|&p| Complex64::cis(p) * gamma)
+                .collect(),
         )
     }
 
@@ -220,7 +236,10 @@ impl DiffractiveLayer {
         self.propagator.propagate_with(u, scratch);
         let propagated = u.clone();
         self.modulate_inplace(u);
-        DiffractiveCache { propagated, output: u.clone() }
+        DiffractiveCache {
+            propagated,
+            output: u.clone(),
+        }
     }
 
     /// Backward pass.
@@ -273,8 +292,16 @@ impl DiffractiveLayer {
         cache: &DiffractiveCache,
         phase_grads: &mut [f64],
     ) {
-        assert_eq!(grad_output.shape(), self.grid().shape(), "gradient shape mismatch");
-        assert_eq!(phase_grads.len(), self.phases.len(), "phase gradient buffer length mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            self.grid().shape(),
+            "gradient shape mismatch"
+        );
+        assert_eq!(
+            phase_grads.len(),
+            self.phases.len(),
+            "phase gradient buffer length mismatch"
+        );
         for ((g, &out), acc) in grad_output
             .as_slice()
             .iter()
@@ -320,7 +347,9 @@ mod tests {
     }
 
     fn test_input() -> Field {
-        Field::from_fn(8, 8, |r, c| Complex64::new((r as f64 * 0.3).sin() + 0.5, (c as f64 * 0.2).cos()))
+        Field::from_fn(8, 8, |r, c| {
+            Complex64::new((r as f64 * 0.3).sin() + 0.5, (c as f64 * 0.2).cos())
+        })
     }
 
     /// Scalar "loss" for gradient testing: L = Σ w_p·|out_p|² with fixed
@@ -400,7 +429,11 @@ mod tests {
         let g_out = Field::from_vec(
             8,
             8,
-            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| o * wi)
+                .collect(),
         );
         let mut analytic = vec![0.0; 64];
         layer.backward(&g_out, &cache, &mut analytic);
@@ -410,7 +443,11 @@ mod tests {
             let mut l = layer.clone();
             l.phases_mut().copy_from_slice(phases);
             let (out, _) = l.forward(&x);
-            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(o, &wi)| wi * o.norm_sqr())
+                .sum::<f64>()
         };
         let report = check_gradient_sampled(loss, layer.phases(), &analytic, 1e-6, 16);
         assert!(report.passes(1e-5), "{report:?}");
@@ -424,19 +461,29 @@ mod tests {
         let w = toy_loss_weights(64);
         let loss_of = |field: &Field| {
             let (out, _) = layer.forward(field);
-            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum::<f64>()
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(o, &wi)| wi * o.norm_sqr())
+                .sum::<f64>()
         };
         let (out, cache) = layer.forward(&x);
         let g_out = Field::from_vec(
             8,
             8,
-            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| o * wi)
+                .collect(),
         );
         let mut scratch = vec![0.0; 64];
         let g_in = layer.backward(&g_out, &cache, &mut scratch);
 
         // Direction d: an arbitrary complex perturbation field.
-        let d = Field::from_fn(8, 8, |r, c| Complex64::new(0.3 * (r as f64 - 3.0), 0.2 * (c as f64 - 4.0)));
+        let d = Field::from_fn(8, 8, |r, c| {
+            Complex64::new(0.3 * (r as f64 - 3.0), 0.2 * (c as f64 - 4.0))
+        });
         let h = 1e-6;
         let mut xp = x.clone();
         xp.axpy(h, &d);

@@ -63,7 +63,10 @@ impl SaturableAbsorber {
     /// Panics if parameters are out of range.
     pub fn new(alpha: f64, saturation: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        assert!(saturation > 0.0 && saturation.is_finite(), "saturation must be positive");
+        assert!(
+            saturation > 0.0 && saturation.is_finite(),
+            "saturation must be positive"
+        );
         SaturableAbsorber { alpha, saturation }
     }
 
@@ -92,7 +95,12 @@ impl SaturableAbsorber {
     /// Forward pass: `out = t(|u|²)·u`.
     pub fn forward(&self, input: &Field) -> (Field, NonlinearCache) {
         let out = input.map(|u| u * self.transmission(u.norm_sqr()));
-        (out, NonlinearCache { input: input.clone() })
+        (
+            out,
+            NonlinearCache {
+                input: input.clone(),
+            },
+        )
     }
 
     /// In-place inference step (elementwise, allocation-free).
@@ -124,7 +132,11 @@ impl SaturableAbsorber {
     ///
     /// Panics if shapes differ.
     pub fn backward(&self, grad_output: &Field, cache: &NonlinearCache) -> Field {
-        assert_eq!(grad_output.shape(), cache.input.shape(), "gradient shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            cache.input.shape(),
+            "gradient shape mismatch"
+        );
         let (rows, cols) = cache.input.shape();
         let data = grad_output
             .as_slice()
@@ -188,17 +200,27 @@ mod tests {
         let w: Vec<f64> = (0..16).map(|i| ((i * 5 + 3) % 7) as f64 / 7.0).collect();
         let loss_of = |f: &Field| -> f64 {
             let (out, _) = sa.forward(f);
-            out.as_slice().iter().zip(&w).map(|(o, &wi)| wi * o.norm_sqr()).sum()
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(o, &wi)| wi * o.norm_sqr())
+                .sum()
         };
         let (out, cache) = sa.forward(&u);
         let g_out = Field::from_vec(
             4,
             4,
-            out.as_slice().iter().zip(&w).map(|(&o, &wi)| o * wi).collect(),
+            out.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| o * wi)
+                .collect(),
         );
         let g_in = sa.backward(&g_out, &cache);
 
-        let d = Field::from_fn(4, 4, |r, c| Complex64::new(0.1 * (c as f64 - 1.5), 0.07 * r as f64));
+        let d = Field::from_fn(4, 4, |r, c| {
+            Complex64::new(0.1 * (c as f64 - 1.5), 0.07 * r as f64)
+        });
         let h = 1e-6;
         let mut up = u.clone();
         up.axpy(h, &d);

@@ -70,13 +70,15 @@ pub mod segmentation;
 pub mod train;
 pub mod viz;
 
+pub use ensemble::DonnEnsemble;
 pub use layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
 pub use layers::detector::{Detector, DetectorRegion, PlaneReadout};
 pub use layers::diffractive::{DiffractiveCache, DiffractiveLayer};
 pub use layers::nonlinear::{NonlinearCache, SaturableAbsorber};
-pub use ensemble::DonnEnsemble;
-pub use model::{DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, PropagationWorkspace, Trace};
+pub use model::{
+    DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, PropagationWorkspace, Trace,
+};
 pub use multichannel::MultiChannelDonn;
-pub use train::TraceRing;
 pub use multitask::{MultiTaskDonn, MultiTaskImage};
 pub use segmentation::{SegmentationDonn, SegmentationOptions};
+pub use train::TraceRing;

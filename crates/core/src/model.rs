@@ -97,7 +97,11 @@ impl ModelGrads {
     /// Creates zeroed buffers shaped like `model`'s parameters.
     pub fn zeros_like(model: &DonnModel) -> Self {
         ModelGrads {
-            per_layer: model.layers.iter().map(|l| vec![0.0; l.num_params()]).collect(),
+            per_layer: model
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.num_params()])
+                .collect(),
         }
     }
 
@@ -112,7 +116,11 @@ impl ModelGrads {
     ///
     /// Panics if shapes differ.
     pub fn accumulate(&mut self, other: &ModelGrads) {
-        assert_eq!(self.per_layer.len(), other.per_layer.len(), "gradient layer count mismatch");
+        assert_eq!(
+            self.per_layer.len(),
+            other.per_layer.len(),
+            "gradient layer count mismatch"
+        );
         for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
             assert_eq!(a.len(), b.len(), "gradient buffer length mismatch");
             for (x, &y) in a.iter_mut().zip(b) {
@@ -193,7 +201,10 @@ thread_local! {
 
 /// Lends this thread's workspace for `shape` to `f`, creating it on first
 /// use for that shape on this thread.
-fn with_tls_workspace<R>(shape: (usize, usize), f: impl FnOnce(&mut PropagationWorkspace) -> R) -> R {
+fn with_tls_workspace<R>(
+    shape: (usize, usize),
+    f: impl FnOnce(&mut PropagationWorkspace) -> R,
+) -> R {
     let mut ws = TLS_WORKSPACES.with(|cache| {
         let mut cache = cache.borrow_mut();
         match cache.iter().position(|w| w.shape() == shape) {
@@ -252,9 +263,22 @@ impl DonnModel {
         final_propagator: FreeSpace,
         detector: Detector,
     ) -> Self {
-        assert!(!layers.is_empty(), "a DONN needs at least one diffractive layer");
-        assert_eq!(detector.shape(), grid.shape(), "detector plane must match the grid");
-        DonnModel { grid, wavelength, layers, final_propagator, detector }
+        assert!(
+            !layers.is_empty(),
+            "a DONN needs at least one diffractive layer"
+        );
+        assert_eq!(
+            detector.shape(),
+            grid.shape(),
+            "detector plane must match the grid"
+        );
+        DonnModel {
+            grid,
+            wavelength,
+            layers,
+            final_propagator,
+            detector,
+        }
     }
 
     /// The model's sampling grid.
@@ -318,7 +342,9 @@ impl DonnModel {
     ///
     /// Panics if the input shape does not match the grid.
     pub fn forward_trace(&self, input: &Field, mode: CodesignMode, seed: u64) -> Trace {
-        with_tls_workspace(self.grid.shape(), |ws| self.forward_trace_with(input, mode, seed, ws))
+        with_tls_workspace(self.grid.shape(), |ws| {
+            self.forward_trace_with(input, mode, seed, ws)
+        })
     }
 
     /// [`DonnModel::forward_trace`] through a caller-owned workspace: the
@@ -336,13 +362,19 @@ impl DonnModel {
         seed: u64,
         ws: &mut PropagationWorkspace,
     ) -> Trace {
-        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.grid.shape(),
+            "input/grid shape mismatch"
+        );
         ws.u.copy_from(input);
         let mut caches = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
             match layer {
                 Layer::Diffractive(l) => {
-                    caches.push(LayerCache::Diffractive(l.forward_through(&mut ws.u, &mut ws.scratch)));
+                    caches.push(LayerCache::Diffractive(
+                        l.forward_through(&mut ws.u, &mut ws.scratch),
+                    ));
                 }
                 Layer::Codesign(l) => {
                     // Decorrelate noise across layers.
@@ -359,9 +391,14 @@ impl DonnModel {
                 }
             }
         }
-        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        self.final_propagator
+            .propagate_with(&mut ws.u, &mut ws.scratch);
         let logits = self.detector.read(&ws.u);
-        Trace { caches, detector_field: ws.u.clone(), logits }
+        Trace {
+            caches,
+            detector_field: ws.u.clone(),
+            logits,
+        }
     }
 
     /// [`DonnModel::forward_trace_with`] through a caller-owned, reusable
@@ -389,7 +426,11 @@ impl DonnModel {
         ws: &mut PropagationWorkspace,
         trace: &mut Trace,
     ) {
-        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.grid.shape(),
+            "input/grid shape mismatch"
+        );
         ws.u.copy_from(input);
         trace.caches.truncate(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
@@ -426,7 +467,8 @@ impl DonnModel {
                 }
             }
         }
-        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        self.final_propagator
+            .propagate_with(&mut ws.u, &mut ws.scratch);
         if trace.detector_field.shape() != ws.u.shape() {
             trace.detector_field = Field::zeros(ws.u.rows(), ws.u.cols());
         }
@@ -449,7 +491,11 @@ impl DonnModel {
         ws: &mut PropagationWorkspace,
         logits: &mut Vec<f64>,
     ) {
-        assert_eq!(input.shape(), self.grid.shape(), "input/grid shape mismatch");
+        assert_eq!(
+            input.shape(),
+            self.grid.shape(),
+            "input/grid shape mismatch"
+        );
         ws.u.copy_from(input);
         for layer in &self.layers {
             match layer {
@@ -458,7 +504,8 @@ impl DonnModel {
                 Layer::Nonlinear(l) => l.infer_inplace(&mut ws.u),
             }
         }
-        self.final_propagator.propagate_with(&mut ws.u, &mut ws.scratch);
+        self.final_propagator
+            .propagate_with(&mut ws.u, &mut ws.scratch);
         self.detector.read_into(&ws.u, logits);
     }
 
@@ -485,7 +532,11 @@ impl DonnModel {
         ws: &mut PropagationWorkspace,
         outputs: &mut [Vec<f64>],
     ) {
-        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+        assert_eq!(
+            inputs.len(),
+            outputs.len(),
+            "inputs/outputs length mismatch"
+        );
         for (input, out) in inputs.iter().zip(outputs.iter_mut()) {
             self.infer_mode_into(input, mode, ws, out);
         }
@@ -596,10 +647,20 @@ impl DonnModel {
         grads: &mut ModelGrads,
         ws: &mut PropagationWorkspace,
     ) {
-        assert_eq!(logit_grads.len(), self.num_classes(), "logit gradient length mismatch");
-        assert_eq!(trace.caches.len(), self.layers.len(), "trace/model depth mismatch");
-        self.detector.backward_into(&trace.detector_field, logit_grads, &mut ws.grad);
-        self.final_propagator.adjoint_with(&mut ws.grad, &mut ws.scratch);
+        assert_eq!(
+            logit_grads.len(),
+            self.num_classes(),
+            "logit gradient length mismatch"
+        );
+        assert_eq!(
+            trace.caches.len(),
+            self.layers.len(),
+            "trace/model depth mismatch"
+        );
+        self.detector
+            .backward_into(&trace.detector_field, logit_grads, &mut ws.grad);
+        self.final_propagator
+            .adjoint_with(&mut ws.grad, &mut ws.scratch);
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let buf = &mut grads.per_layer[i];
             match (layer, &trace.caches[i]) {
@@ -659,8 +720,14 @@ pub struct DonnBuilder {
 #[derive(Debug, Clone)]
 enum LayerSpec {
     Diffractive,
-    Codesign { device: lr_hardware::SlmModel, temperature: f64 },
-    Nonlinear { alpha: f64, saturation: f64 },
+    Codesign {
+        device: lr_hardware::SlmModel,
+        temperature: f64,
+    },
+    Nonlinear {
+        alpha: f64,
+        saturation: f64,
+    },
 }
 
 impl DonnBuilder {
@@ -697,7 +764,10 @@ impl DonnBuilder {
     ///
     /// Panics if `gamma` is not finite and positive.
     pub fn gamma(mut self, gamma: f64) -> Self {
-        assert!(gamma.is_finite() && gamma > 0.0, "gamma must be finite and positive");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "gamma must be finite and positive"
+        );
         self.gamma = gamma;
         self
     }
@@ -711,9 +781,17 @@ impl DonnBuilder {
     }
 
     /// Appends `count` hardware-codesign layers for `device`.
-    pub fn codesign_layers(mut self, count: usize, device: lr_hardware::SlmModel, temperature: f64) -> Self {
+    pub fn codesign_layers(
+        mut self,
+        count: usize,
+        device: lr_hardware::SlmModel,
+        temperature: f64,
+    ) -> Self {
         for _ in 0..count {
-            self.layers.push(LayerSpec::Codesign { device: device.clone(), temperature });
+            self.layers.push(LayerSpec::Codesign {
+                device: device.clone(),
+                temperature,
+            });
         }
         self
     }
@@ -744,7 +822,10 @@ impl DonnBuilder {
     ///
     /// Panics if no layers were added or no detector was set.
     pub fn build(self) -> DonnModel {
-        assert!(!self.layers.is_empty(), "add at least one layer before build()");
+        assert!(
+            !self.layers.is_empty(),
+            "add at least one layer before build()"
+        );
         let detector = self.detector.expect("set a detector before build()");
         let mut layers = Vec::with_capacity(self.layers.len());
         for (i, spec) in self.layers.into_iter().enumerate() {
@@ -761,7 +842,10 @@ impl DonnBuilder {
                     l.randomize_phases(seed);
                     layers.push(Layer::Diffractive(l));
                 }
-                LayerSpec::Codesign { device, temperature } => {
+                LayerSpec::Codesign {
+                    device,
+                    temperature,
+                } => {
                     let mut l = CodesignLayer::new(
                         self.grid,
                         self.wavelength,
@@ -779,9 +863,19 @@ impl DonnBuilder {
                 }
             }
         }
-        let final_propagator =
-            FreeSpace::new(self.grid, self.wavelength, self.distance, self.approximation);
-        DonnModel::from_parts(self.grid, self.wavelength, layers, final_propagator, detector)
+        let final_propagator = FreeSpace::new(
+            self.grid,
+            self.wavelength,
+            self.distance,
+            self.approximation,
+        );
+        DonnModel::from_parts(
+            self.grid,
+            self.wavelength,
+            layers,
+            final_propagator,
+            detector,
+        )
     }
 }
 
@@ -814,7 +908,10 @@ mod tests {
         let logits = model.infer(&sample_input());
         assert_eq!(logits.len(), 4);
         assert!(logits.iter().all(|&l| l.is_finite() && l >= 0.0));
-        assert!(logits.iter().sum::<f64>() > 0.0, "some light must reach the detector");
+        assert!(
+            logits.iter().sum::<f64>() > 0.0,
+            "some light must reach the detector"
+        );
     }
 
     #[test]

@@ -117,7 +117,14 @@ impl MultiChannelDonn {
     /// # Panics
     ///
     /// Panics if `data` is empty or labels are out of range.
-    pub fn train(&mut self, data: &[RgbImage], epochs: usize, batch_size: usize, lr: f64, seed: u64) -> Vec<f64> {
+    pub fn train(
+        &mut self,
+        data: &[RgbImage],
+        epochs: usize,
+        batch_size: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Vec<f64> {
         assert!(!data.is_empty(), "training set must be non-empty");
         let classes = self.num_classes();
         for (_, label) in data {
@@ -163,8 +170,10 @@ impl MultiChannelDonn {
                         let (loss, logit_grads) = softmax_mse(&logits, &target);
                         loss_sum += loss;
                         // I = Σ_ch I_ch ⇒ the same dL/dI_k reaches each channel.
-                        for (model, (trace, g)) in
-                            self.channels.iter().zip(traces.iter().zip(grads.iter_mut()))
+                        for (model, (trace, g)) in self
+                            .channels
+                            .iter()
+                            .zip(traces.iter().zip(grads.iter_mut()))
                         {
                             model.backward(trace, &logit_grads, g);
                         }
@@ -294,7 +303,10 @@ mod tests {
         let mut m = model(16);
         let data = rgb_dataset(30, 16);
         let losses = m.train(&data, 8, 10, 0.1, 3);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "loss must drop: {losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss must drop: {losses:?}"
+        );
         let top1 = m.evaluate(&data);
         assert!(top1 > 0.6, "RGB toy task should be learnable, got {top1}");
         let top3 = m.evaluate_top_k(&data, 3);

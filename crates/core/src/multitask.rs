@@ -184,7 +184,10 @@ impl MultiTaskDonn {
         let (rows, cols) = self.model.grid().shape();
         let input = Field::from_amplitudes(rows, cols, image);
         let union = self.model.infer(&input);
-        self.task_spans.iter().map(|&(start, len)| union[start..start + len].to_vec()).collect()
+        self.task_spans
+            .iter()
+            .map(|&(start, len)| union[start..start + len].to_vec())
+            .collect()
     }
 
     /// Per-task argmax predictions for one image.
@@ -209,9 +212,16 @@ impl MultiTaskDonn {
     ) -> Vec<f64> {
         assert!(!data.is_empty(), "training set must be non-empty");
         for (_, labels) in data {
-            assert_eq!(labels.len(), self.num_tasks(), "one label per task required");
+            assert_eq!(
+                labels.len(),
+                self.num_tasks(),
+                "one label per task required"
+            );
             for (t, &l) in labels.iter().enumerate() {
-                assert!(l < self.task_classes(t), "label {l} out of range for task {t}");
+                assert!(
+                    l < self.task_classes(t),
+                    "label {l} out of range for task {t}"
+                );
             }
         }
         let (rows, cols) = self.model.grid().shape();
@@ -239,8 +249,7 @@ impl MultiTaskDonn {
                         let mut logit_grads = vec![0.0; union_len];
                         for (&(start, len), &label) in spans.iter().zip(labels) {
                             let target = one_hot(label, len);
-                            let (loss, g) =
-                                softmax_mse(&trace.logits[start..start + len], &target);
+                            let (loss, g) = softmax_mse(&trace.logits[start..start + len], &target);
                             loss_sum += loss;
                             logit_grads[start..start + len].copy_from_slice(&g);
                         }
@@ -283,7 +292,10 @@ impl MultiTaskDonn {
                 *acc += c;
             }
         }
-        correct.iter().map(|&c| c as f64 / data.len() as f64).collect()
+        correct
+            .iter()
+            .map(|&c| c as f64 / data.len() as f64)
+            .collect()
     }
 }
 
@@ -342,7 +354,10 @@ mod tests {
         assert_eq!(per_task.len(), 2);
         assert_eq!(per_task[0].len(), 4);
         assert_eq!(per_task[1].len(), 2);
-        assert!(per_task.iter().flatten().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(per_task
+            .iter()
+            .flatten()
+            .all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]
@@ -446,6 +461,9 @@ mod tests {
             let scale = analytic.abs().max(numeric.abs()).max(1e-8);
             max_rel = max_rel.max((analytic - numeric).abs() / scale);
         }
-        assert!(max_rel < 1e-5, "joint-loss gradient check failed: max rel err {max_rel:.3e}");
+        assert!(
+            max_rel < 1e-5,
+            "joint-loss gradient check failed: max rel err {max_rel:.3e}"
+        );
     }
 }

@@ -42,12 +42,18 @@ pub struct SegmentationOptions {
 impl SegmentationOptions {
     /// The paper's proposed architecture: both innovations on.
     pub fn proposed() -> Self {
-        SegmentationOptions { skip_connection: true, layer_norm: true }
+        SegmentationOptions {
+            skip_connection: true,
+            layer_norm: true,
+        }
     }
 
     /// The baseline recipe (no skip, no layer norm).
     pub fn baseline() -> Self {
-        SegmentationOptions { skip_connection: false, layer_norm: false }
+        SegmentationOptions {
+            skip_connection: false,
+            layer_norm: false,
+        }
     }
 }
 
@@ -91,7 +97,11 @@ impl SegmentationDonn {
         init_seed: u64,
     ) -> Self {
         assert!(depth > 0, "segmentation DONN needs at least one layer");
-        let split = if options.skip_connection { (depth / 2).max(1).min(depth) } else { depth };
+        let split = if options.skip_connection {
+            (depth / 2).max(1).min(depth)
+        } else {
+            depth
+        };
         let make = |i: usize| {
             let mut l = DiffractiveLayer::new(grid, wavelength, distance, approximation, 1.0);
             l.randomize_phases(init_seed.wrapping_add(i as u64 * 7919));
@@ -108,7 +118,14 @@ impl SegmentationDonn {
             approximation,
         );
         let final_propagator = FreeSpace::new(grid, wavelength, distance, approximation);
-        SegmentationDonn { pre, post, skip_propagator, final_propagator, options, grid }
+        SegmentationDonn {
+            pre,
+            post,
+            skip_propagator,
+            final_propagator,
+            options,
+            grid,
+        }
     }
 
     /// The architecture switches in effect.
@@ -161,7 +178,14 @@ impl SegmentationDonn {
         } else {
             (None, intensity.clone())
         };
-        SegTrace { pre_caches, post_caches, detector_field: u, intensity, ln, prediction }
+        SegTrace {
+            pre_caches,
+            post_caches,
+            detector_field: u,
+            intensity,
+            ln,
+            prediction,
+        }
     }
 
     /// Predicted binary mask for an input image, thresholded at the mean
@@ -171,7 +195,11 @@ impl SegmentationDonn {
         let input = Field::from_amplitudes(rows, cols, image);
         let trace = self.forward(&input);
         let mean = trace.intensity.iter().sum::<f64>() / trace.intensity.len() as f64;
-        trace.intensity.iter().map(|&i| f64::from(i >= mean)).collect()
+        trace
+            .intensity
+            .iter()
+            .map(|&i| f64::from(i >= mean))
+            .collect()
     }
 
     /// Mean IoU over a dataset.
@@ -416,14 +444,20 @@ mod tests {
         let before = d.evaluate_iou(&data);
         d.train(&data, 8, 6, 0.05, 2);
         let after = d.evaluate_iou(&data);
-        assert!(after > before - 0.05, "IoU should not collapse: {before} -> {after}");
+        assert!(
+            after > before - 0.05,
+            "IoU should not collapse: {before} -> {after}"
+        );
         assert!(after > 0.2, "trained IoU too low: {after}");
     }
 
     #[test]
     fn skip_connection_changes_forward() {
         let with = donn(SegmentationOptions::proposed());
-        let without = donn(SegmentationOptions { skip_connection: false, layer_norm: true });
+        let without = donn(SegmentationOptions {
+            skip_connection: false,
+            layer_norm: true,
+        });
         let (img, _) = &toy_masks(1, 16)[0];
         let input = Field::from_amplitudes(16, 16, img);
         let a = with.forward(&input).intensity;

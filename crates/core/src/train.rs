@@ -92,7 +92,11 @@ impl TraceRing {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace ring needs at least one slot");
-        TraceRing { slots: Vec::with_capacity(capacity), capacity, next: 0 }
+        TraceRing {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
     }
 
     /// Number of trace slots currently materialized.
@@ -117,7 +121,8 @@ impl TraceRing {
         ws: &mut PropagationWorkspace,
     ) -> &'a Trace {
         if self.slots.len() < self.capacity {
-            self.slots.push(model.forward_trace_with(input, mode, seed, ws));
+            self.slots
+                .push(model.forward_trace_with(input, mode, seed, ws));
             self.slots.last().expect("just pushed")
         } else {
             let i = self.next;
@@ -147,12 +152,20 @@ pub struct EpochStats {
 ///
 /// Panics if `data` is empty, any image length mismatches the grid, or any
 /// label is out of range.
-pub fn train(model: &mut DonnModel, data: &[LabeledImage], config: &TrainConfig) -> Vec<EpochStats> {
+pub fn train(
+    model: &mut DonnModel,
+    data: &[LabeledImage],
+    config: &TrainConfig,
+) -> Vec<EpochStats> {
     assert!(!data.is_empty(), "training set must be non-empty");
     let (rows, cols) = model.grid().shape();
     let classes = model.num_classes();
     for (img, label) in data {
-        assert_eq!(img.len(), rows * cols, "image size must match the model grid");
+        assert_eq!(
+            img.len(),
+            rows * cols,
+            "image size must match the model grid"
+        );
         assert!(*label < classes, "label out of range");
     }
 
@@ -366,7 +379,11 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let mut img = vec![0.0; rows * cols];
-            let (r0, r1) = if label == 0 { (0, rows / 2) } else { (rows / 2, rows) };
+            let (r0, r1) = if label == 0 {
+                (0, rows / 2)
+            } else {
+                (rows / 2, rows)
+            };
             for r in r0..r1 {
                 for c in (cols / 4)..(3 * cols / 4) {
                     img[r * cols + c] = 1.0;
@@ -429,11 +446,19 @@ mod tests {
     fn detector_noise_degrades_or_preserves_accuracy() {
         let mut model = toy_model(2);
         let data = toy_dataset(30, 16, 16);
-        let config = TrainConfig { epochs: 6, batch_size: 10, learning_rate: 0.1, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 10,
+            learning_rate: 0.1,
+            ..TrainConfig::default()
+        };
         train(&mut model, &data, &config);
         let clean = evaluate(&model, &data);
         let noisy = evaluate_with_detector_noise(&model, &data, 0.05, 1);
-        assert!(noisy <= clean + 0.15, "noise should not significantly help: clean {clean}, noisy {noisy}");
+        assert!(
+            noisy <= clean + 0.15,
+            "noise should not significantly help: clean {clean}, noisy {noisy}"
+        );
         // Identity at zero noise.
         let zero = evaluate_with_detector_noise(&model, &data, 0.0, 1);
         assert!((zero - clean).abs() < 1e-12);
@@ -484,6 +509,9 @@ mod tests {
         let hard = evaluate_deployed(&model, &data);
         assert!(soft > 0.8, "codesign soft accuracy too low: {soft}");
         // Deployment gap of a codesign model should be small.
-        assert!(hard >= soft - 0.2, "codesign deployment gap too large: {soft} -> {hard}");
+        assert!(
+            hard >= soft - 0.2,
+            "codesign deployment gap too large: {soft} -> {hard}"
+        );
     }
 }

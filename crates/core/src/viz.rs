@@ -42,14 +42,21 @@ pub fn view_intensity(field: &Field, max_width: usize) -> String {
 
 /// Renders a phase mask (radians, any range; wrapped to `[0, 2π)`).
 pub fn view_phase(phases: &[f64], rows: usize, cols: usize, max_width: usize) -> String {
-    let wrapped: Vec<f64> = phases.iter().map(|p| p.rem_euclid(std::f64::consts::TAU)).collect();
+    let wrapped: Vec<f64> = phases
+        .iter()
+        .map(|p| p.rem_euclid(std::f64::consts::TAU))
+        .collect();
     ascii_heatmap(&wrapped, rows, cols, max_width)
 }
 
 /// Renders a labelled bar chart of class logits (detector readings).
 pub fn view_logits(logits: &[f64], labels: Option<&[&str]>) -> String {
     use std::fmt::Write;
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(1e-30);
+    let max = logits
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-30);
     let mut out = String::new();
     for (i, &v) in logits.iter().enumerate() {
         let bar_len = ((v / max).max(0.0) * 40.0).round() as usize;
@@ -111,7 +118,11 @@ pub fn save_pgm(
     let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-30);
     let mut bytes = format!("P5\n{cols} {rows}\n255\n").into_bytes();
-    bytes.extend(values.iter().map(|&v| (((v - lo) / span) * 255.0).round() as u8));
+    bytes.extend(
+        values
+            .iter()
+            .map(|&v| (((v - lo) / span) * 255.0).round() as u8),
+    );
     std::fs::write(path, bytes)
 }
 

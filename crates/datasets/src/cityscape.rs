@@ -28,7 +28,12 @@ pub struct CityscapeConfig {
 
 impl Default for CityscapeConfig {
     fn default() -> Self {
-        CityscapeConfig { size: 64, buildings: 3, distractors: 2, texture: 0.15 }
+        CityscapeConfig {
+            size: 64,
+            buildings: 3,
+            distractors: 2,
+            texture: 0.15,
+        }
     }
 }
 
@@ -117,7 +122,10 @@ mod tests {
         assert!(!building_px.is_empty(), "mask must be non-trivial");
         let mean_b = building_px.iter().sum::<f64>() / building_px.len() as f64;
         let mean_bg = bg_px.iter().sum::<f64>() / bg_px.len() as f64;
-        assert!(mean_b > mean_bg + 0.2, "buildings should be brighter: {mean_b} vs {mean_bg}");
+        assert!(
+            mean_b > mean_bg + 0.2,
+            "buildings should be brighter: {mean_b} vs {mean_bg}"
+        );
     }
 
     #[test]
@@ -127,7 +135,10 @@ mod tests {
         for (_, mask) in &data {
             assert!(mask.iter().all(|&m| m == 0.0 || m == 1.0));
             let frac = mask.iter().sum::<f64>() / mask.len() as f64;
-            assert!(frac > 0.02 && frac < 0.75, "building fraction {frac} implausible");
+            assert!(
+                frac > 0.02 && frac < 0.75,
+                "building fraction {frac} implausible"
+            );
         }
     }
 
@@ -135,11 +146,18 @@ mod tests {
     fn distractors_are_not_in_mask() {
         // With zero buildings, the mask must be empty even though
         // distractors brighten the image.
-        let config = CityscapeConfig { buildings: 0, distractors: 5, ..Default::default() };
+        let config = CityscapeConfig {
+            buildings: 0,
+            distractors: 5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let (img, mask) = render_scene(&config, &mut rng);
         assert!(mask.iter().all(|&m| m == 0.0));
-        assert!(img.iter().cloned().fold(0.0, f64::max) > 0.8, "distractors must be bright");
+        assert!(
+            img.iter().cloned().fold(0.0, f64::max) > 0.8,
+            "distractors must be bright"
+        );
     }
 
     #[test]

@@ -14,25 +14,55 @@ use rand::{Rng, SeedableRng};
 /// 7×5 bitmap font for digits 0–9 (row-major, 1 = stroke).
 const GLYPHS: [[u8; 35]; 10] = [
     // 0
-    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,1,1, 1,0,1,0,1, 1,1,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 1
-    [0,0,1,0,0, 0,1,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,1,1,1,0],
+    [
+        0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0,
+        0, 1, 1, 1, 0,
+    ],
     // 2
-    [0,1,1,1,0, 1,0,0,0,1, 0,0,0,0,1, 0,0,0,1,0, 0,0,1,0,0, 0,1,0,0,0, 1,1,1,1,1],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0,
+        1, 1, 1, 1, 1,
+    ],
     // 3
-    [1,1,1,1,1, 0,0,0,1,0, 0,0,1,0,0, 0,0,0,1,0, 0,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 4
-    [0,0,0,1,0, 0,0,1,1,0, 0,1,0,1,0, 1,0,0,1,0, 1,1,1,1,1, 0,0,0,1,0, 0,0,0,1,0],
+    [
+        0, 0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 1, 1, 0, 0, 0, 1, 0,
+        0, 0, 0, 1, 0,
+    ],
     // 5
-    [1,1,1,1,1, 1,0,0,0,0, 1,1,1,1,0, 0,0,0,0,1, 0,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 6
-    [0,0,1,1,0, 0,1,0,0,0, 1,0,0,0,0, 1,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        0, 0, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 7
-    [1,1,1,1,1, 0,0,0,0,1, 0,0,0,1,0, 0,0,1,0,0, 0,1,0,0,0, 0,1,0,0,0, 0,1,0,0,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0,
+        0, 1, 0, 0, 0,
+    ],
     // 8
-    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // 9
-    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,1, 0,0,0,0,1, 0,0,0,1,0, 0,1,1,0,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
 ];
 
 /// Configuration for the digit generator.
@@ -52,7 +82,13 @@ pub struct DigitsConfig {
 
 impl Default for DigitsConfig {
     fn default() -> Self {
-        DigitsConfig { size: 64, glyph_scale: 0.6, jitter: 0.08, noise: 0.05, binarize: true }
+        DigitsConfig {
+            size: 64,
+            glyph_scale: 0.6,
+            jitter: 0.08,
+            noise: 0.05,
+            binarize: true,
+        }
     }
 }
 
@@ -120,9 +156,15 @@ mod tests {
 
     #[test]
     fn renders_all_digits_nonempty_and_distinct() {
-        let config = DigitsConfig { noise: 0.0, jitter: 0.0, ..Default::default() };
+        let config = DigitsConfig {
+            noise: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
-        let imgs: Vec<Vec<f64>> = (0..10).map(|d| render_digit(d, &config, &mut rng)).collect();
+        let imgs: Vec<Vec<f64>> = (0..10)
+            .map(|d| render_digit(d, &config, &mut rng))
+            .collect();
         for (d, img) in imgs.iter().enumerate() {
             let on = img.iter().filter(|&&v| v > 0.5).count();
             assert!(on > 20, "digit {d} glyph too sparse ({on} px)");
@@ -158,14 +200,23 @@ mod tests {
         for d in 0..10 {
             assert_eq!(a.iter().filter(|(_, l)| *l == d).count(), 5);
         }
-        assert!(a.iter().zip(&b).all(|(x, y)| x == y), "same seed must reproduce");
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x == y),
+            "same seed must reproduce"
+        );
         let c = generate(50, &config, 10);
-        assert!(a.iter().zip(&c).any(|(x, y)| x != y), "different seeds must differ");
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x != y),
+            "different seeds must differ"
+        );
     }
 
     #[test]
     fn images_have_requested_size() {
-        let config = DigitsConfig { size: 48, ..Default::default() };
+        let config = DigitsConfig {
+            size: 48,
+            ..Default::default()
+        };
         let data = generate(3, &config, 0);
         assert!(data.iter().all(|(img, _)| img.len() == 48 * 48));
     }

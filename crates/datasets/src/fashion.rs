@@ -12,8 +12,16 @@ use rand::{Rng, SeedableRng};
 
 /// Class names, index-aligned with the generated labels.
 pub const CLASS_NAMES: [&str; 10] = [
-    "t-shirt", "trouser", "pullover", "dress", "coat",
-    "sandal", "shirt", "sneaker", "bag", "ankle-boot",
+    "t-shirt",
+    "trouser",
+    "pullover",
+    "dress",
+    "coat",
+    "sandal",
+    "shirt",
+    "sneaker",
+    "bag",
+    "ankle-boot",
 ];
 
 /// Configuration for the silhouette generator.
@@ -29,7 +37,11 @@ pub struct FashionConfig {
 
 impl Default for FashionConfig {
     fn default() -> Self {
-        FashionConfig { size: 64, jitter: 0.06, noise: 0.05 }
+        FashionConfig {
+            size: 64,
+            jitter: 0.06,
+            noise: 0.05,
+        }
     }
 }
 
@@ -68,7 +80,10 @@ pub fn render_item(class: usize, config: &FashionConfig, rng: &mut StdRng) -> Ve
             // 2 pullover: wide torso + long sleeves
             2 => {
                 let torso = (0.3..0.7).contains(&u) && (0.2..0.85).contains(&v);
-                let sleeves = (0.1..0.9).contains(&u) && (0.2..0.75).contains(&v) && !(0.3..0.7).contains(&u) && (u - 0.5).abs() < 0.42;
+                let sleeves = (0.1..0.9).contains(&u)
+                    && (0.2..0.75).contains(&v)
+                    && !(0.3..0.7).contains(&u)
+                    && (u - 0.5).abs() < 0.42;
                 torso || sleeves
             }
             // 3 dress: triangle flaring downward
@@ -156,7 +171,11 @@ mod tests {
 
     #[test]
     fn all_classes_render_distinct_shapes() {
-        let config = FashionConfig { jitter: 0.0, noise: 0.0, ..Default::default() };
+        let config = FashionConfig {
+            jitter: 0.0,
+            noise: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let imgs: Vec<Vec<f64>> = (0..10).map(|c| render_item(c, &config, &mut rng)).collect();
         for (c, img) in imgs.iter().enumerate() {
@@ -170,7 +189,10 @@ mod tests {
                     .zip(&imgs[b])
                     .filter(|(x, y)| (*x > &0.5) != (*y > &0.5))
                     .count();
-                assert!(diff > 150, "classes {a}/{b} too similar: {diff} differing px");
+                assert!(
+                    diff > 150,
+                    "classes {a}/{b} too similar: {diff} differing px"
+                );
             }
         }
     }
@@ -178,7 +200,11 @@ mod tests {
     #[test]
     fn silhouettes_denser_than_digits() {
         // The "harder dataset" property: fashion items fill more area.
-        let f_config = FashionConfig { jitter: 0.0, noise: 0.0, ..Default::default() };
+        let f_config = FashionConfig {
+            jitter: 0.0,
+            noise: 0.0,
+            ..Default::default()
+        };
         let d_config = crate::digits::DigitsConfig {
             jitter: 0.0,
             noise: 0.0,
@@ -186,7 +212,12 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(0);
         let fashion_px: usize = (0..10)
-            .map(|c| render_item(c, &f_config, &mut rng).iter().filter(|&&v| v > 0.5).count())
+            .map(|c| {
+                render_item(c, &f_config, &mut rng)
+                    .iter()
+                    .filter(|&&v| v > 0.5)
+                    .count()
+            })
             .sum();
         let digit_px: usize = (0..10)
             .map(|d| {
@@ -196,7 +227,10 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(fashion_px > digit_px, "fashion {fashion_px} vs digits {digit_px}");
+        assert!(
+            fashion_px > digit_px,
+            "fashion {fashion_px} vs digits {digit_px}"
+        );
     }
 
     #[test]

@@ -19,25 +19,55 @@ use rand::{Rng, SeedableRng};
 /// sweeping tails, and crossing strokes.
 const GLYPHS: [[u8; 35]; 10] = [
     // su-like: horizontal bar with descending hook
-    [1,1,1,1,1, 0,0,1,0,0, 0,1,1,1,0, 0,1,0,1,0, 0,0,1,1,0, 0,0,0,1,0, 0,1,1,0,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
     // tsu-like: shallow arc opening downward
-    [0,0,0,0,0, 1,1,0,0,0, 0,0,1,1,0, 0,0,0,0,1, 0,0,0,0,1, 0,0,0,1,0, 0,1,1,0,0],
+    [
+        0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
     // ha-like: vertical with right sweeping branch
-    [0,1,0,0,0, 0,1,0,1,0, 0,1,1,0,1, 1,1,0,0,1, 0,1,0,0,1, 0,1,0,1,0, 0,1,0,0,0],
+    [
+        0, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0,
+        0, 1, 0, 0, 0,
+    ],
     // na-like: cross with sweeping lower tail
-    [0,0,1,0,0, 1,1,1,1,1, 0,0,1,0,0, 0,1,0,1,0, 0,1,0,0,1, 1,0,0,0,1, 0,0,0,1,0],
+    [
+        0, 0, 1, 0, 0, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 0, 0, 1, 0,
+    ],
     // re-like: vertical with rightward flick
-    [0,1,0,0,0, 0,1,0,0,0, 0,1,1,0,0, 1,1,0,1,0, 0,1,0,0,1, 0,1,0,0,1, 0,1,0,1,0],
+    [
+        0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 0, 1,
+        0, 1, 0, 1, 0,
+    ],
     // ya-like: diagonal sweep with crossing stroke
-    [0,0,0,1,0, 1,0,1,1,0, 0,1,1,0,1, 0,0,1,0,1, 0,1,0,1,0, 0,1,0,0,0, 1,0,0,0,0],
+    [
+        0, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0,
+        1, 0, 0, 0, 0,
+    ],
     // ma-like: double horizontal with center loop tail
-    [1,1,1,1,1, 0,0,1,0,0, 1,1,1,1,1, 0,0,1,0,0, 0,1,1,1,0, 0,1,0,1,0, 0,0,1,1,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0,
+        0, 0, 1, 1, 0,
+    ],
     // ki-like: two bars with diagonal crossing
-    [0,1,0,0,0, 1,1,1,1,0, 0,1,0,0,0, 1,1,1,1,0, 0,1,1,0,0, 0,0,0,1,0, 0,0,1,1,0],
+    [
+        0, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 0,
+        0, 0, 1, 1, 0,
+    ],
     // o-like: loop with diagonal entry
-    [0,0,1,0,0, 0,0,1,0,0, 1,1,1,1,0, 0,0,1,0,1, 0,1,1,1,1, 1,0,1,0,1, 0,1,1,1,0],
+    [
+        0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 0, 1, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // n-like: single sweeping S-curve
-    [0,0,1,0,0, 0,1,0,0,0, 0,1,0,0,0, 1,0,1,0,0, 1,0,0,1,0, 1,0,0,0,1, 0,0,0,0,1],
+    [
+        0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1,
+        0, 0, 0, 0, 1,
+    ],
 ];
 
 /// Configuration for the cursive-glyph generator.
@@ -57,7 +87,13 @@ pub struct KuzushijiConfig {
 
 impl Default for KuzushijiConfig {
     fn default() -> Self {
-        KuzushijiConfig { size: 64, glyph_scale: 0.6, jitter: 0.08, noise: 0.05, binarize: true }
+        KuzushijiConfig {
+            size: 64,
+            glyph_scale: 0.6,
+            jitter: 0.08,
+            noise: 0.05,
+            binarize: true,
+        }
     }
 }
 
@@ -124,7 +160,10 @@ mod tests {
 
     #[test]
     fn generates_balanced_labels_in_range() {
-        let config = KuzushijiConfig { size: 24, ..Default::default() };
+        let config = KuzushijiConfig {
+            size: 24,
+            ..Default::default()
+        };
         let data = generate(50, &config, 3);
         assert_eq!(data.len(), 50);
         for class in 0..10 {
@@ -138,7 +177,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let config = KuzushijiConfig { size: 16, ..Default::default() };
+        let config = KuzushijiConfig {
+            size: 16,
+            ..Default::default()
+        };
         assert_eq!(generate(20, &config, 7), generate(20, &config, 7));
         assert_ne!(generate(20, &config, 7), generate(20, &config, 8));
     }
@@ -162,13 +204,20 @@ mod tests {
 
     #[test]
     fn noise_free_binarized_glyph_is_sparse() {
-        let config =
-            KuzushijiConfig { size: 32, noise: 0.0, jitter: 0.0, ..Default::default() };
+        let config = KuzushijiConfig {
+            size: 32,
+            noise: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let img = render_glyph(0, &config, &mut rng);
         let lit = img.iter().filter(|&&v| v > 0.5).count();
         // Strokes are sparse: between 2% and 40% of pixels.
-        assert!(lit > img.len() / 50 && lit < img.len() * 2 / 5, "lit = {lit}");
+        assert!(
+            lit > img.len() / 50 && lit < img.len() * 2 / 5,
+            "lit = {lit}"
+        );
     }
 
     #[test]

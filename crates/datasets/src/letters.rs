@@ -15,37 +15,85 @@ use rand::{Rng, SeedableRng};
 /// skipped: at this resolution it differs from F in only 3 cells.
 const GLYPHS: [[u8; 35]; 16] = [
     // A
-    [0,0,1,0,0, 0,1,0,1,0, 1,0,0,0,1, 1,0,0,0,1, 1,1,1,1,1, 1,0,0,0,1, 1,0,0,0,1],
+    [
+        0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 1,
+        1, 0, 0, 0, 1,
+    ],
     // B
-    [1,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 1,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 1,1,1,1,0],
+    [
+        1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        1, 1, 1, 1, 0,
+    ],
     // C (square-cornered so it stays distinct from O at low resolution)
-    [0,1,1,1,1, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 0,1,1,1,1],
+    [
+        0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+        0, 1, 1, 1, 1,
+    ],
     // D
-    [1,1,1,0,0, 1,0,0,1,0, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,1,0, 1,1,1,0,0],
+    [
+        1, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0,
+        1, 1, 1, 0, 0,
+    ],
     // E
-    [1,1,1,1,1, 1,0,0,0,0, 1,0,0,0,0, 1,1,1,1,0, 1,0,0,0,0, 1,0,0,0,0, 1,1,1,1,1],
+    [
+        1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+        1, 1, 1, 1, 1,
+    ],
     // F
-    [1,1,1,1,1, 1,0,0,0,0, 1,0,0,0,0, 1,1,1,1,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0],
+    [
+        1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+        1, 0, 0, 0, 0,
+    ],
     // G (open top-right, inner bar — kept ≥4 cells from both C and O)
-    [0,1,1,1,1, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,1,1, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,1],
+    [
+        0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 1,
+    ],
     // H
-    [1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1, 1,1,1,1,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1],
+    [
+        1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        1, 0, 0, 0, 1,
+    ],
     // I
-    [0,1,1,1,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0,
+        0, 1, 1, 1, 0,
+    ],
     // J
-    [0,0,1,1,1, 0,0,0,1,0, 0,0,0,1,0, 0,0,0,1,0, 0,0,0,1,0, 1,0,0,1,0, 0,1,1,0,0],
+    [
+        0, 0, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
     // K
-    [1,0,0,0,1, 1,0,0,1,0, 1,0,1,0,0, 1,1,0,0,0, 1,0,1,0,0, 1,0,0,1,0, 1,0,0,0,1],
+    [
+        1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0,
+        1, 0, 0, 0, 1,
+    ],
     // L
-    [1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,0,0,0,0, 1,1,1,1,1],
+    [
+        1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+        1, 1, 1, 1, 1,
+    ],
     // M (filled center row keeps it ≥4 cells from N at this resolution)
-    [1,0,0,0,1, 1,1,0,1,1, 1,1,1,1,1, 1,0,1,0,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1],
+    [
+        1, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        1, 0, 0, 0, 1,
+    ],
     // N
-    [1,0,0,0,1, 1,1,0,0,1, 1,0,1,0,1, 1,0,0,1,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1],
+    [
+        1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        1, 0, 0, 0, 1,
+    ],
     // O
-    [0,1,1,1,0, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1, 1,0,0,0,1, 0,1,1,1,0],
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
     // T
-    [1,1,1,1,1, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0, 0,0,1,0,0],
+    [
+        1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0,
+        0, 0, 1, 0, 0,
+    ],
 ];
 
 /// Number of letter classes available (A–P).
@@ -88,7 +136,10 @@ impl Default for LettersConfig {
 /// Panics if `class >= config.num_classes`, `config.num_classes` exceeds
 /// [`NUM_LETTERS`], or the configured size is zero.
 pub fn render_letter(class: usize, config: &LettersConfig, rng: &mut StdRng) -> Vec<f64> {
-    assert!(config.num_classes <= NUM_LETTERS, "at most {NUM_LETTERS} letter classes");
+    assert!(
+        config.num_classes <= NUM_LETTERS,
+        "at most {NUM_LETTERS} letter classes"
+    );
     assert!(class < config.num_classes, "class out of range");
     assert!(config.size > 0, "image size must be nonzero");
     let n = config.size;
@@ -146,7 +197,11 @@ mod tests {
 
     #[test]
     fn generates_balanced_labels_for_requested_classes() {
-        let config = LettersConfig { size: 24, num_classes: 8, ..Default::default() };
+        let config = LettersConfig {
+            size: 24,
+            num_classes: 8,
+            ..Default::default()
+        };
         let data = generate(40, &config, 3);
         assert_eq!(data.len(), 40);
         for class in 0..8 {
@@ -157,7 +212,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let config = LettersConfig { size: 16, ..Default::default() };
+        let config = LettersConfig {
+            size: 16,
+            ..Default::default()
+        };
         assert_eq!(generate(20, &config, 7), generate(20, &config, 7));
     }
 
@@ -178,18 +236,28 @@ mod tests {
 
     #[test]
     fn all_sixteen_classes_render() {
-        let config = LettersConfig { size: 20, num_classes: NUM_LETTERS, ..Default::default() };
+        let config = LettersConfig {
+            size: 20,
+            num_classes: NUM_LETTERS,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for class in 0..NUM_LETTERS {
             let img = render_letter(class, &config, &mut rng);
-            assert!(img.iter().any(|&v| v > 0.5), "letter {class} rendered empty");
+            assert!(
+                img.iter().any(|&v| v > 0.5),
+                "letter {class} rendered empty"
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "class out of range")]
     fn rejects_class_beyond_config() {
-        let config = LettersConfig { num_classes: 4, ..Default::default() };
+        let config = LettersConfig {
+            num_classes: 4,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let _ = render_letter(4, &config, &mut rng);
     }

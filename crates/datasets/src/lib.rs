@@ -54,7 +54,10 @@ pub struct Split<T> {
 ///
 /// Panics if `fraction` is outside `(0, 1)`.
 pub fn split<T>(mut data: Vec<T>, fraction: f64) -> Split<T> {
-    assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0,1)"
+    );
     let cut = ((data.len() as f64) * fraction).round() as usize;
     let test = data.split_off(cut.min(data.len()));
     Split { train: data, test }
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn split_stays_class_balanced_for_interleaved_data() {
-        let config = digits::DigitsConfig { size: 16, ..Default::default() };
+        let config = digits::DigitsConfig {
+            size: 16,
+            ..Default::default()
+        };
         let s = split(digits::generate(100, &config, 0), 0.8);
         for class in 0..10 {
             let train_n = s.train.iter().filter(|(_, l)| *l == class).count();

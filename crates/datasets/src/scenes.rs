@@ -38,7 +38,10 @@ pub struct ScenesConfig {
 
 impl Default for ScenesConfig {
     fn default() -> Self {
-        ScenesConfig { size: 64, noise: 0.05 }
+        ScenesConfig {
+            size: 64,
+            noise: 0.05,
+        }
     }
 }
 
@@ -148,7 +151,10 @@ mod tests {
 
     #[test]
     fn channel_dominance_matches_archetype() {
-        let config = ScenesConfig { noise: 0.0, ..Default::default() };
+        let config = ScenesConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let dominant = [1usize, 0, 2, 0, 1, 2];
         for (class, &dom) in dominant.iter().enumerate() {
@@ -168,7 +174,10 @@ mod tests {
     fn grayscale_merges_within_layout_group() {
         // Classes sharing a layout become near-identical in grayscale —
         // the property that defeats the single-channel baseline.
-        let config = ScenesConfig { noise: 0.0, ..Default::default() };
+        let config = ScenesConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
         // Use the same stripe phase by reseeding per render.
         let a = {
@@ -180,17 +189,26 @@ mod tests {
             to_grayscale(&render_scene(1, &config, &mut r))
         };
         let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
-        assert!(diff < 1e-9, "same-layout classes must merge in grayscale: {diff}");
+        assert!(
+            diff < 1e-9,
+            "same-layout classes must merge in grayscale: {diff}"
+        );
         // But different layouts stay distinguishable in grayscale.
         let c = to_grayscale(&render_scene(3, &config, &mut rng));
         let diff_layout: f64 =
             a.iter().zip(&c).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
-        assert!(diff_layout > 0.05, "different layouts should differ in grayscale");
+        assert!(
+            diff_layout > 0.05,
+            "different layouts should differ in grayscale"
+        );
     }
 
     #[test]
     fn generate_balanced_and_shaped() {
-        let config = ScenesConfig { size: 32, ..Default::default() };
+        let config = ScenesConfig {
+            size: 32,
+            ..Default::default()
+        };
         let data = generate(18, &config, 7);
         assert_eq!(data.len(), 18);
         for c in 0..6 {

@@ -133,9 +133,13 @@ pub fn evaluate_design(
     distance_m: f64,
     task: &DseTask,
 ) -> f64 {
-    evaluate_design_on(wavelength_m, unit_size_m, distance_m, task, &|n, size, classes, seed| {
-        class_limited_digits(n, size, classes, seed)
-    })
+    evaluate_design_on(
+        wavelength_m,
+        unit_size_m,
+        distance_m,
+        task,
+        &|n, size, classes, seed| class_limited_digits(n, size, classes, seed),
+    )
 }
 
 /// Like [`evaluate_design`] but on a caller-provided dataset — the hook the
@@ -176,8 +180,15 @@ pub fn evaluate_design_on(
         task.num_classes,
         task.seed,
     );
-    assert_eq!(data.len(), task.train_samples + task.test_samples, "dataset returned wrong count");
-    assert!(data.iter().all(|(_, l)| *l < task.num_classes), "dataset label out of range");
+    assert_eq!(
+        data.len(),
+        task.train_samples + task.test_samples,
+        "dataset returned wrong count"
+    );
+    assert!(
+        data.iter().all(|(_, l)| *l < task.num_classes),
+        "dataset label out of range"
+    );
     let (train_set, test_set) = data.split_at(task.train_samples);
     let config = TrainConfig {
         epochs: task.epochs,
@@ -197,7 +208,10 @@ fn class_limited_digits(
     num_classes: usize,
     seed: u64,
 ) -> Vec<(Vec<f64>, usize)> {
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     // Generate extra and filter to keep class balance.
     let factor = 10usize.div_ceil(num_classes);
     digits::generate(n * factor + 10, &config, seed)
@@ -243,15 +257,25 @@ impl AnalyticalDse {
     ///
     /// Panics if `points` is empty.
     pub fn fit(points: &[DsePoint], config: BoostConfig) -> Self {
-        assert!(!points.is_empty(), "need explored points to fit the analytical model");
+        assert!(
+            !points.is_empty(),
+            "need explored points to fit the analytical model"
+        );
         let x: Vec<Vec<f64>> = points.iter().map(DsePoint::features).collect();
         let y: Vec<f64> = points.iter().map(|p| p.accuracy).collect();
-        AnalyticalDse { model: GradientBoostingRegressor::fit(&x, &y, config) }
+        AnalyticalDse {
+            model: GradientBoostingRegressor::fit(&x, &y, config),
+        }
     }
 
     /// Predicted accuracy at a design point.
     pub fn predict(&self, wavelength_m: f64, unit_size_m: f64, distance_m: f64) -> f64 {
-        let point = DsePoint { wavelength_m, unit_size_m, distance_m, accuracy: 0.0 };
+        let point = DsePoint {
+            wavelength_m,
+            unit_size_m,
+            distance_m,
+            accuracy: 0.0,
+        };
         self.model.predict(&point.features())
     }
 
@@ -285,7 +309,11 @@ impl AnalyticalDse {
     ) -> DsePoint {
         self.predict_grid(wavelength_m, unit_sizes_m, distances_m)
             .into_iter()
-            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("non-empty grid")
     }
 
@@ -321,7 +349,13 @@ pub fn sensitivity_analysis(
         shifts: shifts.to_vec(),
         accuracies: shifts
             .iter()
-            .map(|s| eval(base.wavelength_m * (1.0 + s), base.unit_size_m, base.distance_m))
+            .map(|s| {
+                eval(
+                    base.wavelength_m * (1.0 + s),
+                    base.unit_size_m,
+                    base.distance_m,
+                )
+            })
             .collect(),
     }];
     rows.push(SensitivityRow {
@@ -329,7 +363,13 @@ pub fn sensitivity_analysis(
         shifts: shifts.to_vec(),
         accuracies: shifts
             .iter()
-            .map(|s| eval(base.wavelength_m, base.unit_size_m, base.distance_m * (1.0 + s)))
+            .map(|s| {
+                eval(
+                    base.wavelength_m,
+                    base.unit_size_m,
+                    base.distance_m * (1.0 + s),
+                )
+            })
             .collect(),
     });
     rows.push(SensitivityRow {
@@ -337,7 +377,13 @@ pub fn sensitivity_analysis(
         shifts: shifts.to_vec(),
         accuracies: shifts
             .iter()
-            .map(|s| eval(base.wavelength_m, base.unit_size_m * (1.0 + s), base.distance_m))
+            .map(|s| {
+                eval(
+                    base.wavelength_m,
+                    base.unit_size_m * (1.0 + s),
+                    base.distance_m,
+                )
+            })
             .collect(),
     });
     rows
@@ -353,7 +399,10 @@ mod tests {
         // λ=532nm, pitch 36um. Pick z so the diffraction spread λz/p covers
         // about half the aperture (16·36µm ≈ 0.58mm): z ≈ 0.02 m.
         let acc = evaluate_design(532e-9, 36e-6, 0.02, &task);
-        assert!(acc > 1.2 / task.num_classes as f64, "accuracy {acc} barely above chance");
+        assert!(
+            acc > 1.2 / task.num_classes as f64,
+            "accuracy {acc} barely above chance"
+        );
     }
 
     #[test]
@@ -392,7 +441,11 @@ mod tests {
         }
         let dse = AnalyticalDse::fit(
             &points,
-            BoostConfig { n_estimators: 300, learning_rate: 0.1, max_depth: 3 },
+            BoostConfig {
+                n_estimators: 300,
+                learning_rate: 0.1,
+                max_depth: 3,
+            },
         );
         assert!(dse.r_squared(&points) > 0.95);
         // Predict at 532 nm: the best unit size on the grid should be near

@@ -39,7 +39,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 3, min_samples_split: 2 }
+        TreeConfig {
+            max_depth: 3,
+            min_samples_split: 2,
+        }
     }
 }
 
@@ -67,8 +70,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if features[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -111,7 +123,12 @@ fn build(
             nodes.push(Node::Leaf { value: mean }); // placeholder
             let left = build(nodes, x, y, &l_idx, depth + 1, config);
             let right = build(nodes, x, y, &r_idx, depth + 1, config);
-            nodes[my_index] = Node::Split { feature, threshold, left, right };
+            nodes[my_index] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
             my_index
         }
     }
@@ -134,7 +151,11 @@ fn best_split(x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Option<(usize, f6
     #[allow(clippy::needless_range_loop)]
     for f in 0..d {
         let mut order: Vec<usize> = indices.to_vec();
-        order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
         for (k, &i) in order.iter().enumerate().take(n - 1) {
@@ -148,14 +169,21 @@ fn best_split(x: &[Vec<f64>], y: &[f64], indices: &[usize]) -> Option<(usize, f6
             let nr = (n - k - 1) as f64;
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             if best.is_none_or(|(_, _, b)| sse < b) {
                 let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
                 best = Some((f, threshold, sse));
             }
         }
     }
-    best.and_then(|(f, t, sse)| if sse < parent_sse - 1e-15 { Some((f, t)) } else { None })
+    best.and_then(|(f, t, sse)| {
+        if sse < parent_sse - 1e-15 {
+            Some((f, t))
+        } else {
+            None
+        }
+    })
 }
 
 /// Gradient-boosted ensemble of regression trees (squared loss).
@@ -180,7 +208,11 @@ pub struct BoostConfig {
 
 impl Default for BoostConfig {
     fn default() -> Self {
-        BoostConfig { n_estimators: 3500, learning_rate: 0.2, max_depth: 3 }
+        BoostConfig {
+            n_estimators: 3500,
+            learning_rate: 0.2,
+            max_depth: 3,
+        }
     }
 }
 
@@ -193,10 +225,16 @@ impl GradientBoostingRegressor {
     pub fn fit(x: &[Vec<f64>], y: &[f64], config: BoostConfig) -> Self {
         assert!(!x.is_empty(), "cannot fit on no samples");
         assert_eq!(x.len(), y.len(), "sample/target length mismatch");
-        assert!(config.n_estimators > 0 && config.learning_rate > 0.0, "invalid boosting config");
+        assert!(
+            config.n_estimators > 0 && config.learning_rate > 0.0,
+            "invalid boosting config"
+        );
         let base = y.iter().sum::<f64>() / y.len() as f64;
         let mut residuals: Vec<f64> = y.iter().map(|&v| v - base).collect();
-        let tree_config = TreeConfig { max_depth: config.max_depth, min_samples_split: 2 };
+        let tree_config = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: 2,
+        };
         let mut trees = Vec::with_capacity(config.n_estimators);
         for _ in 0..config.n_estimators {
             let tree = RegressionTree::fit(x, &residuals, tree_config);
@@ -209,14 +247,16 @@ impl GradientBoostingRegressor {
                 break;
             }
         }
-        GradientBoostingRegressor { base, learning_rate: config.learning_rate, trees }
+        GradientBoostingRegressor {
+            base,
+            learning_rate: config.learning_rate,
+            trees,
+        }
     }
 
     /// Predicts the target for one feature vector.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(features)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(features)).sum::<f64>()
     }
 
     /// Number of fitted stages (may be fewer than requested after early
@@ -259,7 +299,14 @@ mod tests {
     fn tree_depth_zero_predicts_mean() {
         let x = vec![vec![0.0], vec![1.0], vec![2.0]];
         let y = [3.0, 6.0, 9.0];
-        let tree = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 0, min_samples_split: 2 });
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        );
         assert!((tree.predict(&[0.0]) - 6.0).abs() < 1e-12);
         assert_eq!(tree.num_nodes(), 1);
     }
@@ -271,7 +318,14 @@ mod tests {
             .map(|i| vec![((i * 17) % 7) as f64, (i % 2) as f64])
             .collect();
         let y: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 10.0).collect();
-        let tree = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 2, min_samples_split: 2 });
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+        );
         assert!((tree.predict(&[3.0, 0.0]) - 0.0).abs() < 1e-9);
         assert!((tree.predict(&[3.0, 1.0]) - 10.0).abs() < 1e-9);
     }
@@ -292,9 +346,17 @@ mod tests {
         let model = GradientBoostingRegressor::fit(
             &x,
             &y,
-            BoostConfig { n_estimators: 200, learning_rate: 0.2, max_depth: 3 },
+            BoostConfig {
+                n_estimators: 200,
+                learning_rate: 0.2,
+                max_depth: 3,
+            },
         );
-        assert!(model.r_squared(&x, &y) > 0.99, "R² = {}", model.r_squared(&x, &y));
+        assert!(
+            model.r_squared(&x, &y) > 0.99,
+            "R² = {}",
+            model.r_squared(&x, &y)
+        );
         // Interpolation at an unseen point.
         let pred = model.predict(&[2.2, 1.6]);
         let truth = 2.2f64.sin() + 0.8;
@@ -308,12 +370,20 @@ mod tests {
         let one = GradientBoostingRegressor::fit(
             &x,
             &y,
-            BoostConfig { n_estimators: 1, learning_rate: 1.0, max_depth: 2 },
+            BoostConfig {
+                n_estimators: 1,
+                learning_rate: 1.0,
+                max_depth: 2,
+            },
         );
         let many = GradientBoostingRegressor::fit(
             &x,
             &y,
-            BoostConfig { n_estimators: 100, learning_rate: 0.2, max_depth: 2 },
+            BoostConfig {
+                n_estimators: 100,
+                learning_rate: 0.2,
+                max_depth: 2,
+            },
         );
         assert!(many.r_squared(&x, &y) > one.r_squared(&x, &y));
     }

@@ -131,8 +131,16 @@ mod tests {
         };
         assert!(program.section("grid").is_some());
         assert!(program.section("laser").is_none());
-        assert!(program.section("grid").unwrap().assignment("size").is_some());
-        assert!(program.section("grid").unwrap().assignment("pixel").is_none());
+        assert!(program
+            .section("grid")
+            .unwrap()
+            .assignment("size")
+            .is_some());
+        assert!(program
+            .section("grid")
+            .unwrap()
+            .assignment("pixel")
+            .is_none());
     }
 
     #[test]
@@ -140,6 +148,9 @@ mod tests {
         assert_eq!(Value::Number(1.0).describe(), "number");
         assert_eq!(Value::Quantity(1.0, Unit::Meter).describe(), "length");
         assert_eq!(Value::Ident("uniform".into()).describe(), "name");
-        assert_eq!(Value::Call("gaussian".into(), vec![]).describe(), "parameterized name");
+        assert_eq!(
+            Value::Call("gaussian".into(), vec![]).describe(),
+            "parameterized name"
+        );
     }
 }

@@ -1,14 +1,10 @@
 //! Compiler: validated [`SystemSpec`] → ready-to-train LightRidge objects.
 
-use crate::spec::{
-    ApproxSpec, DeviceSpec, LayerSpecEntry, ProfileSpec, SystemSpec,
-};
+use crate::spec::{ApproxSpec, DeviceSpec, LayerSpecEntry, ProfileSpec, SystemSpec};
 use lightridge::train::TrainConfig;
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_hardware::SlmModel;
-use lr_optics::{
-    Approximation, BeamProfile, Distance, Grid, Laser, PixelPitch, Wavelength,
-};
+use lr_optics::{Approximation, BeamProfile, Distance, Grid, Laser, PixelPitch, Wavelength};
 
 /// Everything a compiled DSL program yields: the emulation model, the laser
 /// it assumes, and the training configuration from the `training` section.
@@ -50,9 +46,13 @@ impl ProfileSpec {
         match self {
             ProfileSpec::Uniform => BeamProfile::Uniform,
             ProfileSpec::Gaussian { waist } => BeamProfile::Gaussian { waist },
-            ProfileSpec::Bessel { radial_wavenumber, envelope } => {
-                BeamProfile::Bessel { radial_wavenumber, envelope }
-            }
+            ProfileSpec::Bessel {
+                radial_wavenumber,
+                envelope,
+            } => BeamProfile::Bessel {
+                radial_wavenumber,
+                envelope,
+            },
         }
     }
 }
@@ -89,9 +89,11 @@ pub fn compile(spec: &SystemSpec) -> CompiledSystem {
     for layer in &spec.layers {
         builder = match layer {
             LayerSpecEntry::Diffractive { count } => builder.diffractive_layers(*count),
-            LayerSpecEntry::Codesign { count, device, temperature } => {
-                builder.codesign_layers(*count, device.to_device(), *temperature)
-            }
+            LayerSpecEntry::Codesign {
+                count,
+                device,
+                temperature,
+            } => builder.codesign_layers(*count, device.to_device(), *temperature),
             LayerSpecEntry::Nonlinearity { alpha, saturation } => {
                 builder.nonlinearity(*alpha, *saturation)
             }
@@ -114,7 +116,11 @@ pub fn compile(spec: &SystemSpec) -> CompiledSystem {
         seed: spec.training.seed,
         verbose: false,
     };
-    CompiledSystem { model, laser, train_config }
+    CompiledSystem {
+        model,
+        laser,
+        train_config,
+    }
 }
 
 #[cfg(test)]

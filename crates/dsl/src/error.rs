@@ -94,7 +94,11 @@ pub struct DslError {
 impl DslError {
     /// Creates an error of `kind` at `span` with a human-readable `message`.
     pub fn new(kind: ErrorKind, span: Span, message: impl Into<String>) -> Self {
-        DslError { kind, span, message: message.into() }
+        DslError {
+            kind,
+            span,
+            message: message.into(),
+        }
     }
 
     /// The error category.

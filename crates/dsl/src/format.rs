@@ -28,8 +28,14 @@ fn fmt_profile(profile: &ProfileSpec) -> String {
     match profile {
         ProfileSpec::Uniform => "uniform".to_string(),
         ProfileSpec::Gaussian { waist } => format!("gaussian(waist = {})", fmt_length(*waist)),
-        ProfileSpec::Bessel { radial_wavenumber, envelope } => {
-            format!("bessel(k = {radial_wavenumber}, envelope = {})", fmt_length(*envelope))
+        ProfileSpec::Bessel {
+            radial_wavenumber,
+            envelope,
+        } => {
+            format!(
+                "bessel(k = {radial_wavenumber}, envelope = {})",
+                fmt_length(*envelope)
+            )
         }
     }
 }
@@ -65,8 +71,16 @@ pub fn format_spec(spec: &SystemSpec) -> String {
     let _ = writeln!(out, "system {} {{", spec.name);
 
     let _ = writeln!(out, "    laser {{");
-    let _ = writeln!(out, "        wavelength = {};", fmt_length(spec.laser.wavelength));
-    let _ = writeln!(out, "        profile = {};", fmt_profile(&spec.laser.profile));
+    let _ = writeln!(
+        out,
+        "        wavelength = {};",
+        fmt_length(spec.laser.wavelength)
+    );
+    let _ = writeln!(
+        out,
+        "        profile = {};",
+        fmt_profile(&spec.laser.profile)
+    );
     let _ = writeln!(out, "    }}");
 
     let _ = writeln!(out, "    grid {{");
@@ -75,7 +89,11 @@ pub fn format_spec(spec: &SystemSpec) -> String {
     let _ = writeln!(out, "    }}");
 
     let _ = writeln!(out, "    propagation {{");
-    let _ = writeln!(out, "        distance = {};", fmt_length(spec.propagation.distance));
+    let _ = writeln!(
+        out,
+        "        distance = {};",
+        fmt_length(spec.propagation.distance)
+    );
     let _ = writeln!(out, "        approx = {};", spec.propagation.approx.name());
     let _ = writeln!(out, "    }}");
 
@@ -85,7 +103,11 @@ pub fn format_spec(spec: &SystemSpec) -> String {
             LayerSpecEntry::Diffractive { count } => {
                 let _ = writeln!(out, "        diffractive x {count};");
             }
-            LayerSpecEntry::Codesign { count, device, temperature } => {
+            LayerSpecEntry::Codesign {
+                count,
+                device,
+                temperature,
+            } => {
                 let _ = writeln!(
                     out,
                     "        codesign x {count} {{ device = {}; temperature = {temperature}; }}",
@@ -114,7 +136,11 @@ pub fn format_spec(spec: &SystemSpec) -> String {
     let _ = writeln!(out, "        epochs = {};", t.epochs);
     let _ = writeln!(out, "        batch_size = {};", t.batch_size);
     let _ = writeln!(out, "        seed = {};", t.seed);
-    let _ = writeln!(out, "        initial_temperature = {};", t.initial_temperature);
+    let _ = writeln!(
+        out,
+        "        initial_temperature = {};",
+        t.initial_temperature
+    );
     let _ = writeln!(out, "        final_temperature = {};", t.final_temperature);
     let _ = writeln!(out, "    }}");
 
@@ -138,7 +164,16 @@ mod tests {
 
     #[test]
     fn length_formatting_always_roundtrips_exactly() {
-        for &v in &[532e-9, 36e-6, 0.3, 1.0, 2.7e-4, 5.32e-7, 0.1 + 0.2, f64::MIN_POSITIVE] {
+        for &v in &[
+            532e-9,
+            36e-6,
+            0.3,
+            1.0,
+            2.7e-4,
+            5.32e-7,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+        ] {
             let s = fmt_length(v);
             let (num, unit) = s.split_once(' ').unwrap();
             let parsed: f64 = num.parse().unwrap();

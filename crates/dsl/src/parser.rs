@@ -29,7 +29,11 @@ impl Parser {
         } else {
             ErrorKind::UnexpectedToken
         };
-        DslError::new(kind, tok.span, format!("expected {expected}, found {}", tok.kind.describe()))
+        DslError::new(
+            kind,
+            tok.span,
+            format!("expected {expected}, found {}", tok.kind.describe()),
+        )
     }
 
     fn expect_ident(&mut self, what: &str) -> Result<(String, Span)> {
@@ -78,7 +82,11 @@ impl Parser {
                             let (arg_name, arg_span) = self.expect_ident("an argument name")?;
                             self.expect(&TokenKind::Equals, "'=' after argument name")?;
                             let value = self.parse_value()?;
-                            args.push(Argument { name: arg_name, value, span: arg_span });
+                            args.push(Argument {
+                                name: arg_name,
+                                value,
+                                span: arg_span,
+                            });
                             if self.peek().kind == TokenKind::Comma {
                                 self.bump();
                             } else {
@@ -139,7 +147,12 @@ impl Parser {
         if self.peek().kind == TokenKind::Semicolon {
             self.bump();
         }
-        Ok(LayerEntry { kind, count, options, span })
+        Ok(LayerEntry {
+            kind,
+            count,
+            options,
+            span,
+        })
     }
 
     fn parse_section(&mut self) -> Result<Section> {
@@ -156,7 +169,12 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RBrace, "'}' closing the section")?;
-        Ok(Section { name, assignments, layers, span })
+        Ok(Section {
+            name,
+            assignments,
+            layers,
+            span,
+        })
     }
 
     fn parse_program(&mut self) -> Result<Program> {
@@ -169,7 +187,11 @@ impl Parser {
         }
         self.expect(&TokenKind::RBrace, "'}' closing the system")?;
         self.expect(&TokenKind::Eof, "end of input after the system")?;
-        Ok(Program { name, sections, span })
+        Ok(Program {
+            name,
+            sections,
+            span,
+        })
     }
 }
 
@@ -220,7 +242,10 @@ mod tests {
             section.assignment("q").unwrap().value,
             Value::Quantity(36e-6, Unit::Micrometer)
         );
-        assert_eq!(section.assignment("i").unwrap().value, Value::Ident("uniform".into()));
+        assert_eq!(
+            section.assignment("i").unwrap().value,
+            Value::Ident("uniform".into())
+        );
         match &section.assignment("c").unwrap().value {
             Value::Call(name, args) => {
                 assert_eq!(name, "gaussian");
@@ -243,10 +268,16 @@ mod tests {
         .unwrap();
         let layers = &p.section("layers").unwrap().layers;
         assert_eq!(layers.len(), 3);
-        assert_eq!((layers[0].kind.as_str(), layers[0].count), ("diffractive", 5));
+        assert_eq!(
+            (layers[0].kind.as_str(), layers[0].count),
+            ("diffractive", 5)
+        );
         assert_eq!((layers[1].kind.as_str(), layers[1].count), ("codesign", 3));
         assert_eq!(layers[1].options.len(), 2);
-        assert_eq!((layers[2].kind.as_str(), layers[2].count), ("nonlinearity", 1));
+        assert_eq!(
+            (layers[2].kind.as_str(), layers[2].count),
+            ("nonlinearity", 1)
+        );
     }
 
     #[test]

@@ -227,7 +227,10 @@ impl SystemSpec {
         let grid = lower_grid(required_section(program, "grid")?)?;
         let propagation = match program.section("propagation") {
             Some(s) => lower_propagation(s)?,
-            None => PropagationSpec { distance: 0.3, approx: ApproxSpec::RayleighSommerfeld },
+            None => PropagationSpec {
+                distance: 0.3,
+                approx: ApproxSpec::RayleighSommerfeld,
+            },
         };
         let layers = lower_layers(required_section(program, "layers")?)?;
         let detector = lower_detector(required_section(program, "detector")?, &grid)?;
@@ -248,7 +251,14 @@ impl SystemSpec {
     }
 }
 
-const SECTIONS: [&str; 6] = ["laser", "grid", "propagation", "layers", "detector", "training"];
+const SECTIONS: [&str; 6] = [
+    "laser",
+    "grid",
+    "propagation",
+    "layers",
+    "detector",
+    "training",
+];
 
 fn check_sections(program: &Program) -> Result<()> {
     let mut seen: Vec<&str> = Vec::new();
@@ -257,7 +267,11 @@ fn check_sections(program: &Program) -> Result<()> {
             return Err(DslError::new(
                 ErrorKind::UnknownName,
                 section.span,
-                format!("no section '{}'; expected one of: {}", section.name, SECTIONS.join(", ")),
+                format!(
+                    "no section '{}'; expected one of: {}",
+                    section.name,
+                    SECTIONS.join(", ")
+                ),
             ));
         }
         if seen.contains(&section.name.as_str()) {
@@ -286,7 +300,11 @@ fn check_sections(program: &Program) -> Result<()> {
 
 fn required_section<'a>(program: &'a Program, name: &str) -> Result<&'a Section> {
     program.section(name).ok_or_else(|| {
-        DslError::new(ErrorKind::Missing, program.span, format!("required section '{name}' is missing"))
+        DslError::new(
+            ErrorKind::Missing,
+            program.span,
+            format!("required section '{name}' is missing"),
+        )
     })
 }
 
@@ -297,14 +315,22 @@ fn check_known_keys(section: &Section, known: &[&str]) -> Result<()> {
             return Err(DslError::new(
                 ErrorKind::UnknownName,
                 a.span,
-                format!("section '{}' has no key '{}'; expected one of: {}", section.name, a.key, known.join(", ")),
+                format!(
+                    "section '{}' has no key '{}'; expected one of: {}",
+                    section.name,
+                    a.key,
+                    known.join(", ")
+                ),
             ));
         }
         if seen.contains(&a.key.as_str()) {
             return Err(DslError::new(
                 ErrorKind::Duplicate,
                 a.span,
-                format!("key '{}' assigned twice in section '{}'", a.key, section.name),
+                format!(
+                    "key '{}' assigned twice in section '{}'",
+                    a.key, section.name
+                ),
             ));
         }
         seen.push(&a.key);
@@ -318,7 +344,11 @@ fn length_of(a: &Assignment) -> Result<f64> {
         other => Err(DslError::new(
             ErrorKind::TypeMismatch,
             a.span,
-            format!("'{}' must be a length with a unit (e.g. 532 nm), got a {}", a.key, other.describe()),
+            format!(
+                "'{}' must be a length with a unit (e.g. 532 nm), got a {}",
+                a.key,
+                other.describe()
+            ),
         )),
     }
 }
@@ -329,7 +359,11 @@ fn number_of(a: &Assignment) -> Result<f64> {
         other => Err(DslError::new(
             ErrorKind::TypeMismatch,
             a.span,
-            format!("'{}' must be a bare number, got a {}", a.key, other.describe()),
+            format!(
+                "'{}' must be a bare number, got a {}",
+                a.key,
+                other.describe()
+            ),
         )),
     }
 }
@@ -358,30 +392,54 @@ fn positive_int_of(a: &Assignment) -> Result<usize> {
     Ok(n as usize)
 }
 
-fn arg_length(args: &[crate::ast::Argument], name: &str, call_span: Span, call: &str) -> Result<f64> {
+fn arg_length(
+    args: &[crate::ast::Argument],
+    name: &str,
+    call_span: Span,
+    call: &str,
+) -> Result<f64> {
     let arg = args.iter().find(|a| a.name == name).ok_or_else(|| {
-        DslError::new(ErrorKind::Missing, call_span, format!("{call}(...) needs argument '{name}'"))
+        DslError::new(
+            ErrorKind::Missing,
+            call_span,
+            format!("{call}(...) needs argument '{name}'"),
+        )
     })?;
     match &arg.value {
         Value::Quantity(meters, _) => Ok(*meters),
         other => Err(DslError::new(
             ErrorKind::TypeMismatch,
             arg.span,
-            format!("argument '{name}' of {call}(...) must be a length, got a {}", other.describe()),
+            format!(
+                "argument '{name}' of {call}(...) must be a length, got a {}",
+                other.describe()
+            ),
         )),
     }
 }
 
-fn arg_number(args: &[crate::ast::Argument], name: &str, call_span: Span, call: &str) -> Result<f64> {
+fn arg_number(
+    args: &[crate::ast::Argument],
+    name: &str,
+    call_span: Span,
+    call: &str,
+) -> Result<f64> {
     let arg = args.iter().find(|a| a.name == name).ok_or_else(|| {
-        DslError::new(ErrorKind::Missing, call_span, format!("{call}(...) needs argument '{name}'"))
+        DslError::new(
+            ErrorKind::Missing,
+            call_span,
+            format!("{call}(...) needs argument '{name}'"),
+        )
     })?;
     match &arg.value {
         Value::Number(n) => Ok(*n),
         other => Err(DslError::new(
             ErrorKind::TypeMismatch,
             arg.span,
-            format!("argument '{name}' of {call}(...) must be a number, got a {}", other.describe()),
+            format!(
+                "argument '{name}' of {call}(...) must be a number, got a {}",
+                other.describe()
+            ),
         )),
     }
 }
@@ -421,7 +479,10 @@ fn lower_laser(section: &Section) -> Result<LaserSpec> {
             }
         },
     };
-    Ok(LaserSpec { wavelength, profile })
+    Ok(LaserSpec {
+        wavelength,
+        profile,
+    })
 }
 
 fn lower_grid(section: &Section) -> Result<GridSpec> {
@@ -429,7 +490,11 @@ fn lower_grid(section: &Section) -> Result<GridSpec> {
     let size = match section.assignment("size") {
         Some(a) => positive_int_of(a)?,
         None => {
-            return Err(DslError::new(ErrorKind::Missing, section.span, "grid section needs 'size'"))
+            return Err(DslError::new(
+                ErrorKind::Missing,
+                section.span,
+                "grid section needs 'size'",
+            ))
         }
     };
     if !(4..=4096).contains(&size) {
@@ -443,12 +508,20 @@ fn lower_grid(section: &Section) -> Result<GridSpec> {
     let pixel = match section.assignment("pixel") {
         Some(a) => length_of(a)?,
         None => {
-            return Err(DslError::new(ErrorKind::Missing, section.span, "grid section needs 'pixel'"))
+            return Err(DslError::new(
+                ErrorKind::Missing,
+                section.span,
+                "grid section needs 'pixel'",
+            ))
         }
     };
     if !(pixel.is_finite() && pixel > 0.0) {
         let a = section.assignment("pixel").expect("checked above");
-        return Err(DslError::new(ErrorKind::InvalidValue, a.span, "pixel pitch must be positive"));
+        return Err(DslError::new(
+            ErrorKind::InvalidValue,
+            a.span,
+            "pixel pitch must be positive",
+        ));
     }
     Ok(GridSpec { size, pixel })
 }
@@ -459,7 +532,11 @@ fn lower_propagation(section: &Section) -> Result<PropagationSpec> {
         Some(a) => {
             let d = length_of(a)?;
             if !(d.is_finite() && d > 0.0) {
-                return Err(DslError::new(ErrorKind::InvalidValue, a.span, "distance must be positive"));
+                return Err(DslError::new(
+                    ErrorKind::InvalidValue,
+                    a.span,
+                    "distance must be positive",
+                ));
             }
             d
         }
@@ -472,13 +549,13 @@ fn lower_propagation(section: &Section) -> Result<PropagationSpec> {
                 "rayleigh_sommerfeld" => ApproxSpec::RayleighSommerfeld,
                 "fresnel" => ApproxSpec::Fresnel,
                 "fraunhofer" => ApproxSpec::Fraunhofer,
-                other => {
-                    return Err(DslError::new(
-                        ErrorKind::UnknownName,
-                        a.span,
-                        format!("approx must be rayleigh_sommerfeld, fresnel, or fraunhofer; got '{other}'"),
-                    ))
-                }
+                other => return Err(DslError::new(
+                    ErrorKind::UnknownName,
+                    a.span,
+                    format!(
+                        "approx must be rayleigh_sommerfeld, fresnel, or fraunhofer; got '{other}'"
+                    ),
+                )),
             },
             other => {
                 return Err(DslError::new(
@@ -507,7 +584,9 @@ fn lower_device(entry: &LayerEntry) -> Result<DeviceSpec> {
                     format!("ideal(levels = ...) needs an integer in [2, 65536], got {levels}"),
                 ));
             }
-            Ok(DeviceSpec::Ideal { levels: levels as usize })
+            Ok(DeviceSpec::Ideal {
+                levels: levels as usize,
+            })
         }
         Value::Call(name, args) if name == "bits" => {
             let bits = arg_number(args, "n", a.span, "bits")?;
@@ -583,12 +662,17 @@ fn lower_layers(section: &Section) -> Result<Vec<LayerSpecEntry>> {
                 return Err(DslError::new(
                     ErrorKind::UnknownName,
                     entry.span,
-                    format!("no layer kind '{other}'; expected diffractive, codesign, or nonlinearity"),
+                    format!(
+                        "no layer kind '{other}'; expected diffractive, codesign, or nonlinearity"
+                    ),
                 ))
             }
         }
     }
-    if !out.iter().any(|l| !matches!(l, LayerSpecEntry::Nonlinearity { .. })) {
+    if !out
+        .iter()
+        .any(|l| !matches!(l, LayerSpecEntry::Nonlinearity { .. }))
+    {
         return Err(DslError::new(
             ErrorKind::InvalidValue,
             section.span,
@@ -625,13 +709,21 @@ fn lower_detector(section: &Section, grid: &GridSpec) -> Result<DetectorSpec> {
     let classes = match section.assignment("classes") {
         Some(a) => positive_int_of(a)?,
         None => {
-            return Err(DslError::new(ErrorKind::Missing, section.span, "detector section needs 'classes'"))
+            return Err(DslError::new(
+                ErrorKind::Missing,
+                section.span,
+                "detector section needs 'classes'",
+            ))
         }
     };
     let det_size = match section.assignment("det_size") {
         Some(a) => positive_int_of(a)?,
         None => {
-            return Err(DslError::new(ErrorKind::Missing, section.span, "detector section needs 'det_size'"))
+            return Err(DslError::new(
+                ErrorKind::Missing,
+                section.span,
+                "detector section needs 'det_size'",
+            ))
         }
     };
     // Same fit condition as lightridge::Detector::grid_layout, checked here
@@ -656,7 +748,15 @@ fn lower_detector(section: &Section, grid: &GridSpec) -> Result<DetectorSpec> {
 fn lower_training(section: &Section) -> Result<TrainingSpec> {
     check_known_keys(
         section,
-        &["gamma", "learning_rate", "epochs", "batch_size", "seed", "initial_temperature", "final_temperature"],
+        &[
+            "gamma",
+            "learning_rate",
+            "epochs",
+            "batch_size",
+            "seed",
+            "initial_temperature",
+            "final_temperature",
+        ],
     )?;
     let d = TrainingSpec::default();
     let mut spec = d.clone();
@@ -778,7 +878,13 @@ mod tests {
                 temperature: 2.0
             }
         );
-        assert_eq!(s.layers[1], LayerSpecEntry::Nonlinearity { alpha: 0.3, saturation: 2.0 });
+        assert_eq!(
+            s.layers[1],
+            LayerSpecEntry::Nonlinearity {
+                alpha: 0.3,
+                saturation: 2.0
+            }
+        );
         assert_eq!(s.training.epochs, 7);
         assert_eq!(s.num_modulating_layers(), 3);
     }

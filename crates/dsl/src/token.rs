@@ -115,7 +115,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     fn span(&self) -> Span {
@@ -204,13 +209,20 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("number slice is ASCII");
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("number slice is ASCII");
         if !saw_digit {
-            return Err(DslError::new(ErrorKind::BadNumber, span, format!("'{text}' has no digits")));
+            return Err(DslError::new(
+                ErrorKind::BadNumber,
+                span,
+                format!("'{text}' has no digits"),
+            ));
         }
         let value: f64 = text.parse().map_err(|_| {
-            DslError::new(ErrorKind::BadNumber, span, format!("cannot parse '{text}' as a number"))
+            DslError::new(
+                ErrorKind::BadNumber,
+                span,
+                format!("cannot parse '{text}' as a number"),
+            )
         })?;
 
         // Optional unit suffix, possibly separated by spaces: `532nm`, `532 nm`.
@@ -239,7 +251,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia();
         let span = self.span();
         let Some(b) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, span });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
         };
         let kind = match b {
             b'{' => {
@@ -340,7 +355,10 @@ mod tests {
         assert_eq!(kinds("3"), vec![TokenKind::Number(3.0), TokenKind::Eof]);
         assert_eq!(kinds("0.5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
         assert_eq!(kinds("1e-3"), vec![TokenKind::Number(1e-3), TokenKind::Eof]);
-        assert_eq!(kinds("-2.5e2"), vec![TokenKind::Number(-250.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("-2.5e2"),
+            vec![TokenKind::Number(-250.0), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -363,12 +381,20 @@ mod tests {
     fn number_followed_by_non_unit_ident_stays_split() {
         assert_eq!(
             kinds("5 layers"),
-            vec![TokenKind::Number(5.0), TokenKind::Ident("layers".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Number(5.0),
+                TokenKind::Ident("layers".into()),
+                TokenKind::Eof
+            ]
         );
         // `x` is not a unit: `3 x` must not fuse.
         assert_eq!(
             kinds("3 x"),
-            vec![TokenKind::Number(3.0), TokenKind::Ident("x".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Number(3.0),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -376,7 +402,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a # comment with = { symbols\nb"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -403,11 +433,21 @@ mod tests {
     #[test]
     fn exponent_vs_unit_disambiguation() {
         // `1e3` is 1000; `1 e3` would be number then ident; `1m` is a metre.
-        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
-        assert_eq!(kinds("1m"), vec![TokenKind::Quantity(1.0, Unit::Meter), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Number(1000.0), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("1m"),
+            vec![TokenKind::Quantity(1.0, Unit::Meter), TokenKind::Eof]
+        );
         assert_eq!(
             kinds("2epochs"),
-            vec![TokenKind::Number(2.0), TokenKind::Ident("epochs".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Number(2.0),
+                TokenKind::Ident("epochs".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -417,7 +457,12 @@ mod tests {
         assert_eq!(Unit::Micrometer.to_meters(), 1e-6);
         assert_eq!(Unit::Millimeter.to_meters(), 1e-3);
         assert_eq!(Unit::Meter.to_meters(), 1.0);
-        for u in [Unit::Nanometer, Unit::Micrometer, Unit::Millimeter, Unit::Meter] {
+        for u in [
+            Unit::Nanometer,
+            Unit::Micrometer,
+            Unit::Millimeter,
+            Unit::Meter,
+        ] {
             assert_eq!(Unit::from_suffix(u.suffix()), Some(u));
         }
     }

@@ -38,7 +38,10 @@ fn dsl_text_trains_to_above_chance_and_deploys() {
     let data = halves_dataset(16, 24);
     lightridge::train::train(&mut model, &data, &compiled.train_config);
     let accuracy = lightridge::train::evaluate(&model, &data);
-    assert!(accuracy > 0.6, "DSL-built model failed to learn: accuracy {accuracy}");
+    assert!(
+        accuracy > 0.6,
+        "DSL-built model failed to learn: accuracy {accuracy}"
+    );
 
     // Deployment artifacts exist and have the right shape.
     let masks = model.phase_masks();

@@ -16,7 +16,10 @@ fn arb_profile() -> impl Strategy<Value = ProfileSpec> {
         Just(ProfileSpec::Uniform),
         (1e-6..1e-2f64).prop_map(|waist| ProfileSpec::Gaussian { waist }),
         ((1.0..1e6f64), (1e-6..1e-2f64)).prop_map(|(radial_wavenumber, envelope)| {
-            ProfileSpec::Bessel { radial_wavenumber, envelope }
+            ProfileSpec::Bessel {
+                radial_wavenumber,
+                envelope,
+            }
         }),
     ]
 }
@@ -33,11 +36,14 @@ fn arb_layer() -> impl Strategy<Value = LayerSpecEntry> {
     prop_oneof![
         (1usize..6).prop_map(|count| LayerSpecEntry::Diffractive { count }),
         ((1usize..4), arb_device(), 0.1..4.0f64).prop_map(|(count, device, temperature)| {
-            LayerSpecEntry::Codesign { count, device, temperature }
+            LayerSpecEntry::Codesign {
+                count,
+                device,
+                temperature,
+            }
         }),
-        ((0.01..=1.0f64), (0.1..10.0f64)).prop_map(|(alpha, saturation)| {
-            LayerSpecEntry::Nonlinearity { alpha, saturation }
-        }),
+        ((0.01..=1.0f64), (0.1..10.0f64))
+            .prop_map(|(alpha, saturation)| { LayerSpecEntry::Nonlinearity { alpha, saturation } }),
     ]
 }
 

@@ -61,7 +61,9 @@ impl Report {
 
     /// Appends a `paper vs measured` row.
     pub fn row(&mut self, label: &str, paper: &str, measured: &str) {
-        self.line(&format!("{label:<38} paper: {paper:<18} measured: {measured}"));
+        self.line(&format!(
+            "{label:<38} paper: {paper:<18} measured: {measured}"
+        ));
     }
 
     /// Appends a blank line.

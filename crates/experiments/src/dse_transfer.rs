@@ -25,7 +25,11 @@ fn class_limited<I>(items: I, n: usize, num_classes: usize) -> Vec<(Vec<f64>, us
 where
     I: IntoIterator<Item = (Vec<f64>, usize)>,
 {
-    items.into_iter().filter(|(_, l)| *l < num_classes).take(n).collect()
+    items
+        .into_iter()
+        .filter(|(_, l)| *l < num_classes)
+        .take(n)
+        .collect()
 }
 
 fn datasets() -> Vec<(&'static str, DatasetFn)> {
@@ -33,7 +37,10 @@ fn datasets() -> Vec<(&'static str, DatasetFn)> {
         (
             "digits (MNIST-like)",
             Box::new(|n, size, classes, seed| {
-                let config = DigitsConfig { size, ..Default::default() };
+                let config = DigitsConfig {
+                    size,
+                    ..Default::default()
+                };
                 let factor = 10usize.div_ceil(classes);
                 class_limited(digits::generate(n * factor + 10, &config, seed), n, classes)
             }),
@@ -41,23 +48,41 @@ fn datasets() -> Vec<(&'static str, DatasetFn)> {
         (
             "fashion (FMNIST-like)",
             Box::new(|n, size, classes, seed| {
-                let config = FashionConfig { size, ..Default::default() };
+                let config = FashionConfig {
+                    size,
+                    ..Default::default()
+                };
                 let factor = 10usize.div_ceil(classes);
-                class_limited(fashion::generate(n * factor + 10, &config, seed), n, classes)
+                class_limited(
+                    fashion::generate(n * factor + 10, &config, seed),
+                    n,
+                    classes,
+                )
             }),
         ),
         (
             "kuzushiji (KMNIST-like)",
             Box::new(|n, size, classes, seed| {
-                let config = KuzushijiConfig { size, ..Default::default() };
+                let config = KuzushijiConfig {
+                    size,
+                    ..Default::default()
+                };
                 let factor = 10usize.div_ceil(classes);
-                class_limited(kuzushiji::generate(n * factor + 10, &config, seed), n, classes)
+                class_limited(
+                    kuzushiji::generate(n * factor + 10, &config, seed),
+                    n,
+                    classes,
+                )
             }),
         ),
         (
             "letters (EMNIST-like)",
             Box::new(|n, size, classes, seed| {
-                let config = LettersConfig { size, num_classes: classes, ..Default::default() };
+                let config = LettersConfig {
+                    size,
+                    num_classes: classes,
+                    ..Default::default()
+                };
                 class_limited(letters::generate(n + classes, &config, seed), n, classes)
             }),
         ),
@@ -101,8 +126,10 @@ pub fn run(mode: Mode) -> Report {
 
     // The model's top-3 candidate designs on the 532 nm grid.
     let mut scored: Vec<(usize, f64)> = Vec::new();
-    let grid_pairs: Vec<(f64, f64)> =
-        units.iter().flat_map(|&u| dists.iter().map(move |&z| (u, z))).collect();
+    let grid_pairs: Vec<(f64, f64)> = units
+        .iter()
+        .flat_map(|&u| dists.iter().map(move |&z| (u, z)))
+        .collect();
     for (k, &(u, z)) in grid_pairs.iter().enumerate() {
         scored.push((k, dse.predict(lambda, u, z)));
     }
@@ -143,8 +170,10 @@ pub fn run(mode: Mode) -> Report {
         let rho = spearman(&predicted_landscape, &measured);
         // Paper usage: emulate only the model's top-3 candidates, keep the
         // best, and see where it lands in the dataset's own design space.
-        let best_of_3 =
-            top3.iter().map(|&k| measured[k]).fold(f64::NEG_INFINITY, f64::max);
+        let best_of_3 = top3
+            .iter()
+            .map(|&k| measured[k])
+            .fold(f64::NEG_INFINITY, f64::max);
         let beaten = measured.iter().filter(|&&a| a <= best_of_3 + 1e-9).count();
         let percentile = beaten as f64 / measured.len() as f64;
         let transfers = rho > 0.3 && percentile >= 2.0 / 3.0;
@@ -163,7 +192,11 @@ pub fn run(mode: Mode) -> Report {
     report.row(
         "digit-trained DSE guides all datasets",
         "confirmed (\u{a7}4)",
-        if all_transfer { "confirmed" } else { "NOT confirmed" },
+        if all_transfer {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        },
     );
     report.row(
         "emulations needed per new dataset",

@@ -28,7 +28,10 @@ pub fn run(mode: Mode) -> Report {
     let size = mode.pick(24, 64);
     let (n_train, n_test, epochs) = mode.pick((300, 100, 6), (2000, 500, 30));
     let grid = Grid::square(size, PixelPitch::from_um(36.0));
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = lr_datasets::split(
         digits::generate(n_train + n_test, &config, 91),
         n_train as f64 / (n_train + n_test) as f64,
@@ -62,7 +65,11 @@ pub fn run(mode: Mode) -> Report {
     train::train(&mut nonlinear, &data.train, &tc);
     let nonlinear_acc = train::evaluate(&nonlinear, &data.test);
 
-    report.row("2-layer linear DONN accuracy", "n/a (future work)", &f3(linear_acc));
+    report.row(
+        "2-layer linear DONN accuracy",
+        "n/a (future work)",
+        &f3(linear_acc),
+    );
     report.row(
         "2-layer + saturable absorber accuracy",
         "n/a (future work)",
@@ -104,7 +111,10 @@ pub fn run(mode: Mode) -> Report {
     let vote_acc = ensemble.evaluate(&data.test);
     report.line(&format!(
         "ensemble members: {:?}, optical vote: {}",
-        member_accs.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>(),
+        member_accs
+            .iter()
+            .map(|a| format!("{a:.3}"))
+            .collect::<Vec<_>>(),
         f3(vote_acc)
     ));
 

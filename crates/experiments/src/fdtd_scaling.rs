@@ -62,8 +62,8 @@ pub fn run(mode: Mode) -> Report {
 
         let measured = fdtd_s / fft_s;
         last_measured_ratio = measured;
-        let model =
-            fdtd_hop_cost(w as f64, z as f64, cells_per_wavelength).ops / fft_hop_cost(n as f64).ops;
+        let model = fdtd_hop_cost(w as f64, z as f64, cells_per_wavelength).ops
+            / fft_hop_cost(n as f64).ops;
         report.line(&format!(
             "{:>10} {:>12.4} {:>12.6} {:>9.0}x {:>13.0}x",
             w, fdtd_s, fft_s, measured, model
@@ -84,7 +84,11 @@ pub fn run(mode: Mode) -> Report {
     report.row(
         "FDTD working set",
         "infeasible",
-        &format!("{:.1} TB (FFT kernel: {:.1} MB)", paper_fdtd.memory_bytes / 1e12, paper_fft.memory_bytes / 1e6),
+        &format!(
+            "{:.1} TB (FFT kernel: {:.1} MB)",
+            paper_fdtd.memory_bytes / 1e12,
+            paper_fft.memory_bytes / 1e6
+        ),
     );
 
     report.blank();

@@ -47,7 +47,11 @@ fn epoch_seconds(n: usize, depth: usize, samples: usize) -> f64 {
             (img, i % 10)
         })
         .collect();
-    let config = TrainConfig { epochs: 1, batch_size: 10, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 1,
+        batch_size: 10,
+        ..TrainConfig::default()
+    };
     let t = Instant::now();
     train::train(&mut model, &data, &config);
     t.elapsed().as_secs_f64()

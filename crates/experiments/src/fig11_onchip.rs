@@ -40,7 +40,11 @@ pub fn run(mode: Mode) -> Report {
     let mut best = (candidates[0], 0.0);
     for &z in &candidates {
         let acc = evaluate_design(lambda, pitch_um * 1e-6, z, &task);
-        report.line(&format!("  z = {:>8.1} um -> accuracy {}", z * 1e6, f3(acc)));
+        report.line(&format!(
+            "  z = {:>8.1} um -> accuracy {}",
+            z * 1e6,
+            f3(acc)
+        ));
         if acc > best.1 {
             best = (z, acc);
         }
@@ -54,14 +58,22 @@ pub fn run(mode: Mode) -> Report {
         .diffractive_layers(depth)
         .detector(Detector::grid_layout(size, size, 10, size / 8))
         .build();
-    let cfg = DigitsConfig { size, ..Default::default() };
+    let cfg = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let (n_train, epochs) = mode.pick((300, 5), (2000, 50));
     let data = digits::generate(n_train, &cfg, 41);
     let test = digits::generate(100, &cfg, 42);
     train::train(
         &mut model,
         &data,
-        &TrainConfig { epochs, batch_size: 25, learning_rate: 0.3, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs,
+            batch_size: 25,
+            learning_rate: 0.3,
+            ..TrainConfig::default()
+        },
     );
     let final_acc = train::evaluate(&model, &test);
 
@@ -99,7 +111,11 @@ pub fn run(mode: Mode) -> Report {
     );
     report.line(&format!(
         "shape check: in-chip distance within one order of the paper's (53.2um..5.3mm scaled): {}",
-        if z_star > 1e-5 && z_star < 1e-2 { "PASS" } else { "FAIL" }
+        if z_star > 1e-5 && z_star < 1e-2 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     report.line(&format!(
         "shape check: trained accuracy above 0.5: {}",

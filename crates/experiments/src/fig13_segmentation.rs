@@ -14,12 +14,16 @@ use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
 
 /// Runs the experiment.
 pub fn run(mode: Mode) -> Report {
-    let mut report = Report::new("Figure 13: all-optical segmentation (skip connection + layer norm)");
+    let mut report =
+        Report::new("Figure 13: all-optical segmentation (skip connection + layer norm)");
     let size = mode.pick(32, 350);
     let depth = mode.pick(3, 5);
     let (n_train, n_test, epochs) = mode.pick((60, 20, 8), (500, 100, 50));
 
-    let cfg = CityscapeConfig { size, ..Default::default() };
+    let cfg = CityscapeConfig {
+        size,
+        ..Default::default()
+    };
     let data = cityscape::generate(n_train + n_test, &cfg, 71);
     let (train_set, test_set) = data.split_at(n_train);
 
@@ -44,9 +48,19 @@ pub fn run(mode: Mode) -> Report {
     let b_losses = baseline.train(train_set, epochs, 12, 0.05, 7);
     let b_iou = baseline.evaluate_iou(test_set);
 
-    report.line(&format!("({depth}-layer, {size}x{size}, building-vs-rest masks)"));
-    report.row("proposed (skip + LN) mean IoU", "clear masks, sharp edges", &f3(p_iou));
-    report.row("baseline (no skip, raw MSE) IoU", "blurry, misses small objects", &f3(b_iou));
+    report.line(&format!(
+        "({depth}-layer, {size}x{size}, building-vs-rest masks)"
+    ));
+    report.row(
+        "proposed (skip + LN) mean IoU",
+        "clear masks, sharp edges",
+        &f3(p_iou),
+    );
+    report.row(
+        "baseline (no skip, raw MSE) IoU",
+        "blurry, misses small objects",
+        &f3(b_iou),
+    );
     report.line(&format!(
         "training loss: proposed {} -> {}, baseline {} -> {}",
         f3(p_losses[0]),
@@ -61,8 +75,22 @@ pub fn run(mode: Mode) -> Report {
     let pred = proposed.predict_mask(img);
     let pred_base = baseline.predict_mask(img);
     report.line("input / target / proposed / baseline (one test scene):");
-    report.line(&viz::side_by_side(img, mask, size, size, 20, ("input", "target")));
-    report.line(&viz::side_by_side(&pred, &pred_base, size, size, 20, ("proposed", "baseline")));
+    report.line(&viz::side_by_side(
+        img,
+        mask,
+        size,
+        size,
+        20,
+        ("input", "target"),
+    ));
+    report.line(&viz::side_by_side(
+        &pred,
+        &pred_base,
+        size,
+        size,
+        20,
+        ("proposed", "baseline"),
+    ));
 
     let pass = p_iou > b_iou;
     report.line(&format!(

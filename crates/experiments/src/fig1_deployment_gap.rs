@@ -37,8 +37,14 @@ pub fn run(mode: Mode) -> Report {
         capture_seed: 11,
     };
 
-    let config = DigitsConfig { size, ..Default::default() };
-    let data = lr_datasets::split(digits::generate(n_train + n_test, &config, 5), n_train as f64 / (n_train + n_test) as f64);
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
+    let data = lr_datasets::split(
+        digits::generate(n_train + n_test, &config, 5),
+        n_train as f64 / (n_train + n_test) as f64,
+    );
     let grid = Grid::square(size, PixelPitch::from_um(36.0));
     let distance = Distance::from_mm(mode.pick(20.0, 300.0));
 

@@ -103,7 +103,11 @@ pub fn run(mode: Mode) -> Report {
         "0.97 (star point)",
         &f3(at_predicted.accuracy),
     );
-    report.row("grid-search best accuracy", "0.97", &f3(best_valid.accuracy));
+    report.row(
+        "grid-search best accuracy",
+        "0.97",
+        &f3(best_valid.accuracy),
+    );
     report.row(
         "DSE speedup (grid points avoided)",
         "60x fewer emulations",

@@ -19,7 +19,8 @@ use lr_tensor::Field;
 
 /// Runs the experiment.
 pub fn run(mode: Mode) -> Report {
-    let mut report = Report::new("Figure 6: prototype validation (simulation vs emulated hardware)");
+    let mut report =
+        Report::new("Figure 6: prototype validation (simulation vs emulated hardware)");
     let size = mode.pick(32, 200);
     let (n_train, epochs) = mode.pick((600, 12), (2000, 100));
     let grid = Grid::square(size, PixelPitch::from_um(36.0));
@@ -33,7 +34,10 @@ pub fn run(mode: Mode) -> Report {
         .init_seed(2)
         .build();
 
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = digits::generate(n_train, &config, 3);
     let tc = TrainConfig {
         epochs,
@@ -48,7 +52,12 @@ pub fn run(mode: Mode) -> Report {
     let physical = PhysicalDonn::deploy(&model, &env);
 
     // One clean sample of each digit.
-    let clean_config = DigitsConfig { size, jitter: 0.0, noise: 0.0, ..Default::default() };
+    let clean_config = DigitsConfig {
+        size,
+        jitter: 0.0,
+        noise: 0.0,
+        ..Default::default()
+    };
     let inputs: Vec<Vec<f64>> = digits::generate(10, &clean_config, 99)
         .into_iter()
         .map(|(img, _)| img)
@@ -74,19 +83,38 @@ pub fn run(mode: Mode) -> Report {
         .intensity();
     let exp = physical.capture(&input, 1);
     report.line("digit 0 detector patterns:");
-    report.line(&viz::side_by_side(&sim, &exp, size, size, 24, ("simulation", "experiment")));
+    report.line(&viz::side_by_side(
+        &sim,
+        &exp,
+        size,
+        size,
+        24,
+        ("simulation", "experiment"),
+    ));
 
     // Deployed accuracy, the other half of the figure's claim.
     let test = digits::generate(100, &config, 7);
     let emu_acc = train::evaluate(&model, &test);
     let dep_acc = physical.evaluate(&test);
-    report.row("emulation accuracy", "~0.97 (binarized MNIST)", &f3(emu_acc));
-    report.row("deployed (hardware) accuracy", "matches emulation", &f3(dep_acc));
+    report.row(
+        "emulation accuracy",
+        "~0.97 (binarized MNIST)",
+        &f3(emu_acc),
+    );
+    report.row(
+        "deployed (hardware) accuracy",
+        "matches emulation",
+        &f3(dep_acc),
+    );
     report.line(&format!(
         "shape check: mean correlation {} > 0.8 and |emu-deploy| {} < 0.15: {}",
         f3(mean_corr),
         f3((emu_acc - dep_acc).abs()),
-        if mean_corr > 0.8 && (emu_acc - dep_acc).abs() < 0.15 { "PASS" } else { "FAIL" }
+        if mean_corr > 0.8 && (emu_acc - dep_acc).abs() < 0.15 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     report
 }

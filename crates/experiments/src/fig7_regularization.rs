@@ -110,21 +110,42 @@ pub fn run(mode: Mode) -> Report {
     let depths: Vec<usize> = mode.pick(vec![1, 3, 5], vec![1, 2, 3, 4, 5]);
     let gammas = [0.5, 2.0, 4.0];
 
-    let d_cfg = digits::DigitsConfig { size, ..Default::default() };
+    let d_cfg = digits::DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let digits_split = lr_datasets::split(
         digits::generate(n_train + n_test, &d_cfg, 21),
         n_train as f64 / (n_train + n_test) as f64,
     );
-    let f_cfg = fashion::FashionConfig { size, ..Default::default() };
+    let f_cfg = fashion::FashionConfig {
+        size,
+        ..Default::default()
+    };
     let fashion_split = lr_datasets::split(
         fashion::generate(n_train + n_test, &f_cfg, 22),
         n_train as f64 / (n_train + n_test) as f64,
     );
 
-    let digit_results = run_dataset("digits", &digits_split, size, &depths, &gammas, epochs, &mut report);
+    let digit_results = run_dataset(
+        "digits",
+        &digits_split,
+        size,
+        &depths,
+        &gammas,
+        epochs,
+        &mut report,
+    );
     report.blank();
-    let fashion_results =
-        run_dataset("fashion", &fashion_split, size, &depths, &gammas, epochs, &mut report);
+    let fashion_results = run_dataset(
+        "fashion",
+        &fashion_split,
+        size,
+        &depths,
+        &gammas,
+        epochs,
+        &mut report,
+    );
     report.blank();
 
     // Paper-vs-measured rows.
@@ -164,10 +185,10 @@ pub fn run(mode: Mode) -> Report {
     );
 
     // Shape checks.
-    let reg_helps_shallow = d1.regularized_acc >= d1.baseline_acc
-        && f1.regularized_acc >= f1.baseline_acc;
-    let deep_more_robust = (d_deep.noise_acc[0] - d_deep.noise_acc[3])
-        <= (d1.noise_acc[0] - d1.noise_acc[3]) + 0.05;
+    let reg_helps_shallow =
+        d1.regularized_acc >= d1.baseline_acc && f1.regularized_acc >= f1.baseline_acc;
+    let deep_more_robust =
+        (d_deep.noise_acc[0] - d_deep.noise_acc[3]) <= (d1.noise_acc[0] - d1.noise_acc[3]) + 0.05;
     report.blank();
     report.line(&format!(
         "shape check: regularization helps shallow models: {}",

@@ -93,7 +93,11 @@ pub fn run(mode: Mode) -> Report {
     report.row("FFT2 speedup", "11x (CPU)", &speedup(lp_fft, lr_fft));
     report.row("iFFT2 speedup", "10x (CPU)", &speedup(lp_ifft, lr_ifft));
     report.row("Complex MM speedup", "4x (CPU)", &speedup(lp_mm, lr_mm));
-    report.row("overall forward speedup", "6.4x (CPU)", &speedup(lp_total, lr_total));
+    report.row(
+        "overall forward speedup",
+        "6.4x (CPU)",
+        &speedup(lp_total, lr_total),
+    );
     report.blank();
     report.line(&format!(
         "absolute times (median of {runs}): LR fft2 {:.1}ms, LP fft2 {:.1}ms, LR fwd {:.1}ms, LP fwd {:.1}ms",

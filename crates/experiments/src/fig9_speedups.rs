@@ -69,8 +69,16 @@ pub fn run(mode: Mode) -> Report {
         }
     }
     report.blank();
-    report.row("peak speedup", "6.4x CPU / 12x GPU", &format!("{max_speedup:.1}x"));
-    report.row("min speedup", ">1x everywhere", &format!("{min_speedup:.1}x"));
+    report.row(
+        "peak speedup",
+        "6.4x CPU / 12x GPU",
+        &format!("{max_speedup:.1}x"),
+    );
+    report.row(
+        "min speedup",
+        ">1x everywhere",
+        &format!("{min_speedup:.1}x"),
+    );
     report.line(&format!(
         "shape check: LightRidge wins at every (size, depth): {}",
         if min_speedup > 1.0 { "PASS" } else { "FAIL" }

@@ -40,8 +40,22 @@ use common::{Mode, Report};
 /// §2.1 FDTD-scaling argument, the §4 cross-dataset DSE-transfer claim,
 /// and the §6 future-work extensions).
 pub const EXPERIMENTS: [&str; 16] = [
-    "fig1", "tab1", "fig5", "tab3", "fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "fig11",
-    "tab5", "fig13", "fdtd", "dse-transfer", "ext",
+    "fig1",
+    "tab1",
+    "fig5",
+    "tab3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab4",
+    "fig11",
+    "tab5",
+    "fig13",
+    "fdtd",
+    "dse-transfer",
+    "ext",
 ];
 
 /// Dispatches one experiment by id.

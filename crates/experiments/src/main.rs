@@ -22,7 +22,11 @@ fn main() {
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let id = args[0].clone();
-    let mode = if args.iter().any(|a| a == "--full") { Mode::Full } else { Mode::Quick };
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else {
+        Mode::Quick
+    };
     let out_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -34,14 +38,20 @@ fn main() {
     } else if EXPERIMENTS.contains(&id.as_str()) {
         vec![id.as_str()]
     } else {
-        eprintln!("unknown experiment '{id}'; known: {}", EXPERIMENTS.join(" "));
+        eprintln!(
+            "unknown experiment '{id}'; known: {}",
+            EXPERIMENTS.join(" ")
+        );
         std::process::exit(2);
     };
 
     for id in ids {
         let started = std::time::Instant::now();
         let report = run_experiment(id, mode);
-        println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[{id} completed in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).expect("create output directory");
             let path = dir.join(format!("{id}.txt"));

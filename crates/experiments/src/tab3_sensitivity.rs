@@ -52,7 +52,10 @@ pub fn run(mode: Mode) -> Report {
         ("unit_size", [0.09, 0.30, 0.97, 0.36, 0.15]),
     ];
 
-    report.line(&format!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "param", "-10%", "-5%", "0%", "+5%", "+10%"));
+    report.line(&format!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "param", "-10%", "-5%", "0%", "+5%", "+10%"
+    ));
     for (row, (pname, pvals)) in rows.iter().zip(&paper) {
         assert_eq!(row.parameter, *pname);
         let meas: Vec<String> = row.accuracies.iter().map(|&a| f3(a)).collect();
@@ -84,7 +87,11 @@ pub fn run(mode: Mode) -> Report {
         "shape check: unit-size drop ({}) >= 0.8 * distance drop ({}): {}",
         f3(unit_drop),
         f3(dist_drop),
-        if unit_drop >= 0.8 * dist_drop { "PASS" } else { "FAIL" }
+        if unit_drop >= 0.8 * dist_drop {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
     report
 }

@@ -23,12 +23,18 @@ pub fn run(mode: Mode) -> Report {
     let (n_train, n_test, epochs) = mode.pick((400, 100, 5), (2000, 500, 50));
 
     // --- Accuracy: digits ---
-    let d_cfg = digits::DigitsConfig { size, ..Default::default() };
+    let d_cfg = digits::DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let d = lr_datasets::split(
         digits::generate(n_train + n_test, &d_cfg, 31),
         n_train as f64 / (n_train + n_test) as f64,
     );
-    let f_cfg = fashion::FashionConfig { size, ..Default::default() };
+    let f_cfg = fashion::FashionConfig {
+        size,
+        ..Default::default()
+    };
     let f = lr_datasets::split(
         fashion::generate(n_train + n_test, &f_cfg, 32),
         n_train as f64 / (n_train + n_test) as f64,

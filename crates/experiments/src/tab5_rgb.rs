@@ -21,7 +21,10 @@ pub fn run(mode: Mode) -> Report {
     let depth = mode.pick(2, 5);
     let (n_train, n_test, epochs) = mode.pick((240, 120, 6), (2000, 500, 50));
 
-    let cfg = ScenesConfig { size, ..Default::default() };
+    let cfg = ScenesConfig {
+        size,
+        ..Default::default()
+    };
     let data = scenes::generate(n_train + n_test, &cfg, 51);
     let (train_rgb, test_rgb) = data.split_at(n_train);
     let classes = 6;
@@ -44,10 +47,14 @@ pub fn run(mode: Mode) -> Report {
     let top5 = rgb_model.evaluate_top_k(test_rgb, 5);
 
     // --- Baseline: grayscale single channel, same optical budget/epochs ---
-    let gray_train: Vec<(Vec<f64>, usize)> =
-        train_rgb.iter().map(|(img, l)| (scenes::to_grayscale(img), *l)).collect();
-    let gray_test: Vec<(Vec<f64>, usize)> =
-        test_rgb.iter().map(|(img, l)| (scenes::to_grayscale(img), *l)).collect();
+    let gray_train: Vec<(Vec<f64>, usize)> = train_rgb
+        .iter()
+        .map(|(img, l)| (scenes::to_grayscale(img), *l))
+        .collect();
+    let gray_test: Vec<(Vec<f64>, usize)> = test_rgb
+        .iter()
+        .map(|(img, l)| (scenes::to_grayscale(img), *l))
+        .collect();
     let mut baseline = DonnBuilder::new(grid, Wavelength::from_nm(532.0))
         .distance(Distance::from_mm(20.0))
         .diffractive_layers(depth)
@@ -57,7 +64,12 @@ pub fn run(mode: Mode) -> Report {
     train::train(
         &mut baseline,
         &gray_train,
-        &TrainConfig { epochs, batch_size: 24, learning_rate: 0.3, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs,
+            batch_size: 24,
+            learning_rate: 0.3,
+            ..TrainConfig::default()
+        },
     );
     let base_topk = |k: usize| -> f64 {
         let correct = gray_test
@@ -73,7 +85,9 @@ pub fn run(mode: Mode) -> Report {
     let b3 = base_topk(3);
     let b5 = base_topk(5);
 
-    report.line(&format!("(6 scene classes, {depth}-layer channels, {size}x{size})"));
+    report.line(&format!(
+        "(6 scene classes, {depth}-layer channels, {size}x{size})"
+    ));
     report.row("RGB-DONN top-1", "0.52", &f3(top1));
     report.row("RGB-DONN top-3", "0.73", &f3(top3));
     report.row("RGB-DONN top-5", "0.84", &f3(top5));

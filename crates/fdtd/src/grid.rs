@@ -52,7 +52,10 @@ impl SimGrid {
     /// Panics on dimensions < 8, wavelength resolution < 8 cells, or a
     /// Courant number outside `(0, 1/√2]` (the 2-D stability limit).
     pub fn with_courant(nx: usize, ny: usize, cells_per_wavelength: f64, courant: f64) -> Self {
-        assert!(nx >= 8 && ny >= 8, "domain must be at least 8x8 cells, got {nx}x{ny}");
+        assert!(
+            nx >= 8 && ny >= 8,
+            "domain must be at least 8x8 cells, got {nx}x{ny}"
+        );
         assert!(
             cells_per_wavelength >= 8.0,
             "need >= 8 cells per wavelength for acceptable numerical dispersion, got {cells_per_wavelength}"
@@ -62,7 +65,12 @@ impl SimGrid {
             courant > 0.0 && courant <= limit + 1e-12,
             "Courant number {courant} violates the 2-D stability limit {limit:.4}"
         );
-        SimGrid { nx, ny, cells_per_wavelength, courant }
+        SimGrid {
+            nx,
+            ny,
+            cells_per_wavelength,
+            courant,
+        }
     }
 
     /// Cells along the propagation axis.

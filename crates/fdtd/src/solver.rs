@@ -78,7 +78,11 @@ impl Fdtd2D {
     /// Panics if the source does not fit the grid.
     pub fn add_source(&mut self, source: CwLineSource) {
         assert!(source.row() < self.grid.nx(), "source row outside the grid");
-        assert_eq!(source.profile().len(), self.grid.ny(), "source profile length must equal ny");
+        assert_eq!(
+            source.profile().len(),
+            self.grid.ny(),
+            "source profile length must equal ny"
+        );
         self.sources.push(source);
     }
 
@@ -88,7 +92,10 @@ impl Fdtd2D {
     ///
     /// Panics if the index is out of bounds or `eps_r < 1.0`.
     pub fn set_permittivity(&mut self, i: usize, j: usize, eps_r: f64) {
-        assert!(i < self.grid.nx() && j < self.grid.ny(), "cell index out of bounds");
+        assert!(
+            i < self.grid.nx() && j < self.grid.ny(),
+            "cell index out of bounds"
+        );
         assert!(eps_r >= 1.0, "relative permittivity must be >= 1");
         self.eps_r[i * self.grid.ny() + j] = eps_r;
     }
@@ -211,7 +218,9 @@ impl Fdtd2D {
     ///
     /// Panics if no source was added or `i` is out of bounds.
     pub fn steady_state_phasor(&mut self, i: usize, periods: usize) -> Vec<(f64, f64)> {
-        self.steady_state_phasor_rows(&[i], periods).pop().expect("one row requested")
+        self.steady_state_phasor_rows(&[i], periods)
+            .pop()
+            .expect("one row requested")
     }
 
     /// Like [`Fdtd2D::steady_state_phasor`] but samples several rows in the
@@ -227,9 +236,15 @@ impl Fdtd2D {
         rows: &[usize],
         periods: usize,
     ) -> Vec<Vec<(f64, f64)>> {
-        assert!(!self.sources.is_empty(), "add a source before measuring steady state");
+        assert!(
+            !self.sources.is_empty(),
+            "add a source before measuring steady state"
+        );
         assert!(!rows.is_empty(), "request at least one probe row");
-        assert!(rows.iter().all(|&i| i < self.grid.nx()), "probe row out of bounds");
+        assert!(
+            rows.iter().all(|&i| i < self.grid.nx()),
+            "probe row out of bounds"
+        );
         let ny = self.grid.ny();
         let omega = self.grid.omega_per_step();
         let period_steps = self.grid.steps_per_period().round() as usize;
@@ -290,8 +305,18 @@ mod tests {
         sim.run(steps);
         let front = 4 + (steps as f64 * sim.grid().courant()) as usize;
         let ny = sim.grid().ny();
-        let ahead: f64 = sim.ez_row((front + 24).min(199)).iter().map(|v| v.abs()).sum::<f64>() / ny as f64;
-        let behind: f64 = sim.ez_row(front.saturating_sub(24)).iter().map(|v| v.abs()).sum::<f64>() / ny as f64;
+        let ahead: f64 = sim
+            .ez_row((front + 24).min(199))
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f64>()
+            / ny as f64;
+        let behind: f64 = sim
+            .ez_row(front.saturating_sub(24))
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f64>()
+            / ny as f64;
         assert!(
             behind > 10.0 * ahead.max(1e-12),
             "wavefront not where expected: behind={behind:.3e}, ahead={ahead:.3e}"
@@ -306,7 +331,10 @@ mod tests {
         sim.run(400);
         let e2 = sim.field_energy();
         // CW steady state: energy settles (not growing without bound).
-        assert!(e2 < 4.0 * e1 + 1.0, "energy grows without bound: {e1:.3e} -> {e2:.3e}");
+        assert!(
+            e2 < 4.0 * e1 + 1.0,
+            "energy grows without bound: {e1:.3e} -> {e2:.3e}"
+        );
         assert!(e2.is_finite());
     }
 
@@ -344,14 +372,20 @@ mod tests {
         let row = sim.ez_row(90);
         let shadow: f64 = row[2..20].iter().map(|v| v.abs()).sum();
         let lit: f64 = row[28..46].iter().map(|v| v.abs()).sum();
-        assert!(lit > 2.0 * shadow, "no shadow behind the blocker: lit={lit:.3}, shadow={shadow:.3}");
+        assert!(
+            lit > 2.0 * shadow,
+            "no shadow behind the blocker: lit={lit:.3}, shadow={shadow:.3}"
+        );
     }
 
     #[test]
     fn phasor_amplitude_of_plane_wave_is_flat() {
         let mut sim = plane_wave_sim(160, 40);
         let phasor = sim.steady_state_phasor(100, 6);
-        let mags: Vec<f64> = phasor.iter().map(|(re, im)| (re * re + im * im).sqrt()).collect();
+        let mags: Vec<f64> = phasor
+            .iter()
+            .map(|(re, im)| (re * re + im * im).sqrt())
+            .collect();
         // Ignore edge cells disturbed by the transverse boundaries.
         let center = &mags[8..32];
         let mean: f64 = center.iter().sum::<f64>() / center.len() as f64;

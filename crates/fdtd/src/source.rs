@@ -41,8 +41,15 @@ impl CwLineSource {
     /// Panics if the profile is empty or contains non-finite values.
     pub fn with_profile(row: usize, profile: Vec<f64>) -> Self {
         assert!(!profile.is_empty(), "source profile must not be empty");
-        assert!(profile.iter().all(|v| v.is_finite()), "source profile must be finite");
-        CwLineSource { row, profile, ramp_steps: Self::DEFAULT_RAMP_STEPS }
+        assert!(
+            profile.iter().all(|v| v.is_finite()),
+            "source profile must be finite"
+        );
+        CwLineSource {
+            row,
+            profile,
+            ramp_steps: Self::DEFAULT_RAMP_STEPS,
+        }
     }
 
     /// Overrides the turn-on ramp length (time steps).
@@ -51,7 +58,10 @@ impl CwLineSource {
     ///
     /// Panics if `steps` is negative or non-finite.
     pub fn ramp_steps(mut self, steps: f64) -> Self {
-        assert!(steps.is_finite() && steps >= 0.0, "ramp must be a finite non-negative step count");
+        assert!(
+            steps.is_finite() && steps >= 0.0,
+            "ramp must be a finite non-negative step count"
+        );
         self.ramp_steps = steps;
         self
     }

@@ -39,7 +39,10 @@ pub fn angular_spectrum_1d(
     z: f64,
 ) -> Vec<(f64, f64)> {
     assert!(!field.is_empty(), "field must not be empty");
-    assert!(pitch > 0.0 && wavelength > 0.0 && z >= 0.0, "parameters must be positive");
+    assert!(
+        pitch > 0.0 && wavelength > 0.0 && z >= 0.0,
+        "parameters must be positive"
+    );
     let n = field.len();
     let nf = n as f64;
     let k = 2.0 * std::f64::consts::PI / wavelength;
@@ -124,7 +127,10 @@ pub fn fdtd_hop_cost(
     let nx = distance_wavelengths * cells_per_wavelength;
     let ny = aperture_wavelengths * cells_per_wavelength;
     let steps = 2.0 * nx / 0.5;
-    HopCost { ops: 6.0 * nx * ny * steps, memory_bytes: 4.0 * 8.0 * nx * ny }
+    HopCost {
+        ops: 6.0 * nx * ny * steps,
+        memory_bytes: 4.0 * 8.0 * nx * ny,
+    }
 }
 
 /// Cost of one hop via the FFT transfer-function kernel on an `n × n`
@@ -132,7 +138,10 @@ pub fn fdtd_hop_cost(
 pub fn fft_hop_cost(n: f64) -> HopCost {
     let n2 = n * n;
     let fft = 5.0 * n2 * (n2.log2().max(1.0));
-    HopCost { ops: 2.0 * fft + 6.0 * n2, memory_bytes: 2.0 * 16.0 * n2 }
+    HopCost {
+        ops: 2.0 * fft + 6.0 * n2,
+        memory_bytes: 2.0 * 16.0 * n2,
+    }
 }
 
 #[cfg(test)]
@@ -145,8 +154,9 @@ mod tests {
 
     #[test]
     fn zero_distance_is_identity() {
-        let field: Vec<(f64, f64)> =
-            (0..32).map(|j| ((j as f64 * 0.3).sin(), (j as f64 * 0.1).cos())).collect();
+        let field: Vec<(f64, f64)> = (0..32)
+            .map(|j| ((j as f64 * 0.3).sin(), (j as f64 * 0.1).cos()))
+            .collect();
         let out = angular_spectrum_1d(&field, 1.0, 10.0, 0.0);
         for (a, b) in field.iter().zip(&out) {
             assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
@@ -169,8 +179,15 @@ mod tests {
 
     #[test]
     fn propagation_spreads_a_slit() {
-        let field: Vec<(f64, f64)> =
-            (0..128).map(|j| if (56..72).contains(&j) { (1.0, 0.0) } else { (0.0, 0.0) }).collect();
+        let field: Vec<(f64, f64)> = (0..128)
+            .map(|j| {
+                if (56..72).contains(&j) {
+                    (1.0, 0.0)
+                } else {
+                    (0.0, 0.0)
+                }
+            })
+            .collect();
         let out = angular_spectrum_1d(&field, 1.0, 12.0, 80.0);
         // Light must have appeared outside the geometric shadow.
         let outside: f64 = out[20..40].iter().map(|(a, b)| a * a + b * b).sum();
@@ -179,12 +196,17 @@ mod tests {
 
     #[test]
     fn linearity_of_the_propagator() {
-        let f1: Vec<(f64, f64)> =
-            (0..64).map(|j| ((j as f64 * 0.2).sin().max(0.0), 0.0)).collect();
-        let f2: Vec<(f64, f64)> =
-            (0..64).map(|j| (0.0, (j as f64 * 0.15).cos().max(0.0))).collect();
-        let sum: Vec<(f64, f64)> =
-            f1.iter().zip(&f2).map(|(a, b)| (a.0 + b.0, a.1 + b.1)).collect();
+        let f1: Vec<(f64, f64)> = (0..64)
+            .map(|j| ((j as f64 * 0.2).sin().max(0.0), 0.0))
+            .collect();
+        let f2: Vec<(f64, f64)> = (0..64)
+            .map(|j| (0.0, (j as f64 * 0.15).cos().max(0.0)))
+            .collect();
+        let sum: Vec<(f64, f64)> = f1
+            .iter()
+            .zip(&f2)
+            .map(|(a, b)| (a.0 + b.0, a.1 + b.1))
+            .collect();
         let p1 = angular_spectrum_1d(&f1, 1.0, 10.0, 30.0);
         let p2 = angular_spectrum_1d(&f2, 1.0, 10.0, 30.0);
         let ps = angular_spectrum_1d(&sum, 1.0, 10.0, 30.0);
@@ -198,9 +220,16 @@ mod tests {
     fn fdtd_cost_grows_with_distance_but_fft_does_not() {
         let near = fdtd_hop_cost(100.0, 10.0, 15.0);
         let far = fdtd_hop_cost(100.0, 100.0, 15.0);
-        assert!(far.ops > 50.0 * near.ops, "FDTD cost must grow ~quadratically with distance");
+        assert!(
+            far.ops > 50.0 * near.ops,
+            "FDTD cost must grow ~quadratically with distance"
+        );
         let fft = fft_hop_cost(200.0);
-        assert_eq!(fft.ops, fft_hop_cost(200.0).ops, "FFT cost is distance-independent");
+        assert_eq!(
+            fft.ops,
+            fft_hop_cost(200.0).ops,
+            "FFT cost is distance-independent"
+        );
     }
 
     #[test]

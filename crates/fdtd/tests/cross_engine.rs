@@ -7,7 +7,10 @@ use lr_fdtd::validate::angular_spectrum_1d;
 use lr_fdtd::{CwLineSource, Fdtd2D, SimGrid};
 
 fn magnitudes(phasor: &[(f64, f64)]) -> Vec<f64> {
-    phasor.iter().map(|(re, im)| (re * re + im * im).sqrt()).collect()
+    phasor
+        .iter()
+        .map(|(re, im)| (re * re + im * im).sqrt())
+        .collect()
 }
 
 fn normalize(v: &mut [f64]) {

@@ -62,7 +62,13 @@ fn production_kernel_matches_oracle_across_distances() {
     let pitch_m = 8e-6;
     let wavelength_m = 633e-9;
     let profile: Vec<(f64, f64)> = (0..n)
-        .map(|j| if (24..40).contains(&j) { (1.0, 0.0) } else { (0.0, 0.0) })
+        .map(|j| {
+            if (24..40).contains(&j) {
+                (1.0, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
         .collect();
 
     for &z_mm in &[0.5, 2.0, 8.0] {
@@ -101,7 +107,13 @@ fn band_limiting_only_removes_energy() {
     let wavelength_m = 633e-9;
     let z_m = 8e-3; // long hop: the Matsushima clip engages
     let profile: Vec<(f64, f64)> = (0..n)
-        .map(|j| if (24..40).contains(&j) { (1.0, 0.0) } else { (0.0, 0.0) })
+        .map(|j| {
+            if (24..40).contains(&j) {
+                (1.0, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
         .collect();
 
     let grid = Grid::new(1, n, PixelPitch::from_meters(pitch_m));

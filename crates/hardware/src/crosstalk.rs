@@ -27,7 +27,10 @@ impl CrosstalkModel {
     ///
     /// Panics if `strength` is outside `[0, 1)`.
     pub fn new(strength: f64) -> Self {
-        assert!((0.0..1.0).contains(&strength), "coupling strength must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&strength),
+            "coupling strength must be in [0,1)"
+        );
         CrosstalkModel { strength }
     }
 
@@ -52,11 +55,7 @@ impl CrosstalkModel {
         // Neighbour weights: 4-neighbours twice the diagonal weight.
         let side = s / 6.0;
         let diag = s / 12.0;
-        [
-            diag, side, diag,
-            side, 1.0 - s, side,
-            diag, side, diag,
-        ]
+        [diag, side, diag, side, 1.0 - s, side, diag, side, diag]
     }
 
     /// Applies crosstalk to a row-major complex modulation mask given as
@@ -82,9 +81,15 @@ impl CrosstalkModel {
                 let mut im = 0.0;
                 let mut weight = 0.0;
                 for (ki, (dr, dc)) in [
-                    (-1isize, -1isize), (-1, 0), (-1, 1),
-                    (0, -1), (0, 0), (0, 1),
-                    (1, -1), (1, 0), (1, 1),
+                    (-1isize, -1isize),
+                    (-1, 0),
+                    (-1, 1),
+                    (0, -1),
+                    (0, 0),
+                    (0, 1),
+                    (1, -1),
+                    (1, 0),
+                    (1, 1),
                 ]
                 .iter()
                 .enumerate()
@@ -161,7 +166,10 @@ mod tests {
         // mixing), away from it stays ~1.
         let at_edge = buf[2]; // re component of (0,1): next to the step
         let far = buf[0]; // (0,0): corner
-        assert!(at_edge.abs() < 1.0 - 1e-3, "edge pixel must be attenuated: {at_edge}");
+        assert!(
+            at_edge.abs() < 1.0 - 1e-3,
+            "edge pixel must be attenuated: {at_edge}"
+        );
         assert!(far.abs() > at_edge.abs(), "interior pixel less affected");
     }
 

@@ -106,7 +106,11 @@ impl DonnPowerModel {
     /// Panics if any parameter is non-positive.
     pub fn new(laser_watts: f64, detector_watts: f64, detector_fps: f64) -> Self {
         assert!(laser_watts > 0.0 && detector_watts > 0.0 && detector_fps > 0.0);
-        DonnPowerModel { laser_watts, detector_watts, detector_fps }
+        DonnPowerModel {
+            laser_watts,
+            detector_watts,
+            detector_fps,
+        }
     }
 
     /// The paper's visible-range prototype: 5 mW CW laser + 1 W CMOS camera
@@ -167,7 +171,11 @@ mod tests {
     #[test]
     fn donn_prototype_matches_paper_number() {
         let donn = DonnPowerModel::prototype();
-        assert!((donn.fps_per_watt() - 995.02).abs() < 0.5, "got {}", donn.fps_per_watt());
+        assert!(
+            (donn.fps_per_watt() - 995.02).abs() < 0.5,
+            "got {}",
+            donn.fps_per_watt()
+        );
     }
 
     #[test]
@@ -202,7 +210,11 @@ mod tests {
             for w in [workloads::mlp_gflops(), workloads::cnn_gflops()] {
                 let ratio = donn / p.fps_per_watt(w);
                 if p.name().contains("EdgeTPU") {
-                    assert!((10.0..1000.0).contains(&ratio), "{}: ratio {ratio}", p.name());
+                    assert!(
+                        (10.0..1000.0).contains(&ratio),
+                        "{}: ratio {ratio}",
+                        p.name()
+                    );
                 } else {
                     assert!(ratio > 100.0, "{}: ratio {ratio}", p.name());
                 }

@@ -38,7 +38,12 @@ impl PrintedMask {
         assert!(wavelength_m > 0.0, "wavelength must be positive");
         assert!(layer_height_m > 0.0, "layer height must be positive");
         assert!(base_thickness_m >= 0.0, "base thickness must be ≥ 0");
-        PrintedMask { refractive_index, wavelength_m, layer_height_m, base_thickness_m }
+        PrintedMask {
+            refractive_index,
+            wavelength_m,
+            layer_height_m,
+            base_thickness_m,
+        }
     }
 
     /// The paper's THz reference setup: resin masks (n ≈ 1.7) at 0.4 THz
@@ -83,7 +88,9 @@ impl PrintedMask {
     /// Number of distinct phase levels this printer/material combination can
     /// realize within one 2π zone.
     pub fn effective_levels(&self) -> usize {
-        (self.two_pi_thickness() / self.layer_height_m).round().max(1.0) as usize
+        (self.two_pi_thickness() / self.layer_height_m)
+            .round()
+            .max(1.0) as usize
     }
 }
 

@@ -43,12 +43,19 @@ impl FabricationVariation {
     ///
     /// Panics if either sigma is negative or non-finite.
     pub fn new(phase_sigma: f64, amplitude_sigma: f64, seed: u64) -> Self {
-        assert!(phase_sigma >= 0.0 && phase_sigma.is_finite(), "phase_sigma must be ≥ 0");
+        assert!(
+            phase_sigma >= 0.0 && phase_sigma.is_finite(),
+            "phase_sigma must be ≥ 0"
+        );
         assert!(
             amplitude_sigma >= 0.0 && amplitude_sigma.is_finite(),
             "amplitude_sigma must be ≥ 0"
         );
-        FabricationVariation { phase_sigma, amplitude_sigma, seed }
+        FabricationVariation {
+            phase_sigma,
+            amplitude_sigma,
+            seed,
+        }
     }
 
     /// A perfect device (no variation).
@@ -75,7 +82,9 @@ impl FabricationVariation {
     /// Samples the frozen per-pixel phase errors of this unit.
     pub fn sample_phase_errors(&self, len: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
-        (0..len).map(|_| gaussian(&mut rng) * self.phase_sigma).collect()
+        (0..len)
+            .map(|_| gaussian(&mut rng) * self.phase_sigma)
+            .collect()
     }
 
     /// Samples the frozen per-pixel transmission factors (centered at 1).
@@ -115,7 +124,12 @@ impl CameraModel {
         assert!(read_noise >= 0.0, "read noise must be ≥ 0");
         assert!((1..=24).contains(&bit_depth), "bit depth must be 1..=24");
         assert!(saturation > 0.0, "saturation must be positive");
-        CameraModel { shot_noise_scale, read_noise, bit_depth, saturation }
+        CameraModel {
+            shot_noise_scale,
+            read_noise,
+            bit_depth,
+            saturation,
+        }
     }
 
     /// An ideal (noise-free, continuous, unbounded) detector.
@@ -262,7 +276,10 @@ mod tests {
         let i = vec![1.0; 1000];
         let noisy = uniform_detector_noise(&i, 0.05, 9);
         for &v in &noisy {
-            assert!((0.95 - 1e-12..=1.05 + 1e-12).contains(&v), "sample {v} out of bound");
+            assert!(
+                (0.95 - 1e-12..=1.05 + 1e-12).contains(&v),
+                "sample {v} out of bound"
+            );
         }
         // Zero bound is identity.
         assert_eq!(uniform_detector_noise(&i, 0.0, 9), i);

@@ -41,7 +41,9 @@ impl SlmModel {
     /// Panics if `num_levels < 2`.
     pub fn ideal(num_levels: usize) -> Self {
         assert!(num_levels >= 2, "a modulator needs at least two levels");
-        let phases = (0..num_levels).map(|i| TAU * i as f64 / num_levels as f64).collect();
+        let phases = (0..num_levels)
+            .map(|i| TAU * i as f64 / num_levels as f64)
+            .collect();
         SlmModel {
             name: format!("ideal-{num_levels}"),
             phases,
@@ -70,7 +72,11 @@ impl SlmModel {
             phases.push(phase);
             amplitudes.push(amp);
         }
-        SlmModel { name: "lc2012".into(), phases, amplitudes }
+        SlmModel {
+            name: "lc2012".into(),
+            phases,
+            amplitudes,
+        }
     }
 
     /// Builds a device from explicit measured response vectors.
@@ -81,8 +87,16 @@ impl SlmModel {
     /// differ.
     pub fn from_response(name: impl Into<String>, phases: Vec<f64>, amplitudes: Vec<f64>) -> Self {
         assert!(phases.len() >= 2, "a modulator needs at least two levels");
-        assert_eq!(phases.len(), amplitudes.len(), "phase/amplitude tables must align");
-        SlmModel { name: name.into(), phases, amplitudes }
+        assert_eq!(
+            phases.len(),
+            amplitudes.len(),
+            "phase/amplitude tables must align"
+        );
+        SlmModel {
+            name: name.into(),
+            phases,
+            amplitudes,
+        }
     }
 
     /// A low-precision device with `bits` of control (2^bits levels),
@@ -211,7 +225,10 @@ mod tests {
         }
         // Nonlinearity: midpoint is not exactly half the range.
         let mid = p[128] / p[255];
-        assert!((mid - 0.5).abs() > 1e-3, "curve should be nonlinear, got midpoint ratio {mid}");
+        assert!(
+            (mid - 0.5).abs() > 1e-3,
+            "curve should be nonlinear, got midpoint ratio {mid}"
+        );
         // Amplitude dips mid-range.
         let a = slm.amplitudes();
         assert!(a[128] < a[0]);
@@ -224,7 +241,10 @@ mod tests {
         let phases: Vec<f64> = slm.phases().iter().step_by(16).copied().collect();
         let (_, q) = slm.quantize_mask(&phases);
         for (orig, quant) in phases.iter().zip(&q) {
-            assert!((orig - quant).abs() < 1e-12, "device phases must be fixed points");
+            assert!(
+                (orig - quant).abs() < 1e-12,
+                "device phases must be fixed points"
+            );
         }
     }
 

@@ -4,9 +4,7 @@
 //! fab time, not re-rolled per inference), and never produce unphysical
 //! outputs (negative intensities, non-finite values, energy gain).
 
-use lr_hardware::{
-    CameraModel, CrosstalkModel, FabricationVariation, SlmModel,
-};
+use lr_hardware::{CameraModel, CrosstalkModel, FabricationVariation, SlmModel};
 
 #[test]
 fn fabrication_errors_are_frozen_per_seed() {
@@ -15,7 +13,11 @@ fn fabrication_errors_are_frozen_per_seed() {
     let b = fab.sample_phase_errors(128);
     assert_eq!(a, b, "fabrication errors must be frozen, not re-rolled");
     let other = FabricationVariation::new(0.2, 0.05, 43);
-    assert_ne!(a, other.sample_phase_errors(128), "different dies must differ");
+    assert_ne!(
+        a,
+        other.sample_phase_errors(128),
+        "different dies must differ"
+    );
 }
 
 #[test]
@@ -29,7 +31,10 @@ fn fabrication_error_magnitude_tracks_sigma() {
         rms_large > 5.0 * rms_small,
         "σ=0.5 should give ~10x the RMS of σ=0.05: {rms_small:.4} vs {rms_large:.4}"
     );
-    assert!((rms_small - 0.05).abs() < 0.01, "RMS should approximate sigma");
+    assert!(
+        (rms_small - 0.05).abs() < 0.01,
+        "RMS should approximate sigma"
+    );
 }
 
 #[test]
@@ -46,13 +51,14 @@ fn amplitude_factors_stay_positive() {
 fn camera_output_is_physical_for_any_input() {
     let camera = CameraModel::cs165mu1(4.0);
     // Adversarial input: zeros, saturating values, tiny values.
-    let intensity: Vec<f64> =
-        (0..256).map(|i| match i % 4 {
+    let intensity: Vec<f64> = (0..256)
+        .map(|i| match i % 4 {
             0 => 0.0,
             1 => 1e-12,
             2 => 3.9,
             _ => 100.0, // far beyond saturation
-        }).collect();
+        })
+        .collect();
     let captured = camera.capture(&intensity, 9);
     assert_eq!(captured.len(), intensity.len());
     for &v in &captured {
@@ -74,8 +80,14 @@ fn camera_noise_scales_with_configured_level() {
     let noisy_dev = dev(&noisy.capture(&intensity, 5));
     // The clean camera only quantizes (16-bit: tiny); the noisy one must
     // show clearly larger deviation.
-    assert!(clean_dev < 1e-3, "ideal-ish camera deviation too large: {clean_dev}");
-    assert!(noisy_dev > 10.0 * clean_dev.max(1e-6), "noise level not reflected");
+    assert!(
+        clean_dev < 1e-3,
+        "ideal-ish camera deviation too large: {clean_dev}"
+    );
+    assert!(
+        noisy_dev > 10.0 * clean_dev.max(1e-6),
+        "noise level not reflected"
+    );
 }
 
 #[test]
@@ -97,7 +109,10 @@ fn quantization_error_shrinks_with_bit_depth() {
         );
         last_err = err;
     }
-    assert!(last_err < 1e-3, "12-bit ADC error should be tiny: {last_err}");
+    assert!(
+        last_err < 1e-3,
+        "12-bit ADC error should be tiny: {last_err}"
+    );
 }
 
 fn interleaved_from_phases(phases: &[f64]) -> Vec<f64> {
@@ -109,8 +124,9 @@ fn crosstalk_never_amplifies_total_modulation_energy() {
     // Apply increasing coupling to a checkerboard phase mask and verify
     // the complex modulation keeps unit-or-less magnitude everywhere.
     let n = 16;
-    let phases: Vec<f64> =
-        (0..n * n).map(|i| if (i / n + i % n) % 2 == 0 { 0.0 } else { 3.0 }).collect();
+    let phases: Vec<f64> = (0..n * n)
+        .map(|i| if (i / n + i % n) % 2 == 0 { 0.0 } else { 3.0 })
+        .collect();
     for &coupling in &[0.0, 0.1, 0.3, 0.5] {
         let model = CrosstalkModel::new(coupling);
         let mut buf = interleaved_from_phases(&phases);
@@ -127,7 +143,9 @@ fn crosstalk_never_amplifies_total_modulation_energy() {
 #[test]
 fn zero_coupling_crosstalk_is_identity() {
     let n = 8;
-    let phases: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37) % std::f64::consts::TAU).collect();
+    let phases: Vec<f64> = (0..n * n)
+        .map(|i| (i as f64 * 0.37) % std::f64::consts::TAU)
+        .collect();
     let model = CrosstalkModel::new(0.0);
     let mut buf = interleaved_from_phases(&phases);
     model.apply_complex(n, n, &mut buf);

@@ -70,7 +70,10 @@ impl LpField {
 /// Panics if `n == 0` or physical parameters are non-positive.
 pub fn begin(n: usize, pitch_m: f64, wavelength_m: f64) -> LpField {
     assert!(n > 0, "field size must be nonzero");
-    assert!(pitch_m > 0.0 && wavelength_m > 0.0, "physical parameters must be positive");
+    assert!(
+        pitch_m > 0.0 && wavelength_m > 0.0,
+        "physical parameters must be positive"
+    );
     LpField {
         grid: vec![vec![Complex64::ONE; n]; n],
         pitch: pitch_m,
@@ -108,7 +111,11 @@ pub fn forvard(field: &LpField, z: f64) -> LpField {
     let multiplied = complex_mm(&spectrum, &transfer);
     // Step 4: inverse FFT.
     let grid = fft2(&multiplied, true);
-    LpField { grid, pitch: field.pitch, wavelength: field.wavelength }
+    LpField {
+        grid,
+        pitch: field.pitch,
+        wavelength: field.wavelength,
+    }
 }
 
 /// Applies a per-pixel phase mask (radians).
@@ -376,7 +383,9 @@ mod tests {
     #[test]
     fn bluestein_matches_naive_dft() {
         let n = 12;
-        let data: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let expected = lr_tensor::dft_naive(&data, lr_tensor::Direction::Forward);
         let got = fft1(&data, false);
         for (a, b) in got.iter().zip(&expected) {

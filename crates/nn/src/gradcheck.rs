@@ -43,7 +43,11 @@ pub fn check_gradient(
     analytic: &[f64],
     h: f64,
 ) -> GradCheckReport {
-    assert_eq!(params.len(), analytic.len(), "params/gradient length mismatch");
+    assert_eq!(
+        params.len(),
+        analytic.len(),
+        "params/gradient length mismatch"
+    );
     assert!(!params.is_empty(), "cannot check empty parameter vector");
     let mut report = GradCheckReport {
         max_abs_err: 0.0,
@@ -90,7 +94,11 @@ pub fn check_gradient_sampled(
     h: f64,
     count: usize,
 ) -> GradCheckReport {
-    assert_eq!(params.len(), analytic.len(), "params/gradient length mismatch");
+    assert_eq!(
+        params.len(),
+        analytic.len(),
+        "params/gradient length mismatch"
+    );
     assert!(!params.is_empty() && count > 0, "nothing to check");
     let stride = (params.len() / count.min(params.len())).max(1);
     let indices: Vec<usize> = (0..params.len()).step_by(stride).take(count).collect();

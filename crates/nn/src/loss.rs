@@ -57,10 +57,18 @@ pub fn softmax_mse_into(logits: &[f64], target: &[f64], grad: &mut Vec<f64>) -> 
     for g in grad.iter_mut() {
         *g /= sum;
     }
-    let loss: f64 = grad.iter().zip(target).map(|(&si, &ti)| (si - ti).powi(2)).sum();
+    let loss: f64 = grad
+        .iter()
+        .zip(target)
+        .map(|(&si, &ti)| (si - ti).powi(2))
+        .sum();
     // dL/ds_i = 2(s_i - t_i); ds_i/dI_k = s_i(δ_ik - s_k)
     // dL/dI_k = 2·s_k·[ (s_k - t_k) - Σ_i (s_i - t_i)·s_i ]
-    let dot: f64 = grad.iter().zip(target).map(|(&si, &ti)| (si - ti) * si).sum();
+    let dot: f64 = grad
+        .iter()
+        .zip(target)
+        .map(|(&si, &ti)| (si - ti) * si)
+        .sum();
     for (g, &tk) in grad.iter_mut().zip(target) {
         let sk = *g;
         *g = 2.0 * sk * ((sk - tk) - dot);
@@ -79,7 +87,13 @@ pub fn softmax_cross_entropy(logits: &[f64], target: &[f64]) -> (f64, Vec<f64>) 
     let loss: f64 = s
         .iter()
         .zip(target)
-        .map(|(&si, &ti)| if ti > 0.0 { -ti * si.max(1e-300).ln() } else { 0.0 })
+        .map(|(&si, &ti)| {
+            if ti > 0.0 {
+                -ti * si.max(1e-300).ln()
+            } else {
+                0.0
+            }
+        })
         .sum();
     let grad = s.iter().zip(target).map(|(&si, &ti)| si - ti).collect();
     (loss, grad)
@@ -95,8 +109,17 @@ pub fn mse(values: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
     assert_eq!(values.len(), target.len(), "values/target length mismatch");
     assert!(!values.is_empty(), "mse of empty slices is undefined");
     let n = values.len() as f64;
-    let loss: f64 = values.iter().zip(target).map(|(&v, &t)| (v - t).powi(2)).sum::<f64>() / n;
-    let grad = values.iter().zip(target).map(|(&v, &t)| 2.0 * (v - t) / n).collect();
+    let loss: f64 = values
+        .iter()
+        .zip(target)
+        .map(|(&v, &t)| (v - t).powi(2))
+        .sum::<f64>()
+        / n;
+    let grad = values
+        .iter()
+        .zip(target)
+        .map(|(&v, &t)| 2.0 * (v - t) / n)
+        .collect();
     (loss, grad)
 }
 

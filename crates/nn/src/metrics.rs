@@ -21,7 +21,11 @@ pub fn argmax(scores: &[f64]) -> usize {
 /// True if the correct `label` appears among the `k` highest scores.
 pub fn top_k_correct(scores: &[f64], label: usize, k: usize) -> bool {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.into_iter().take(k).any(|i| i == label)
 }
 
@@ -86,7 +90,10 @@ impl ConfusionMatrix {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "confusion matrix needs at least one class");
-        ConfusionMatrix { n, counts: vec![0; n * n] }
+        ConfusionMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
     }
 
     /// Records one `(truth, prediction)` pair.
@@ -95,7 +102,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, prediction: usize) {
-        assert!(truth < self.n && prediction < self.n, "class index out of range");
+        assert!(
+            truth < self.n && prediction < self.n,
+            "class index out of range"
+        );
         self.counts[truth * self.n + prediction] += 1;
     }
 

@@ -52,7 +52,11 @@ impl Sgd {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f64) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Enables classical momentum.
@@ -69,7 +73,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.momentum == 0.0 {
             for (p, &g) in params.iter_mut().zip(grads) {
                 *p -= self.lr * g;
@@ -80,7 +88,11 @@ impl Optimizer for Sgd {
             .velocity
             .entry(key)
             .or_insert_with(|| vec![0.0; params.len()]);
-        assert_eq!(v.len(), params.len(), "parameter tensor changed size under key");
+        assert_eq!(
+            v.len(),
+            params.len(),
+            "parameter tensor changed size under key"
+        );
         for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
             *vi = self.momentum * *vi + g;
             *p -= self.lr * *vi;
@@ -132,7 +144,13 @@ impl Adam {
     /// Panics if `lr` is not finite and positive.
     pub fn new(lr: f64) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
     }
 
     /// Overrides the exponential decay rates.
@@ -141,7 +159,10 @@ impl Adam {
     ///
     /// Panics if either beta is outside `[0, 1)`.
     pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         self.beta1 = beta1;
         self.beta2 = beta2;
         self
@@ -150,13 +171,21 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, key: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         let st = self.state.entry(key).or_insert_with(|| AdamState {
             m: vec![0.0; params.len()],
             v: vec![0.0; params.len()],
             t: 0,
         });
-        assert_eq!(st.m.len(), params.len(), "parameter tensor changed size under key");
+        assert_eq!(
+            st.m.len(),
+            params.len(),
+            "parameter tensor changed size under key"
+        );
         st.t += 1;
         let b1t = 1.0 - self.beta1.powi(st.t as i32);
         let b2t = 1.0 - self.beta2.powi(st.t as i32);
@@ -197,7 +226,11 @@ impl StepDecay {
     pub fn new(initial_lr: f64, gamma: f64, step_epochs: usize) -> Self {
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
         assert!(step_epochs > 0, "step_epochs must be nonzero");
-        StepDecay { initial_lr, gamma, step_epochs }
+        StepDecay {
+            initial_lr,
+            gamma,
+            step_epochs,
+        }
     }
 
     /// Learning rate at `epoch` (0-based).
@@ -241,7 +274,10 @@ mod tests {
             }
             x[0].abs()
         };
-        assert!(run(0.9, 50) < run(0.0, 50), "momentum should make faster progress");
+        assert!(
+            run(0.9, 50) < run(0.0, 50),
+            "momentum should make faster progress"
+        );
     }
 
     #[test]
@@ -255,7 +291,10 @@ mod tests {
             let gy = 200.0 * (y - x * x);
             opt.step(0, &mut p, &[gx, gy]);
         }
-        assert!((p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.05, "got {p:?}");
+        assert!(
+            (p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.05,
+            "got {p:?}"
+        );
     }
 
     #[test]
@@ -264,7 +303,11 @@ mod tests {
         let mut opt = Adam::new(0.1);
         let mut a = vec![0.0];
         opt.step(0, &mut a, &[1e-4]);
-        assert!((a[0] + 0.1).abs() < 1e-3, "first Adam step should be ≈ -lr, got {}", a[0]);
+        assert!(
+            (a[0] + 0.1).abs() < 1e-3,
+            "first Adam step should be ≈ -lr, got {}",
+            a[0]
+        );
     }
 
     #[test]

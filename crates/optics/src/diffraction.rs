@@ -143,7 +143,11 @@ static TRANSFER_CACHE: Mutex<Option<HashMap<TransferKey, Arc<Field>>>> = Mutex::
 const TRANSFER_CACHE_CAP: usize = 32;
 
 fn cached_transfer(key: TransferKey, build: impl FnOnce() -> Field) -> Arc<Field> {
-    if let Some(hit) = TRANSFER_CACHE.lock().as_ref().and_then(|c| c.get(&key).cloned()) {
+    if let Some(hit) = TRANSFER_CACHE
+        .lock()
+        .as_ref()
+        .and_then(|c| c.get(&key).cloned())
+    {
         return hit;
     }
     // Build outside the lock: kernels are large and trig-heavy, and two
@@ -176,7 +180,9 @@ pub fn rayleigh_sommerfeld_tf_cached(
         distance,
         TransferKind::RayleighSommerfeld { band_limit },
     );
-    cached_transfer(key, || rayleigh_sommerfeld_tf(grid, wavelength, distance, band_limit))
+    cached_transfer(key, || {
+        rayleigh_sommerfeld_tf(grid, wavelength, distance, band_limit)
+    })
 }
 
 /// Cached variant of [`fresnel_tf`].
@@ -289,7 +295,11 @@ enum Inner {
     /// through the global transfer cache.
     Spectral { transfer: Arc<Field>, fft: Fft2 },
     /// Fraunhofer: `U ← scale · D_post ⊙ fftshift(FFT(ifftshift(U)))`.
-    SingleFourier { post_phase: Field, scale: Complex64, fft: Fft2 },
+    SingleFourier {
+        post_phase: Field,
+        scale: Complex64,
+        fft: Fft2,
+    },
 }
 
 /// Caller-owned scratch for allocation-free propagation
@@ -356,7 +366,8 @@ impl FreeSpace {
                 let k = wavelength.wavenumber();
                 let z = distance.meters();
                 let out_pitch = lambda * z / (grid.cols() as f64 * grid.pitch().meters());
-                let out_grid = Grid::new(grid.rows(), grid.cols(), PixelPitch::from_meters(out_pitch));
+                let out_grid =
+                    Grid::new(grid.rows(), grid.cols(), PixelPitch::from_meters(out_pitch));
                 let post_phase = Field::from_fn(grid.rows(), grid.cols(), |r, c| {
                     let x = out_grid.x_coord(c);
                     let y = out_grid.y_coord(r);
@@ -364,10 +375,20 @@ impl FreeSpace {
                 });
                 let area = grid.pitch().meters().powi(2);
                 let scale = (Complex64::cis(k * z) / J) / (lambda * z) * area;
-                Inner::SingleFourier { post_phase, scale, fft }
+                Inner::SingleFourier {
+                    post_phase,
+                    scale,
+                    fft,
+                }
             }
         };
-        FreeSpace { grid, wavelength, distance, approximation, inner }
+        FreeSpace {
+            grid,
+            wavelength,
+            distance,
+            approximation,
+            inner,
+        }
     }
 
     /// The sampling grid of the *input* plane.
@@ -399,7 +420,9 @@ impl FreeSpace {
             Inner::SingleFourier { .. } => {
                 let lambda = self.wavelength.meters();
                 let z = self.distance.meters();
-                PixelPitch::from_meters(lambda * z / (self.grid.cols() as f64 * self.grid.pitch().meters()))
+                PixelPitch::from_meters(
+                    lambda * z / (self.grid.cols() as f64 * self.grid.pitch().meters()),
+                )
             }
         }
     }
@@ -428,10 +451,18 @@ impl FreeSpace {
     ///
     /// Panics if the field shape does not match the planned grid.
     pub fn propagate(&self, field: &mut Field) {
-        assert_eq!(field.shape(), self.grid.shape(), "field/grid shape mismatch");
+        assert_eq!(
+            field.shape(),
+            self.grid.shape(),
+            "field/grid shape mismatch"
+        );
         match &self.inner {
             Inner::Spectral { transfer, fft } => fft.convolve_spectrum(field, transfer),
-            Inner::SingleFourier { post_phase, scale, fft } => {
+            Inner::SingleFourier {
+                post_phase,
+                scale,
+                fft,
+            } => {
                 let mut shifted = field.ifftshift();
                 fft.forward(&mut shifted);
                 shifted.fftshift_into(field);
@@ -451,13 +482,25 @@ impl FreeSpace {
     ///
     /// Panics if `field` or `scratch` does not match the planned grid.
     pub fn propagate_with(&self, field: &mut Field, scratch: &mut PropagationScratch) {
-        assert_eq!(field.shape(), self.grid.shape(), "field/grid shape mismatch");
-        assert_eq!(scratch.shape(), self.grid.shape(), "scratch/grid shape mismatch");
+        assert_eq!(
+            field.shape(),
+            self.grid.shape(),
+            "field/grid shape mismatch"
+        );
+        assert_eq!(
+            scratch.shape(),
+            self.grid.shape(),
+            "scratch/grid shape mismatch"
+        );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
                 fft.convolve_spectrum_with(field, transfer, &mut scratch.fft);
             }
-            Inner::SingleFourier { post_phase, scale, fft } => {
+            Inner::SingleFourier {
+                post_phase,
+                scale,
+                fft,
+            } => {
                 field.ifftshift_into(&mut scratch.shift);
                 fft.process_with(&mut scratch.shift, Direction::Forward, &mut scratch.fft);
                 scratch.shift.fftshift_into(field);
@@ -479,7 +522,11 @@ impl FreeSpace {
         assert_eq!(grad.shape(), self.grid.shape(), "field/grid shape mismatch");
         match &self.inner {
             Inner::Spectral { transfer, fft } => fft.convolve_spectrum_adjoint(grad, transfer),
-            Inner::SingleFourier { post_phase, scale, fft } => {
+            Inner::SingleFourier {
+                post_phase,
+                scale,
+                fft,
+            } => {
                 // A = s · P₂ F P₁ with diag(post) after P₂:
                 // A = diag(post)·P₂·F·P₁·s  ⇒  Aᴴ = s̄·P₁⁻¹·Fᴴ·P₂⁻¹·diag(post̄)
                 // with Fᴴ = N·F⁻¹.
@@ -504,12 +551,20 @@ impl FreeSpace {
     /// Panics if `grad` or `scratch` does not match the planned grid.
     pub fn adjoint_with(&self, grad: &mut Field, scratch: &mut PropagationScratch) {
         assert_eq!(grad.shape(), self.grid.shape(), "field/grid shape mismatch");
-        assert_eq!(scratch.shape(), self.grid.shape(), "scratch/grid shape mismatch");
+        assert_eq!(
+            scratch.shape(),
+            self.grid.shape(),
+            "scratch/grid shape mismatch"
+        );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
                 fft.convolve_spectrum_adjoint_with(grad, transfer, &mut scratch.fft);
             }
-            Inner::SingleFourier { post_phase, scale, fft } => {
+            Inner::SingleFourier {
+                post_phase,
+                scale,
+                fft,
+            } => {
                 let n = (self.grid.rows() * self.grid.cols()) as f64;
                 grad.hadamard_conj_assign(post_phase);
                 grad.ifftshift_into(&mut scratch.shift);
@@ -577,10 +632,19 @@ mod tests {
     #[test]
     fn rs_transfer_unit_magnitude_propagating() {
         let grid = test_grid(32);
-        let h = rayleigh_sommerfeld_tf(&grid, Wavelength::from_nm(GREEN), Distance::from_mm(10.0), false);
+        let h = rayleigh_sommerfeld_tf(
+            &grid,
+            Wavelength::from_nm(GREEN),
+            Distance::from_mm(10.0),
+            false,
+        );
         // pitch 10um >> lambda/2, so every sampled frequency is propagating
         for z in h.as_slice() {
-            assert!((z.norm() - 1.0).abs() < 1e-12, "expected |H|=1, got {}", z.norm());
+            assert!(
+                (z.norm() - 1.0).abs() < 1e-12,
+                "expected |H|=1, got {}",
+                z.norm()
+            );
         }
     }
 
@@ -596,11 +660,18 @@ mod tests {
         );
         let mut u = Field::from_fn(64, 64, |r, c| {
             let inside = (24..40).contains(&r) && (24..40).contains(&c);
-            if inside { Complex64::ONE } else { Complex64::ZERO }
+            if inside {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            }
         });
         let p0 = u.total_power();
         prop.propagate(&mut u);
-        assert!((u.total_power() - p0).abs() < 1e-9 * p0, "unitary propagation must conserve energy");
+        assert!(
+            (u.total_power() - p0).abs() < 1e-9 * p0,
+            "unitary propagation must conserve energy"
+        );
     }
 
     #[test]
@@ -640,7 +711,10 @@ mod tests {
         let i_rs = u_rs.intensity();
         let i_fr = u_fr.intensity();
         let corr = correlation(&i_rs, &i_fr);
-        assert!(corr > 0.999, "paraxial RS/Fresnel correlation too low: {corr}");
+        assert!(
+            corr > 0.999,
+            "paraxial RS/Fresnel correlation too low: {corr}"
+        );
     }
 
     #[test]
@@ -669,7 +743,11 @@ mod tests {
                 }
             }
         }
-        assert!(num / den < 0.05, "Fresnel IR/TF disagreement: {}", num / den);
+        assert!(
+            num / den < 0.05,
+            "Fresnel IR/TF disagreement: {}",
+            num / den
+        );
     }
 
     #[test]
@@ -702,7 +780,12 @@ mod tests {
     fn adjoint_identity_spectral() {
         let grid = test_grid(16);
         for approx in [Approximation::RayleighSommerfeld, Approximation::Fresnel] {
-            let prop = FreeSpace::new(grid, Wavelength::from_nm(GREEN), Distance::from_mm(30.0), approx);
+            let prop = FreeSpace::new(
+                grid,
+                Wavelength::from_nm(GREEN),
+                Distance::from_mm(30.0),
+                approx,
+            );
             check_adjoint(&prop);
         }
     }
@@ -721,8 +804,12 @@ mod tests {
 
     fn check_adjoint(prop: &FreeSpace) {
         let (rows, cols) = prop.grid().shape();
-        let x = Field::from_fn(rows, cols, |r, c| Complex64::new((r * c) as f64 * 0.03, r as f64 - c as f64));
-        let y = Field::from_fn(rows, cols, |r, c| Complex64::new(c as f64 * 0.1, (r + 1) as f64 * 0.2));
+        let x = Field::from_fn(rows, cols, |r, c| {
+            Complex64::new((r * c) as f64 * 0.03, r as f64 - c as f64)
+        });
+        let y = Field::from_fn(rows, cols, |r, c| {
+            Complex64::new(c as f64 * 0.1, (r + 1) as f64 * 0.2)
+        });
         let mut ax = x.clone();
         prop.propagate(&mut ax);
         let mut ahy = y.clone();
@@ -763,7 +850,11 @@ mod tests {
         let w_measured = beam_radius(&u, &grid);
         let w_expected = w0 * (1.0f64 + (z / zr).powi(2)).sqrt();
         let rel = (w_measured - w_expected).abs() / w_expected;
-        assert!(rel < 0.03, "beam width off by {:.1}% (measured {w_measured:.2e}, expected {w_expected:.2e})", rel * 100.0);
+        assert!(
+            rel < 0.03,
+            "beam width off by {:.1}% (measured {w_measured:.2e}, expected {w_expected:.2e})",
+            rel * 100.0
+        );
     }
 
     /// Second-moment beam radius: w = sqrt(2·<r²>) for a Gaussian |U|² ∝ exp(-2r²/w²).
@@ -800,8 +891,18 @@ mod tests {
     #[test]
     fn validity_ratios_move_with_distance() {
         let grid = test_grid(64);
-        let near = FreeSpace::new(grid, Wavelength::from_nm(GREEN), Distance::from_mm(1.0), Approximation::Fresnel);
-        let far = FreeSpace::new(grid, Wavelength::from_nm(GREEN), Distance::from_meters(10.0), Approximation::Fresnel);
+        let near = FreeSpace::new(
+            grid,
+            Wavelength::from_nm(GREEN),
+            Distance::from_mm(1.0),
+            Approximation::Fresnel,
+        );
+        let far = FreeSpace::new(
+            grid,
+            Wavelength::from_nm(GREEN),
+            Distance::from_meters(10.0),
+            Approximation::Fresnel,
+        );
         assert!(far.fresnel_validity_ratio() > near.fresnel_validity_ratio());
         assert!(far.fraunhofer_validity_ratio() > near.fraunhofer_validity_ratio());
         assert!(far.fresnel_number() < near.fresnel_number());
@@ -843,7 +944,12 @@ mod tests {
     #[test]
     fn band_limit_zeroes_high_frequencies_at_long_distance() {
         let grid = test_grid(64);
-        let h = rayleigh_sommerfeld_tf(&grid, Wavelength::from_nm(GREEN), Distance::from_meters(5.0), true);
+        let h = rayleigh_sommerfeld_tf(
+            &grid,
+            Wavelength::from_nm(GREEN),
+            Distance::from_meters(5.0),
+            true,
+        );
         // The corner of the frequency grid should be zeroed at 5 m.
         assert_eq!(h[(32, 32)], Complex64::ZERO);
         // DC must survive.

@@ -51,7 +51,10 @@ pub struct Laser {
 impl Laser {
     /// Creates a laser with the given wavelength and beam profile.
     pub fn new(wavelength: Wavelength, profile: BeamProfile) -> Self {
-        Laser { wavelength, profile }
+        Laser {
+            wavelength,
+            profile,
+        }
     }
 
     /// Convenience constructor for the paper's experimental prototype: a
@@ -80,16 +83,17 @@ impl Laser {
                 let a = (-(x * x + y * y) / (waist * waist)).exp();
                 Complex64::from_real(a)
             }),
-            BeamProfile::Bessel { radial_wavenumber, envelope } => {
-                Field::from_fn(grid.rows(), grid.cols(), |r, c| {
-                    let x = grid.x_coord(c);
-                    let y = grid.y_coord(r);
-                    let rad = x.hypot(y);
-                    let a = bessel_j0(radial_wavenumber * rad)
-                        * (-(rad * rad) / (envelope * envelope)).exp();
-                    Complex64::from_real(a)
-                })
-            }
+            BeamProfile::Bessel {
+                radial_wavenumber,
+                envelope,
+            } => Field::from_fn(grid.rows(), grid.cols(), |r, c| {
+                let x = grid.x_coord(c);
+                let y = grid.y_coord(r);
+                let rad = x.hypot(y);
+                let a = bessel_j0(radial_wavenumber * rad)
+                    * (-(rad * rad) / (envelope * envelope)).exp();
+                Complex64::from_real(a)
+            }),
         }
     }
 
@@ -135,9 +139,11 @@ pub fn bessel_j0(x: f64) -> f64 {
         let y = z * z;
         let xx = ax - 0.785398164;
         let p1 = 1.0
-            + y * (-0.1098628627e-2 + y * (0.2734510407e-4 + y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
+            + y * (-0.1098628627e-2
+                + y * (0.2734510407e-4 + y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
         let p2 = -0.1562499995e-1
-            + y * (0.1430488765e-3 + y * (-0.6911147651e-5 + y * (0.7621095161e-6 - y * 0.934935152e-7)));
+            + y * (0.1430488765e-3
+                + y * (-0.6911147651e-5 + y * (0.7621095161e-6 - y * 0.934935152e-7)));
         (0.636619772 / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2)
     }
 }
@@ -202,12 +208,18 @@ mod tests {
         let grid = Grid::square(64, PixelPitch::from_um(10.0));
         let laser = Laser::new(
             Wavelength::from_nm(532.0),
-            BeamProfile::Bessel { radial_wavenumber: 2.4048255577 / 100e-6, envelope: 500e-6 },
+            BeamProfile::Bessel {
+                radial_wavenumber: 2.4048255577 / 100e-6,
+                envelope: 500e-6,
+            },
         );
         let beam = laser.emit(&grid);
         // Central lobe positive, first zero at r = 100 um = 10 pixels.
         assert!(beam[(32, 32)].re > 0.9);
-        assert!(beam[(32, 42)].re.abs() < 0.05, "expected near-zero at first Bessel zero");
+        assert!(
+            beam[(32, 42)].re.abs() < 0.05,
+            "expected near-zero at first Bessel zero"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ fn talbot_self_imaging_of_periodic_grating() {
     let orig: Vec<f64> = (0..n).map(|c| grating[(row, c)].norm_sqr()).collect();
     let imaged: Vec<f64> = (0..n).map(|c| u[(row, c)].norm_sqr()).collect();
     let corr = pearson(&orig, &imaged);
-    assert!(corr > 0.9, "Talbot image should reproduce the grating: r = {corr}");
+    assert!(
+        corr > 0.9,
+        "Talbot image should reproduce the grating: r = {corr}"
+    );
 
     // At half the Talbot distance the image is shifted by half a period —
     // correlation with the unshifted grating should be strongly negative.
@@ -101,7 +104,11 @@ fn double_slit_fringe_spacing_matches_theory() {
             peaks.push(i);
         }
     }
-    assert!(peaks.len() >= 3, "need several fringes, found {}", peaks.len());
+    assert!(
+        peaks.len() >= 3,
+        "need several fringes, found {}",
+        peaks.len()
+    );
     let spacings: Vec<f64> = peaks.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
     let mean_spacing = spacings.iter().sum::<f64>() / spacings.len() as f64;
     let rel = (mean_spacing - expected_px).abs() / expected_px;
@@ -149,7 +156,10 @@ fn fraunhofer_sinc_zeros_of_square_aperture() {
     );
     // Secondary lobe between first and second zero is bright again.
     let at_lobe = u[(row, n / 2 + first_zero_px * 3 / 2)].norm_sqr();
-    assert!(at_lobe > at_zero * 5.0, "secondary sinc lobe should reappear");
+    assert!(
+        at_lobe > at_zero * 5.0,
+        "secondary sinc lobe should reappear"
+    );
 }
 
 /// Free-space propagation is reciprocal: propagating forward by z then

@@ -100,4 +100,4 @@ mod server;
 
 pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats};
 pub use registry::{ModelId, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant};
-pub use server::{AdmissionPolicy, BatchPolicy, InProcessClient, Server, ServeError, Transport};
+pub use server::{AdmissionPolicy, BatchPolicy, InProcessClient, ServeError, Server, Transport};

@@ -221,7 +221,11 @@ impl MetricsCore {
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             batches,
-            mean_batch_size: if batches == 0 { 0.0 } else { completed as f64 / batches as f64 },
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
             throughput_rps: completed as f64 / uptime,
             latency: self.latency.summary(),
             per_model: names

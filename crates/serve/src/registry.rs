@@ -115,9 +115,7 @@ impl RegisteredModel {
             ServableVariant::Emulated { model, .. } => {
                 VariantWorkspace::Emulated(model.make_workspace())
             }
-            ServableVariant::Physical { donn } => {
-                VariantWorkspace::Physical(donn.make_workspace())
-            }
+            ServableVariant::Physical { donn } => VariantWorkspace::Physical(donn.make_workspace()),
         }
     }
 
@@ -160,7 +158,9 @@ pub struct ModelRegistry {
 impl ModelRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        ModelRegistry { entries: Vec::new() }
+        ModelRegistry {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of registered variants.
@@ -192,7 +192,10 @@ impl ModelRegistry {
         self.insert(RegisteredModel {
             name: name.to_string(),
             version,
-            variant: ServableVariant::Emulated { model, mode: readout.codesign_mode() },
+            variant: ServableVariant::Emulated {
+                model,
+                mode: readout.codesign_mode(),
+            },
             shape,
             classes,
         })
@@ -272,6 +275,9 @@ impl ModelRegistry {
 
     /// Iterates over all registered entries in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (ModelId, &RegisteredModel)> {
-        self.entries.iter().enumerate().map(|(i, e)| (ModelId(i), e))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ModelId(i), e))
     }
 }

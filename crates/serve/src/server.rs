@@ -114,7 +114,10 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel => write!(f, "unknown model handle"),
             ServeError::Internal => write!(f, "inference panicked while serving the batch"),
             ServeError::ShapeMismatch { expected, got } => {
-                write!(f, "input shape {got:?} does not match model plane {expected:?}")
+                write!(
+                    f,
+                    "input shape {got:?} does not match model plane {expected:?}"
+                )
             }
         }
     }
@@ -165,7 +168,9 @@ impl RequestSlot {
     }
 
     fn lock(&self) -> MutexGuard<'_, SlotState> {
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Fails a queued request and wakes its client.
@@ -200,7 +205,9 @@ struct ServerCore {
 
 impl ServerCore {
     fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -217,8 +224,12 @@ pub trait Transport {
     /// Submits one inference and blocks until the response is ready,
     /// writing class logits into `logits`. Allocation-free in steady state
     /// for the in-process transport.
-    fn infer(&mut self, model: ModelId, input: &Field, logits: &mut Vec<f64>)
-        -> Result<(), ServeError>;
+    fn infer(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), ServeError>;
 }
 
 /// The in-process client: one reusable request slot bound to a server.
@@ -237,14 +248,25 @@ impl Transport for InProcessClient {
         input: &Field,
         logits: &mut Vec<f64>,
     ) -> Result<(), ServeError> {
-        let entry = self.core.registry.get(model).ok_or(ServeError::UnknownModel)?;
+        let entry = self
+            .core
+            .registry
+            .get(model)
+            .ok_or(ServeError::UnknownModel)?;
         if entry.shape() != input.shape() {
-            return Err(ServeError::ShapeMismatch { expected: entry.shape(), got: input.shape() });
+            return Err(ServeError::ShapeMismatch {
+                expected: entry.shape(),
+                got: input.shape(),
+            });
         }
         // Stage the request in our slot (slot lock only).
         {
             let mut st = self.slot.lock();
-            debug_assert_eq!(st.stage, Stage::Idle, "client reused while a request is in flight");
+            debug_assert_eq!(
+                st.stage,
+                Stage::Idle,
+                "client reused while a request is in flight"
+            );
             st.model = model;
             if st.input.shape() != input.shape() {
                 st.input = input.clone();
@@ -337,10 +359,16 @@ impl Server {
     /// Panics if the registry is empty or the policy has a zero
     /// `max_batch`, `queue_cap`, or `per_model_inflight_cap`.
     pub fn start(registry: ModelRegistry, policy: BatchPolicy) -> Server {
-        assert!(!registry.is_empty(), "register at least one model before starting");
+        assert!(
+            !registry.is_empty(),
+            "register at least one model before starting"
+        );
         assert!(policy.max_batch > 0, "max_batch must be positive");
         assert!(policy.queue_cap > 0, "queue_cap must be positive");
-        assert!(policy.per_model_inflight_cap > 0, "per_model_inflight_cap must be positive");
+        assert!(
+            policy.per_model_inflight_cap > 0,
+            "per_model_inflight_cap must be positive"
+        );
         let workers = policy.workers.max(1);
         let num_models = registry.len();
         let core = Arc::new(ServerCore {
@@ -362,14 +390,22 @@ impl Server {
         // inference so the serve path starts fully allocated.
         let mut ctxs: Vec<WorkerCtx> = (0..workers)
             .map(|_| WorkerCtx {
-                workspaces: core.registry.iter().map(|(_, e)| e.make_workspace()).collect(),
+                workspaces: core
+                    .registry
+                    .iter()
+                    .map(|(_, e)| e.make_workspace())
+                    .collect(),
             })
             .collect();
         for ctx in &mut ctxs {
             let mut probe = Vec::new();
             for (id, entry) in core.registry.iter() {
                 let (rows, cols) = entry.shape();
-                entry.infer_into(&Field::ones(rows, cols), &mut ctx.workspaces[id.0], &mut probe);
+                entry.infer_into(
+                    &Field::ones(rows, cols),
+                    &mut ctx.workspaces[id.0],
+                    &mut probe,
+                );
             }
         }
 
@@ -378,7 +414,10 @@ impl Server {
             .name("lr-serve-batcher".to_string())
             .spawn(move || dispatcher_loop(dispatcher_core, ctxs))
             .expect("failed to spawn the lr-serve dispatcher");
-        Server { core, dispatcher: Some(dispatcher) }
+        Server {
+            core,
+            dispatcher: Some(dispatcher),
+        }
     }
 
     /// Resolves a registered model by name (highest version when `version`
@@ -394,7 +433,10 @@ impl Server {
 
     /// Creates a new in-process client with its own reusable request slot.
     pub fn client(&self) -> InProcessClient {
-        InProcessClient { core: Arc::clone(&self.core), slot: Arc::new(RequestSlot::new()) }
+        InProcessClient {
+            core: Arc::clone(&self.core),
+            slot: Arc::new(RequestSlot::new()),
+        }
     }
 
     /// Snapshot of throughput, latency quantiles, and admission counters.
@@ -574,8 +616,15 @@ fn serve_one(core: &ServerCore, ctx: &mut WorkerCtx, slot: &RequestSlot) {
         let entry = core.registry.entry(model);
         // Split the slot borrow: input read-only, logits written in place.
         let state = &mut *st;
-        entry.infer_into(&state.input, &mut ctx.workspaces[model.0], &mut state.logits);
-        (model, u64::try_from(state.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX))
+        entry.infer_into(
+            &state.input,
+            &mut ctx.workspaces[model.0],
+            &mut state.logits,
+        );
+        (
+            model,
+            u64::try_from(state.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
     };
     {
         let mut q = core.lock_queue();
@@ -625,7 +674,11 @@ mod tests {
         let batch = vec![Arc::clone(&served), Arc::clone(&unserved)];
         recover_failed_batch(&server.core, &batch);
 
-        assert_eq!(served.lock().stage, Stage::Done, "served slot must be untouched");
+        assert_eq!(
+            served.lock().stage,
+            Stage::Done,
+            "served slot must be untouched"
+        );
         assert_eq!(unserved.lock().stage, Stage::Failed(ServeError::Internal));
         assert_eq!(server.core.lock_queue().inflight[id.0], 0);
         server.shutdown();

@@ -6,7 +6,7 @@ use lightridge::deploy::HardwareEnvironment;
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    AdmissionPolicy, BatchPolicy, ModelRegistry, ReadoutMode, Server, ServeError, Transport,
+    AdmissionPolicy, BatchPolicy, ModelRegistry, ReadoutMode, ServeError, Server, Transport,
 };
 use lr_tensor::{Complex64, Field};
 use std::time::Duration;
@@ -37,7 +37,11 @@ fn registry_resolves_versions() {
 
     assert_eq!(registry.resolve("digits", Some(1)), Some(v1));
     assert_eq!(registry.resolve("digits", Some(2)), Some(v2));
-    assert_eq!(registry.resolve("digits", None), Some(v3), "latest version wins");
+    assert_eq!(
+        registry.resolve("digits", None),
+        Some(v3),
+        "latest version wins"
+    );
     assert_eq!(registry.resolve("letters", None), Some(other));
     assert_eq!(registry.resolve("letters", Some(9)), None);
     assert_eq!(registry.resolve("missing", None), None);
@@ -75,14 +79,26 @@ fn served_results_bit_identical_to_direct_inference() {
     for phase in 0..6 {
         let xa = sample(16, phase);
         client.infer(a, &xa, &mut logits).unwrap();
-        assert_eq!(logits, model_a.infer(&xa), "emulation readout must be bit-identical");
+        assert_eq!(
+            logits,
+            model_a.infer(&xa),
+            "emulation readout must be bit-identical"
+        );
 
         let xb = sample(24, phase);
         client.infer(b, &xb, &mut logits).unwrap();
-        assert_eq!(logits, model_b.infer_deployed(&xb), "deployed readout must be bit-identical");
+        assert_eq!(
+            logits,
+            model_b.infer_deployed(&xb),
+            "deployed readout must be bit-identical"
+        );
 
         client.infer(bench, &xa, &mut logits).unwrap();
-        assert_eq!(logits, phys.infer(&xa), "physical bench must be bit-identical");
+        assert_eq!(
+            logits,
+            phys.infer(&xa),
+            "physical bench must be bit-identical"
+        );
     }
     server.shutdown();
 }
@@ -98,7 +114,11 @@ fn batcher_results_independent_of_arrival_order() {
     registry.register_emulated("m", 1, model.clone(), ReadoutMode::Emulation);
     let server = Server::start(
         registry,
-        BatchPolicy { max_batch: 5, max_delay: Duration::from_millis(2), ..BatchPolicy::default() },
+        BatchPolicy {
+            max_batch: 5,
+            max_delay: Duration::from_millis(2),
+            ..BatchPolicy::default()
+        },
     );
     let id = server.resolve("m", None).unwrap();
 
@@ -167,8 +187,15 @@ fn backpressure_rejects_at_queue_cap() {
     });
 
     let ok = outcomes.iter().filter(|r| r.is_ok()).count();
-    let rejected = outcomes.iter().filter(|r| **r == Err(ServeError::QueueFull)).count();
-    assert_eq!(ok + rejected, 16, "only QueueFull failures expected: {outcomes:?}");
+    let rejected = outcomes
+        .iter()
+        .filter(|r| **r == Err(ServeError::QueueFull))
+        .count();
+    assert_eq!(
+        ok + rejected,
+        16,
+        "only QueueFull failures expected: {outcomes:?}"
+    );
     assert!(ok >= 1, "at least one request must get through");
     let stats = server.stats();
     assert_eq!(stats.completed, ok as u64);
@@ -209,10 +236,16 @@ fn shed_oldest_drops_queued_work_for_fresh_requests() {
     // Under shed-oldest nothing is rejected at admission; failures (if
     // any) are sheds of already-queued work.
     for r in &outcomes {
-        assert!(matches!(r, Ok(()) | Err(ServeError::Shed)), "unexpected outcome {r:?}");
+        assert!(
+            matches!(r, Ok(()) | Err(ServeError::Shed)),
+            "unexpected outcome {r:?}"
+        );
     }
     let ok = outcomes.iter().filter(|r| r.is_ok()).count() as u64;
-    let shed = outcomes.iter().filter(|r| **r == Err(ServeError::Shed)).count() as u64;
+    let shed = outcomes
+        .iter()
+        .filter(|r| **r == Err(ServeError::Shed))
+        .count() as u64;
     let stats = server.stats();
     assert_eq!(stats.completed, ok);
     assert_eq!(stats.shed, shed);
@@ -253,12 +286,17 @@ fn per_model_inflight_cap_isolates_models() {
         let mut client = server.client();
         let mut logits = Vec::new();
         for _ in 0..4 {
-            client.infer(cold, &sample(16, 2), &mut logits).expect("cold model starved");
+            client
+                .infer(cold, &sample(16, 2), &mut logits)
+                .expect("cold model starved");
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     for r in &hot_outcomes {
-        assert!(matches!(r, Ok(()) | Err(ServeError::ModelBusy)), "unexpected outcome {r:?}");
+        assert!(
+            matches!(r, Ok(()) | Err(ServeError::ModelBusy)),
+            "unexpected outcome {r:?}"
+        );
     }
     server.shutdown();
 }
@@ -272,7 +310,10 @@ fn client_validates_model_and_shape() {
     let mut logits = Vec::new();
     assert_eq!(
         client.infer(id, &sample(24, 0), &mut logits),
-        Err(ServeError::ShapeMismatch { expected: (16, 16), got: (24, 24) })
+        Err(ServeError::ShapeMismatch {
+            expected: (16, 16),
+            got: (24, 24)
+        })
     );
     server.shutdown();
 }
@@ -287,7 +328,10 @@ fn shutdown_refuses_new_requests() {
     client.infer(id, &sample(16, 0), &mut logits).unwrap();
     server.shutdown();
     // The client still holds the core; submission must now fail cleanly.
-    assert_eq!(client.infer(id, &sample(16, 0), &mut logits), Err(ServeError::ShuttingDown));
+    assert_eq!(
+        client.infer(id, &sample(16, 0), &mut logits),
+        Err(ServeError::ShuttingDown)
+    );
 }
 
 #[test]

@@ -56,7 +56,10 @@ impl Complex64 {
     #[inline(always)]
     pub fn from_polar(r: f64, theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Complex64 { re: r * c, im: r * s }
+        Complex64 {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// Unit-magnitude complex exponential `e^{jθ}` (a pure phase factor).
@@ -68,7 +71,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude `|z|`.
@@ -108,13 +114,19 @@ impl Complex64 {
     #[inline(always)]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Complex64 { re: self.re / d, im: -self.im / d }
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scales by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Principal square root.
@@ -145,7 +157,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -153,7 +168,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -182,7 +200,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn neg(self) -> Self {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -214,7 +235,10 @@ impl Add<f64> for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn add(self, rhs: f64) -> Self {
-        Complex64 { re: self.re + rhs, im: self.im }
+        Complex64 {
+            re: self.re + rhs,
+            im: self.im,
+        }
     }
 }
 
@@ -280,7 +304,13 @@ impl From<(f64, f64)> for Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}j", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}j",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 

@@ -96,7 +96,10 @@ enum PlanKind {
     /// resolutions — run a Stockham autosort mixed-radix pipeline, several
     /// times cheaper than the Bluestein fallback. The pre-change Bluestein
     /// plan is kept alongside as the `process_reference` oracle.
-    Mixed { mixed: MixedRadixPlan, reference: BluesteinPlan },
+    Mixed {
+        mixed: MixedRadixPlan,
+        reference: BluesteinPlan,
+    },
     Bluestein(BluesteinPlan),
 }
 
@@ -268,7 +271,10 @@ impl FftPlan {
                     p.forward(data);
                 }
             }
-            PlanKind::Mixed { mixed, reference: oracle } => {
+            PlanKind::Mixed {
+                mixed,
+                reference: oracle,
+            } => {
                 if reference {
                     oracle.forward_reference(data, scratch);
                 } else {
@@ -285,7 +291,13 @@ impl Radix2Plan {
         debug_assert!(n.is_power_of_two());
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         let twiddles: Vec<Complex64> = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
@@ -309,7 +321,11 @@ impl Radix2Plan {
             fused.push(FusedStage { half: h, tw });
             len *= 4;
         }
-        Radix2Plan { bitrev, twiddles, fused }
+        Radix2Plan {
+            bitrev,
+            twiddles,
+            fused,
+        }
     }
 
     /// Bit-reversal permutation shared by both butterfly kernels.
@@ -476,7 +492,13 @@ impl BluesteinPlan {
         inner.forward(&mut b);
         let inv_m = 1.0 / m as f64;
         let post_chirp = chirp.iter().map(|&c| c * inv_m).collect();
-        BluesteinPlan { m, inner, chirp, post_chirp, chirp_spectrum: b }
+        BluesteinPlan {
+            m,
+            inner,
+            chirp,
+            post_chirp,
+            chirp_spectrum: b,
+        }
     }
 
     fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>, reference: bool) {
@@ -606,7 +628,13 @@ impl MixedRadixPlan {
                     roots.push(Complex64::cis(-2.0 * PI * ((t * u) % r) as f64 / r as f64));
                 }
             }
-            stages.push(MixedStage { radix: r, m, s, tw, roots });
+            stages.push(MixedStage {
+                radix: r,
+                m,
+                s,
+                tw,
+                roots,
+            });
             np = m;
             s *= r;
         }
@@ -721,7 +749,10 @@ static PLAN_CACHE: Mutex<Option<HashMap<usize, Arc<FftPlan>>>> = Mutex::new(None
 pub fn planner(n: usize) -> Arc<FftPlan> {
     let mut guard = PLAN_CACHE.lock();
     let cache = guard.get_or_insert_with(HashMap::new);
-    cache.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))).clone()
+    cache
+        .entry(n)
+        .or_insert_with(|| Arc::new(FftPlan::new(n)))
+        .clone()
 }
 
 /// Clears the global plan cache (used by the runtime ablation benches).
@@ -902,7 +933,8 @@ impl Fft2 {
                 gather_columns(data.as_ptr(), rows, cols, c0, bw, block);
             }
             for k in 0..bw {
-                self.col_plan.process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
+                self.col_plan
+                    .process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
             }
             unsafe {
                 scatter_columns(block, rows, cols, c0, bw, data.as_mut_ptr());
@@ -927,9 +959,7 @@ impl Fft2 {
                 for r in lo..hi {
                     // SAFETY: tasks own disjoint row ranges of the buffer,
                     // which outlives par_for's completion barrier.
-                    let row = unsafe {
-                        std::slice::from_raw_parts_mut(base.0.add(r * cols), cols)
-                    };
+                    let row = unsafe { std::slice::from_raw_parts_mut(base.0.add(r * cols), cols) };
                     plan.process(row, dir, scratch);
                 }
             });
@@ -979,12 +1009,14 @@ impl Fft2 {
         assert_eq!(field.shape(), (self.rows, self.cols), "Fft2 shape mismatch");
         let mut scratch = self.row_plan.make_scratch();
         for r in 0..self.rows {
-            self.row_plan.process_reference(field.row_mut(r), dir, &mut scratch);
+            self.row_plan
+                .process_reference(field.row_mut(r), dir, &mut scratch);
         }
         let mut t = field.transpose();
         let mut scratch = self.col_plan.make_scratch();
         for r in 0..self.cols {
-            self.col_plan.process_reference(t.row_mut(r), dir, &mut scratch);
+            self.col_plan
+                .process_reference(t.row_mut(r), dir, &mut scratch);
         }
         *field = t.transpose();
     }
@@ -1225,7 +1257,10 @@ mod tests {
         let mut scratch = plan.make_scratch();
         plan.process(&mut data, Direction::Forward, &mut scratch);
         for (a, b) in data.iter().zip(&expected) {
-            assert!((*a - *b).norm() < 1e-8 * (n as f64), "mismatch vs naive DFT at n={n}");
+            assert!(
+                (*a - *b).norm() < 1e-8 * (n as f64),
+                "mismatch vs naive DFT at n={n}"
+            );
         }
     }
 
@@ -1299,7 +1334,7 @@ mod tests {
         assert!(plan.is_mixed_radix());
         assert!(!plan.is_bluestein());
         assert_eq!(plan.scratch_len(), 512); // (2·200-1).next_power_of_two()
-        // 211 is prime → true Bluestein path.
+                                             // 211 is prime → true Bluestein path.
         let prime = FftPlan::new(211);
         assert!(prime.is_bluestein());
         assert!(!prime.is_mixed_radix());
@@ -1346,7 +1381,9 @@ mod tests {
     fn fft2_roundtrip_mixed_sizes() {
         for &(r, c) in &[(4, 4), (8, 16), (5, 7), (20, 20), (3, 8), (40, 33)] {
             let fft = Fft2::new(r, c);
-            let f = Field::from_fn(r, c, |i, j| Complex64::new((i * c + j) as f64, (i + j) as f64));
+            let f = Field::from_fn(r, c, |i, j| {
+                Complex64::new((i * c + j) as f64, (i + j) as f64)
+            });
             let mut g = f.clone();
             fft.forward(&mut g);
             fft.inverse(&mut g);
@@ -1437,7 +1474,9 @@ mod tests {
         let h = Field::from_fn(8, 8, |i, j| {
             Complex64::cis(0.3 * i as f64 + 0.17 * j as f64) * (1.0 + 0.1 * j as f64)
         });
-        let x = Field::from_fn(8, 8, |i, j| Complex64::new((i * j) as f64 * 0.1, i as f64 - j as f64));
+        let x = Field::from_fn(8, 8, |i, j| {
+            Complex64::new((i * j) as f64 * 0.1, i as f64 - j as f64)
+        });
         let y = Field::from_fn(8, 8, |i, j| Complex64::new((i + 2 * j) as f64 * 0.05, 1.0));
         let mut ax = x.clone();
         fft.convolve_spectrum(&mut ax, &h);
@@ -1445,7 +1484,10 @@ mod tests {
         fft.convolve_spectrum_adjoint(&mut ahy, &h);
         let lhs = ax.inner(&y);
         let rhs = x.inner(&ahy);
-        assert!((lhs - rhs).norm() < 1e-8, "adjoint identity violated: {lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).norm() < 1e-8,
+            "adjoint identity violated: {lhs:?} vs {rhs:?}"
+        );
     }
 
     #[test]
@@ -1469,8 +1511,7 @@ mod tests {
         let y: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
         let alpha = Complex64::new(0.3, -0.8);
 
-        let mut combo: Vec<Complex64> =
-            x.iter().zip(&y).map(|(&a, &b)| a * alpha + b).collect();
+        let mut combo: Vec<Complex64> = x.iter().zip(&y).map(|(&a, &b)| a * alpha + b).collect();
         let mut fx = x.clone();
         let mut fy = y.clone();
         let mut scratch = plan.make_scratch();
@@ -1502,6 +1543,9 @@ mod tests {
         let mut seq = f.clone();
         fft.forward(&mut seq);
         parallel::set_threads(0);
-        assert_eq!(par, seq, "pooled FFT loops must be bit-identical to sequential");
+        assert_eq!(
+            par, seq,
+            "pooled FFT loops must be bit-identical to sequential"
+        );
     }
 }

@@ -35,13 +35,21 @@ impl Field {
     /// Panics if `rows == 0` or `cols == 0`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "field dimensions must be nonzero");
-        Field { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        Field {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Creates a field filled with a constant value.
     pub fn filled(rows: usize, cols: usize, value: Complex64) -> Self {
         assert!(rows > 0 && cols > 0, "field dimensions must be nonzero");
-        Field { rows, cols, data: vec![value; rows * cols] }
+        Field {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a field of ones (a uniform plane wave of unit amplitude).
@@ -55,7 +63,11 @@ impl Field {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         assert!(rows > 0 && cols > 0, "field dimensions must be nonzero");
         Field { rows, cols, data }
     }
@@ -67,8 +79,15 @@ impl Field {
     ///
     /// Panics if `amplitudes.len() != rows * cols`.
     pub fn from_amplitudes(rows: usize, cols: usize, amplitudes: &[f64]) -> Self {
-        assert_eq!(amplitudes.len(), rows * cols, "buffer length must equal rows*cols");
-        let data = amplitudes.iter().map(|&a| Complex64::from_real(a)).collect();
+        assert_eq!(
+            amplitudes.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
+        let data = amplitudes
+            .iter()
+            .map(|&a| Complex64::from_real(a))
+            .collect();
         Field::from_vec(rows, cols, data)
     }
 
@@ -80,7 +99,11 @@ impl Field {
     ///
     /// Panics if `amplitudes.len() != rows * cols`.
     pub fn set_amplitudes(&mut self, amplitudes: &[f64]) {
-        assert_eq!(amplitudes.len(), self.data.len(), "buffer length must equal rows*cols");
+        assert_eq!(
+            amplitudes.len(),
+            self.data.len(),
+            "buffer length must equal rows*cols"
+        );
         for (z, &a) in self.data.iter_mut().zip(amplitudes) {
             *z = Complex64::from_real(a);
         }
@@ -205,7 +228,11 @@ impl Field {
             .zip(&rhs.data)
             .map(|(&a, &b)| a * b)
             .collect();
-        Field { rows: self.rows, cols: self.cols, data }
+        Field {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place Hadamard product `self ⊙= rhs`.
@@ -228,7 +255,11 @@ impl Field {
     ///
     /// Panics if shapes differ.
     pub fn hadamard_conj_assign(&mut self, rhs: &Field) {
-        assert_eq!(self.shape(), rhs.shape(), "hadamard_conj_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "hadamard_conj_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a *= b.conj();
         }
@@ -360,7 +391,10 @@ impl Field {
     /// Nearest-neighbour upsampling by integer factors — how a 28×28 image
     /// is blown up onto a 200×200 SLM in the paper's experiments.
     pub fn upsample(&self, factor_r: usize, factor_c: usize) -> Field {
-        assert!(factor_r > 0 && factor_c > 0, "upsample factors must be nonzero");
+        assert!(
+            factor_r > 0 && factor_c > 0,
+            "upsample factors must be nonzero"
+        );
         let rows = self.rows * factor_r;
         let cols = self.cols * factor_c;
         Field::from_fn(rows, cols, |r, c| self[(r / factor_r, c / factor_c)])
@@ -480,8 +514,17 @@ impl Add<&Field> for &Field {
     type Output = Field;
     fn add(self, rhs: &Field) -> Field {
         assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
-        Field { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Field {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -489,8 +532,17 @@ impl Sub<&Field> for &Field {
     type Output = Field;
     fn sub(self, rhs: &Field) -> Field {
         assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
-        Field { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Field {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

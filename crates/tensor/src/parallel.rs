@@ -49,7 +49,9 @@ pub fn threads() -> usize {
     if configured != 0 {
         return configured;
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -123,7 +125,11 @@ fn pool() -> &'static Pool {
             .unwrap_or(1)
             .saturating_sub(1);
         let pool: &'static Pool = Box::leak(Box::new(Pool {
-            state: Mutex::new(PoolState { generation: 0, job: None, running: 0 }),
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                running: 0,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             submission: Mutex::new(()),
@@ -140,7 +146,9 @@ fn pool() -> &'static Pool {
 }
 
 fn lock(pool: &Pool) -> std::sync::MutexGuard<'_, PoolState> {
-    pool.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    pool.state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn worker_loop(pool: &'static Pool) {
@@ -221,7 +229,10 @@ fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> bool
     // Contended callers wait for the slot instead of degrading to a
     // sequential loop (see the `submission` field docs for why blocking is
     // sound here).
-    let _submission = pool.submission.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _submission = pool
+        .submission
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     // SAFETY: lifetime erasure only; the completion barrier below (dropped
@@ -323,7 +334,9 @@ where
     if run_job(len, workers - 1, &write) {
         panic!("worker thread panicked");
     }
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 /// Applies `f` to chunks of `items`, mutating them in place in parallel.
@@ -342,7 +355,7 @@ where
     let base = SendPtr(items.as_mut_ptr());
     let apply = |i: usize| {
         let base = &base; // capture the Sync wrapper, not the raw field
-        // SAFETY: disjoint indices, claimed once each.
+                          // SAFETY: disjoint indices, claimed once each.
         let item = unsafe { &mut *base.0.add(i) };
         f(i, item);
     };
@@ -364,7 +377,8 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 #[cfg(test)]
 pub(crate) fn thread_count_test_guard() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

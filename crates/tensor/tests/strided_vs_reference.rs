@@ -63,8 +63,8 @@ fn non_square_and_mixed_plan_shapes() {
     for &(r, c, seed) in &[
         (200usize, 64usize, 4u64),
         (64, 200, 5),
-        (31, 97, 6),   // Bluestein × Bluestein (primes)
-        (16, 211, 7),  // radix-2 × Bluestein prime
+        (31, 97, 6),  // Bluestein × Bluestein (primes)
+        (16, 211, 7), // radix-2 × Bluestein prime
         (211, 16, 8),
         (100, 350, 9), // mixed × mixed, wide
         (3, 40, 10),   // fewer rows than one column block
@@ -105,7 +105,10 @@ fn worker_pool_is_deterministic_across_thread_counts() {
     parallel::set_threads(8);
     let eight = parallel::par_map(257, work);
     parallel::set_threads(0);
-    assert_eq!(sequential, pooled, "default thread count changed par_map results");
+    assert_eq!(
+        sequential, pooled,
+        "default thread count changed par_map results"
+    );
     assert_eq!(sequential, eight, "8-thread pool changed par_map results");
 }
 

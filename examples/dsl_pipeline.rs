@@ -51,18 +51,23 @@ fn main() {
         }
     };
     println!("parsed system '{}':", spec.name);
-    println!("  {} modulating layers, {} classes, grid {}x{}",
+    println!(
+        "  {} modulating layers, {} classes, grid {}x{}",
         spec.num_modulating_layers(),
         spec.detector.classes,
         spec.grid.size,
-        spec.grid.size);
+        spec.grid.size
+    );
 
     println!("\ncanonical form:\n{}", format_spec(&spec));
 
     let compiled = compile(&spec);
     let mut model = compiled.model;
 
-    let config = DigitsConfig { size: spec.grid.size, ..Default::default() };
+    let config = DigitsConfig {
+        size: spec.grid.size,
+        ..Default::default()
+    };
     let dataset = digits::generate(900, &config, 11);
     let split = lr_datasets::split(dataset, 0.8);
     println!(
@@ -72,7 +77,10 @@ fn main() {
     );
     let stats = lightridge::train::train(&mut model, &split.train, &compiled.train_config);
     for s in &stats {
-        println!("  epoch {:>2}  loss {:.4}  train acc {:.3}", s.epoch, s.loss, s.train_accuracy);
+        println!(
+            "  epoch {:>2}  loss {:.4}  train acc {:.3}",
+            s.epoch, s.loss, s.train_accuracy
+        );
     }
 
     let accuracy = lightridge::train::evaluate(&model, &split.test);
@@ -80,5 +88,9 @@ fn main() {
 
     // The same deployment path the builder-API models use is available.
     let masks = model.phase_masks();
-    println!("trained {} phase masks of {} values each", masks.len(), masks[0].len());
+    println!(
+        "trained {} phase masks of {} values each",
+        masks.len(),
+        masks[0].len()
+    );
 }

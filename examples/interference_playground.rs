@@ -16,7 +16,12 @@ fn main() {
 
     // --- Double slit ---
     let mut u = aperture::double_slit(&grid, 20e-6, 240e-6);
-    let prop = FreeSpace::new(grid, lambda, Distance::from_mm(40.0), Approximation::RayleighSommerfeld);
+    let prop = FreeSpace::new(
+        grid,
+        lambda,
+        Distance::from_mm(40.0),
+        Approximation::RayleighSommerfeld,
+    );
     prop.propagate(&mut u);
     println!("double-slit interference at 40 mm:");
     println!("{}", viz::view_intensity(&u, 48));
@@ -25,7 +30,12 @@ fn main() {
     let laser = Laser::new(lambda, BeamProfile::Gaussian { waist: 80e-6 });
     for &z_mm in &[1.0, 40.0] {
         let mut beam = laser.emit(&grid);
-        let prop = FreeSpace::new(grid, lambda, Distance::from_mm(z_mm), Approximation::RayleighSommerfeld);
+        let prop = FreeSpace::new(
+            grid,
+            lambda,
+            Distance::from_mm(z_mm),
+            Approximation::RayleighSommerfeld,
+        );
         prop.propagate(&mut beam);
         println!("Gaussian beam intensity after {z_mm} mm:");
         println!("{}", viz::view_intensity(&beam, 40));
@@ -35,14 +45,37 @@ fn main() {
     println!("circular-aperture diffraction, Rayleigh-Sommerfeld vs Fresnel at 40 mm:");
     let mut rs = aperture::circular(&grid, 150e-6);
     let mut fr = rs.clone();
-    FreeSpace::new(grid, lambda, Distance::from_mm(40.0), Approximation::RayleighSommerfeld)
-        .propagate(&mut rs);
-    FreeSpace::new(grid, lambda, Distance::from_mm(40.0), Approximation::Fresnel).propagate(&mut fr);
+    FreeSpace::new(
+        grid,
+        lambda,
+        Distance::from_mm(40.0),
+        Approximation::RayleighSommerfeld,
+    )
+    .propagate(&mut rs);
+    FreeSpace::new(
+        grid,
+        lambda,
+        Distance::from_mm(40.0),
+        Approximation::Fresnel,
+    )
+    .propagate(&mut fr);
     println!(
         "{}",
-        viz::side_by_side(&rs.intensity(), &fr.intensity(), 128, 128, 30, ("RS", "Fresnel"))
+        viz::side_by_side(
+            &rs.intensity(),
+            &fr.intensity(),
+            128,
+            128,
+            30,
+            ("RS", "Fresnel")
+        )
     );
-    let prop = FreeSpace::new(grid, lambda, Distance::from_mm(40.0), Approximation::Fresnel);
+    let prop = FreeSpace::new(
+        grid,
+        lambda,
+        Distance::from_mm(40.0),
+        Approximation::Fresnel,
+    );
     println!(
         "Fresnel validity ratio at this geometry: {:.1} (>> 1 means safe)",
         prop.fresnel_validity_ratio()

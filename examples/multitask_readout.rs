@@ -36,10 +36,15 @@ fn main() {
     );
 
     // Digits dataset; the parity label derives from the digit.
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let raw = digits::generate(1200, &config, 91);
-    let data: Vec<MultiTaskImage> =
-        raw.into_iter().map(|(img, d)| (img, vec![d, d % 2])).collect();
+    let data: Vec<MultiTaskImage> = raw
+        .into_iter()
+        .map(|(img, d)| (img, vec![d, d % 2]))
+        .collect();
     let (train, test) = data.split_at(1000);
 
     println!("training on {} samples ...", train.len());

@@ -24,7 +24,10 @@ fn main() {
     let candidates: Vec<f64> = (1..=4)
         .map(|i| 0.25 * i as f64 * aperture * pitch.meters() / lambda.meters())
         .collect();
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let train_set = digits::generate(300, &config, 13);
     let test_set = digits::generate(100, &config, 14);
 
@@ -38,7 +41,12 @@ fn main() {
         train::train(
             &mut probe,
             &train_set,
-            &TrainConfig { epochs: 3, batch_size: 25, learning_rate: 0.3, ..Default::default() },
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 25,
+                learning_rate: 0.3,
+                ..Default::default()
+            },
         );
         let acc = train::evaluate(&probe, &test_set);
         println!("DSE probe: z = {:>7.1} um -> accuracy {acc:.3}", z * 1e6);
@@ -57,9 +65,17 @@ fn main() {
     train::train(
         &mut model,
         &train_set,
-        &TrainConfig { epochs: 8, batch_size: 25, learning_rate: 0.3, ..Default::default() },
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 25,
+            learning_rate: 0.3,
+            ..Default::default()
+        },
     );
-    println!("\ntrained {depth}-layer on-chip model: accuracy {:.3}", train::evaluate(&model, &test_set));
+    println!(
+        "\ntrained {depth}-layer on-chip model: accuracy {:.3}",
+        train::evaluate(&model, &test_set)
+    );
 
     // Fabrication: phase -> printed thickness for every layer.
     let export = to_system(&model, &SlmModel::ideal(256));
@@ -68,7 +84,11 @@ fn main() {
     for (i, layer) in export.layers.iter().enumerate() {
         let t = printer.thickness_map(&layer.phases);
         let max = t.iter().cloned().fold(0.0, f64::max);
-        println!("  layer {i}: {} pixels, max thickness {:.3} um", t.len(), max * 1e6);
+        println!(
+            "  layer {i}: {} pixels, max thickness {:.3} um",
+            t.len(),
+            max * 1e6
+        );
     }
     let flat = aperture * 1e6;
     let height = (depth + 1) as f64 * z_star * 1e6;

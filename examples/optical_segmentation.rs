@@ -27,18 +27,31 @@ fn main() {
         model.num_params()
     );
 
-    let config = CityscapeConfig { size, ..Default::default() };
+    let config = CityscapeConfig {
+        size,
+        ..Default::default()
+    };
     let data = cityscape::generate(80, &config, 11);
     let (train, test) = data.split_at(60);
 
     let losses = model.train(train, 10, 12, 0.05, 3);
-    println!("training loss: {:.4} -> {:.4}", losses[0], losses.last().unwrap());
-    println!("mean IoU on held-out scenes: {:.3}", model.evaluate_iou(test));
+    println!(
+        "training loss: {:.4} -> {:.4}",
+        losses[0],
+        losses.last().unwrap()
+    );
+    println!(
+        "mean IoU on held-out scenes: {:.3}",
+        model.evaluate_iou(test)
+    );
 
     let (img, mask) = &test[0];
     let pred = model.predict_mask(img);
     println!("\ninput / ground truth:");
-    println!("{}", viz::side_by_side(img, mask, size, size, 26, ("input", "target")));
+    println!(
+        "{}",
+        viz::side_by_side(img, mask, size, size, 26, ("input", "target"))
+    );
     println!("all-optical prediction:");
     println!("{}", viz::ascii_heatmap(&pred, size, size, 26));
 }

@@ -33,7 +33,10 @@ fn main() {
         .detector(Detector::grid_layout(size, size, 10, size / 8))
         .build();
 
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = lr_datasets::split(digits::generate(700, &config, 9), 6.0 / 7.0);
     let tc = TrainConfig {
         epochs: 10,
@@ -45,7 +48,10 @@ fn main() {
         ..TrainConfig::default()
     };
     train::train(&mut model, &data.train, &tc);
-    println!("emulation accuracy: {:.3}", train::evaluate(&model, &data.test));
+    println!(
+        "emulation accuracy: {:.3}",
+        train::evaluate(&model, &data.test)
+    );
 
     // Fabrication export — what `lr.model.to_system` hands to the lab.
     let export = to_system(&model, &device);
@@ -67,5 +73,8 @@ fn main() {
         "\ndetector patterns for a test digit (class {label}), correlation r = {:.3}:",
         pearson(&sim, &exp)
     );
-    println!("{}", viz::side_by_side(&sim, &exp, size, size, 26, ("simulation", "experiment")));
+    println!(
+        "{}",
+        viz::side_by_side(&sim, &exp, size, size, 26, ("simulation", "experiment"))
+    );
 }

@@ -31,7 +31,10 @@ fn main() {
     );
 
     // 2. Generate data and train.
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = lr_datasets::split(digits::generate(700, &config, 7), 6.0 / 7.0);
     let tc = TrainConfig {
         epochs: 10,
@@ -49,7 +52,10 @@ fn main() {
     // 4. Look inside: the first layer's trained phase mask and the
     //    detector pattern for one test digit.
     println!("\nlayer 0 phase mask:");
-    println!("{}", viz::view_phase(&model.phase_masks()[0], size, size, 32));
+    println!(
+        "{}",
+        viz::view_phase(&model.phase_masks()[0], size, size, 32)
+    );
 
     let (img, label) = &data.test[0];
     let input = Field::from_amplitudes(size, size, img);

@@ -28,12 +28,19 @@ fn main() {
         model.num_params()
     );
 
-    let config = ScenesConfig { size, ..Default::default() };
+    let config = ScenesConfig {
+        size,
+        ..Default::default()
+    };
     let data = scenes::generate(360, &config, 3);
     let (train, test) = data.split_at(300);
 
     let losses = model.train(train, 8, 24, 0.3, 1);
-    println!("training loss: {:.4} -> {:.4}", losses[0], losses.last().unwrap());
+    println!(
+        "training loss: {:.4} -> {:.4}",
+        losses[0],
+        losses.last().unwrap()
+    );
 
     println!("\ntop-1 accuracy: {:.3}", model.evaluate_top_k(test, 1));
     println!("top-3 accuracy: {:.3}", model.evaluate_top_k(test, 3));

@@ -12,7 +12,10 @@ use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 const SIZE: usize = 24;
 
 fn dataset(n: usize, seed: u64) -> Vec<(Vec<f64>, usize)> {
-    let config = DigitsConfig { size: SIZE, ..Default::default() };
+    let config = DigitsConfig {
+        size: SIZE,
+        ..Default::default()
+    };
     digits::generate(n, &config, seed)
 }
 
@@ -43,7 +46,10 @@ fn donn_learns_ten_class_digits_above_chance() {
         "loss should decrease"
     );
     let acc = train::evaluate(&model, &test_set);
-    assert!(acc > 0.35, "10-class accuracy {acc} should beat chance by 3x+");
+    assert!(
+        acc > 0.35,
+        "10-class accuracy {acc} should beat chance by 3x+"
+    );
 }
 
 #[test]
@@ -150,7 +156,13 @@ fn deterministic_training_given_seeds() {
             .detector(detector())
             .init_seed(4)
             .build();
-        let config = TrainConfig { epochs: 2, batch_size: 20, learning_rate: 0.3, seed: 11, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 20,
+            learning_rate: 0.3,
+            seed: 11,
+            ..Default::default()
+        };
         train::train(&mut model, &train_set, &config);
         model.phase_masks()
     };

@@ -28,12 +28,20 @@ fn trained_donn_forward_matches_lightpipes_reference() {
         .detector(Detector::grid_layout(size, size, 10, 3))
         .init_seed(6)
         .build();
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = digits::generate(120, &config, 5);
     train::train(
         &mut model,
         &data,
-        &TrainConfig { epochs: 2, batch_size: 20, learning_rate: 0.3, ..Default::default() },
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 20,
+            learning_rate: 0.3,
+            ..Default::default()
+        },
     );
 
     // Rebuild the model without band-limiting for the comparison.
@@ -90,12 +98,20 @@ fn band_limited_model_still_classifies_like_reference() {
         .detector(Detector::grid_layout(size, size, 10, 3))
         .init_seed(8)
         .build();
-    let config = DigitsConfig { size, ..Default::default() };
+    let config = DigitsConfig {
+        size,
+        ..Default::default()
+    };
     let data = digits::generate(200, &config, 6);
     train::train(
         &mut model,
         &data,
-        &TrainConfig { epochs: 4, batch_size: 20, learning_rate: 0.3, ..Default::default() },
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 20,
+            learning_rate: 0.3,
+            ..Default::default()
+        },
     );
     // The emulation (soft) and the trace-based deployment (hard has no
     // codesign layers here, so they are identical paths) agree exactly.

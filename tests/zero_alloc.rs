@@ -93,10 +93,10 @@ fn steady_state_forward_pass_allocates_nothing() {
     // Warm-up: fills the ring slots (2 traces), the loss buffers, and the
     // workspace gradient field.
     let train_step = |ring: &mut TraceRing,
-                          grads: &mut ModelGrads,
-                          target: &mut Vec<f64>,
-                          logit_grads: &mut Vec<f64>,
-                          ws: &mut lightridge::PropagationWorkspace| {
+                      grads: &mut ModelGrads,
+                      target: &mut Vec<f64>,
+                      logit_grads: &mut Vec<f64>,
+                      ws: &mut lightridge::PropagationWorkspace| {
         let trace = ring.forward(&model, &input, CodesignMode::Soft, 7, ws);
         one_hot_into(2, model.num_classes(), target);
         let loss = softmax_mse_into(&trace.logits, target, logit_grads);
@@ -104,15 +104,33 @@ fn steady_state_forward_pass_allocates_nothing() {
         loss
     };
     for _ in 0..3 {
-        train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+        train_step(
+            &mut ring,
+            &mut grads,
+            &mut target,
+            &mut logit_grads,
+            &mut ws,
+        );
     }
-    let reference_loss = train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+    let reference_loss = train_step(
+        &mut ring,
+        &mut grads,
+        &mut target,
+        &mut logit_grads,
+        &mut ws,
+    );
     let reference_norm = grads.norm();
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut last_loss = 0.0;
     for _ in 0..10 {
-        last_loss = train_step(&mut ring, &mut grads, &mut target, &mut logit_grads, &mut ws);
+        last_loss = train_step(
+            &mut ring,
+            &mut grads,
+            &mut target,
+            &mut logit_grads,
+            &mut ws,
+        );
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
 
@@ -124,7 +142,10 @@ fn steady_state_forward_pass_allocates_nothing() {
     );
     // Reused traces/buffers must still compute the same things.
     assert_eq!(last_loss, reference_loss);
-    assert!(grads.norm() > reference_norm, "gradients must keep accumulating");
+    assert!(
+        grads.norm() > reference_norm,
+        "gradients must keep accumulating"
+    );
 
     parallel::set_threads(0);
 }

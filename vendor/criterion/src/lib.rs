@@ -50,12 +50,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a displayable parameter.
     pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Builds an id from a parameter alone.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -186,7 +190,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one parameterized benchmark.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -262,7 +271,9 @@ mod tests {
     fn bench_group_runs_and_times() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
-        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
         let mut calls = 0usize;
         group.bench_function("count", |b| {
             b.iter(|| {
@@ -276,7 +287,10 @@ mod tests {
 
     #[test]
     fn benchmark_id_formats() {
-        assert_eq!(BenchmarkId::new("lightridge", 200).to_string(), "lightridge/200");
+        assert_eq!(
+            BenchmarkId::new("lightridge", 200).to_string(),
+            "lightridge/200"
+        );
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
     }
 }

@@ -29,7 +29,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -50,7 +52,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

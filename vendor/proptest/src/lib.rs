@@ -35,7 +35,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
     }
 
     /// Next raw 64 random bits.
@@ -63,13 +65,17 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Builds a failure with a message.
     pub fn fail<S: Into<String>>(message: S) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 
     /// Marks the case rejected (treated like failure-free skip upstream;
     /// here it simply carries the message).
     pub fn reject<S: Into<String>>(message: S) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -300,7 +306,9 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
             }
             '.' => {
                 i += 1;
-                (0x20u32..0x7f).map(|c| char::from_u32(c).expect("ascii")).collect()
+                (0x20u32..0x7f)
+                    .map(|c| char::from_u32(c).expect("ascii"))
+                    .collect()
             }
             '\\' => {
                 i += 2;
@@ -420,13 +428,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -440,7 +454,10 @@ pub mod collection {
     /// Generates `Vec`s whose length is drawn from `size` and whose
     /// elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
