@@ -1,0 +1,603 @@
+//! `lr-bench compare` — the CI perf-regression gate.
+//!
+//! Compares a *current* perf artifact (`BENCH_kernels.json` /
+//! `BENCH_serve.json`) against a committed *baseline* of the same shape
+//! and fails (exit code 1) when any **tracked** metric regresses past the
+//! tolerance. A per-metric delta table is printed either way, so the CI
+//! log shows the perf trajectory even on green runs.
+//!
+//! Metric classification is by path, matching the artifacts this repo
+//! emits:
+//!
+//! * **Lower is better** (gated): anything under `median_ns` (kernel
+//!   medians), and the `p50`/`mean` latency of the **steady** serve
+//!   scenario — statistics stable enough to gate on.
+//! * **Higher is better** (gated): `speedup` entries and
+//!   `throughput_rps`/`calibrated_capacity_rps`.
+//! * Extreme quantiles (`p95`/`p99`/`max`), all per-shard quantiles, and
+//!   the adversarial scenarios' latencies (overload, co-located
+//!   training) are **informational**: on the short quick-profile windows
+//!   (~10² samples) they swing 2–3× run to run, so gating them would
+//!   make CI flap; they are in the table for observability.
+//! * Everything else numeric (counters like `completed`, environment
+//!   fields like `threads`) is likewise informational and never gates.
+//!
+//! The artifacts are this repo's own fixed format, so the parser is a
+//! deliberately small recursive-descent JSON reader — no serde (the build
+//! environment is offline; vendoring serde for two files is not worth it).
+
+use std::fmt::Write as _;
+
+/// Minimal JSON value for the bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64 — bench artifacts stay well within
+    /// f64's exact-integer range).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered)
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses a JSON document, returning a readable error on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through byte by byte; the
+                        // artifacts are ASCII-heavy so this stays simple.
+                        let start = *pos;
+                        let len = utf8_len(c);
+                        let chunk = b
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Flattens every numeric leaf into `("a.b.0.c", value)` paths.
+fn flatten(value: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                // Per-shard entries are keyed by their "shard" field when
+                // present so reordering never mismatches baselines.
+                let key = match v {
+                    Json::Obj(fields) => fields
+                        .iter()
+                        .find(|(k, _)| k == "shard")
+                        .and_then(|(_, v)| match v {
+                            Json::Num(n) => Some(format!("shard{n}")),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| i.to_string()),
+                    _ => i.to_string(),
+                };
+                flatten(v, &format!("{prefix}.{key}"), out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+/// How a metric participates in the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Informational,
+}
+
+fn classify(path: &str) -> Direction {
+    if path.contains("speedup")
+        || path.ends_with("throughput_rps")
+        || path.ends_with("capacity_rps")
+    {
+        return Direction::HigherIsBetter;
+    }
+    if path.contains("median_ns.") {
+        return Direction::LowerIsBetter;
+    }
+    // Only the stable central statistics of the *steady* scenario's
+    // latency distribution gate. p95/p99/max and per-shard quantiles are
+    // informational everywhere (quick-profile sample counts make them
+    // 2–3× noisy), and the adversarial scenarios (overload at 4×
+    // capacity, co-located training) measure admission/isolation
+    // behavior, not latency SLOs — their latencies depend on shed and
+    // contention timing and flap run to run.
+    if path.contains("steady")
+        && path.contains("latency_ns.")
+        && (path.ends_with(".p50") || path.ends_with(".mean"))
+    {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Informational
+}
+
+/// One row of the comparison table.
+struct Row {
+    path: String,
+    baseline: f64,
+    current: f64,
+    delta_pct: f64,
+    direction: Direction,
+    regressed: bool,
+}
+
+/// Compares two artifacts; returns the table rows, whether any tracked
+/// metric regressed past `tolerance_pct`, and the tracked baseline paths
+/// missing from the current artifact (a rename or dropped emission must
+/// fail the gate loudly, not silently shrink coverage — regenerate the
+/// baseline when intentionally changing the artifact shape).
+fn compare_values(
+    baseline: &Json,
+    current: &Json,
+    tolerance_pct: f64,
+) -> (Vec<Row>, bool, Vec<String>) {
+    let mut base_paths = Vec::new();
+    flatten(baseline, "", &mut base_paths);
+    let mut cur_paths = Vec::new();
+    flatten(current, "", &mut cur_paths);
+
+    let mut rows = Vec::new();
+    let mut any_regressed = false;
+    let mut missing_tracked = Vec::new();
+    for (path, base) in &base_paths {
+        let Some((_, cur)) = cur_paths.iter().find(|(p, _)| p == path) else {
+            if classify(path) != Direction::Informational {
+                missing_tracked.push(path.clone());
+            }
+            continue;
+        };
+        let direction = classify(path);
+        let delta_pct = if base.abs() > f64::EPSILON {
+            (cur - base) / base * 100.0
+        } else if cur.abs() > f64::EPSILON {
+            100.0
+        } else {
+            0.0
+        };
+        let regressed = match direction {
+            Direction::LowerIsBetter => delta_pct > tolerance_pct,
+            Direction::HigherIsBetter => delta_pct < -tolerance_pct,
+            Direction::Informational => false,
+        };
+        any_regressed |= regressed;
+        rows.push(Row {
+            path: path.clone(),
+            baseline: *base,
+            current: *cur,
+            delta_pct,
+            direction,
+            regressed,
+        });
+    }
+    (rows, any_regressed, missing_tracked)
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Renders the delta table. Tracked metrics first, informational after.
+fn render_table(rows: &[Row], tolerance_pct: f64) -> String {
+    let mut out = String::new();
+    let width = rows.iter().map(|r| r.path.len()).max().unwrap_or(6).max(6);
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>14}  {:>14}  {:>9}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    let mut ordered: Vec<&Row> = rows.iter().collect();
+    ordered.sort_by_key(|r| (r.direction == Direction::Informational, !r.regressed));
+    for r in ordered {
+        let status = match r.direction {
+            Direction::Informational => "info",
+            _ if r.regressed => "REGRESSED",
+            Direction::LowerIsBetter if r.delta_pct < -tolerance_pct => "improved",
+            Direction::HigherIsBetter if r.delta_pct > tolerance_pct => "improved",
+            _ => "ok",
+        };
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>14}  {:>14}  {:>+8.1}%  {status}",
+            r.path,
+            format_value(r.baseline),
+            format_value(r.current),
+            r.delta_pct,
+        );
+    }
+    out
+}
+
+/// Entry point for
+/// `lr-bench compare --baseline <file> --current <file> [--tolerance-pct N]`.
+///
+/// Exits with code 1 when a tracked metric regresses past the tolerance,
+/// or 2 on usage/parse errors.
+pub fn run(args: &[String]) {
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(baseline_path) = get("--baseline") else {
+        eprintln!("usage: lr-bench compare --baseline <file> --current <file> [--tolerance-pct N]");
+        std::process::exit(2);
+    };
+    let Some(current_path) = get("--current") else {
+        eprintln!("usage: lr-bench compare --baseline <file> --current <file> [--tolerance-pct N]");
+        std::process::exit(2);
+    };
+    let tolerance_pct: f64 = get("--tolerance-pct")
+        .map(|v| v.parse().expect("--tolerance-pct takes a number"))
+        .unwrap_or(15.0);
+
+    let read_parsed = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read_parsed(&baseline_path);
+    let current = read_parsed(&current_path);
+
+    let (rows, any_regressed, missing_tracked) = compare_values(&baseline, &current, tolerance_pct);
+    let tracked = rows
+        .iter()
+        .filter(|r| r.direction != Direction::Informational)
+        .count();
+    println!(
+        "comparing {current_path} against {baseline_path} (tolerance ±{tolerance_pct}%, {tracked} tracked metrics)"
+    );
+    print!("{}", render_table(&rows, tolerance_pct));
+    if !missing_tracked.is_empty() {
+        eprintln!(
+            "MISSING METRICS: {} tracked baseline metric(s) absent from the current artifact \
+             (regenerate the baseline if the rename/removal is intentional): {}",
+            missing_tracked.len(),
+            missing_tracked.join(", ")
+        );
+    }
+    if any_regressed {
+        let worst: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.path.as_str())
+            .collect();
+        eprintln!(
+            "PERF REGRESSION: {} metric(s) past tolerance: {}",
+            worst.len(),
+            worst.join(", ")
+        );
+        std::process::exit(1);
+    }
+    if !missing_tracked.is_empty() {
+        std::process::exit(1);
+    }
+    println!("no tracked metric regressed past {tolerance_pct}%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "threads": 1,
+      "median_ns": { "fft/200": 1000.0, "fft/speedup/200": 3.0 },
+      "scenarios": {
+        "steady": {
+          "completed": 100,
+          "throughput_rps": 50.0,
+          "latency_ns": { "p50": 2000, "p99": 9000 },
+          "per_shard": [
+            { "shard": 0, "completed": 60, "p50": 1900, "p95": 4000, "p99": 8000 },
+            { "shard": 1, "completed": 40, "p50": 2100, "p95": 4100, "p99": 9000 }
+          ]
+        }
+      }
+    }"#;
+
+    #[test]
+    fn parses_and_flattens_artifacts() {
+        let v = parse_json(BASE).unwrap();
+        let mut paths = Vec::new();
+        flatten(&v, "", &mut paths);
+        let lookup = |p: &str| paths.iter().find(|(k, _)| k == p).map(|(_, v)| *v);
+        assert_eq!(lookup("median_ns.fft/200"), Some(1000.0));
+        assert_eq!(lookup("scenarios.steady.latency_ns.p99"), Some(9000.0));
+        assert_eq!(
+            lookup("scenarios.steady.per_shard.shard1.p50"),
+            Some(2100.0)
+        );
+        assert_eq!(lookup("threads"), Some(1.0));
+    }
+
+    #[test]
+    fn classification_gates_the_right_paths() {
+        assert_eq!(classify("median_ns.fft/200"), Direction::LowerIsBetter);
+        assert_eq!(
+            classify("median_ns.fft/speedup/200"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.steady.latency_ns.p50"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.steady.latency_ns.mean"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.steady.latency_ns.p99"),
+            Direction::Informational,
+            "extreme quantiles are too noisy to gate"
+        );
+        assert_eq!(
+            classify("scenarios.steady.throughput_rps"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.steady.per_shard.shard0.p95"),
+            Direction::Informational
+        );
+        assert_eq!(
+            classify("scenarios.steady.per_shard.shard0.p50"),
+            Direction::Informational
+        );
+        assert_eq!(
+            classify("scenarios.steady.completed"),
+            Direction::Informational
+        );
+        assert_eq!(classify("threads"), Direction::Informational);
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let v = parse_json(BASE).unwrap();
+        let (rows, regressed, missing) = compare_values(&v, &v, 15.0);
+        assert!(missing.is_empty());
+        assert!(!regressed);
+        assert!(rows.iter().all(|r| r.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn latency_regression_past_tolerance_fails() {
+        let base = parse_json(BASE).unwrap();
+        let cur = parse_json(&BASE.replace("\"p50\": 2000", "\"p50\": 2700")).unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "p50 +35% must trip a 15% gate");
+        let row = rows
+            .iter()
+            .find(|r| r.path == "scenarios.steady.latency_ns.p50")
+            .unwrap();
+        assert!(row.regressed);
+        // Counters moving is informational, never a regression.
+        let completed = rows
+            .iter()
+            .find(|r| r.path == "scenarios.steady.completed")
+            .unwrap();
+        assert_eq!(completed.direction, Direction::Informational);
+    }
+
+    #[test]
+    fn throughput_and_speedup_gate_in_the_higher_is_better_direction() {
+        let base = parse_json(BASE).unwrap();
+        // Throughput halves: regression. Latency halves: improvement.
+        let cur = parse_json(
+            &BASE
+                .replace("\"throughput_rps\": 50.0", "\"throughput_rps\": 20.0")
+                .replace("\"p50\": 2000", "\"p50\": 900"),
+        )
+        .unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed);
+        assert!(rows
+            .iter()
+            .any(|r| r.path.ends_with("throughput_rps") && r.regressed));
+        assert!(
+            rows.iter()
+                .any(|r| r.path == "scenarios.steady.latency_ns.p50" && !r.regressed),
+            "an improvement must not gate"
+        );
+        // Speedup dropping is also a regression.
+        let cur2 =
+            parse_json(&BASE.replace("\"fft/speedup/200\": 3.0", "\"fft/speedup/200\": 1.5"))
+                .unwrap();
+        let (_, regressed2, _) = compare_values(&base, &cur2, 15.0);
+        assert!(regressed2);
+    }
+
+    #[test]
+    fn within_tolerance_noise_passes() {
+        let base = parse_json(BASE).unwrap();
+        let cur = parse_json(&BASE.replace("\"p50\": 2000", "\"p50\": 2200")).unwrap();
+        let (_, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(!regressed, "+10% is inside a 15% tolerance");
+    }
+
+    #[test]
+    fn renamed_tracked_metric_is_reported_missing_not_skipped() {
+        let base = parse_json(BASE).unwrap();
+        // "Rename" a gated metric: the baseline path disappears from the
+        // current artifact and must be flagged, not silently dropped.
+        let cur = parse_json(&BASE.replace("\"fft/200\"", "\"fft2/200\"")).unwrap();
+        let (_, regressed, missing) = compare_values(&base, &cur, 15.0);
+        assert!(!regressed, "nothing comparable regressed");
+        assert_eq!(missing, vec!["median_ns.fft/200".to_string()]);
+        // Dropping an informational counter is not flagged.
+        let cur2 = parse_json(&BASE.replace("\"completed\": 100,", "")).unwrap();
+        let (_, _, missing2) = compare_values(&base, &cur2, 15.0);
+        assert!(missing2.is_empty());
+    }
+}

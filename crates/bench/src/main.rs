@@ -9,13 +9,17 @@
 //! parallelism). Future PRs diff this file to keep a perf trajectory.
 //!
 //! `lr-bench serve` runs the deterministic synthetic load generator
-//! against the `lr-serve` runtime and emits `BENCH_serve.json` (see
-//! `serve_bench`).
+//! against the sharded `lr-serve` runtime and emits `BENCH_serve.json`
+//! (see `serve_bench`). `lr-bench compare` diffs a current artifact
+//! against a committed baseline and fails on regression — the CI perf
+//! gate (see `compare`).
 //!
 //! Usage:
 //! * `lr-bench [--out PATH] [--quick]`
-//! * `lr-bench serve [--out PATH] [--quick]`
+//! * `lr-bench serve [--out PATH] [--quick] [--shards N]`
+//! * `lr-bench compare --baseline <file> --current <file> [--tolerance-pct N]`
 
+mod compare;
 mod serve_bench;
 
 use lightridge::{Detector, DonnBuilder, DonnModel, Layer};
@@ -130,6 +134,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_bench::run(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("compare") {
+        compare::run(&args[1..]);
         return;
     }
     let out_path = args

@@ -10,8 +10,9 @@
 //! and therefore the artifact — is reproducible run to run; only the
 //! measured latencies vary with the machine.
 //!
-//! Two scenarios run on a mixed two-model registry (an emulation-readout
-//! stack and a deployed-readout stack of a different geometry):
+//! Four scenarios run on a mixed two-model registry (an emulation-readout
+//! stack and a deployed-readout stack of a different geometry), sharded
+//! across `--shards N` dispatchers (default 2):
 //!
 //! * `steady_mixed` — offered rate ≈ 50% of calibrated single-worker
 //!   capacity: everything should complete; this is the throughput/latency
@@ -19,17 +20,32 @@
 //! * `overload_shed` — offered rate ≈ 4× capacity against a short queue:
 //!   exercises admission control; the artifact records how much was
 //!   rejected and how far p99 stretches under saturation.
+//! * `colocated_partitioned` — steady serving while a training loop
+//!   hammers the **global** pool; shards run on their own dedicated
+//!   [`PoolMode::Partitioned`] partitions, so training cannot
+//!   head-of-line-block serving.
+//! * `colocated_shared` — the same co-located training load, but serving
+//!   executes on the shared global pool under the bounded submission wait
+//!   ([`PoolMode::SharedGlobal`]): contention shows up as inflated tails
+//!   and, when the pool stays stuck past `pool_wait`, as pool-timeout
+//!   sheds instead of hangs. Diffing this scenario against
+//!   `colocated_partitioned` is the isolation argument in numbers.
+//!
+//! Every scenario block includes **per-shard** completion/steal counters
+//! and p50/p95/p99, so shard imbalance and work stealing are visible in
+//! the artifact.
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    AdmissionPolicy, BatchPolicy, ModelId, ModelRegistry, ReadoutMode, Server, ServerStats,
-    Transport,
+    AdmissionPolicy, BatchPolicy, ModelId, ModelRegistry, PoolMode, ReadoutMode, Server,
+    ServerStats, Transport,
 };
 use lr_tensor::{parallel, Complex64, Field};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
@@ -93,8 +109,10 @@ struct ScenarioOutcome {
 }
 
 /// Runs one scenario: `threads` open-loop clients firing their schedules
-/// at a fresh server over `registry_models`, returning outcome counters
-/// plus the server's own stats snapshot.
+/// at a fresh server over a two-model registry, optionally with a
+/// co-located "training" thread hammering the **global** pool for the
+/// whole scenario, returning outcome counters plus the server's own stats
+/// snapshot.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario(
     policy: BatchPolicy,
@@ -104,6 +122,7 @@ fn run_scenario(
     seed: u64,
     model_a: &DonnModel,
     model_b: &DonnModel,
+    colocate_training: bool,
 ) -> ScenarioOutcome {
     let mut registry = ModelRegistry::new();
     let a =
@@ -117,8 +136,23 @@ fn run_scenario(
     let inputs_b: Vec<Field> = (0..4).map(|p| make_input(nb, p)).collect();
 
     let per_thread_rate = rate_rps / threads as f64;
+    let stop_training = AtomicBool::new(false);
     let epoch = Instant::now();
     let (ok, failed) = std::thread::scope(|scope| {
+        // Co-located "training": batch after batch of emulation forward
+        // passes submitted to the global pool, competing for its single
+        // job slot exactly like a training loop in the same process.
+        if colocate_training {
+            let stop = &stop_training;
+            let train_inputs = &inputs_a;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = parallel::par_map(8, |i| {
+                        model_a.infer(&train_inputs[i % train_inputs.len()])
+                    });
+                }
+            });
+        }
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let schedule = build_schedule(
@@ -159,9 +193,16 @@ fn run_scenario(
                 })
             })
             .collect();
-        handles
+        // Collect joins first and stop the training loop *before*
+        // unwrapping: if a load thread panicked, the scope must still be
+        // able to join the training thread (which spins on this flag) —
+        // otherwise the bench (and the CI perf-gate job) hangs instead of
+        // reporting the panic.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        stop_training.store(true, Ordering::Relaxed);
+        joined
             .into_iter()
-            .map(|h| h.join().expect("load thread panicked"))
+            .map(|r| r.expect("load thread panicked"))
             .fold((0u64, 0u64), |(o, f), (a, b)| (o + a, f + b))
     });
     let wall_secs = epoch.elapsed().as_secs_f64();
@@ -187,6 +228,7 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
     let _ = writeln!(json, "      \"completed\": {},", s.completed);
     let _ = writeln!(json, "      \"rejected\": {},", s.rejected);
     let _ = writeln!(json, "      \"shed\": {},", s.shed);
+    let _ = writeln!(json, "      \"pool_timeouts\": {},", s.pool_timeouts);
     let _ = writeln!(
         json,
         "      \"throughput_rps\": {:.1},",
@@ -199,11 +241,28 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
     let _ = writeln!(json, "        \"p99\": {},", l.p99_ns);
     let _ = writeln!(json, "        \"mean\": {:.1},", l.mean_ns);
     let _ = writeln!(json, "        \"max\": {}", l.max_ns);
-    let _ = writeln!(json, "      }}");
+    let _ = writeln!(json, "      }},");
+    let _ = writeln!(json, "      \"per_shard\": [");
+    for (i, sh) in s.per_shard.iter().enumerate() {
+        let comma = if i + 1 < s.per_shard.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{ \"shard\": {}, \"completed\": {}, \"batches\": {}, \"stolen\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {} }}{comma}",
+            sh.shard,
+            sh.completed,
+            sh.batches,
+            sh.stolen,
+            sh.latency.p50_ns,
+            sh.latency.p95_ns,
+            sh.latency.p99_ns,
+        );
+    }
+    let _ = writeln!(json, "      ]");
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
-/// Entry point for `lr-bench serve [--out PATH] [--quick]`.
+/// Entry point for `lr-bench serve [--out PATH] [--quick] [--shards N]`.
 pub fn run(args: &[String]) {
     let out_path = args
         .iter()
@@ -212,6 +271,13 @@ pub fn run(args: &[String]) {
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
     let quick = args.iter().any(|a| a == "--quick");
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(2);
+    assert!(shards > 0, "--shards takes a positive integer");
 
     // Mixed two-model workload: emulation readout at one geometry,
     // deployed readout at another.
@@ -245,24 +311,27 @@ pub fn run(args: &[String]) {
     let mixed_cost = t0.elapsed().as_secs_f64() / (calib_rounds as f64 * 10.0);
     let capacity_rps = 1.0 / mixed_cost.max(1e-9);
 
+    let steady_policy = BatchPolicy {
+        max_batch: 8,
+        max_delay: Duration::from_micros(500),
+        queue_cap: 128,
+        admission: AdmissionPolicy::RejectNew,
+        shards,
+        ..BatchPolicy::default()
+    };
     let steady = run_scenario(
-        BatchPolicy {
-            max_batch: 8,
-            max_delay: Duration::from_micros(500),
-            queue_cap: 128,
-            admission: AdmissionPolicy::RejectNew,
-            ..BatchPolicy::default()
-        },
+        steady_policy.clone(),
         0.5 * capacity_rps,
         threads,
         per_thread,
         42,
         &model_a,
         &model_b,
+        false,
     );
-    // Overload needs more concurrent clients than the batcher + queue can
-    // absorb (threads > max_batch + queue_cap), otherwise blocking clients
-    // self-throttle below the cap and nothing is ever shed.
+    // Overload needs more concurrent clients than the batchers + queues
+    // can absorb (threads > shards * (max_batch + queue_cap)), otherwise
+    // blocking clients self-throttle below the cap and nothing is shed.
     let overload_threads = threads * 4;
     let overload = run_scenario(
         BatchPolicy {
@@ -270,6 +339,7 @@ pub fn run(args: &[String]) {
             max_delay: Duration::from_micros(500),
             queue_cap: 2,
             admission: AdmissionPolicy::ShedOldest,
+            shards,
             ..BatchPolicy::default()
         },
         4.0 * capacity_rps,
@@ -278,6 +348,37 @@ pub fn run(args: &[String]) {
         43,
         &model_a,
         &model_b,
+        false,
+    );
+    // Co-located training: same steady load, once isolated on dedicated
+    // partitions and once contending on the shared global pool under the
+    // bounded submission wait. The delta is the partitioning argument.
+    let colocated_partitioned = run_scenario(
+        BatchPolicy {
+            pool: PoolMode::Partitioned,
+            ..steady_policy.clone()
+        },
+        0.5 * capacity_rps,
+        threads,
+        per_thread.div_ceil(2),
+        44,
+        &model_a,
+        &model_b,
+        true,
+    );
+    let colocated_shared = run_scenario(
+        BatchPolicy {
+            pool: PoolMode::SharedGlobal,
+            pool_wait: Duration::from_millis(100),
+            ..steady_policy
+        },
+        0.5 * capacity_rps,
+        threads,
+        per_thread.div_ceil(2),
+        44,
+        &model_a,
+        &model_b,
+        true,
     );
 
     let mut json = String::from("{\n");
@@ -288,6 +389,7 @@ pub fn run(args: &[String]) {
         "  \"mode\": \"{}\",",
         if quick { "quick" } else { "full" }
     );
+    let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(
         json,
         "  \"workload\": \"{na}x{na}@emulated (70%) + {nb}x{nb}@deployed (30%), depth {depth}\","
@@ -297,7 +399,14 @@ pub fn run(args: &[String]) {
     let _ = writeln!(json, "  \"calibrated_capacity_rps\": {capacity_rps:.1},");
     json.push_str("  \"scenarios\": {\n");
     write_scenario(&mut json, "steady_mixed", &steady, false);
-    write_scenario(&mut json, "overload_shed", &overload, true);
+    write_scenario(&mut json, "overload_shed", &overload, false);
+    write_scenario(
+        &mut json,
+        "colocated_partitioned",
+        &colocated_partitioned,
+        false,
+    );
+    write_scenario(&mut json, "colocated_shared", &colocated_shared, true);
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");

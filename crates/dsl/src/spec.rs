@@ -549,13 +549,15 @@ fn lower_propagation(section: &Section) -> Result<PropagationSpec> {
                 "rayleigh_sommerfeld" => ApproxSpec::RayleighSommerfeld,
                 "fresnel" => ApproxSpec::Fresnel,
                 "fraunhofer" => ApproxSpec::Fraunhofer,
-                other => return Err(DslError::new(
-                    ErrorKind::UnknownName,
-                    a.span,
-                    format!(
+                other => {
+                    return Err(DslError::new(
+                        ErrorKind::UnknownName,
+                        a.span,
+                        format!(
                         "approx must be rayleigh_sommerfeld, fresnel, or fraunhofer; got '{other}'"
                     ),
-                )),
+                    ))
+                }
             },
             other => {
                 return Err(DslError::new(

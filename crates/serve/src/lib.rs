@@ -1,45 +1,53 @@
 //! # lr-serve
 //!
-//! Batched inference **serving runtime** for trained DONNs: the subsystem
-//! that turns the zero-copy propagation pipeline into sustained request
-//! throughput. Where `lightridge::train`/`infer` run inference inside
-//! experiment loops, `lr-serve` accepts a stream of *independent* requests
-//! — as a production deployment front-end would — and coalesces them into
-//! micro-batches executed on the persistent worker pool.
+//! **Sharded** batched inference serving runtime for trained DONNs: the
+//! subsystem that turns the zero-copy propagation pipeline into sustained
+//! request throughput. Where `lightridge::train`/`infer` run inference
+//! inside experiment loops, `lr-serve` accepts a stream of *independent*
+//! requests — as a production deployment front-end would — and coalesces
+//! them into micro-batches executed across N serving shards, each with its
+//! own dispatcher, bounded queue, and disjoint worker-pool partition.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!  clients (any thread)                     serving runtime (one process)
-//!  ┌──────────────────┐  submit   ┌─────────────────────────────────────┐
-//!  │ InProcessClient  │──────────▶│  bounded request queue              │
-//!  │  (Transport)     │           │  · admission control                │
-//!  │  reusable slot:  │           │  · reject-new / shed-oldest         │
-//!  │  input + logits  │◀───wake───│  · per-model in-flight caps         │
-//!  └──────────────────┘           └──────────────┬──────────────────────┘
-//!        ▲                            drain ≤ max_batch within max_delay
-//!        │ bit-identical                         │
-//!        │ to direct infer          ┌────────────▼──────────────────────┐
-//!        │                          │  dynamic micro-batcher            │
-//!        │                          │  (long-lived dispatcher thread)   │
-//!        │                          │  shards the batch across worker   │
-//!        │                          │  contexts via lr_tensor::parallel │
-//!        │                          └────────────┬──────────────────────┘
-//!        │                                       │ per-worker, per-model
-//!        │                                       │ workspaces (zero-alloc)
+//!  clients (any thread)                  serving runtime (one process)
+//!  ┌──────────────────┐ submit  ┌───────────────────────────────────────┐
+//!  │ InProcessClient  │────────▶│ model-affinity router (id % shards)   │
+//!  │  (Transport)     │         └──────┬─────────────────────┬──────────┘
+//!  │  reusable slot:  │                │                     │
+//!  │  input + logits  │    ┌───────────▼─────────┐ ┌─────────▼─────────┐
+//!  └──────────────────┘    │ shard 0             │ │ shard N-1         │
+//!        ▲                 │ · bounded queue     │ │ · bounded queue   │
+//!        │ bit-identical   │ · admission control │◀┼─· work stealing   │
+//!        │ to direct infer │ · dispatcher thread │ │   when a sibling  │
+//!        │                 │ · micro-batcher     │ │   queue runs hot  │
+//!        │                 └───────────┬─────────┘ └─────────┬─────────┘
+//!        │                             │ per-worker per-model│
+//!        │                             │ workspaces (0-alloc)│
+//!        │                 ┌───────────▼─────────┐ ┌─────────▼─────────┐
+//!        │                 │ PoolPartition 0     │ │ PoolPartition N-1 │
+//!        │                 │ (disjoint workers;  │ │ (or SharedGlobal  │
+//!        │                 │  isolated from      │ │  with bounded-    │
+//!        │                 │  training)          │ │  wait submission) │
+//!        │                 └───────────┬─────────┘ └─────────┬─────────┘
+//!        │                             └─────────┬───────────┘
 //!        │                          ┌────────────▼──────────────────────┐
-//!        │                          │  ModelRegistry                    │
-//!        └──────────────────────────│  versioned names → variants:      │
-//!                                   │  · emulation readout (soft)       │
-//!                                   │  · deployed readout (hard/argmax) │
-//!                                   │  · physical bench (HW-emulated)   │
-//!                                   │  plans + kernels prewarmed at     │
-//!                                   │  registration                     │
+//!        └──────────────────────────│ epoch-versioned registry          │
+//!                                   │ (ArcSwap snapshot chain):         │
+//!                                   │ · live register / retire = one    │
+//!                                   │   atomic pointer flip, no drain   │
+//!                                   │ · in-flight requests pin their    │
+//!                                   │   entry Arc → complete on their   │
+//!                                   │   admitted version                │
+//!                                   │ · plans + kernels + per-shard     │
+//!                                   │   workspaces prewarmed before     │
+//!                                   │   the flip publishes the model    │
 //!                                   └────────────┬──────────────────────┘
 //!                                                │ latency / throughput
 //!                                   ┌────────────▼──────────────────────┐
-//!                                   │  MetricsCore → ServerStats        │
-//!                                   │  p50 / p95 / p99 histograms       │
+//!                                   │ MetricsCore → ServerStats         │
+//!                                   │ global + per-shard p50/p95/p99    │
 //!                                   └───────────────────────────────────┘
 //! ```
 //!
@@ -49,21 +57,38 @@
 //!   preallocated and reused: clients own one request slot (input field +
 //!   logit buffer), workers own per-model
 //!   [`PropagationWorkspace`](lightridge::PropagationWorkspace)s /
-//!   [`PhysicalWorkspace`](lightridge::deploy::PhysicalWorkspace)s, the
-//!   queue is a bounded ring, and the latency histogram is a fixed array of
-//!   atomics. Enforced by the counting-allocator test
-//!   `tests/zero_alloc_serve.rs` at the workspace root.
+//!   [`PhysicalWorkspace`](lightridge::deploy::PhysicalWorkspace)s, each
+//!   shard's queue is a bounded ring, registry/in-flight/metrics snapshot
+//!   loads are `Arc` refcount bumps, and the latency histograms are fixed
+//!   arrays of atomics. Enforced by the counting-allocator test
+//!   `tests/zero_alloc_serve.rs` at the workspace root (≥2 shards, with a
+//!   mid-run live version flip).
 //! * **Bit-identical results.** A request served through the registry and
 //!   micro-batcher returns exactly the logits of a direct
-//!   `DonnModel::infer` call — batching, arrival order, and worker
-//!   assignment never change the numbers.
-//! * **Flat first-request latency.** Registration prewarms FFT plans and
-//!   diffraction kernels ([`lr_optics::FreeSpace::prewarm`]); server start
-//!   warms every per-worker workspace with a dummy pass.
-//! * **Bounded memory and graceful overload.** The queue depth is capped;
-//!   past the cap, admission either rejects the new request or sheds the
-//!   oldest queued one ([`AdmissionPolicy`]), and per-model in-flight caps
-//!   stop one hot model from starving the rest.
+//!   `DonnModel::infer` call — batching, arrival order, shard routing,
+//!   work stealing, and worker assignment never change the numbers.
+//! * **Flat first-request latency.** Registration — at startup *and* live
+//!   ([`Server::register_emulated`]) — prewarms FFT plans and diffraction
+//!   kernels ([`lr_optics::FreeSpace::prewarm`]) and warms every
+//!   per-worker workspace with a dummy pass before the model becomes
+//!   visible.
+//! * **Bounded memory and graceful overload.** Per-shard queue depth is
+//!   capped; past the cap, admission either rejects the new request or
+//!   sheds the oldest queued one ([`AdmissionPolicy`]), per-model
+//!   in-flight caps stop one hot model from starving the rest, and under
+//!   [`PoolMode::SharedGlobal`] a stuck shared pool sheds the batch after
+//!   [`BatchPolicy::pool_wait`] instead of hanging.
+//!
+//! ## Shard routing contract
+//!
+//! Requests route to `model_id % shards` (affinity keeps one model's
+//! traffic on one dispatcher's warm workspaces). When a shard's queue
+//! depth reaches `min(max_batch, queue_cap)` it counts as **hot**: its
+//! enqueues wake idle sibling dispatchers, and an idle dispatcher steals
+//! the front half of the first hot queue it finds (oldest first). Every
+//! shard holds workspaces for every model, so stolen requests execute
+//! anywhere without reallocation; shed-oldest victims are always popped
+//! from the *target* shard's own queue.
 //!
 //! ## Quickstart
 //!
@@ -83,12 +108,23 @@
 //! let mut registry = ModelRegistry::new();
 //! registry.register_emulated("digits", 1, model.clone(), ReadoutMode::Emulation);
 //!
-//! let server = Server::start(registry, BatchPolicy::default());
+//! let server = Server::start(
+//!     registry,
+//!     BatchPolicy {
+//!         shards: 2,
+//!         ..BatchPolicy::default()
+//!     },
+//! );
 //! let id = server.resolve("digits", None).unwrap();
 //! let mut client = server.client();
 //! let mut logits = Vec::new();
 //! client.infer(id, &Field::ones(16, 16), &mut logits).unwrap();
 //! assert_eq!(logits, model.infer(&Field::ones(16, 16)));
+//!
+//! // Live registration: atomic flip, no queue drain.
+//! let v2 = server.register_emulated("digits", 2, model.clone(), ReadoutMode::Deployed);
+//! assert_eq!(server.resolve("digits", None), Some(v2));
+//! assert_eq!(server.epoch(), 1);
 //! server.shutdown();
 //! ```
 
@@ -98,6 +134,8 @@ mod metrics;
 mod registry;
 mod server;
 
-pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats};
+pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats};
 pub use registry::{ModelId, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant};
-pub use server::{AdmissionPolicy, BatchPolicy, InProcessClient, ServeError, Server, Transport};
+pub use server::{
+    AdmissionPolicy, BatchPolicy, InProcessClient, PoolMode, ServeError, Server, Transport,
+};

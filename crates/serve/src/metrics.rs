@@ -6,8 +6,18 @@
 //! full nanosecond-to-minutes range with a constant 512-slot array of
 //! atomics — recording is two shifts, a mask, and one `fetch_add`, and
 //! never allocates (part of the serve-path zero-allocation contract).
+//!
+//! The sharded runtime keeps **per-shard** counters and histograms (fixed
+//! at server start) next to the global ones, so imbalance, stealing, and
+//! per-shard tail latency are observable. Per-model counters grow with
+//! live registration: the counter vector sits behind an `ArcSwap`, so the
+//! recording path is still a snapshot load plus one `fetch_add` and never
+//! allocates.
 
+use crate::registry::ModelId;
+use arc_swap::ArcSwap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Sub-buckets per octave (3 bits of mantissa below the leading bit).
@@ -142,19 +152,43 @@ pub struct ModelStats {
     pub completed: u64,
 }
 
+/// Per-shard counters and latency distribution in a [`ServerStats`]
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (dispatcher number).
+    pub shard: usize,
+    /// Requests this shard's dispatcher completed.
+    pub completed: u64,
+    /// Micro-batches this shard executed.
+    pub batches: u64,
+    /// Requests this shard stole from hot siblings' queues.
+    pub stolen: u64,
+    /// End-to-end latency distribution of requests completed by this shard.
+    pub latency: LatencySummary,
+}
+
 /// Point-in-time snapshot of the serving runtime's health.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Seconds since the server started.
     pub uptime_secs: f64,
+    /// Registry epoch at snapshot time (bumped by every live
+    /// registration or retirement).
+    pub epoch: u64,
     /// Requests completed successfully.
     pub completed: u64,
     /// Requests refused at admission (queue full under
     /// [`crate::AdmissionPolicy::RejectNew`], or a per-model cap).
     pub rejected: u64,
     /// Queued requests dropped to make room
-    /// ([`crate::AdmissionPolicy::ShedOldest`]).
+    /// ([`crate::AdmissionPolicy::ShedOldest`]) or shed because the shared
+    /// pool stayed busy past the bounded submission wait.
     pub shed: u64,
+    /// Batches abandoned because the shared global pool's job slot stayed
+    /// busy past [`crate::BatchPolicy::pool_wait`] (each abandoned batch
+    /// also counts its requests under `shed`).
+    pub pool_timeouts: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Mean requests per executed micro-batch.
@@ -163,12 +197,35 @@ pub struct ServerStats {
     pub throughput_rps: f64,
     /// End-to-end (enqueue → response ready) latency distribution.
     pub latency: LatencySummary,
-    /// Per-model completion counters, in registration order.
+    /// Per-model completion counters for **live** models, in id order.
     pub per_model: Vec<ModelStats>,
+    /// Per-shard dispatcher counters, in shard order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One shard's recording cells.
+#[derive(Debug)]
+struct ShardMetrics {
+    completed: AtomicU64,
+    batches: AtomicU64,
+    stolen: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ShardMetrics {
+    fn new() -> Self {
+        ShardMetrics {
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
 }
 
 /// Shared counters the serve path records into. All operations on the
-/// request path are single atomic updates.
+/// request path are single atomic updates (plus one `ArcSwap` snapshot
+/// load for the growable per-model vector).
 #[derive(Debug)]
 pub(crate) struct MetricsCore {
     started: Instant,
@@ -176,27 +233,50 @@ pub(crate) struct MetricsCore {
     completed: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
+    pool_timeouts: AtomicU64,
     batches: AtomicU64,
-    per_model_completed: Vec<AtomicU64>,
+    /// Grown (snapshot-swapped) under the registry write lock; loaded
+    /// per record on the request path (an `Arc` clone — no allocation).
+    per_model_completed: ArcSwap<Vec<Arc<AtomicU64>>>,
+    shards: Vec<ShardMetrics>,
 }
 
 impl MetricsCore {
-    pub(crate) fn new(num_models: usize) -> Self {
+    pub(crate) fn new(num_models: usize, num_shards: usize) -> Self {
         MetricsCore {
             started: Instant::now(),
             latency: LatencyHistogram::new(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            pool_timeouts: AtomicU64::new(0),
             batches: AtomicU64::new(0),
-            per_model_completed: (0..num_models).map(|_| AtomicU64::new(0)).collect(),
+            per_model_completed: ArcSwap::from_pointee(
+                (0..num_models)
+                    .map(|_| Arc::new(AtomicU64::new(0)))
+                    .collect(),
+            ),
+            shards: (0..num_shards).map(|_| ShardMetrics::new()).collect(),
         }
     }
 
-    pub(crate) fn record_completed(&self, model_idx: usize, latency_ns: u64) {
+    /// Appends one per-model counter slot. Call only under the registry
+    /// write lock, before the new model's snapshot is published.
+    pub(crate) fn grow_models(&self) {
+        let current = self.per_model_completed.load_full();
+        let mut next = Vec::with_capacity(current.len() + 1);
+        next.extend(current.iter().cloned());
+        next.push(Arc::new(AtomicU64::new(0)));
+        self.per_model_completed.store(Arc::new(next));
+    }
+
+    pub(crate) fn record_completed(&self, shard: usize, model_idx: usize, latency_ns: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.per_model_completed[model_idx].fetch_add(1, Ordering::Relaxed);
+        self.per_model_completed.load_full()[model_idx].fetch_add(1, Ordering::Relaxed);
         self.latency.record(latency_ns);
+        let sh = &self.shards[shard];
+        sh.completed.fetch_add(1, Ordering::Relaxed);
+        sh.latency.record(latency_ns);
     }
 
     pub(crate) fn record_rejected(&self) {
@@ -207,19 +287,33 @@ impl MetricsCore {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_pool_timeout(&self) {
+        self.pool_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, names: &[(String, u32)]) -> ServerStats {
+    pub(crate) fn record_batch(&self, shard: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stolen(&self, shard: usize, n: u64) {
+        self.shards[shard].stolen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters. `live` lists the live models as
+    /// `(id, name, version)` in id order; `epoch` is the registry epoch.
+    pub(crate) fn snapshot(&self, epoch: u64, live: &[(ModelId, String, u32)]) -> ServerStats {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64().max(1e-12);
+        let per_model_completed = self.per_model_completed.load_full();
         ServerStats {
             uptime_secs: uptime,
+            epoch,
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            pool_timeouts: self.pool_timeouts.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -228,13 +322,24 @@ impl MetricsCore {
             },
             throughput_rps: completed as f64 / uptime,
             latency: self.latency.summary(),
-            per_model: names
+            per_model: live
                 .iter()
-                .zip(&self.per_model_completed)
-                .map(|((name, version), c)| ModelStats {
+                .map(|(id, name, version)| ModelStats {
                     name: name.clone(),
                     version: *version,
-                    completed: c.load(Ordering::Relaxed),
+                    completed: per_model_completed[id.0].load(Ordering::Relaxed),
+                })
+                .collect(),
+            per_shard: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, sh)| ShardStats {
+                    shard: i,
+                    completed: sh.completed.load(Ordering::Relaxed),
+                    batches: sh.batches.load(Ordering::Relaxed),
+                    stolen: sh.stolen.load(Ordering::Relaxed),
+                    latency: sh.latency.summary(),
                 })
                 .collect(),
         }
@@ -277,5 +382,30 @@ mod tests {
         let s = h.summary();
         assert_eq!((s.count, s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
         assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn per_shard_and_grown_model_counters_are_tracked() {
+        let m = MetricsCore::new(1, 2);
+        m.record_completed(0, 0, 1_000);
+        m.grow_models();
+        m.record_completed(1, 1, 2_000);
+        m.record_batch(0);
+        m.record_stolen(1, 3);
+        let live = vec![
+            (ModelId(0), "a".to_string(), 1),
+            (ModelId(1), "a".to_string(), 2),
+        ];
+        let s = m.snapshot(7, &live);
+        assert_eq!(s.epoch, 7);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.per_model.len(), 2);
+        assert_eq!(s.per_model[0].completed, 1);
+        assert_eq!(s.per_model[1].completed, 1);
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_shard[0].completed, 1);
+        assert_eq!(s.per_shard[0].batches, 1);
+        assert_eq!(s.per_shard[1].stolen, 3);
+        assert_eq!(s.per_shard[1].latency.count, 1);
     }
 }

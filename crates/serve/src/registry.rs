@@ -8,13 +8,34 @@
 //! Registration **prewarms** every lazily-built piece of the variant's
 //! fast path (FFT plans, diffraction transfer kernels, scratch sizing) so
 //! the first real request pays none of that latency.
+//!
+//! ## Epoch-versioned live registration
+//!
+//! [`ModelRegistry`] is the *startup builder*; once handed to
+//! [`crate::Server::start`] it becomes an **epoch-versioned snapshot
+//! chain** ([`RegistrySnapshot`] behind an `arc_swap::ArcSwap`). Live
+//! registration and retirement build a new snapshot and flip one atomic
+//! pointer — no queue drain, no pause:
+//!
+//! * Clients load the current snapshot per request; a request admitted
+//!   against epoch *k* carries an `Arc` to its entry, so it completes on
+//!   *k*'s model even if the registry flips (or the entry is retired)
+//!   while it is queued.
+//! * [`ModelId`]s are append-only slot indices, stable across epochs;
+//!   retirement tombstones the slot (the id is never reused).
+//! * Every flip increments the epoch, observable via
+//!   [`crate::Server::epoch`].
 
+use arc_swap::ArcSwap;
 use lightridge::deploy::{HardwareEnvironment, PhysicalDonn, PhysicalWorkspace};
 use lightridge::{CodesignMode, DonnModel, PropagationWorkspace};
 use lr_tensor::Field;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Opaque handle to one registered model variant; cheap to copy and valid
 /// for the registry (and any [`crate::Server`] built from it) forever.
+/// Handles of retired variants stay valid as identifiers but are refused
+/// at admission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ModelId(pub(crate) usize);
 
@@ -110,6 +131,44 @@ impl RegisteredModel {
         self.classes
     }
 
+    pub(crate) fn emulated(
+        name: &str,
+        version: u32,
+        model: DonnModel,
+        readout: ReadoutMode,
+    ) -> RegisteredModel {
+        let shape = model.grid().shape();
+        let classes = model.num_classes();
+        RegisteredModel {
+            name: name.to_string(),
+            version,
+            variant: ServableVariant::Emulated {
+                model,
+                mode: readout.codesign_mode(),
+            },
+            shape,
+            classes,
+        }
+    }
+
+    pub(crate) fn physical(
+        name: &str,
+        version: u32,
+        model: &DonnModel,
+        env: &HardwareEnvironment,
+    ) -> RegisteredModel {
+        let donn = PhysicalDonn::deploy(model, env);
+        let shape = donn.shape();
+        let classes = donn.num_classes();
+        RegisteredModel {
+            name: name.to_string(),
+            version,
+            variant: ServableVariant::Physical { donn },
+            shape,
+            classes,
+        }
+    }
+
     pub(crate) fn make_workspace(&self) -> VariantWorkspace {
         match &self.variant {
             ServableVariant::Emulated { model, .. } => {
@@ -117,6 +176,17 @@ impl RegisteredModel {
             }
             ServableVariant::Physical { donn } => VariantWorkspace::Physical(donn.make_workspace()),
         }
+    }
+
+    /// Builds a per-worker workspace and runs one dummy inference through
+    /// it, so the workspace hands over fully sized and warm (part of the
+    /// flat-first-request-latency contract for live registration).
+    pub(crate) fn warmed_workspace(&self) -> VariantWorkspace {
+        let mut ws = self.make_workspace();
+        let (rows, cols) = self.shape;
+        let mut probe = Vec::with_capacity(self.classes);
+        self.infer_into(&Field::ones(rows, cols), &mut ws, &mut probe);
+        ws
     }
 
     /// Runs one inference through the given worker workspace. This is the
@@ -138,7 +208,7 @@ impl RegisteredModel {
         }
     }
 
-    fn prewarm(&self) {
+    pub(crate) fn prewarm(&self) {
         match &self.variant {
             ServableVariant::Emulated { model, .. } => model.prewarm(),
             ServableVariant::Physical { donn } => donn.prewarm(),
@@ -146,10 +216,12 @@ impl RegisteredModel {
     }
 }
 
-/// Versioned model store. Build one, register every variant a deployment
-/// serves, then hand it to [`crate::Server::start`] (the registry is
-/// frozen once serving begins — an open scaling item in the ROADMAP covers
-/// live re-registration).
+/// Versioned model store used to *seed* a server. Build one, register
+/// every variant the deployment serves at startup, then hand it to
+/// [`crate::Server::start`]. Further (re-)registration happens **live** on
+/// the running server ([`crate::Server::register_emulated`] /
+/// [`crate::Server::register_physical`] / [`crate::Server::retire`]) via
+/// atomic snapshot flips.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     entries: Vec<RegisteredModel>,
@@ -187,18 +259,7 @@ impl ModelRegistry {
         model: DonnModel,
         readout: ReadoutMode,
     ) -> ModelId {
-        let shape = model.grid().shape();
-        let classes = model.num_classes();
-        self.insert(RegisteredModel {
-            name: name.to_string(),
-            version,
-            variant: ServableVariant::Emulated {
-                model,
-                mode: readout.codesign_mode(),
-            },
-            shape,
-            classes,
-        })
+        self.insert(RegisteredModel::emulated(name, version, model, readout))
     }
 
     /// Deploys `model` on `env` ([`PhysicalDonn::deploy`]) and registers
@@ -215,16 +276,7 @@ impl ModelRegistry {
         model: &DonnModel,
         env: &HardwareEnvironment,
     ) -> ModelId {
-        let donn = PhysicalDonn::deploy(model, env);
-        let shape = donn.shape();
-        let classes = donn.num_classes();
-        self.insert(RegisteredModel {
-            name: name.to_string(),
-            version,
-            variant: ServableVariant::Physical { donn },
-            shape,
-            classes,
-        })
+        self.insert(RegisteredModel::physical(name, version, model, env))
     }
 
     fn insert(&mut self, entry: RegisteredModel) -> ModelId {
@@ -279,5 +331,92 @@ impl ModelRegistry {
             .iter()
             .enumerate()
             .map(|(i, e)| (ModelId(i), e))
+    }
+
+    pub(crate) fn into_entries(self) -> Vec<RegisteredModel> {
+        self.entries
+    }
+}
+
+/// One immutable epoch of the live registry. Slot index = [`ModelId`];
+/// `None` marks a retired (tombstoned) id.
+#[derive(Debug)]
+pub(crate) struct RegistrySnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) entries: Vec<Option<Arc<RegisteredModel>>>,
+}
+
+impl RegistrySnapshot {
+    /// Live entry behind a handle (`None` when out of range or retired).
+    pub(crate) fn get(&self, id: ModelId) -> Option<&Arc<RegisteredModel>> {
+        self.entries.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Same semantics as [`ModelRegistry::resolve`], over live entries.
+    pub(crate) fn resolve(&self, name: &str, version: Option<u32>) -> Option<ModelId> {
+        let live = || {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+        };
+        match version {
+            Some(v) => live()
+                .find(|(_, e)| e.name() == name && e.version() == v)
+                .map(|(i, _)| ModelId(i)),
+            None => live()
+                .filter(|(_, e)| e.name() == name)
+                .max_by_key(|(_, e)| e.version())
+                .map(|(i, _)| ModelId(i)),
+        }
+    }
+
+    /// Iterates live entries with their handles.
+    pub(crate) fn iter_live(&self) -> impl Iterator<Item = (ModelId, &Arc<RegisteredModel>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (ModelId(i), e)))
+    }
+}
+
+/// The live registry: an atomically swappable snapshot chain plus a writer
+/// lock serializing registration/retirement. Readers never take the lock.
+#[derive(Debug)]
+pub(crate) struct SharedRegistry {
+    current: ArcSwap<RegistrySnapshot>,
+    write: Mutex<()>,
+}
+
+impl SharedRegistry {
+    pub(crate) fn new(seed: ModelRegistry) -> SharedRegistry {
+        let entries = seed
+            .into_entries()
+            .into_iter()
+            .map(|e| Some(Arc::new(e)))
+            .collect();
+        SharedRegistry {
+            current: ArcSwap::from_pointee(RegistrySnapshot { epoch: 0, entries }),
+            write: Mutex::new(()),
+        }
+    }
+
+    /// Current snapshot (an `Arc` clone — never allocates, so the per-
+    /// request load stays inside the zero-allocation serving contract).
+    pub(crate) fn load(&self) -> Arc<RegistrySnapshot> {
+        self.current.load_full()
+    }
+
+    /// Serializes writers; hold the guard across the whole
+    /// prepare-then-publish sequence.
+    pub(crate) fn begin_write(&self) -> MutexGuard<'_, ()> {
+        self.write
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Atomically flips to `snapshot`. Call only with the write guard held.
+    pub(crate) fn publish(&self, snapshot: RegistrySnapshot) {
+        self.current.store(Arc::new(snapshot));
     }
 }

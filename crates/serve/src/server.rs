@@ -1,30 +1,51 @@
-//! The serving runtime: bounded request queue with admission control, the
-//! dynamic micro-batcher (a long-lived dispatcher thread driving the
-//! persistent worker pool), and the in-process transport.
+//! The sharded serving runtime: per-shard bounded request queues with
+//! admission control, N dynamic micro-batchers (one long-lived dispatcher
+//! thread per shard, each driving its own disjoint pool partition), model-
+//! affinity routing with work-stealing, and the in-process transport.
 //!
 //! ## Request lifecycle
 //!
-//! 1. A client prepares its reusable [`RequestSlot`] (copies the input
-//!    field, stamps the enqueue time) and offers the slot to the queue.
-//! 2. Admission control checks the queue-depth cap and the per-model
-//!    in-flight cap. Past the cap, [`AdmissionPolicy::RejectNew`] errors
-//!    the new request immediately; [`AdmissionPolicy::ShedOldest`] fails
-//!    the oldest queued request and admits the new one.
-//! 3. The dispatcher drains up to `max_batch` requests, waiting at most
-//!    `max_delay` after the first drain to let a batch coalesce, then
-//!    shards the batch across worker contexts via
-//!    [`lr_tensor::parallel::par_chunks_mut`]. Each worker serves its
-//!    shard through per-model reusable workspaces (zero allocations).
-//! 4. The worker writes logits into the slot, records latency, and wakes
-//!    the waiting client.
+//! 1. A client loads the current registry snapshot, validates the target
+//!    model, prepares its reusable [`RequestSlot`] (copies the input
+//!    field, stamps the enqueue time, pins an `Arc` to the model entry),
+//!    and offers the slot to the model's **affinity shard**
+//!    (`id % shards` — every version of one geometry lands on the same
+//!    dispatcher, keeping its workspaces hot).
+//! 2. Admission control checks the per-model in-flight cap (global,
+//!    atomic) and the shard's queue-depth cap. Past the cap,
+//!    [`AdmissionPolicy::RejectNew`] errors the new request immediately;
+//!    [`AdmissionPolicy::ShedOldest`] fails the oldest queued request and
+//!    admits the new one.
+//! 3. The shard's dispatcher drains up to `max_batch` requests, waiting at
+//!    most `max_delay` after the first drain to let a batch coalesce. An
+//!    **idle** dispatcher whose queue stays empty steals the front half of
+//!    a hot sibling's queue instead of sleeping (requests are not pinned:
+//!    every shard holds workspaces for every model).
+//! 4. The batch executes across the shard's worker contexts — on the
+//!    shard's own [`PoolPartition`] under [`PoolMode::Partitioned`]
+//!    (isolated from training on the global pool), or on the global pool
+//!    with a **bounded submission wait** under [`PoolMode::SharedGlobal`]
+//!    (a stuck training batch surfaces as shed requests after
+//!    [`BatchPolicy::pool_wait`], never as a hang).
+//! 5. The worker writes logits into the slot, records latency (global +
+//!    per-shard histograms), and wakes the waiting client.
 //!
-//! Locks are ordered queue → slot; nothing holds a slot lock while taking
-//! the queue lock, so the pair cannot deadlock.
+//! Lock order is registry-write → mailbox, and queue → slot; nothing holds
+//! a slot lock while taking a queue lock, no two shard queue locks are
+//! ever nested, and clients never touch mailboxes, so the graph is
+//! cycle-free.
 
 use crate::metrics::{MetricsCore, ServerStats};
-use crate::registry::{ModelId, ModelRegistry, VariantWorkspace};
-use lr_tensor::{parallel, Field};
+use crate::registry::{
+    ModelId, ModelRegistry, RegisteredModel, RegistrySnapshot, SharedRegistry, VariantWorkspace,
+};
+use arc_swap::ArcSwap;
+use lightridge::deploy::HardwareEnvironment;
+use lightridge::DonnModel;
+use lr_tensor::parallel::{self, PoolPartition, SubmitTimeout};
+use lr_tensor::Field;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -41,7 +62,24 @@ pub enum AdmissionPolicy {
     ShedOldest,
 }
 
-/// Micro-batching and admission configuration.
+/// Which worker pool shard dispatchers execute batches on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// Each shard owns a dedicated [`PoolPartition`] — disjoint worker
+    /// threads, isolated from the global pool and from sibling shards.
+    /// Co-located training on the global pool cannot head-of-line-block
+    /// serving. The default.
+    #[default]
+    Partitioned,
+    /// All shards execute on the process-global pool, contending with any
+    /// co-located training, but with a **bounded** submission wait
+    /// ([`BatchPolicy::pool_wait`]): when the pool's job slot stays busy
+    /// past the deadline the batch is shed ([`ServeError::Shed`]) instead
+    /// of hanging. Saves the partition threads on small boxes.
+    SharedGlobal,
+}
+
+/// Micro-batching, sharding, and admission configuration.
 #[derive(Clone, Debug)]
 pub struct BatchPolicy {
     /// Most requests coalesced into one executed batch.
@@ -49,7 +87,7 @@ pub struct BatchPolicy {
     /// How long the dispatcher waits after draining the first request of a
     /// batch for more arrivals before executing a partial batch.
     pub max_delay: Duration,
-    /// Queue-depth cap (requests waiting, not yet picked up).
+    /// Per-shard queue-depth cap (requests waiting, not yet picked up).
     pub queue_cap: usize,
     /// Behavior at the queue cap.
     pub admission: AdmissionPolicy,
@@ -57,9 +95,19 @@ pub struct BatchPolicy {
     /// hot model from starving the rest. Admission failures count as
     /// rejections regardless of [`BatchPolicy::admission`].
     pub per_model_inflight_cap: usize,
-    /// Worker contexts the batch is sharded over. Defaults to the
-    /// persistent pool width ([`parallel::threads`]).
+    /// Total worker contexts across all shards (each shard gets its share,
+    /// at least one). Defaults to the persistent pool width
+    /// ([`parallel::threads`]).
     pub workers: usize,
+    /// Number of shards: dispatcher threads, each with its own queue and
+    /// worker contexts.
+    pub shards: usize,
+    /// Where batches execute ([`PoolMode`]).
+    pub pool: PoolMode,
+    /// Bounded submission wait for [`PoolMode::SharedGlobal`]: how long a
+    /// dispatcher waits for the global pool's job slot before shedding the
+    /// batch. Ignored under [`PoolMode::Partitioned`].
+    pub pool_wait: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -71,6 +119,9 @@ impl Default for BatchPolicy {
             admission: AdmissionPolicy::RejectNew,
             per_model_inflight_cap: 64,
             workers: parallel::threads(),
+            shards: 1,
+            pool: PoolMode::Partitioned,
+            pool_wait: Duration::from_millis(250),
         }
     }
 }
@@ -78,18 +129,20 @@ impl Default for BatchPolicy {
 /// Why a request was not served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServeError {
-    /// Admission refused the request: the queue is at capacity under
-    /// [`AdmissionPolicy::RejectNew`].
+    /// Admission refused the request: the target shard's queue is at
+    /// capacity under [`AdmissionPolicy::RejectNew`].
     QueueFull,
     /// Admission refused the request: the target model is at its
     /// in-flight cap.
     ModelBusy,
-    /// The request was queued, then dropped to admit newer work
-    /// ([`AdmissionPolicy::ShedOldest`]).
+    /// The request was queued, then dropped — to admit newer work
+    /// ([`AdmissionPolicy::ShedOldest`]), or because the shared pool
+    /// stayed busy past [`BatchPolicy::pool_wait`].
     Shed,
     /// The server is shutting (or has shut) down.
     ShuttingDown,
-    /// The handle does not name a registered model.
+    /// The handle does not name a live registered model (never registered,
+    /// or retired).
     UnknownModel,
     /// Inference panicked while serving this request's batch; the request
     /// was failed rather than silently dropped and the server keeps
@@ -111,7 +164,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ModelBusy => write!(f, "model at its in-flight cap"),
             ServeError::Shed => write!(f, "request shed to admit newer work"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
-            ServeError::UnknownModel => write!(f, "unknown model handle"),
+            ServeError::UnknownModel => write!(f, "unknown or retired model handle"),
             ServeError::Internal => write!(f, "inference panicked while serving the batch"),
             ServeError::ShapeMismatch { expected, got } => {
                 write!(
@@ -139,6 +192,17 @@ enum Stage {
 struct SlotState {
     stage: Stage,
     model: ModelId,
+    /// The registry entry this request was admitted against: an in-flight
+    /// request completes on its own version even if the registry flips or
+    /// the entry is retired while it is queued.
+    entry: Option<Arc<RegisteredModel>>,
+    /// Bumped on every submission staged into this reusable slot. Panic
+    /// recovery captures the ticket of each drained request and only
+    /// fails a slot whose ticket still matches — a client that already
+    /// got its response and re-submitted into the same slot must not
+    /// have its *new* request failed (or its in-flight count released
+    /// twice) by the recovery of the old batch.
+    ticket: u64,
     input: Field,
     logits: Vec<f64>,
     enqueued_at: Instant,
@@ -159,6 +223,8 @@ impl RequestSlot {
             state: Mutex::new(SlotState {
                 stage: Stage::Idle,
                 model: ModelId(0),
+                entry: None,
+                ticket: 0,
                 input: Field::zeros(1, 1),
                 logits: Vec::new(),
                 enqueued_at: Instant::now(),
@@ -184,35 +250,129 @@ impl RequestSlot {
     }
 }
 
-/// Queue state guarded by the queue mutex.
+/// One shard's queue state, guarded by the shard queue mutex.
 #[derive(Debug)]
-struct QueueState {
+struct ShardQueue {
     queue: VecDeque<Arc<RequestSlot>>,
-    /// Queued + executing requests per model (registry order).
-    inflight: Vec<usize>,
     shutdown: bool,
 }
 
-/// Shared core between the server handle, clients, and the dispatcher.
-struct ServerCore {
-    registry: ModelRegistry,
-    policy: BatchPolicy,
-    queue: Mutex<QueueState>,
-    /// Signals the dispatcher that work (or shutdown) arrived.
+/// One serving shard: its own queue, dispatcher wake-up, workspace-
+/// delivery mailbox, and (lock-free readable) queue depth for steal
+/// decisions.
+struct Shard {
+    queue: Mutex<ShardQueue>,
+    /// Signals this shard's dispatcher that work (or shutdown, or a hot
+    /// sibling worth stealing from) arrived.
     work_cv: Condvar,
-    metrics: MetricsCore,
+    /// Mirror of `queue.len()`, readable without the lock; siblings use it
+    /// to decide whether this shard is hot enough to steal from.
+    depth: AtomicUsize,
+    /// Warmed per-worker workspaces for live-registered models, pushed by
+    /// the registering thread **before** the new snapshot is published and
+    /// adopted by the dispatcher after each drain, before execution — so
+    /// any drained request's workspaces are already adopted or pending.
+    mailbox: Mutex<Vec<(ModelId, Vec<VariantWorkspace>)>>,
 }
 
-impl ServerCore {
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+impl Shard {
+    fn new(queue_cap: usize) -> Shard {
+        Shard {
+            queue: Mutex::new(ShardQueue {
+                // One extra slot so shed-oldest can momentarily hold both
+                // the victim and its replacement without growing.
+                queue: VecDeque::with_capacity(queue_cap + 1),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            mailbox: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, ShardQueue> {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
+/// Shared core between the server handle, clients, and the dispatchers.
+struct ServerCore {
+    registry: SharedRegistry,
+    policy: BatchPolicy,
+    shards: Vec<Shard>,
+    /// Worker-context count per shard (fixed at start; registration uses
+    /// it to size workspace deliveries).
+    ctxs_per_shard: Vec<usize>,
+    /// Per-model in-flight counters (queued + executing), global across
+    /// shards so stolen requests stay accounted. Grown under the registry
+    /// write lock; loaded per request (an `Arc` clone — no allocation).
+    inflight: ArcSwap<Vec<Arc<AtomicUsize>>>,
+    metrics: MetricsCore,
+}
+
+impl ServerCore {
+    fn shard_of(&self, model: ModelId) -> usize {
+        model.0 % self.shards.len()
+    }
+
+    /// Queue depth at which a shard counts as hot: idle siblings steal
+    /// from it, and enqueues wake idle siblings.
+    fn hot_threshold(&self) -> usize {
+        self.policy.max_batch.min(self.policy.queue_cap).max(1)
+    }
+
+    /// Claims one in-flight slot for `model`; false when the cap is hit.
+    fn inflight_try_acquire(&self, model: ModelId) -> bool {
+        let counters = self.inflight.load_full();
+        let counter = &counters[model.0];
+        if counter.fetch_add(1, Ordering::Relaxed) >= self.policy.per_model_inflight_cap {
+            counter.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn inflight_release(&self, model: ModelId) {
+        self.inflight.load_full()[model.0].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Wakes sibling dispatchers when shard `s` just became hot.
+    /// Wakes sibling dispatchers when shard `s` just became hot. The
+    /// notify happens while holding each sibling's queue mutex: an idle
+    /// dispatcher re-checks [`ServerCore::any_sibling_hot`] under that
+    /// same mutex immediately before its untimed wait, so the wakeup
+    /// cannot fall into the check-to-wait gap (no lost-wakeup, no
+    /// polling). The caller holds no locks here, and no path ever holds
+    /// two queue mutexes at once, so the acquisition is cycle-free.
+    fn notify_siblings_if_hot(&self, s: usize) {
+        if self.shards.len() > 1
+            && self.shards[s].depth.load(Ordering::Relaxed) >= self.hot_threshold()
+        {
+            for (t, shard) in self.shards.iter().enumerate() {
+                if t != s {
+                    let _q = shard.lock_queue();
+                    shard.work_cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// True when any shard other than `s` is at or past the hot
+    /// threshold (lock-free depth reads).
+    fn any_sibling_hot(&self, s: usize) -> bool {
+        let hot = self.hot_threshold();
+        self.shards
+            .iter()
+            .enumerate()
+            .any(|(t, shard)| t != s && shard.depth.load(Ordering::Relaxed) >= hot)
+    }
+}
+
 /// One worker's execution context: a reusable workspace per registered
-/// model, sized and warmed at server start.
+/// model (slot index = [`ModelId`]), sized and warmed at server start or,
+/// for live registrations, by the registering thread before delivery.
 struct WorkerCtx {
     workspaces: Vec<VariantWorkspace>,
 }
@@ -248,11 +408,8 @@ impl Transport for InProcessClient {
         input: &Field,
         logits: &mut Vec<f64>,
     ) -> Result<(), ServeError> {
-        let entry = self
-            .core
-            .registry
-            .get(model)
-            .ok_or(ServeError::UnknownModel)?;
+        let snapshot = self.core.registry.load();
+        let entry = snapshot.get(model).ok_or(ServeError::UnknownModel)?;
         if entry.shape() != input.shape() {
             return Err(ServeError::ShapeMismatch {
                 expected: entry.shape(),
@@ -268,6 +425,8 @@ impl Transport for InProcessClient {
                 "client reused while a request is in flight"
             );
             st.model = model;
+            st.entry = Some(Arc::clone(entry));
+            st.ticket = st.ticket.wrapping_add(1);
             if st.input.shape() != input.shape() {
                 st.input = input.clone();
             } else {
@@ -276,49 +435,64 @@ impl Transport for InProcessClient {
             st.enqueued_at = Instant::now();
             st.stage = Stage::Queued;
         }
-        // Admission (queue lock only — never while holding the slot lock).
+        // Per-model cap first (atomic, shard-independent) ...
+        if !self.core.inflight_try_acquire(model) {
+            let mut st = self.slot.lock();
+            st.stage = Stage::Idle;
+            st.entry = None;
+            drop(st);
+            self.core.metrics.record_rejected();
+            return Err(ServeError::ModelBusy);
+        }
+        // ... then shard admission (queue lock only — never while holding
+        // the slot lock).
+        let shard_idx = self.core.shard_of(model);
+        let shard = &self.core.shards[shard_idx];
         let admitted = {
-            let mut q = self.core.lock_queue();
+            let mut q = shard.lock_queue();
             if q.shutdown {
                 Err(ServeError::ShuttingDown)
-            } else if q.inflight[model.0] >= self.core.policy.per_model_inflight_cap {
-                Err(ServeError::ModelBusy)
             } else if q.queue.len() >= self.core.policy.queue_cap {
                 match self.core.policy.admission {
                     AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
                     AdmissionPolicy::ShedOldest => {
                         let victim = q.queue.pop_front().expect("cap > 0 so queue non-empty");
-                        let victim_model = victim.lock().model;
-                        q.inflight[victim_model.0] -= 1;
-                        q.inflight[model.0] += 1;
                         q.queue.push_back(Arc::clone(&self.slot));
-                        self.core.metrics.record_shed();
+                        shard.depth.store(q.queue.len(), Ordering::Relaxed);
                         // Fail the victim outside the queue lock.
                         Ok(Some(victim))
                     }
                 }
             } else {
-                q.inflight[model.0] += 1;
                 q.queue.push_back(Arc::clone(&self.slot));
+                shard.depth.store(q.queue.len(), Ordering::Relaxed);
                 Ok(None)
             }
         };
         match admitted {
             Err(e) => {
-                self.slot.lock().stage = Stage::Idle;
+                let mut st = self.slot.lock();
+                st.stage = Stage::Idle;
+                st.entry = None;
+                drop(st);
+                self.core.inflight_release(model);
                 if e != ServeError::ShuttingDown {
                     self.core.metrics.record_rejected();
                 }
                 return Err(e);
             }
             Ok(victim) => {
-                self.core.work_cv.notify_all();
+                shard.work_cv.notify_all();
+                self.core.notify_siblings_if_hot(shard_idx);
                 if let Some(victim) = victim {
+                    let victim_model = victim.lock().model;
+                    self.core.inflight_release(victim_model);
+                    self.core.metrics.record_shed();
                     victim.fail(ServeError::Shed);
                 }
             }
         }
-        // Wait for the batcher to fill our slot.
+        // Wait for a dispatcher to fill our slot.
         let mut st = self.slot.lock();
         while st.stage == Stage::Queued {
             st = self
@@ -329,6 +503,10 @@ impl Transport for InProcessClient {
         }
         let outcome = st.stage;
         st.stage = Stage::Idle;
+        // Drop the pinned entry now that the request is settled: an idle
+        // client must not keep a retired model's memory alive (an Arc
+        // refcount drop — never an allocation).
+        st.entry = None;
         match outcome {
             Stage::Done => {
                 logits.clear();
@@ -341,23 +519,23 @@ impl Transport for InProcessClient {
     }
 }
 
-/// The serving runtime handle: owns the dispatcher thread and exposes
-/// clients, statistics, and shutdown.
+/// The serving runtime handle: owns the dispatcher threads and exposes
+/// clients, live registration, statistics, and shutdown.
 pub struct Server {
     core: Arc<ServerCore>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts serving `registry` under `policy`: spawns the dispatcher
-    /// thread, builds one workspace per `(worker, model)` pair, and warms
-    /// every workspace with a dummy pass so the first real request hits a
-    /// fully warm path.
+    /// Starts serving `registry` under `policy`: spawns one dispatcher per
+    /// shard, builds one workspace per `(shard, worker, model)` triple,
+    /// and warms every workspace with a dummy pass so the first real
+    /// request hits a fully warm path.
     ///
     /// # Panics
     ///
     /// Panics if the registry is empty or the policy has a zero
-    /// `max_batch`, `queue_cap`, or `per_model_inflight_cap`.
+    /// `max_batch`, `queue_cap`, `per_model_inflight_cap`, or `shards`.
     pub fn start(registry: ModelRegistry, policy: BatchPolicy) -> Server {
         assert!(
             !registry.is_empty(),
@@ -369,66 +547,186 @@ impl Server {
             policy.per_model_inflight_cap > 0,
             "per_model_inflight_cap must be positive"
         );
-        let workers = policy.workers.max(1);
+        assert!(policy.shards > 0, "shards must be positive");
+        let num_shards = policy.shards;
+        let total_ctxs = policy.workers.max(1);
+        // Spread worker contexts across shards, at least one each.
+        let base = total_ctxs / num_shards;
+        let extra = total_ctxs % num_shards;
+        let ctxs_per_shard: Vec<usize> = (0..num_shards)
+            .map(|i| (base + usize::from(i < extra)).max(1))
+            .collect();
+
         let num_models = registry.len();
+        let shared = SharedRegistry::new(registry);
+        let snapshot = shared.load();
         let core = Arc::new(ServerCore {
-            metrics: MetricsCore::new(num_models),
-            queue: Mutex::new(QueueState {
-                // One extra slot so shed-oldest can momentarily hold both
-                // the victim and its replacement without growing.
-                queue: VecDeque::with_capacity(policy.queue_cap + 1),
-                inflight: vec![0; num_models],
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
+            metrics: MetricsCore::new(num_models, num_shards),
+            inflight: ArcSwap::from_pointee(
+                (0..num_models)
+                    .map(|_| Arc::new(AtomicUsize::new(0)))
+                    .collect(),
+            ),
+            shards: (0..num_shards)
+                .map(|_| Shard::new(policy.queue_cap))
+                .collect(),
+            ctxs_per_shard: ctxs_per_shard.clone(),
             policy,
-            registry,
+            registry: shared,
         });
 
-        // Build and warm per-worker contexts: every (worker, model)
-        // workspace plus each worker's logits staging runs one dummy
-        // inference so the serve path starts fully allocated.
-        let mut ctxs: Vec<WorkerCtx> = (0..workers)
-            .map(|_| WorkerCtx {
-                workspaces: core
-                    .registry
-                    .iter()
-                    .map(|(_, e)| e.make_workspace())
-                    .collect(),
-            })
-            .collect();
-        for ctx in &mut ctxs {
-            let mut probe = Vec::new();
-            for (id, entry) in core.registry.iter() {
-                let (rows, cols) = entry.shape();
-                entry.infer_into(
-                    &Field::ones(rows, cols),
-                    &mut ctx.workspaces[id.0],
-                    &mut probe,
-                );
-            }
+        // Build and warm per-shard worker contexts: every (worker, model)
+        // workspace runs one dummy inference so the serve path starts
+        // fully allocated, then spawn the dispatchers.
+        let mut dispatchers = Vec::with_capacity(num_shards);
+        for (s, &ctx_count) in ctxs_per_shard.iter().enumerate() {
+            let ctxs: Vec<WorkerCtx> = (0..ctx_count)
+                .map(|_| WorkerCtx {
+                    workspaces: snapshot
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            e.as_ref()
+                                .expect("fresh snapshot has no tombstones")
+                                .warmed_workspace()
+                        })
+                        .collect(),
+                })
+                .collect();
+            let partition = match core.policy.pool {
+                PoolMode::Partitioned if ctx_count > 1 => Some(PoolPartition::new(ctx_count - 1)),
+                _ => None,
+            };
+            let dispatcher_core = Arc::clone(&core);
+            let handle = std::thread::Builder::new()
+                .name(format!("lr-serve-shard{s}"))
+                .spawn(move || dispatcher_loop(dispatcher_core, s, ctxs, partition))
+                .expect("failed to spawn an lr-serve shard dispatcher");
+            dispatchers.push(handle);
         }
-
-        let dispatcher_core = Arc::clone(&core);
-        let dispatcher = std::thread::Builder::new()
-            .name("lr-serve-batcher".to_string())
-            .spawn(move || dispatcher_loop(dispatcher_core, ctxs))
-            .expect("failed to spawn the lr-serve dispatcher");
-        Server {
-            core,
-            dispatcher: Some(dispatcher),
-        }
+        Server { core, dispatchers }
     }
 
-    /// Resolves a registered model by name (highest version when `version`
-    /// is `None`).
+    /// Resolves a live registered model by name (highest live version when
+    /// `version` is `None`).
     pub fn resolve(&self, name: &str, version: Option<u32>) -> Option<ModelId> {
-        self.core.registry.resolve(name, version)
+        self.core.registry.load().resolve(name, version)
     }
 
-    /// The registry being served.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.core.registry
+    /// Current registry epoch: 0 at start, bumped by every live
+    /// registration or retirement.
+    pub fn epoch(&self) -> u64 {
+        self.core.registry.load().epoch
+    }
+
+    /// Number of live (non-retired) model variants.
+    pub fn live_models(&self) -> usize {
+        self.core.registry.load().iter_live().count()
+    }
+
+    /// Registers a digital-emulation variant on the **running** server —
+    /// no queue drain, no pause; see [`Server::register_entry`] mechanics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name@version` is already live.
+    pub fn register_emulated(
+        &self,
+        name: &str,
+        version: u32,
+        model: DonnModel,
+        readout: crate::registry::ReadoutMode,
+    ) -> ModelId {
+        self.register_entry(RegisteredModel::emulated(name, version, model, readout))
+    }
+
+    /// Deploys and registers a hardware-emulated bench variant on the
+    /// **running** server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name@version` is already live.
+    pub fn register_physical(
+        &self,
+        name: &str,
+        version: u32,
+        model: &DonnModel,
+        env: &HardwareEnvironment,
+    ) -> ModelId {
+        self.register_entry(RegisteredModel::physical(name, version, model, env))
+    }
+
+    /// Live registration: prewarms the entry (FFT plans, transfer
+    /// kernels), builds and warms per-worker workspaces for every shard,
+    /// delivers them via the shard mailboxes, grows the per-model
+    /// accounting, and only then publishes the new snapshot with one
+    /// atomic pointer flip. In-flight traffic is never paused; the first
+    /// request against the new model hits a fully warm path.
+    fn register_entry(&self, entry: RegisteredModel) -> ModelId {
+        let core = &self.core;
+        let _write = core.registry.begin_write();
+        let snapshot = core.registry.load();
+        assert!(
+            snapshot
+                .resolve(entry.name(), Some(entry.version()))
+                .is_none(),
+            "model {}@{} is already registered",
+            entry.name(),
+            entry.version()
+        );
+        entry.prewarm();
+        let id = ModelId(snapshot.entries.len());
+        let entry = Arc::new(entry);
+        // Deliver warmed workspaces to every shard *before* publishing:
+        // a request for `id` can only be admitted after the flip, and
+        // dispatchers adopt mailboxes after every drain, so adoption
+        // always precedes the first execution against `id`.
+        for (s, shard) in core.shards.iter().enumerate() {
+            let workspaces: Vec<VariantWorkspace> = (0..core.ctxs_per_shard[s])
+                .map(|_| entry.warmed_workspace())
+                .collect();
+            shard
+                .mailbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((id, workspaces));
+        }
+        // Grow per-model accounting before the id becomes visible.
+        {
+            let counters = core.inflight.load_full();
+            let mut next = Vec::with_capacity(counters.len() + 1);
+            next.extend(counters.iter().cloned());
+            next.push(Arc::new(AtomicUsize::new(0)));
+            core.inflight.store(Arc::new(next));
+        }
+        core.metrics.grow_models();
+        let mut entries = snapshot.entries.clone();
+        entries.push(Some(Arc::clone(&entry)));
+        core.registry.publish(RegistrySnapshot {
+            epoch: snapshot.epoch + 1,
+            entries,
+        });
+        id
+    }
+
+    /// Retires a live model: one atomic snapshot flip. New submissions
+    /// against `id` fail with [`ServeError::UnknownModel`]; requests
+    /// already admitted complete normally on their pinned entry (no queue
+    /// drain). Returns false when `id` was not live.
+    pub fn retire(&self, id: ModelId) -> bool {
+        let core = &self.core;
+        let _write = core.registry.begin_write();
+        let snapshot = core.registry.load();
+        if snapshot.get(id).is_none() {
+            return false;
+        }
+        let mut entries = snapshot.entries.clone();
+        entries[id.0] = None;
+        core.registry.publish(RegistrySnapshot {
+            epoch: snapshot.epoch + 1,
+            entries,
+        });
+        true
     }
 
     /// Creates a new in-process client with its own reusable request slot.
@@ -439,35 +737,39 @@ impl Server {
         }
     }
 
-    /// Snapshot of throughput, latency quantiles, and admission counters.
+    /// Snapshot of throughput, latency quantiles, admission counters, and
+    /// per-shard/per-model breakdowns.
     pub fn stats(&self) -> ServerStats {
-        let names: Vec<(String, u32)> = self
-            .core
-            .registry
-            .iter()
-            .map(|(_, e)| (e.name().to_string(), e.version()))
+        let snapshot = self.core.registry.load();
+        let live: Vec<(ModelId, String, u32)> = snapshot
+            .iter_live()
+            .map(|(id, e)| (id, e.name().to_string(), e.version()))
             .collect();
-        self.core.metrics.snapshot(&names)
+        self.core.metrics.snapshot(snapshot.epoch, &live)
     }
 
     /// Stops accepting requests, fails everything still queued with
-    /// [`ServeError::ShuttingDown`], and joins the dispatcher.
+    /// [`ServeError::ShuttingDown`], and joins the dispatchers.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        {
-            let mut q = self.core.lock_queue();
+        for shard in &self.core.shards {
+            let mut q = shard.lock_queue();
             q.shutdown = true;
         }
-        self.core.work_cv.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
+        for shard in &self.core.shards {
+            shard.work_cv.notify_all();
+        }
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
-        // Normally the dispatcher drained the queue on its way out; if it
-        // died some other way, make sure no client is left hanging.
-        drain_on_shutdown(self.core.lock_queue());
+        // Normally each dispatcher drained its queue on the way out; if
+        // one died some other way, make sure no client is left hanging.
+        for shard in &self.core.shards {
+            drain_on_shutdown(&self.core, shard, shard.lock_queue());
+        }
     }
 }
 
@@ -477,73 +779,179 @@ impl Drop for Server {
     }
 }
 
-/// The micro-batcher: drain → coalesce → execute, forever.
-fn dispatcher_loop(core: Arc<ServerCore>, mut ctxs: Vec<WorkerCtx>) {
-    let max_batch = core.policy.max_batch;
-    let max_delay = core.policy.max_delay;
-    let mut batch: Vec<Arc<RequestSlot>> = Vec::with_capacity(max_batch);
+/// What one `collect_batch` round produced.
+enum Collected {
+    /// `batch` holds work; `stolen` of it came from sibling queues.
+    Work {
+        stolen: usize,
+    },
+    Shutdown,
+}
+
+/// The per-shard micro-batcher: drain (or steal) → coalesce → adopt
+/// pending workspaces → execute, forever.
+fn dispatcher_loop(
+    core: Arc<ServerCore>,
+    shard_idx: usize,
+    mut ctxs: Vec<WorkerCtx>,
+    partition: Option<PoolPartition>,
+) {
+    let mut batch: Vec<Arc<RequestSlot>> = Vec::with_capacity(core.policy.max_batch);
+    let mut tickets: Vec<u64> = Vec::with_capacity(core.policy.max_batch);
     loop {
-        // Phase 1: collect a batch (queue lock held only while draining).
-        {
-            let mut q = core.lock_queue();
-            // Sleep until there is work or we are told to stop.
-            loop {
-                if q.shutdown {
-                    drain_on_shutdown(q);
-                    return;
-                }
-                if !q.queue.is_empty() {
-                    break;
-                }
-                q = core
-                    .work_cv
-                    .wait(q)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-            // Coalesce: drain what is there, then wait out the rest of the
-            // delay window for stragglers, up to max_batch.
-            let deadline = Instant::now() + max_delay;
-            loop {
-                while batch.len() < max_batch {
-                    match q.queue.pop_front() {
-                        Some(slot) => batch.push(slot),
-                        None => break,
-                    }
-                }
-                if batch.len() >= max_batch || q.shutdown {
-                    break;
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (guard, timeout) = core
-                    .work_cv
-                    .wait_timeout(q, deadline - now)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                q = guard;
-                if timeout.timed_out() && q.queue.is_empty() {
-                    break;
+        match collect_batch(&core, shard_idx, &mut batch) {
+            Collected::Shutdown => return,
+            Collected::Work { stolen } => {
+                if stolen > 0 {
+                    core.metrics.record_stolen(shard_idx, stolen as u64);
                 }
             }
         }
-
-        // Phase 2: execute, sharding the batch across worker contexts.
-        // (In-flight accounting is retired per request inside serve_one,
-        // *before* the client is woken — a sequential caller must never
-        // see its own just-completed request still counted against the
-        // per-model cap.)
-        //
+        // Snapshot each drained request's ticket: between here and
+        // execution the slots are exclusively ours (out of every queue,
+        // clients blocked), so the tickets identify exactly this batch's
+        // requests for panic recovery.
+        tickets.clear();
+        tickets.extend(batch.iter().map(|slot| slot.lock().ticket));
+        // Adopt after the drain: any request drained above was admitted
+        // after its workspaces were mailed (see `register_entry`), so the
+        // mailbox already holds anything the batch needs.
+        adopt_pending(&core.shards[shard_idx], &mut ctxs);
         // A panic escaping inference must not kill the dispatcher: blocked
         // clients would hang forever and the queue would never drain
         // again. Contain it, fail the unserved slots, and keep serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_batch(&core, &mut ctxs, &batch);
+            execute_batch(&core, shard_idx, &mut ctxs, partition.as_ref(), &batch);
         }));
         if outcome.is_err() {
-            recover_failed_batch(&core, &batch);
+            recover_failed_batch(&core, &batch, &tickets);
         }
         batch.clear();
+    }
+}
+
+/// Blocks until this shard has work (filling `batch`), stealing from a hot
+/// sibling when the own queue stays empty, or until shutdown.
+fn collect_batch(
+    core: &ServerCore,
+    shard_idx: usize,
+    batch: &mut Vec<Arc<RequestSlot>>,
+) -> Collected {
+    let shard = &core.shards[shard_idx];
+    let max_batch = core.policy.max_batch;
+    let max_delay = core.policy.max_delay;
+    let mut q = shard.lock_queue();
+    loop {
+        if q.shutdown {
+            drain_on_shutdown(core, shard, q);
+            return Collected::Shutdown;
+        }
+        if !q.queue.is_empty() {
+            break;
+        }
+        // Nothing local: scan siblings for a hot queue before sleeping.
+        drop(q);
+        let stolen = steal_from_hot_sibling(core, shard_idx, batch);
+        if stolen > 0 {
+            return Collected::Work { stolen };
+        }
+        q = shard.lock_queue();
+        // Re-check sibling hotness *under our own queue mutex* before the
+        // untimed wait: `notify_siblings_if_hot` notifies while holding
+        // this same mutex, so a sibling going hot either happens before
+        // this check (we loop and steal) or its notify blocks until we
+        // are actually waiting (we are woken) — no lost wakeup, and no
+        // idle polling.
+        if q.queue.is_empty() && !q.shutdown && !core.any_sibling_hot(shard_idx) {
+            q = shard
+                .work_cv
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    // Coalesce: drain what is there, then wait out the rest of the delay
+    // window for stragglers, up to max_batch.
+    let deadline = Instant::now() + max_delay;
+    loop {
+        while batch.len() < max_batch {
+            match q.queue.pop_front() {
+                Some(slot) => batch.push(slot),
+                None => break,
+            }
+        }
+        shard.depth.store(q.queue.len(), Ordering::Relaxed);
+        if batch.len() >= max_batch || q.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shard
+            .work_cv
+            .wait_timeout(q, deadline - now)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        q = guard;
+        if timeout.timed_out() && q.queue.is_empty() {
+            break;
+        }
+    }
+    shard.depth.store(q.queue.len(), Ordering::Relaxed);
+    Collected::Work { stolen: 0 }
+}
+
+/// Steals the front half of the first hot sibling queue (oldest requests
+/// first — they are closest to their latency budget). Returns how many
+/// requests landed in `batch`.
+fn steal_from_hot_sibling(
+    core: &ServerCore,
+    shard_idx: usize,
+    batch: &mut Vec<Arc<RequestSlot>>,
+) -> usize {
+    let num_shards = core.shards.len();
+    if num_shards == 1 {
+        return 0;
+    }
+    let hot = core.hot_threshold();
+    for offset in 1..num_shards {
+        let t = (shard_idx + offset) % num_shards;
+        let sibling = &core.shards[t];
+        if sibling.depth.load(Ordering::Relaxed) < hot {
+            continue;
+        }
+        let mut q = sibling.lock_queue();
+        if q.shutdown {
+            continue;
+        }
+        let take = q.queue.len().div_ceil(2).min(core.policy.max_batch);
+        for _ in 0..take {
+            batch.push(q.queue.pop_front().expect("len checked above"));
+        }
+        sibling.depth.store(q.queue.len(), Ordering::Relaxed);
+        if take > 0 {
+            return take;
+        }
+    }
+    0
+}
+
+/// Adopts workspace deliveries for live-registered models into this
+/// shard's worker contexts. Ids are append-only and mailed in
+/// registration order, so adoption is a push per worker.
+fn adopt_pending(shard: &Shard, ctxs: &mut [WorkerCtx]) {
+    let mut mail = shard
+        .mailbox
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if mail.is_empty() {
+        return;
+    }
+    for (id, workspaces) in mail.drain(..) {
+        debug_assert_eq!(workspaces.len(), ctxs.len());
+        for (ctx, ws) in ctxs.iter_mut().zip(workspaces) {
+            debug_assert_eq!(ctx.workspaces.len(), id.0, "mailbox out of id order");
+            ctx.workspaces.push(ws);
+        }
     }
 }
 
@@ -551,71 +959,111 @@ fn dispatcher_loop(core: Arc<ServerCore>, mut ctxs: Vec<WorkerCtx>) {
 /// already `Done` (and had their in-flight accounting retired inside
 /// `serve_one` — nothing in serve_one can panic *between* the decrement
 /// and `Done`), so only slots still `Queued` need failing and retiring.
-fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>]) {
-    for slot in batch {
+/// The ticket check guards against a served client that already
+/// re-submitted into the same reusable slot: its new request (`Queued`
+/// again, but with a newer ticket) belongs to a different batch and must
+/// not be failed or double-released here.
+fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>], tickets: &[u64]) {
+    debug_assert_eq!(batch.len(), tickets.len());
+    for (slot, &ticket) in batch.iter().zip(tickets) {
         let model = {
-            let st = slot.lock();
-            if st.stage != Stage::Queued {
+            let mut st = slot.lock();
+            if st.stage != Stage::Queued || st.ticket != ticket {
                 continue;
             }
+            st.stage = Stage::Failed(ServeError::Internal);
             st.model
         };
-        {
-            let mut q = core.lock_queue();
-            q.inflight[model.0] -= 1;
-        }
-        slot.fail(ServeError::Internal);
+        core.inflight_release(model);
+        slot.cv.notify_all();
     }
 }
 
 /// Fails every queued request on shutdown. Consumes the queue guard.
-fn drain_on_shutdown(mut q: MutexGuard<'_, QueueState>) {
+fn drain_on_shutdown(core: &ServerCore, shard: &Shard, mut q: MutexGuard<'_, ShardQueue>) {
     let mut leftovers: Vec<Arc<RequestSlot>> = Vec::with_capacity(q.queue.len());
     while let Some(slot) = q.queue.pop_front() {
-        let model = slot.lock().model;
-        q.inflight[model.0] -= 1;
         leftovers.push(slot);
     }
+    shard.depth.store(0, Ordering::Relaxed);
     drop(q);
     for slot in leftovers {
+        let model = slot.lock().model;
+        core.inflight_release(model);
         slot.fail(ServeError::ShuttingDown);
     }
 }
 
-/// Runs one batch: contiguous shards per worker, each through its own
-/// per-model workspaces. Zero allocations in steady state.
-fn execute_batch(core: &ServerCore, ctxs: &mut [WorkerCtx], batch: &[Arc<RequestSlot>]) {
+/// Sheds a whole batch because the shared pool's job slot stayed busy past
+/// the bounded submission wait (nothing in the batch has executed).
+fn shed_batch_on_pool_timeout(core: &ServerCore, batch: &[Arc<RequestSlot>]) {
+    core.metrics.record_pool_timeout();
+    for slot in batch {
+        let model = slot.lock().model;
+        core.inflight_release(model);
+        core.metrics.record_shed();
+        slot.fail(ServeError::Shed);
+    }
+}
+
+/// Runs one batch: contiguous sub-ranges per worker context, each through
+/// its own per-model workspaces. Zero allocations in steady state.
+fn execute_batch(
+    core: &ServerCore,
+    shard_idx: usize,
+    ctxs: &mut [WorkerCtx],
+    partition: Option<&PoolPartition>,
+    batch: &[Arc<RequestSlot>],
+) {
     let n = batch.len();
     if n == 0 {
         return;
     }
     let workers = ctxs.len().min(n).max(1);
-    let shard = n.div_ceil(workers);
-    parallel::par_chunks_mut(&mut ctxs[..workers], |w, ctx| {
-        let start = (w * shard).min(n);
-        let end = ((w + 1) * shard).min(n);
+    let per_worker = n.div_ceil(workers);
+    let serve = |w: usize, ctx: &mut WorkerCtx| {
+        let start = (w * per_worker).min(n);
+        let end = ((w + 1) * per_worker).min(n);
         for slot in &batch[start..end] {
-            serve_one(core, ctx, slot);
+            serve_one(core, shard_idx, ctx, slot);
         }
-    });
-    core.metrics.record_batch();
+    };
+    let submitted: Result<(), SubmitTimeout> = if workers <= 1 {
+        serve(0, &mut ctxs[0]);
+        Ok(())
+    } else if let Some(partition) = partition {
+        // Dedicated partition: this dispatcher is the only submitter, so
+        // the job slot is always free.
+        partition.par_chunks_mut(&mut ctxs[..workers], serve);
+        Ok(())
+    } else {
+        // Shared global pool: bounded wait so a long-running training job
+        // holding the slot surfaces as shed requests, never as a hang.
+        parallel::try_par_chunks_mut_for(core.policy.pool_wait, &mut ctxs[..workers], serve)
+    };
+    match submitted {
+        Ok(()) => core.metrics.record_batch(shard_idx),
+        Err(SubmitTimeout) => shed_batch_on_pool_timeout(core, batch),
+    }
 }
 
 /// Serves a single request into its slot and wakes the client.
 ///
-/// Once a slot has been drained out of the queue nothing else can fail it
+/// Once a slot has been drained out of a queue nothing else can fail it
 /// (shed and shutdown only touch queued entries), so its stage here is
-/// always `Queued`; the compute happens under the slot lock, the in-flight
-/// decrement under the queue lock, and only then is the client woken —
-/// never both locks at once (ordering stays queue → slot elsewhere).
-fn serve_one(core: &ServerCore, ctx: &mut WorkerCtx, slot: &RequestSlot) {
+/// always `Queued`; the compute happens under the slot lock against the
+/// slot's own pinned entry (version-flip safe), the in-flight decrement is
+/// atomic, and only then is the client woken.
+fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &RequestSlot) {
     let (model, latency_ns) = {
         let mut st = slot.lock();
         debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
-        let model = st.model;
-        let entry = core.registry.entry(model);
-        // Split the slot borrow: input read-only, logits written in place.
         let state = &mut *st;
+        let model = state.model;
+        let entry = state
+            .entry
+            .as_ref()
+            .expect("queued slot carries its pinned entry");
         entry.infer_into(
             &state.input,
             &mut ctx.workspaces[model.0],
@@ -626,14 +1074,15 @@ fn serve_one(core: &ServerCore, ctx: &mut WorkerCtx, slot: &RequestSlot) {
             u64::try_from(state.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
         )
     };
-    {
-        let mut q = core.lock_queue();
-        q.inflight[model.0] -= 1;
-    }
+    // Retire in-flight accounting *before* the client is woken — a
+    // sequential caller must never see its own just-completed request
+    // still counted against the per-model cap.
+    core.inflight_release(model);
     let mut st = slot.lock();
     st.stage = Stage::Done;
     drop(st);
-    core.metrics.record_completed(model.0, latency_ns);
+    core.metrics
+        .record_completed(shard_idx, model.0, latency_ns);
     slot.cv.notify_all();
 }
 
@@ -659,8 +1108,10 @@ mod tests {
         let id = registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
         let server = Server::start(registry, BatchPolicy::default());
 
-        // A batch of two drained slots mid-execution: one already served,
-        // one still queued when the (simulated) panic hit.
+        // A batch of three drained slots mid-execution: one already
+        // served, one still queued when the (simulated) panic hit, and
+        // one whose client was served and already re-submitted into the
+        // reused slot (stage Queued again, but a *newer* ticket).
         let served = Arc::new(RequestSlot::new());
         served.lock().stage = Stage::Done;
         let unserved = Arc::new(RequestSlot::new());
@@ -668,11 +1119,23 @@ mod tests {
             let mut st = unserved.lock();
             st.stage = Stage::Queued;
             st.model = id;
+            st.ticket = 7;
         }
-        server.core.lock_queue().inflight[id.0] = 1;
+        let resubmitted = Arc::new(RequestSlot::new());
+        {
+            let mut st = resubmitted.lock();
+            st.stage = Stage::Queued;
+            st.model = id;
+            st.ticket = 4; // batch captured ticket 3; the client re-submitted
+        }
+        server.core.inflight.load_full()[id.0].store(2, Ordering::Relaxed);
 
-        let batch = vec![Arc::clone(&served), Arc::clone(&unserved)];
-        recover_failed_batch(&server.core, &batch);
+        let batch = vec![
+            Arc::clone(&served),
+            Arc::clone(&unserved),
+            Arc::clone(&resubmitted),
+        ];
+        recover_failed_batch(&server.core, &batch, &[1, 7, 3]);
 
         assert_eq!(
             served.lock().stage,
@@ -680,7 +1143,16 @@ mod tests {
             "served slot must be untouched"
         );
         assert_eq!(unserved.lock().stage, Stage::Failed(ServeError::Internal));
-        assert_eq!(server.core.lock_queue().inflight[id.0], 0);
+        assert_eq!(
+            resubmitted.lock().stage,
+            Stage::Queued,
+            "a re-submitted request (newer ticket) must not be failed by old-batch recovery"
+        );
+        assert_eq!(
+            server.core.inflight.load_full()[id.0].load(Ordering::Relaxed),
+            1,
+            "exactly one in-flight release: the ticket-matched unserved slot"
+        );
         server.shutdown();
     }
 }

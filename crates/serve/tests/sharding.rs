@@ -1,0 +1,372 @@
+//! Integration tests for the sharded serving runtime: multi-shard
+//! bit-identical results, shed-oldest under shard imbalance, work stealing
+//! from a hot shard, and live registration / atomic version flips / retire
+//! without a queue drain.
+
+use lightridge::{Detector, DonnBuilder, DonnModel};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_serve::{
+    AdmissionPolicy, BatchPolicy, ModelRegistry, ReadoutMode, ServeError, Server, Transport,
+};
+use lr_tensor::{Complex64, Field};
+use std::time::Duration;
+
+fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
+    let grid = Grid::square(n, PixelPitch::from_um(36.0));
+    DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(25.0))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(n, n, 4, n / 6))
+        .init_seed(seed)
+        .build()
+}
+
+fn sample(n: usize, phase: usize) -> Field {
+    Field::from_fn(n, n, |r, c| {
+        Complex64::from_real(if (r + c + phase) % 5 < 2 { 1.0 } else { 0.0 })
+    })
+}
+
+#[test]
+fn sharded_results_bit_identical_to_direct_inference() {
+    // Three models across two shards, concurrent clients: routing, shard
+    // queues, and stealing must never leak into the numbers.
+    let model_a = donn(16, 2, 101);
+    let model_b = donn(24, 2, 102);
+    let model_c = donn(16, 1, 103);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("a", 1, model_a.clone(), ReadoutMode::Emulation);
+    registry.register_emulated("b", 1, model_b.clone(), ReadoutMode::Deployed);
+    registry.register_emulated("c", 1, model_c.clone(), ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..BatchPolicy::default()
+        },
+    );
+    let a = server.resolve("a", None).unwrap();
+    let b = server.resolve("b", None).unwrap();
+    let c = server.resolve("c", None).unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..6usize {
+            let server = &server;
+            let model_a = &model_a;
+            let model_b = &model_b;
+            let model_c = &model_c;
+            scope.spawn(move || {
+                let mut client = server.client();
+                let mut logits = Vec::new();
+                for phase in 0..5usize {
+                    match (t + phase) % 3 {
+                        0 => {
+                            let x = sample(16, phase);
+                            client.infer(a, &x, &mut logits).unwrap();
+                            assert_eq!(logits, model_a.infer(&x));
+                        }
+                        1 => {
+                            let x = sample(24, phase);
+                            client.infer(b, &x, &mut logits).unwrap();
+                            assert_eq!(logits, model_b.infer_deployed(&x));
+                        }
+                        _ => {
+                            let x = sample(16, phase);
+                            client.infer(c, &x, &mut logits).unwrap();
+                            assert_eq!(logits, model_c.infer(&x));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.completed, 30);
+    assert_eq!(stats.per_shard.len(), 2);
+    let shard_sum: u64 = stats.per_shard.iter().map(|s| s.completed).sum();
+    assert_eq!(
+        shard_sum, 30,
+        "every completion is attributed to exactly one shard"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shed_oldest_under_shard_imbalance() {
+    // One hot shard (all traffic targets model id 0 → shard 0), one idle
+    // shard. Under a tiny queue cap with ShedOldest, flooding the hot
+    // shard must only ever produce Ok or Shed outcomes, with the counters
+    // consistent — and the idle shard is allowed to rescue work by
+    // stealing, which the test surfaces via per-shard stats. Repeats
+    // rounds until a shed is observed (tiny cap + flood makes this fast).
+    let model = donn(16, 1, 111);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("hot", 1, model.clone(), ReadoutMode::Emulation);
+    registry.register_emulated("idle", 1, donn(16, 1, 112), ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 1,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 1,
+            admission: AdmissionPolicy::ShedOldest,
+            ..BatchPolicy::default()
+        },
+    );
+    let hot = server.resolve("hot", None).unwrap();
+
+    let mut total_ok = 0u64;
+    let mut total_shed = 0u64;
+    for _round in 0..20 {
+        let outcomes: Vec<Result<(), ServeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..24)
+                .map(|_| {
+                    let mut client = server.client();
+                    scope.spawn(move || {
+                        let mut logits = Vec::new();
+                        client.infer(hot, &sample(16, 0), &mut logits)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &outcomes {
+            assert!(
+                matches!(r, Ok(()) | Err(ServeError::Shed)),
+                "imbalanced flood must only complete or shed, got {r:?}"
+            );
+        }
+        total_ok += outcomes.iter().filter(|r| r.is_ok()).count() as u64;
+        total_shed += outcomes.iter().filter(|r| r.is_err()).count() as u64;
+        if total_shed > 0 {
+            break;
+        }
+    }
+    assert!(
+        total_shed > 0,
+        "tiny cap under flood must shed at least once"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.completed, total_ok);
+    assert_eq!(stats.shed, total_shed);
+    assert_eq!(stats.rejected, 0, "shed-oldest never rejects at admission");
+    // All traffic was affinity-routed to shard 0; anything shard 1
+    // completed, it stole.
+    assert_eq!(
+        stats.per_shard[1].completed, stats.per_shard[1].stolen,
+        "the idle shard only completes what it steals"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idle_shard_steals_from_hot_sibling() {
+    // All traffic targets shard 0; shard 1 is idle. With a coalescing
+    // window long enough for the hot queue to pile up past the hot
+    // threshold, the idle dispatcher must wake and steal. Repeats rounds
+    // until stealing is observed.
+    let model = donn(16, 1, 121);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("hot", 1, model.clone(), ReadoutMode::Emulation);
+    registry.register_emulated("idle", 1, donn(16, 1, 122), ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 2,
+            max_delay: Duration::from_millis(4),
+            queue_cap: 64,
+            admission: AdmissionPolicy::RejectNew,
+            ..BatchPolicy::default()
+        },
+    );
+    let hot = server.resolve("hot", None).unwrap();
+    let expected = model.infer(&sample(16, 0));
+
+    for round in 0..50 {
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let mut client = server.client();
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut logits = Vec::new();
+                    if client.infer(hot, &sample(16, 0), &mut logits).is_ok() {
+                        assert_eq!(&logits, expected, "stolen request changed the numbers");
+                    }
+                });
+            }
+        });
+        if server.stats().per_shard[1].stolen > 0 {
+            break;
+        }
+        assert!(
+            round < 49,
+            "idle shard never stole from the hot sibling in 50 rounds"
+        );
+    }
+    let stats = server.stats();
+    assert!(stats.per_shard[1].stolen > 0);
+    assert_eq!(
+        stats.per_shard[1].completed, stats.per_shard[1].stolen,
+        "the idle shard only completes stolen work"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn live_registration_flips_version_atomically_mid_stream() {
+    // Version flip mid-stream: requests in flight against v1 complete on
+    // v1 (bit-identical), requests after the flip resolve to v2
+    // (bit-identical), and nothing is drained or paused.
+    let model_v1 = donn(16, 2, 131);
+    let model_v2 = donn(16, 3, 132); // different depth → different logits
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, model_v1.clone(), ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..BatchPolicy::default()
+        },
+    );
+    let v1 = server.resolve("m", None).unwrap();
+    assert_eq!(server.epoch(), 0);
+
+    let expected_v1: Vec<Vec<f64>> = (0..8).map(|p| model_v1.infer(&sample(16, p))).collect();
+    let expected_v2: Vec<Vec<f64>> = (0..8).map(|p| model_v2.infer(&sample(16, p))).collect();
+
+    // Stream v1 traffic from several threads while the registration
+    // happens concurrently: every v1 request must keep completing on v1.
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let server = &server;
+            let expected_v1 = &expected_v1;
+            scope.spawn(move || {
+                let mut client = server.client();
+                let mut logits = Vec::new();
+                for round in 0..12usize {
+                    let p = (t + round) % 8;
+                    client.infer(v1, &sample(16, p), &mut logits).unwrap();
+                    assert_eq!(
+                        &logits, &expected_v1[p],
+                        "in-flight v1 stream must stay bit-identical to v1 across the flip"
+                    );
+                }
+            });
+        }
+        // Mid-stream: register v2 on the running server.
+        let server = &server;
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            let v2 = server.register_emulated("m", 2, model_v2.clone(), ReadoutMode::Emulation);
+            assert_eq!(
+                server.resolve("m", None),
+                Some(v2),
+                "latest version wins after the flip"
+            );
+        });
+    });
+    assert_eq!(server.epoch(), 1, "one registration = one epoch bump");
+
+    // Post-flip: unversioned resolve sees v2, explicit v1 still works.
+    let v2 = server.resolve("m", None).unwrap();
+    assert_ne!(v1, v2);
+    assert_eq!(server.resolve("m", Some(1)), Some(v1));
+    let mut client = server.client();
+    let mut logits = Vec::new();
+    for p in 0..8usize {
+        client.infer(v2, &sample(16, p), &mut logits).unwrap();
+        assert_eq!(
+            &logits, &expected_v2[p],
+            "v2 must be bit-identical to direct v2 inference"
+        );
+        client.infer(v1, &sample(16, p), &mut logits).unwrap();
+        assert_eq!(&logits, &expected_v1[p], "v1 stays servable until retired");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.per_model.len(), 2);
+    assert_eq!(stats.epoch, 1);
+    server.shutdown();
+}
+
+#[test]
+fn retire_refuses_new_requests_and_keeps_siblings_live() {
+    let model_v1 = donn(16, 1, 141);
+    let model_v2 = donn(16, 2, 142);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, model_v1.clone(), ReadoutMode::Emulation);
+    registry.register_emulated("m", 2, model_v2.clone(), ReadoutMode::Emulation);
+    let server = Server::start(registry, BatchPolicy::default());
+    let v1 = server.resolve("m", Some(1)).unwrap();
+    let v2 = server.resolve("m", Some(2)).unwrap();
+
+    let mut client = server.client();
+    let mut logits = Vec::new();
+    client.infer(v1, &sample(16, 0), &mut logits).unwrap();
+
+    assert!(server.retire(v1));
+    assert_eq!(server.epoch(), 1);
+    assert!(!server.retire(v1), "double retire reports not-live");
+    assert_eq!(server.epoch(), 1, "failed retire must not bump the epoch");
+
+    // Retired id refused; name resolution skips it; v2 unaffected.
+    assert_eq!(
+        client.infer(v1, &sample(16, 0), &mut logits),
+        Err(ServeError::UnknownModel)
+    );
+    assert_eq!(server.resolve("m", Some(1)), None);
+    assert_eq!(server.resolve("m", None), Some(v2));
+    client.infer(v2, &sample(16, 1), &mut logits).unwrap();
+    assert_eq!(logits, model_v2.infer(&sample(16, 1)));
+    assert_eq!(server.live_models(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn registered_model_is_immediately_servable_from_every_shard() {
+    // Register live, then hammer the new id from enough concurrent
+    // clients that stealing can kick in: every shard that touches it must
+    // already hold warmed workspaces (a missing workspace would panic the
+    // dispatcher and surface as Internal).
+    let seed_model = donn(16, 1, 151);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("seed", 1, seed_model, ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 2,
+            max_delay: Duration::from_millis(2),
+            ..BatchPolicy::default()
+        },
+    );
+
+    let live_model = donn(24, 2, 152);
+    let id = server.register_emulated("live", 1, live_model.clone(), ReadoutMode::Emulation);
+    let expected: Vec<Vec<f64>> = (0..4).map(|p| live_model.infer(&sample(24, p))).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let server = &server;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = server.client();
+                let mut logits = Vec::new();
+                for round in 0..6usize {
+                    let p = (t + round) % 4;
+                    client.infer(id, &sample(24, p), &mut logits).unwrap();
+                    assert_eq!(&logits, &expected[p]);
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.completed, 48);
+    server.shutdown();
+}

@@ -1,34 +1,41 @@
-//! Batch and kernel parallelism on a persistent worker pool.
+//! Batch and kernel parallelism on persistent worker pools.
 //!
 //! DONN training parallelizes naturally over the *batch* dimension: each
 //! sample's forward/backward pass is independent given shared read-only
 //! parameters. Earlier revisions spawned a fresh set of scoped threads
 //! (crossbeam) on every [`par_map`] call, which costs two syscalls plus a
 //! stack allocation per worker per batch — measurable at emulation batch
-//! rates. This module instead keeps one **lazily-initialized persistent
-//! worker pool** for the whole process:
+//! rates. This module instead keeps **persistent worker pools**:
 //!
-//! * Workers are spawned once, on the first parallel call, and then sleep
-//!   on a condvar between jobs.
+//! * The lazily-initialized **process-global pool** serves [`par_for`],
+//!   [`par_map`], and [`par_chunks_mut`] — training, FFT row/column loops,
+//!   and anything else that does not ask for isolation.
+//! * [`PoolPartition`] carves out a **dedicated, disjoint worker set** with
+//!   its own job slot. Partitions never contend with the global pool or
+//!   with each other, which is what lets latency-sensitive serving shards
+//!   co-exist with long training jobs in one process (the head-of-line
+//!   blocking the single shared job slot used to impose).
+//!
+//! Mechanics shared by the global pool and every partition:
+//!
+//! * Workers are spawned once and sleep on a condvar between jobs.
 //! * A job is `(closure, atomic index, length)`; workers and the calling
 //!   thread race on the atomic to claim indices (work stealing over an
 //!   atomic counter), so imbalanced items self-balance.
 //! * The caller always participates, clears the job, and blocks until every
 //!   worker has retired before returning, which is what makes lending
-//!   stack-borrowing closures to `'static` worker threads sound.
+//!   stack-borrowing closures to worker threads sound.
 //! * Nested parallel calls (from inside a worker, or from inside an already
 //!   parallel region on the caller) degrade to sequential execution instead
 //!   of deadlocking; the FFT row/column loops rely on this when invoked
 //!   under batch parallelism.
-//! * Concurrent **top-level** callers serialize on the single job slot:
-//!   the loser blocks until the slot frees and then runs its own job on the
-//!   pool. A long-lived dispatcher thread (the `lr-serve` micro-batcher)
-//!   can therefore submit batch after batch and always gets pool
-//!   parallelism, instead of being demoted to a sequential loop whenever
-//!   another thread happens to be mid-job. The flip side is head-of-line
-//!   blocking: a waiter stalls for the full duration of the current job,
-//!   so co-scheduling latency-sensitive serving with long training jobs
-//!   in one process wants pool partitioning (ROADMAP open item).
+//! * Concurrent **top-level** callers serialize on the pool's single job
+//!   slot: the loser blocks until the slot frees and then runs its own job
+//!   on the pool. Callers that cannot afford an unbounded wait (a serving
+//!   dispatcher sharing the global pool with training) use the bounded
+//!   variants [`try_submit_for`] / [`try_par_chunks_mut_for`], which give
+//!   up with [`SubmitTimeout`] when the slot stays busy past a deadline —
+//!   a stuck training batch then surfaces as a shed request, not a hang.
 //!
 //! Results are written by item index, so `par_map` output is **identical
 //! for any thread count** — determinism is covered by the test suite.
@@ -36,7 +43,8 @@
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Number of worker threads used by [`par_map`] and friends (callers plus
 /// pool workers).
@@ -73,6 +81,20 @@ pub fn in_parallel_region() -> bool {
     IN_PARALLEL_REGION.with(|f| f.get())
 }
 
+/// Bounded-wait submission gave up: the pool's job slot stayed busy past
+/// the caller's deadline (another top-level job — typically a long training
+/// batch — still holds it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitTimeout;
+
+impl std::fmt::Display for SubmitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job slot stayed busy past the submission deadline")
+    }
+}
+
+impl std::error::Error for SubmitTimeout {}
+
 /// Shared, lifetime-erased view of one job. The caller guarantees (by
 /// blocking until `running == 0`) that these pointers outlive every use.
 #[derive(Clone, Copy)]
@@ -95,69 +117,132 @@ struct PoolState {
     job: Option<Job>,
     /// Pool workers currently holding a copy of `job`.
     running: usize,
+    /// Set when the owning [`PoolPartition`] is dropped; workers exit.
+    shutdown: bool,
 }
 
-struct Pool {
+/// One pool instance: the process-global pool and every [`PoolPartition`]
+/// are each a `PoolCore` with their own workers and job slot.
+struct PoolCore {
     state: Mutex<PoolState>,
     work_cv: Condvar,
     done_cv: Condvar,
-    /// Held for the duration of one job: the pool has a single job slot,
-    /// so a second top-level caller must not publish (it would overwrite
-    /// the live job and race the completion barrier). Contenders **block**
-    /// until the slot frees up and then run on the pool themselves — a
-    /// long-lived dispatcher thread (e.g. the `lr-serve` micro-batcher)
-    /// submits jobs back to back and must not silently degrade to
-    /// sequential execution whenever another top-level caller is mid-job.
-    /// Blocking here is deadlock-free: the lock is only ever taken by
-    /// top-level callers (nested calls short-circuit in
-    /// [`must_run_sequential`] before reaching the pool), and the holder
-    /// retires its job without needing any waiter to make progress.
-    submission: Mutex<()>,
+    /// True while a job owns this pool's single job slot: a second
+    /// top-level caller must not publish (it would overwrite the live job
+    /// and race the completion barrier). Contenders **block** on
+    /// `submission_cv` until the slot frees up (or their bounded-wait
+    /// deadline passes) and then run on the pool themselves — a long-lived
+    /// dispatcher thread (e.g. the `lr-serve` micro-batcher) submits jobs
+    /// back to back and must not silently degrade to sequential execution
+    /// whenever another top-level caller is mid-job. Blocking here is
+    /// deadlock-free: the slot is only ever taken by top-level callers
+    /// (nested calls short-circuit in [`must_run_sequential`] before
+    /// reaching the pool), and the holder retires its job without needing
+    /// any waiter to make progress.
+    submission: Mutex<bool>,
+    submission_cv: Condvar,
     /// Number of spawned worker threads (callers add one more).
     workers: usize,
 }
 
-fn pool() -> &'static Pool {
-    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+impl PoolCore {
+    fn new(workers: usize) -> Self {
+        PoolCore {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                running: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submission: Mutex::new(false),
+            submission_cv: Condvar::new(),
+            workers,
+        }
+    }
+
+    /// Claims the job slot, waiting at most `timeout` (forever when
+    /// `None`). Returns whether the slot was claimed.
+    fn acquire_submission(&self, timeout: Option<Duration>) -> bool {
+        let mut busy = self
+            .submission
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match timeout {
+            None => {
+                while *busy {
+                    busy = self
+                        .submission_cv
+                        .wait(busy)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+            Some(timeout) => {
+                let deadline = Instant::now() + timeout;
+                while *busy {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    let (guard, _) = self
+                        .submission_cv
+                        .wait_timeout(busy, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    busy = guard;
+                }
+            }
+        }
+        *busy = true;
+        true
+    }
+
+    fn release_submission(&self) {
+        let mut busy = self
+            .submission
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *busy = false;
+        drop(busy);
+        self.submission_cv.notify_one();
+    }
+}
+
+fn global_pool() -> &'static Arc<PoolCore> {
+    static POOL: OnceLock<Arc<PoolCore>> = OnceLock::new();
     POOL.get_or_init(|| {
         let workers = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
             .saturating_sub(1);
-        let pool: &'static Pool = Box::leak(Box::new(Pool {
-            state: Mutex::new(PoolState {
-                generation: 0,
-                job: None,
-                running: 0,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            submission: Mutex::new(()),
-            workers,
-        }));
+        let core = Arc::new(PoolCore::new(workers));
         for i in 0..workers {
+            let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name(format!("lr-pool-{i}"))
-                .spawn(move || worker_loop(pool))
+                .spawn(move || worker_loop(core))
                 .expect("failed to spawn pool worker");
         }
-        pool
+        core
     })
 }
 
-fn lock(pool: &Pool) -> std::sync::MutexGuard<'_, PoolState> {
-    pool.state
+fn lock(core: &PoolCore) -> std::sync::MutexGuard<'_, PoolState> {
+    core.state
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(core: Arc<PoolCore>) {
     IN_PARALLEL_REGION.with(|f| f.set(true));
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut st = lock(pool);
+            let mut st = lock(&core);
             loop {
+                if st.shutdown {
+                    return;
+                }
                 if st.generation != seen_generation {
                     seen_generation = st.generation;
                     if let Some(job) = st.job {
@@ -167,7 +252,7 @@ fn worker_loop(pool: &'static Pool) {
                         }
                     }
                 }
-                st = pool
+                st = core
                     .work_cv
                     .wait(st)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -190,10 +275,10 @@ fn worker_loop(pool: &'static Pool) {
                 break;
             }
         }
-        let mut st = lock(pool);
+        let mut st = lock(&core);
         st.running -= 1;
         if st.running == 0 {
-            pool.done_cv.notify_all();
+            core.done_cv.notify_all();
         }
     }
 }
@@ -201,17 +286,17 @@ fn worker_loop(pool: &'static Pool) {
 /// Clears the published job and blocks until no worker still holds it.
 /// Runs from `Drop` so the barrier also holds when the caller's own closure
 /// panics mid-job (the borrowed stack frame must not unwind away first).
-struct CompletionBarrier {
-    pool: &'static Pool,
+struct CompletionBarrier<'a> {
+    core: &'a PoolCore,
 }
 
-impl Drop for CompletionBarrier {
+impl Drop for CompletionBarrier<'_> {
     fn drop(&mut self) {
-        let mut st = lock(self.pool);
+        let mut st = lock(self.core);
         st.job = None;
         while st.running > 0 {
             st = self
-                .pool
+                .core
                 .done_cv
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -219,38 +304,56 @@ impl Drop for CompletionBarrier {
     }
 }
 
-/// Runs `f(0..len)` with up to `extra_workers` pool threads assisting the
-/// calling thread. Blocks until every index has been executed. Returns
-/// whether any worker panicked.
-fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> bool {
-    let pool = pool();
+/// Frees the job slot on scope exit (including unwind).
+struct SubmissionGuard<'a> {
+    core: &'a PoolCore,
+}
+
+impl Drop for SubmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.core.release_submission();
+    }
+}
+
+/// Runs `f(0..len)` on `core` with up to `extra_workers` pool threads
+/// assisting the calling thread. Blocks until every index has been
+/// executed. `Ok` carries whether any worker panicked; `Err(SubmitTimeout)`
+/// means the job slot could not be claimed within `timeout` and **no index
+/// was executed**.
+fn run_job(
+    core: &PoolCore,
+    len: usize,
+    extra_workers: usize,
+    timeout: Option<Duration>,
+    f: &(dyn Fn(usize) + Sync),
+) -> Result<bool, SubmitTimeout> {
     // One job at a time: a concurrent top-level caller would overwrite the
     // job slot and have its job cancelled by our completion barrier.
-    // Contended callers wait for the slot instead of degrading to a
-    // sequential loop (see the `submission` field docs for why blocking is
-    // sound here).
-    let _submission = pool
-        .submission
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Contended callers wait for the slot (bounded when `timeout` is set)
+    // instead of degrading to a sequential loop (see the `submission` field
+    // docs for why blocking is sound here).
+    if !core.acquire_submission(timeout) {
+        return Err(SubmitTimeout);
+    }
+    let _submission = SubmissionGuard { core };
     let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     // SAFETY: lifetime erasure only; the completion barrier below (dropped
     // even on unwind) guarantees no worker touches the pointers afterwards.
     let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
     {
-        let mut st = lock(pool);
+        let mut st = lock(core);
         st.generation += 1;
         st.job = Some(Job {
             func,
             next: &next,
             panicked: &panicked,
             len,
-            worker_limit: extra_workers.min(pool.workers),
+            worker_limit: extra_workers.min(core.workers),
         });
-        pool.work_cv.notify_all();
+        core.work_cv.notify_all();
     }
-    let barrier = CompletionBarrier { pool };
+    let barrier = CompletionBarrier { core };
     IN_PARALLEL_REGION.with(|flag| flag.set(true));
     let caller_region = CallerRegionReset;
     loop {
@@ -262,7 +365,7 @@ fn run_job(len: usize, extra_workers: usize, f: &(dyn Fn(usize) + Sync)) -> bool
     }
     drop(caller_region);
     drop(barrier);
-    panicked.load(Ordering::Relaxed)
+    Ok(panicked.load(Ordering::Relaxed))
 }
 
 /// Resets the caller's parallel-region flag even on unwind.
@@ -279,10 +382,80 @@ fn must_run_sequential(len: usize) -> bool {
     len <= 1 || threads() <= 1 || in_parallel_region()
 }
 
+/// Drives `f(0..len)` on `core` with `total_threads` participants (caller
+/// included), propagating worker panics. The caller has already ruled out
+/// the sequential path.
+fn pooled_for(
+    core: &PoolCore,
+    total_threads: usize,
+    timeout: Option<Duration>,
+    len: usize,
+    f: &(dyn Fn(usize) + Sync),
+) -> Result<(), SubmitTimeout> {
+    let workers = total_threads.min(len);
+    if run_job(core, len, workers - 1, timeout, f)? {
+        panic!("worker thread panicked");
+    }
+    Ok(())
+}
+
+/// `par_chunks_mut` body shared by the global pool and partitions.
+fn pooled_chunks_mut<T, F>(
+    core: &PoolCore,
+    total_threads: usize,
+    timeout: Option<Duration>,
+    items: &mut [T],
+    f: F,
+) -> Result<(), SubmitTimeout>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    let base = SendPtr(items.as_mut_ptr());
+    let apply = |i: usize| {
+        let base = &base; // capture the Sync wrapper, not the raw field
+                          // SAFETY: disjoint indices, claimed once each.
+        let item = unsafe { &mut *base.0.add(i) };
+        f(i, item);
+    };
+    pooled_for(core, total_threads, timeout, len, &apply)
+}
+
+/// `par_map` body shared by the global pool and partitions.
+fn pooled_map<T, F>(
+    core: &PoolCore,
+    total_threads: usize,
+    len: usize,
+    f: F,
+) -> Result<Vec<T>, SubmitTimeout>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let write = |i: usize| {
+        let out_ptr = &out_ptr; // capture the Sync wrapper, not the raw field
+        let value = f(i);
+        // SAFETY: each index i is claimed by exactly one thread via the
+        // atomic work counter, so no two threads write the same slot, and
+        // the vector outlives the job's completion barrier.
+        unsafe {
+            *out_ptr.0.add(i) = Some(value);
+        }
+    };
+    pooled_for(core, total_threads, None, len, &write)?;
+    Ok(out
+        .into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect())
+}
+
 /// Runs `f` for every index in `0..len`, possibly in parallel on the
-/// persistent pool. This is the primitive behind [`par_map`] and the FFT
-/// row/column loops; `f` observes each index exactly once, in no particular
-/// order.
+/// persistent global pool. This is the primitive behind [`par_map`] and the
+/// FFT row/column loops; `f` observes each index exactly once, in no
+/// particular order.
 ///
 /// # Panics
 ///
@@ -297,10 +470,25 @@ where
         }
         return;
     }
-    let workers = threads().min(len);
-    if run_job(len, workers - 1, &f) {
-        panic!("worker thread panicked");
+    pooled_for(global_pool(), threads(), None, len, &f)
+        .expect("unbounded submission cannot time out");
+}
+
+/// Like [`par_for`], but waits at most `timeout` for the global pool's job
+/// slot. On [`SubmitTimeout`] **no index has been executed** — the caller
+/// decides whether to retry, degrade, or shed the work. Degrades to an
+/// inline sequential loop (always `Ok`) whenever [`par_for`] would.
+pub fn try_submit_for<F>(timeout: Duration, len: usize, f: F) -> Result<(), SubmitTimeout>
+where
+    F: Fn(usize) + Sync,
+{
+    if must_run_sequential(len) {
+        for i in 0..len {
+            f(i);
+        }
+        return Ok(());
     }
+    pooled_for(global_pool(), threads(), Some(timeout), len, &f)
 }
 
 /// Applies `f` to every item index in `0..len`, in parallel, collecting
@@ -318,25 +506,7 @@ where
     if must_run_sequential(len) {
         return (0..len).map(f).collect();
     }
-    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
-    let out_ptr = SendPtr(out.as_mut_ptr());
-    let write = |i: usize| {
-        let out_ptr = &out_ptr; // capture the Sync wrapper, not the raw field
-        let value = f(i);
-        // SAFETY: each index i is claimed by exactly one thread via the
-        // atomic work counter, so no two threads write the same slot, and
-        // the vector outlives the job's completion barrier.
-        unsafe {
-            *out_ptr.0.add(i) = Some(value);
-        }
-    };
-    let workers = threads().min(len);
-    if run_job(len, workers - 1, &write) {
-        panic!("worker thread panicked");
-    }
-    out.into_iter()
-        .map(|v| v.expect("all slots filled"))
-        .collect()
+    pooled_map(global_pool(), threads(), len, f).expect("unbounded submission cannot time out")
 }
 
 /// Applies `f` to chunks of `items`, mutating them in place in parallel.
@@ -352,16 +522,173 @@ where
         }
         return;
     }
-    let base = SendPtr(items.as_mut_ptr());
-    let apply = |i: usize| {
-        let base = &base; // capture the Sync wrapper, not the raw field
-                          // SAFETY: disjoint indices, claimed once each.
-        let item = unsafe { &mut *base.0.add(i) };
-        f(i, item);
-    };
-    let workers = threads().min(len);
-    if run_job(len, workers - 1, &apply) {
-        panic!("worker thread panicked");
+    pooled_chunks_mut(global_pool(), threads(), None, items, f)
+        .expect("unbounded submission cannot time out");
+}
+
+/// Like [`par_chunks_mut`], but waits at most `timeout` for the global
+/// pool's job slot. On [`SubmitTimeout`] **no item has been touched**.
+/// Degrades to an inline sequential loop (always `Ok`) whenever
+/// [`par_chunks_mut`] would.
+pub fn try_par_chunks_mut_for<T, F>(
+    timeout: Duration,
+    items: &mut [T],
+    f: F,
+) -> Result<(), SubmitTimeout>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    if must_run_sequential(len) {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return Ok(());
+    }
+    pooled_chunks_mut(global_pool(), threads(), Some(timeout), items, f)
+}
+
+/// A **dedicated, disjoint partition** of worker threads with its own job
+/// slot, isolated from the global pool and from every other partition.
+///
+/// Jobs submitted to a partition never contend with — and are never blocked
+/// by — jobs on the global pool or sibling partitions; the `lr-serve`
+/// sharded runtime gives each serving shard one partition so a long
+/// training batch on the global pool cannot head-of-line-block request
+/// batches. Worker threads are spawned at construction and joined on
+/// [`Drop`].
+///
+/// A partition of width 0 owns no threads: its `par_*` methods run inline
+/// on the caller (the right configuration for single-core boxes and the
+/// zero-allocation contract tests).
+pub struct PoolPartition {
+    core: Arc<PoolCore>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolPartition")
+            .field("width", &self.core.workers)
+            .finish()
+    }
+}
+
+impl PoolPartition {
+    /// Spawns a partition owning `workers` dedicated threads (callers add
+    /// one more when driving a job).
+    pub fn new(workers: usize) -> PoolPartition {
+        let core = Arc::new(PoolCore::new(workers));
+        let handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("lr-part-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("failed to spawn partition worker")
+            })
+            .collect();
+        PoolPartition { core, handles }
+    }
+
+    /// Number of dedicated worker threads (0 means all work runs inline on
+    /// the submitting thread).
+    pub fn width(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Threads that participate in one of this partition's jobs: the
+    /// dedicated workers plus the submitting caller.
+    pub fn threads(&self) -> usize {
+        self.core.workers + 1
+    }
+
+    /// True when a call on this partition should degrade to a sequential
+    /// inline loop.
+    fn must_run_sequential(&self, len: usize) -> bool {
+        len <= 1 || self.core.workers == 0 || in_parallel_region()
+    }
+
+    /// Partition-local [`par_for`].
+    pub fn par_for<F>(&self, len: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.must_run_sequential(len) {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        pooled_for(&self.core, self.threads(), None, len, &f)
+            .expect("unbounded submission cannot time out");
+    }
+
+    /// Partition-local [`par_map`].
+    pub fn par_map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.must_run_sequential(len) {
+            return (0..len).map(f).collect();
+        }
+        pooled_map(&self.core, self.threads(), len, f)
+            .expect("unbounded submission cannot time out")
+    }
+
+    /// Partition-local [`par_chunks_mut`].
+    pub fn par_chunks_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let len = items.len();
+        if self.must_run_sequential(len) {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        pooled_chunks_mut(&self.core, self.threads(), None, items, f)
+            .expect("unbounded submission cannot time out");
+    }
+
+    /// Partition-local [`try_par_chunks_mut_for`]: bounded wait on this
+    /// partition's job slot. On [`SubmitTimeout`] **no item has been
+    /// touched**.
+    pub fn try_par_chunks_mut_for<T, F>(
+        &self,
+        timeout: Duration,
+        items: &mut [T],
+        f: F,
+    ) -> Result<(), SubmitTimeout>
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let len = items.len();
+        if self.must_run_sequential(len) {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return Ok(());
+        }
+        pooled_chunks_mut(&self.core, self.threads(), Some(timeout), items, f)
+    }
+}
+
+impl Drop for PoolPartition {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.core);
+            st.shutdown = true;
+        }
+        self.core.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -472,7 +799,7 @@ mod tests {
             }
         });
         for round in 0..150usize {
-            let v = par_map(17, move |i| i + 3 * round);
+            let v = par_map(17, |i| i + 3 * round);
             assert_eq!(v[16], 16 + 3 * round);
         }
         dispatcher.join().expect("dispatcher thread must finish");
@@ -491,5 +818,144 @@ mod tests {
         assert!(result.is_err(), "panic in a parallel item must propagate");
         // The pool must still be usable afterwards.
         assert_eq!(par_map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partition_runs_jobs_and_matches_sequential() {
+        let part = PoolPartition::new(2);
+        assert_eq!(part.width(), 2);
+        let v = part.par_map(37, |i| i * 5);
+        let expected: Vec<usize> = (0..37).map(|i| i * 5).collect();
+        assert_eq!(v, expected);
+        let mut buf = vec![0usize; 23];
+        part.par_chunks_mut(&mut buf, |i, x| *x = i + 1);
+        assert!(buf.iter().enumerate().all(|(i, &x)| x == i + 1));
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        part.par_for(counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_width_partition_runs_inline() {
+        let part = PoolPartition::new(0);
+        assert_eq!(part.width(), 0);
+        assert_eq!(
+            part.par_map(9, |i| i * i),
+            (0..9).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partitions_are_isolated_from_each_other() {
+        // A slow job on partition A must not delay a job on partition B:
+        // B's jobs complete while A's job is still running.
+        let a = PoolPartition::new(1);
+        let b = PoolPartition::new(1);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let slow = scope.spawn(|| {
+                a.par_for(2, |_| {
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // While A is blocked, B must make progress.
+            for round in 0..20usize {
+                let v = b.par_map(8, move |i| i + round);
+                assert_eq!(v[7], 7 + round);
+            }
+            release.store(true, Ordering::Relaxed);
+            slow.join().expect("slow partition job must finish");
+        });
+    }
+
+    #[test]
+    fn partition_is_isolated_from_global_pool() {
+        let _guard = thread_count_test_guard();
+        set_threads(4); // force the global pooled path even on 1 core
+        let part = PoolPartition::new(1);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let global_job = scope.spawn(|| {
+                par_for(4, |_| {
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // The global job slot is held indefinitely; partition jobs must
+            // still complete immediately.
+            for round in 0..20usize {
+                let v = part.par_map(8, move |i| i * 2 + round);
+                assert_eq!(v[7], 14 + round);
+            }
+            release.store(true, Ordering::Relaxed);
+            global_job.join().expect("global job must finish");
+        });
+        set_threads(0);
+    }
+
+    #[test]
+    fn try_submit_times_out_while_slot_is_held_then_recovers() {
+        let _guard = thread_count_test_guard();
+        set_threads(4); // force the pooled path even on single-core boxes
+        let release = AtomicBool::new(false);
+        let holder_started = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let holder = scope.spawn(|| {
+                par_for(4, |_| {
+                    holder_started.store(true, Ordering::Relaxed);
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            while !holder_started.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+            // The slot is busy: a bounded-wait submission must give up
+            // without running anything.
+            let touched = AtomicUsize::new(0);
+            let result = try_submit_for(Duration::from_millis(20), 8, |_| {
+                touched.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(result, Err(SubmitTimeout));
+            assert_eq!(
+                touched.load(Ordering::Relaxed),
+                0,
+                "timed-out job must not run"
+            );
+
+            let mut items = vec![0usize; 8];
+            let chunks = try_par_chunks_mut_for(Duration::from_millis(20), &mut items, |i, x| {
+                *x = i;
+            });
+            assert_eq!(chunks, Err(SubmitTimeout));
+            assert!(
+                items.iter().all(|&x| x == 0),
+                "timed-out job must not touch items"
+            );
+
+            release.store(true, Ordering::Relaxed);
+            holder.join().expect("holder must finish");
+            // Slot free again: bounded submission now succeeds.
+            let ok = try_par_chunks_mut_for(Duration::from_millis(500), &mut items, |i, x| {
+                *x = i + 1;
+            });
+            assert_eq!(ok, Ok(()));
+            assert!(items.iter().enumerate().all(|(i, &x)| x == i + 1));
+        });
+        set_threads(0);
+    }
+
+    #[test]
+    fn dropping_partition_joins_workers() {
+        let part = PoolPartition::new(3);
+        let v = part.par_map(16, |i| i);
+        assert_eq!(v.len(), 16);
+        drop(part); // must not hang
     }
 }

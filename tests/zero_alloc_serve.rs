@@ -1,15 +1,23 @@
-//! Counting-allocator proof of the serving-path contract: once the server
-//! is warm, a mixed two-model workload served through the registry and the
-//! dynamic micro-batcher performs **zero heap allocations** per request —
-//! client slot reuse, bounded queue, per-worker workspaces, and atomic
-//! metrics all included — and still returns logits bit-identical to direct
-//! inference.
+//! Counting-allocator proof of the serving-path contract on the **sharded**
+//! runtime: once the server is warm, a mixed two-model workload served
+//! through 2 shards (affinity routing, per-shard queues and dispatchers)
+//! performs **zero heap allocations** per request — client slot reuse,
+//! bounded queues, per-worker workspaces, registry/in-flight/metrics
+//! snapshot loads, and atomic histograms all included — and still returns
+//! logits bit-identical to direct inference.
+//!
+//! The test then performs a **live version flip mid-run**
+//! (`Server::register_emulated` on the running server): registration may
+//! allocate (it builds and warms the new workspaces), but once the new
+//! version has served its first warming requests, the steady-state window
+//! covering *both* the old and new versions must again be allocation-free
+//! and bit-identical on both sides of the flip.
 //!
 //! Like `zero_alloc.rs`, this must stay a single-test binary: the counting
 //! allocator is process-global. Sequential mode is forced
-//! (`set_threads(1)`) so batch execution runs inline on the dispatcher
-//! thread; the allocator counts allocations from *every* thread, so the
-//! dispatcher's steady state is covered too.
+//! (`set_threads(1)`) so shard partitions have width 0 and batch execution
+//! runs inline on each dispatcher thread; the allocator counts allocations
+//! from *every* thread, so the dispatchers' steady state is covered too.
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
@@ -53,12 +61,13 @@ fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
 }
 
 #[test]
-fn steady_state_serve_path_allocates_nothing() {
+fn steady_state_sharded_serve_path_allocates_nothing() {
     parallel::set_threads(1);
 
-    // A mixed two-model workload: different geometries, different readout
-    // schemes, interleaved per request — each worker context must juggle
-    // both models' workspaces without allocating.
+    // A mixed two-model workload on two shards: different geometries,
+    // different readout schemes, interleaved per request — ids 0 and 1
+    // affinity-route to shards 0 and 1, and each dispatcher must juggle
+    // its models' workspaces without allocating.
     let model_a = donn(32, 2, 5);
     let model_b = donn(48, 3, 6);
     let mut registry = ModelRegistry::new();
@@ -67,6 +76,7 @@ fn steady_state_serve_path_allocates_nothing() {
     let server = Server::start(
         registry,
         BatchPolicy {
+            shards: 2,
             max_batch: 4,
             // Zero delay: with a single blocking client there is nothing
             // to coalesce with; don't sleep inside the measured window.
@@ -87,8 +97,8 @@ fn steady_state_serve_path_allocates_nothing() {
     let reference_b = model_b.infer_deployed(&input_b);
 
     // One client per request stream (a client's reusable slot holds one
-    // input shape); the workload stays interleaved across both models at
-    // the server.
+    // input shape); the workload stays interleaved across both models —
+    // and therefore both shards — at the server.
     let mut client_a = server.client();
     let mut client_b = server.client();
     let mut logits = Vec::new();
@@ -112,7 +122,7 @@ fn steady_state_serve_path_allocates_nothing() {
     assert_eq!(
         after - before,
         0,
-        "steady-state serve path must not allocate (got {} allocations over 20 requests)",
+        "steady-state sharded serve path must not allocate (got {} allocations over 20 requests)",
         after - before
     );
 
@@ -122,9 +132,69 @@ fn steady_state_serve_path_allocates_nothing() {
     client_b.infer(b, &input_b, &mut logits).unwrap();
     assert_eq!(logits, reference_b);
 
+    // ---- Live version flip mid-run -----------------------------------
+    // Registration itself may allocate (new snapshot, warmed workspaces);
+    // after the flip and a short warm-up of the *new* version's client
+    // slot, the steady state spanning old + new versions must again be
+    // allocation-free.
+    let model_a2 = donn(32, 3, 7); // same geometry, different stack
+    let a2 = server.register_emulated("a", 2, model_a2.clone(), ReadoutMode::Emulation);
+    assert_eq!(
+        server.resolve("a", None),
+        Some(a2),
+        "flip must be visible immediately"
+    );
+    assert_eq!(server.epoch(), 1);
+    let reference_a2 = model_a2.infer(&input_a);
+
+    // Warm the new version's client slot — and touch *every* shard once
+    // so each dispatcher adopts its mailed workspaces (a one-time
+    // registration cost: one Vec push per worker) outside the window.
+    let mut client_a2 = server.client();
+    for _ in 0..4 {
+        client_a2.infer(a2, &input_a, &mut logits).unwrap();
+        assert_eq!(logits, reference_a2);
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+        assert_eq!(logits, reference_b);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        client_a.infer(a, &input_a, &mut logits).unwrap();
+        client_a2.infer(a2, &input_a, &mut logits).unwrap();
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "post-flip steady state must not allocate (got {} allocations over 30 requests)",
+        after - before
+    );
+
+    // Bit-identical on both sides of the flip.
+    client_a.infer(a, &input_a, &mut logits).unwrap();
+    assert_eq!(
+        logits, reference_a,
+        "v1 must stay bit-identical after the flip"
+    );
+    client_a2.infer(a2, &input_a, &mut logits).unwrap();
+    assert_eq!(
+        logits, reference_a2,
+        "v2 must be bit-identical to direct inference"
+    );
+    client_b.infer(b, &input_b, &mut logits).unwrap();
+    assert_eq!(logits, reference_b);
+
     let stats = server.stats();
-    assert_eq!(stats.completed, 30);
+    assert_eq!(stats.completed, 71);
     assert!(stats.latency.p50_ns > 0);
+    assert_eq!(stats.per_shard.len(), 2);
+    assert!(
+        stats.per_shard.iter().all(|s| s.completed > 0),
+        "both shards must have served their affinity traffic"
+    );
     server.shutdown();
     parallel::set_threads(0);
 }

@@ -1,0 +1,107 @@
+//! Offline shim for the subset of `arc-swap` this workspace uses.
+//!
+//! The real crate provides a lock-free atomic `Arc<T>` cell; the build
+//! environment cannot reach crates.io, so this shim emulates the same API
+//! over an `std::sync::RwLock<Arc<T>>`. Readers take a short read lock and
+//! clone the `Arc` (a refcount bump — **no heap allocation**, which is what
+//! the lr-serve zero-allocation serving contract depends on); writers swap
+//! the pointer under the write lock. Swapping back to the real crate is a
+//! manifest-only change.
+
+#![warn(missing_docs)]
+
+use std::sync::{Arc, RwLock};
+
+/// An atomically swappable `Arc<T>`: readers always observe a fully
+/// consistent snapshot, writers replace the snapshot as one pointer flip.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Creates a cell from a bare value (`Arc`-wraps it).
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns a clone of the current snapshot. Never allocates: the clone
+    /// is an atomic refcount increment on the existing allocation.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(
+            &self
+                .inner
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Replaces the snapshot; readers that already loaded the old `Arc`
+    /// keep using it unaffected.
+    pub fn store(&self, value: Arc<T>) {
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = value;
+    }
+
+    /// Replaces the snapshot and returns the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::replace(&mut *guard, value)
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap_roundtrip() {
+        let cell = ArcSwap::from_pointee(1u32);
+        assert_eq!(*cell.load_full(), 1);
+        let old = cell.load_full();
+        cell.store(Arc::new(2));
+        assert_eq!(*old, 1, "existing snapshots are unaffected by store");
+        assert_eq!(*cell.load_full(), 2);
+        let prev = cell.swap(Arc::new(3));
+        assert_eq!(*prev, 2);
+        assert_eq!(*cell.load_full(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_snapshots() {
+        let cell = std::sync::Arc::new(ArcSwap::from_pointee(vec![0usize; 8]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = std::sync::Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let snap = cell.load_full();
+                        let first = snap[0];
+                        assert!(snap.iter().all(|&v| v == first), "torn snapshot");
+                    }
+                });
+            }
+            for gen in 1..50usize {
+                cell.store(Arc::new(vec![gen; 8]));
+            }
+        });
+    }
+}
