@@ -259,6 +259,17 @@ fn classify(path: &str) -> Direction {
     if path.contains("median_ns.") {
         return Direction::LowerIsBetter;
     }
+    // The churn scenario's end-of-loop resident workspace memory: flat at
+    // the survivor baseline when reclaim works, linear in churn count when
+    // the lifecycle leaks. The scenario pins its worker-context count to
+    // the shard count (see serve_bench), making the value deterministic
+    // accounting independent of the runner's core count — so it gates.
+    // The companion `baseline_resident_bytes` / `peak_resident_bytes`
+    // fields stay informational (peak legitimately moves with policy
+    // changes).
+    if path.ends_with("resident_workspace_bytes") {
+        return Direction::LowerIsBetter;
+    }
     // Only the stable central statistics of the *steady* scenario's
     // latency distribution gate. p95/p99/max and per-shard quantiles are
     // informational everywhere (quick-profile sample counts make them
@@ -464,6 +475,13 @@ mod tests {
             { "shard": 0, "completed": 60, "p50": 1900, "p95": 4000, "p99": 8000 },
             { "shard": 1, "completed": 40, "p50": 2100, "p95": 4100, "p99": 9000 }
           ]
+        },
+        "churn": {
+          "cycles": 4,
+          "baseline_resident_bytes": 1000000,
+          "peak_resident_bytes": 3000000,
+          "resident_workspace_bytes": 1000000,
+          "reclaimed_models": 4
         }
       }
     }"#;
@@ -520,6 +538,37 @@ mod tests {
             Direction::Informational
         );
         assert_eq!(classify("threads"), Direction::Informational);
+        // The churn scenario's resident-memory end state gates; its
+        // baseline/peak companions are informational.
+        assert_eq!(
+            classify("scenarios.churn.resident_workspace_bytes"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.churn.peak_resident_bytes"),
+            Direction::Informational
+        );
+        assert_eq!(
+            classify("scenarios.churn.baseline_resident_bytes"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn resident_memory_leak_trips_the_gate() {
+        let base = parse_json(BASE).unwrap();
+        // A churn loop that leaks: end-of-loop resident memory lands at
+        // the peak instead of back at the baseline.
+        let cur = parse_json(&BASE.replace(
+            "\"resident_workspace_bytes\": 1000000",
+            "\"resident_workspace_bytes\": 3000000",
+        ))
+        .unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "a 3x resident-memory leak must trip the gate");
+        assert!(rows
+            .iter()
+            .any(|r| r.path == "scenarios.churn.resident_workspace_bytes" && r.regressed));
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //! Every scenario block includes **per-shard** completion/steal counters
 //! and p50/p95/p99, so shard imbalance and work stealing are visible in
 //! the artifact.
+//!
+//! A fifth scenario, `churn`, exercises the **memory lifecycle**: a
+//! register→serve→retire→reclaim loop over fresh model versions (the
+//! DSE-sweep / per-perturbation-retraining deployment shape) against a
+//! long-lived survivor. Its `resident_workspace_bytes` records the
+//! resident per-worker workspace memory *after* the loop — flat at the
+//! survivor's baseline when reclaim works, and growing linearly in churn
+//! count when it leaks, which is why `lr-bench compare` gates on it
+//! (lower is better).
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
@@ -217,6 +226,114 @@ fn run_scenario(
     }
 }
 
+struct ChurnOutcome {
+    cycles: usize,
+    baseline_resident_bytes: u64,
+    peak_resident_bytes: u64,
+    resident_workspace_bytes: u64,
+    reclaimed_models: u64,
+    reclaimed_bytes: u64,
+    swept_cache_entries: u64,
+    completed: u64,
+    wall_secs: f64,
+}
+
+/// Runs the memory-lifecycle churn scenario: `cycles` rounds of
+/// register → serve → retire → reclaim of a fresh model version, with a
+/// long-lived survivor taking traffic through every round. Peak resident
+/// bytes shows the transient cost of one extra version; the end value
+/// proves reclaim returned the runtime to the survivor's baseline.
+fn run_churn(
+    policy: BatchPolicy,
+    cycles: usize,
+    survivor: &DonnModel,
+    churn_n: usize,
+    churn_depth: usize,
+) -> ChurnOutcome {
+    let mut registry = ModelRegistry::new();
+    let keeper =
+        registry.register_emulated("survivor", 1, survivor.clone(), ReadoutMode::Emulation);
+    let server = Server::start(registry, policy);
+    let (n, _) = survivor.grid().shape();
+    let keeper_input = make_input(n, 0);
+    let churn_input = make_input(churn_n, 1);
+
+    let baseline = server.stats().resident_workspace_bytes;
+    let mut peak = baseline;
+    let mut keeper_client = server.client();
+    let mut logits = Vec::new();
+    let epoch = Instant::now();
+    for cycle in 0..cycles {
+        let model = donn(churn_n, churn_depth, 7000 + cycle as u64);
+        let id = server.register_emulated(
+            "churn",
+            cycle as u32 + 1,
+            model,
+            if cycle % 2 == 0 {
+                ReadoutMode::Emulation
+            } else {
+                ReadoutMode::Deployed
+            },
+        );
+        let mut client = server.client();
+        for _ in 0..4 {
+            client
+                .infer(id, &churn_input, &mut logits)
+                .expect("churn model must serve");
+            keeper_client
+                .infer(keeper, &keeper_input, &mut logits)
+                .expect("survivor must serve");
+        }
+        peak = peak.max(server.stats().resident_workspace_bytes);
+        assert!(server.retire(id), "churn version must retire");
+        assert!(server.reclaim(id), "churn version must reclaim");
+    }
+    let wall_secs = epoch.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+    ChurnOutcome {
+        cycles,
+        baseline_resident_bytes: baseline,
+        peak_resident_bytes: peak,
+        resident_workspace_bytes: stats.resident_workspace_bytes,
+        reclaimed_models: stats.reclaimed_models,
+        reclaimed_bytes: stats.reclaimed_bytes,
+        swept_cache_entries: stats.swept_cache_entries,
+        completed: stats.completed,
+        wall_secs,
+    }
+}
+
+fn write_churn(json: &mut String, o: &ChurnOutcome, last: bool) {
+    let _ = writeln!(json, "    \"churn\": {{");
+    let _ = writeln!(json, "      \"cycles\": {},", o.cycles);
+    let _ = writeln!(json, "      \"wall_secs\": {:.3},", o.wall_secs);
+    let _ = writeln!(json, "      \"completed\": {},", o.completed);
+    let _ = writeln!(
+        json,
+        "      \"baseline_resident_bytes\": {},",
+        o.baseline_resident_bytes
+    );
+    let _ = writeln!(
+        json,
+        "      \"peak_resident_bytes\": {},",
+        o.peak_resident_bytes
+    );
+    let _ = writeln!(
+        json,
+        "      \"resident_workspace_bytes\": {},",
+        o.resident_workspace_bytes
+    );
+    let _ = writeln!(json, "      \"reclaimed_models\": {},", o.reclaimed_models);
+    let _ = writeln!(json, "      \"reclaimed_bytes\": {},", o.reclaimed_bytes);
+    let _ = writeln!(
+        json,
+        "      \"swept_cache_entries\": {}",
+        o.swept_cache_entries
+    );
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
 fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool) {
     let s = &o.stats;
     let l = &s.latency;
@@ -370,7 +487,7 @@ pub fn run(args: &[String]) {
         BatchPolicy {
             pool: PoolMode::SharedGlobal,
             pool_wait: Duration::from_millis(100),
-            ..steady_policy
+            ..steady_policy.clone()
         },
         0.5 * capacity_rps,
         threads,
@@ -379,6 +496,23 @@ pub fn run(args: &[String]) {
         &model_a,
         &model_b,
         true,
+    );
+    // Memory lifecycle: register/retire/reclaim churn against a
+    // long-lived survivor. The gated `resident_workspace_bytes` must come
+    // back flat to the survivor's baseline after every cycle reclaims.
+    // `workers` is pinned to the shard count (one context per shard):
+    // resident bytes scale with the number of worker contexts, and the
+    // gate compares against a committed baseline, so the metric must mean
+    // the same thing regardless of the runner's core count.
+    let churn = run_churn(
+        BatchPolicy {
+            workers: shards,
+            ..steady_policy
+        },
+        if quick { 4 } else { 8 },
+        &model_a,
+        nb,
+        depth,
     );
 
     let mut json = String::from("{\n");
@@ -406,7 +540,8 @@ pub fn run(args: &[String]) {
         &colocated_partitioned,
         false,
     );
-    write_scenario(&mut json, "colocated_shared", &colocated_shared, true);
+    write_scenario(&mut json, "colocated_shared", &colocated_shared, false);
+    write_churn(&mut json, &churn, true);
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");

@@ -185,6 +185,15 @@ impl PhysicalWorkspace {
     pub fn shape(&self) -> (usize, usize) {
         self.u.shape()
     }
+
+    /// Heap bytes held by this workspace's buffers — what the serving
+    /// runtime's resident-memory accounting credits back when a retired
+    /// model's per-worker workspaces are reclaimed.
+    pub fn resident_bytes(&self) -> usize {
+        self.u.resident_bytes()
+            + self.scratch.resident_bytes()
+            + (self.intensity.capacity() + self.captured.capacity()) * std::mem::size_of::<f64>()
+    }
 }
 
 impl PhysicalDonn {

@@ -190,6 +190,13 @@ impl PropagationWorkspace {
     pub fn input_grad(&self) -> &Field {
         &self.grad
     }
+
+    /// Heap bytes held by this workspace's buffers — what the serving
+    /// runtime's resident-memory accounting credits back when a retired
+    /// model's per-worker workspaces are reclaimed.
+    pub fn resident_bytes(&self) -> usize {
+        self.scratch.resident_bytes() + self.u.resident_bytes() + self.grad.resident_bytes()
+    }
 }
 
 thread_local! {

@@ -17,9 +17,8 @@
 
 use crate::grid::Grid;
 use crate::units::{Distance, PixelPitch, Wavelength};
-use lr_tensor::{Complex64, Direction, Fft2, Fft2Workspace, Field, J};
+use lr_tensor::{Complex64, Direction, Fft2, Fft2Workspace, Field, PinnedCache, J};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::f64::consts::PI;
 use std::sync::Arc;
 
@@ -133,37 +132,54 @@ impl TransferKey {
 /// Every `FreeSpace` plan for the same geometry shares one kernel: a
 /// DONN stacks many identically-spaced layers, so without this cache model
 /// construction rebuilds the same `O(N²)`-trig field once per layer.
-static TRANSFER_CACHE: Mutex<Option<HashMap<TransferKey, Arc<Field>>>> = Mutex::new(None);
+/// Eviction semantics live in [`PinnedCache`], shared with the FFT plan
+/// cache: every live `FreeSpace` (and therefore every live model) keeps
+/// its kernel pinned and unevictable; only kernels orphaned by their last
+/// propagator dropping are reclaimable.
+static TRANSFER_CACHE: Mutex<Option<PinnedCache<TransferKey, Field>>> = Mutex::new(None);
 
-/// Cache capacity. Keys are exact float bit patterns, so a DSE parameter
-/// sweep produces an unbounded stream of single-use keys; without a cap
-/// each swept design would leak one field-sized kernel for the process
-/// lifetime. A model reuses only a handful of geometries, so a small cap
-/// keeps the construction win while bounding memory.
+/// Soft cache capacity. Keys are exact float bit patterns, so a DSE
+/// parameter sweep produces an unbounded stream of single-use keys;
+/// without a cap each swept design would leak one field-sized kernel for
+/// the process lifetime. Past the cap, inserts evict the stalest
+/// **orphaned** entries first; entries pinned by live propagators are
+/// never evicted (the cache may exceed the cap while more geometries than
+/// this are simultaneously alive — the live models, not the cache, are
+/// the retainers then).
 const TRANSFER_CACHE_CAP: usize = 32;
 
 fn cached_transfer(key: TransferKey, build: impl FnOnce() -> Field) -> Arc<Field> {
-    if let Some(hit) = TRANSFER_CACHE
-        .lock()
-        .as_ref()
-        .and_then(|c| c.get(&key).cloned())
-    {
+    if let Some(hit) = TRANSFER_CACHE.lock().as_mut().and_then(|c| c.hit(&key)) {
         return hit;
     }
     // Build outside the lock: kernels are large and trig-heavy, and two
-    // racing builders produce identical fields (the first insert is kept;
-    // a racing loser's build is dropped).
+    // racing builders produce identical fields.
     let built = Arc::new(build());
     let mut guard = TRANSFER_CACHE.lock();
-    let cache = guard.get_or_insert_with(HashMap::new);
-    if cache.len() >= TRANSFER_CACHE_CAP {
-        // Sweep-shaped workloads never revisit keys, so arbitrary eviction
-        // is as good as LRU here and keeps the entry type simple.
-        if let Some(&victim) = cache.keys().next() {
-            cache.remove(&victim);
-        }
+    let cache = guard.get_or_insert_with(PinnedCache::new);
+    // Re-check under the second lock: a racing builder may have inserted
+    // this key during our build window. The first insert must win — every
+    // caller shares one `Arc` per key (and the loser's build is dropped) —
+    // and because the hit path returns before `insert` can evict, the
+    // winning entry can never be chosen as an eviction victim by the very
+    // race that built it.
+    if let Some(hit) = cache.hit(&key) {
+        return hit;
     }
-    cache.entry(key).or_insert(built).clone()
+    cache.insert(key, Arc::clone(&built), TRANSFER_CACHE_CAP);
+    built
+}
+
+/// Drops every cached transfer function that no live propagator references
+/// any more, returning how many were evicted. The serving runtime calls
+/// this after reclaiming a retired model: by then the model's `FreeSpace`
+/// plans (and their kernel `Arc`s) are gone, so its kernels show up here
+/// as orphans, while kernels shared with still-live models stay pinned.
+pub fn sweep_transfer_cache() -> usize {
+    TRANSFER_CACHE
+        .lock()
+        .as_mut()
+        .map_or(0, PinnedCache::sweep_orphans)
 }
 
 /// Cached variant of [`rayleigh_sommerfeld_tf`]: returns the shared kernel
@@ -198,7 +214,7 @@ pub fn clear_transfer_cache() {
 
 /// Number of transfer functions currently cached.
 pub fn transfer_cache_len() -> usize {
-    TRANSFER_CACHE.lock().as_ref().map_or(0, |c| c.len())
+    TRANSFER_CACHE.lock().as_ref().map_or(0, PinnedCache::len)
 }
 
 /// Builds the Fresnel transfer function
@@ -328,6 +344,12 @@ impl PropagationScratch {
     /// Plane shape this scratch serves.
     pub fn shape(&self) -> (usize, usize) {
         self.fft.shape()
+    }
+
+    /// Heap bytes held by this scratch's buffers. Feeds the serving
+    /// runtime's resident-memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.fft.resident_bytes() + self.shift.resident_bytes()
     }
 }
 
@@ -939,6 +961,68 @@ mod tests {
         for m in mags {
             assert!((m - first).abs() < 1e-9 * first.max(1e-30));
         }
+    }
+
+    /// Regression test for the build-window race in `cached_transfer`: a
+    /// builder that loses the race used to evict-and-replace the winner's
+    /// entry (its pre-insert hit check happened before dropping the first
+    /// lock), handing out two distinct `Arc`s for one key. Every racer
+    /// must now come back with the *same* shared kernel. The key uses a
+    /// pitch no other test touches, and the racers keep their `Arc`s
+    /// alive, so concurrent cache traffic from sibling tests can neither
+    /// evict the entry nor alias the key.
+    #[test]
+    fn racing_builders_share_one_cached_kernel() {
+        let grid = Grid::square(24, PixelPitch::from_um(17.3));
+        let w = Wavelength::from_nm(633.0);
+        let d = Distance::from_mm(41.0);
+        let barrier = std::sync::Barrier::new(8);
+        let kernels: Vec<Arc<Field>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let barrier = &barrier;
+                    let grid = &grid;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        rayleigh_sommerfeld_tf_cached(grid, w, d, true)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for k in &kernels[1..] {
+            assert!(
+                Arc::ptr_eq(&kernels[0], k),
+                "racing builders must converge on one shared kernel"
+            );
+        }
+        // And a later caller still gets the same pinned entry.
+        let again = rayleigh_sommerfeld_tf_cached(&grid, w, d, true);
+        assert!(Arc::ptr_eq(&kernels[0], &again));
+    }
+
+    /// The registry-tied sweep drops orphaned kernels but never pinned
+    /// ones (asserted per key: global length would race sibling tests).
+    #[test]
+    fn sweep_drops_orphaned_kernels_and_spares_pinned() {
+        let grid = Grid::square(16, PixelPitch::from_um(23.7));
+        let w = Wavelength::from_nm(532.0);
+        let pinned = fresnel_tf_cached(&grid, w, Distance::from_mm(77.0));
+        sweep_transfer_cache();
+        assert!(
+            Arc::ptr_eq(
+                &pinned,
+                &fresnel_tf_cached(&grid, w, Distance::from_mm(77.0))
+            ),
+            "a pinned kernel must survive the sweep"
+        );
+        let orphan = fresnel_tf_cached(&grid, w, Distance::from_mm(78.0));
+        drop(orphan);
+        sweep_transfer_cache();
+        // The orphan was evicted: rebuilding yields a fresh allocation
+        // whose only owners are the cache and this binding.
+        let rebuilt = fresnel_tf_cached(&grid, w, Distance::from_mm(78.0));
+        assert_eq!(Arc::strong_count(&rebuilt), 2);
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod units;
 pub use diffraction::{
     clear_transfer_cache, fresnel_ir_spectrum, fresnel_tf, fresnel_tf_cached,
     rayleigh_sommerfeld_ir_spectrum, rayleigh_sommerfeld_tf, rayleigh_sommerfeld_tf_cached,
-    transfer_cache_len, Approximation, FreeSpace, PropagationScratch,
+    sweep_transfer_cache, transfer_cache_len, Approximation, FreeSpace, PropagationScratch,
 };
 pub use grid::Grid;
 pub use laser::{bessel_j0, BeamProfile, Laser};

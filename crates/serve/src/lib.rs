@@ -43,11 +43,28 @@
 //!                                   │ · plans + kernels + per-shard     │
 //!                                   │   workspaces prewarmed before     │
 //!                                   │   the flip publishes the model    │
+//!                                   │ · retire → slim tombstone; entry  │
+//!                                   │   Arc released with the last      │
+//!                                   │   in-flight pinner               │
 //!                                   └────────────┬──────────────────────┘
-//!                                                │ latency / throughput
+//!                                                │
+//!                                   ┌────────────▼──────────────────────┐
+//!                                   │ memory lifecycle (reclaim):       │
+//!                                   │ · per-shard epoch drain fence +   │
+//!                                   │   global in-flight counters →     │
+//!                                   │   quiescence for the retired id   │
+//!                                   │ · per-worker workspaces dropped   │
+//!                                   │   in every shard (bytes audited)  │
+//!                                   │ · orphaned FFT plans + transfer   │
+//!                                   │   kernels swept; live-pinned      │
+//!                                   │   entries never evicted           │
+//!                                   └────────────┬──────────────────────┘
+//!                                                │ latency / throughput /
+//!                                                │ resident bytes
 //!                                   ┌────────────▼──────────────────────┐
 //!                                   │ MetricsCore → ServerStats         │
-//!                                   │ global + per-shard p50/p95/p99    │
+//!                                   │ global + per-shard p50/p95/p99,   │
+//!                                   │ resident/reclaimed/cache gauges   │
 //!                                   └───────────────────────────────────┘
 //! ```
 //!
@@ -78,6 +95,20 @@
 //!   in-flight caps stop one hot model from starving the rest, and under
 //!   [`PoolMode::SharedGlobal`] a stuck shared pool sheds the batch after
 //!   [`BatchPolicy::pool_wait`] instead of hanging.
+//! * **Flat memory under registry churn.** [`Server::retire`] collapses a
+//!   slot to a slim tombstone (the entry `Arc` — parameters, plans — is
+//!   released with the last in-flight pinner), and [`Server::reclaim`]
+//!   (or [`ReclaimPolicy::AutoOnRetire`]) frees the rest behind a
+//!   **drain fence**: each dispatcher's epoch fence plus the global
+//!   in-flight counters prove no request admitted before the retire flip
+//!   is queued or executing anywhere, then every shard drops the model's
+//!   per-worker workspaces and the registry-tied cache sweeps evict its
+//!   orphaned FFT plans and transfer kernels. Cache entries pinned by
+//!   live models are never evicted, so survivors keep flat first-request
+//!   latency; resident workspace bytes, reclaim counters, and cache
+//!   occupancy are observable in [`ServerStats`], and the churn
+//!   scenario of `lr-bench serve` gates on the end-of-loop resident
+//!   bytes in CI.
 //!
 //! ## Shard routing contract
 //!
@@ -135,7 +166,10 @@ mod registry;
 mod server;
 
 pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats};
-pub use registry::{ModelId, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant};
+pub use registry::{
+    ModelId, ModelLifecycle, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant,
+};
 pub use server::{
-    AdmissionPolicy, BatchPolicy, InProcessClient, PoolMode, ServeError, Server, Transport,
+    AdmissionPolicy, BatchPolicy, InProcessClient, PoolMode, ReclaimPolicy, ServeError, Server,
+    Transport,
 };

@@ -90,20 +90,33 @@ impl LatencyHistogram {
 
     /// Approximate latency at quantile `q ∈ [0, 1]`, in nanoseconds
     /// (0 when nothing has been recorded).
+    ///
+    /// Race-consistent under concurrent [`LatencyHistogram::record`]s: the
+    /// total is derived from a single pass over the very bucket values the
+    /// scan walks (one fixed-size stack copy — no allocation), so the
+    /// target rank always lies inside the scanned mass. Loading `count`
+    /// separately used to let a racing record leave `seen < target` at
+    /// the end of the scan, spuriously reporting the max for mid
+    /// quantiles.
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
+        let mut counts = [0u64; BUCKETS];
+        let mut total = 0u64;
+        for (snap, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *snap = bucket.load(Ordering::Relaxed);
+            total += *snap;
+        }
         if total == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
+        for (idx, &n) in counts.iter().enumerate() {
+            seen += n;
             if seen >= target {
                 return Self::value_for(idx).min(self.max_ns.load(Ordering::Relaxed));
             }
         }
-        self.max_ns.load(Ordering::Relaxed)
+        unreachable!("target ≤ total, so the scan must reach it")
     }
 
     /// Summarizes the distribution.
@@ -197,6 +210,22 @@ pub struct ServerStats {
     pub throughput_rps: f64,
     /// End-to-end (enqueue → response ready) latency distribution.
     pub latency: LatencySummary,
+    /// Heap bytes currently resident in per-worker model workspaces
+    /// across every shard. Grows with (live) registration, shrinks when
+    /// [`crate::Server::reclaim`] drops a retired model's workspaces —
+    /// flat across a register→retire→reclaim churn loop.
+    pub resident_workspace_bytes: u64,
+    /// Models whose memory has been reclaimed since the server started.
+    pub reclaimed_models: u64,
+    /// Per-worker workspace bytes freed by reclaims since start.
+    pub reclaimed_bytes: u64,
+    /// Orphaned cache entries (transfer kernels + FFT plans) evicted by
+    /// registry-tied sweeps since start.
+    pub swept_cache_entries: u64,
+    /// Diffraction transfer kernels currently in the process-global cache.
+    pub transfer_cache_entries: usize,
+    /// FFT plans currently in the process-global cache.
+    pub fft_plan_cache_entries: usize,
     /// Per-model completion counters for **live** models, in id order.
     pub per_model: Vec<ModelStats>,
     /// Per-shard dispatcher counters, in shard order.
@@ -235,6 +264,9 @@ pub(crate) struct MetricsCore {
     shed: AtomicU64,
     pool_timeouts: AtomicU64,
     batches: AtomicU64,
+    reclaimed_models: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    swept_cache_entries: AtomicU64,
     /// Grown (snapshot-swapped) under the registry write lock; loaded
     /// per record on the request path (an `Arc` clone — no allocation).
     per_model_completed: ArcSwap<Vec<Arc<AtomicU64>>>,
@@ -251,6 +283,9 @@ impl MetricsCore {
             shed: AtomicU64::new(0),
             pool_timeouts: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            reclaimed_models: AtomicU64::new(0),
+            reclaimed_bytes: AtomicU64::new(0),
+            swept_cache_entries: AtomicU64::new(0),
             per_model_completed: ArcSwap::from_pointee(
                 (0..num_models)
                     .map(|_| Arc::new(AtomicU64::new(0)))
@@ -291,6 +326,19 @@ impl MetricsCore {
         self.pool_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_reclaimed_model(&self) {
+        self.reclaimed_models.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reclaimed_bytes(&self, bytes: u64) {
+        self.reclaimed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_swept(&self, entries: u64) {
+        self.swept_cache_entries
+            .fetch_add(entries, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, shard: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.shards[shard].batches.fetch_add(1, Ordering::Relaxed);
@@ -301,8 +349,16 @@ impl MetricsCore {
     }
 
     /// Snapshots the counters. `live` lists the live models as
-    /// `(id, name, version)` in id order; `epoch` is the registry epoch.
-    pub(crate) fn snapshot(&self, epoch: u64, live: &[(ModelId, String, u32)]) -> ServerStats {
+    /// `(id, name, version)` in id order; `epoch` is the registry epoch;
+    /// `resident_workspace_bytes` comes from the server's per-model
+    /// accounting. Cache occupancy is read from the process-global caches
+    /// at snapshot time.
+    pub(crate) fn snapshot(
+        &self,
+        epoch: u64,
+        live: &[(ModelId, String, u32)],
+        resident_workspace_bytes: u64,
+    ) -> ServerStats {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64().max(1e-12);
@@ -322,6 +378,12 @@ impl MetricsCore {
             },
             throughput_rps: completed as f64 / uptime,
             latency: self.latency.summary(),
+            resident_workspace_bytes,
+            reclaimed_models: self.reclaimed_models.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+            swept_cache_entries: self.swept_cache_entries.load(Ordering::Relaxed),
+            transfer_cache_entries: lr_optics::transfer_cache_len(),
+            fft_plan_cache_entries: lr_tensor::plan_cache_len(),
             per_model: live
                 .iter()
                 .map(|(id, name, version)| ModelStats {
@@ -376,6 +438,46 @@ mod tests {
         }
     }
 
+    /// Regression test for the quantile/record race: `quantile_ns` used to
+    /// compute its target rank from a `count` loaded *before* the bucket
+    /// scan; a record landing between the two (or observed count-first
+    /// under relaxed ordering) could leave `seen < target` at the end of
+    /// the scan and spuriously report the max-bucket value. With one
+    /// pre-recorded huge outlier and a storm of concurrent small records,
+    /// p50 must stay in small-value territory on every read.
+    #[test]
+    fn quantile_is_race_consistent_under_concurrent_records() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_000_000); // the outlier p50 must never report
+        for _ in 0..64 {
+            h.record(100);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for _ in 0..200_000 {
+                        h.record(100);
+                    }
+                });
+            }
+            let h = &h;
+            scope.spawn(move || {
+                for _ in 0..50_000 {
+                    let p50 = h.quantile_ns(0.5);
+                    assert!(
+                        p50 < 1_000_000,
+                        "p50 = {p50}: quantile scan fell off the end and reported the outlier"
+                    );
+                }
+            });
+        });
+        // Sanity: the quantile still brackets the data afterwards (the
+        // top quantile lands in the outlier's bucket, within HDR error).
+        assert!(h.quantile_ns(0.5) <= 200);
+        assert!(h.quantile_ns(1.0) >= 900_000_000);
+    }
+
     #[test]
     fn empty_histogram_is_all_zero() {
         let h = LatencyHistogram::new();
@@ -396,8 +498,10 @@ mod tests {
             (ModelId(0), "a".to_string(), 1),
             (ModelId(1), "a".to_string(), 2),
         ];
-        let s = m.snapshot(7, &live);
+        let s = m.snapshot(7, &live, 12_345);
         assert_eq!(s.epoch, 7);
+        assert_eq!(s.resident_workspace_bytes, 12_345);
+        assert_eq!(s.reclaimed_models, 0);
         assert_eq!(s.completed, 2);
         assert_eq!(s.per_model.len(), 2);
         assert_eq!(s.per_model[0].completed, 1);

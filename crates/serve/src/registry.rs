@@ -93,6 +93,28 @@ pub enum ServableVariant {
 pub(crate) enum VariantWorkspace {
     Emulated(PropagationWorkspace),
     Physical(PhysicalWorkspace),
+    /// Slim placeholder left behind by [`crate::Server::reclaim`]: keeps
+    /// the per-worker workspace vector dense (ids are slot indices) after
+    /// the real buffers have been dropped. A request that still reaches a
+    /// reclaimed slot — only possible for a submission racing the retire
+    /// flip — is failed with `UnknownModel`, never served from freed
+    /// memory.
+    Reclaimed,
+}
+
+impl VariantWorkspace {
+    /// Heap bytes held by this workspace's buffers (0 once reclaimed).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        match self {
+            VariantWorkspace::Emulated(ws) => ws.resident_bytes(),
+            VariantWorkspace::Physical(ws) => ws.resident_bytes(),
+            VariantWorkspace::Reclaimed => 0,
+        }
+    }
+
+    pub(crate) fn is_reclaimed(&self) -> bool {
+        matches!(self, VariantWorkspace::Reclaimed)
+    }
 }
 
 /// A model variant registered under a versioned name.
@@ -338,18 +360,92 @@ impl ModelRegistry {
     }
 }
 
+/// One slot of a registry snapshot. Retirement collapses the slot to a
+/// **slim marker** — the entry `Arc` is released immediately, so the
+/// snapshot chain never retains a retired model's parameters; only the
+/// per-worker workspaces (freed later by [`crate::Server::reclaim`]) and
+/// the marker itself survive. The marker carries the epoch of the retire
+/// flip: the drain fence compares dispatcher acknowledgments against it.
+#[derive(Debug, Clone)]
+pub(crate) enum EntrySlot {
+    /// Servable entry.
+    Live(Arc<RegisteredModel>),
+    /// Tombstone: retired at epoch `retired_at`; per-worker workspaces are
+    /// still resident until reclaimed.
+    Retired {
+        /// Epoch of the snapshot that made this id invisible. Every
+        /// request pinning this entry was admitted at an earlier epoch.
+        retired_at: u64,
+    },
+    /// Tombstone whose per-worker workspaces have been dropped and whose
+    /// orphaned cache entries have been swept.
+    Reclaimed {
+        /// Epoch of the retire flip (kept for diagnostics).
+        retired_at: u64,
+    },
+}
+
+impl EntrySlot {
+    /// The entry `Arc`, when still live.
+    pub(crate) fn live(&self) -> Option<&Arc<RegisteredModel>> {
+        match self {
+            EntrySlot::Live(e) => Some(e),
+            EntrySlot::Retired { .. } | EntrySlot::Reclaimed { .. } => None,
+        }
+    }
+
+    /// The public lifecycle view of this slot.
+    pub(crate) fn lifecycle(&self) -> ModelLifecycle {
+        match self {
+            EntrySlot::Live(_) => ModelLifecycle::Live,
+            EntrySlot::Retired { retired_at } => ModelLifecycle::Retired {
+                retired_at: *retired_at,
+            },
+            EntrySlot::Reclaimed { retired_at } => ModelLifecycle::Reclaimed {
+                retired_at: *retired_at,
+            },
+        }
+    }
+}
+
+/// Where a registered model is in its lifecycle
+/// ([`crate::Server::lifecycle`]): servable, tombstoned with memory still
+/// resident, or tombstoned with memory reclaimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelLifecycle {
+    /// Registered and servable.
+    Live,
+    /// Tombstoned by [`crate::Server::retire`]; per-worker workspaces are
+    /// still resident.
+    Retired {
+        /// Registry epoch of the retire flip.
+        retired_at: u64,
+    },
+    /// Tombstoned and fully reclaimed ([`crate::Server::reclaim`]):
+    /// per-worker workspaces dropped, orphaned cache entries swept.
+    Reclaimed {
+        /// Registry epoch of the retire flip.
+        retired_at: u64,
+    },
+}
+
 /// One immutable epoch of the live registry. Slot index = [`ModelId`];
-/// `None` marks a retired (tombstoned) id.
+/// tombstone slots mark retired (and possibly reclaimed) ids.
 #[derive(Debug)]
 pub(crate) struct RegistrySnapshot {
     pub(crate) epoch: u64,
-    pub(crate) entries: Vec<Option<Arc<RegisteredModel>>>,
+    pub(crate) entries: Vec<EntrySlot>,
 }
 
 impl RegistrySnapshot {
     /// Live entry behind a handle (`None` when out of range or retired).
     pub(crate) fn get(&self, id: ModelId) -> Option<&Arc<RegisteredModel>> {
-        self.entries.get(id.0).and_then(Option::as_ref)
+        self.entries.get(id.0).and_then(EntrySlot::live)
+    }
+
+    /// The raw slot behind a handle (lifecycle checks).
+    pub(crate) fn slot(&self, id: ModelId) -> Option<&EntrySlot> {
+        self.entries.get(id.0)
     }
 
     /// Same semantics as [`ModelRegistry::resolve`], over live entries.
@@ -358,7 +454,7 @@ impl RegistrySnapshot {
             self.entries
                 .iter()
                 .enumerate()
-                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+                .filter_map(|(i, e)| e.live().map(|e| (i, e)))
         };
         match version {
             Some(v) => live()
@@ -376,7 +472,7 @@ impl RegistrySnapshot {
         self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|e| (ModelId(i), e)))
+            .filter_map(|(i, e)| e.live().map(|e| (ModelId(i), e)))
     }
 }
 
@@ -393,7 +489,7 @@ impl SharedRegistry {
         let entries = seed
             .into_entries()
             .into_iter()
-            .map(|e| Some(Arc::new(e)))
+            .map(|e| EntrySlot::Live(Arc::new(e)))
             .collect();
         SharedRegistry {
             current: ArcSwap::from_pointee(RegistrySnapshot { epoch: 0, entries }),

@@ -37,7 +37,8 @@
 
 use crate::metrics::{MetricsCore, ServerStats};
 use crate::registry::{
-    ModelId, ModelRegistry, RegisteredModel, RegistrySnapshot, SharedRegistry, VariantWorkspace,
+    EntrySlot, ModelId, ModelRegistry, RegisteredModel, RegistrySnapshot, SharedRegistry,
+    VariantWorkspace,
 };
 use arc_swap::ArcSwap;
 use lightridge::deploy::HardwareEnvironment;
@@ -45,7 +46,7 @@ use lightridge::DonnModel;
 use lr_tensor::parallel::{self, PoolPartition, SubmitTimeout};
 use lr_tensor::Field;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,25 @@ pub enum PoolMode {
     SharedGlobal,
 }
 
+/// When a retired model's memory (per-worker workspaces, orphaned FFT
+/// plans, orphaned transfer kernels) is reclaimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReclaimPolicy {
+    /// [`Server::retire`] only tombstones; memory stays resident until an
+    /// explicit [`Server::reclaim`] call. The right default when versions
+    /// may be re-examined (A/B rollbacks) before being let go.
+    #[default]
+    Manual,
+    /// [`Server::retire`] runs the full drain-fenced reclaim before
+    /// returning: the tombstone flip is still atomic and in-flight
+    /// requests still complete on their pinned entry, but `retire` then
+    /// blocks until every shard passes the drain fence and has dropped
+    /// the retired workspaces. The right choice for churn-heavy
+    /// deployments (DSE sweeps, per-perturbation retraining) where every
+    /// retire is final.
+    AutoOnRetire,
+}
+
 /// Micro-batching, sharding, and admission configuration.
 #[derive(Clone, Debug)]
 pub struct BatchPolicy {
@@ -108,6 +128,10 @@ pub struct BatchPolicy {
     /// dispatcher waits for the global pool's job slot before shedding the
     /// batch. Ignored under [`PoolMode::Partitioned`].
     pub pool_wait: Duration,
+    /// Whether [`Server::retire`] reclaims the retired model's memory
+    /// itself ([`ReclaimPolicy::AutoOnRetire`]) or leaves that to an
+    /// explicit [`Server::reclaim`] call (the default).
+    pub reclaim: ReclaimPolicy,
 }
 
 impl Default for BatchPolicy {
@@ -122,6 +146,7 @@ impl Default for BatchPolicy {
             shards: 1,
             pool: PoolMode::Partitioned,
             pool_wait: Duration::from_millis(250),
+            reclaim: ReclaimPolicy::Manual,
         }
     }
 }
@@ -250,29 +275,54 @@ impl RequestSlot {
     }
 }
 
-/// One shard's queue state, guarded by the shard queue mutex.
+/// One shard's queue state, guarded by the shard queue mutex. Each queued
+/// request carries the registry epoch it was admitted against — the input
+/// to the shard's drain fence.
 #[derive(Debug)]
 struct ShardQueue {
-    queue: VecDeque<Arc<RequestSlot>>,
+    queue: VecDeque<(u64, Arc<RequestSlot>)>,
     shutdown: bool,
 }
 
-/// One serving shard: its own queue, dispatcher wake-up, workspace-
-/// delivery mailbox, and (lock-free readable) queue depth for steal
-/// decisions.
+/// One lifecycle message mailed to a shard by the registrar thread.
+enum Delivery {
+    /// Warmed per-worker workspaces for a live-registered model (one per
+    /// worker context, in registration order).
+    Workspaces(ModelId, Vec<VariantWorkspace>),
+    /// Directive to drop the per-worker workspaces of a retired model,
+    /// leaving [`VariantWorkspace::Reclaimed`] placeholders. Mailed by
+    /// [`Server::reclaim`] only after the shard passed the drain fence.
+    Reclaim(ModelId),
+}
+
+/// One serving shard: its own queue, dispatcher wake-up, lifecycle-
+/// delivery mailbox, drain fence, and (lock-free readable) queue depth for
+/// steal decisions.
 struct Shard {
     queue: Mutex<ShardQueue>,
-    /// Signals this shard's dispatcher that work (or shutdown, or a hot
-    /// sibling worth stealing from) arrived.
+    /// Signals this shard's dispatcher that work (or shutdown, a hot
+    /// sibling worth stealing from, or a lifecycle delivery) arrived.
     work_cv: Condvar,
     /// Mirror of `queue.len()`, readable without the lock; siblings use it
     /// to decide whether this shard is hot enough to steal from.
     depth: AtomicUsize,
-    /// Warmed per-worker workspaces for live-registered models, pushed by
-    /// the registering thread **before** the new snapshot is published and
-    /// adopted by the dispatcher after each drain, before execution — so
-    /// any drained request's workspaces are already adopted or pending.
-    mailbox: Mutex<Vec<(ModelId, Vec<VariantWorkspace>)>>,
+    /// The shard's **drain fence**: a monotone epoch watermark advanced by
+    /// the dispatcher, under its queue lock, whenever its execution batch
+    /// is empty — toward the oldest queued admit-epoch, or (queue empty)
+    /// one past the current registry epoch. A fence at `F` acknowledges
+    /// that every request this shard admitted-and-owned before epoch `F`
+    /// has drained. Work this shard *stole*, and submissions that
+    /// validated before `F` rose but enqueued after, are not covered —
+    /// the global per-model in-flight counters and the
+    /// [`VariantWorkspace::Reclaimed`] placeholder are, which is why
+    /// [`Server::reclaim`] gates on all three layers.
+    fence: AtomicU64,
+    /// Lifecycle deliveries ([`Delivery`]), pushed by the registering/
+    /// reclaiming thread and processed by the dispatcher between batches
+    /// and while idle. Workspace deliveries land **before** the snapshot
+    /// that makes their model visible, so adoption always precedes the
+    /// first execution against a new id.
+    mailbox: Mutex<Vec<Delivery>>,
 }
 
 impl Shard {
@@ -286,6 +336,7 @@ impl Shard {
             }),
             work_cv: Condvar::new(),
             depth: AtomicUsize::new(0),
+            fence: AtomicU64::new(0),
             mailbox: Mutex::new(Vec::new()),
         }
     }
@@ -309,6 +360,22 @@ struct ServerCore {
     /// shards so stolen requests stay accounted. Grown under the registry
     /// write lock; loaded per request (an `Arc` clone — no allocation).
     inflight: ArcSwap<Vec<Arc<AtomicUsize>>>,
+    /// Per-model resident per-worker-workspace bytes, summed across every
+    /// shard's worker contexts. Credited by the thread that builds warmed
+    /// workspaces (startup and live registration), debited by dispatchers
+    /// when a [`Delivery::Reclaim`] drops them; [`Server::reclaim`] waits
+    /// for a retired model's counter to hit zero before declaring its
+    /// memory free. Grown under the registry write lock.
+    resident: ArcSwap<Vec<Arc<AtomicUsize>>>,
+    /// Paired with `lifecycle_cv`: a waiting [`Server::reclaim`] blocks
+    /// here (instead of polling the shard queues) until a dispatcher
+    /// signals that a fence rose or resident bytes were debited.
+    lifecycle: Mutex<()>,
+    lifecycle_cv: Condvar,
+    /// Set by shutdown before the dispatchers are joined, so a waiting
+    /// reclaim aborts instead of waiting for acknowledgments that will
+    /// never come.
+    shutting_down: AtomicBool,
     metrics: MetricsCore,
 }
 
@@ -336,6 +403,36 @@ impl ServerCore {
 
     fn inflight_release(&self, model: ModelId) {
         self.inflight.load_full()[model.0].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Credits freshly built per-worker workspace bytes to `model`.
+    fn resident_add(&self, model: ModelId, bytes: usize) {
+        self.resident.load_full()[model.0].fetch_add(bytes, Ordering::Release);
+    }
+
+    /// Debits reclaimed per-worker workspace bytes from `model`.
+    fn resident_sub(&self, model: ModelId, bytes: usize) {
+        self.resident.load_full()[model.0].fetch_sub(bytes, Ordering::Release);
+    }
+
+    /// Signals a waiting reclaim that lifecycle state moved (a fence
+    /// advanced or resident bytes were debited). Allocation-free; called
+    /// off the per-request hot path (dispatcher loop transitions only).
+    fn lifecycle_notify(&self) {
+        let _g = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.lifecycle_cv.notify_all();
+    }
+
+    /// Total resident per-worker workspace bytes across all models.
+    fn resident_total(&self) -> u64 {
+        self.resident
+            .load_full()
+            .iter()
+            .map(|c| c.load(Ordering::Acquire) as u64)
+            .sum()
     }
 
     /// Wakes sibling dispatchers when shard `s` just became hot.
@@ -416,6 +513,14 @@ impl Transport for InProcessClient {
                 got: input.shape(),
             });
         }
+        let entry = Arc::clone(entry);
+        let admit_epoch = snapshot.epoch;
+        // Drop the snapshot before doing anything that can block: a
+        // waiting client must pin only its *own* entry, never every entry
+        // of its admission epoch — a held snapshot would keep retired
+        // siblings' parameters alive and stall their reclaim (an Arc
+        // refcount drop, not an allocation).
+        drop(snapshot);
         // Stage the request in our slot (slot lock only).
         {
             let mut st = self.slot.lock();
@@ -425,7 +530,7 @@ impl Transport for InProcessClient {
                 "client reused while a request is in flight"
             );
             st.model = model;
-            st.entry = Some(Arc::clone(entry));
+            st.entry = Some(entry);
             st.ticket = st.ticket.wrapping_add(1);
             if st.input.shape() != input.shape() {
                 st.input = input.clone();
@@ -456,15 +561,15 @@ impl Transport for InProcessClient {
                 match self.core.policy.admission {
                     AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
                     AdmissionPolicy::ShedOldest => {
-                        let victim = q.queue.pop_front().expect("cap > 0 so queue non-empty");
-                        q.queue.push_back(Arc::clone(&self.slot));
+                        let (_, victim) = q.queue.pop_front().expect("cap > 0 so queue non-empty");
+                        q.queue.push_back((admit_epoch, Arc::clone(&self.slot)));
                         shard.depth.store(q.queue.len(), Ordering::Relaxed);
                         // Fail the victim outside the queue lock.
                         Ok(Some(victim))
                     }
                 }
             } else {
-                q.queue.push_back(Arc::clone(&self.slot));
+                q.queue.push_back((admit_epoch, Arc::clone(&self.slot)));
                 shard.depth.store(q.queue.len(), Ordering::Relaxed);
                 Ok(None)
             }
@@ -561,8 +666,16 @@ impl Server {
         let shared = SharedRegistry::new(registry);
         let snapshot = shared.load();
         let core = Arc::new(ServerCore {
+            lifecycle: Mutex::new(()),
+            lifecycle_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
             metrics: MetricsCore::new(num_models, num_shards),
             inflight: ArcSwap::from_pointee(
+                (0..num_models)
+                    .map(|_| Arc::new(AtomicUsize::new(0)))
+                    .collect(),
+            ),
+            resident: ArcSwap::from_pointee(
                 (0..num_models)
                     .map(|_| Arc::new(AtomicUsize::new(0)))
                     .collect(),
@@ -585,10 +698,14 @@ impl Server {
                     workspaces: snapshot
                         .entries
                         .iter()
-                        .map(|e| {
-                            e.as_ref()
+                        .enumerate()
+                        .map(|(m, e)| {
+                            let ws = e
+                                .live()
                                 .expect("fresh snapshot has no tombstones")
-                                .warmed_workspace()
+                                .warmed_workspace();
+                            core.resident_add(ModelId(m), ws.resident_bytes());
+                            ws
                         })
                         .collect(),
                 })
@@ -622,6 +739,12 @@ impl Server {
     /// Number of live (non-retired) model variants.
     pub fn live_models(&self) -> usize {
         self.core.registry.load().iter_live().count()
+    }
+
+    /// Lifecycle state of a model slot (`None` for a never-registered
+    /// handle).
+    pub fn lifecycle(&self, id: ModelId) -> Option<crate::registry::ModelLifecycle> {
+        self.core.registry.load().slot(id).map(EntrySlot::lifecycle)
     }
 
     /// Registers a digital-emulation variant on the **running** server —
@@ -677,31 +800,35 @@ impl Server {
         entry.prewarm();
         let id = ModelId(snapshot.entries.len());
         let entry = Arc::new(entry);
+        // Grow per-model accounting before anything references the id.
+        for counters in [&core.inflight, &core.resident] {
+            let current = counters.load_full();
+            let mut next = Vec::with_capacity(current.len() + 1);
+            next.extend(current.iter().cloned());
+            next.push(Arc::new(AtomicUsize::new(0)));
+            counters.store(Arc::new(next));
+        }
+        core.metrics.grow_models();
         // Deliver warmed workspaces to every shard *before* publishing:
         // a request for `id` can only be admitted after the flip, and
         // dispatchers adopt mailboxes after every drain, so adoption
         // always precedes the first execution against `id`.
         for (s, shard) in core.shards.iter().enumerate() {
             let workspaces: Vec<VariantWorkspace> = (0..core.ctxs_per_shard[s])
-                .map(|_| entry.warmed_workspace())
+                .map(|_| {
+                    let ws = entry.warmed_workspace();
+                    core.resident_add(id, ws.resident_bytes());
+                    ws
+                })
                 .collect();
             shard
                 .mailbox
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push((id, workspaces));
+                .push(Delivery::Workspaces(id, workspaces));
         }
-        // Grow per-model accounting before the id becomes visible.
-        {
-            let counters = core.inflight.load_full();
-            let mut next = Vec::with_capacity(counters.len() + 1);
-            next.extend(counters.iter().cloned());
-            next.push(Arc::new(AtomicUsize::new(0)));
-            core.inflight.store(Arc::new(next));
-        }
-        core.metrics.grow_models();
         let mut entries = snapshot.entries.clone();
-        entries.push(Some(Arc::clone(&entry)));
+        entries.push(EntrySlot::Live(Arc::clone(&entry)));
         core.registry.publish(RegistrySnapshot {
             epoch: snapshot.epoch + 1,
             entries,
@@ -712,7 +839,12 @@ impl Server {
     /// Retires a live model: one atomic snapshot flip. New submissions
     /// against `id` fail with [`ServeError::UnknownModel`]; requests
     /// already admitted complete normally on their pinned entry (no queue
-    /// drain). Returns false when `id` was not live.
+    /// drain). The slot collapses to a **slim tombstone** — the entry
+    /// `Arc` (the model's parameters and plans) is released as soon as the
+    /// last in-flight request against it settles; only the per-worker
+    /// workspaces stay resident until [`Server::reclaim`] (or immediately,
+    /// under [`ReclaimPolicy::AutoOnRetire`]). Returns false when `id` was
+    /// not live.
     pub fn retire(&self, id: ModelId) -> bool {
         let core = &self.core;
         let _write = core.registry.begin_write();
@@ -720,13 +852,155 @@ impl Server {
         if snapshot.get(id).is_none() {
             return false;
         }
+        let retired_at = snapshot.epoch + 1;
         let mut entries = snapshot.entries.clone();
-        entries[id.0] = None;
+        entries[id.0] = EntrySlot::Retired { retired_at };
+        core.registry.publish(RegistrySnapshot {
+            epoch: retired_at,
+            entries,
+        });
+        if core.policy.reclaim == ReclaimPolicy::AutoOnRetire {
+            self.reclaim_locked(id, retired_at);
+        }
+        true
+    }
+
+    /// Reclaims the memory of a **retired** model: its per-worker
+    /// [workspaces](lightridge::PropagationWorkspace) in every shard, its
+    /// prewarmed FFT plans, and its diffraction transfer kernels.
+    ///
+    /// The reclaim is **drain-fenced**: it blocks until every shard's
+    /// dispatcher acknowledges (via its epoch fence) that no work admitted
+    /// before the retire flip is queued or executing *and* the model's
+    /// global in-flight count (which also covers work stolen across
+    /// shards) is zero; only then are the drop directives mailed, and the
+    /// call returns once every shard has dropped its workspaces and the
+    /// orphaned cache entries are swept. Requests against surviving models
+    /// are never paused, never reallocated, and stay bit-identical
+    /// throughout.
+    ///
+    /// A documented no-op returning `false` (no epoch bump, no wait) when
+    /// `id` was never registered, is still live (retire first), or was
+    /// already reclaimed — so lifecycle automation can call it
+    /// idempotently. Also returns `false` if the server shuts down while
+    /// the reclaim is waiting for quiescence.
+    pub fn reclaim(&self, id: ModelId) -> bool {
+        let core = &self.core;
+        let _write = core.registry.begin_write();
+        let snapshot = core.registry.load();
+        match snapshot.slot(id) {
+            Some(EntrySlot::Retired { retired_at }) => self.reclaim_locked(id, *retired_at),
+            // Never registered, still live, or already reclaimed.
+            None | Some(EntrySlot::Live(_)) | Some(EntrySlot::Reclaimed { .. }) => false,
+        }
+    }
+
+    /// The drain-fenced reclaim body. Caller holds the registry write
+    /// lock and guarantees `id` is currently `Retired { retired_at }`.
+    ///
+    /// Both waits are event-driven: dispatchers signal `lifecycle_cv`
+    /// when a fence rises or resident bytes drop, so surviving traffic is
+    /// not perturbed by reclaim-side polling of the shard queues — the
+    /// queues are touched exactly once per phase (the initial nudge that
+    /// wakes idle dispatchers). The timeout on each wait only bounds
+    /// staleness against in-flight-count changes, which deliberately do
+    /// not signal (they are on the per-request hot path).
+    fn reclaim_locked(&self, id: ModelId, retired_at: u64) -> bool {
+        let core = &self.core;
+        const STALENESS: Duration = Duration::from_millis(1);
+        // Phase 1 — drain fence: every dispatcher must acknowledge an
+        // epoch at or past the retire flip (its queue holds nothing older
+        // and it is not mid-batch on older own-queue work), and the
+        // model's global in-flight count must be zero (covers requests a
+        // sibling stole). Wake idle dispatchers once: each advances its
+        // fence on wake and signals the change.
+        if self.nudge_dispatchers() {
+            return false;
+        }
+        let mut wait = core
+            .lifecycle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            let fences_ok = core
+                .shards
+                .iter()
+                .all(|s| s.fence.load(Ordering::Acquire) >= retired_at);
+            if fences_ok && core.inflight.load_full()[id.0].load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if core.shutting_down.load(Ordering::Acquire) {
+                return false;
+            }
+            wait = core
+                .lifecycle_cv
+                .wait_timeout(wait, STALENESS)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        drop(wait);
+        // Phase 2 — mail the drop directives and wait for every shard to
+        // zero out the model's resident-bytes account. A submission still
+        // racing the retire flip (validated against a pre-retire snapshot
+        // but not yet enqueued) may slip in after the fence; it fails
+        // safely with `UnknownModel` against the reclaimed placeholder
+        // instead of touching freed memory.
+        for shard in &core.shards {
+            shard
+                .mailbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(Delivery::Reclaim(id));
+        }
+        if self.nudge_dispatchers() {
+            return false;
+        }
+        let counter = Arc::clone(&core.resident.load_full()[id.0]);
+        let mut wait = core
+            .lifecycle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while counter.load(Ordering::Acquire) != 0 {
+            if core.shutting_down.load(Ordering::Acquire) {
+                return false;
+            }
+            wait = core
+                .lifecycle_cv
+                .wait_timeout(wait, STALENESS)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        drop(wait);
+        // Phase 3 — registry-tied cache eviction. The tombstone released
+        // the entry `Arc` at retire and the fence guarantees no in-flight
+        // pinner is left, so the retired model's transfer kernels and FFT
+        // plans are orphans now (entries shared with live models stay
+        // pinned and survive — their first-request latency is unaffected).
+        let swept = lr_optics::sweep_transfer_cache() + lr_tensor::sweep_orphaned_plans();
+        core.metrics.record_swept(swept as u64);
+        // Phase 4 — collapse the tombstone to its terminal marker.
+        let snapshot = core.registry.load();
+        let mut entries = snapshot.entries.clone();
+        entries[id.0] = EntrySlot::Reclaimed { retired_at };
         core.registry.publish(RegistrySnapshot {
             epoch: snapshot.epoch + 1,
             entries,
         });
+        core.metrics.record_reclaimed_model();
         true
+    }
+
+    /// Wakes every dispatcher so fences advance and mailboxes drain at the
+    /// start of a reclaim phase. Returns true when the server is shutting
+    /// down (the dispatchers will never acknowledge again).
+    fn nudge_dispatchers(&self) -> bool {
+        let mut shutting_down = false;
+        for shard in &self.core.shards {
+            let q = shard.lock_queue();
+            shutting_down |= q.shutdown;
+            shard.work_cv.notify_all();
+        }
+        shutting_down
     }
 
     /// Creates a new in-process client with its own reusable request slot.
@@ -745,7 +1019,9 @@ impl Server {
             .iter_live()
             .map(|(id, e)| (id, e.name().to_string(), e.version()))
             .collect();
-        self.core.metrics.snapshot(snapshot.epoch, &live)
+        self.core
+            .metrics
+            .snapshot(snapshot.epoch, &live, self.core.resident_total())
     }
 
     /// Stops accepting requests, fails everything still queued with
@@ -755,6 +1031,7 @@ impl Server {
     }
 
     fn stop(&mut self) {
+        self.core.shutting_down.store(true, Ordering::Release);
         for shard in &self.core.shards {
             let mut q = shard.lock_queue();
             q.shutdown = true;
@@ -762,6 +1039,8 @@ impl Server {
         for shard in &self.core.shards {
             shard.work_cv.notify_all();
         }
+        // Unblock any reclaim waiting on dispatcher acknowledgments.
+        self.core.lifecycle_notify();
         for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
@@ -789,7 +1068,8 @@ enum Collected {
 }
 
 /// The per-shard micro-batcher: drain (or steal) → coalesce → adopt
-/// pending workspaces → execute, forever.
+/// pending deliveries → execute, forever; the drain fence advances on
+/// every pass through the empty-batch collection point.
 fn dispatcher_loop(
     core: Arc<ServerCore>,
     shard_idx: usize,
@@ -799,7 +1079,7 @@ fn dispatcher_loop(
     let mut batch: Vec<Arc<RequestSlot>> = Vec::with_capacity(core.policy.max_batch);
     let mut tickets: Vec<u64> = Vec::with_capacity(core.policy.max_batch);
     loop {
-        match collect_batch(&core, shard_idx, &mut batch) {
+        match collect_batch(&core, shard_idx, &mut batch, &mut ctxs) {
             Collected::Shutdown => return,
             Collected::Work { stolen } => {
                 if stolen > 0 {
@@ -813,10 +1093,11 @@ fn dispatcher_loop(
         // requests for panic recovery.
         tickets.clear();
         tickets.extend(batch.iter().map(|slot| slot.lock().ticket));
-        // Adopt after the drain: any request drained above was admitted
-        // after its workspaces were mailed (see `register_entry`), so the
-        // mailbox already holds anything the batch needs.
-        adopt_pending(&core.shards[shard_idx], &mut ctxs);
+        // Process deliveries after the drain: any request drained above
+        // was admitted after its workspaces were mailed (see
+        // `register_entry`), so the mailbox already holds anything the
+        // batch needs.
+        process_deliveries(&core, shard_idx, &mut ctxs);
         // A panic escaping inference must not kill the dispatcher: blocked
         // clients would hang forever and the queue would never drain
         // again. Contain it, fail the unserved slots, and keep serving.
@@ -830,18 +1111,47 @@ fn dispatcher_loop(
     }
 }
 
+/// Advances this shard's drain fence. Call with the shard's queue lock
+/// held and the dispatcher's execution batch empty: the candidate value
+/// is one past the current registry epoch when the queue is empty, else
+/// the oldest queued admit-epoch — and the stored fence only ever
+/// **rises** (`fetch_max`), so in steady state (no registry flips) this
+/// is one uncontended atomic and no signal. A fence of `F` tells
+/// [`Server::reclaim`] that every request this shard admitted-and-owned
+/// before epoch `F` has drained; requests that *validated* before `F`
+/// rose but enqueue later are exactly the flip-racing stragglers covered
+/// by the global in-flight counters and, past those, by the
+/// [`VariantWorkspace::Reclaimed`] placeholder. A *risen* fence signals
+/// any waiting reclaim.
+fn advance_fence(core: &ServerCore, shard: &Shard, q: &ShardQueue) {
+    let fence = match q.queue.iter().map(|&(epoch, _)| epoch).min() {
+        Some(oldest) => oldest,
+        None => core.registry.load().epoch + 1,
+    };
+    if shard.fence.fetch_max(fence, Ordering::AcqRel) < fence {
+        core.lifecycle_notify();
+    }
+}
+
 /// Blocks until this shard has work (filling `batch`), stealing from a hot
-/// sibling when the own queue stays empty, or until shutdown.
+/// sibling when the own queue stays empty, or until shutdown. Advances the
+/// drain fence and processes lifecycle deliveries while idle, so retired
+/// models are reclaimable from a shard that sees no traffic.
 fn collect_batch(
     core: &ServerCore,
     shard_idx: usize,
     batch: &mut Vec<Arc<RequestSlot>>,
+    ctxs: &mut [WorkerCtx],
 ) -> Collected {
     let shard = &core.shards[shard_idx];
     let max_batch = core.policy.max_batch;
     let max_delay = core.policy.max_delay;
     let mut q = shard.lock_queue();
     loop {
+        // The batch is empty at every pass through this point, so the
+        // fence may rise to whatever the queue (or, when empty, the
+        // current epoch) supports.
+        advance_fence(core, shard, &q);
         if q.shutdown {
             drain_on_shutdown(core, shard, q);
             return Collected::Shutdown;
@@ -849,8 +1159,10 @@ fn collect_batch(
         if !q.queue.is_empty() {
             break;
         }
-        // Nothing local: scan siblings for a hot queue before sleeping.
+        // Nothing local: process lifecycle deliveries and scan siblings
+        // for a hot queue before sleeping.
         drop(q);
+        process_deliveries(core, shard_idx, ctxs);
         let stolen = steal_from_hot_sibling(core, shard_idx, batch);
         if stolen > 0 {
             return Collected::Work { stolen };
@@ -875,7 +1187,7 @@ fn collect_batch(
     loop {
         while batch.len() < max_batch {
             match q.queue.pop_front() {
-                Some(slot) => batch.push(slot),
+                Some((_, slot)) => batch.push(slot),
                 None => break,
             }
         }
@@ -925,7 +1237,7 @@ fn steal_from_hot_sibling(
         }
         let take = q.queue.len().div_ceil(2).min(core.policy.max_batch);
         for _ in 0..take {
-            batch.push(q.queue.pop_front().expect("len checked above"));
+            batch.push(q.queue.pop_front().expect("len checked above").1);
         }
         sibling.depth.store(q.queue.len(), Ordering::Relaxed);
         if take > 0 {
@@ -935,10 +1247,15 @@ fn steal_from_hot_sibling(
     0
 }
 
-/// Adopts workspace deliveries for live-registered models into this
-/// shard's worker contexts. Ids are append-only and mailed in
-/// registration order, so adoption is a push per worker.
-fn adopt_pending(shard: &Shard, ctxs: &mut [WorkerCtx]) {
+/// Processes lifecycle deliveries into this shard's worker contexts:
+/// adopts warmed workspaces for live-registered models (ids are
+/// append-only and mailed in registration order, so adoption is a push
+/// per worker) and drops reclaimed models' workspaces, debiting the
+/// resident-bytes account the reclaimer is waiting on. Runs only on the
+/// dispatcher thread, between batches or while idle — never while a
+/// worker context is executing.
+fn process_deliveries(core: &ServerCore, shard_idx: usize, ctxs: &mut [WorkerCtx]) {
+    let shard = &core.shards[shard_idx];
     let mut mail = shard
         .mailbox
         .lock()
@@ -946,11 +1263,29 @@ fn adopt_pending(shard: &Shard, ctxs: &mut [WorkerCtx]) {
     if mail.is_empty() {
         return;
     }
-    for (id, workspaces) in mail.drain(..) {
-        debug_assert_eq!(workspaces.len(), ctxs.len());
-        for (ctx, ws) in ctxs.iter_mut().zip(workspaces) {
-            debug_assert_eq!(ctx.workspaces.len(), id.0, "mailbox out of id order");
-            ctx.workspaces.push(ws);
+    for delivery in mail.drain(..) {
+        match delivery {
+            Delivery::Workspaces(id, workspaces) => {
+                debug_assert_eq!(workspaces.len(), ctxs.len());
+                for (ctx, ws) in ctxs.iter_mut().zip(workspaces) {
+                    debug_assert_eq!(ctx.workspaces.len(), id.0, "mailbox out of id order");
+                    ctx.workspaces.push(ws);
+                }
+            }
+            Delivery::Reclaim(id) => {
+                let mut freed = 0usize;
+                for ctx in ctxs.iter_mut() {
+                    let ws =
+                        std::mem::replace(&mut ctx.workspaces[id.0], VariantWorkspace::Reclaimed);
+                    freed += ws.resident_bytes();
+                }
+                if freed > 0 {
+                    core.resident_sub(id, freed);
+                    core.metrics.record_reclaimed_bytes(freed as u64);
+                }
+                // The reclaimer blocks until every shard has debited.
+                core.lifecycle_notify();
+            }
         }
     }
 }
@@ -982,7 +1317,7 @@ fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>], tickets: 
 /// Fails every queued request on shutdown. Consumes the queue guard.
 fn drain_on_shutdown(core: &ServerCore, shard: &Shard, mut q: MutexGuard<'_, ShardQueue>) {
     let mut leftovers: Vec<Arc<RequestSlot>> = Vec::with_capacity(q.queue.len());
-    while let Some(slot) = q.queue.pop_front() {
+    while let Some((_, slot)) = q.queue.pop_front() {
         leftovers.push(slot);
     }
     shard.depth.store(0, Ordering::Relaxed);
@@ -1060,6 +1395,18 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
         debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
         let state = &mut *st;
         let model = state.model;
+        // A submission that raced the retire flip (validated against a
+        // pre-retire snapshot, enqueued after the drain fence passed) can
+        // reach a reclaimed workspace slot. Refuse it — its model is
+        // retired — rather than serve from freed memory.
+        if ctx.workspaces[model.0].is_reclaimed() {
+            state.stage = Stage::Failed(ServeError::UnknownModel);
+            drop(st);
+            core.inflight_release(model);
+            core.metrics.record_rejected();
+            slot.cv.notify_all();
+            return;
+        }
         let entry = state
             .entry
             .as_ref()

@@ -6,7 +6,8 @@
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    AdmissionPolicy, BatchPolicy, ModelRegistry, ReadoutMode, ServeError, Server, Transport,
+    AdmissionPolicy, BatchPolicy, ModelLifecycle, ModelRegistry, ReadoutMode, ServeError, Server,
+    Transport,
 };
 use lr_tensor::{Complex64, Field};
 use std::time::Duration;
@@ -325,6 +326,70 @@ fn retire_refuses_new_requests_and_keeps_siblings_live() {
     client.infer(v2, &sample(16, 1), &mut logits).unwrap();
     assert_eq!(logits, model_v2.infer(&sample(16, 1)));
     assert_eq!(server.live_models(), 1);
+    server.shutdown();
+}
+
+/// `reclaim` is a guarded lifecycle step: live models and never-registered
+/// handles are documented no-ops returning `false` (and never bump the
+/// epoch), a retired model reclaims exactly once, and the second reclaim
+/// is again a `false` no-op — mirroring the double-`retire` guard above.
+#[test]
+fn reclaim_refuses_live_unknown_and_already_reclaimed_ids() {
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, donn(16, 1, 161), ReadoutMode::Emulation);
+    let model_v2 = donn(16, 2, 162);
+    registry.register_emulated("m", 2, model_v2.clone(), ReadoutMode::Emulation);
+    let server = Server::start(registry, BatchPolicy::default());
+    let v1 = server.resolve("m", Some(1)).unwrap();
+    let v2 = server.resolve("m", Some(2)).unwrap();
+
+    // A handle minted by a *different* registry with more entries: never
+    // registered here, so reclaim (like infer) must refuse it.
+    let foreign = {
+        let mut other = ModelRegistry::new();
+        other.register_emulated("x", 1, donn(16, 1, 163), ReadoutMode::Emulation);
+        other.register_emulated("x", 2, donn(16, 1, 164), ReadoutMode::Emulation);
+        other.register_emulated("x", 3, donn(16, 1, 165), ReadoutMode::Emulation);
+        other.resolve("x", Some(3)).unwrap()
+    };
+    assert!(!server.reclaim(foreign), "never-registered id is a no-op");
+    assert!(server.lifecycle(foreign).is_none());
+
+    assert!(!server.reclaim(v1), "a live model cannot be reclaimed");
+    assert_eq!(server.lifecycle(v1), Some(ModelLifecycle::Live));
+    assert_eq!(
+        server.epoch(),
+        0,
+        "refused reclaims must not bump the epoch"
+    );
+
+    assert!(server.retire(v1));
+    assert_eq!(
+        server.lifecycle(v1),
+        Some(ModelLifecycle::Retired { retired_at: 1 })
+    );
+    assert!(server.reclaim(v1), "first reclaim of a retired id succeeds");
+    assert_eq!(
+        server.lifecycle(v1),
+        Some(ModelLifecycle::Reclaimed { retired_at: 1 })
+    );
+    let epoch_after = server.epoch();
+    assert!(!server.reclaim(v1), "double reclaim is a no-op");
+    assert_eq!(
+        server.epoch(),
+        epoch_after,
+        "refused reclaim must not bump the epoch"
+    );
+
+    // The sibling version is untouched by the whole sequence.
+    let mut client = server.client();
+    let mut logits = Vec::new();
+    client.infer(v2, &sample(16, 0), &mut logits).unwrap();
+    assert_eq!(logits, model_v2.infer(&sample(16, 0)));
+    assert_eq!(
+        client.infer(v1, &sample(16, 0), &mut logits),
+        Err(ServeError::UnknownModel)
+    );
     server.shutdown();
 }
 

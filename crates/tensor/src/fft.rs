@@ -49,9 +49,9 @@
 use crate::complex::Complex64;
 use crate::field::Field;
 use crate::parallel;
+use crate::pinned_cache::PinnedCache;
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::f64::consts::PI;
 use std::sync::Arc;
 
@@ -738,21 +738,50 @@ impl MixedRadixPlan {
     }
 }
 
-/// Global plan cache keyed by transform length.
-static PLAN_CACHE: Mutex<Option<HashMap<usize, Arc<FftPlan>>>> = Mutex::new(None);
+/// Global plan cache keyed by transform length. Eviction semantics live
+/// in [`PinnedCache`]: entries pinned by a live `Fft2` (and therefore a
+/// live model or propagator) are never evicted; only plans orphaned by
+/// their last user dropping are reclaimable.
+static PLAN_CACHE: Mutex<Option<PinnedCache<usize, FftPlan>>> = Mutex::new(None);
+
+/// Soft capacity of the plan cache. A DSE sweep over grid sizes produces a
+/// stream of single-use lengths; past the cap, inserting a new plan first
+/// evicts **orphaned** entries (refcount-held by nobody but the cache),
+/// stalest hit first. Entries pinned by live plans are never evicted, so
+/// the cache may exceed the cap while more than `PLAN_CACHE_CAP` distinct
+/// lengths are simultaneously alive — in that state the cache is not the
+/// retainer.
+pub const PLAN_CACHE_CAP: usize = 64;
 
 /// Returns a cached plan for length `n`, creating it on first use.
 ///
 /// The cache is process-global and thread-safe; this is the fast path used
 /// by all LightRidge propagation kernels. The LightPipes-style baseline
-/// deliberately bypasses it to model plan-per-call overhead.
+/// deliberately bypasses it to model plan-per-call overhead. Capacity
+/// eviction is refcount-aware (see [`PLAN_CACHE_CAP`]); retired-model
+/// cleanup goes through [`sweep_orphaned_plans`].
 pub fn planner(n: usize) -> Arc<FftPlan> {
     let mut guard = PLAN_CACHE.lock();
-    let cache = guard.get_or_insert_with(HashMap::new);
-    cache
-        .entry(n)
-        .or_insert_with(|| Arc::new(FftPlan::new(n)))
-        .clone()
+    let cache = guard.get_or_insert_with(PinnedCache::new);
+    if let Some(hit) = cache.hit(&n) {
+        return hit;
+    }
+    let plan = Arc::new(FftPlan::new(n));
+    cache.insert(n, Arc::clone(&plan), PLAN_CACHE_CAP);
+    plan
+}
+
+/// Drops every cached plan that nothing outside the cache references any
+/// more, returning how many were evicted. The serving runtime calls this
+/// after reclaiming a retired model: the model's `Fft2`s (and their plan
+/// `Arc`s) are gone by then, so its prewarmed plans show up here as
+/// orphans — while plans shared with still-live models stay pinned and
+/// survive, preserving flat first-request latency for the survivors.
+pub fn sweep_orphaned_plans() -> usize {
+    PLAN_CACHE
+        .lock()
+        .as_mut()
+        .map_or(0, PinnedCache::sweep_orphans)
 }
 
 /// Clears the global plan cache (used by the runtime ablation benches).
@@ -762,7 +791,7 @@ pub fn clear_plan_cache() {
 
 /// Number of plans currently cached.
 pub fn plan_cache_len() -> usize {
-    PLAN_CACHE.lock().as_ref().map_or(0, |c| c.len())
+    PLAN_CACHE.lock().as_ref().map_or(0, PinnedCache::len)
 }
 
 /// Number of columns staged together by the strided column kernel. 32
@@ -797,6 +826,13 @@ impl Fft2Workspace {
     /// Shape this workspace serves.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
+    }
+
+    /// Heap bytes held by this workspace's scratch buffers (capacity, not
+    /// length). Feeds the serving runtime's resident-memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        (self.row_scratch.capacity() + self.col_scratch.capacity() + self.col_block.capacity())
+            * std::mem::size_of::<Complex64>()
     }
 }
 
@@ -1490,8 +1526,64 @@ mod tests {
         );
     }
 
+    /// Serializes the tests that clear, flood, or assert on the global
+    /// plan cache — they would invalidate each other's expectations if the
+    /// harness interleaved them.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Pin/orphan semantics of the registry-tied sweep, asserted per key
+    /// (never on global cache length — other tests share the process
+    /// cache): a pinned plan survives `sweep_orphaned_plans` and keeps
+    /// returning the same `Arc`; once its last external reference drops,
+    /// the sweep evicts it and the next `planner` call rebuilds.
+    #[test]
+    fn sweep_evicts_orphaned_plans_but_never_pinned_ones() {
+        let _serial = CACHE_TEST_LOCK.lock();
+        // Unique lengths no other test uses.
+        let pinned = planner(1187);
+        sweep_orphaned_plans();
+        assert!(
+            Arc::ptr_eq(&pinned, &planner(1187)),
+            "a pinned plan must survive the sweep"
+        );
+        drop(pinned);
+        let orphan = planner(1193);
+        let before_sweep = planner(1193);
+        assert!(Arc::ptr_eq(&orphan, &before_sweep));
+        drop(orphan);
+        drop(before_sweep);
+        sweep_orphaned_plans();
+        // 1187 and 1193 are both orphans now; a rebuild yields new plans.
+        let rebuilt = planner(1193);
+        assert_eq!(rebuilt.len(), 1193);
+        assert_eq!(Arc::strong_count(&rebuilt), 2, "cache + this binding");
+    }
+
+    /// Capacity eviction picks the stalest orphan and never a pinned
+    /// entry, so live models keep their prewarmed plans across DSE-style
+    /// insert storms.
+    #[test]
+    fn capacity_eviction_spares_pinned_plans() {
+        let _serial = CACHE_TEST_LOCK.lock();
+        let pinned = planner(2099);
+        // Flood the cache far past the cap with orphaned single-use plans.
+        for n in 0..(2 * PLAN_CACHE_CAP) {
+            drop(planner(3 * n + 3001));
+        }
+        assert!(
+            Arc::ptr_eq(&pinned, &planner(2099)),
+            "a pinned plan must survive capacity eviction"
+        );
+        assert!(
+            plan_cache_len() <= PLAN_CACHE_CAP + 64,
+            "orphan flood must not grow the cache unboundedly (len {})",
+            plan_cache_len()
+        );
+    }
+
     #[test]
     fn plan_cache_shares_plans() {
+        let _serial = CACHE_TEST_LOCK.lock();
         clear_plan_cache();
         let a = planner(64);
         let b = planner(64);

@@ -151,6 +151,13 @@ impl Field {
         self.data.is_empty()
     }
 
+    /// Heap bytes held by this field's sample buffer (capacity, not
+    /// length): what actually returns to the allocator when the field
+    /// drops. Used by the serving runtime's resident-memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Complex64>()
+    }
+
     /// Copies every sample from `src` without reallocating — the
     /// zero-allocation alternative to `*self = src.clone()` used by the
     /// propagation workspaces.

@@ -35,9 +35,12 @@ mod complex;
 mod fft;
 mod field;
 pub mod parallel;
+mod pinned_cache;
 
 pub use complex::{Complex64, J};
 pub use fft::{
-    clear_plan_cache, dft_naive, plan_cache_len, planner, Direction, Fft2, Fft2Workspace, FftPlan,
+    clear_plan_cache, dft_naive, plan_cache_len, planner, sweep_orphaned_plans, Direction, Fft2,
+    Fft2Workspace, FftPlan, PLAN_CACHE_CAP,
 };
 pub use field::Field;
+pub use pinned_cache::PinnedCache;

@@ -1,0 +1,182 @@
+//! Refcount-aware, generation-stamped cache map — the shared substrate of
+//! the process-global FFT **plan cache** (this crate) and the diffraction
+//! **transfer-function cache** (`lr-optics`).
+//!
+//! Both caches hand out `Arc`-shared values that live models pin for
+//! their whole service life, and both must bound the garbage a DSE-style
+//! sweep of single-use keys leaves behind. The rules live here once so
+//! the two caches can never diverge:
+//!
+//! * An entry is **pinned** while anything outside the cache still holds
+//!   its `Arc` (`strong_count > 1`). Pinned entries are *never* evicted —
+//!   a model in service can never lose its prewarmed kernel or plan.
+//! * Capacity pressure evicts the **stalest orphans** first (smallest
+//!   last-hit generation among unpinned entries). When everything is
+//!   pinned the cache may exceed its soft cap — in that state the live
+//!   values, not the cache, are the retainers.
+//! * [`PinnedCache::sweep_orphans`] drops *every* orphan: the
+//!   registry-tied eviction the serving runtime runs after reclaiming a
+//!   retired model.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    /// Generation of the most recent hit (or the insert).
+    gen: u64,
+}
+
+impl<V> Entry<V> {
+    fn pinned(&self) -> bool {
+        Arc::strong_count(&self.value) > 1
+    }
+}
+
+/// A map of `Arc`-shared values with pinned-aware, stalest-orphan-first
+/// eviction. See the module docs for the eviction rules.
+#[derive(Debug)]
+pub struct PinnedCache<K, V> {
+    /// Monotone hit counter backing the per-entry `gen` stamps.
+    gen: u64,
+    map: HashMap<K, Entry<V>>,
+}
+
+impl<K, V> Default for PinnedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> PinnedCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PinnedCache {
+            gen: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K: Eq + Hash, V> PinnedCache<K, V> {
+    /// Looks up `key`, stamping the entry as most recently used.
+    pub fn hit(&mut self, key: &K) -> Option<Arc<V>> {
+        self.gen += 1;
+        let gen = self.gen;
+        self.map.get_mut(key).map(|e| {
+            e.gen = gen;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts `value` under `key`. At or past `cap` entries, first evicts
+    /// stalest orphans (never pinned entries — fewer than needed may go,
+    /// letting the cache exceed the soft cap while everything is alive).
+    pub fn insert(&mut self, key: K, value: Arc<V>, cap: usize)
+    where
+        K: Copy,
+    {
+        self.gen += 1;
+        if self.map.len() >= cap {
+            let overflow = self.map.len() + 1 - cap;
+            self.evict_stalest_orphans(overflow);
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                gen: self.gen,
+            },
+        );
+    }
+
+    /// Removes up to `count` unpinned entries, stalest hit first.
+    fn evict_stalest_orphans(&mut self, count: usize)
+    where
+        K: Copy,
+    {
+        for _ in 0..count {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| !e.pinned())
+                .min_by_key(|(_, e)| e.gen)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Drops every entry that nothing outside the cache references any
+    /// more, returning how many were evicted. Entries pinned by live
+    /// values always survive.
+    pub fn sweep_orphans(&mut self) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, e| e.pinned());
+        before - self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_shared_value_and_misses_return_none() {
+        let mut cache: PinnedCache<u32, String> = PinnedCache::new();
+        assert!(cache.hit(&1).is_none());
+        let v = Arc::new("a".to_string());
+        cache.insert(1, Arc::clone(&v), 8);
+        let hit = cache.hit(&1).unwrap();
+        assert!(Arc::ptr_eq(&v, &hit));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sweep_drops_only_orphans() {
+        let mut cache: PinnedCache<u32, u32> = PinnedCache::new();
+        let pinned = Arc::new(7u32);
+        cache.insert(1, Arc::clone(&pinned), 8);
+        cache.insert(2, Arc::new(8u32), 8); // orphan: cache holds the only Arc
+        assert_eq!(cache.sweep_orphans(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.hit(&1).is_some());
+        assert!(cache.hit(&2).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_stalest_orphan_first_and_never_pinned() {
+        let mut cache: PinnedCache<u32, u32> = PinnedCache::new();
+        let pinned = Arc::new(0u32);
+        cache.insert(0, Arc::clone(&pinned), 3); // pinned, oldest
+        cache.insert(1, Arc::new(1u32), 3); // stalest orphan
+        cache.insert(2, Arc::new(2u32), 3);
+        assert!(cache.hit(&2).is_some()); // freshen 2 so 1 stays stalest
+        cache.insert(3, Arc::new(3u32), 3); // at cap: must evict key 1
+        assert_eq!(cache.len(), 3);
+        assert!(cache.hit(&1).is_none(), "stalest orphan evicted");
+        assert!(cache.hit(&0).is_some(), "pinned entry survives");
+        // All remaining pinned/held: cap overflow is tolerated.
+        let keep2 = cache.hit(&2).unwrap();
+        let keep3 = cache.hit(&3).unwrap();
+        cache.insert(4, Arc::new(4u32), 3);
+        assert_eq!(cache.len(), 4, "nothing evictable: soft cap exceeded");
+        drop((keep2, keep3));
+    }
+}

@@ -13,6 +13,11 @@
 //! covering *both* the old and new versions must again be allocation-free
 //! and bit-identical on both sides of the flip.
 //!
+//! Finally the superseded version is **retired and reclaimed** mid-run:
+//! the drain-fenced reclaim frees its per-worker workspaces (drops only —
+//! the allocator counts allocations), after which the surviving models'
+//! steady state must *still* be allocation-free and bit-identical.
+//!
 //! Like `zero_alloc.rs`, this must stay a single-test binary: the counting
 //! allocator is process-global. Sequential mode is forced
 //! (`set_threads(1)`) so shard partitions have width 0 and batch execution
@@ -21,7 +26,7 @@
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
-use lr_serve::{BatchPolicy, ModelRegistry, ReadoutMode, Server, Transport};
+use lr_serve::{BatchPolicy, ModelRegistry, ReadoutMode, ServeError, Server, Transport};
 use lr_tensor::{parallel, Complex64, Field};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -187,8 +192,54 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
     client_b.infer(b, &input_b, &mut logits).unwrap();
     assert_eq!(logits, reference_b);
 
+    // ---- Mid-run retire + reclaim ------------------------------------
+    // Retire the superseded version and reclaim its memory. Reclaim
+    // itself may *free* (drops are not allocations, and the counting
+    // allocator only counts allocations), but the serving path for the
+    // survivors must stay allocation-free afterwards — no reallocation,
+    // no workspace rebuilding, no snapshot-chain growth per request —
+    // and bit-identical on both surviving models.
+    let resident_before = server.stats().resident_workspace_bytes;
+    assert!(server.retire(a));
+    assert!(server.reclaim(a));
+    let resident_after = server.stats().resident_workspace_bytes;
+    assert!(
+        resident_after < resident_before,
+        "reclaim must free the retired version's workspaces \
+         ({resident_after} vs {resident_before} bytes)"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        client_a2.infer(a2, &input_a, &mut logits).unwrap();
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "post-reclaim steady state must not allocate (got {} allocations over 20 requests)",
+        after - before
+    );
+
+    // The retired id is refused; the survivors are still bit-identical.
+    assert_eq!(
+        client_a.infer(a, &input_a, &mut logits),
+        Err(ServeError::UnknownModel),
+        "reclaimed model must be refused at admission"
+    );
+    client_a2.infer(a2, &input_a, &mut logits).unwrap();
+    assert_eq!(
+        logits, reference_a2,
+        "surviving v2 must stay bit-identical after the reclaim"
+    );
+    client_b.infer(b, &input_b, &mut logits).unwrap();
+    assert_eq!(logits, reference_b);
+
     let stats = server.stats();
-    assert_eq!(stats.completed, 71);
+    assert_eq!(stats.completed, 93);
+    assert_eq!(stats.reclaimed_models, 1);
+    assert!(stats.reclaimed_bytes > 0);
     assert!(stats.latency.p50_ns > 0);
     assert_eq!(stats.per_shard.len(), 2);
     assert!(
