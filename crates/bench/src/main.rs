@@ -22,7 +22,7 @@
 mod compare;
 mod serve_bench;
 
-use lightridge::{Detector, DonnBuilder, DonnModel, Layer};
+use lightridge::{CodesignMode, Detector, DonnBuilder, DonnModel, Layer};
 use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
 use lr_tensor::{parallel, Complex64, Direction, Fft2, Field};
 use std::fmt::Write as _;
@@ -192,6 +192,35 @@ fn main() {
     entries.push((
         "batched_forward/speedup/200x3x16".to_string(),
         ref_ns / new_ns,
+    ));
+
+    // --- Fused batched forward: one infer_batch_into vs a per-sample loop
+    // (same kernels by construction — the delta is dispatch, plan-lookup,
+    // and transfer-broadcast amortization across the batch).
+    let input_refs: Vec<&Field> = batch.iter().collect();
+    let mut batch_ws = model.make_batch_workspace(batch.len());
+    let mut outputs: Vec<Vec<f64>> = (0..batch.len())
+        .map(|_| Vec::with_capacity(model.num_classes()))
+        .collect();
+    let batched_ns = median_ns(fwd_samples, || {
+        model.infer_batch_into(&input_refs, CodesignMode::Soft, &mut batch_ws, &mut outputs);
+        std::hint::black_box(&outputs);
+    });
+    entries.push(("forward_batch/lightridge/200x3x16".to_string(), batched_ns));
+    let mut sample_ws = model.make_workspace();
+    let per_sample_ns = median_ns(fwd_samples, || {
+        for (input, out) in batch.iter().zip(outputs.iter_mut()) {
+            model.infer_into(input, &mut sample_ws, out);
+        }
+        std::hint::black_box(&outputs);
+    });
+    entries.push((
+        "forward_batch/per_sample/200x3x16".to_string(),
+        per_sample_ns,
+    ));
+    entries.push((
+        "forward_batch/speedup/200x3x16".to_string(),
+        per_sample_ns / batched_ns,
     ));
 
     // --- Emit ------------------------------------------------------------

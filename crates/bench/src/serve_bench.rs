@@ -352,6 +352,13 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
         o.ok as f64 / o.wall_secs.max(1e-12)
     );
     let _ = writeln!(json, "      \"mean_batch_size\": {:.3},", s.mean_batch_size);
+    let _ = writeln!(json, "      \"batched_samples\": {},", s.batched_samples);
+    let _ = writeln!(json, "      \"batch_executions\": {},", s.batch_executions);
+    let _ = writeln!(
+        json,
+        "      \"mean_executed_batch\": {:.3},",
+        s.mean_executed_batch
+    );
     let _ = writeln!(json, "      \"latency_ns\": {{");
     let _ = writeln!(json, "        \"p50\": {},", l.p50_ns);
     let _ = writeln!(json, "        \"p95\": {},", l.p95_ns);

@@ -22,7 +22,7 @@
 
 use lr_hardware::SlmModel;
 use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
-use lr_tensor::{Complex64, Field};
+use lr_tensor::{Complex64, Field, FieldBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -291,10 +291,24 @@ impl CodesignLayer {
         seed: u64,
         cache: &mut CodesignCache,
     ) {
-        if cache.propagated.shape() != u.shape() {
-            cache.propagated = Field::zeros(u.rows(), u.cols());
+        self.modulate_slice_into(u.as_mut_slice(), mode, seed, cache);
+    }
+
+    /// The cache-producing modulation kernel on one raw plane — shared by
+    /// the per-sample and batched trace-building paths.
+    fn modulate_slice_into(
+        &self,
+        u: &mut [Complex64],
+        mode: CodesignMode,
+        seed: u64,
+        cache: &mut CodesignCache,
+    ) {
+        let (rows, cols) = self.grid().shape();
+        assert_eq!(u.len(), rows * cols, "plane/grid length mismatch");
+        if cache.propagated.shape() != (rows, cols) {
+            cache.propagated = Field::zeros(rows, cols);
         }
-        cache.propagated.copy_from(u);
+        cache.propagated.as_mut_slice().copy_from_slice(u);
 
         let levels = self.device.num_levels();
         let pixels = self.num_pixels();
@@ -350,7 +364,7 @@ impl CodesignLayer {
             modulation[p] = m * self.gamma;
         }
 
-        for (z, &m) in u.as_mut_slice().iter_mut().zip(modulation.iter()) {
+        for (z, &m) in u.iter_mut().zip(modulation.iter()) {
             *z *= m;
         }
     }
@@ -378,9 +392,17 @@ impl CodesignLayer {
         );
         assert_eq!(u.shape(), self.grid().shape(), "input/grid shape mismatch");
         self.propagator.propagate_with(u, scratch);
+        self.infer_modulate_slice(u.as_mut_slice(), mode);
+    }
+
+    /// The inference-mode modulation kernel on one raw (already propagated)
+    /// plane — shared by [`CodesignLayer::infer_inplace`] and the batched
+    /// inference path. Weights are folded on the fly; no buffers are
+    /// touched.
+    fn infer_modulate_slice(&self, u: &mut [Complex64], mode: CodesignMode) {
         let levels = self.device.num_levels();
         let inv_tau = 1.0 / self.temperature;
-        for (p, z) in u.as_mut_slice().iter_mut().enumerate() {
+        for (p, z) in u.iter_mut().enumerate() {
             let row = &self.logits[p * levels..(p + 1) * levels];
             let m = match mode {
                 CodesignMode::Deploy => {
@@ -411,6 +433,124 @@ impl CodesignLayer {
             };
             *z *= m * self.gamma;
         }
+    }
+
+    /// Batched inference step: diffract every active plane, then modulate
+    /// each with the noise-free soft mixture or hard argmax state — the
+    /// batched counterpart of [`CodesignLayer::infer_inplace`],
+    /// bit-identical to it per plane and free of steady-state allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid or `mode` is
+    /// [`CodesignMode::Train`].
+    pub fn infer_batch_inplace(
+        &self,
+        batch: &mut FieldBatch,
+        mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    ) {
+        assert!(
+            mode != CodesignMode::Train,
+            "infer_batch_inplace supports Soft/Deploy; Train needs the traced forward"
+        );
+        self.propagator.propagate_batch_into(batch, scratch);
+        for plane in batch.planes_mut() {
+            self.infer_modulate_slice(plane, mode);
+        }
+    }
+
+    /// Batched trace-building forward pass: diffracts every active plane,
+    /// then modulates each with its own per-sample seed (`seeds[b]` drives
+    /// plane `b`'s Gumbel noise in [`CodesignMode::Train`]), reusing one
+    /// [`CodesignCache`] per plane from `caches` (grown once, then
+    /// allocation-free except the per-plane RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid or `seeds` does not
+    /// cover the batch.
+    pub fn forward_batch_traced(
+        &self,
+        batch: &mut FieldBatch,
+        mode: CodesignMode,
+        seeds: &[u64],
+        scratch: &mut PropagationScratch,
+        caches: &mut Vec<CodesignCache>,
+    ) {
+        assert_eq!(seeds.len(), batch.batch(), "one seed per batch plane");
+        self.propagator.propagate_batch_into(batch, scratch);
+        if caches.len() < batch.batch() {
+            caches.resize_with(batch.batch(), || CodesignCache {
+                propagated: Field::zeros(self.grid().rows(), self.grid().cols()),
+                weights: Vec::new(),
+                modulation: Vec::new(),
+            });
+        }
+        for (b, (plane, cache)) in batch.planes_mut().zip(caches.iter_mut()).enumerate() {
+            self.modulate_slice_into(plane, mode, seeds[b], cache);
+        }
+    }
+
+    /// Batched backward pass operating on the gradient **in place**: every
+    /// active plane of `grad` enters as `∂L/∂(output)̄` and leaves as
+    /// `∂L/∂(input)̄`; `logit_grads` accumulates `dL/dlogits` summed over
+    /// the batch in plane order. Unlike the per-sample
+    /// [`CodesignLayer::backward`], this allocates no gradient field per
+    /// sample (`dw` is the only scratch, sized once per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree, `caches` does not cover the batch, or
+    /// `logit_grads` has the wrong length.
+    pub fn backward_batch_inplace(
+        &self,
+        grad: &mut FieldBatch,
+        caches: &[CodesignCache],
+        logit_grads: &mut [f64],
+        scratch: &mut PropagationScratch,
+    ) {
+        assert!(
+            caches.len() >= grad.batch(),
+            "gradient/cache batch mismatch"
+        );
+        assert_eq!(
+            grad.plane_shape(),
+            self.grid().shape(),
+            "gradient shape mismatch"
+        );
+        assert_eq!(
+            logit_grads.len(),
+            self.logits.len(),
+            "logit gradient buffer length mismatch"
+        );
+        let levels = self.device.num_levels();
+        let pixels = self.num_pixels();
+        let inv_tau = 1.0 / self.temperature;
+        let mut dw = vec![0.0; levels];
+        for (b, cache) in caches.iter().enumerate().take(grad.batch()) {
+            let g = grad.plane_mut(b);
+            let u = cache.propagated.as_slice();
+            for p in 0..pixels {
+                // dL/dw_l = 2·Re( conj(g_p) · u_p · γ · c_l )
+                let gu = g[p].conj() * u[p] * self.gamma;
+                for (d, &state) in dw.iter_mut().zip(&self.states) {
+                    *d = 2.0 * (gu * state).re;
+                }
+                // Softmax Jacobian with the 1/τ chain factor.
+                let w = &cache.weights[p * levels..(p + 1) * levels];
+                let dot: f64 = dw.iter().zip(w).map(|(&d, &wi)| d * wi).sum();
+                let out_row = &mut logit_grads[p * levels..(p + 1) * levels];
+                for l in 0..levels {
+                    out_row[l] += w[l] * inv_tau * (dw[l] - dot);
+                }
+            }
+            // g_u = g_out · conj(m), in place.
+            for (gi, &m) in g.iter_mut().zip(&cache.modulation) {
+                *gi *= m.conj();
+            }
+        }
+        self.propagator.adjoint_batch_into(grad, scratch);
     }
 
     /// Backward pass: accumulates `dL/dlogits` into `logit_grads` (`+=`) and

@@ -6,7 +6,7 @@
 //! collects the most light is the prediction; `Softmax` of the region sums
 //! feeds the MSE training loss.
 
-use lr_tensor::{Complex64, Field};
+use lr_tensor::{Complex64, Field, FieldBatch};
 
 /// One rectangular detector region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,15 +174,49 @@ impl Detector {
             (self.rows, self.cols),
             "field/detector shape mismatch"
         );
+        self.read_plane_into(field.as_slice(), out);
+    }
+
+    /// [`Detector::read_into`] on one raw row-major plane — the shared
+    /// readout kernel behind the per-sample and batched paths (a plane of
+    /// a [`FieldBatch`] has no `Field` wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != rows·cols`.
+    pub fn read_plane_into(&self, samples: &[Complex64], out: &mut Vec<f64>) {
+        assert_eq!(
+            samples.len(),
+            self.rows * self.cols,
+            "plane/detector length mismatch"
+        );
         out.clear();
         for reg in &self.regions {
             let mut sum = 0.0;
             for r in reg.row..reg.row + reg.height {
                 for c in reg.col..reg.col + reg.width {
-                    sum += field[(r, c)].norm_sqr();
+                    sum += samples[r * self.cols + c].norm_sqr();
                 }
             }
             out.push(sum);
+        }
+    }
+
+    /// Batched readout: one logit vector per active plane, written into
+    /// the matching `outputs` slot (allocation-free once each output has
+    /// `num_classes` capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if plane shapes mismatch or `outputs` does not cover the
+    /// batch.
+    pub fn read_batch_into(&self, batch: &FieldBatch, outputs: &mut [Vec<f64>]) {
+        assert!(
+            outputs.len() >= batch.batch(),
+            "one output slot per batch plane"
+        );
+        for (b, out) in outputs.iter_mut().enumerate().take(batch.batch()) {
+            self.read_plane_into(batch.plane(b), out);
         }
     }
 
@@ -250,16 +284,41 @@ impl Detector {
             (self.rows, self.cols),
             "gradient/detector shape mismatch"
         );
+        self.backward_plane_into(field.as_slice(), logit_grads, out.as_mut_slice());
+    }
+
+    /// [`Detector::backward_into`] on raw row-major planes — the shared
+    /// kernel behind the per-sample and batched backward paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the detector plane.
+    pub fn backward_plane_into(
+        &self,
+        samples: &[Complex64],
+        logit_grads: &[f64],
+        out: &mut [Complex64],
+    ) {
+        assert_eq!(
+            samples.len(),
+            self.rows * self.cols,
+            "plane/detector length mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.rows * self.cols,
+            "gradient/detector length mismatch"
+        );
         assert_eq!(
             logit_grads.len(),
             self.regions.len(),
             "logit gradient length mismatch"
         );
-        out.as_mut_slice().fill(Complex64::ZERO);
+        out.fill(Complex64::ZERO);
         for (reg, &dl) in self.regions.iter().zip(logit_grads) {
             for r in reg.row..reg.row + reg.height {
                 for c in reg.col..reg.col + reg.width {
-                    out[(r, c)] = field[(r, c)] * dl;
+                    out[r * self.cols + c] = samples[r * self.cols + c] * dl;
                 }
             }
         }

@@ -15,7 +15,7 @@
 //! * through diffraction: adjoint propagation (conjugated transfer function).
 
 use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
-use lr_tensor::{Complex64, Field};
+use lr_tensor::{Complex64, Field, FieldBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::TAU;
@@ -66,6 +66,27 @@ impl DiffractiveCache {
         DiffractiveCache {
             propagated: Field::zeros(rows, cols),
             output: Field::zeros(rows, cols),
+        }
+    }
+}
+
+/// Batched per-layer activations, one plane per sample, reused across
+/// training steps by the batched trace ring. Unlike the per-sample
+/// [`DiffractiveCache`], only the layer **outputs** are kept: that is all
+/// the batched backward pass reads (`dL/dφ` needs the output, and the
+/// input gradient is pure adjoint propagation), so the batch cache skips
+/// the pre-modulation copy and half the resident memory.
+#[derive(Debug, Clone)]
+pub struct DiffractiveBatchCache {
+    /// Layer outputs, kept for the phase gradients.
+    pub output: FieldBatch,
+}
+
+impl DiffractiveBatchCache {
+    /// Pre-allocates a cache with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize, rows: usize, cols: usize) -> Self {
+        DiffractiveBatchCache {
+            output: FieldBatch::with_capacity(capacity, rows, cols),
         }
     }
 }
@@ -183,8 +204,15 @@ impl DiffractiveLayer {
     /// Applies the phase modulation `U ← γ·e^{jφ}·U` in place.
     #[inline]
     fn modulate_inplace(&self, u: &mut Field) {
+        self.modulate_slice(u.as_mut_slice());
+    }
+
+    /// The modulation kernel on one raw plane — shared by the per-sample
+    /// and batched paths.
+    #[inline]
+    fn modulate_slice(&self, u: &mut [Complex64]) {
         let gamma = self.gamma;
-        for (z, &phi) in u.as_mut_slice().iter_mut().zip(&self.phases) {
+        for (z, &phi) in u.iter_mut().zip(&self.phases) {
             *z *= Complex64::cis(phi) * gamma;
         }
     }
@@ -240,6 +268,87 @@ impl DiffractiveLayer {
             propagated,
             output: u.clone(),
         }
+    }
+
+    /// Batched inference step: diffract and modulate **every active
+    /// plane** of `batch` in place through one shared scratch — the
+    /// batched counterpart of [`DiffractiveLayer::infer_inplace`],
+    /// bit-identical to it per plane (shared plane kernels) and free of
+    /// steady-state allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn infer_batch_inplace(&self, batch: &mut FieldBatch, scratch: &mut PropagationScratch) {
+        self.propagator.propagate_batch_into(batch, scratch);
+        for plane in batch.planes_mut() {
+            self.modulate_slice(plane);
+        }
+    }
+
+    /// Batched trace-building forward pass: transforms every active plane
+    /// of `batch` in place and copies the per-sample activations into the
+    /// reusable batch `cache` — the batched counterpart of
+    /// [`DiffractiveLayer::forward_into`] (allocation-free once the cache
+    /// capacity covers the batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid.
+    pub fn forward_batch_traced(
+        &self,
+        batch: &mut FieldBatch,
+        cache: &mut DiffractiveBatchCache,
+        scratch: &mut PropagationScratch,
+    ) {
+        self.propagator.propagate_batch_into(batch, scratch);
+        for plane in batch.planes_mut() {
+            self.modulate_slice(plane);
+        }
+        cache.output.copy_from(batch);
+    }
+
+    /// Batched [`DiffractiveLayer::backward_inplace`]: every active plane
+    /// of `grad` enters as `∂L/∂(output)̄` and leaves as `∂L/∂(input)̄`;
+    /// `phase_grads` accumulates `dL/dφ` summed over the batch in plane
+    /// order (bit-identical to the per-sample accumulation order). No
+    /// per-sample allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the layer grid, the cache does not
+    /// cover the batch, or `phase_grads` has the wrong length.
+    pub fn backward_batch_inplace(
+        &self,
+        grad: &mut FieldBatch,
+        cache: &DiffractiveBatchCache,
+        phase_grads: &mut [f64],
+        scratch: &mut PropagationScratch,
+    ) {
+        assert_eq!(
+            grad.batch(),
+            cache.output.batch(),
+            "gradient/cache batch mismatch"
+        );
+        assert_eq!(
+            grad.plane_shape(),
+            self.grid().shape(),
+            "gradient shape mismatch"
+        );
+        assert_eq!(
+            phase_grads.len(),
+            self.phases.len(),
+            "phase gradient buffer length mismatch"
+        );
+        for b in 0..grad.batch() {
+            let g = grad.plane_mut(b);
+            let out = cache.output.plane(b);
+            for ((g, &out), acc) in g.iter().zip(out).zip(phase_grads.iter_mut()) {
+                *acc += 2.0 * (g.conj() * (Complex64::I * out)).re;
+            }
+            self.backprop_modulation_slice(g);
+        }
+        self.propagator.adjoint_batch_into(grad, scratch);
     }
 
     /// Backward pass.
@@ -314,8 +423,14 @@ impl DiffractiveLayer {
 
     /// `g_u = g_out · conj(m)`, `m = γ e^{jφ}`, in place.
     fn backprop_modulation(&self, g: &mut Field) {
+        self.backprop_modulation_slice(g.as_mut_slice());
+    }
+
+    /// The modulation-adjoint kernel on one raw plane.
+    #[inline]
+    fn backprop_modulation_slice(&self, g: &mut [Complex64]) {
         let gamma = self.gamma;
-        for (g, &phi) in g.as_mut_slice().iter_mut().zip(&self.phases) {
+        for (g, &phi) in g.iter_mut().zip(&self.phases) {
             *g *= Complex64::cis(-phi) * gamma;
         }
     }

@@ -22,7 +22,7 @@
 //!
 //! where `g = ∂L/∂ū` and `t'(I) = (1 − α)·I_sat/(I + I_sat)²`.
 
-use lr_tensor::Field;
+use lr_tensor::{Field, FieldBatch};
 
 /// A saturable-absorber nonlinear optical layer.
 ///
@@ -52,6 +52,22 @@ pub struct SaturableAbsorber {
 pub struct NonlinearCache {
     /// The input field.
     pub input: Field,
+}
+
+/// Batched forward activations: one input plane per sample.
+#[derive(Debug, Clone)]
+pub struct NonlinearBatchCache {
+    /// The input planes.
+    pub input: FieldBatch,
+}
+
+impl NonlinearBatchCache {
+    /// Pre-allocates a cache with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize, rows: usize, cols: usize) -> Self {
+        NonlinearBatchCache {
+            input: FieldBatch::with_capacity(capacity, rows, cols),
+        }
+    }
 }
 
 impl SaturableAbsorber {
@@ -124,6 +140,46 @@ impl SaturableAbsorber {
         }
         cache.input.copy_from(u);
         self.infer_inplace(u);
+    }
+
+    /// Batched inference step: the saturable transmission applied to every
+    /// active plane in place (elementwise, allocation-free, bit-identical
+    /// per plane to [`SaturableAbsorber::infer_inplace`]).
+    pub fn infer_batch_inplace(&self, batch: &mut FieldBatch) {
+        batch.map_inplace(|z| z * self.transmission(z.norm_sqr()));
+    }
+
+    /// Batched trace-building forward pass reusing a caller-owned cache.
+    pub fn forward_batch_traced(&self, batch: &mut FieldBatch, cache: &mut NonlinearBatchCache) {
+        cache.input.copy_from(batch);
+        self.infer_batch_inplace(batch);
+    }
+
+    /// Batched backward pass operating on the gradient **in place**: every
+    /// active plane enters as `∂L/∂(output)̄` and leaves as `∂L/∂(input)̄`.
+    /// Unlike the per-sample [`SaturableAbsorber::backward`], no gradient
+    /// field is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match the gradient batch.
+    pub fn backward_batch_inplace(&self, grad: &mut FieldBatch, cache: &NonlinearBatchCache) {
+        assert_eq!(
+            grad.batch(),
+            cache.input.batch(),
+            "gradient/cache batch mismatch"
+        );
+        assert_eq!(
+            grad.plane_shape(),
+            cache.input.plane_shape(),
+            "gradient shape mismatch"
+        );
+        for (g, &u) in grad.as_mut_slice().iter_mut().zip(cache.input.as_slice()) {
+            let i = u.norm_sqr();
+            let t = self.transmission(i);
+            let tp = self.transmission_prime(i);
+            *g = g.conj() * (u * u) * tp + *g * (t + tp * i);
+        }
     }
 
     /// Backward pass: returns `∂L/∂(input)̄` from `∂L/∂(output)̄`.

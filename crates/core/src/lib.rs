@@ -73,12 +73,13 @@ pub mod viz;
 pub use ensemble::DonnEnsemble;
 pub use layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
 pub use layers::detector::{Detector, DetectorRegion, PlaneReadout};
-pub use layers::diffractive::{DiffractiveCache, DiffractiveLayer};
-pub use layers::nonlinear::{NonlinearCache, SaturableAbsorber};
+pub use layers::diffractive::{DiffractiveBatchCache, DiffractiveCache, DiffractiveLayer};
+pub use layers::nonlinear::{NonlinearBatchCache, NonlinearCache, SaturableAbsorber};
 pub use model::{
-    DonnBuilder, DonnModel, Layer, LayerCache, ModelGrads, PropagationWorkspace, Trace,
+    BatchForward, BatchLayerCache, BatchTrace, BatchWorkspace, DonnBuilder, DonnModel, Layer,
+    LayerCache, ModelGrads, PropagationWorkspace, Trace,
 };
 pub use multichannel::MultiChannelDonn;
 pub use multitask::{MultiTaskDonn, MultiTaskImage};
 pub use segmentation::{SegmentationDonn, SegmentationOptions};
-pub use train::TraceRing;
+pub use train::{BatchTraceRing, TraceRing};

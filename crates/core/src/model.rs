@@ -8,10 +8,10 @@
 
 use crate::layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
 use crate::layers::detector::Detector;
-use crate::layers::diffractive::{DiffractiveCache, DiffractiveLayer};
-use crate::layers::nonlinear::{NonlinearCache, SaturableAbsorber};
+use crate::layers::diffractive::{DiffractiveBatchCache, DiffractiveCache, DiffractiveLayer};
+use crate::layers::nonlinear::{NonlinearBatchCache, NonlinearCache, SaturableAbsorber};
 use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
-use lr_tensor::Field;
+use lr_tensor::{Field, FieldBatch};
 use std::cell::RefCell;
 
 /// One optical layer: free-phase, hardware-codesign, or a parameter-free
@@ -196,6 +196,255 @@ impl PropagationWorkspace {
     /// model's per-worker workspaces are reclaimed.
     pub fn resident_bytes(&self) -> usize {
         self.scratch.resident_bytes() + self.u.resident_bytes() + self.grad.resident_bytes()
+    }
+}
+
+/// Reusable buffers for **batched** forward/backward passes: the running
+/// wavefield planes (one per sample, up to a fixed capacity), the shared
+/// propagation scratch, a gradient batch (grown lazily by the first
+/// batched backward pass), staged per-sample logits for the serving
+/// two-phase path, and a per-layer seed scratch.
+///
+/// Build one per `(thread, model, max batch)` via
+/// [`DonnModel::make_batch_workspace`] and thread it through
+/// [`DonnModel::infer_batch_into`] /
+/// [`DonnModel::forward_trace_batch_into`] /
+/// [`DonnModel::backward_batch_with`]. For any batch size up to the
+/// capacity, the batched inference path performs **zero heap allocations**
+/// in steady state (`tests/zero_alloc.rs`); growing past the capacity
+/// reallocates and is intended for setup code. Workspaces are not `Sync`;
+/// each worker owns its own — the same contract as
+/// [`PropagationWorkspace`].
+#[derive(Debug, Clone)]
+pub struct BatchWorkspace {
+    rows: usize,
+    cols: usize,
+    classes: usize,
+    /// Running wavefield planes.
+    u: FieldBatch,
+    /// Gradient planes (capacity 0 until the first batched backward, so
+    /// inference-only owners — the serving runtime — pay nothing for it).
+    grad: FieldBatch,
+    scratch: PropagationScratch,
+    /// Staged per-sample logits for the two-phase serving path
+    /// ([`BatchWorkspace::load_input`] → [`DonnModel::infer_staged_batch`]
+    /// → [`BatchWorkspace::staged_logits`]).
+    staged: Vec<Vec<f64>>,
+    /// Per-layer decorrelated seed scratch for the batched traced forward.
+    layer_seeds: Vec<u64>,
+}
+
+impl BatchWorkspace {
+    /// Builds a workspace for up to `capacity` samples on a `rows × cols`
+    /// plane with `classes` readout classes.
+    pub fn new(capacity: usize, rows: usize, cols: usize, classes: usize) -> Self {
+        BatchWorkspace {
+            rows,
+            cols,
+            classes,
+            u: FieldBatch::with_capacity(capacity, rows, cols),
+            grad: FieldBatch::with_capacity(0, rows, cols),
+            scratch: PropagationScratch::new(rows, cols),
+            staged: (0..capacity).map(|_| Vec::with_capacity(classes)).collect(),
+            layer_seeds: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Plane shape this workspace serves.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Sample capacity allocated up front (larger batches reallocate).
+    pub fn capacity(&self) -> usize {
+        self.u.capacity()
+    }
+
+    /// Active batch size of the current (or last) call.
+    pub fn batch(&self) -> usize {
+        self.u.batch()
+    }
+
+    /// Starts a batch of `n` samples: activates `n` wavefield planes and
+    /// ensures `n` staged logit slots exist. Allocation-free while
+    /// `n ≤ capacity`.
+    pub fn begin_batch(&mut self, n: usize) {
+        self.u.set_batch(n);
+        if self.staged.len() < n {
+            let classes = self.classes;
+            self.staged.resize_with(n, || Vec::with_capacity(classes));
+        }
+    }
+
+    /// Copies one input field into plane `b` of the active batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `b ≥` the active batch size.
+    pub fn load_input(&mut self, b: usize, input: &Field) {
+        self.u.copy_plane_from(b, input);
+    }
+
+    /// Re-encodes real amplitudes into plane `b` of the active batch
+    /// (phase zero), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `b ≥` the active batch size.
+    pub fn load_amplitudes(&mut self, b: usize, amplitudes: &[f64]) {
+        self.u.set_plane_amplitudes(b, amplitudes);
+    }
+
+    /// The logits staged for sample `b` by the latest
+    /// [`DonnModel::infer_staged_batch`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a sample of the active batch (a stale slot
+    /// from an earlier, larger batch is never handed out).
+    pub fn staged_logits(&self, b: usize) -> &[f64] {
+        assert!(
+            b < self.u.batch(),
+            "staged_logits: sample index out of range"
+        );
+        &self.staged[b]
+    }
+
+    /// The input-gradient planes left behind by the latest
+    /// [`DonnModel::backward_batch_with`] call (one per sample).
+    pub fn input_grad_batch(&self) -> &FieldBatch {
+        &self.grad
+    }
+
+    /// Heap bytes held by this workspace's buffers — feeds the serving
+    /// runtime's resident-memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.u.resident_bytes()
+            + self.grad.resident_bytes()
+            + self.scratch.resident_bytes()
+            + self
+                .staged
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+    }
+}
+
+/// Batched per-layer forward activations for one [`BatchTrace`].
+#[derive(Debug, Clone)]
+pub enum BatchLayerCache {
+    /// Cache of a raw diffractive layer (plane-batched).
+    Diffractive(DiffractiveBatchCache),
+    /// Caches of a codesign layer, one per sample (each carries its own
+    /// Gumbel weights/modulation).
+    Codesign(Vec<CodesignCache>),
+    /// Cache of a nonlinear layer (plane-batched).
+    Nonlinear(NonlinearBatchCache),
+}
+
+/// Full forward trace of a **batch** of samples — the batched counterpart
+/// of [`Trace`], reused in place across training steps (see
+/// [`crate::train::BatchTraceRing`]).
+#[derive(Debug, Clone)]
+pub struct BatchTrace {
+    caches: Vec<BatchLayerCache>,
+    /// Wavefields on the detector plane, one per sample.
+    pub detector_fields: FieldBatch,
+    /// Class logits per sample.
+    pub logits: Vec<Vec<f64>>,
+}
+
+impl Default for BatchTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchTrace {
+    /// Creates an empty trace; the first batched forward pass shapes it.
+    pub fn new() -> Self {
+        BatchTrace {
+            caches: Vec::new(),
+            detector_fields: FieldBatch::with_capacity(0, 1, 1),
+            logits: Vec::new(),
+        }
+    }
+
+    /// Number of samples in the latest traced batch.
+    pub fn batch(&self) -> usize {
+        self.detector_fields.batch()
+    }
+}
+
+/// The batched layer surface: transform every active plane of a
+/// [`FieldBatch`] in place, inference mode (no activation caches). All
+/// phase-modulating layers ([`DiffractiveLayer`], [`CodesignLayer`]), the
+/// amplitude nonlinearity ([`SaturableAbsorber`]), and the [`Layer`] enum
+/// implement it; the readout layer's batched surface is
+/// [`Detector::read_batch_into`]. Implementations run the *same* per-plane
+/// kernels as the per-sample entry points, so batched and per-sample
+/// execution are bit-identical.
+pub trait BatchForward {
+    /// Transforms every active plane of `batch` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer grid, or if `mode` is
+    /// [`CodesignMode::Train`] for layers whose training pass needs a
+    /// cache (use the layer's `forward_batch_traced`).
+    fn forward_batch_into(
+        &self,
+        batch: &mut FieldBatch,
+        mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    );
+}
+
+impl BatchForward for DiffractiveLayer {
+    fn forward_batch_into(
+        &self,
+        batch: &mut FieldBatch,
+        _mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    ) {
+        self.infer_batch_inplace(batch, scratch);
+    }
+}
+
+impl BatchForward for CodesignLayer {
+    fn forward_batch_into(
+        &self,
+        batch: &mut FieldBatch,
+        mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    ) {
+        self.infer_batch_inplace(batch, mode, scratch);
+    }
+}
+
+impl BatchForward for SaturableAbsorber {
+    fn forward_batch_into(
+        &self,
+        batch: &mut FieldBatch,
+        _mode: CodesignMode,
+        _scratch: &mut PropagationScratch,
+    ) {
+        self.infer_batch_inplace(batch);
+    }
+}
+
+impl BatchForward for Layer {
+    fn forward_batch_into(
+        &self,
+        batch: &mut FieldBatch,
+        mode: CodesignMode,
+        scratch: &mut PropagationScratch,
+    ) {
+        match self {
+            Layer::Diffractive(l) => l.forward_batch_into(batch, mode, scratch),
+            Layer::Codesign(l) => l.forward_batch_into(batch, mode, scratch),
+            Layer::Nonlinear(l) => l.forward_batch_into(batch, mode, scratch),
+        }
     }
 }
 
@@ -521,12 +770,22 @@ impl DonnModel {
         self.infer_mode_into(input, CodesignMode::Soft, ws, logits);
     }
 
-    /// Batched [`DonnModel::infer_mode_into`] over a slice of requests: one
-    /// workspace serves every input in order, writing each logit vector
-    /// into the matching output slot. This is the registry-facing serving
-    /// primitive — a micro-batcher hands each worker a contiguous run of
-    /// requests and the worker's workspace amortizes across them with zero
-    /// steady-state allocations.
+    /// Allocates a [`BatchWorkspace`] for up to `capacity` samples on this
+    /// model's grid.
+    pub fn make_batch_workspace(&self, capacity: usize) -> BatchWorkspace {
+        let (rows, cols) = self.grid.shape();
+        BatchWorkspace::new(capacity, rows, cols, self.num_classes())
+    }
+
+    /// **True batched inference**: all `B` inputs propagate through every
+    /// layer as one fused [`FieldBatch`] pass — one plan lookup, one
+    /// transfer-kernel broadcast, and one shared scratch per layer hop
+    /// instead of `B` per-sample traversals. Each logit vector lands in
+    /// the matching output slot. This is the registry-facing serving
+    /// primitive; it performs **zero heap allocations** in steady state
+    /// (batch ≤ workspace capacity) and is **bit-identical** to `B`
+    /// separate [`DonnModel::infer`] calls, because every batched hop runs
+    /// the same per-plane kernels as the per-sample path.
     ///
     /// # Panics
     ///
@@ -536,7 +795,7 @@ impl DonnModel {
         &self,
         inputs: &[&Field],
         mode: CodesignMode,
-        ws: &mut PropagationWorkspace,
+        ws: &mut BatchWorkspace,
         outputs: &mut [Vec<f64>],
     ) {
         assert_eq!(
@@ -544,8 +803,202 @@ impl DonnModel {
             outputs.len(),
             "inputs/outputs length mismatch"
         );
-        for (input, out) in inputs.iter().zip(outputs.iter_mut()) {
-            self.infer_mode_into(input, mode, ws, out);
+        ws.begin_batch(inputs.len());
+        for (b, input) in inputs.iter().enumerate() {
+            ws.load_input(b, input);
+        }
+        self.forward_batch_planes(mode, ws);
+        self.detector.read_batch_into(&ws.u, outputs);
+    }
+
+    /// The staged half of the serving fast path: runs batched inference on
+    /// the planes already loaded into `ws` (via
+    /// [`BatchWorkspace::begin_batch`] + [`BatchWorkspace::load_input`]),
+    /// leaving each sample's logits in [`BatchWorkspace::staged_logits`].
+    /// The serve dispatcher stages inputs one slot-lock at a time, executes
+    /// the whole coalesced micro-batch here as **one batched forward**, and
+    /// distributes the staged logits — all without holding more than one
+    /// request lock at once and without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`CodesignMode::Train`].
+    pub fn infer_staged_batch(&self, mode: CodesignMode, ws: &mut BatchWorkspace) {
+        self.forward_batch_planes(mode, ws);
+        let n = ws.u.batch();
+        self.detector.read_batch_into(&ws.u, &mut ws.staged[..n]);
+    }
+
+    /// Runs the layer stack plus the final hop over the active planes of
+    /// `ws.u` — the shared body of both batched inference entry points.
+    fn forward_batch_planes(&self, mode: CodesignMode, ws: &mut BatchWorkspace) {
+        assert_eq!(
+            ws.shape(),
+            self.grid.shape(),
+            "workspace/grid shape mismatch"
+        );
+        for layer in &self.layers {
+            layer.forward_batch_into(&mut ws.u, mode, &mut ws.scratch);
+        }
+        self.final_propagator
+            .propagate_batch_into(&mut ws.u, &mut ws.scratch);
+    }
+
+    /// Batched [`DonnModel::forward_trace_into`]: forwards a whole batch
+    /// of inputs through the stack as fused [`FieldBatch`] passes,
+    /// overwriting the reusable `trace` in place (per-layer batch caches,
+    /// detector planes, per-sample logits). `seeds[b]` drives plane `b`'s
+    /// Gumbel noise in [`CodesignMode::Train`], decorrelated across layers
+    /// exactly like the per-sample path — traced batched forwards are
+    /// bit-identical to `B` per-sample [`DonnModel::forward_trace_with`]
+    /// calls with the same seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input plane shape mismatches the grid or `seeds` does
+    /// not cover the batch.
+    pub fn forward_trace_batch_into(
+        &self,
+        inputs: &FieldBatch,
+        mode: CodesignMode,
+        seeds: &[u64],
+        ws: &mut BatchWorkspace,
+        trace: &mut BatchTrace,
+    ) {
+        assert_eq!(
+            inputs.plane_shape(),
+            self.grid.shape(),
+            "input/grid shape mismatch"
+        );
+        assert_eq!(seeds.len(), inputs.batch(), "one seed per batch plane");
+        let b = inputs.batch();
+        ws.begin_batch(b);
+        ws.u.copy_from(inputs);
+        trace.caches.truncate(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Decorrelate noise across layers (same formula as the
+            // per-sample trace path).
+            ws.layer_seeds.clear();
+            ws.layer_seeds.extend(
+                seeds
+                    .iter()
+                    .map(|s| s.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64)),
+            );
+            let (rows, cols) = self.grid.shape();
+            // Reuse the cache slot in place when its kind matches the
+            // layer; replace it (allocating once) otherwise.
+            let slot = trace.caches.get_mut(i);
+            match (layer, slot) {
+                (Layer::Diffractive(l), Some(BatchLayerCache::Diffractive(c))) => {
+                    l.forward_batch_traced(&mut ws.u, c, &mut ws.scratch);
+                }
+                (Layer::Codesign(l), Some(BatchLayerCache::Codesign(c))) => {
+                    l.forward_batch_traced(&mut ws.u, mode, &ws.layer_seeds, &mut ws.scratch, c);
+                }
+                (Layer::Nonlinear(l), Some(BatchLayerCache::Nonlinear(c))) => {
+                    l.forward_batch_traced(&mut ws.u, c);
+                }
+                (layer, slot) => {
+                    let fresh = match layer {
+                        Layer::Diffractive(l) => {
+                            let mut c = DiffractiveBatchCache::with_capacity(b, rows, cols);
+                            l.forward_batch_traced(&mut ws.u, &mut c, &mut ws.scratch);
+                            BatchLayerCache::Diffractive(c)
+                        }
+                        Layer::Codesign(l) => {
+                            let mut c = Vec::new();
+                            l.forward_batch_traced(
+                                &mut ws.u,
+                                mode,
+                                &ws.layer_seeds,
+                                &mut ws.scratch,
+                                &mut c,
+                            );
+                            BatchLayerCache::Codesign(c)
+                        }
+                        Layer::Nonlinear(l) => {
+                            let mut c = NonlinearBatchCache::with_capacity(b, rows, cols);
+                            l.forward_batch_traced(&mut ws.u, &mut c);
+                            BatchLayerCache::Nonlinear(c)
+                        }
+                    };
+                    match slot {
+                        Some(slot) => *slot = fresh,
+                        None => trace.caches.push(fresh),
+                    }
+                }
+            }
+        }
+        self.final_propagator
+            .propagate_batch_into(&mut ws.u, &mut ws.scratch);
+        if trace.detector_fields.plane_shape() != ws.u.plane_shape() {
+            trace.detector_fields = FieldBatch::with_capacity(b, ws.u.rows(), ws.u.cols());
+        }
+        trace.detector_fields.copy_from(&ws.u);
+        if trace.logits.len() < b {
+            let classes = self.num_classes();
+            trace.logits.resize_with(b, || Vec::with_capacity(classes));
+        }
+        trace.logits.truncate(b);
+        self.detector.read_batch_into(&ws.u, &mut trace.logits);
+    }
+
+    /// Batched [`DonnModel::backward_with`]: backpropagates every sample
+    /// of a traced batch as fused [`FieldBatch`] adjoint passes. Parameter
+    /// gradients accumulate into `grads` summed over the batch in plane
+    /// order — bit-identical to `B` per-sample backward calls in sample
+    /// order — and the per-sample input gradients are left in
+    /// [`BatchWorkspace::input_grad_batch`]. Unlike the per-sample path,
+    /// codesign and nonlinear layers run fully in place here (no
+    /// per-sample gradient-field allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logit_grads` does not hold one `num_classes` vector per
+    /// traced sample or the trace does not belong to this model.
+    pub fn backward_batch_with(
+        &self,
+        trace: &BatchTrace,
+        logit_grads: &[Vec<f64>],
+        grads: &mut ModelGrads,
+        ws: &mut BatchWorkspace,
+    ) {
+        let b = trace.batch();
+        assert_eq!(logit_grads.len(), b, "one logit-gradient row per sample");
+        assert_eq!(
+            trace.caches.len(),
+            self.layers.len(),
+            "trace/model depth mismatch"
+        );
+        ws.grad.set_batch(b);
+        for (bi, row) in logit_grads.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                self.num_classes(),
+                "logit gradient length mismatch"
+            );
+            self.detector.backward_plane_into(
+                trace.detector_fields.plane(bi),
+                row,
+                ws.grad.plane_mut(bi),
+            );
+        }
+        self.final_propagator
+            .adjoint_batch_into(&mut ws.grad, &mut ws.scratch);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let buf = &mut grads.per_layer[i];
+            match (layer, &trace.caches[i]) {
+                (Layer::Diffractive(l), BatchLayerCache::Diffractive(c)) => {
+                    l.backward_batch_inplace(&mut ws.grad, c, buf, &mut ws.scratch);
+                }
+                (Layer::Codesign(l), BatchLayerCache::Codesign(c)) => {
+                    l.backward_batch_inplace(&mut ws.grad, c, buf, &mut ws.scratch);
+                }
+                (Layer::Nonlinear(l), BatchLayerCache::Nonlinear(c)) => {
+                    l.backward_batch_inplace(&mut ws.grad, c);
+                }
+                _ => panic!("trace cache kind does not match layer kind at layer {i}"),
+            }
         }
     }
 

@@ -11,11 +11,13 @@
 //! shard accumulating private gradient buffers that are merged afterwards.
 
 use crate::layers::codesign::CodesignMode;
-use crate::model::{DonnModel, ModelGrads, PropagationWorkspace, Trace};
+use crate::model::{
+    BatchTrace, BatchWorkspace, DonnModel, ModelGrads, PropagationWorkspace, Trace,
+};
 use lr_nn::loss::{one_hot_into, softmax_mse_into};
 use lr_nn::metrics::{argmax, Accuracy};
 use lr_nn::{Adam, Optimizer};
-use lr_tensor::{parallel, Field};
+use lr_tensor::{parallel, Field, FieldBatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -133,6 +135,72 @@ impl TraceRing {
     }
 }
 
+/// A per-worker ring of reusable **batched** forward traces — the batched
+/// counterpart of [`TraceRing`], holding [`BatchTrace`]s whose per-layer
+/// activation caches span a whole worker shard. [`BatchTraceRing::forward`]
+/// overwrites the oldest slot in place via
+/// [`DonnModel::forward_trace_batch_into`], so in steady state the batched
+/// training step (one fused forward + one fused backward per shard)
+/// performs zero heap allocations for diffractive stacks — the same
+/// contract as the per-sample ring, enforced by `tests/zero_alloc.rs`.
+/// Rings are never shared across threads.
+#[derive(Debug, Clone)]
+pub struct BatchTraceRing {
+    slots: Vec<BatchTrace>,
+    capacity: usize,
+    next: usize,
+}
+
+impl BatchTraceRing {
+    /// Creates an empty ring that will hold up to `capacity` batch traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        BatchTraceRing {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Number of trace slots currently materialized.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no trace has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs one batched traced forward pass through the next ring slot,
+    /// reusing its buffers in place (allocating only while the ring fills
+    /// up or a batch outgrows its slot), and returns the completed trace.
+    pub fn forward<'a>(
+        &'a mut self,
+        model: &DonnModel,
+        inputs: &FieldBatch,
+        mode: CodesignMode,
+        seeds: &[u64],
+        ws: &mut BatchWorkspace,
+    ) -> &'a BatchTrace {
+        if self.slots.len() < self.capacity {
+            let mut trace = BatchTrace::new();
+            model.forward_trace_batch_into(inputs, mode, seeds, ws, &mut trace);
+            self.slots.push(trace);
+            self.slots.last().expect("just pushed")
+        } else {
+            let i = self.next;
+            self.next = (self.next + 1) % self.capacity;
+            model.forward_trace_batch_into(inputs, mode, seeds, ws, &mut self.slots[i]);
+            &self.slots[i]
+        }
+    }
+}
+
 /// Per-epoch training statistics.
 #[derive(Debug, Clone)]
 pub struct EpochStats {
@@ -223,7 +291,13 @@ fn anneal_temperature(config: &TrainConfig, epoch: usize) -> f64 {
 }
 
 /// Computes summed gradients, loss, and correct count over one batch,
-/// sharded across worker threads.
+/// sharded across worker threads — each worker forwards and backwards its
+/// **whole shard as one fused batch** ([`DonnModel::forward_trace_batch_into`]
+/// / [`DonnModel::backward_batch_with`]), so FFT plans, transfer kernels,
+/// and scratch amortize across the shard instead of being re-dispatched
+/// per sample. Per-sample Gumbel seeds match the per-sample path exactly,
+/// and gradients accumulate in the same sample order, so the batched step
+/// is bit-identical to the per-sample loop it replaced.
 fn batch_gradients(
     model: &DonnModel,
     data: &[LabeledImage],
@@ -237,34 +311,49 @@ fn batch_gradients(
     let (rows, cols) = model.grid().shape();
 
     let shards = parallel::par_map(workers, |w| {
-        // One workspace, trace ring, and set of small buffers per shard:
-        // every sample in the shard reuses the same wavefield/gradient/FFT
-        // scratch, activation caches, and loss buffers — the steady-state
-        // training step allocates nothing (see tests/zero_alloc.rs).
-        let mut ws = model.make_workspace();
-        let mut ring = TraceRing::new(1);
-        let mut input = Field::zeros(rows, cols);
-        let mut target = Vec::with_capacity(classes);
-        let mut logit_grads = Vec::with_capacity(classes);
+        // One batch workspace, batched trace ring, and set of small
+        // buffers per shard: the whole shard forwards and backwards as one
+        // FieldBatch, and steady-state steps reuse every buffer in place
+        // (see tests/zero_alloc.rs).
+        let shard: Vec<usize> = batch
+            .iter()
+            .skip(w * shard_size)
+            .take(shard_size)
+            .copied()
+            .collect();
+        let bsz = shard.len();
         let mut grads = ModelGrads::zeros_like(model);
         let mut loss_sum = 0.0;
         let mut correct = 0usize;
-        for &idx in batch.iter().skip(w * shard_size).take(shard_size) {
-            let (img, label) = &data[idx];
-            input.set_amplitudes(img);
-            let seed = epoch
-                .wrapping_mul(1_000_003)
-                .wrapping_add(batch_idx.wrapping_mul(4099))
-                .wrapping_add(idx as u64);
-            let trace = ring.forward(model, &input, CodesignMode::Train, seed, &mut ws);
-            one_hot_into(*label, classes, &mut target);
-            let loss = softmax_mse_into(&trace.logits, &target, &mut logit_grads);
-            loss_sum += loss;
-            if argmax(&trace.logits) == *label {
+        if bsz == 0 {
+            return (grads, loss_sum, correct);
+        }
+        let mut ws = model.make_batch_workspace(bsz);
+        let mut ring = BatchTraceRing::new(1);
+        let mut inputs = FieldBatch::zeros(bsz, rows, cols);
+        let mut seeds = Vec::with_capacity(bsz);
+        let mut target = Vec::with_capacity(classes);
+        let mut logit_grads: Vec<Vec<f64>> =
+            (0..bsz).map(|_| Vec::with_capacity(classes)).collect();
+        for (b, &idx) in shard.iter().enumerate() {
+            inputs.set_plane_amplitudes(b, &data[idx].0);
+            seeds.push(
+                epoch
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(batch_idx.wrapping_mul(4099))
+                    .wrapping_add(idx as u64),
+            );
+        }
+        let trace = ring.forward(model, &inputs, CodesignMode::Train, &seeds, &mut ws);
+        for (b, &idx) in shard.iter().enumerate() {
+            let label = data[idx].1;
+            one_hot_into(label, classes, &mut target);
+            loss_sum += softmax_mse_into(&trace.logits[b], &target, &mut logit_grads[b]);
+            if argmax(&trace.logits[b]) == label {
                 correct += 1;
             }
-            model.backward_with(trace, &logit_grads, &mut grads, &mut ws);
         }
+        model.backward_batch_with(trace, &logit_grads, &mut grads, &mut ws);
         (grads, loss_sum, correct)
     });
 
@@ -322,6 +411,11 @@ fn evaluate_mode(model: &DonnModel, data: &[LabeledImage], mode: CodesignMode) -
 /// Evaluates accuracy with bounded uniform detector noise (the paper's
 /// Fig. 7 robustness protocol): noise of amplitude `bound·max(I)` is added
 /// to the detector intensity image before region readout.
+///
+/// Sharded across workers like [`train`]'s gradient step (one workspace
+/// and trace ring per shard, samples streamed through them) instead of
+/// submitting one pool job per sample — evaluation no longer pays
+/// per-sample job-submission overhead.
 pub fn evaluate_with_detector_noise(
     model: &DonnModel,
     data: &[LabeledImage],
@@ -332,15 +426,30 @@ pub fn evaluate_with_detector_noise(
         return 0.0;
     }
     let (rows, cols) = model.grid().shape();
-    let correct: usize = parallel::par_map(data.len(), |i| {
-        let (img, label) = &data[i];
-        let input = Field::from_amplitudes(rows, cols, img);
-        let trace = model.forward_trace(&input, CodesignMode::Soft, 0);
-        let intensity = trace.detector_field.intensity();
-        let noisy =
-            lr_hardware::uniform_detector_noise(&intensity, bound, seed.wrapping_add(i as u64));
-        let logits = model.detector().read_intensity(&noisy);
-        usize::from(argmax(&logits) == *label)
+    let workers = parallel::threads().min(data.len()).max(1);
+    let shard_size = data.len().div_ceil(workers);
+    let correct: usize = parallel::par_map(workers, |w| {
+        let mut ws = model.make_workspace();
+        let mut ring = TraceRing::new(1);
+        let mut input = Field::zeros(rows, cols);
+        let mut intensity = Vec::with_capacity(rows * cols);
+        let mut logits = Vec::with_capacity(model.num_classes());
+        let mut correct = 0usize;
+        for (i, (img, label)) in data
+            .iter()
+            .enumerate()
+            .skip(w * shard_size)
+            .take(shard_size)
+        {
+            input.set_amplitudes(img);
+            let trace = ring.forward(model, &input, CodesignMode::Soft, 0, &mut ws);
+            trace.detector_field.intensity_into(&mut intensity);
+            let noisy =
+                lr_hardware::uniform_detector_noise(&intensity, bound, seed.wrapping_add(i as u64));
+            model.detector().read_intensity_into(&noisy, &mut logits);
+            correct += usize::from(argmax(&logits) == *label);
+        }
+        correct
     })
     .into_iter()
     .sum();
@@ -348,17 +457,26 @@ pub fn evaluate_with_detector_noise(
 }
 
 /// Mean prediction confidence (softmax probability of the predicted class)
-/// over a dataset — the paper's Fig. 7 confidence metric.
+/// over a dataset — the paper's Fig. 7 confidence metric. Worker-sharded
+/// like [`evaluate_with_detector_noise`].
 pub fn mean_confidence(model: &DonnModel, data: &[LabeledImage]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
     let (rows, cols) = model.grid().shape();
-    let sum: f64 = parallel::par_map(data.len(), |i| {
-        let (img, _) = &data[i];
-        let input = Field::from_amplitudes(rows, cols, img);
-        let trace = model.forward_trace(&input, CodesignMode::Soft, 0);
-        lr_nn::metrics::confidence(&trace.logits)
+    let workers = parallel::threads().min(data.len()).max(1);
+    let shard_size = data.len().div_ceil(workers);
+    let sum: f64 = parallel::par_map(workers, |w| {
+        let mut ws = model.make_workspace();
+        let mut ring = TraceRing::new(1);
+        let mut input = Field::zeros(rows, cols);
+        let mut sum = 0.0;
+        for (img, _) in data.iter().skip(w * shard_size).take(shard_size) {
+            input.set_amplitudes(img);
+            let trace = ring.forward(model, &input, CodesignMode::Soft, 0, &mut ws);
+            sum += lr_nn::metrics::confidence(&trace.logits);
+        }
+        sum
     })
     .into_iter()
     .sum();

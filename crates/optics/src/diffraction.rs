@@ -17,7 +17,10 @@
 
 use crate::grid::Grid;
 use crate::units::{Distance, PixelPitch, Wavelength};
-use lr_tensor::{Complex64, Direction, Fft2, Fft2Workspace, Field, PinnedCache, J};
+use lr_tensor::{
+    fftshift_slice_into, ifftshift_slice_into, Complex64, Direction, Fft2, Fft2Workspace, Field,
+    FieldBatch, PinnedCache, J,
+};
 use parking_lot::Mutex;
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -509,6 +512,16 @@ impl FreeSpace {
             self.grid.shape(),
             "field/grid shape mismatch"
         );
+        self.propagate_plane(field.as_mut_slice(), scratch);
+    }
+
+    /// The single shared propagation kernel: one row-major plane given as a
+    /// raw sample slice. Both the per-sample ([`FreeSpace::propagate_with`])
+    /// and batched ([`FreeSpace::propagate_batch_into`]) entry points funnel
+    /// through here, which is what makes them bit-identical.
+    fn propagate_plane(&self, plane: &mut [Complex64], scratch: &mut PropagationScratch) {
+        let (rows, cols) = self.grid.shape();
+        assert_eq!(plane.len(), rows * cols, "plane/grid length mismatch");
         assert_eq!(
             scratch.shape(),
             self.grid.shape(),
@@ -516,19 +529,63 @@ impl FreeSpace {
         );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
-                fft.convolve_spectrum_with(field, transfer, &mut scratch.fft);
+                fft.convolve_spectrum_slice_with(plane, transfer, &mut scratch.fft);
             }
             Inner::SingleFourier {
                 post_phase,
                 scale,
                 fft,
             } => {
-                field.ifftshift_into(&mut scratch.shift);
+                ifftshift_slice_into(plane, rows, cols, scratch.shift.as_mut_slice());
                 fft.process_with(&mut scratch.shift, Direction::Forward, &mut scratch.fft);
-                scratch.shift.fftshift_into(field);
-                field.hadamard_assign(post_phase);
-                for z in field.as_mut_slice() {
+                fftshift_slice_into(scratch.shift.as_slice(), rows, cols, plane);
+                for (z, &p) in plane.iter_mut().zip(post_phase.as_slice()) {
+                    *z *= p;
+                }
+                for z in plane.iter_mut() {
                     *z *= *scale;
+                }
+            }
+        }
+    }
+
+    /// Propagates **every active plane** of a [`FieldBatch`] in place — the
+    /// batched free-space hop. The cached spectral transfer function is
+    /// applied across the whole batch in one pass
+    /// ([`FieldBatch::hadamard_broadcast_assign`]); the per-plane FFTs
+    /// share `scratch` and the plans already held by this propagator, so
+    /// the call performs **zero heap allocations** in steady state and is
+    /// **bit-identical** to `B` separate [`FreeSpace::propagate_with`]
+    /// calls (one shared plane kernel; see [`Fft2::process_slice_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's plane shape or `scratch` does not match the
+    /// planned grid.
+    pub fn propagate_batch_into(&self, batch: &mut FieldBatch, scratch: &mut PropagationScratch) {
+        assert_eq!(
+            batch.plane_shape(),
+            self.grid.shape(),
+            "batch plane/grid shape mismatch"
+        );
+        assert_eq!(
+            scratch.shape(),
+            self.grid.shape(),
+            "scratch/grid shape mismatch"
+        );
+        match &self.inner {
+            Inner::Spectral { transfer, fft } => {
+                for plane in batch.planes_mut() {
+                    fft.process_slice_with(plane, Direction::Forward, &mut scratch.fft);
+                }
+                batch.hadamard_broadcast_assign(transfer);
+                for plane in batch.planes_mut() {
+                    fft.process_slice_with(plane, Direction::Inverse, &mut scratch.fft);
+                }
+            }
+            Inner::SingleFourier { .. } => {
+                for b in 0..batch.batch() {
+                    self.propagate_plane(batch.plane_mut(b), scratch);
                 }
             }
         }
@@ -573,6 +630,14 @@ impl FreeSpace {
     /// Panics if `grad` or `scratch` does not match the planned grid.
     pub fn adjoint_with(&self, grad: &mut Field, scratch: &mut PropagationScratch) {
         assert_eq!(grad.shape(), self.grid.shape(), "field/grid shape mismatch");
+        self.adjoint_plane(grad.as_mut_slice(), scratch);
+    }
+
+    /// The shared adjoint kernel on one raw plane (see
+    /// [`FreeSpace::propagate_plane`]).
+    fn adjoint_plane(&self, plane: &mut [Complex64], scratch: &mut PropagationScratch) {
+        let (rows, cols) = self.grid.shape();
+        assert_eq!(plane.len(), rows * cols, "plane/grid length mismatch");
         assert_eq!(
             scratch.shape(),
             self.grid.shape(),
@@ -580,21 +645,61 @@ impl FreeSpace {
         );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
-                fft.convolve_spectrum_adjoint_with(grad, transfer, &mut scratch.fft);
+                fft.convolve_spectrum_adjoint_slice_with(plane, transfer, &mut scratch.fft);
             }
             Inner::SingleFourier {
                 post_phase,
                 scale,
                 fft,
             } => {
-                let n = (self.grid.rows() * self.grid.cols()) as f64;
-                grad.hadamard_conj_assign(post_phase);
-                grad.ifftshift_into(&mut scratch.shift);
+                let n = (rows * cols) as f64;
+                for (z, &p) in plane.iter_mut().zip(post_phase.as_slice()) {
+                    *z *= p.conj();
+                }
+                ifftshift_slice_into(plane, rows, cols, scratch.shift.as_mut_slice());
                 fft.process_with(&mut scratch.shift, Direction::Inverse, &mut scratch.fft);
-                scratch.shift.fftshift_into(grad);
+                fftshift_slice_into(scratch.shift.as_slice(), rows, cols, plane);
                 let s = scale.conj() * n;
-                for z in grad.as_mut_slice() {
+                for z in plane.iter_mut() {
                     *z *= s;
+                }
+            }
+        }
+    }
+
+    /// Adjoint-propagates every active plane of a gradient batch in place —
+    /// the batched backward hop matching [`FreeSpace::propagate_batch_into`]
+    /// (conjugated kernel broadcast in one pass, zero steady-state
+    /// allocations, bit-identical to per-plane [`FreeSpace::adjoint_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's plane shape or `scratch` does not match the
+    /// planned grid.
+    pub fn adjoint_batch_into(&self, grad: &mut FieldBatch, scratch: &mut PropagationScratch) {
+        assert_eq!(
+            grad.plane_shape(),
+            self.grid.shape(),
+            "batch plane/grid shape mismatch"
+        );
+        assert_eq!(
+            scratch.shape(),
+            self.grid.shape(),
+            "scratch/grid shape mismatch"
+        );
+        match &self.inner {
+            Inner::Spectral { transfer, fft } => {
+                for plane in grad.planes_mut() {
+                    fft.process_slice_with(plane, Direction::Forward, &mut scratch.fft);
+                }
+                grad.hadamard_conj_broadcast_assign(transfer);
+                for plane in grad.planes_mut() {
+                    fft.process_slice_with(plane, Direction::Inverse, &mut scratch.fft);
+                }
+            }
+            Inner::SingleFourier { .. } => {
+                for b in 0..grad.batch() {
+                    self.adjoint_plane(grad.plane_mut(b), scratch);
                 }
             }
         }

@@ -206,6 +206,18 @@ pub struct ServerStats {
     pub batches: u64,
     /// Mean requests per executed micro-batch.
     pub mean_batch_size: f64,
+    /// Requests served through **batched forwards** (`infer_batch_into` /
+    /// staged batch execution on an emulated variant's `BatchWorkspace`).
+    /// Equal to `completed` when every variant is emulated; physical
+    /// variants fall back to per-sample execution and are excluded.
+    pub batched_samples: u64,
+    /// Batched forward executions (one per same-model run of a drained
+    /// micro-batch). `batched_samples / batch_executions` is the mean
+    /// executed-batch size — the end-to-end observability hook for the
+    /// micro-batcher's coalescing.
+    pub batch_executions: u64,
+    /// Mean samples per batched forward execution (0 when none ran).
+    pub mean_executed_batch: f64,
     /// Completed requests per second of uptime.
     pub throughput_rps: f64,
     /// End-to-end (enqueue → response ready) latency distribution.
@@ -264,6 +276,8 @@ pub(crate) struct MetricsCore {
     shed: AtomicU64,
     pool_timeouts: AtomicU64,
     batches: AtomicU64,
+    batched_samples: AtomicU64,
+    batch_executions: AtomicU64,
     reclaimed_models: AtomicU64,
     reclaimed_bytes: AtomicU64,
     swept_cache_entries: AtomicU64,
@@ -283,6 +297,8 @@ impl MetricsCore {
             shed: AtomicU64::new(0),
             pool_timeouts: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            batched_samples: AtomicU64::new(0),
+            batch_executions: AtomicU64::new(0),
             reclaimed_models: AtomicU64::new(0),
             reclaimed_bytes: AtomicU64::new(0),
             swept_cache_entries: AtomicU64::new(0),
@@ -339,6 +355,12 @@ impl MetricsCore {
             .fetch_add(entries, Ordering::Relaxed);
     }
 
+    /// Records one batched forward execution of `samples` requests.
+    pub(crate) fn record_batched_execution(&self, samples: u64) {
+        self.batched_samples.fetch_add(samples, Ordering::Relaxed);
+        self.batch_executions.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, shard: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.shards[shard].batches.fetch_add(1, Ordering::Relaxed);
@@ -361,6 +383,8 @@ impl MetricsCore {
     ) -> ServerStats {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
+        let batched_samples = self.batched_samples.load(Ordering::Relaxed);
+        let batch_executions = self.batch_executions.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64().max(1e-12);
         let per_model_completed = self.per_model_completed.load_full();
         ServerStats {
@@ -375,6 +399,13 @@ impl MetricsCore {
                 0.0
             } else {
                 completed as f64 / batches as f64
+            },
+            batched_samples,
+            batch_executions,
+            mean_executed_batch: if batch_executions == 0 {
+                0.0
+            } else {
+                batched_samples as f64 / batch_executions as f64
             },
             throughput_rps: completed as f64 / uptime,
             latency: self.latency.summary(),

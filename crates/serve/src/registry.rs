@@ -28,7 +28,7 @@
 
 use arc_swap::ArcSwap;
 use lightridge::deploy::{HardwareEnvironment, PhysicalDonn, PhysicalWorkspace};
-use lightridge::{CodesignMode, DonnModel, PropagationWorkspace};
+use lightridge::{BatchWorkspace, CodesignMode, DonnModel};
 use lr_tensor::Field;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -89,9 +89,13 @@ pub enum ServableVariant {
 
 /// Per-worker scratch for one registered variant. Workers own one per
 /// `(worker, model)` pair; the serve path reuses it for every request.
+/// Emulated variants hold a [`BatchWorkspace`] sized for the policy's
+/// `max_batch`, so a dispatcher can execute a whole coalesced micro-batch
+/// as **one batched forward** (per-sample requests run as B=1 batches
+/// through the same planes — one propagation code path).
 #[derive(Debug, Clone)]
 pub(crate) enum VariantWorkspace {
-    Emulated(PropagationWorkspace),
+    Emulated(BatchWorkspace),
     Physical(PhysicalWorkspace),
     /// Slim placeholder left behind by [`crate::Server::reclaim`]: keeps
     /// the per-worker workspace vector dense (ids are slot indices) after
@@ -191,10 +195,14 @@ impl RegisteredModel {
         }
     }
 
-    pub(crate) fn make_workspace(&self) -> VariantWorkspace {
+    /// Builds a per-worker workspace. Emulated variants get a
+    /// [`BatchWorkspace`] with room for `batch_capacity` co-resident
+    /// planes (the policy's `max_batch`), so coalesced micro-batches
+    /// execute as one batched forward without allocating.
+    pub(crate) fn make_workspace(&self, batch_capacity: usize) -> VariantWorkspace {
         match &self.variant {
             ServableVariant::Emulated { model, .. } => {
-                VariantWorkspace::Emulated(model.make_workspace())
+                VariantWorkspace::Emulated(model.make_batch_workspace(batch_capacity.max(1)))
             }
             ServableVariant::Physical { donn } => VariantWorkspace::Physical(donn.make_workspace()),
         }
@@ -203,8 +211,8 @@ impl RegisteredModel {
     /// Builds a per-worker workspace and runs one dummy inference through
     /// it, so the workspace hands over fully sized and warm (part of the
     /// flat-first-request-latency contract for live registration).
-    pub(crate) fn warmed_workspace(&self) -> VariantWorkspace {
-        let mut ws = self.make_workspace();
+    pub(crate) fn warmed_workspace(&self, batch_capacity: usize) -> VariantWorkspace {
+        let mut ws = self.make_workspace(batch_capacity);
         let (rows, cols) = self.shape;
         let mut probe = Vec::with_capacity(self.classes);
         self.infer_into(&Field::ones(rows, cols), &mut ws, &mut probe);
@@ -212,7 +220,9 @@ impl RegisteredModel {
     }
 
     /// Runs one inference through the given worker workspace. This is the
-    /// zero-allocation serve path.
+    /// zero-allocation serve path; emulated variants execute as a B=1
+    /// batched forward — the same propagation code path as coalesced
+    /// micro-batches, so single and batched execution are bit-identical.
     pub(crate) fn infer_into(
         &self,
         input: &Field,
@@ -221,12 +231,34 @@ impl RegisteredModel {
     ) {
         match (&self.variant, ws) {
             (ServableVariant::Emulated { model, mode }, VariantWorkspace::Emulated(ws)) => {
-                model.infer_mode_into(input, *mode, ws, logits);
+                ws.begin_batch(1);
+                ws.load_input(0, input);
+                model.infer_staged_batch(*mode, ws);
+                logits.clear();
+                logits.extend_from_slice(ws.staged_logits(0));
             }
             (ServableVariant::Physical { donn }, VariantWorkspace::Physical(ws)) => {
                 donn.infer_with(input, ws, logits);
             }
             _ => unreachable!("variant/workspace kind mismatch"),
+        }
+    }
+
+    /// Executes the batch already staged into an emulated variant's
+    /// [`BatchWorkspace`] (planes loaded via [`BatchWorkspace::load_input`])
+    /// as **one batched forward**, leaving per-sample logits staged in the
+    /// workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an emulated variant or the workspace kind
+    /// mismatches.
+    pub(crate) fn infer_staged_batch(&self, ws: &mut VariantWorkspace) {
+        match (&self.variant, ws) {
+            (ServableVariant::Emulated { model, mode }, VariantWorkspace::Emulated(ws)) => {
+                model.infer_staged_batch(*mode, ws);
+            }
+            _ => unreachable!("staged batch execution requires an emulated variant"),
         }
     }
 

@@ -703,7 +703,7 @@ impl Server {
                             let ws = e
                                 .live()
                                 .expect("fresh snapshot has no tombstones")
-                                .warmed_workspace();
+                                .warmed_workspace(core.policy.max_batch);
                             core.resident_add(ModelId(m), ws.resident_bytes());
                             ws
                         })
@@ -816,7 +816,7 @@ impl Server {
         for (s, shard) in core.shards.iter().enumerate() {
             let workspaces: Vec<VariantWorkspace> = (0..core.ctxs_per_shard[s])
                 .map(|_| {
-                    let ws = entry.warmed_workspace();
+                    let ws = entry.warmed_workspace(core.policy.max_batch);
                     core.resident_add(id, ws.resident_bytes());
                     ws
                 })
@@ -1341,8 +1341,9 @@ fn shed_batch_on_pool_timeout(core: &ServerCore, batch: &[Arc<RequestSlot>]) {
     }
 }
 
-/// Runs one batch: contiguous sub-ranges per worker context, each through
-/// its own per-model workspaces. Zero allocations in steady state.
+/// Runs one batch: contiguous sub-ranges per worker context, each executed
+/// as batched forwards over same-model runs ([`serve_range`]). Zero
+/// allocations in steady state.
 fn execute_batch(
     core: &ServerCore,
     shard_idx: usize,
@@ -1359,9 +1360,7 @@ fn execute_batch(
     let serve = |w: usize, ctx: &mut WorkerCtx| {
         let start = (w * per_worker).min(n);
         let end = ((w + 1) * per_worker).min(n);
-        for slot in &batch[start..end] {
-            serve_one(core, shard_idx, ctx, slot);
-        }
+        serve_range(core, shard_idx, ctx, &batch[start..end]);
     };
     let submitted: Result<(), SubmitTimeout> = if workers <= 1 {
         serve(0, &mut ctxs[0]);
@@ -1379,6 +1378,99 @@ fn execute_batch(
     match submitted {
         Ok(()) => core.metrics.record_batch(shard_idx),
         Err(SubmitTimeout) => shed_batch_on_pool_timeout(core, batch),
+    }
+}
+
+/// Serves one worker's contiguous sub-range of a drained micro-batch:
+/// splits it into maximal **same-model runs** and executes each run as one
+/// batched forward against the worker's per-model [`BatchWorkspace`]
+/// (emulated variants). A batch that mixes models therefore falls back to
+/// per-model splitting — never to per-sample dispatch — and physical
+/// (hardware-emulated) variants, whose capture pipeline is inherently
+/// per-sample, take the per-sample path. Zero allocations in steady state.
+fn serve_range(
+    core: &ServerCore,
+    shard_idx: usize,
+    ctx: &mut WorkerCtx,
+    slots: &[Arc<RequestSlot>],
+) {
+    let mut i = 0;
+    while i < slots.len() {
+        let model = slots[i].lock().model;
+        let mut j = i + 1;
+        while j < slots.len() && slots[j].lock().model == model {
+            j += 1;
+        }
+        serve_run(core, shard_idx, ctx, model, &slots[i..j]);
+        i = j;
+    }
+}
+
+/// Executes one same-model run of drained request slots.
+fn serve_run(
+    core: &ServerCore,
+    shard_idx: usize,
+    ctx: &mut WorkerCtx,
+    model: ModelId,
+    run: &[Arc<RequestSlot>],
+) {
+    let batchable = matches!(ctx.workspaces[model.0], VariantWorkspace::Emulated(_));
+    if !batchable {
+        // Physical variants (per-sample capture pipeline) and reclaimed
+        // placeholders take the per-sample path, which handles both.
+        for slot in run {
+            serve_one(core, shard_idx, ctx, slot);
+        }
+        return;
+    }
+    // Stage every input into the workspace's plane batch, one slot lock at
+    // a time — drained slots are exclusively ours until their clients are
+    // woken, so dropping the lock between staging and write-back is safe
+    // and no two request locks are ever held together.
+    let entry = {
+        let st = run[0].lock();
+        debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
+        Arc::clone(
+            st.entry
+                .as_ref()
+                .expect("queued slot carries its pinned entry"),
+        )
+    };
+    {
+        let VariantWorkspace::Emulated(ws) = &mut ctx.workspaces[model.0] else {
+            unreachable!("batchable checked above");
+        };
+        ws.begin_batch(run.len());
+        for (b, slot) in run.iter().enumerate() {
+            let st = slot.lock();
+            debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
+            debug_assert_eq!(st.model, model, "run must be model-homogeneous");
+            ws.load_input(b, &st.input);
+        }
+    }
+    // One batched forward for the whole coalesced run.
+    entry.infer_staged_batch(&mut ctx.workspaces[model.0]);
+    core.metrics.record_batched_execution(run.len() as u64);
+    // Distribute staged logits and wake the clients.
+    let VariantWorkspace::Emulated(ws) = &ctx.workspaces[model.0] else {
+        unreachable!("batchable checked above");
+    };
+    for (b, slot) in run.iter().enumerate() {
+        let latency_ns = {
+            let mut st = slot.lock();
+            st.logits.clear();
+            st.logits.extend_from_slice(ws.staged_logits(b));
+            u64::try_from(st.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        };
+        // Retire in-flight accounting *before* the client is woken, same
+        // as the per-sample path.
+        core.inflight_release(model);
+        let mut st = slot.lock();
+        st.stage = Stage::Done;
+        drop(st);
+        core.metrics
+            .record_completed(shard_idx, model.0, latency_ns);
+        slot.cv.notify_all();
     }
 }
 

@@ -20,10 +20,24 @@
 //!   materialized (earlier revisions allocated two full fields per 2-D
 //!   transform). Large fields additionally split their row/column loops
 //!   across the persistent worker pool (`crate::parallel`).
+//! * **Batched entry points**: [`Fft2::fft2_batch_with`] /
+//!   [`Fft2::ifft2_batch_with`] (and the direction-generic
+//!   [`Fft2::process_batch_with`]) transform every plane of a
+//!   [`FieldBatch`] with **one plan lookup** and one shared
+//!   [`BatchWorkspace`], streaming the same precomputed twiddles across
+//!   all `B` planes. Every plane runs the identical strided
+//!   radix-4/Stockham pipeline as the per-sample path
+//!   ([`Fft2::process_slice_with`] is the single shared kernel), so
+//!   batched and per-sample transforms are **bit-identical** — the
+//!   invariant the whole batched propagation stack (lr-optics
+//!   `propagate_batch_into`, lr-core `infer_batch_into`, the lr-serve
+//!   dispatcher) is built on.
 //!
 //! # Workspace-reuse contract
 //!
-//! All per-call scratch lives in an [`Fft2Workspace`] (2-D) or a plain
+//! All per-call scratch lives in an [`Fft2Workspace`] (2-D), a
+//! [`BatchWorkspace`] (batched 2-D — one per-plane workspace shared by all
+//! planes, sized independently of the batch count), or a plain
 //! `Vec<Complex64>` (1-D, from [`FftPlan::make_scratch`]):
 //!
 //! * **Ownership** — the *caller* owns workspaces and passes them by
@@ -46,6 +60,7 @@
 //! transforms carry the `1/N` factor. For the 2-D transforms the inverse
 //! therefore scales by `1/(rows·cols)`.
 
+use crate::batch::FieldBatch;
 use crate::complex::Complex64;
 use crate::field::Field;
 use crate::parallel;
@@ -836,6 +851,37 @@ impl Fft2Workspace {
     }
 }
 
+/// Caller-owned scratch for the batched 2-D entry points
+/// ([`Fft2::fft2_batch_with`] / [`Fft2::ifft2_batch_with`] /
+/// [`Fft2::process_batch_with`]).
+///
+/// Per-plane scratch is independent of the batch count — every plane of a
+/// [`FieldBatch`] reuses the one wrapped [`Fft2Workspace`] — so a single
+/// `BatchWorkspace` serves any `B` at its shape with **zero allocations**
+/// in steady state, exactly like the per-sample workspace contract (see
+/// the module docs).
+#[derive(Debug, Clone)]
+pub struct BatchWorkspace {
+    fft: Fft2Workspace,
+}
+
+impl BatchWorkspace {
+    /// Plane shape this workspace serves.
+    pub fn shape(&self) -> (usize, usize) {
+        self.fft.shape()
+    }
+
+    /// The wrapped per-plane 2-D workspace.
+    pub fn fft_mut(&mut self) -> &mut Fft2Workspace {
+        &mut self.fft
+    }
+
+    /// Heap bytes held by this workspace's scratch buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.fft.resident_bytes()
+    }
+}
+
 /// A 2-D FFT engine for a fixed field shape, holding one plan per axis.
 ///
 /// # Examples
@@ -895,6 +941,14 @@ impl Fft2 {
         }
     }
 
+    /// Allocates a batched workspace sized for this engine's shape (valid
+    /// for any batch count — per-plane scratch is batch-independent).
+    pub fn make_batch_workspace(&self) -> BatchWorkspace {
+        BatchWorkspace {
+            fft: self.make_workspace(),
+        }
+    }
+
     /// In-place forward 2-D FFT.
     ///
     /// # Panics
@@ -928,6 +982,30 @@ impl Fft2 {
     /// Panics if `field` or `workspace` does not match the planned shape.
     pub fn process_with(&self, field: &mut Field, dir: Direction, workspace: &mut Fft2Workspace) {
         assert_eq!(field.shape(), (self.rows, self.cols), "Fft2 shape mismatch");
+        self.process_slice_with(field.as_mut_slice(), dir, workspace);
+    }
+
+    /// In-place 2-D transform of one row-major `rows × cols` plane given as
+    /// a raw sample slice — the single shared kernel behind both the
+    /// per-sample ([`Fft2::process_with`]) and batched
+    /// ([`Fft2::process_batch_with`]) entry points, which is what makes
+    /// them bit-identical. Zero heap allocation (sequential mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` or `workspace` does not match the planned
+    /// shape.
+    pub fn process_slice_with(
+        &self,
+        data: &mut [Complex64],
+        dir: Direction,
+        workspace: &mut Fft2Workspace,
+    ) {
+        assert_eq!(
+            data.len(),
+            self.rows * self.cols,
+            "Fft2 plane length mismatch"
+        );
         assert_eq!(
             workspace.shape(),
             (self.rows, self.cols),
@@ -937,27 +1015,64 @@ impl Fft2 {
             && parallel::threads() > 1
             && !parallel::in_parallel_region();
         if parallel_ok {
-            self.rows_pass_parallel(field, dir);
-            self.cols_pass_parallel(field, dir);
+            self.rows_pass_parallel(data, dir);
+            self.cols_pass_parallel(data, dir);
         } else {
-            self.rows_pass(field, dir, &mut workspace.row_scratch);
-            self.cols_pass(field, dir, workspace);
+            self.rows_pass(data, dir, &mut workspace.row_scratch);
+            self.cols_pass(data, dir, workspace);
         }
     }
 
+    /// Transforms every active plane of `batch` in place: one shared
+    /// workspace, one set of plans, the twiddle/chirp tables streamed over
+    /// all `B` planes. Bit-identical to `B` separate
+    /// [`Fft2::process_with`] calls (see [`Fft2::process_slice_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's plane shape or `workspace` does not match the
+    /// planned shape.
+    pub fn process_batch_with(
+        &self,
+        batch: &mut FieldBatch,
+        dir: Direction,
+        workspace: &mut BatchWorkspace,
+    ) {
+        assert_eq!(
+            batch.plane_shape(),
+            (self.rows, self.cols),
+            "Fft2 batch plane shape mismatch"
+        );
+        for plane in batch.planes_mut() {
+            self.process_slice_with(plane, dir, &mut workspace.fft);
+        }
+    }
+
+    /// Batched forward 2-D FFT over every active plane (see
+    /// [`Fft2::process_batch_with`]).
+    pub fn fft2_batch_with(&self, batch: &mut FieldBatch, workspace: &mut BatchWorkspace) {
+        self.process_batch_with(batch, Direction::Forward, workspace);
+    }
+
+    /// Batched inverse 2-D FFT (scaled by `1/(rows·cols)` per plane; see
+    /// [`Fft2::process_batch_with`]).
+    pub fn ifft2_batch_with(&self, batch: &mut FieldBatch, workspace: &mut BatchWorkspace) {
+        self.process_batch_with(batch, Direction::Inverse, workspace);
+    }
+
     /// Row transforms, sequential, in place.
-    fn rows_pass(&self, field: &mut Field, dir: Direction, scratch: &mut Vec<Complex64>) {
+    fn rows_pass(&self, data: &mut [Complex64], dir: Direction, scratch: &mut Vec<Complex64>) {
         for r in 0..self.rows {
-            self.row_plan.process(field.row_mut(r), dir, scratch);
+            self.row_plan
+                .process(&mut data[r * self.cols..(r + 1) * self.cols], dir, scratch);
         }
     }
 
     /// Column transforms through the cache-blocked strided kernel: gather up
     /// to [`COL_BLOCK`] columns into contiguous staging, transform each, and
     /// scatter back. No full-field transpose is ever materialized.
-    fn cols_pass(&self, field: &mut Field, dir: Direction, workspace: &mut Fft2Workspace) {
+    fn cols_pass(&self, data: &mut [Complex64], dir: Direction, workspace: &mut Fft2Workspace) {
         let (rows, cols) = (self.rows, self.cols);
-        let data = field.as_mut_slice();
         let block = &mut workspace.col_block;
         let scratch = &mut workspace.col_scratch;
         let mut c0 = 0;
@@ -980,12 +1095,12 @@ impl Fft2 {
     }
 
     /// Row transforms split across the worker pool; per-thread scratch.
-    fn rows_pass_parallel(&self, field: &mut Field, dir: Direction) {
+    fn rows_pass_parallel(&self, data: &mut [Complex64], dir: Direction) {
         let (rows, cols) = (self.rows, self.cols);
         let tasks = parallel::threads().min(rows).max(1) * 4;
         let chunk = rows.div_ceil(tasks);
         let tasks = rows.div_ceil(chunk);
-        let base = RowsPtr(field.as_mut_slice().as_mut_ptr());
+        let base = RowsPtr(data.as_mut_ptr());
         let plan = &self.row_plan;
         parallel::par_for(tasks, |t| {
             let base = &base; // capture the Sync wrapper, not the raw field
@@ -1003,10 +1118,10 @@ impl Fft2 {
     }
 
     /// Column blocks split across the worker pool; per-thread staging.
-    fn cols_pass_parallel(&self, field: &mut Field, dir: Direction) {
+    fn cols_pass_parallel(&self, data: &mut [Complex64], dir: Direction) {
         let (rows, cols) = (self.rows, self.cols);
         let blocks = cols.div_ceil(COL_BLOCK);
-        let base = RowsPtr(field.as_mut_slice().as_mut_ptr());
+        let base = RowsPtr(data.as_mut_ptr());
         let plan = &self.col_plan;
         parallel::par_for(blocks, |b| {
             let base = &base; // capture the Sync wrapper, not the raw field
@@ -1110,6 +1225,54 @@ impl Fft2 {
         self.process_with(grad, Direction::Forward, workspace);
         grad.hadamard_conj_assign(transfer);
         self.process_with(grad, Direction::Inverse, workspace);
+    }
+
+    /// [`Fft2::convolve_spectrum_with`] on one raw row-major plane — the
+    /// shared kernel behind both the per-sample and batched spectral
+    /// propagation paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or `workspace` do not match the planned shape.
+    pub fn convolve_spectrum_slice_with(
+        &self,
+        data: &mut [Complex64],
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        assert_eq!(
+            transfer.shape(),
+            (self.rows, self.cols),
+            "transfer shape mismatch"
+        );
+        self.process_slice_with(data, Direction::Forward, workspace);
+        for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
+            *a *= h;
+        }
+        self.process_slice_with(data, Direction::Inverse, workspace);
+    }
+
+    /// [`Fft2::convolve_spectrum_adjoint_with`] on one raw row-major plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or `workspace` do not match the planned shape.
+    pub fn convolve_spectrum_adjoint_slice_with(
+        &self,
+        data: &mut [Complex64],
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        assert_eq!(
+            transfer.shape(),
+            (self.rows, self.cols),
+            "transfer shape mismatch"
+        );
+        self.process_slice_with(data, Direction::Forward, workspace);
+        for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
+            *a *= h.conj();
+        }
+        self.process_slice_with(data, Direction::Inverse, workspace);
     }
 }
 

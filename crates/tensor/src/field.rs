@@ -451,15 +451,7 @@ impl Field {
     /// Panics if shapes differ.
     pub fn fftshift_into(&self, out: &mut Field) {
         assert_eq!(self.shape(), out.shape(), "fftshift_into: shape mismatch");
-        let sr = self.rows.div_ceil(2);
-        let sc = self.cols.div_ceil(2);
-        for r in 0..self.rows {
-            let src = self.row((r + sr) % self.rows);
-            let dst = out.row_mut(r);
-            for (c, d) in dst.iter_mut().enumerate() {
-                *d = src[(c + sc) % self.cols];
-            }
-        }
+        fftshift_slice_into(&self.data, self.rows, self.cols, &mut out.data);
     }
 
     /// [`Field::ifftshift`] written into a caller-owned field (no
@@ -470,15 +462,7 @@ impl Field {
     /// Panics if shapes differ.
     pub fn ifftshift_into(&self, out: &mut Field) {
         assert_eq!(self.shape(), out.shape(), "ifftshift_into: shape mismatch");
-        let sr = self.rows / 2;
-        let sc = self.cols / 2;
-        for r in 0..self.rows {
-            let src = self.row((r + sr) % self.rows);
-            let dst = out.row_mut(r);
-            for (c, d) in dst.iter_mut().enumerate() {
-                *d = src[(c + sc) % self.cols];
-            }
-        }
+        ifftshift_slice_into(&self.data, self.rows, self.cols, &mut out.data);
     }
 
     /// Frobenius distance `‖self − rhs‖₂`.
@@ -499,6 +483,47 @@ impl Field {
     /// True if every sample is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|z| z.is_finite())
+    }
+}
+
+/// [`Field::fftshift_into`] on raw row-major `rows × cols` planes — the
+/// shared kernel behind both the per-sample and batched Fraunhofer
+/// propagation paths (plane slices of a batch have no `Field` wrapper).
+///
+/// # Panics
+///
+/// Panics if either slice length differs from `rows·cols`.
+pub fn fftshift_slice_into(src: &[Complex64], rows: usize, cols: usize, dst: &mut [Complex64]) {
+    shift_slice_into(src, rows, cols, dst, rows.div_ceil(2), cols.div_ceil(2));
+}
+
+/// [`Field::ifftshift_into`] on raw row-major planes (see
+/// [`fftshift_slice_into`]).
+///
+/// # Panics
+///
+/// Panics if either slice length differs from `rows·cols`.
+pub fn ifftshift_slice_into(src: &[Complex64], rows: usize, cols: usize, dst: &mut [Complex64]) {
+    shift_slice_into(src, rows, cols, dst, rows / 2, cols / 2);
+}
+
+fn shift_slice_into(
+    src: &[Complex64],
+    rows: usize,
+    cols: usize,
+    dst: &mut [Complex64],
+    sr: usize,
+    sc: usize,
+) {
+    assert_eq!(src.len(), rows * cols, "shift: source length mismatch");
+    assert_eq!(dst.len(), rows * cols, "shift: destination length mismatch");
+    for r in 0..rows {
+        let sr_row = (r + sr) % rows;
+        let src_row = &src[sr_row * cols..(sr_row + 1) * cols];
+        let dst_row = &mut dst[r * cols..(r + 1) * cols];
+        for (c, d) in dst_row.iter_mut().enumerate() {
+            *d = src_row[(c + sc) % cols];
+        }
     }
 }
 

@@ -31,16 +31,18 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod complex;
 mod fft;
 mod field;
 pub mod parallel;
 mod pinned_cache;
 
+pub use batch::FieldBatch;
 pub use complex::{Complex64, J};
 pub use fft::{
-    clear_plan_cache, dft_naive, plan_cache_len, planner, sweep_orphaned_plans, Direction, Fft2,
-    Fft2Workspace, FftPlan, PLAN_CACHE_CAP,
+    clear_plan_cache, dft_naive, plan_cache_len, planner, sweep_orphaned_plans, BatchWorkspace,
+    Direction, Fft2, Fft2Workspace, FftPlan, PLAN_CACHE_CAP,
 };
-pub use field::Field;
+pub use field::{fftshift_slice_into, ifftshift_slice_into, Field};
 pub use pinned_cache::PinnedCache;

@@ -1,7 +1,12 @@
 //! Counting-allocator proof of the zero-copy propagation pipeline: after
 //! warm-up, the workspace-threaded forward pass performs **zero heap
 //! allocations** per sample — and, with the trace ring, so does the full
-//! forward-trace + backward training step.
+//! forward-trace + backward training step. The batched paths
+//! (`infer_batch_into`, `forward_trace_batch_into` +
+//! `backward_batch_with` through a `BatchTraceRing`) carry the same
+//! contract: one `BatchWorkspace` serves whole batches with zero
+//! steady-state allocations and stays bit-identical to the per-sample
+//! path.
 //!
 //! This file must stay a single-test binary: the counting allocator is
 //! process-global, so any concurrently running test would pollute the
@@ -10,10 +15,10 @@
 //! scratch instead of the caller's workspace. The forward and backward
 //! phases run inside the one test function for the same reason.
 
-use lightridge::{CodesignMode, Detector, DonnBuilder, ModelGrads, TraceRing};
+use lightridge::{BatchTraceRing, CodesignMode, Detector, DonnBuilder, ModelGrads, TraceRing};
 use lr_nn::loss::{one_hot_into, softmax_mse_into};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
-use lr_tensor::{parallel, Complex64, Field};
+use lr_tensor::{parallel, Complex64, Field, FieldBatch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -146,6 +151,117 @@ fn steady_state_forward_pass_allocates_nothing() {
         grads.norm() > reference_norm,
         "gradients must keep accumulating"
     );
+
+    // ---- Batched inference: a whole batch through one BatchWorkspace
+    // must allocate nothing in steady state and stay bit-identical to the
+    // per-sample path. ----
+    const BATCH: usize = 4;
+    let inputs_vec: Vec<Field> = (0..BATCH)
+        .map(|b| {
+            Field::from_fn(64, 64, |r, c| {
+                Complex64::from_real(if (r / 4 + c / 4 + b) % 3 == 0 {
+                    1.0
+                } else {
+                    0.0
+                })
+            })
+        })
+        .collect();
+    let input_refs: Vec<&Field> = inputs_vec.iter().collect();
+    let mut batch_ws = model.make_batch_workspace(BATCH);
+    let mut outputs: Vec<Vec<f64>> = (0..BATCH)
+        .map(|_| Vec::with_capacity(model.num_classes()))
+        .collect();
+    for _ in 0..3 {
+        model.infer_batch_into(&input_refs, CodesignMode::Soft, &mut batch_ws, &mut outputs);
+    }
+    let reference_outputs = outputs.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        model.infer_batch_into(&input_refs, CodesignMode::Soft, &mut batch_ws, &mut outputs);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched inference must not allocate (got {} allocations over 10 passes)",
+        after - before
+    );
+    assert_eq!(outputs, reference_outputs);
+    for (input, out) in inputs_vec.iter().zip(&outputs) {
+        let mut per_sample = Vec::with_capacity(model.num_classes());
+        model.infer_into(input, &mut ws, &mut per_sample);
+        assert_eq!(
+            out, &per_sample,
+            "batched inference must stay bit-identical to per-sample"
+        );
+    }
+
+    // ---- Batched training step: the whole batch forwards and backwards
+    // as one FieldBatch through a BatchTraceRing — zero steady-state
+    // allocations for the diffractive stack. ----
+    let mut batch_inputs = FieldBatch::zeros(BATCH, 64, 64);
+    for (b, input) in inputs_vec.iter().enumerate() {
+        batch_inputs.copy_plane_from(b, input);
+    }
+    let seeds: Vec<u64> = (0..BATCH as u64).map(|b| b * 7919 + 13).collect();
+    let mut batch_ring = BatchTraceRing::new(1);
+    let mut batch_grads = ModelGrads::zeros_like(&model);
+    let mut batch_logit_grads: Vec<Vec<f64>> = (0..BATCH)
+        .map(|_| Vec::with_capacity(model.num_classes()))
+        .collect();
+    let batch_step = |ring: &mut BatchTraceRing,
+                      grads: &mut ModelGrads,
+                      target: &mut Vec<f64>,
+                      logit_grads: &mut [Vec<f64>],
+                      ws: &mut lightridge::BatchWorkspace|
+     -> f64 {
+        let trace = ring.forward(&model, &batch_inputs, CodesignMode::Soft, &seeds, ws);
+        let mut loss = 0.0;
+        for (b, lg) in logit_grads.iter_mut().enumerate().take(BATCH) {
+            one_hot_into(b % model.num_classes(), model.num_classes(), target);
+            loss += softmax_mse_into(&trace.logits[b], target, lg);
+        }
+        model.backward_batch_with(trace, logit_grads, grads, ws);
+        loss
+    };
+    for _ in 0..3 {
+        batch_step(
+            &mut batch_ring,
+            &mut batch_grads,
+            &mut target,
+            &mut batch_logit_grads,
+            &mut batch_ws,
+        );
+    }
+    let reference_batch_loss = batch_step(
+        &mut batch_ring,
+        &mut batch_grads,
+        &mut target,
+        &mut batch_logit_grads,
+        &mut batch_ws,
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut last_batch_loss = 0.0;
+    for _ in 0..10 {
+        last_batch_loss = batch_step(
+            &mut batch_ring,
+            &mut batch_grads,
+            &mut target,
+            &mut batch_logit_grads,
+            &mut batch_ws,
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched training step must not allocate (got {} allocations over 10 steps)",
+        after - before
+    );
+    assert_eq!(last_batch_loss, reference_batch_loss);
 
     parallel::set_threads(0);
 }

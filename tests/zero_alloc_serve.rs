@@ -2,9 +2,12 @@
 //! runtime: once the server is warm, a mixed two-model workload served
 //! through 2 shards (affinity routing, per-shard queues and dispatchers)
 //! performs **zero heap allocations** per request — client slot reuse,
-//! bounded queues, per-worker workspaces, registry/in-flight/metrics
-//! snapshot loads, and atomic histograms all included — and still returns
-//! logits bit-identical to direct inference.
+//! bounded queues, per-worker **batched** workspaces (every emulated
+//! request executes as a batched forward through a `BatchWorkspace`; the
+//! final stats assertions prove the batched path served the whole
+//! workload), registry/in-flight/metrics snapshot loads, and atomic
+//! histograms all included — and still returns logits bit-identical to
+//! direct inference.
 //!
 //! The test then performs a **live version flip mid-run**
 //! (`Server::register_emulated` on the running server): registration may
@@ -238,6 +241,16 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
 
     let stats = server.stats();
     assert_eq!(stats.completed, 93);
+    // Every request in this workload targets an emulated variant, so the
+    // dispatcher must have served all of them through batched forwards on
+    // the per-worker BatchWorkspaces (B=1 batches for these sequential
+    // blocking clients) — the batched serve path is exactly what the
+    // allocation windows above measured.
+    assert_eq!(
+        stats.batched_samples, 93,
+        "every emulated request must execute through the batched path"
+    );
+    assert!(stats.batch_executions > 0);
     assert_eq!(stats.reclaimed_models, 1);
     assert!(stats.reclaimed_bytes > 0);
     assert!(stats.latency.p50_ns > 0);
