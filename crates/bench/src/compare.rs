@@ -270,6 +270,16 @@ fn classify(path: &str) -> Direction {
     if path.ends_with("resident_workspace_bytes") {
         return Direction::LowerIsBetter;
     }
+    // The chaos scenario's correctness counters. Both are 0 in the
+    // committed baseline, and a zero baseline gates the current value at
+    // exactly 0 (any nonzero current reads as +100% > tolerance): a
+    // single hung request or bitwise divergence under fault injection
+    // fails CI. The chaos fault counters themselves (worker_panics,
+    // deadline_expired, ...) stay informational — the seeded schedule is
+    // deterministic but its interleaving with client threads is not.
+    if path.ends_with("unresolved_requests") || path.ends_with("bitwise_mismatches") {
+        return Direction::LowerIsBetter;
+    }
     // Only the stable central statistics of the *steady* scenario's
     // latency distribution gate. p95/p99/max and per-shard quantiles are
     // informational everywhere (quick-profile sample counts make them
@@ -552,6 +562,64 @@ mod tests {
             classify("scenarios.churn.baseline_resident_bytes"),
             Direction::Informational
         );
+        // The chaos correctness counters gate (at 0, via the zero-
+        // baseline rule); its fault counters are informational.
+        assert_eq!(
+            classify("scenarios.chaos.unresolved_requests"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.chaos.bitwise_mismatches"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.chaos.worker_panics"),
+            Direction::Informational
+        );
+        assert_eq!(
+            classify("scenarios.chaos.deadline_expired"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn chaos_correctness_counters_gate_at_zero() {
+        let base = parse_json(
+            "{ \"scenarios\": { \"chaos\": { \
+               \"unresolved_requests\": 0, \"bitwise_mismatches\": 0, \
+               \"worker_panics\": 3 } } }",
+        )
+        .unwrap();
+        // Zero baseline + zero current: 0% delta, no regression.
+        let (_, regressed, _) = compare_values(&base, &base, 15.0);
+        assert!(!regressed);
+        // A single hung request must trip the gate regardless of
+        // tolerance: the zero baseline maps any nonzero current to +100%.
+        let cur = parse_json(
+            "{ \"scenarios\": { \"chaos\": { \
+               \"unresolved_requests\": 1, \"bitwise_mismatches\": 0, \
+               \"worker_panics\": 99 } } }",
+        )
+        .unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "one unresolved request must fail the gate");
+        assert!(rows
+            .iter()
+            .any(|r| r.path == "scenarios.chaos.unresolved_requests" && r.regressed));
+        assert!(
+            rows.iter()
+                .all(|r| r.path != "scenarios.chaos.worker_panics" || !r.regressed),
+            "fault counters are informational, not gated"
+        );
+        // A bitwise divergence under faults is equally fatal.
+        let cur = parse_json(
+            "{ \"scenarios\": { \"chaos\": { \
+               \"unresolved_requests\": 0, \"bitwise_mismatches\": 2, \
+               \"worker_panics\": 3 } } }",
+        )
+        .unwrap();
+        let (_, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "a bitwise mismatch must fail the gate");
     }
 
     #[test]

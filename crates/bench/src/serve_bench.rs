@@ -43,18 +43,32 @@
 //! survivor's baseline when reclaim works, and growing linearly in churn
 //! count when it leaks, which is why `lr-bench compare` gates on it
 //! (lower is better).
+//!
+//! A sixth scenario, `chaos`, runs the **fault-tolerance contract** under
+//! a seeded [`FaultPlan`]: injected worker panics, stalls, submit
+//! timeouts, queue-full bursts, and one mid-run dispatcher kill, layered
+//! over a register→retire→reclaim churn loop, all while client threads
+//! hammer a survivor model. Its `unresolved_requests` (requests that
+//! neither returned Ok nor a typed error before the watchdog) and
+//! `bitwise_mismatches` (Ok results that diverged from direct inference)
+//! are **gated at exactly 0** by `lr-bench compare` — the committed
+//! baseline is 0, and the zero-baseline rule maps any nonzero current
+//! value to a tripped gate. `p99_survivor_ns` records the tail the
+//! survivor's successful requests paid under the fault mix
+//! (informational).
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    AdmissionPolicy, BatchPolicy, ModelId, ModelRegistry, PoolMode, ReadoutMode, Server,
-    ServerStats, Transport,
+    AdmissionPolicy, BatchPolicy, FaultKind, FaultPlan, ModelId, ModelRegistry, PoolMode,
+    ReadoutMode, Server, ServerStats, Transport,
 };
 use lr_tensor::{parallel, Complex64, Field};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
@@ -334,6 +348,292 @@ fn write_churn(json: &mut String, o: &ChurnOutcome, last: bool) {
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
+struct ChaosOutcome {
+    submitted: u64,
+    ok: u64,
+    typed_errors: u64,
+    unresolved_requests: u64,
+    bitwise_mismatches: u64,
+    churn_cycles: usize,
+    deadline_expired: u64,
+    worker_panics: u64,
+    dispatcher_respawns: u64,
+    shed: u64,
+    rejected: u64,
+    pool_timeouts: u64,
+    reclaimed_models: u64,
+    resident_workspace_bytes: u64,
+    p99_survivor_ns: u64,
+    wall_ms: u64,
+}
+
+/// Runs the fault-tolerance contract under load: `threads` clients hammer
+/// a survivor model while a seeded fault plan injects panics, stalls,
+/// submit timeouts, and queue-full bursts, one dispatcher is killed
+/// mid-run, and a churn thread register→serve→retire→reclaims fresh
+/// versions throughout. Client threads are **detached** (not scoped) so a
+/// hung request cannot hang the bench: a watchdog counts whatever never
+/// resolved as `unresolved_requests` and the artifact still gets written
+/// (the gate then fails on the count, which is the point).
+fn run_chaos(
+    shards: usize,
+    threads: usize,
+    requests_per_thread: usize,
+    cycles: usize,
+    survivor: &DonnModel,
+    churn_n: usize,
+    churn_depth: usize,
+) -> ChaosOutcome {
+    // Injected panics unwind with a payload containing "injected fault";
+    // keep them out of stderr while leaving real panics fully reported.
+    {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+                if msg.is_some_and(|m| m.contains("injected fault")) {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    let plan = Arc::new(
+        FaultPlan::new(0xC4A05)
+            .with_rate(FaultKind::PanicInForward, 50)
+            .with_rate(FaultKind::SlowWorker, 10)
+            .with_rate(FaultKind::SubmitTimeout, 20)
+            .with_rate(FaultKind::QueueFull, 15)
+            .with_stall(Duration::from_millis(1)),
+    );
+    let mut registry = ModelRegistry::new();
+    let keeper =
+        registry.register_emulated("survivor", 1, survivor.clone(), ReadoutMode::Emulation);
+    let server = Arc::new(Server::start(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            max_delay: Duration::from_micros(200),
+            queue_cap: 16,
+            admission: AdmissionPolicy::RejectNew,
+            shards,
+            // Pin worker contexts to the shard count so the gated
+            // end-of-run resident bytes mean the same thing on any
+            // runner (same rationale as the churn scenario).
+            workers: shards,
+            default_deadline: Duration::from_millis(500),
+            // Injected panics are noise, not a broken model: keep the
+            // survivor in rotation for the whole scenario.
+            quarantine_after: 0,
+            supervisor_tick: Duration::from_millis(1),
+            faults: Some(Arc::clone(&plan)),
+            ..BatchPolicy::default()
+        },
+    ));
+    let (n, _) = survivor.grid().shape();
+    let input = Arc::new(make_input(n, 0));
+    let expected = Arc::new(survivor.infer(&input));
+
+    let submitted = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let typed_errors = Arc::new(AtomicU64::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let remaining = Arc::new(AtomicU64::new((threads * requests_per_thread) as u64));
+    let churn_done = Arc::new(AtomicBool::new(false));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(
+        threads * requests_per_thread,
+    )));
+    let watchdog = Instant::now() + Duration::from_secs(60);
+    let epoch = Instant::now();
+
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let server = Arc::clone(&server);
+        let input = Arc::clone(&input);
+        let expected = Arc::clone(&expected);
+        let submitted = Arc::clone(&submitted);
+        let ok = Arc::clone(&ok);
+        let typed_errors = Arc::clone(&typed_errors);
+        let mismatches = Arc::clone(&mismatches);
+        let remaining = Arc::clone(&remaining);
+        let latencies = Arc::clone(&latencies);
+        handles.push(std::thread::spawn(move || {
+            let mut client = server.client();
+            let mut logits = Vec::new();
+            for _ in 0..requests_per_thread {
+                submitted.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                match client.infer(keeper, &input, &mut logits) {
+                    Ok(()) => {
+                        if logits == *expected {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            latencies
+                                .lock()
+                                .expect("latency vec poisoned")
+                                .push(t0.elapsed().as_nanos() as u64);
+                        } else {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Every Err is a typed ServeError by construction; a
+                    // hang would show up as `remaining` never draining.
+                    Err(_) => {
+                        typed_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                remaining.fetch_sub(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    // Lifecycle churn alongside the faults: fresh versions register,
+    // serve a couple of requests, retire, and reclaim. Reclaim aborts
+    // (returns false) while a dispatcher is down, so it retries until the
+    // supervisor has healed the shard.
+    {
+        let server = Arc::clone(&server);
+        let submitted = Arc::clone(&submitted);
+        let ok = Arc::clone(&ok);
+        let typed_errors = Arc::clone(&typed_errors);
+        let mismatches = Arc::clone(&mismatches);
+        let churn_done = Arc::clone(&churn_done);
+        let churn_input = make_input(churn_n, 1);
+        handles.push(std::thread::spawn(move || {
+            for cycle in 0..cycles {
+                let model = donn(churn_n, churn_depth, 9000 + cycle as u64);
+                let expected = model.infer(&churn_input);
+                let id = server.register_emulated(
+                    "churn",
+                    cycle as u32 + 1,
+                    model,
+                    ReadoutMode::Emulation,
+                );
+                let mut client = server.client();
+                let mut logits = Vec::new();
+                let mut served = 0u32;
+                while served < 2 && Instant::now() < watchdog {
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    match client.infer(id, &churn_input, &mut logits) {
+                        Ok(()) => {
+                            served += 1;
+                            if logits == expected {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            typed_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                assert!(server.retire(id), "churn version must retire");
+                while !server.reclaim(id) && Instant::now() < watchdog {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            churn_done.store(true, Ordering::Relaxed);
+        }));
+    }
+    // One deterministic dispatcher kill mid-run: the staged requests must
+    // resolve as ChannelClosed and the supervisor must respawn the shard.
+    std::thread::sleep(Duration::from_millis(20));
+    plan.trigger(FaultKind::KillDispatcher);
+
+    while Instant::now() < watchdog
+        && (remaining.load(Ordering::Relaxed) > 0 || !churn_done.load(Ordering::Relaxed))
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // A stuck churn thread (hung retire/reclaim) counts as one unresolved
+    // operation alongside any client requests that never came back.
+    let unresolved =
+        remaining.load(Ordering::Relaxed) + u64::from(!churn_done.load(Ordering::Relaxed));
+    let wall_ms = epoch.elapsed().as_millis() as u64;
+    let stats = server.stats();
+    let p99_survivor_ns = {
+        let mut lat = latencies.lock().expect("latency vec poisoned").clone();
+        lat.sort_unstable();
+        if lat.is_empty() {
+            0
+        } else {
+            lat[(lat.len() * 99 / 100).min(lat.len() - 1)]
+        }
+    };
+    if unresolved == 0 {
+        for h in handles {
+            h.join().expect("chaos thread panicked");
+        }
+        if let Ok(server) = Arc::try_unwrap(server) {
+            server.shutdown();
+        }
+    }
+    // else: leak the hung threads and the server — the artifact records
+    // the failure and the gate trips on `unresolved_requests`; joining
+    // would hang the bench (and the CI job) instead of reporting it.
+
+    ChaosOutcome {
+        submitted: submitted.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        typed_errors: typed_errors.load(Ordering::Relaxed),
+        unresolved_requests: unresolved,
+        bitwise_mismatches: mismatches.load(Ordering::Relaxed),
+        churn_cycles: cycles,
+        deadline_expired: stats.deadline_expired,
+        worker_panics: stats.worker_panics,
+        dispatcher_respawns: stats.dispatcher_respawns,
+        shed: stats.shed,
+        rejected: stats.rejected,
+        pool_timeouts: stats.pool_timeouts,
+        reclaimed_models: stats.reclaimed_models,
+        resident_workspace_bytes: stats.resident_workspace_bytes,
+        p99_survivor_ns,
+        wall_ms,
+    }
+}
+
+fn write_chaos(json: &mut String, o: &ChaosOutcome, last: bool) {
+    let _ = writeln!(json, "    \"chaos\": {{");
+    let _ = writeln!(json, "      \"wall_ms\": {},", o.wall_ms);
+    let _ = writeln!(json, "      \"submitted\": {},", o.submitted);
+    let _ = writeln!(json, "      \"ok\": {},", o.ok);
+    let _ = writeln!(json, "      \"typed_errors\": {},", o.typed_errors);
+    let _ = writeln!(
+        json,
+        "      \"unresolved_requests\": {},",
+        o.unresolved_requests
+    );
+    let _ = writeln!(
+        json,
+        "      \"bitwise_mismatches\": {},",
+        o.bitwise_mismatches
+    );
+    let _ = writeln!(json, "      \"churn_cycles\": {},", o.churn_cycles);
+    let _ = writeln!(json, "      \"deadline_expired\": {},", o.deadline_expired);
+    let _ = writeln!(json, "      \"worker_panics\": {},", o.worker_panics);
+    let _ = writeln!(
+        json,
+        "      \"dispatcher_respawns\": {},",
+        o.dispatcher_respawns
+    );
+    let _ = writeln!(json, "      \"shed\": {},", o.shed);
+    let _ = writeln!(json, "      \"rejected\": {},", o.rejected);
+    let _ = writeln!(json, "      \"pool_timeouts\": {},", o.pool_timeouts);
+    let _ = writeln!(json, "      \"reclaimed_models\": {},", o.reclaimed_models);
+    let _ = writeln!(
+        json,
+        "      \"resident_workspace_bytes\": {},",
+        o.resident_workspace_bytes
+    );
+    let _ = writeln!(json, "      \"p99_survivor_ns\": {}", o.p99_survivor_ns);
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
 fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool) {
     let s = &o.stats;
     let l = &s.latency;
@@ -521,6 +821,17 @@ pub fn run(args: &[String]) {
         nb,
         depth,
     );
+    // Fault-tolerance contract under a seeded fault mix plus lifecycle
+    // churn; `unresolved_requests` and `bitwise_mismatches` gate at 0.
+    let chaos = run_chaos(
+        shards,
+        threads,
+        per_thread,
+        if quick { 3 } else { 6 },
+        &model_a,
+        nb,
+        depth,
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"lr-bench serve\",");
@@ -548,7 +859,8 @@ pub fn run(args: &[String]) {
         false,
     );
     write_scenario(&mut json, "colocated_shared", &colocated_shared, false);
-    write_churn(&mut json, &churn, true);
+    write_churn(&mut json, &churn, false);
+    write_chaos(&mut json, &chaos, true);
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");

@@ -14,17 +14,29 @@
 //!  clients (any thread)                  serving runtime (one process)
 //!  ┌──────────────────┐ submit  ┌───────────────────────────────────────┐
 //!  │ InProcessClient  │────────▶│ model-affinity router (id % shards)   │
-//!  │  (Transport)     │         └──────┬─────────────────────┬──────────┘
-//!  │  reusable slot:  │                │                     │
+//!  │  (Transport)     │ deadline└──────┬─────────────────────┬──────────┘
+//!  │  reusable slot:  │                │  ⚡QueueFull         │
 //!  │  input + logits  │    ┌───────────▼─────────┐ ┌─────────▼─────────┐
 //!  └──────────────────┘    │ shard 0             │ │ shard N-1         │
 //!        ▲                 │ · bounded queue     │ │ · bounded queue   │
 //!        │ bit-identical   │ · admission control │◀┼─· work stealing   │
-//!        │ to direct infer │ · dispatcher thread │ │   when a sibling  │
-//!        │                 │ · micro-batcher     │ │   queue runs hot  │
+//!        │ to direct infer │ · EDF shed + expiry │ │   when a sibling  │
+//!        │                 │ · dispatcher thread │ │   queue runs hot  │
+//!        │                 │ · micro-batcher     │ │  ⚡KillDispatcher  │
+//!        │                 │ · staged batch      │ │  ⚡SubmitTimeout   │
 //!        │                 └───────────┬─────────┘ └─────────┬─────────┘
 //!        │                             │ per-worker per-model│
-//!        │                             │ workspaces (0-alloc)│
+//!        │      ┌────────────────┐     │ workspaces (0-alloc)│
+//!        │      │ supervisor     │     │  ⚡SlowWorker        │
+//!        │      │ · respawn dead │     │  ⚡PanicInForward    │
+//!        │      │   dispatchers  │     │ (per-run contain +  │
+//!        │      │   (staged ⇒    │     │  workspace rebuild) │
+//!        │      │   ChannelClosed│     │                     │
+//!        │      │ · quarantine   │     │                     │
+//!        │      │   flips        │     │                     │
+//!        │      │ · AutoAfter    │     │                     │
+//!        │      │   reclaim tick │     │                     │
+//!        │      └────────────────┘     │                     │
 //!        │                 ┌───────────▼─────────┐ ┌─────────▼─────────┐
 //!        │                 │ PoolPartition 0     │ │ PoolPartition N-1 │
 //!        │                 │ (disjoint workers;  │ │ (or SharedGlobal  │
@@ -121,6 +133,47 @@
 //!   scenario of `lr-bench serve` gates on the end-of-loop resident
 //!   bytes in CI.
 //!
+//! ## The fault-tolerance contract
+//!
+//! What the happy-path guarantees above degrade to *under faults* —
+//! exercised deterministically by a seeded [`FaultPlan`] behind
+//! zero-cost-when-disabled seams (the ⚡ marks in the diagram), the chaos
+//! suite (`crates/serve/tests/chaos.rs`), and the CI-gated `chaos`
+//! scenario of `lr-bench serve`:
+//!
+//! * **Every request resolves.** A submitted request always returns — Ok,
+//!   or a typed [`ServeError`] — within its deadline plus one batch
+//!   execution; no fault leaves a client hanging. Survivors stay
+//!   bit-identical to direct `DonnModel::infer`.
+//! * **Deadlines.** Each request carries an absolute deadline (default
+//!   [`BatchPolicy::default_deadline`]; per-request via
+//!   [`InProcessClient::infer_with_deadline`]). Expired-at-admission →
+//!   [`ServeError::Deadline`] immediately; expired-while-queued → failed
+//!   by the dispatcher's pre-staging sweep, never executed. Under
+//!   [`AdmissionPolicy::ShedOldest`] the shed victim is the queued
+//!   request with the **least remaining lifetime**, not the oldest
+//!   arrival.
+//! * **Panic isolation.** A panic unwinding out of inference fails only
+//!   its own same-model run ([`ServeError::WorkerPanic`]); the worker's
+//!   workspace is discarded and rebuilt through the prewarm path, so the
+//!   shard returns to its warmed, zero-alloc steady state (proven by the
+//!   extended `tests/zero_alloc_serve.rs`). After
+//!   [`BatchPolicy::quarantine_after`] consecutive panics the model is
+//!   **quarantined**: admission fails fast with
+//!   [`ServeError::Quarantined`], in-flight stragglers still complete,
+//!   and the state is observable via [`Server::lifecycle`]. Retire and
+//!   reclaim still apply to quarantined slots.
+//! * **Dispatcher death.** A dispatcher thread that dies (a bug's panic
+//!   escaping containment, or an injected kill) is detected by the
+//!   supervisor thread: the staged batch's waiters resolve with
+//!   [`ServeError::ChannelClosed`] (retry-safe) instead of hanging, fresh
+//!   warmed contexts are rebuilt, resident-byte accounting stays exact,
+//!   and a new dispatcher takes over the shard's queue.
+//! * **Background reclaim.** Under [`ReclaimPolicy::AutoAfter`] the
+//!   supervisor runs the same drain-fenced reclaim for any tombstone
+//!   older than the configured age — no manual [`Server::reclaim`] call,
+//!   same quiescence proof, no fence violations.
+//!
 //! ## Shard routing contract
 //!
 //! Requests route to `model_id % shards` (affinity keeps one model's
@@ -172,10 +225,12 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod metrics;
 mod registry;
 mod server;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats};
 pub use registry::{
     ModelId, ModelLifecycle, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant,

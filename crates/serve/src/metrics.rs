@@ -202,6 +202,22 @@ pub struct ServerStats {
     /// busy past [`crate::BatchPolicy::pool_wait`] (each abandoned batch
     /// also counts its requests under `shed`).
     pub pool_timeouts: u64,
+    /// Requests failed with [`crate::ServeError::Deadline`]: refused at
+    /// admission already expired, or skipped by a dispatcher because
+    /// their deadline passed while they were queued.
+    pub deadline_expired: u64,
+    /// Serving panics contained by the per-run isolation (each failed
+    /// only its own same-model run with
+    /// [`crate::ServeError::WorkerPanic`] and triggered a workspace
+    /// rebuild).
+    pub worker_panics: u64,
+    /// Models quarantined after
+    /// [`crate::BatchPolicy::quarantine_after`] consecutive panics.
+    pub quarantined_models: u64,
+    /// Dispatcher threads found dead and respawned by the supervisor
+    /// (their staged requests were resolved with
+    /// [`crate::ServeError::ChannelClosed`], never left hanging).
+    pub dispatcher_respawns: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Mean requests per executed micro-batch.
@@ -275,6 +291,10 @@ pub(crate) struct MetricsCore {
     rejected: AtomicU64,
     shed: AtomicU64,
     pool_timeouts: AtomicU64,
+    deadline_expired: AtomicU64,
+    worker_panics: AtomicU64,
+    quarantined_models: AtomicU64,
+    dispatcher_respawns: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
     batch_executions: AtomicU64,
@@ -296,6 +316,10 @@ impl MetricsCore {
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             pool_timeouts: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            quarantined_models: AtomicU64::new(0),
+            dispatcher_respawns: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_samples: AtomicU64::new(0),
             batch_executions: AtomicU64::new(0),
@@ -340,6 +364,22 @@ impl MetricsCore {
 
     pub(crate) fn record_pool_timeout(&self) {
         self.pool_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quarantined(&self) {
+        self.quarantined_models.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dispatcher_respawn(&self) {
+        self.dispatcher_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_reclaimed_model(&self) {
@@ -394,6 +434,10 @@ impl MetricsCore {
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             pool_timeouts: self.pool_timeouts.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            quarantined_models: self.quarantined_models.load(Ordering::Relaxed),
+            dispatcher_respawns: self.dispatcher_respawns.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0

@@ -31,6 +31,7 @@ use lightridge::deploy::{HardwareEnvironment, PhysicalDonn, PhysicalWorkspace};
 use lightridge::{BatchWorkspace, CodesignMode, DonnModel};
 use lr_tensor::Field;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Opaque handle to one registered model variant; cheap to copy and valid
 /// for the registry (and any [`crate::Server`] built from it) forever.
@@ -240,6 +241,12 @@ impl RegisteredModel {
             (ServableVariant::Physical { donn }, VariantWorkspace::Physical(ws)) => {
                 donn.infer_with(input, ws, logits);
             }
+            // Justified invariant, not a request-path failure mode: every
+            // workspace is built by `make_workspace` on this same entry
+            // (startup, live registration, and post-panic rebuild all go
+            // through it), and reclaimed slots are filtered by the serve
+            // path before dispatch — a mismatch here is a construction bug
+            // that no typed ServeError could make safe to continue past.
             _ => unreachable!("variant/workspace kind mismatch"),
         }
     }
@@ -258,6 +265,11 @@ impl RegisteredModel {
             (ServableVariant::Emulated { model, mode }, VariantWorkspace::Emulated(ws)) => {
                 model.infer_staged_batch(*mode, ws);
             }
+            // Justified invariant: the dispatcher only routes a run here
+            // after matching the workspace as `Emulated` (see `serve_run`),
+            // and the workspace was built from this entry. Were it ever
+            // hit, the panic unwinds into the run-level containment and
+            // fails only that run with `WorkerPanic` — never the server.
             _ => unreachable!("staged batch execution requires an emulated variant"),
         }
     }
@@ -402,12 +414,29 @@ impl ModelRegistry {
 pub(crate) enum EntrySlot {
     /// Servable entry.
     Live(Arc<RegisteredModel>),
+    /// Fault-quarantined entry: the model panicked on
+    /// [`crate::BatchPolicy::quarantine_after`] consecutive serves, so
+    /// admission fails fast with [`crate::ServeError::Quarantined`]
+    /// instead of feeding it more traffic. The entry `Arc` is kept (the
+    /// quarantine is diagnostic state, not disposal): requests already
+    /// in flight still complete on their pinned entry, and the slot can
+    /// be retired and reclaimed through the normal lifecycle.
+    Quarantined {
+        /// The quarantined entry (still pinned: see above).
+        entry: Arc<RegisteredModel>,
+        /// Epoch of the snapshot that quarantined this id.
+        quarantined_at: u64,
+    },
     /// Tombstone: retired at epoch `retired_at`; per-worker workspaces are
     /// still resident until reclaimed.
     Retired {
         /// Epoch of the snapshot that made this id invisible. Every
         /// request pinning this entry was admitted at an earlier epoch.
         retired_at: u64,
+        /// Wall-clock instant of the retire flip — the age the
+        /// background auto-reclaimer ([`crate::ReclaimPolicy::AutoAfter`])
+        /// measures tombstones by.
+        retired_when: Instant,
     },
     /// Tombstone whose per-worker workspaces have been dropped and whose
     /// orphaned cache entries have been swept.
@@ -422,6 +451,19 @@ impl EntrySlot {
     pub(crate) fn live(&self) -> Option<&Arc<RegisteredModel>> {
         match self {
             EntrySlot::Live(e) => Some(e),
+            EntrySlot::Quarantined { .. }
+            | EntrySlot::Retired { .. }
+            | EntrySlot::Reclaimed { .. } => None,
+        }
+    }
+
+    /// The entry `Arc` for any slot that still holds one — live *or*
+    /// quarantined. Workspace rebuilds use this: a quarantined model's
+    /// in-flight stragglers are still served (and its workspace slot kept
+    /// consistent) even though admission refuses new work.
+    pub(crate) fn entry_arc(&self) -> Option<&Arc<RegisteredModel>> {
+        match self {
+            EntrySlot::Live(e) | EntrySlot::Quarantined { entry: e, .. } => Some(e),
             EntrySlot::Retired { .. } | EntrySlot::Reclaimed { .. } => None,
         }
     }
@@ -430,7 +472,10 @@ impl EntrySlot {
     pub(crate) fn lifecycle(&self) -> ModelLifecycle {
         match self {
             EntrySlot::Live(_) => ModelLifecycle::Live,
-            EntrySlot::Retired { retired_at } => ModelLifecycle::Retired {
+            EntrySlot::Quarantined { quarantined_at, .. } => ModelLifecycle::Quarantined {
+                quarantined_at: *quarantined_at,
+            },
+            EntrySlot::Retired { retired_at, .. } => ModelLifecycle::Retired {
                 retired_at: *retired_at,
             },
             EntrySlot::Reclaimed { retired_at } => ModelLifecycle::Reclaimed {
@@ -441,12 +486,19 @@ impl EntrySlot {
 }
 
 /// Where a registered model is in its lifecycle
-/// ([`crate::Server::lifecycle`]): servable, tombstoned with memory still
-/// resident, or tombstoned with memory reclaimed.
+/// ([`crate::Server::lifecycle`]): servable, fault-quarantined, tombstoned
+/// with memory still resident, or tombstoned with memory reclaimed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ModelLifecycle {
     /// Registered and servable.
     Live,
+    /// Quarantined after [`crate::BatchPolicy::quarantine_after`]
+    /// consecutive serving panics: admission fails fast with
+    /// [`crate::ServeError::Quarantined`]; retire/reclaim still apply.
+    Quarantined {
+        /// Registry epoch of the quarantine flip.
+        quarantined_at: u64,
+    },
     /// Tombstoned by [`crate::Server::retire`]; per-worker workspaces are
     /// still resident.
     Retired {
@@ -470,11 +522,6 @@ pub(crate) struct RegistrySnapshot {
 }
 
 impl RegistrySnapshot {
-    /// Live entry behind a handle (`None` when out of range or retired).
-    pub(crate) fn get(&self, id: ModelId) -> Option<&Arc<RegisteredModel>> {
-        self.entries.get(id.0).and_then(EntrySlot::live)
-    }
-
     /// The raw slot behind a handle (lifecycle checks).
     pub(crate) fn slot(&self, id: ModelId) -> Option<&EntrySlot> {
         self.entries.get(id.0)
@@ -541,6 +588,18 @@ impl SharedRegistry {
         self.write
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Non-blocking [`SharedRegistry::begin_write`], for the supervisor
+    /// thread: it must never block on a writer (a manual reclaim can hold
+    /// the write lock while waiting on a fence the supervisor is needed to
+    /// restore), so supervisor-side flips retry on the next tick instead.
+    pub(crate) fn try_begin_write(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.write.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Atomically flips to `snapshot`. Call only with the write guard held.

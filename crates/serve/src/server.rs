@@ -35,6 +35,7 @@
 //! ever nested, and clients never touch mailboxes, so the graph is
 //! cycle-free.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::{MetricsCore, ServerStats};
 use crate::registry::{
     EntrySlot, ModelId, ModelRegistry, RegisteredModel, RegistrySnapshot, SharedRegistry,
@@ -48,6 +49,7 @@ use lr_tensor::Field;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// What to do with an arriving request when the queue is at capacity.
@@ -97,6 +99,12 @@ pub enum ReclaimPolicy {
     /// deployments (DSE sweeps, per-perturbation retraining) where every
     /// retire is final.
     AutoOnRetire,
+    /// Background auto-reclaim: `retire` only tombstones, and the
+    /// server's supervisor thread runs the drain-fenced reclaim for any
+    /// model that has been tombstoned longer than the given age. The
+    /// middle ground: rollback stays possible for the grace window, but
+    /// long-retired ids stop needing a manual [`Server::reclaim`] call.
+    AutoAfter(Duration),
 }
 
 /// Micro-batching, sharding, and admission configuration.
@@ -129,9 +137,32 @@ pub struct BatchPolicy {
     /// batch. Ignored under [`PoolMode::Partitioned`].
     pub pool_wait: Duration,
     /// Whether [`Server::retire`] reclaims the retired model's memory
-    /// itself ([`ReclaimPolicy::AutoOnRetire`]) or leaves that to an
-    /// explicit [`Server::reclaim`] call (the default).
+    /// itself ([`ReclaimPolicy::AutoOnRetire`]), the supervisor reclaims
+    /// tombstones past an age ([`ReclaimPolicy::AutoAfter`]), or both are
+    /// left to an explicit [`Server::reclaim`] call (the default).
     pub reclaim: ReclaimPolicy,
+    /// Default per-request deadline, measured from submission. A request
+    /// still queued when its deadline passes is failed with
+    /// [`ServeError::Deadline`] instead of burning a batched forward;
+    /// under [`AdmissionPolicy::ShedOldest`] the shed victim is the
+    /// queued request with the least remaining lifetime. Clients can
+    /// override per request via
+    /// [`InProcessClient::infer_with_deadline`].
+    pub default_deadline: Duration,
+    /// Quarantine a model after this many **consecutive** serving panics
+    /// (the counter resets on any successful serve). A quarantined model
+    /// fails fast at admission with [`ServeError::Quarantined`] — fault
+    /// containment for a model version that is broken, not busy. `0`
+    /// disables quarantining.
+    pub quarantine_after: usize,
+    /// How often the supervisor thread wakes when idle: the cadence of
+    /// dead-dispatcher detection and of the tombstone-age scan under
+    /// [`ReclaimPolicy::AutoAfter`]. Quarantine requests additionally
+    /// wake it immediately.
+    pub supervisor_tick: Duration,
+    /// Deterministic fault injection plan ([`FaultPlan`]); `None` (the
+    /// default) disables every fault seam at the cost of one branch.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for BatchPolicy {
@@ -147,6 +178,10 @@ impl Default for BatchPolicy {
             pool: PoolMode::Partitioned,
             pool_wait: Duration::from_millis(250),
             reclaim: ReclaimPolicy::Manual,
+            default_deadline: Duration::from_secs(5),
+            quarantine_after: 3,
+            supervisor_tick: Duration::from_millis(5),
+            faults: None,
         }
     }
 }
@@ -169,10 +204,25 @@ pub enum ServeError {
     /// The handle does not name a live registered model (never registered,
     /// or retired).
     UnknownModel,
-    /// Inference panicked while serving this request's batch; the request
-    /// was failed rather than silently dropped and the server keeps
-    /// serving.
-    Internal,
+    /// The request's deadline passed: it was already expired at
+    /// submission, or it expired while queued and a dispatcher skipped it
+    /// before staging a batch (dead work never burns a batched forward).
+    Deadline,
+    /// Inference panicked while serving this request's same-model run;
+    /// the request was failed rather than silently dropped, the worker's
+    /// workspace was discarded and rebuilt through the prewarm path, and
+    /// the server keeps serving.
+    WorkerPanic,
+    /// The target model is quarantined: it panicked on
+    /// [`BatchPolicy::quarantine_after`] consecutive serves, so admission
+    /// fails fast instead of feeding it more traffic.
+    Quarantined,
+    /// The dispatcher that had staged this request died before completing
+    /// it; the supervisor resolved the wait (instead of leaving the
+    /// client hanging) and respawned the dispatcher. Retry-safe: the
+    /// request never started executing, or its results were discarded
+    /// with the dead dispatcher's contexts.
+    ChannelClosed,
     /// The input plane does not match the model's grid.
     ShapeMismatch {
         /// Shape the registered model expects.
@@ -190,7 +240,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Shed => write!(f, "request shed to admit newer work"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::UnknownModel => write!(f, "unknown or retired model handle"),
-            ServeError::Internal => write!(f, "inference panicked while serving the batch"),
+            ServeError::Deadline => write!(f, "request deadline expired before execution"),
+            ServeError::WorkerPanic => {
+                write!(f, "inference panicked while serving the request's run")
+            }
+            ServeError::Quarantined => {
+                write!(f, "model quarantined after consecutive serving panics")
+            }
+            ServeError::ChannelClosed => {
+                write!(f, "dispatcher died with the request staged; retry is safe")
+            }
             ServeError::ShapeMismatch { expected, got } => {
                 write!(
                     f,
@@ -231,6 +290,11 @@ struct SlotState {
     input: Field,
     logits: Vec<f64>,
     enqueued_at: Instant,
+    /// Absolute deadline: submission time plus
+    /// [`BatchPolicy::default_deadline`] unless the client overrode it.
+    /// Mirrored into the queue entry so shed decisions read it without
+    /// the slot lock.
+    deadline: Instant,
 }
 
 /// One client's reusable request cell: the input/output buffers live here
@@ -253,6 +317,7 @@ impl RequestSlot {
                 input: Field::zeros(1, 1),
                 logits: Vec::new(),
                 enqueued_at: Instant::now(),
+                deadline: Instant::now(),
             }),
             cv: Condvar::new(),
         }
@@ -275,12 +340,21 @@ impl RequestSlot {
     }
 }
 
-/// One shard's queue state, guarded by the shard queue mutex. Each queued
-/// request carries the registry epoch it was admitted against — the input
-/// to the shard's drain fence.
+/// One queued request: the slot plus the two values admission and shed
+/// decisions need without taking the slot lock — the registry epoch it
+/// was admitted against (the input to the shard's drain fence) and its
+/// absolute deadline (the shed-ordering key).
+#[derive(Debug)]
+struct QueuedRequest {
+    epoch: u64,
+    deadline: Instant,
+    slot: Arc<RequestSlot>,
+}
+
+/// One shard's queue state, guarded by the shard queue mutex.
 #[derive(Debug)]
 struct ShardQueue {
-    queue: VecDeque<(u64, Arc<RequestSlot>)>,
+    queue: VecDeque<QueuedRequest>,
     shutdown: bool,
 }
 
@@ -323,10 +397,19 @@ struct Shard {
     /// that makes their model visible, so adoption always precedes the
     /// first execution against a new id.
     mailbox: Mutex<Vec<Delivery>>,
+    /// The dispatcher's **staged batch**: `(ticket, slot)` pairs published
+    /// right after a drain and cleared once the batch settles. This is
+    /// the supervisor's window into work a dead dispatcher took out of
+    /// the queues but never finished — those waiters are resolved with
+    /// [`ServeError::ChannelClosed`] (ticket-guarded, like panic
+    /// recovery) instead of hanging forever. Preallocated to `max_batch`;
+    /// lock order is staged → slot, and nothing holds a queue lock and
+    /// the staged lock together.
+    staged: Mutex<Vec<(u64, Arc<RequestSlot>)>>,
 }
 
 impl Shard {
-    fn new(queue_cap: usize) -> Shard {
+    fn new(queue_cap: usize, max_batch: usize) -> Shard {
         Shard {
             queue: Mutex::new(ShardQueue {
                 // One extra slot so shed-oldest can momentarily hold both
@@ -338,6 +421,7 @@ impl Shard {
             depth: AtomicUsize::new(0),
             fence: AtomicU64::new(0),
             mailbox: Mutex::new(Vec::new()),
+            staged: Mutex::new(Vec::with_capacity(max_batch)),
         }
     }
 
@@ -346,6 +430,26 @@ impl Shard {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    fn lock_staged(&self) -> MutexGuard<'_, Vec<(u64, Arc<RequestSlot>)>> {
+        self.staged
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// What the supervisor thread has been asked to do, guarded by
+/// `ServerCore::supervisor`.
+struct SupervisorInbox {
+    /// Models whose consecutive-panic streak hit
+    /// [`BatchPolicy::quarantine_after`]. Dispatchers push here (and wake
+    /// the supervisor) instead of flipping the registry themselves: a
+    /// dispatcher must never wait on the registry write lock, because a
+    /// reclaim can hold that lock while waiting on this dispatcher's
+    /// fence.
+    quarantine: Vec<ModelId>,
+    /// Set by shutdown; the supervisor exits on its next wake.
+    stop: bool,
 }
 
 /// Shared core between the server handle, clients, and the dispatchers.
@@ -367,11 +471,25 @@ struct ServerCore {
     /// for a retired model's counter to hit zero before declaring its
     /// memory free. Grown under the registry write lock.
     resident: ArcSwap<Vec<Arc<AtomicUsize>>>,
+    /// Per-model **consecutive serving-panic streak**: bumped by panic
+    /// recovery, cleared by any successful serve of the model. Hitting
+    /// [`BatchPolicy::quarantine_after`] requests a quarantine flip from
+    /// the supervisor. Grown under the registry write lock.
+    panic_streak: ArcSwap<Vec<Arc<AtomicUsize>>>,
     /// Paired with `lifecycle_cv`: a waiting [`Server::reclaim`] blocks
     /// here (instead of polling the shard queues) until a dispatcher
     /// signals that a fence rose or resident bytes were debited.
     lifecycle: Mutex<()>,
     lifecycle_cv: Condvar,
+    /// Supervisor duty queue; paired with `supervisor_cv` so quarantine
+    /// requests and shutdown wake the supervisor immediately instead of
+    /// waiting out a tick.
+    supervisor: Mutex<SupervisorInbox>,
+    supervisor_cv: Condvar,
+    /// The dispatcher join handles, owned by the core so the supervisor
+    /// can detect dead dispatchers and install respawned ones. A slot is
+    /// `None` only while the supervisor is mid-respawn on it.
+    dispatcher_handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     /// Set by shutdown before the dispatchers are joined, so a waiting
     /// reclaim aborts instead of waiting for acknowledgments that will
     /// never come.
@@ -465,6 +583,64 @@ impl ServerCore {
             .enumerate()
             .any(|(t, shard)| t != s && shard.depth.load(Ordering::Relaxed) >= hot)
     }
+
+    /// Fault seam: does `kind` fire here? One branch when no plan is
+    /// installed — the zero-cost-when-disabled contract.
+    #[inline]
+    fn fault_fires(&self, kind: FaultKind) -> bool {
+        match &self.policy.faults {
+            Some(plan) => plan.fires(kind),
+            None => false,
+        }
+    }
+
+    /// Fault seam for [`FaultKind::SlowWorker`]: the stall to apply before
+    /// a forward, when the plan says this call fires.
+    #[inline]
+    fn fault_stall(&self) -> Option<Duration> {
+        match &self.policy.faults {
+            Some(plan) if plan.fires(FaultKind::SlowWorker) => Some(plan.stall()),
+            _ => None,
+        }
+    }
+
+    /// Records one serving panic against `model` and, when the consecutive
+    /// streak hits [`BatchPolicy::quarantine_after`], asks the supervisor
+    /// to quarantine it. Exactly one request per crossing: the streak
+    /// keeps counting past the threshold, and only the equality fires.
+    fn note_panic(&self, model: ModelId) {
+        self.metrics.record_worker_panic();
+        let streak = self.panic_streak.load_full()[model.0].fetch_add(1, Ordering::Relaxed) + 1;
+        let k = self.policy.quarantine_after;
+        if k > 0 && streak == k {
+            self.request_quarantine(model);
+        }
+    }
+
+    /// Clears `model`'s consecutive-panic streak after a successful serve.
+    #[inline]
+    fn note_serve_ok(&self, model: ModelId) {
+        // Relaxed store, skipped when already zero (the steady-state case
+        // — one relaxed load per run).
+        let counter = &self.panic_streak.load_full()[model.0];
+        if counter.load(Ordering::Relaxed) != 0 {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Mails `model` to the supervisor for a quarantine flip and wakes it.
+    /// Safe from dispatcher threads: no registry write lock taken here.
+    fn request_quarantine(&self, model: ModelId) {
+        let mut inbox = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !inbox.quarantine.contains(&model) {
+            inbox.quarantine.push(model);
+        }
+        drop(inbox);
+        self.supervisor_cv.notify_all();
+    }
 }
 
 /// One worker's execution context: a reusable workspace per registered
@@ -505,13 +681,51 @@ impl Transport for InProcessClient {
         input: &Field,
         logits: &mut Vec<f64>,
     ) -> Result<(), ServeError> {
+        let deadline = Instant::now() + self.core.policy.default_deadline;
+        self.infer_with_deadline(model, input, deadline, logits)
+    }
+}
+
+impl InProcessClient {
+    /// [`Transport::infer`] with an explicit absolute deadline instead of
+    /// the policy default. An already-expired deadline is rejected at
+    /// admission with [`ServeError::Deadline`]; a request that expires
+    /// while queued is failed (never executed) by the dispatcher's
+    /// pre-staging sweep; under [`AdmissionPolicy::ShedOldest`] the shed
+    /// victim is the queued request with the least remaining lifetime.
+    pub fn infer_with_deadline(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        deadline: Instant,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), ServeError> {
         let snapshot = self.core.registry.load();
-        let entry = snapshot.get(model).ok_or(ServeError::UnknownModel)?;
+        let entry = match snapshot.slot(model) {
+            Some(EntrySlot::Live(entry)) => entry,
+            Some(EntrySlot::Quarantined { .. }) => {
+                // Fail fast: the model panicked on consecutive serves and
+                // the supervisor pulled it out of rotation.
+                self.core.metrics.record_rejected();
+                return Err(ServeError::Quarantined);
+            }
+            _ => return Err(ServeError::UnknownModel),
+        };
         if entry.shape() != input.shape() {
             return Err(ServeError::ShapeMismatch {
                 expected: entry.shape(),
                 got: input.shape(),
             });
+        }
+        if Instant::now() >= deadline {
+            self.core.metrics.record_deadline_expired();
+            return Err(ServeError::Deadline);
+        }
+        // Fault seam: refuse one admission as if the queue were full.
+        // Placed before any slot/counter staging so nothing needs undoing.
+        if self.core.fault_fires(FaultKind::QueueFull) {
+            self.core.metrics.record_rejected();
+            return Err(ServeError::QueueFull);
         }
         let entry = Arc::clone(entry);
         let admit_epoch = snapshot.epoch;
@@ -538,6 +752,7 @@ impl Transport for InProcessClient {
                 st.input.copy_from(input);
             }
             st.enqueued_at = Instant::now();
+            st.deadline = deadline;
             st.stage = Stage::Queued;
         }
         // Per-model cap first (atomic, shard-independent) ...
@@ -561,15 +776,40 @@ impl Transport for InProcessClient {
                 match self.core.policy.admission {
                     AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
                     AdmissionPolicy::ShedOldest => {
-                        let (_, victim) = q.queue.pop_front().expect("cap > 0 so queue non-empty");
-                        q.queue.push_back((admit_epoch, Arc::clone(&self.slot)));
+                        // Shed by least remaining lifetime, not arrival
+                        // order: the victim is the queued request closest
+                        // to (or past) its deadline — with uniform
+                        // deadlines that is still the oldest request.
+                        let victim_idx = q
+                            .queue
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| r.deadline)
+                            .map(|(i, _)| i)
+                            // queue_cap > 0 (asserted at start) and this
+                            // branch requires len >= cap, so the queue is
+                            // non-empty here.
+                            .expect("cap > 0 so queue non-empty");
+                        let victim = q
+                            .queue
+                            .remove(victim_idx)
+                            .expect("index from enumerate is in bounds");
+                        q.queue.push_back(QueuedRequest {
+                            epoch: admit_epoch,
+                            deadline,
+                            slot: Arc::clone(&self.slot),
+                        });
                         shard.depth.store(q.queue.len(), Ordering::Relaxed);
                         // Fail the victim outside the queue lock.
-                        Ok(Some(victim))
+                        Ok(Some(victim.slot))
                     }
                 }
             } else {
-                q.queue.push_back((admit_epoch, Arc::clone(&self.slot)));
+                q.queue.push_back(QueuedRequest {
+                    epoch: admit_epoch,
+                    deadline,
+                    slot: Arc::clone(&self.slot),
+                });
                 shard.depth.store(q.queue.len(), Ordering::Relaxed);
                 Ok(None)
             }
@@ -624,11 +864,12 @@ impl Transport for InProcessClient {
     }
 }
 
-/// The serving runtime handle: owns the dispatcher threads and exposes
-/// clients, live registration, statistics, and shutdown.
+/// The serving runtime handle: owns the supervisor thread (which in turn
+/// owns dispatcher liveness) and exposes clients, live registration,
+/// statistics, and shutdown.
 pub struct Server {
     core: Arc<ServerCore>,
-    dispatchers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -665,9 +906,16 @@ impl Server {
         let num_models = registry.len();
         let shared = SharedRegistry::new(registry);
         let snapshot = shared.load();
+        let max_batch = policy.max_batch;
         let core = Arc::new(ServerCore {
             lifecycle: Mutex::new(()),
             lifecycle_cv: Condvar::new(),
+            supervisor: Mutex::new(SupervisorInbox {
+                quarantine: Vec::new(),
+                stop: false,
+            }),
+            supervisor_cv: Condvar::new(),
+            dispatcher_handles: Mutex::new((0..num_shards).map(|_| None).collect()),
             shutting_down: AtomicBool::new(false),
             metrics: MetricsCore::new(num_models, num_shards),
             inflight: ArcSwap::from_pointee(
@@ -680,8 +928,13 @@ impl Server {
                     .map(|_| Arc::new(AtomicUsize::new(0)))
                     .collect(),
             ),
+            panic_streak: ArcSwap::from_pointee(
+                (0..num_models)
+                    .map(|_| Arc::new(AtomicUsize::new(0)))
+                    .collect(),
+            ),
             shards: (0..num_shards)
-                .map(|_| Shard::new(policy.queue_cap))
+                .map(|_| Shard::new(policy.queue_cap, max_batch))
                 .collect(),
             ctxs_per_shard: ctxs_per_shard.clone(),
             policy,
@@ -691,37 +944,27 @@ impl Server {
         // Build and warm per-shard worker contexts: every (worker, model)
         // workspace runs one dummy inference so the serve path starts
         // fully allocated, then spawn the dispatchers.
-        let mut dispatchers = Vec::with_capacity(num_shards);
-        for (s, &ctx_count) in ctxs_per_shard.iter().enumerate() {
-            let ctxs: Vec<WorkerCtx> = (0..ctx_count)
-                .map(|_| WorkerCtx {
-                    workspaces: snapshot
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .map(|(m, e)| {
-                            let ws = e
-                                .live()
-                                .expect("fresh snapshot has no tombstones")
-                                .warmed_workspace(core.policy.max_batch);
-                            core.resident_add(ModelId(m), ws.resident_bytes());
-                            ws
-                        })
-                        .collect(),
-                })
-                .collect();
-            let partition = match core.policy.pool {
-                PoolMode::Partitioned if ctx_count > 1 => Some(PoolPartition::new(ctx_count - 1)),
-                _ => None,
-            };
-            let dispatcher_core = Arc::clone(&core);
-            let handle = std::thread::Builder::new()
-                .name(format!("lr-serve-shard{s}"))
-                .spawn(move || dispatcher_loop(dispatcher_core, s, ctxs, partition))
-                .expect("failed to spawn an lr-serve shard dispatcher");
-            dispatchers.push(handle);
+        {
+            let mut handles = core
+                .dispatcher_handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (s, &ctx_count) in ctxs_per_shard.iter().enumerate() {
+                let ctxs = build_ctxs(&core, &snapshot, ctx_count);
+                handles[s] = Some(spawn_dispatcher(&core, s, ctxs));
+            }
         }
-        Server { core, dispatchers }
+        let supervisor_core = Arc::clone(&core);
+        let supervisor = std::thread::Builder::new()
+            .name("lr-serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(supervisor_core))
+            // Startup-path panic: if the OS refuses a thread here the
+            // server cannot exist, so failing loudly at start is correct.
+            .expect("failed to spawn the lr-serve supervisor");
+        Server {
+            core,
+            supervisor: Some(supervisor),
+        }
     }
 
     /// Resolves a live registered model by name (highest live version when
@@ -801,7 +1044,7 @@ impl Server {
         let id = ModelId(snapshot.entries.len());
         let entry = Arc::new(entry);
         // Grow per-model accounting before anything references the id.
-        for counters in [&core.inflight, &core.resident] {
+        for counters in [&core.inflight, &core.resident, &core.panic_streak] {
             let current = counters.load_full();
             let mut next = Vec::with_capacity(current.len() + 1);
             next.extend(current.iter().cloned());
@@ -849,18 +1092,24 @@ impl Server {
         let core = &self.core;
         let _write = core.registry.begin_write();
         let snapshot = core.registry.load();
-        if snapshot.get(id).is_none() {
-            return false;
+        // Quarantined slots retire the same way live ones do: quarantine
+        // is a traffic decision, not a lifecycle terminal state.
+        match snapshot.slot(id) {
+            Some(EntrySlot::Live(_)) | Some(EntrySlot::Quarantined { .. }) => {}
+            _ => return false,
         }
         let retired_at = snapshot.epoch + 1;
         let mut entries = snapshot.entries.clone();
-        entries[id.0] = EntrySlot::Retired { retired_at };
+        entries[id.0] = EntrySlot::Retired {
+            retired_at,
+            retired_when: Instant::now(),
+        };
         core.registry.publish(RegistrySnapshot {
             epoch: retired_at,
             entries,
         });
         if core.policy.reclaim == ReclaimPolicy::AutoOnRetire {
-            self.reclaim_locked(id, retired_at);
+            reclaim_locked(core, id, retired_at);
         }
         true
     }
@@ -889,118 +1138,11 @@ impl Server {
         let _write = core.registry.begin_write();
         let snapshot = core.registry.load();
         match snapshot.slot(id) {
-            Some(EntrySlot::Retired { retired_at }) => self.reclaim_locked(id, *retired_at),
-            // Never registered, still live, or already reclaimed.
-            None | Some(EntrySlot::Live(_)) | Some(EntrySlot::Reclaimed { .. }) => false,
+            Some(EntrySlot::Retired { retired_at, .. }) => reclaim_locked(core, id, *retired_at),
+            // Never registered, still live (or quarantined — retire
+            // first), or already reclaimed.
+            _ => false,
         }
-    }
-
-    /// The drain-fenced reclaim body. Caller holds the registry write
-    /// lock and guarantees `id` is currently `Retired { retired_at }`.
-    ///
-    /// Both waits are event-driven: dispatchers signal `lifecycle_cv`
-    /// when a fence rises or resident bytes drop, so surviving traffic is
-    /// not perturbed by reclaim-side polling of the shard queues — the
-    /// queues are touched exactly once per phase (the initial nudge that
-    /// wakes idle dispatchers). The timeout on each wait only bounds
-    /// staleness against in-flight-count changes, which deliberately do
-    /// not signal (they are on the per-request hot path).
-    fn reclaim_locked(&self, id: ModelId, retired_at: u64) -> bool {
-        let core = &self.core;
-        const STALENESS: Duration = Duration::from_millis(1);
-        // Phase 1 — drain fence: every dispatcher must acknowledge an
-        // epoch at or past the retire flip (its queue holds nothing older
-        // and it is not mid-batch on older own-queue work), and the
-        // model's global in-flight count must be zero (covers requests a
-        // sibling stole). Wake idle dispatchers once: each advances its
-        // fence on wake and signals the change.
-        if self.nudge_dispatchers() {
-            return false;
-        }
-        let mut wait = core
-            .lifecycle
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            let fences_ok = core
-                .shards
-                .iter()
-                .all(|s| s.fence.load(Ordering::Acquire) >= retired_at);
-            if fences_ok && core.inflight.load_full()[id.0].load(Ordering::Acquire) == 0 {
-                break;
-            }
-            if core.shutting_down.load(Ordering::Acquire) {
-                return false;
-            }
-            wait = core
-                .lifecycle_cv
-                .wait_timeout(wait, STALENESS)
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .0;
-        }
-        drop(wait);
-        // Phase 2 — mail the drop directives and wait for every shard to
-        // zero out the model's resident-bytes account. A submission still
-        // racing the retire flip (validated against a pre-retire snapshot
-        // but not yet enqueued) may slip in after the fence; it fails
-        // safely with `UnknownModel` against the reclaimed placeholder
-        // instead of touching freed memory.
-        for shard in &core.shards {
-            shard
-                .mailbox
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(Delivery::Reclaim(id));
-        }
-        if self.nudge_dispatchers() {
-            return false;
-        }
-        let counter = Arc::clone(&core.resident.load_full()[id.0]);
-        let mut wait = core
-            .lifecycle
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        while counter.load(Ordering::Acquire) != 0 {
-            if core.shutting_down.load(Ordering::Acquire) {
-                return false;
-            }
-            wait = core
-                .lifecycle_cv
-                .wait_timeout(wait, STALENESS)
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .0;
-        }
-        drop(wait);
-        // Phase 3 — registry-tied cache eviction. The tombstone released
-        // the entry `Arc` at retire and the fence guarantees no in-flight
-        // pinner is left, so the retired model's transfer kernels and FFT
-        // plans are orphans now (entries shared with live models stay
-        // pinned and survive — their first-request latency is unaffected).
-        let swept = lr_optics::sweep_transfer_cache() + lr_tensor::sweep_orphaned_plans();
-        core.metrics.record_swept(swept as u64);
-        // Phase 4 — collapse the tombstone to its terminal marker.
-        let snapshot = core.registry.load();
-        let mut entries = snapshot.entries.clone();
-        entries[id.0] = EntrySlot::Reclaimed { retired_at };
-        core.registry.publish(RegistrySnapshot {
-            epoch: snapshot.epoch + 1,
-            entries,
-        });
-        core.metrics.record_reclaimed_model();
-        true
-    }
-
-    /// Wakes every dispatcher so fences advance and mailboxes drain at the
-    /// start of a reclaim phase. Returns true when the server is shutting
-    /// down (the dispatchers will never acknowledge again).
-    fn nudge_dispatchers(&self) -> bool {
-        let mut shutting_down = false;
-        for shard in &self.core.shards {
-            let q = shard.lock_queue();
-            shutting_down |= q.shutdown;
-            shard.work_cv.notify_all();
-        }
-        shutting_down
     }
 
     /// Creates a new in-process client with its own reusable request slot.
@@ -1041,12 +1183,36 @@ impl Server {
         }
         // Unblock any reclaim waiting on dispatcher acknowledgments.
         self.core.lifecycle_notify();
-        for handle in self.dispatchers.drain(..) {
+        // Stop the supervisor first so it does not race the joins below
+        // by "respawning" dispatchers that are exiting on purpose.
+        {
+            let mut inbox = self
+                .core
+                .supervisor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inbox.stop = true;
+        }
+        self.core.supervisor_cv.notify_all();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = self
+                .core
+                .dispatcher_handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slots.iter_mut().filter_map(Option::take).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
         // Normally each dispatcher drained its queue on the way out; if
-        // one died some other way, make sure no client is left hanging.
+        // one died some other way, make sure no client is left hanging —
+        // first anything it had staged, then anything still queued.
         for shard in &self.core.shards {
+            fail_staged(&self.core, shard, ServeError::ShuttingDown);
             drain_on_shutdown(&self.core, shard, shard.lock_queue());
         }
     }
@@ -1055,6 +1221,381 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Builds one warmed worker context set from `snapshot`: a warmed
+/// workspace (credited to the resident account) for every slot that still
+/// holds an entry — live *or* quarantined, since a quarantined model's
+/// in-flight stragglers are still served — and a reclaimed placeholder
+/// for tombstones. Used at startup (all slots live) and by the
+/// supervisor's dispatcher respawn (any mix).
+fn build_ctxs(core: &ServerCore, snapshot: &RegistrySnapshot, ctx_count: usize) -> Vec<WorkerCtx> {
+    (0..ctx_count)
+        .map(|_| WorkerCtx {
+            workspaces: snapshot
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(m, slot)| match slot.entry_arc() {
+                    Some(entry) => {
+                        let ws = entry.warmed_workspace(core.policy.max_batch);
+                        core.resident_add(ModelId(m), ws.resident_bytes());
+                        ws
+                    }
+                    None => VariantWorkspace::Reclaimed,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Spawns shard `s`'s dispatcher thread over `ctxs`, building its pool
+/// partition per [`PoolMode`]. Shared by startup and respawn.
+fn spawn_dispatcher(core: &Arc<ServerCore>, s: usize, ctxs: Vec<WorkerCtx>) -> JoinHandle<()> {
+    let ctx_count = ctxs.len();
+    let partition = match core.policy.pool {
+        PoolMode::Partitioned if ctx_count > 1 => Some(PoolPartition::new(ctx_count - 1)),
+        _ => None,
+    };
+    let dispatcher_core = Arc::clone(core);
+    std::thread::Builder::new()
+        .name(format!("lr-serve-shard{s}"))
+        .spawn(move || dispatcher_loop(dispatcher_core, s, ctxs, partition))
+        // Justified panic: thread creation fails only on OS resource
+        // exhaustion, where neither starting nor healing the server is
+        // possible — fail loudly rather than limp with a missing shard.
+        .expect("failed to spawn an lr-serve shard dispatcher")
+}
+
+/// Wakes every dispatcher so fences advance and mailboxes drain at the
+/// start of a reclaim phase. Returns true when the server is shutting
+/// down (the dispatchers will never acknowledge again).
+fn nudge_dispatchers(core: &ServerCore) -> bool {
+    let mut shutting_down = false;
+    for shard in &core.shards {
+        let q = shard.lock_queue();
+        shutting_down |= q.shutdown;
+        shard.work_cv.notify_all();
+    }
+    shutting_down
+}
+
+/// True when some dispatcher thread has died and not yet been respawned
+/// (a taken slot is a respawn in progress — dead for a waiter's
+/// purposes). Reclaim waits abort on this instead of waiting on a fence
+/// that cannot advance until the supervisor heals the shard.
+fn any_dispatcher_dead(core: &ServerCore) -> bool {
+    core.dispatcher_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .any(|h| match h {
+            None => true,
+            Some(h) => h.is_finished(),
+        })
+}
+
+/// The drain-fenced reclaim body. Caller holds the registry write lock
+/// and guarantees `id` is currently `Retired { retired_at }`. A free
+/// function over the core so both [`Server::reclaim`] (manual,
+/// [`ReclaimPolicy::AutoOnRetire`]) and the supervisor
+/// ([`ReclaimPolicy::AutoAfter`]) drive the same machinery.
+///
+/// Both waits are event-driven: dispatchers signal `lifecycle_cv` when a
+/// fence rises or resident bytes drop, so surviving traffic is not
+/// perturbed by reclaim-side polling of the shard queues — the queues are
+/// touched exactly once per phase (the initial nudge that wakes idle
+/// dispatchers). The timeout on each wait only bounds staleness against
+/// in-flight-count changes, which deliberately do not signal (they are on
+/// the per-request hot path). Returns false without reclaiming when the
+/// server is shutting down or a dispatcher has died mid-wait (the
+/// supervisor must respawn it before its fence can advance — retry then).
+fn reclaim_locked(core: &ServerCore, id: ModelId, retired_at: u64) -> bool {
+    const STALENESS: Duration = Duration::from_millis(1);
+    // Phase 1 — drain fence: every dispatcher must acknowledge an
+    // epoch at or past the retire flip (its queue holds nothing older
+    // and it is not mid-batch on older own-queue work), and the
+    // model's global in-flight count must be zero (covers requests a
+    // sibling stole). Wake idle dispatchers once: each advances its
+    // fence on wake and signals the change.
+    if nudge_dispatchers(core) {
+        return false;
+    }
+    let mut wait = core
+        .lifecycle
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        let fences_ok = core
+            .shards
+            .iter()
+            .all(|s| s.fence.load(Ordering::Acquire) >= retired_at);
+        if fences_ok && core.inflight.load_full()[id.0].load(Ordering::Acquire) == 0 {
+            break;
+        }
+        if core.shutting_down.load(Ordering::Acquire) || any_dispatcher_dead(core) {
+            return false;
+        }
+        wait = core
+            .lifecycle_cv
+            .wait_timeout(wait, STALENESS)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0;
+    }
+    drop(wait);
+    // Phase 2 — mail the drop directives and wait for every shard to
+    // zero out the model's resident-bytes account. A submission still
+    // racing the retire flip (validated against a pre-retire snapshot
+    // but not yet enqueued) may slip in after the fence; it fails
+    // safely with `UnknownModel` against the reclaimed placeholder
+    // instead of touching freed memory.
+    for shard in &core.shards {
+        shard
+            .mailbox
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Delivery::Reclaim(id));
+    }
+    if nudge_dispatchers(core) {
+        return false;
+    }
+    let counter = Arc::clone(&core.resident.load_full()[id.0]);
+    let mut wait = core
+        .lifecycle
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    while counter.load(Ordering::Acquire) != 0 {
+        if core.shutting_down.load(Ordering::Acquire) || any_dispatcher_dead(core) {
+            return false;
+        }
+        wait = core
+            .lifecycle_cv
+            .wait_timeout(wait, STALENESS)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0;
+    }
+    drop(wait);
+    // Phase 3 — registry-tied cache eviction. The tombstone released
+    // the entry `Arc` at retire and the fence guarantees no in-flight
+    // pinner is left, so the retired model's transfer kernels and FFT
+    // plans are orphans now (entries shared with live models stay
+    // pinned and survive — their first-request latency is unaffected).
+    let swept = lr_optics::sweep_transfer_cache() + lr_tensor::sweep_orphaned_plans();
+    core.metrics.record_swept(swept as u64);
+    // Phase 4 — collapse the tombstone to its terminal marker.
+    let snapshot = core.registry.load();
+    let mut entries = snapshot.entries.clone();
+    entries[id.0] = EntrySlot::Reclaimed { retired_at };
+    core.registry.publish(RegistrySnapshot {
+        epoch: snapshot.epoch + 1,
+        entries,
+    });
+    core.metrics.record_reclaimed_model();
+    true
+}
+
+/// The supervisor thread: wakes on its tick (or immediately for a
+/// quarantine request or shutdown) and runs its three duties in severity
+/// order — heal dead dispatchers first (everything else can wait on a
+/// fence only a live dispatcher advances), then quarantine flips, then
+/// the tombstone-age scan under [`ReclaimPolicy::AutoAfter`].
+fn supervisor_loop(core: Arc<ServerCore>) {
+    let tick = core.policy.supervisor_tick;
+    loop {
+        {
+            let mut inbox = core
+                .supervisor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if inbox.stop {
+                return;
+            }
+            if inbox.quarantine.is_empty() {
+                inbox = core
+                    .supervisor_cv
+                    .wait_timeout(inbox, tick)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+            if inbox.stop {
+                return;
+            }
+        }
+        respawn_dead_dispatchers(&core);
+        apply_quarantines(&core);
+        auto_reclaim_tick(&core);
+    }
+}
+
+/// Detects dispatcher threads that died (a panic that escaped the loop's
+/// containment — in production a bug, in tests an injected
+/// [`FaultKind::KillDispatcher`]) and heals them: the staged batch's
+/// waiters resolve with [`ServeError::ChannelClosed`] instead of hanging,
+/// fresh warmed contexts are rebuilt from the current registry snapshot,
+/// and a new dispatcher thread takes over the shard's queue (which kept
+/// accepting work the whole time).
+fn respawn_dead_dispatchers(core: &Arc<ServerCore>) {
+    if core.shutting_down.load(Ordering::Acquire) {
+        return;
+    }
+    loop {
+        // Claim one dead slot at a time (slot left `None` while healing).
+        let (s, handle) = {
+            let mut slots = core
+                .dispatcher_handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match slots
+                .iter()
+                .position(|h| h.as_ref().is_some_and(JoinHandle::is_finished))
+            {
+                Some(s) => {
+                    let handle = slots[s].take().expect("position() found a Some slot");
+                    (s, handle)
+                }
+                None => return,
+            }
+        };
+        let _ = handle.join();
+        let shard = &core.shards[s];
+        // The dead dispatcher's staged batch died with its contexts:
+        // resolve those waiters now (retry-safe — nothing was delivered).
+        fail_staged(core, shard, ServeError::ChannelClosed);
+        // Rebuild contexts under the shard's mailbox lock so a concurrent
+        // registration cannot slip a delivery between the snapshot we
+        // rebuild from and the reconciliation below.
+        let ctxs = {
+            let mut mail = shard
+                .mailbox
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let snapshot = core.registry.load();
+            let ctxs = build_ctxs(core, &snapshot, core.ctxs_per_shard[s]);
+            // Reconcile the mailbox: workspace deliveries for ids the
+            // snapshot already covers were rebuilt above — adopting them
+            // too would double-install and double-count, so drop them and
+            // debit the bytes they had credited. Deliveries for ids past
+            // the snapshot (mailed, not yet published) and reclaim
+            // directives stay.
+            let mut debited = false;
+            mail.retain(|delivery| match delivery {
+                Delivery::Workspaces(id, workspaces) if id.0 < snapshot.entries.len() => {
+                    let bytes: usize = workspaces
+                        .iter()
+                        .map(VariantWorkspace::resident_bytes)
+                        .sum();
+                    if bytes > 0 {
+                        core.resident_sub(*id, bytes);
+                        debited = true;
+                    }
+                    false
+                }
+                _ => true,
+            });
+            if debited {
+                core.lifecycle_notify();
+            }
+            ctxs
+        };
+        let handle = spawn_dispatcher(core, s, ctxs);
+        core.dispatcher_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[s] = Some(handle);
+        core.metrics.record_dispatcher_respawn();
+        // Wake the new dispatcher: work may have queued while the shard
+        // was down, and a reclaim may be waiting on this shard's fence.
+        {
+            let _q = shard.lock_queue();
+            shard.work_cv.notify_all();
+        }
+        core.lifecycle_notify();
+    }
+}
+
+/// Applies pending quarantine requests: flips each still-live slot to
+/// [`EntrySlot::Quarantined`] (keeping the entry `Arc` so in-flight
+/// stragglers complete and workspace rebuilds stay possible) under a
+/// **non-blocking** registry write attempt — the supervisor must never
+/// block behind a reclaim that is itself waiting on supervisor duties.
+fn apply_quarantines(core: &Arc<ServerCore>) {
+    loop {
+        let model = {
+            let mut inbox = core
+                .supervisor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match inbox.quarantine.pop() {
+                Some(m) => m,
+                None => return,
+            }
+        };
+        let Some(_write) = core.registry.try_begin_write() else {
+            // Writer busy: put the request back and retry next tick.
+            core.supervisor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .quarantine
+                .push(model);
+            return;
+        };
+        let snapshot = core.registry.load();
+        if let Some(EntrySlot::Live(entry)) = snapshot.slot(model) {
+            let mut entries = snapshot.entries.clone();
+            entries[model.0] = EntrySlot::Quarantined {
+                entry: Arc::clone(entry),
+                quarantined_at: snapshot.epoch + 1,
+            };
+            core.registry.publish(RegistrySnapshot {
+                epoch: snapshot.epoch + 1,
+                entries,
+            });
+            core.metrics.record_quarantined();
+        }
+        // Already quarantined/retired/reclaimed: nothing to flip.
+    }
+}
+
+/// [`ReclaimPolicy::AutoAfter`] tick: reclaims tombstones older than the
+/// configured age, one at a time, re-validating each candidate under a
+/// non-blocking write attempt (a manual reclaim may have won the race).
+fn auto_reclaim_tick(core: &Arc<ServerCore>) {
+    let ReclaimPolicy::AutoAfter(age) = core.policy.reclaim else {
+        return;
+    };
+    loop {
+        let candidate = core
+            .registry
+            .load()
+            .entries
+            .iter()
+            .enumerate()
+            .find_map(|(i, slot)| match slot {
+                EntrySlot::Retired {
+                    retired_at,
+                    retired_when,
+                } if retired_when.elapsed() >= age => Some((ModelId(i), *retired_at)),
+                _ => None,
+            });
+        let Some((id, retired_at)) = candidate else {
+            return;
+        };
+        let Some(_write) = core.registry.try_begin_write() else {
+            return;
+        };
+        match core.registry.load().slot(id) {
+            // Candidate still valid but the reclaim aborted: shutting
+            // down or a dispatcher died mid-wait — heal first, retry on
+            // a later tick.
+            Some(EntrySlot::Retired { retired_at: r, .. })
+                if *r == retired_at && !reclaim_locked(core, id, retired_at) =>
+            {
+                return;
+            }
+            // Reclaimed, or the candidate changed under us (manual
+            // reclaim won) — rescan for further aged tombstones.
+            _ => {}
+        }
     }
 }
 
@@ -1067,19 +1608,55 @@ enum Collected {
     Shutdown,
 }
 
-/// The per-shard micro-batcher: drain (or steal) → coalesce → adopt
-/// pending deliveries → execute, forever; the drain fence advances on
-/// every pass through the empty-batch collection point.
+/// Owns a dispatcher's worker contexts for the lifetime of its thread.
+/// On *any* exit — clean shutdown, an injected kill, or an unexpected
+/// panic escaping the loop — the contexts (and their workspaces) are
+/// dropped, so the resident-bytes accounting must be debited with them:
+/// otherwise a reclaim would wait forever on bytes that no longer exist.
+/// At clean shutdown the debit is harmless (stats are snapshotted before
+/// the server drops).
+struct CtxGuard {
+    core: Arc<ServerCore>,
+    ctxs: Vec<WorkerCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let mut any = false;
+        for ctx in &self.ctxs {
+            for (m, ws) in ctx.workspaces.iter().enumerate() {
+                let bytes = ws.resident_bytes();
+                if bytes > 0 {
+                    self.core.resident_sub(ModelId(m), bytes);
+                    any = true;
+                }
+            }
+        }
+        if any {
+            self.core.lifecycle_notify();
+        }
+    }
+}
+
+/// The per-shard micro-batcher: drain (or steal) → skip expired → publish
+/// the staged batch → adopt pending deliveries → execute, forever; the
+/// drain fence advances on every pass through the empty-batch collection
+/// point.
 fn dispatcher_loop(
     core: Arc<ServerCore>,
     shard_idx: usize,
-    mut ctxs: Vec<WorkerCtx>,
+    ctxs: Vec<WorkerCtx>,
     partition: Option<PoolPartition>,
 ) {
+    let mut guard = CtxGuard {
+        core: Arc::clone(&core),
+        ctxs,
+    };
+    let ctxs = &mut guard.ctxs;
     let mut batch: Vec<Arc<RequestSlot>> = Vec::with_capacity(core.policy.max_batch);
     let mut tickets: Vec<u64> = Vec::with_capacity(core.policy.max_batch);
     loop {
-        match collect_batch(&core, shard_idx, &mut batch, &mut ctxs) {
+        match collect_batch(&core, shard_idx, &mut batch, ctxs) {
             Collected::Shutdown => return,
             Collected::Work { stolen } => {
                 if stolen > 0 {
@@ -1087,26 +1664,69 @@ fn dispatcher_loop(
                 }
             }
         }
-        // Snapshot each drained request's ticket: between here and
-        // execution the slots are exclusively ours (out of every queue,
-        // clients blocked), so the tickets identify exactly this batch's
-        // requests for panic recovery.
+        // Skip requests whose deadline passed while they were queued —
+        // dead work must never burn a slice of a batched forward — and
+        // snapshot each survivor's ticket: between here and execution the
+        // slots are exclusively ours (out of every queue, clients
+        // blocked), so the tickets identify exactly this batch's requests
+        // for panic recovery. Stable compaction keeps arrival order, so
+        // same-model runs coalesce exactly as before.
         tickets.clear();
-        tickets.extend(batch.iter().map(|slot| slot.lock().ticket));
+        let now = Instant::now();
+        let mut kept = 0;
+        for i in 0..batch.len() {
+            let (expired, ticket, model) = {
+                let st = batch[i].lock();
+                (st.deadline <= now, st.ticket, st.model)
+            };
+            if expired {
+                core.inflight_release(model);
+                core.metrics.record_deadline_expired();
+                batch[i].fail(ServeError::Deadline);
+            } else {
+                tickets.push(ticket);
+                batch.swap(kept, i);
+                kept += 1;
+            }
+        }
+        batch.truncate(kept);
+        // Publish the staged batch so the supervisor can resolve these
+        // waiters with `ChannelClosed` if this thread dies mid-batch
+        // (`Arc` clones into a preallocated Vec — no allocation).
+        let shard = &core.shards[shard_idx];
+        {
+            let mut staged = shard.lock_staged();
+            staged.clear();
+            staged.extend(
+                batch
+                    .iter()
+                    .zip(&tickets)
+                    .map(|(slot, &t)| (t, Arc::clone(slot))),
+            );
+        }
+        // Fault seam: die with the batch staged — exactly the window the
+        // supervisor's ChannelClosed recovery exists for.
+        if core.fault_fires(FaultKind::KillDispatcher) {
+            panic!("injected fault: dispatcher killed");
+        }
         // Process deliveries after the drain: any request drained above
         // was admitted after its workspaces were mailed (see
         // `register_entry`), so the mailbox already holds anything the
         // batch needs.
-        process_deliveries(&core, shard_idx, &mut ctxs);
-        // A panic escaping inference must not kill the dispatcher: blocked
-        // clients would hang forever and the queue would never drain
-        // again. Contain it, fail the unserved slots, and keep serving.
+        process_deliveries(&core, shard_idx, ctxs);
+        // Panic containment is layered: `serve_range` contains panics per
+        // same-model run (failing only that run's requests and rebuilding
+        // the workspace), so this outer guard is the backstop for panics
+        // in the submission machinery itself. Either way the dispatcher
+        // must survive: blocked clients would otherwise hang forever.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_batch(&core, shard_idx, &mut ctxs, partition.as_ref(), &batch);
+            execute_batch(&core, shard_idx, ctxs, partition.as_ref(), &batch);
         }));
         if outcome.is_err() {
+            core.metrics.record_worker_panic();
             recover_failed_batch(&core, &batch, &tickets);
         }
+        shard.lock_staged().clear();
         batch.clear();
     }
 }
@@ -1124,7 +1744,7 @@ fn dispatcher_loop(
 /// [`VariantWorkspace::Reclaimed`] placeholder. A *risen* fence signals
 /// any waiting reclaim.
 fn advance_fence(core: &ServerCore, shard: &Shard, q: &ShardQueue) {
-    let fence = match q.queue.iter().map(|&(epoch, _)| epoch).min() {
+    let fence = match q.queue.iter().map(|r| r.epoch).min() {
         Some(oldest) => oldest,
         None => core.registry.load().epoch + 1,
     };
@@ -1187,7 +1807,7 @@ fn collect_batch(
     loop {
         while batch.len() < max_batch {
             match q.queue.pop_front() {
-                Some((_, slot)) => batch.push(slot),
+                Some(r) => batch.push(r.slot),
                 None => break,
             }
         }
@@ -1237,7 +1857,9 @@ fn steal_from_hot_sibling(
         }
         let take = q.queue.len().div_ceil(2).min(core.policy.max_batch);
         for _ in 0..take {
-            batch.push(q.queue.pop_front().expect("len checked above").1);
+            // `take` was computed from `len` under this same lock, so the
+            // pops cannot run dry.
+            batch.push(q.queue.pop_front().expect("len checked above").slot);
         }
         sibling.depth.store(q.queue.len(), Ordering::Relaxed);
         if take > 0 {
@@ -1306,7 +1928,32 @@ fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>], tickets: 
             if st.stage != Stage::Queued || st.ticket != ticket {
                 continue;
             }
-            st.stage = Stage::Failed(ServeError::Internal);
+            st.stage = Stage::Failed(ServeError::WorkerPanic);
+            st.model
+        };
+        core.inflight_release(model);
+        slot.cv.notify_all();
+    }
+}
+
+/// Resolves whatever a dead (or exiting) dispatcher left staged: any slot
+/// still queued under its captured ticket is failed with `err` and its
+/// in-flight accounting retired. Ticket-guarded like batch recovery —
+/// slots whose client was already served (and possibly re-submitted) are
+/// left alone. Called only when the dispatcher is provably not running
+/// (joined by the supervisor, or after the shutdown joins).
+fn fail_staged(core: &ServerCore, shard: &Shard, err: ServeError) {
+    // Drain into a local list so no slot lock is taken under the staged
+    // lock beyond what the dispatcher itself does (cold path; the
+    // allocation is fine here).
+    let staged: Vec<(u64, Arc<RequestSlot>)> = shard.lock_staged().drain(..).collect();
+    for (ticket, slot) in staged {
+        let model = {
+            let mut st = slot.lock();
+            if st.stage != Stage::Queued || st.ticket != ticket {
+                continue;
+            }
+            st.stage = Stage::Failed(err);
             st.model
         };
         core.inflight_release(model);
@@ -1317,8 +1964,8 @@ fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>], tickets: 
 /// Fails every queued request on shutdown. Consumes the queue guard.
 fn drain_on_shutdown(core: &ServerCore, shard: &Shard, mut q: MutexGuard<'_, ShardQueue>) {
     let mut leftovers: Vec<Arc<RequestSlot>> = Vec::with_capacity(q.queue.len());
-    while let Some((_, slot)) = q.queue.pop_front() {
-        leftovers.push(slot);
+    while let Some(r) = q.queue.pop_front() {
+        leftovers.push(r.slot);
     }
     shard.depth.store(0, Ordering::Relaxed);
     drop(q);
@@ -1353,6 +2000,12 @@ fn execute_batch(
 ) {
     let n = batch.len();
     if n == 0 {
+        return;
+    }
+    // Fault seam: behave exactly as if the pool's job slot stayed busy
+    // past the bounded wait — the whole batch is shed, nothing executes.
+    if core.fault_fires(FaultKind::SubmitTimeout) {
+        shed_batch_on_pool_timeout(core, batch);
         return;
     }
     let workers = ctxs.len().min(n).max(1);
@@ -1401,9 +2054,98 @@ fn serve_range(
         while j < slots.len() && slots[j].lock().model == model {
             j += 1;
         }
-        serve_run(core, shard_idx, ctx, model, &slots[i..j]);
+        let run = &slots[i..j];
+        // Per-run panic containment: a panic unwinding out of inference
+        // fails only *this run's* unserved requests ([`ServeError::
+        // WorkerPanic`]), bumps the model's consecutive-panic streak, and
+        // discards + rebuilds the possibly-torn workspace through the
+        // prewarm path — the other runs of this range, and every other
+        // worker, serve on untouched. `AssertUnwindSafe` is sound because
+        // the only state crossing the boundary (the workspace and the
+        // run's slots) is either rebuilt from scratch or explicitly
+        // failed below.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_run(core, shard_idx, ctx, model, run);
+        }));
+        match outcome {
+            Ok(()) => core.note_serve_ok(model),
+            Err(_) => recover_failed_run(core, ctx, model, run),
+        }
         i = j;
     }
+}
+
+/// Recovery for one same-model run whose execution panicked: fail the
+/// run's still-unserved requests, retire their in-flight accounting,
+/// account the panic toward quarantine, and rebuild the worker's
+/// workspace for the model so the shard returns to its warmed, zero-alloc
+/// steady state. Served slots of the run are already `Done` with their
+/// accounting retired (nothing in the serve paths can panic between the
+/// in-flight decrement and `Done`), and drained slots are exclusively
+/// ours until their clients wake — so no ticket check is needed here,
+/// unlike whole-batch recovery.
+fn recover_failed_run(
+    core: &ServerCore,
+    ctx: &mut WorkerCtx,
+    model: ModelId,
+    run: &[Arc<RequestSlot>],
+) {
+    core.note_panic(model);
+    for slot in run {
+        let failed = {
+            let mut st = slot.lock();
+            if st.stage == Stage::Queued {
+                st.stage = Stage::Failed(ServeError::WorkerPanic);
+                true
+            } else {
+                false
+            }
+        };
+        if failed {
+            core.inflight_release(model);
+            slot.cv.notify_all();
+        }
+    }
+    rebuild_workspace(core, ctx, model);
+}
+
+/// Discards a workspace a panic may have left mid-update and rebuilds it
+/// through the same warmed-prewarm path registration uses, keeping the
+/// resident-bytes account exact on both sides. If the model has been
+/// retired (or reclaimed) in the meantime the slot stays a reclaimed
+/// placeholder; if even the *rebuild* panics, the model is broken rather
+/// than unlucky and is quarantined outright.
+fn rebuild_workspace(core: &ServerCore, ctx: &mut WorkerCtx, model: ModelId) {
+    let old = std::mem::replace(&mut ctx.workspaces[model.0], VariantWorkspace::Reclaimed);
+    let bytes = old.resident_bytes();
+    if bytes > 0 {
+        core.resident_sub(model, bytes);
+    }
+    drop(old);
+    let snapshot = core.registry.load();
+    let entry = snapshot
+        .slot(model)
+        .and_then(EntrySlot::entry_arc)
+        .map(Arc::clone);
+    drop(snapshot);
+    let Some(entry) = entry else {
+        // Retired while we served its last stragglers: the placeholder is
+        // the correct terminal state, and any reclaim waiting on the
+        // resident account must hear about the debit above.
+        core.lifecycle_notify();
+        return;
+    };
+    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        entry.warmed_workspace(core.policy.max_batch)
+    }));
+    match rebuilt {
+        Ok(ws) => {
+            core.resident_add(model, ws.resident_bytes());
+            ctx.workspaces[model.0] = ws;
+        }
+        Err(_) => core.request_quarantine(model),
+    }
+    core.lifecycle_notify();
 }
 
 /// Executes one same-model run of drained request slots.
@@ -1414,6 +2156,15 @@ fn serve_run(
     model: ModelId,
     run: &[Arc<RequestSlot>],
 ) {
+    // Fault seams, in worker position: a stall here models a slow worker
+    // (the deadline sweep sheds what queues up behind it), and a panic
+    // here takes exactly the unwind path a model bug in `infer` would.
+    if let Some(stall) = core.fault_stall() {
+        std::thread::sleep(stall);
+    }
+    if core.fault_fires(FaultKind::PanicInForward) {
+        panic!("injected fault: panic in forward");
+    }
     let batchable = matches!(ctx.workspaces[model.0], VariantWorkspace::Emulated(_));
     if !batchable {
         // Physical variants (per-sample capture pipeline) and reclaimed
@@ -1433,6 +2184,11 @@ fn serve_run(
         Arc::clone(
             st.entry
                 .as_ref()
+                // Admission pins the entry before the slot ever enters a
+                // queue, so a drained queued slot always carries one; if
+                // the invariant ever broke, this unwinds into the
+                // run-level containment and surfaces to the client as a
+                // typed `WorkerPanic`, never a hang.
                 .expect("queued slot carries its pinned entry"),
         )
     };
@@ -1502,6 +2258,9 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
         let entry = state
             .entry
             .as_ref()
+            // Same invariant (and same containment) as the batched path:
+            // a break here unwinds into run-level recovery and reaches
+            // the client as a typed `WorkerPanic`.
             .expect("queued slot carries its pinned entry");
         entry.infer_into(
             &state.input,
@@ -1533,8 +2292,9 @@ mod tests {
     use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 
     /// recover_failed_batch must fail every still-queued slot with
-    /// Internal, retire its in-flight accounting, and leave served slots
-    /// alone — the dispatcher's panic containment depends on exactly this.
+    /// WorkerPanic, retire its in-flight accounting, and leave served
+    /// slots alone — the dispatcher's panic containment depends on
+    /// exactly this.
     #[test]
     fn recover_failed_batch_fails_queued_and_retires_inflight() {
         let grid = Grid::square(8, PixelPitch::from_um(36.0));
@@ -1581,7 +2341,10 @@ mod tests {
             Stage::Done,
             "served slot must be untouched"
         );
-        assert_eq!(unserved.lock().stage, Stage::Failed(ServeError::Internal));
+        assert_eq!(
+            unserved.lock().stage,
+            Stage::Failed(ServeError::WorkerPanic)
+        );
         assert_eq!(
             resubmitted.lock().stage,
             Stage::Queued,

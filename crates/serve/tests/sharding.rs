@@ -398,7 +398,7 @@ fn registered_model_is_immediately_servable_from_every_shard() {
     // Register live, then hammer the new id from enough concurrent
     // clients that stealing can kick in: every shard that touches it must
     // already hold warmed workspaces (a missing workspace would panic the
-    // dispatcher and surface as Internal).
+    // run and surface as WorkerPanic).
     let seed_model = donn(16, 1, 151);
     let mut registry = ModelRegistry::new();
     registry.register_emulated("seed", 1, seed_model, ReadoutMode::Emulation);

@@ -37,6 +37,21 @@
 //!   up with [`SubmitTimeout`] when the slot stays busy past a deadline —
 //!   a stuck training batch then surfaces as a shed request, not a hang.
 //!
+//! ## Panic containment
+//!
+//! A panic raised by a job closure **never kills a pool worker and never
+//! wedges the pool**. Each index runs under `catch_unwind` on whichever
+//! thread claimed it; the first panic marks the job poisoned and drains
+//! the remaining indices so the job still terminates, the completion
+//! barrier still retires every worker (workers stay parked on their
+//! condvar, not dead), and the panic is re-raised **exactly once, on the
+//! submitting thread** after the barrier. Callers that must survive a
+//! panicking job (the serving dispatcher) wrap the *submission* in their
+//! own `catch_unwind` and treat the re-raise as that job's failure; the
+//! pool itself is immediately reusable for the next job either way.
+//! Covered by `worker_panic_propagates_to_caller` (global pool) and
+//! `partition_survives_panicking_job` (partitions).
+//!
 //! Results are written by item index, so `par_map` output is **identical
 //! for any thread count** — determinism is covered by the test suite.
 
@@ -835,6 +850,24 @@ mod tests {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn partition_survives_panicking_job() {
+        // One panicking job must re-raise exactly once on the submitter
+        // and leave the partition's workers alive and parked: the next
+        // jobs run normally on the same partition.
+        let part = PoolPartition::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            part.par_for(32, |i| {
+                assert!(i != 17, "boom");
+            });
+        }));
+        assert!(result.is_err(), "panic in a partition item must propagate");
+        for _ in 0..3 {
+            let v = part.par_map(16, |i| i + 1);
+            assert_eq!(v, (1..=16).collect::<Vec<_>>());
+        }
     }
 
     #[test]

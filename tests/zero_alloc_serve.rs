@@ -21,6 +21,15 @@
 //! the allocator counts allocations), after which the surviving models'
 //! steady state must *still* be allocation-free and bit-identical.
 //!
+//! A last phase injects a **worker panic** through the fault plan: the
+//! panicking run fails only its own request (`WorkerPanic`), the
+//! dispatcher rebuilds the poisoned workspace through the prewarm path
+//! (rebuilding allocates — outside the window), and the steady state
+//! *after the rebuild* must once more be allocation-free and
+//! bit-identical. Fault hooks are armed-trigger-only here (all rates
+//! zero), so the measured windows also prove the injection seams
+//! themselves are allocation-free when quiet.
+//!
 //! Like `zero_alloc.rs`, this must stay a single-test binary: the counting
 //! allocator is process-global. Sequential mode is forced
 //! (`set_threads(1)`) so shard partitions have width 0 and batch execution
@@ -29,10 +38,13 @@
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
-use lr_serve::{BatchPolicy, ModelRegistry, ReadoutMode, ServeError, Server, Transport};
+use lr_serve::{
+    BatchPolicy, FaultKind, FaultPlan, ModelRegistry, ReadoutMode, ServeError, Server, Transport,
+};
 use lr_tensor::{parallel, Complex64, Field};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct CountingAllocator;
@@ -72,6 +84,23 @@ fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
 fn steady_state_sharded_serve_path_allocates_nothing() {
     parallel::set_threads(1);
 
+    // The injected panic in the final phase is expected; keep its payload
+    // out of the test output while leaving real panics fully reported.
+    {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.contains("injected fault")) {
+                return;
+            }
+            prev(info);
+        }));
+    }
+
     // A mixed two-model workload on two shards: different geometries,
     // different readout schemes, interleaved per request — ids 0 and 1
     // affinity-route to shards 0 and 1, and each dispatcher must juggle
@@ -81,6 +110,9 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
     let mut registry = ModelRegistry::new();
     registry.register_emulated("a", 1, model_a.clone(), ReadoutMode::Emulation);
     registry.register_emulated("b", 1, model_b.clone(), ReadoutMode::Deployed);
+    // A quiet fault plan (all rates zero, triggers armed manually in the
+    // final phase) keeps the injection seams live on the measured path.
+    let plan = Arc::new(FaultPlan::new(9));
     let server = Server::start(
         registry,
         BatchPolicy {
@@ -89,6 +121,7 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
             // Zero delay: with a single blocking client there is nothing
             // to coalesce with; don't sleep inside the measured window.
             max_delay: Duration::ZERO,
+            faults: Some(Arc::clone(&plan)),
             ..BatchPolicy::default()
         },
     );
@@ -239,15 +272,59 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
     client_b.infer(b, &input_b, &mut logits).unwrap();
     assert_eq!(logits, reference_b);
 
+    // ---- Injected panic + workspace rebuild --------------------------
+    // One armed trigger panics the next forward: only that request fails
+    // (typed), the dispatcher rebuilds its poisoned workspace through the
+    // prewarm path (the rebuild allocates — that's the warm-up), and the
+    // steady state after recovery must be allocation-free again.
+    plan.trigger(FaultKind::PanicInForward);
+    assert_eq!(
+        client_a2.infer(a2, &input_a, &mut logits),
+        Err(ServeError::WorkerPanic),
+        "the panicking run must fail only its own request"
+    );
+    for _ in 0..4 {
+        client_a2.infer(a2, &input_a, &mut logits).unwrap();
+        assert_eq!(logits, reference_a2);
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+        assert_eq!(logits, reference_b);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        client_a2.infer(a2, &input_a, &mut logits).unwrap();
+        client_b.infer(b, &input_b, &mut logits).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "post-rebuild steady state must not allocate (got {} allocations over 20 requests)",
+        after - before
+    );
+
+    client_a2.infer(a2, &input_a, &mut logits).unwrap();
+    assert_eq!(
+        logits, reference_a2,
+        "rebuilt workspace must serve bit-identically"
+    );
+    client_b.infer(b, &input_b, &mut logits).unwrap();
+    assert_eq!(logits, reference_b);
+
     let stats = server.stats();
-    assert_eq!(stats.completed, 93);
+    assert_eq!(stats.completed, 123);
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(
+        stats.quarantined_models, 0,
+        "a single panic must not quarantine"
+    );
     // Every request in this workload targets an emulated variant, so the
     // dispatcher must have served all of them through batched forwards on
     // the per-worker BatchWorkspaces (B=1 batches for these sequential
     // blocking clients) — the batched serve path is exactly what the
     // allocation windows above measured.
     assert_eq!(
-        stats.batched_samples, 93,
+        stats.batched_samples, 123,
         "every emulated request must execute through the batched path"
     );
     assert!(stats.batch_executions > 0);
