@@ -280,6 +280,25 @@ fn classify(path: &str) -> Direction {
     if path.ends_with("unresolved_requests") || path.ends_with("bitwise_mismatches") {
         return Direction::LowerIsBetter;
     }
+    // The per-stage latency breakdown. Histogram `overflow` counters gate
+    // at 0 in *every* scenario via the zero-baseline rule: a sample past
+    // the top bucket means the stage's upper quantiles are untrustworthy,
+    // which is a correctness property of the telemetry, not a perf
+    // statistic. Of the stage quantiles themselves only the steady
+    // scenario's `forward` p50 gates — it is pure batched compute and as
+    // stable as the end-to-end p50 already gated below. The scheduling
+    // stages (queue_wait / staging / respond) run in the hundreds of
+    // nanoseconds and move with OS timing, so they stay informational,
+    // as does everything in the adversarial scenarios.
+    if path.contains("stage_latency_ns.") {
+        if path.ends_with(".overflow") {
+            return Direction::LowerIsBetter;
+        }
+        if path.contains("steady") && path.ends_with(".forward.p50") {
+            return Direction::LowerIsBetter;
+        }
+        return Direction::Informational;
+    }
     // Only the stable central statistics of the *steady* scenario's
     // latency distribution gate. p95/p99/max and per-shard quantiles are
     // informational everywhere (quick-profile sample counts make them
@@ -481,6 +500,10 @@ mod tests {
           "completed": 100,
           "throughput_rps": 50.0,
           "latency_ns": { "p50": 2000, "p99": 9000 },
+          "stage_latency_ns": {
+            "queue_wait": { "p50": 300, "p95": 700, "p99": 900, "overflow": 0 },
+            "forward": { "p50": 1500, "p95": 2500, "p99": 4000, "overflow": 0 }
+          },
           "per_shard": [
             { "shard": 0, "completed": 60, "p50": 1900, "p95": 4000, "p99": 8000 },
             { "shard": 1, "completed": 40, "p50": 2100, "p95": 4100, "p99": 9000 }
@@ -580,6 +603,64 @@ mod tests {
             classify("scenarios.chaos.deadline_expired"),
             Direction::Informational
         );
+        // Stage breakdown: only the steady forward p50 gates among the
+        // quantiles; overflow gates everywhere; scheduling stages and
+        // adversarial scenarios stay informational.
+        assert_eq!(
+            classify("scenarios.steady.stage_latency_ns.forward.p50"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios.steady.stage_latency_ns.queue_wait.p50"),
+            Direction::Informational,
+            "scheduling stages move with OS timing"
+        );
+        assert_eq!(
+            classify("scenarios.steady.stage_latency_ns.forward.p99"),
+            Direction::Informational
+        );
+        assert_eq!(
+            classify("scenarios.overload_shed.stage_latency_ns.forward.p50"),
+            Direction::Informational,
+            "adversarial scenarios never gate stage quantiles"
+        );
+        assert_eq!(
+            classify("scenarios.overload_shed.stage_latency_ns.respond.overflow"),
+            Direction::LowerIsBetter,
+            "histogram overflow gates (at 0) in every scenario"
+        );
+    }
+
+    #[test]
+    fn stage_overflow_and_forward_p50_gate() {
+        let base = parse_json(BASE).unwrap();
+        // Histogram saturation: zero baseline maps any nonzero overflow
+        // to +100%, tripping the gate regardless of tolerance.
+        let cur = parse_json(&BASE.replace(
+            "\"p50\": 1500, \"p95\": 2500, \"p99\": 4000, \"overflow\": 0",
+            "\"p50\": 1500, \"p95\": 2500, \"p99\": 4000, \"overflow\": 7",
+        ))
+        .unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "a saturating stage histogram must fail the gate");
+        assert!(rows.iter().any(|r| r.path
+            == "scenarios.steady.stage_latency_ns.forward.overflow"
+            && r.regressed));
+        // A forward-stage slowdown past tolerance also trips.
+        let cur = parse_json(&BASE.replace(
+            "\"p50\": 1500, \"p95\": 2500",
+            "\"p50\": 2100, \"p95\": 2500",
+        ))
+        .unwrap();
+        let (rows, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(regressed, "forward p50 +40% must trip a 15% gate");
+        assert!(rows
+            .iter()
+            .any(|r| r.path == "scenarios.steady.stage_latency_ns.forward.p50" && r.regressed));
+        // Queue-wait drift is informational noise.
+        let cur = parse_json(&BASE.replace("\"p50\": 300", "\"p50\": 900")).unwrap();
+        let (_, regressed, _) = compare_values(&base, &cur, 15.0);
+        assert!(!regressed, "queue_wait p50 never gates");
     }
 
     #[test]

@@ -61,7 +61,7 @@ use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
     AdmissionPolicy, BatchPolicy, FaultKind, FaultPlan, ModelId, ModelRegistry, PoolMode,
-    ReadoutMode, Server, ServerStats, Transport,
+    ReadoutMode, Server, ServerStats, StageLatency, TraceConfig, TraceSnapshot, Transport,
 };
 use lr_tensor::{parallel, Complex64, Field};
 use rand::rngs::StdRng;
@@ -349,6 +349,8 @@ fn write_churn(json: &mut String, o: &ChurnOutcome, last: bool) {
 }
 
 struct ChaosOutcome {
+    /// Drained trace (only when `--trace-out` enabled tracing).
+    trace: Option<TraceSnapshot>,
     submitted: u64,
     ok: u64,
     typed_errors: u64,
@@ -375,6 +377,7 @@ struct ChaosOutcome {
 /// hung request cannot hang the bench: a watchdog counts whatever never
 /// resolved as `unresolved_requests` and the artifact still gets written
 /// (the gate then fails on the count, which is the point).
+#[allow(clippy::too_many_arguments)]
 fn run_chaos(
     shards: usize,
     threads: usize,
@@ -383,6 +386,7 @@ fn run_chaos(
     survivor: &DonnModel,
     churn_n: usize,
     churn_depth: usize,
+    trace: Option<Arc<TraceConfig>>,
 ) -> ChaosOutcome {
     // Injected panics unwind with a payload containing "injected fault";
     // keep them out of stderr while leaving real panics fully reported.
@@ -433,6 +437,7 @@ fn run_chaos(
             quarantine_after: 0,
             supervisor_tick: Duration::from_millis(1),
             faults: Some(Arc::clone(&plan)),
+            trace,
             ..BatchPolicy::default()
         },
     ));
@@ -556,6 +561,7 @@ fn run_chaos(
         remaining.load(Ordering::Relaxed) + u64::from(!churn_done.load(Ordering::Relaxed));
     let wall_ms = epoch.elapsed().as_millis() as u64;
     let stats = server.stats();
+    let trace = server.drain_trace();
     let p99_survivor_ns = {
         let mut lat = latencies.lock().expect("latency vec poisoned").clone();
         lat.sort_unstable();
@@ -578,6 +584,7 @@ fn run_chaos(
     // would hang the bench (and the CI job) instead of reporting it.
 
     ChaosOutcome {
+        trace,
         submitted: submitted.load(Ordering::Relaxed),
         ok: ok.load(Ordering::Relaxed),
         typed_errors: typed_errors.load(Ordering::Relaxed),
@@ -634,6 +641,60 @@ fn write_chaos(json: &mut String, o: &ChaosOutcome, last: bool) {
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
+/// Emits one scenario's per-stage latency quantiles. The four stages tile
+/// each request's end-to-end latency (shared boundary timestamps), so the
+/// stage p50s sum to roughly the end-to-end p50 — that invariant is what
+/// makes the breakdown diffable: a tail regression shows up *in* a stage,
+/// not beside them.
+fn write_stage_latency(json: &mut String, stage: &StageLatency) {
+    let _ = writeln!(json, "      \"stage_latency_ns\": {{");
+    let stages = [
+        ("queue_wait", &stage.queue_wait),
+        ("staging", &stage.staging),
+        ("forward", &stage.forward),
+        ("respond", &stage.respond),
+    ];
+    for (i, (name, s)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        \"{name}\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+             \"overflow\": {} }}{comma}",
+            s.p50_ns, s.p95_ns, s.p99_ns, s.overflow,
+        );
+    }
+    let _ = writeln!(json, "      }},");
+}
+
+/// Prints the per-stage / per-shard latency breakdown table for one
+/// scenario to stderr (the artifact JSON carries the same quantiles).
+fn print_stage_table(name: &str, stats: &ServerStats) {
+    eprintln!("stage latency breakdown ({name}):");
+    eprintln!(
+        "  {:<12} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "stage", "p50_ns", "p95_ns", "p99_ns", "count", "overflow"
+    );
+    let stages = [
+        ("queue_wait", &stats.stage_latency.queue_wait),
+        ("staging", &stats.stage_latency.staging),
+        ("forward", &stats.stage_latency.forward),
+        ("respond", &stats.stage_latency.respond),
+    ];
+    for (stage, s) in stages {
+        eprintln!(
+            "  {:<12} {:>12} {:>12} {:>12} {:>10} {:>9}",
+            stage, s.p50_ns, s.p95_ns, s.p99_ns, s.count, s.overflow
+        );
+    }
+    for sh in &stats.per_shard {
+        let st = &sh.stage_latency;
+        eprintln!(
+            "  shard {}: p50 queue_wait {} | staging {} | forward {} | respond {}",
+            sh.shard, st.queue_wait.p50_ns, st.staging.p50_ns, st.forward.p50_ns, st.respond.p50_ns
+        );
+    }
+}
+
 fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool) {
     let s = &o.stats;
     let l = &s.latency;
@@ -666,6 +727,7 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
     let _ = writeln!(json, "        \"mean\": {:.1},", l.mean_ns);
     let _ = writeln!(json, "        \"max\": {}", l.max_ns);
     let _ = writeln!(json, "      }},");
+    write_stage_latency(json, &s.stage_latency);
     let _ = writeln!(json, "      \"per_shard\": [");
     for (i, sh) in s.per_shard.iter().enumerate() {
         let comma = if i + 1 < s.per_shard.len() { "," } else { "" };
@@ -686,7 +748,14 @@ fn write_scenario(json: &mut String, name: &str, o: &ScenarioOutcome, last: bool
     let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
-/// Entry point for `lr-bench serve [--out PATH] [--quick] [--shards N]`.
+/// Entry point for
+/// `lr-bench serve [--out PATH] [--quick] [--shards N] [--trace-out PATH]`.
+///
+/// `--trace-out PATH` enables request-path tracing (full sampling) on the
+/// `chaos` scenario and writes the drained span/instant timeline as
+/// Chrome trace-event JSON to `PATH` — loadable in Perfetto, with every
+/// injected panic, respawn, shed, and deadline expiry visible as an
+/// instant event next to the request spans it disrupted.
 pub fn run(args: &[String]) {
     let out_path = args
         .iter()
@@ -694,6 +763,11 @@ pub fn run(args: &[String]) {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let quick = args.iter().any(|a| a == "--quick");
     let shards: usize = args
         .iter()
@@ -831,6 +905,16 @@ pub fn run(args: &[String]) {
         &model_a,
         nb,
         depth,
+        // Sample every request when a trace artifact was asked for: the
+        // chaos scenario is short, and a full timeline is what makes each
+        // fault attributable to the requests around it.
+        trace_out.as_ref().map(|_| {
+            Arc::new(TraceConfig {
+                sample_per_mille: 1000,
+                ring_capacity: 1 << 16,
+                ..TraceConfig::default()
+            })
+        }),
     );
 
     let mut json = String::from("{\n");
@@ -866,4 +950,23 @@ pub fn run(args: &[String]) {
     std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");
     print!("{json}");
     eprintln!("wrote {out_path}");
+
+    // Per-stage / per-shard breakdown tables for the scenarios whose
+    // stage histograms carry a steady signal.
+    print_stage_table("steady_mixed", &steady.stats);
+    print_stage_table("overload_shed", &overload.stats);
+    print_stage_table("colocated_partitioned", &colocated_partitioned.stats);
+    print_stage_table("colocated_shared", &colocated_shared.stats);
+
+    if let Some(path) = trace_out {
+        let snapshot = chaos
+            .trace
+            .expect("--trace-out enabled tracing on the chaos scenario");
+        std::fs::write(&path, snapshot.to_chrome_json()).expect("failed to write trace artifact");
+        eprintln!(
+            "wrote {path} ({} events, {} dropped)",
+            snapshot.events.len(),
+            snapshot.dropped
+        );
+    }
 }

@@ -10,6 +10,7 @@ use crate::layers::codesign::{CodesignCache, CodesignLayer, CodesignMode};
 use crate::layers::detector::Detector;
 use crate::layers::diffractive::{DiffractiveBatchCache, DiffractiveCache, DiffractiveLayer};
 use crate::layers::nonlinear::{NonlinearBatchCache, NonlinearCache, SaturableAbsorber};
+use lr_obs::{KernelKind, KernelTimer};
 use lr_optics::{Approximation, Distance, FreeSpace, Grid, PropagationScratch, Wavelength};
 use lr_tensor::{Field, FieldBatch};
 use std::cell::RefCell;
@@ -729,7 +730,10 @@ impl DonnModel {
             trace.detector_field = Field::zeros(ws.u.rows(), ws.u.cols());
         }
         trace.detector_field.copy_from(&ws.u);
-        self.detector.read_into(&ws.u, &mut trace.logits);
+        {
+            let _t = KernelTimer::start(KernelKind::Detector);
+            self.detector.read_into(&ws.u, &mut trace.logits);
+        }
     }
 
     /// Inference logits through a caller-owned workspace and output buffer:
@@ -762,7 +766,10 @@ impl DonnModel {
         }
         self.final_propagator
             .propagate_with(&mut ws.u, &mut ws.scratch);
-        self.detector.read_into(&ws.u, logits);
+        {
+            let _t = KernelTimer::start(KernelKind::Detector);
+            self.detector.read_into(&ws.u, logits);
+        }
     }
 
     /// Emulation-mode [`DonnModel::infer_mode_into`] (soft codesign states).
@@ -808,7 +815,10 @@ impl DonnModel {
             ws.load_input(b, input);
         }
         self.forward_batch_planes(mode, ws);
-        self.detector.read_batch_into(&ws.u, outputs);
+        {
+            let _t = KernelTimer::start(KernelKind::Detector);
+            self.detector.read_batch_into(&ws.u, outputs);
+        }
     }
 
     /// The staged half of the serving fast path: runs batched inference on
@@ -826,7 +836,10 @@ impl DonnModel {
     pub fn infer_staged_batch(&self, mode: CodesignMode, ws: &mut BatchWorkspace) {
         self.forward_batch_planes(mode, ws);
         let n = ws.u.batch();
-        self.detector.read_batch_into(&ws.u, &mut ws.staged[..n]);
+        {
+            let _t = KernelTimer::start(KernelKind::Detector);
+            self.detector.read_batch_into(&ws.u, &mut ws.staged[..n]);
+        }
     }
 
     /// Runs the layer stack plus the final hop over the active planes of
@@ -940,7 +953,10 @@ impl DonnModel {
             trace.logits.resize_with(b, || Vec::with_capacity(classes));
         }
         trace.logits.truncate(b);
-        self.detector.read_batch_into(&ws.u, &mut trace.logits);
+        {
+            let _t = KernelTimer::start(KernelKind::Detector);
+            self.detector.read_batch_into(&ws.u, &mut trace.logits);
+        }
     }
 
     /// Batched [`DonnModel::backward_with`]: backpropagates every sample

@@ -1,0 +1,257 @@
+//! Shape validation for the Chrome trace exporter: the emitted JSON must
+//! parse, every event must carry the fields `chrome://tracing`/Perfetto
+//! require (`name`, `ph`, `ts`, `pid`, `tid`; `dur` for complete events),
+//! and one request's stage spans must be well-nested (non-overlapping,
+//! time-ordered, summing to the end-to-end interval).
+
+use lr_obs::{chrome_trace_json, timeline_text, EventKind, Outcome, TraceEvent};
+use std::collections::HashMap;
+
+/// A minimal recursive-descent JSON value — just enough to validate the
+/// exporter's output without external dependencies.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(HashMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Json {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.i, p.s.len(), "trailing garbage after JSON value");
+        v
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) {
+        self.ws();
+        assert_eq!(
+            self.s.get(self.i),
+            Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        self.ws();
+        match self.s[self.i] {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => {
+                self.i += 4;
+                Json::Bool(true)
+            }
+            b'f' => {
+                self.i += 5;
+                Json::Bool(false)
+            }
+            b'n' => {
+                self.i += 4;
+                Json::Null
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut m = HashMap::new();
+        self.ws();
+        if self.s[self.i] == b'}' {
+            self.i += 1;
+            return Json::Obj(m);
+        }
+        loop {
+            self.ws();
+            let k = self.string();
+            self.eat(b':');
+            m.insert(k, self.value());
+            self.ws();
+            match self.s[self.i] {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(m);
+                }
+                c => panic!("unexpected {:?} in object", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut v = Vec::new();
+        self.ws();
+        if self.s[self.i] == b']' {
+            self.i += 1;
+            return Json::Arr(v);
+        }
+        loop {
+            v.push(self.value());
+            self.ws();
+            match self.s[self.i] {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(v);
+                }
+                c => panic!("unexpected {:?} in array", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        while self.s[self.i] != b'"' {
+            if self.s[self.i] == b'\\' {
+                self.i += 1;
+            }
+            out.push(self.s[self.i] as char);
+            self.i += 1;
+        }
+        self.i += 1;
+        out
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        Json::Num(
+            std::str::from_utf8(&self.s[start..self.i])
+                .unwrap()
+                .parse()
+                .expect("malformed number"),
+        )
+    }
+}
+
+/// One request's four stages plus a fault instant, exported and re-parsed.
+fn sample_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::span(EventKind::QueueWait, Outcome::Ok, 1, 0, 42, 1_000, 5_000),
+        TraceEvent::span(EventKind::Staging, Outcome::Ok, 1, 0, 42, 5_000, 6_000),
+        TraceEvent::span(EventKind::Forward, Outcome::Ok, 1, 0, 42, 6_000, 96_000),
+        TraceEvent::span(EventKind::Respond, Outcome::Ok, 1, 0, 42, 96_000, 97_500),
+        TraceEvent::instant(EventKind::WorkerPanic, 0, 3, 7, 50_000),
+    ]
+}
+
+#[test]
+fn chrome_trace_fields_parse_and_events_are_well_nested() {
+    let events = sample_events();
+    let json_text = chrome_trace_json(&events);
+    let root = Parser::parse(&json_text);
+    let Some(Json::Arr(trace_events)) = root.get("traceEvents") else {
+        panic!("missing traceEvents array");
+    };
+    assert_eq!(trace_events.len(), events.len());
+
+    let mut spans: Vec<(f64, f64)> = Vec::new();
+    for ev in trace_events {
+        // Required fields, with the types the trace viewers expect.
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let pid = ev.get("pid").and_then(Json::as_f64).expect("pid");
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid");
+        assert!(ts >= 0.0);
+        match ph {
+            "X" => {
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(dur >= 0.0);
+                assert_eq!(pid, 1.0, "stage spans carry the shard as pid");
+                assert_eq!(tid, 42.0, "stage spans carry the request as tid");
+                spans.push((ts, ts + dur));
+            }
+            "i" => {
+                assert_eq!(name, "worker_panic");
+                assert_eq!(
+                    ev.get("s").and_then(Json::as_str),
+                    Some("g"),
+                    "instants are global-scoped"
+                );
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    // Well-nested: the four stage spans of one request tile the
+    // end-to-end interval without overlap, in time order.
+    assert_eq!(spans.len(), 4);
+    for pair in spans.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].0 + 1e-9,
+            "stage spans must not overlap: {pair:?}"
+        );
+    }
+    let total: f64 = spans.iter().map(|(a, b)| b - a).sum();
+    let e2e = spans.last().unwrap().1 - spans.first().unwrap().0;
+    assert!(
+        (total - e2e).abs() < 1e-6,
+        "stages must tile the request: sum {total} vs end-to-end {e2e}"
+    );
+}
+
+#[test]
+fn timeline_groups_by_request_and_lists_instants() {
+    let text = timeline_text(&sample_events());
+    assert!(text.contains("request 42"));
+    assert!(text.contains("queue_wait"));
+    assert!(text.contains("forward"));
+    assert!(text.contains("instants:"));
+    assert!(text.contains("worker_panic"));
+}

@@ -17,6 +17,7 @@
 
 use crate::grid::Grid;
 use crate::units::{Distance, PixelPitch, Wavelength};
+use lr_obs::{KernelKind, KernelTimer};
 use lr_tensor::{
     fftshift_slice_into, ifftshift_slice_into, Complex64, Direction, Fft2, Fft2Workspace, Field,
     FieldBatch, PinnedCache, J,
@@ -578,7 +579,10 @@ impl FreeSpace {
                 for plane in batch.planes_mut() {
                     fft.process_slice_with(plane, Direction::Forward, &mut scratch.fft);
                 }
-                batch.hadamard_broadcast_assign(transfer);
+                {
+                    let _t = KernelTimer::start(KernelKind::Transfer);
+                    batch.hadamard_broadcast_assign(transfer);
+                }
                 for plane in batch.planes_mut() {
                     fft.process_slice_with(plane, Direction::Inverse, &mut scratch.fft);
                 }

@@ -174,6 +174,43 @@
 //!   older than the configured age — no manual [`Server::reclaim`] call,
 //!   same quiescence proof, no fence violations.
 //!
+//! ## The observability contract
+//!
+//! The runtime answers "where did the time go, and what went wrong?"
+//! without giving up the zero-allocation serve path:
+//!
+//! * **Stage-latency breakdown, always on.** Every completed request's
+//!   end-to-end latency is decomposed into four disjoint intervals that
+//!   sum exactly to it — `queue_wait` (admit → drained out of the shard
+//!   queue), `staging` (drained → batched forward started), `forward`
+//!   (the batched forward itself), and `respond` (forward done → client
+//!   woken) — recorded into global **and** per-shard HDR histograms and
+//!   surfaced as [`ServerStats::stage_latency`] /
+//!   [`ShardStats::stage_latency`]. The stage p50s sum to the end-to-end
+//!   p50 within HDR quantization error.
+//! * **Honest histograms.** A sample past the top HDR bucket clamps for
+//!   quantile purposes but bumps [`LatencySummary::overflow`] — top-bucket
+//!   saturation is never silent, and the serve suites assert it stays 0.
+//! * **Request-path tracing, zero-alloc when on, one branch when off.**
+//!   [`BatchPolicy::trace`] installs a seeded deterministic per-mille
+//!   sampler ([`TraceConfig`], same splitmix64 mixer as [`FaultPlan`]):
+//!   each sampled request's four stage spans are recorded into its
+//!   shard's fixed-capacity drop-oldest [`lr_obs::TraceRing`] (a cursor
+//!   `fetch_add` plus a seqlock slot write — no lock, no allocation,
+//!   proven by `tests/zero_alloc_serve.rs` with tracing enabled at 100%
+//!   sampling). Fault and lifecycle actions — worker panics, quarantine
+//!   flips, dispatcher respawns, deadline expiries, sheds, steals — are
+//!   recorded as **instant events** regardless of sampling (supervisor
+//!   actions go to a separate ring so request storms cannot overwrite
+//!   them).
+//! * **Exact loss under overrun.** [`Server::drain_trace`] returns every
+//!   event recorded since the last drain plus an exact `dropped` count;
+//!   [`TraceSnapshot::to_chrome_json`] renders Chrome trace-event JSON
+//!   (pid = shard, tid = request — load it in Perfetto) and
+//!   [`TraceSnapshot::to_timeline`] a human-readable per-request
+//!   timeline. `lr-bench serve --trace-out trace.json` wires this end to
+//!   end under chaos faults.
+//!
 //! ## Shard routing contract
 //!
 //! Requests route to `model_id % shards` (affinity keeps one model's
@@ -231,11 +268,18 @@ mod registry;
 mod server;
 
 pub use fault::{FaultKind, FaultPlan};
-pub use metrics::{LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats};
+pub use metrics::{
+    LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats, StageLatency,
+};
 pub use registry::{
     ModelId, ModelLifecycle, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant,
 };
 pub use server::{
     AdmissionPolicy, BatchPolicy, InProcessClient, PoolMode, ReclaimPolicy, ServeError, Server,
-    Transport,
+    TraceSnapshot, Transport,
 };
+
+// Tracing building blocks, re-exported so serving users configure
+// [`BatchPolicy::trace`] and consume [`TraceSnapshot::events`] without a
+// direct `lr-obs` dependency.
+pub use lr_obs::{EventKind, Outcome, TraceConfig, TraceEvent};

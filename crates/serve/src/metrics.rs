@@ -3,9 +3,12 @@
 //!
 //! The latency histogram is HDR-style: fixed log₂ octaves subdivided into
 //! 8 linear sub-buckets, giving ≤ ~12% relative quantile error across the
-//! full nanosecond-to-minutes range with a constant 512-slot array of
+//! full nanosecond-to-days range with a constant 384-slot array of
 //! atomics — recording is two shifts, a mask, and one `fetch_add`, and
 //! never allocates (part of the serve-path zero-allocation contract).
+//! Values past the top bucket clamp into it but bump an overflow counter
+//! surfaced in [`LatencySummary::overflow`], so saturation is never
+//! silent.
 //!
 //! The sharded runtime keeps **per-shard** counters and histograms (fixed
 //! at server start) next to the global ones, so imbalance, stealing, and
@@ -23,8 +26,11 @@ use std::time::Instant;
 /// Sub-buckets per octave (3 bits of mantissa below the leading bit).
 const SUB_BITS: u32 = 3;
 const SUBS: usize = 1 << SUB_BITS;
-/// Values below `SUBS` get exact unit buckets.
-const BUCKETS: usize = 512;
+/// Values below `SUBS` get exact unit buckets. 384 buckets cover octaves
+/// up through 49 — every value below 2⁵⁰ ns (≈ 13 days) lands in a real
+/// bucket; anything past that clamps into the top bucket **and** bumps
+/// the overflow counter, so top-bucket saturation is never silent.
+const BUCKETS: usize = 384;
 
 /// A fixed-size log-linear latency histogram with atomic buckets.
 #[derive(Debug)]
@@ -33,6 +39,10 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Samples whose value exceeded the top bucket's range (they clamp
+    /// into the top bucket for quantile purposes, but the saturation is
+    /// surfaced via [`LatencySummary::overflow`] instead of being silent).
+    overflow: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -49,17 +59,19 @@ impl LatencyHistogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }
     }
 
+    /// Raw (unclamped) bucket index: `>= BUCKETS` means the value
+    /// overflows the histogram's range.
     fn index_for(ns: u64) -> usize {
         if ns < SUBS as u64 {
             return ns as usize;
         }
         let octave = 63 - ns.leading_zeros();
         let sub = ((ns >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
-        let idx = SUBS + (octave - SUB_BITS) as usize * SUBS + sub;
-        idx.min(BUCKETS - 1)
+        SUBS + (octave - SUB_BITS) as usize * SUBS + sub
     }
 
     /// Representative (midpoint) value of bucket `idx`.
@@ -77,7 +89,13 @@ impl LatencyHistogram {
 
     /// Records one latency sample, in nanoseconds. Never allocates.
     pub fn record(&self, ns: u64) {
-        self.buckets[Self::index_for(ns)].fetch_add(1, Ordering::Relaxed);
+        let idx = Self::index_for(ns);
+        if idx >= BUCKETS {
+            // Past the top bucket (≥ 2⁵⁰ ns): clamp for quantiles, but
+            // never silently — the serve suites assert this stays 0.
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -86,6 +104,11 @@ impl LatencyHistogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Samples that clamped into the top bucket (value ≥ 2⁵⁰ ns).
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Approximate latency at quantile `q ∈ [0, 1]`, in nanoseconds
@@ -133,6 +156,7 @@ impl LatencyHistogram {
             p95_ns: self.quantile_ns(0.95),
             p99_ns: self.quantile_ns(0.99),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            overflow: self.overflow(),
         }
     }
 }
@@ -152,6 +176,67 @@ pub struct LatencySummary {
     pub p99_ns: u64,
     /// Worst observed latency (ns, exact).
     pub max_ns: u64,
+    /// Samples past the histogram's top bucket (≥ 2⁵⁰ ns). They clamp
+    /// into the top bucket for quantile purposes; a nonzero value means
+    /// the quantiles above p50 are untrustworthy. The serve suites
+    /// assert this stays 0.
+    pub overflow: u64,
+}
+
+/// Per-stage latency breakdown of completed requests: every request's
+/// end-to-end latency is decomposed into four disjoint intervals that sum
+/// exactly to it — admit → dequeue (`queue_wait`), dequeue → forward
+/// start (`staging`, includes the deadline sweep, staged-batch publish,
+/// delivery processing, and input staging), the batched `forward`
+/// itself, and forward end → client woken (`respond`). Always on:
+/// recording is four histogram updates per completed request,
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageLatency {
+    /// Admit → drained out of the shard queue.
+    pub queue_wait: LatencySummary,
+    /// Drained → batched forward started.
+    pub staging: LatencySummary,
+    /// The batched forward execution.
+    pub forward: LatencySummary,
+    /// Forward done → logits written back and the client woken.
+    pub respond: LatencySummary,
+}
+
+/// The recording half of [`StageLatency`]: four always-on histograms.
+#[derive(Debug)]
+struct StageHistograms {
+    queue_wait: LatencyHistogram,
+    staging: LatencyHistogram,
+    forward: LatencyHistogram,
+    respond: LatencyHistogram,
+}
+
+impl StageHistograms {
+    fn new() -> Self {
+        StageHistograms {
+            queue_wait: LatencyHistogram::new(),
+            staging: LatencyHistogram::new(),
+            forward: LatencyHistogram::new(),
+            respond: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&self, queue_ns: u64, staging_ns: u64, forward_ns: u64, respond_ns: u64) {
+        self.queue_wait.record(queue_ns);
+        self.staging.record(staging_ns);
+        self.forward.record(forward_ns);
+        self.respond.record(respond_ns);
+    }
+
+    fn summary(&self) -> StageLatency {
+        StageLatency {
+            queue_wait: self.queue_wait.summary(),
+            staging: self.staging.summary(),
+            forward: self.forward.summary(),
+            respond: self.respond.summary(),
+        }
+    }
 }
 
 /// Per-model served-request counters in a [`ServerStats`] snapshot.
@@ -179,6 +264,8 @@ pub struct ShardStats {
     pub stolen: u64,
     /// End-to-end latency distribution of requests completed by this shard.
     pub latency: LatencySummary,
+    /// Per-stage decomposition of this shard's completed requests.
+    pub stage_latency: StageLatency,
 }
 
 /// Point-in-time snapshot of the serving runtime's health.
@@ -238,6 +325,10 @@ pub struct ServerStats {
     pub throughput_rps: f64,
     /// End-to-end (enqueue → response ready) latency distribution.
     pub latency: LatencySummary,
+    /// Per-stage decomposition of the end-to-end latency: the four
+    /// intervals sum exactly to `latency` per request, so the stage p50s
+    /// sum to the end-to-end p50 within HDR quantization error.
+    pub stage_latency: StageLatency,
     /// Heap bytes currently resident in per-worker model workspaces
     /// across every shard. Grows with (live) registration, shrinks when
     /// [`crate::Server::reclaim`] drops a retired model's workspaces —
@@ -267,6 +358,7 @@ struct ShardMetrics {
     batches: AtomicU64,
     stolen: AtomicU64,
     latency: LatencyHistogram,
+    stage: StageHistograms,
 }
 
 impl ShardMetrics {
@@ -276,6 +368,7 @@ impl ShardMetrics {
             batches: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            stage: StageHistograms::new(),
         }
     }
 }
@@ -287,6 +380,7 @@ impl ShardMetrics {
 pub(crate) struct MetricsCore {
     started: Instant,
     pub(crate) latency: LatencyHistogram,
+    stage: StageHistograms,
     completed: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
@@ -312,6 +406,7 @@ impl MetricsCore {
         MetricsCore {
             started: Instant::now(),
             latency: LatencyHistogram::new(),
+            stage: StageHistograms::new(),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -352,6 +447,23 @@ impl MetricsCore {
         let sh = &self.shards[shard];
         sh.completed.fetch_add(1, Ordering::Relaxed);
         sh.latency.record(latency_ns);
+    }
+
+    /// Records one completed request's per-stage decomposition (global +
+    /// per-shard). Always on; four histogram updates, allocation-free.
+    pub(crate) fn record_stages(
+        &self,
+        shard: usize,
+        queue_ns: u64,
+        staging_ns: u64,
+        forward_ns: u64,
+        respond_ns: u64,
+    ) {
+        self.stage
+            .record(queue_ns, staging_ns, forward_ns, respond_ns);
+        self.shards[shard]
+            .stage
+            .record(queue_ns, staging_ns, forward_ns, respond_ns);
     }
 
     pub(crate) fn record_rejected(&self) {
@@ -453,6 +565,7 @@ impl MetricsCore {
             },
             throughput_rps: completed as f64 / uptime,
             latency: self.latency.summary(),
+            stage_latency: self.stage.summary(),
             resident_workspace_bytes,
             reclaimed_models: self.reclaimed_models.load(Ordering::Relaxed),
             reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
@@ -477,6 +590,7 @@ impl MetricsCore {
                     batches: sh.batches.load(Ordering::Relaxed),
                     stolen: sh.stolen.load(Ordering::Relaxed),
                     latency: sh.latency.summary(),
+                    stage_latency: sh.stage.summary(),
                 })
                 .collect(),
         }
@@ -551,6 +665,57 @@ mod tests {
         // top quantile lands in the outlier's bucket, within HDR error).
         assert!(h.quantile_ns(0.5) <= 200);
         assert!(h.quantile_ns(1.0) >= 900_000_000);
+    }
+
+    /// Top-bucket saturation must never be silent: a value past the
+    /// histogram's range clamps for quantile purposes but bumps the
+    /// overflow counter surfaced in the summary.
+    #[test]
+    fn top_bucket_saturation_is_counted_not_silent() {
+        let h = LatencyHistogram::new();
+        h.record(100);
+        assert_eq!(h.overflow(), 0);
+        h.record(u64::MAX); // far past 2⁵⁰ ns
+        h.record(1u64 << 60);
+        let s = h.summary();
+        assert_eq!(s.overflow, 2, "both out-of-range samples must be counted");
+        assert_eq!(s.count, 3, "overflowed samples still count toward totals");
+        assert_eq!(s.max_ns, u64::MAX, "max stays exact");
+        // The largest in-range value still lands in a real bucket.
+        let h2 = LatencyHistogram::new();
+        h2.record((1u64 << 50) - 1);
+        assert_eq!(h2.overflow(), 0);
+    }
+
+    #[test]
+    fn stage_histograms_summarize_each_stage_independently() {
+        let st = StageHistograms::new();
+        for _ in 0..100 {
+            st.record(1_000, 500, 10_000, 200);
+        }
+        let s = st.summary();
+        assert_eq!(s.queue_wait.count, 100);
+        assert_eq!(s.forward.count, 100);
+        // Each stage's p50 sits on its own value, within HDR error.
+        assert!(s.queue_wait.p50_ns >= 900 && s.queue_wait.p50_ns <= 1_100);
+        assert!(s.staging.p50_ns >= 450 && s.staging.p50_ns <= 550);
+        assert!(s.forward.p50_ns >= 9_000 && s.forward.p50_ns <= 11_000);
+        assert!(s.respond.p50_ns >= 180 && s.respond.p50_ns <= 220);
+        assert_eq!(
+            s.queue_wait.overflow + s.staging.overflow + s.forward.overflow + s.respond.overflow,
+            0
+        );
+    }
+
+    #[test]
+    fn record_stages_feeds_global_and_per_shard_breakdowns() {
+        let m = MetricsCore::new(1, 2);
+        m.record_stages(1, 1_000, 500, 10_000, 200);
+        let s = m.snapshot(0, &[(ModelId(0), "a".to_string(), 1)], 0);
+        assert_eq!(s.stage_latency.queue_wait.count, 1);
+        assert_eq!(s.per_shard[0].stage_latency.queue_wait.count, 0);
+        assert_eq!(s.per_shard[1].stage_latency.queue_wait.count, 1);
+        assert_eq!(s.per_shard[1].stage_latency.forward.max_ns, 10_000);
     }
 
     #[test]

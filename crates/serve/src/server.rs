@@ -44,6 +44,7 @@ use crate::registry::{
 use arc_swap::ArcSwap;
 use lightridge::deploy::HardwareEnvironment;
 use lightridge::DonnModel;
+use lr_obs::{DrainStats, EventKind, Outcome, TraceConfig, TraceEvent, TraceRing};
 use lr_tensor::parallel::{self, PoolPartition, SubmitTimeout};
 use lr_tensor::Field;
 use std::collections::VecDeque;
@@ -163,6 +164,12 @@ pub struct BatchPolicy {
     /// Deterministic fault injection plan ([`FaultPlan`]); `None` (the
     /// default) disables every fault seam at the cost of one branch.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Request-path tracing ([`TraceConfig`]): seeded deterministic
+    /// per-mille sampling into per-shard drop-oldest trace rings, drained
+    /// via [`Server::drain_trace`]. `None` (the default) disables every
+    /// trace seam at the cost of one branch — the serve path stays
+    /// allocation-free either way (recording is a ring-slot write).
+    pub trace: Option<Arc<TraceConfig>>,
 }
 
 impl Default for BatchPolicy {
@@ -182,6 +189,7 @@ impl Default for BatchPolicy {
             quarantine_after: 3,
             supervisor_tick: Duration::from_millis(5),
             faults: None,
+            trace: None,
         }
     }
 }
@@ -290,11 +298,22 @@ struct SlotState {
     input: Field,
     logits: Vec<f64>,
     enqueued_at: Instant,
+    /// Stamped by the dispatcher's pre-staging sweep when the request
+    /// leaves the queues for good: the boundary between the `queue_wait`
+    /// and `staging` stages of the latency breakdown.
+    drained_at: Instant,
     /// Absolute deadline: submission time plus
     /// [`BatchPolicy::default_deadline`] unless the client overrode it.
     /// Mirrored into the queue entry so shed decisions read it without
     /// the slot lock.
     deadline: Instant,
+    /// Server-wide request sequence number, assigned at admission when
+    /// tracing is on (0 otherwise). Identifies the request in trace
+    /// events and drives the deterministic sampling decision.
+    request: u64,
+    /// Whether this request's stage spans are recorded into the trace
+    /// ring ([`TraceConfig::sampled`]; always false when tracing is off).
+    sampled: bool,
 }
 
 /// One client's reusable request cell: the input/output buffers live here
@@ -317,7 +336,10 @@ impl RequestSlot {
                 input: Field::zeros(1, 1),
                 logits: Vec::new(),
                 enqueued_at: Instant::now(),
+                drained_at: Instant::now(),
                 deadline: Instant::now(),
+                request: 0,
+                sampled: false,
             }),
             cv: Condvar::new(),
         }
@@ -452,6 +474,61 @@ struct SupervisorInbox {
     stop: bool,
 }
 
+/// The server's tracing state: one drop-oldest ring per shard (written by
+/// that shard's dispatcher and by admission-side instants), plus one
+/// supervisor ring for lifecycle instants (quarantine flips, dispatcher
+/// respawns). All timestamps are nanoseconds since `epoch`, so one trace's
+/// events share a single monotonic timebase.
+struct Tracer {
+    config: Arc<TraceConfig>,
+    /// Timebase zero for every event in this server's trace.
+    epoch: Instant,
+    shard_rings: Vec<TraceRing>,
+    supervisor_ring: TraceRing,
+    /// Server-wide request sequence; the sampling input.
+    next_request: AtomicU64,
+}
+
+impl Tracer {
+    /// Nanoseconds since the trace epoch, saturating at 0.
+    #[inline]
+    fn ns_of(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.ns_of(Instant::now())
+    }
+}
+
+/// Everything [`Server::drain_trace`] pulled out of the trace rings: the
+/// events (sorted by start time) plus how many were lost to ring overrun
+/// since the previous drain.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Drained trace events, sorted by start timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten (ring overrun) or torn before they could be
+    /// drained — exact: `events.len() + dropped` equals everything
+    /// recorded since the last drain.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Renders the snapshot in Chrome trace-event JSON (load in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>): pid = shard,
+    /// tid = request, stage spans as complete events, faults as instants.
+    pub fn to_chrome_json(&self) -> String {
+        lr_obs::chrome_trace_json(&self.events)
+    }
+
+    /// Renders the snapshot as a human-readable per-request timeline.
+    pub fn to_timeline(&self) -> String {
+        lr_obs::timeline_text(&self.events)
+    }
+}
+
 /// Shared core between the server handle, clients, and the dispatchers.
 struct ServerCore {
     registry: SharedRegistry,
@@ -495,6 +572,9 @@ struct ServerCore {
     /// never come.
     shutting_down: AtomicBool,
     metrics: MetricsCore,
+    /// Request-path tracing state; `None` (the default) keeps every trace
+    /// seam to a single branch, mirroring the fault seams.
+    tracer: Option<Tracer>,
 }
 
 impl ServerCore {
@@ -601,6 +681,127 @@ impl ServerCore {
         match &self.policy.faults {
             Some(plan) if plan.fires(FaultKind::SlowWorker) => Some(plan.stall()),
             _ => None,
+        }
+    }
+
+    /// Trace seam, admission side: assigns the next server-wide request id
+    /// and decides (deterministically) whether its spans are sampled.
+    /// `(0, false)` — one branch — when tracing is off.
+    #[inline]
+    fn trace_admit(&self) -> (u64, bool) {
+        match &self.tracer {
+            Some(t) => {
+                let request = t.next_request.fetch_add(1, Ordering::Relaxed);
+                (request, t.config.sampled(request))
+            }
+            None => (0, false),
+        }
+    }
+
+    /// Trace seam: records a fault/lifecycle instant into `shard`'s ring.
+    /// One branch when tracing is off; a ring-slot write when on.
+    #[inline]
+    fn trace_instant(&self, kind: EventKind, shard: usize, model: usize, request: u64) {
+        if let Some(t) = &self.tracer {
+            t.shard_rings[shard].record(&TraceEvent::instant(
+                kind,
+                shard,
+                model,
+                request,
+                t.now_ns(),
+            ));
+        }
+    }
+
+    /// Trace seam for supervisor-side lifecycle instants (quarantine
+    /// flips, dispatcher respawns): they land in the supervisor ring so a
+    /// storm of request events cannot overwrite them.
+    #[inline]
+    fn trace_supervisor_instant(&self, kind: EventKind, shard: usize, model: usize) {
+        if let Some(t) = &self.tracer {
+            t.supervisor_ring
+                .record(&TraceEvent::instant(kind, shard, model, 0, t.now_ns()));
+        }
+    }
+
+    /// Records one completed request's timing: always feeds the per-stage
+    /// latency histograms, and — for sampled requests under tracing —
+    /// the four stage spans into the shard's trace ring. The four
+    /// intervals are adjacent by construction (each boundary instant is
+    /// shared), so the spans tile the request and the stage durations sum
+    /// exactly to `done - enqueued`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn record_request_timing(
+        &self,
+        shard: usize,
+        model: usize,
+        request: u64,
+        sampled: bool,
+        enqueued: Instant,
+        drained: Instant,
+        forward_start: Instant,
+        forward_end: Instant,
+        done: Instant,
+    ) {
+        let ns = |later: Instant, earlier: Instant| {
+            u64::try_from(later.saturating_duration_since(earlier).as_nanos()).unwrap_or(u64::MAX)
+        };
+        self.metrics.record_stages(
+            shard,
+            ns(drained, enqueued),
+            ns(forward_start, drained),
+            ns(forward_end, forward_start),
+            ns(done, forward_end),
+        );
+        if sampled {
+            if let Some(t) = &self.tracer {
+                let ring = &t.shard_rings[shard];
+                let (e, d, fs, fe, dn) = (
+                    t.ns_of(enqueued),
+                    t.ns_of(drained),
+                    t.ns_of(forward_start),
+                    t.ns_of(forward_end),
+                    t.ns_of(done),
+                );
+                let ok = Outcome::Ok;
+                ring.record(&TraceEvent::span(
+                    EventKind::QueueWait,
+                    ok,
+                    shard,
+                    model,
+                    request,
+                    e,
+                    d,
+                ));
+                ring.record(&TraceEvent::span(
+                    EventKind::Staging,
+                    ok,
+                    shard,
+                    model,
+                    request,
+                    d,
+                    fs,
+                ));
+                ring.record(&TraceEvent::span(
+                    EventKind::Forward,
+                    ok,
+                    shard,
+                    model,
+                    request,
+                    fs,
+                    fe,
+                ));
+                ring.record(&TraceEvent::span(
+                    EventKind::Respond,
+                    ok,
+                    shard,
+                    model,
+                    request,
+                    fe,
+                    dn,
+                ));
+            }
         }
     }
 
@@ -719,6 +920,14 @@ impl InProcessClient {
         }
         if Instant::now() >= deadline {
             self.core.metrics.record_deadline_expired();
+            // No request id yet (assignment happens at slot staging);
+            // attributable by shard/model and timestamp.
+            self.core.trace_instant(
+                EventKind::DeadlineExpired,
+                self.core.shard_of(model),
+                model.0,
+                0,
+            );
             return Err(ServeError::Deadline);
         }
         // Fault seam: refuse one admission as if the queue were full.
@@ -736,6 +945,7 @@ impl InProcessClient {
         // refcount drop, not an allocation).
         drop(snapshot);
         // Stage the request in our slot (slot lock only).
+        let (request, sampled) = self.core.trace_admit();
         {
             let mut st = self.slot.lock();
             debug_assert_eq!(
@@ -746,6 +956,8 @@ impl InProcessClient {
             st.model = model;
             st.entry = Some(entry);
             st.ticket = st.ticket.wrapping_add(1);
+            st.request = request;
+            st.sampled = sampled;
             if st.input.shape() != input.shape() {
                 st.input = input.clone();
             } else {
@@ -830,9 +1042,18 @@ impl InProcessClient {
                 shard.work_cv.notify_all();
                 self.core.notify_siblings_if_hot(shard_idx);
                 if let Some(victim) = victim {
-                    let victim_model = victim.lock().model;
+                    let (victim_model, victim_request) = {
+                        let st = victim.lock();
+                        (st.model, st.request)
+                    };
                     self.core.inflight_release(victim_model);
                     self.core.metrics.record_shed();
+                    self.core.trace_instant(
+                        EventKind::Shed,
+                        shard_idx,
+                        victim_model.0,
+                        victim_request,
+                    );
                     victim.fail(ServeError::Shed);
                 }
             }
@@ -907,6 +1128,15 @@ impl Server {
         let shared = SharedRegistry::new(registry);
         let snapshot = shared.load();
         let max_batch = policy.max_batch;
+        let tracer = policy.trace.as_ref().map(|cfg| Tracer {
+            config: Arc::clone(cfg),
+            epoch: Instant::now(),
+            shard_rings: (0..num_shards)
+                .map(|_| TraceRing::new(cfg.ring_capacity))
+                .collect(),
+            supervisor_ring: TraceRing::new(cfg.ring_capacity),
+            next_request: AtomicU64::new(0),
+        });
         let core = Arc::new(ServerCore {
             lifecycle: Mutex::new(()),
             lifecycle_cv: Condvar::new(),
@@ -937,6 +1167,7 @@ impl Server {
                 .map(|_| Shard::new(policy.queue_cap, max_batch))
                 .collect(),
             ctxs_per_shard: ctxs_per_shard.clone(),
+            tracer,
             policy,
             registry: shared,
         });
@@ -1164,6 +1395,30 @@ impl Server {
         self.core
             .metrics
             .snapshot(snapshot.epoch, &live, self.core.resident_total())
+    }
+
+    /// Drains every trace ring (per-shard + supervisor) into one
+    /// [`TraceSnapshot`], sorted by start timestamp. `None` when the
+    /// server was started without [`BatchPolicy::trace`]. Each call
+    /// returns only events recorded since the previous drain; loss under
+    /// ring overrun is exact (`dropped`), never silent.
+    pub fn drain_trace(&self) -> Option<TraceSnapshot> {
+        let t = self.core.tracer.as_ref()?;
+        let mut events = Vec::new();
+        let mut stats = DrainStats::default();
+        for ring in &t.shard_rings {
+            let s = ring.drain_into(&mut events);
+            stats.drained += s.drained;
+            stats.dropped += s.dropped;
+        }
+        let s = t.supervisor_ring.drain_into(&mut events);
+        stats.drained += s.drained;
+        stats.dropped += s.dropped;
+        events.sort_by_key(|e| (e.t_start_ns, e.request, e.kind));
+        Some(TraceSnapshot {
+            events,
+            dropped: stats.dropped,
+        })
     }
 
     /// Stops accepting requests, fails everything still queued with
@@ -1503,6 +1758,7 @@ fn respawn_dead_dispatchers(core: &Arc<ServerCore>) {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)[s] = Some(handle);
         core.metrics.record_dispatcher_respawn();
+        core.trace_supervisor_instant(EventKind::Respawn, s, 0);
         // Wake the new dispatcher: work may have queued while the shard
         // was down, and a reclaim may be waiting on this shard's fence.
         {
@@ -1551,6 +1807,7 @@ fn apply_quarantines(core: &Arc<ServerCore>) {
                 entries,
             });
             core.metrics.record_quarantined();
+            core.trace_supervisor_instant(EventKind::Quarantine, core.shard_of(model), model.0);
         }
         // Already quarantined/retired/reclaimed: nothing to flip.
     }
@@ -1661,6 +1918,17 @@ fn dispatcher_loop(
             Collected::Work { stolen } => {
                 if stolen > 0 {
                     core.metrics.record_stolen(shard_idx, stolen as u64);
+                    // A steal fills an empty batch, so every entry here
+                    // was stolen; the slots are exclusively ours.
+                    if core.tracer.is_some() {
+                        for slot in &batch {
+                            let (model, request) = {
+                                let st = slot.lock();
+                                (st.model, st.request)
+                            };
+                            core.trace_instant(EventKind::Steal, shard_idx, model.0, request);
+                        }
+                    }
                 }
             }
         }
@@ -1675,13 +1943,20 @@ fn dispatcher_loop(
         let now = Instant::now();
         let mut kept = 0;
         for i in 0..batch.len() {
-            let (expired, ticket, model) = {
-                let st = batch[i].lock();
-                (st.deadline <= now, st.ticket, st.model)
+            let (expired, ticket, model, request) = {
+                let mut st = batch[i].lock();
+                let expired = st.deadline <= now;
+                if !expired {
+                    // The queue_wait/staging stage boundary: this request
+                    // is out of every queue for good.
+                    st.drained_at = now;
+                }
+                (expired, st.ticket, st.model, st.request)
             };
             if expired {
                 core.inflight_release(model);
                 core.metrics.record_deadline_expired();
+                core.trace_instant(EventKind::DeadlineExpired, shard_idx, model.0, request);
                 batch[i].fail(ServeError::Deadline);
             } else {
                 tickets.push(ticket);
@@ -1724,6 +1999,7 @@ fn dispatcher_loop(
         }));
         if outcome.is_err() {
             core.metrics.record_worker_panic();
+            core.trace_instant(EventKind::WorkerPanic, shard_idx, 0, 0);
             recover_failed_batch(&core, &batch, &tickets);
         }
         shard.lock_staged().clear();
@@ -1978,12 +2254,16 @@ fn drain_on_shutdown(core: &ServerCore, shard: &Shard, mut q: MutexGuard<'_, Sha
 
 /// Sheds a whole batch because the shared pool's job slot stayed busy past
 /// the bounded submission wait (nothing in the batch has executed).
-fn shed_batch_on_pool_timeout(core: &ServerCore, batch: &[Arc<RequestSlot>]) {
+fn shed_batch_on_pool_timeout(core: &ServerCore, shard_idx: usize, batch: &[Arc<RequestSlot>]) {
     core.metrics.record_pool_timeout();
     for slot in batch {
-        let model = slot.lock().model;
+        let (model, request) = {
+            let st = slot.lock();
+            (st.model, st.request)
+        };
         core.inflight_release(model);
         core.metrics.record_shed();
+        core.trace_instant(EventKind::Shed, shard_idx, model.0, request);
         slot.fail(ServeError::Shed);
     }
 }
@@ -2005,7 +2285,7 @@ fn execute_batch(
     // Fault seam: behave exactly as if the pool's job slot stayed busy
     // past the bounded wait — the whole batch is shed, nothing executes.
     if core.fault_fires(FaultKind::SubmitTimeout) {
-        shed_batch_on_pool_timeout(core, batch);
+        shed_batch_on_pool_timeout(core, shard_idx, batch);
         return;
     }
     let workers = ctxs.len().min(n).max(1);
@@ -2030,7 +2310,7 @@ fn execute_batch(
     };
     match submitted {
         Ok(()) => core.metrics.record_batch(shard_idx),
-        Err(SubmitTimeout) => shed_batch_on_pool_timeout(core, batch),
+        Err(SubmitTimeout) => shed_batch_on_pool_timeout(core, shard_idx, batch),
     }
 }
 
@@ -2069,7 +2349,10 @@ fn serve_range(
         }));
         match outcome {
             Ok(()) => core.note_serve_ok(model),
-            Err(_) => recover_failed_run(core, ctx, model, run),
+            Err(_) => {
+                core.trace_instant(EventKind::WorkerPanic, shard_idx, model.0, 0);
+                recover_failed_run(core, ctx, model, run);
+            }
         }
         i = j;
     }
@@ -2204,19 +2487,29 @@ fn serve_run(
             ws.load_input(b, &st.input);
         }
     }
-    // One batched forward for the whole coalesced run.
+    // One batched forward for the whole coalesced run; its boundaries are
+    // the staging/forward and forward/respond stage boundaries for every
+    // request of the run.
+    let forward_start = Instant::now();
     entry.infer_staged_batch(&mut ctx.workspaces[model.0]);
+    let forward_end = Instant::now();
     core.metrics.record_batched_execution(run.len() as u64);
     // Distribute staged logits and wake the clients.
     let VariantWorkspace::Emulated(ws) = &ctx.workspaces[model.0] else {
         unreachable!("batchable checked above");
     };
     for (b, slot) in run.iter().enumerate() {
-        let latency_ns = {
+        let (latency_ns, enqueued, drained, request, sampled) = {
             let mut st = slot.lock();
             st.logits.clear();
             st.logits.extend_from_slice(ws.staged_logits(b));
-            u64::try_from(st.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            (
+                u64::try_from(st.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                st.enqueued_at,
+                st.drained_at,
+                st.request,
+                st.sampled,
+            )
         };
         // Retire in-flight accounting *before* the client is woken, same
         // as the per-sample path.
@@ -2226,6 +2519,17 @@ fn serve_run(
         drop(st);
         core.metrics
             .record_completed(shard_idx, model.0, latency_ns);
+        core.record_request_timing(
+            shard_idx,
+            model.0,
+            request,
+            sampled,
+            enqueued,
+            drained,
+            forward_start,
+            forward_end,
+            Instant::now(),
+        );
         slot.cv.notify_all();
     }
 }
@@ -2238,7 +2542,7 @@ fn serve_run(
 /// slot's own pinned entry (version-flip safe), the in-flight decrement is
 /// atomic, and only then is the client woken.
 fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &RequestSlot) {
-    let (model, latency_ns) = {
+    let (model, latency_ns, enqueued, drained, forward_start, forward_end, request, sampled) = {
         let mut st = slot.lock();
         debug_assert_eq!(st.stage, Stage::Queued, "drained slot must be queued");
         let state = &mut *st;
@@ -2262,14 +2566,22 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
             // a break here unwinds into run-level recovery and reaches
             // the client as a typed `WorkerPanic`.
             .expect("queued slot carries its pinned entry");
+        let forward_start = Instant::now();
         entry.infer_into(
             &state.input,
             &mut ctx.workspaces[model.0],
             &mut state.logits,
         );
+        let forward_end = Instant::now();
         (
             model,
             u64::try_from(state.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            state.enqueued_at,
+            state.drained_at,
+            forward_start,
+            forward_end,
+            state.request,
+            state.sampled,
         )
     };
     // Retire in-flight accounting *before* the client is woken — a
@@ -2281,6 +2593,17 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
     drop(st);
     core.metrics
         .record_completed(shard_idx, model.0, latency_ns);
+    core.record_request_timing(
+        shard_idx,
+        model.0,
+        request,
+        sampled,
+        enqueued,
+        drained,
+        forward_start,
+        forward_end,
+        Instant::now(),
+    );
     slot.cv.notify_all();
 }
 

@@ -1,0 +1,355 @@
+//! Request-path tracing suite: span timelines, stage-latency breakdown,
+//! deterministic sampling, and fault attribution.
+//!
+//! The contract under test: tracing off → [`Server::drain_trace`] is
+//! `None` and nothing records; tracing on → every sampled request's four
+//! stage spans tile its end-to-end interval, the always-on stage
+//! histograms decompose the end-to-end latency (stage p50s sum to the
+//! end-to-end p50 within HDR error), faults surface as instant events
+//! attributable to the failures clients saw, sampling is deterministic in
+//! the seed, and no histogram ever saturates silently.
+//!
+//! Each `#[test]` uses its own geometry (grid size / pitch / distance) so
+//! the process-global caches shared by tests running in parallel threads
+//! never alias across tests.
+
+use lightridge::{Detector, DonnBuilder, DonnModel};
+use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
+use lr_serve::{
+    BatchPolicy, EventKind, FaultKind, FaultPlan, LatencySummary, ModelRegistry, ReadoutMode,
+    ServeError, Server, StageLatency, TraceConfig, TraceEvent, Transport,
+};
+use lr_tensor::{Complex64, Field};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn donn(n: usize, depth: usize, seed: u64, pitch_um: f64, dist_mm: f64) -> DonnModel {
+    let grid = Grid::square(n, PixelPitch::from_um(pitch_um));
+    DonnBuilder::new(grid, Wavelength::from_nm(532.0))
+        .distance(Distance::from_mm(dist_mm))
+        .diffractive_layers(depth)
+        .detector(Detector::grid_layout(n, n, 4, n / 6))
+        .init_seed(seed)
+        .build()
+}
+
+fn sample(n: usize, phase: usize) -> Field {
+    Field::from_fn(n, n, |r, c| {
+        Complex64::from_real(if (r + c + phase) % 5 < 2 { 1.0 } else { 0.0 })
+    })
+}
+
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.contains("injected fault")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn assert_no_overflow(s: &StageLatency, ctx: &str) {
+    for (name, stage) in [
+        ("queue_wait", &s.queue_wait),
+        ("staging", &s.staging),
+        ("forward", &s.forward),
+        ("respond", &s.respond),
+    ] {
+        assert_eq!(stage.overflow, 0, "{ctx}: {name} histogram saturated");
+    }
+}
+
+/// Tracing off is the default and must be invisible: no snapshot, no
+/// request ids — while the always-on stage breakdown still decomposes
+/// every completed request.
+#[test]
+fn tracing_off_returns_none_but_stages_still_record() {
+    let model = donn(12, 1, 601, 29.5, 11.0);
+    let input = sample(12, 0);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
+    let server = Server::start(registry, BatchPolicy::default());
+    let id = server.resolve("m", None).unwrap();
+    let mut client = server.client();
+    let mut logits = Vec::new();
+    for _ in 0..16 {
+        client.infer(id, &input, &mut logits).unwrap();
+    }
+    assert!(
+        server.drain_trace().is_none(),
+        "no TraceConfig installed → no trace snapshot"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.stage_latency.queue_wait.count, 16);
+    assert_eq!(stats.stage_latency.forward.count, 16);
+    assert!(
+        stats.stage_latency.forward.p50_ns > 0,
+        "a real forward takes measurable time"
+    );
+    assert_no_overflow(&stats.stage_latency, "global");
+    server.shutdown();
+}
+
+/// The heart of the tentpole: at 100% sampling every completed request
+/// contributes exactly four stage spans that tile its end-to-end interval
+/// (shared boundaries, no gaps, no overlap), the spans' total equals the
+/// stage histograms' decomposition, and the stage p50s sum to the
+/// end-to-end p50 within HDR quantization error.
+#[test]
+fn sampled_spans_tile_requests_and_stage_p50s_sum_to_e2e() {
+    const REQUESTS: u64 = 200;
+    let model = donn(16, 2, 602, 30.5, 13.0);
+    let input = sample(16, 1);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 1,
+            trace: Some(Arc::new(TraceConfig {
+                sample_per_mille: 1000,
+                ring_capacity: 4096,
+                ..TraceConfig::default()
+            })),
+            ..BatchPolicy::default()
+        },
+    );
+    let id = server.resolve("m", None).unwrap();
+    let mut client = server.client();
+    let mut logits = Vec::new();
+    for _ in 0..REQUESTS {
+        client.infer(id, &input, &mut logits).unwrap();
+    }
+
+    let snapshot = server.drain_trace().expect("tracing is on");
+    assert_eq!(snapshot.dropped, 0, "ring sized for the run — no overrun");
+    let spans: Vec<&TraceEvent> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.event_kind().is_span())
+        .collect();
+    assert_eq!(
+        spans.len() as u64,
+        4 * REQUESTS,
+        "100% sampling → four stage spans per completed request"
+    );
+
+    // Group by request id: each request has exactly the four stages, in
+    // order, sharing boundaries (queue_wait.end == staging.start, ...).
+    let mut requests: HashSet<u64> = HashSet::new();
+    for span in &spans {
+        requests.insert(span.request);
+    }
+    assert_eq!(requests.len() as u64, REQUESTS);
+    for req in &requests {
+        let mut stages: Vec<&&TraceEvent> = spans.iter().filter(|e| e.request == *req).collect();
+        stages.sort_by_key(|e| e.t_start_ns);
+        assert_eq!(stages.len(), 4);
+        let kinds: Vec<EventKind> = stages.iter().map(|e| e.event_kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::QueueWait,
+                EventKind::Staging,
+                EventKind::Forward,
+                EventKind::Respond
+            ],
+            "request {req}: stages out of order"
+        );
+        for pair in stages.windows(2) {
+            assert_eq!(
+                pair[0].t_end_ns, pair[1].t_start_ns,
+                "request {req}: adjacent stages must share their boundary"
+            );
+        }
+        let tiled: u64 = stages.iter().map(|e| e.duration_ns()).sum();
+        let e2e = stages[3].t_end_ns - stages[0].t_start_ns;
+        assert_eq!(tiled, e2e, "request {req}: spans must tile end-to-end");
+    }
+
+    // The acceptance criterion: stage p50s sum to the end-to-end p50
+    // within HDR error. Each of the five histograms carries ≤ ~12.5%
+    // relative quantization error and p50-of-sums is not sum-of-p50s
+    // under independent jitter, so gate at a factor-of-2 window — tight
+    // enough to catch a broken decomposition (a missing or double-counted
+    // stage), loose enough for scheduler noise.
+    let stats = server.stats();
+    let sl = &stats.stage_latency;
+    let stage_sum =
+        sl.queue_wait.p50_ns + sl.staging.p50_ns + sl.forward.p50_ns + sl.respond.p50_ns;
+    let e2e_p50 = stats.latency.p50_ns;
+    assert!(
+        stage_sum >= e2e_p50 / 2 && stage_sum <= e2e_p50 * 2,
+        "stage p50 sum {stage_sum}ns vs end-to-end p50 {e2e_p50}ns: decomposition broken"
+    );
+    assert_eq!(sl.queue_wait.count, REQUESTS);
+    assert_no_overflow(sl, "global");
+    assert_eq!(stats.latency.overflow, 0, "end-to-end histogram saturated");
+    for shard in &stats.per_shard {
+        assert_no_overflow(&shard.stage_latency, "shard");
+    }
+
+    // A second drain returns only what happened since the first: nothing.
+    let again = server.drain_trace().expect("tracing still on");
+    assert!(again.events.is_empty() && again.dropped == 0);
+
+    // The exporters render the drained events.
+    let json = snapshot.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"queue_wait\"") && json.contains("\"forward\""));
+    let timeline = snapshot.to_timeline();
+    assert!(timeline.contains("queue_wait") && timeline.contains("respond"));
+    server.shutdown();
+}
+
+/// Sampling is a pure function of (seed, request id): two servers under
+/// the same config sample exactly the same request ids, and a different
+/// seed samples a different (but similarly sized) subset.
+#[test]
+fn sampling_is_deterministic_in_the_seed() {
+    const REQUESTS: u64 = 400;
+    let run = |seed: u64| -> HashSet<u64> {
+        let model = donn(12, 1, 603, 31.5, 15.0);
+        let input = sample(12, 2);
+        let mut registry = ModelRegistry::new();
+        registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
+        let server = Server::start(
+            registry,
+            BatchPolicy {
+                shards: 1,
+                trace: Some(Arc::new(TraceConfig {
+                    seed,
+                    sample_per_mille: 250,
+                    ring_capacity: 8192,
+                })),
+                ..BatchPolicy::default()
+            },
+        );
+        let id = server.resolve("m", None).unwrap();
+        let mut client = server.client();
+        let mut logits = Vec::new();
+        for _ in 0..REQUESTS {
+            client.infer(id, &input, &mut logits).unwrap();
+        }
+        let snapshot = server.drain_trace().expect("tracing is on");
+        assert_eq!(snapshot.dropped, 0);
+        let sampled: HashSet<u64> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.event_kind().is_span())
+            .map(|e| e.request)
+            .collect();
+        server.shutdown();
+        sampled
+    };
+    let a = run(0xDECAF);
+    let b = run(0xDECAF);
+    assert_eq!(a, b, "same seed must sample the same request ids");
+    // Roughly a quarter of the requests, the binomial spread is generous.
+    assert!(
+        a.len() as u64 > REQUESTS / 8 && (a.len() as u64) < REQUESTS / 2,
+        "250‰ sampled {} of {REQUESTS}",
+        a.len()
+    );
+    let c = run(0xFEED);
+    assert_ne!(a, c, "a different seed must sample a different subset");
+}
+
+/// Fault attribution: a panicked forward and a deadline expiry each leave
+/// an instant event in the trace, so every failure a client saw is
+/// explainable from the drained timeline alone.
+#[test]
+fn fault_instants_attribute_failures() {
+    silence_injected_panics();
+    let model = donn(12, 2, 604, 32.5, 17.0);
+    let input = sample(12, 3);
+    let plan = Arc::new(FaultPlan::new(21));
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("m", 1, model, ReadoutMode::Emulation);
+    let server = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 1,
+            faults: Some(Arc::clone(&plan)),
+            trace: Some(Arc::new(TraceConfig {
+                sample_per_mille: 1000,
+                ..TraceConfig::default()
+            })),
+            ..BatchPolicy::default()
+        },
+    );
+    let id = server.resolve("m", None).unwrap();
+    let mut client = server.client();
+    let mut logits = Vec::new();
+
+    // One panicked forward, then healthy serves, then an expired request.
+    plan.trigger(FaultKind::PanicInForward);
+    assert_eq!(
+        client.infer(id, &input, &mut logits),
+        Err(ServeError::WorkerPanic)
+    );
+    for _ in 0..3 {
+        client.infer(id, &input, &mut logits).unwrap();
+    }
+    assert_eq!(
+        client.infer_with_deadline(
+            id,
+            &input,
+            Instant::now() - Duration::from_millis(1),
+            &mut logits
+        ),
+        Err(ServeError::Deadline)
+    );
+
+    let snapshot = server.drain_trace().expect("tracing is on");
+    let count = |kind: EventKind| {
+        snapshot
+            .events
+            .iter()
+            .filter(|e| e.event_kind() == kind)
+            .count()
+    };
+    assert_eq!(
+        count(EventKind::WorkerPanic),
+        1,
+        "the contained panic must be visible as an instant"
+    );
+    assert_eq!(
+        count(EventKind::DeadlineExpired),
+        1,
+        "the admission-expired request must be visible as an instant"
+    );
+    // Instants are unsampled: they are rare and load-bearing, and the
+    // chrome export marks them as global instants.
+    let json = snapshot.to_chrome_json();
+    assert!(json.contains("\"worker_panic\"") && json.contains("\"deadline_expired\""));
+    server.shutdown();
+}
+
+/// [`LatencySummary`] equality is still derived (used by snapshot diffing
+/// in tests): the overflow field participates.
+#[test]
+fn latency_summary_overflow_participates_in_equality() {
+    let a = LatencySummary {
+        count: 1,
+        mean_ns: 1.0,
+        p50_ns: 1,
+        p95_ns: 1,
+        p99_ns: 1,
+        max_ns: 1,
+        overflow: 0,
+    };
+    let mut b = a;
+    b.overflow = 1;
+    assert_ne!(a, b);
+}

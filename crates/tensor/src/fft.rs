@@ -65,6 +65,7 @@ use crate::complex::Complex64;
 use crate::field::Field;
 use crate::parallel;
 use crate::pinned_cache::PinnedCache;
+use lr_obs::{KernelKind, KernelTimer};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::f64::consts::PI;
@@ -913,6 +914,22 @@ pub struct Fft2 {
     col_plan: Arc<FftPlan>,
 }
 
+/// Scoped kernel timer for one FFT pass, attributed to the algorithm the
+/// plan actually dispatches to (Stockham mixed-radix or Bluestein chirp-z;
+/// pure radix-2/4 plans are only charged to the pass itself). Free when
+/// kernel profiling is disabled — `KernelTimer::start*` returns an inert
+/// guard without reading the clock.
+#[inline]
+fn pass_timer(kind: KernelKind, plan: &FftPlan) -> KernelTimer {
+    if plan.is_bluestein() {
+        KernelTimer::start_attributed(kind, KernelKind::Bluestein)
+    } else if plan.is_mixed_radix() {
+        KernelTimer::start_attributed(kind, KernelKind::Stockham)
+    } else {
+        KernelTimer::start(kind)
+    }
+}
+
 impl Fft2 {
     /// Builds (or fetches from the global cache) plans for a `rows × cols`
     /// field.
@@ -1014,12 +1031,21 @@ impl Fft2 {
         let parallel_ok = self.rows * self.cols >= PAR_MIN_LEN
             && parallel::threads() > 1
             && !parallel::in_parallel_region();
-        if parallel_ok {
-            self.rows_pass_parallel(data, dir);
-            self.cols_pass_parallel(data, dir);
-        } else {
-            self.rows_pass(data, dir, &mut workspace.row_scratch);
-            self.cols_pass(data, dir, workspace);
+        {
+            let _t = pass_timer(KernelKind::FftRows, &self.row_plan);
+            if parallel_ok {
+                self.rows_pass_parallel(data, dir);
+            } else {
+                self.rows_pass(data, dir, &mut workspace.row_scratch);
+            }
+        }
+        {
+            let _t = pass_timer(KernelKind::FftCols, &self.col_plan);
+            if parallel_ok {
+                self.cols_pass_parallel(data, dir);
+            } else {
+                self.cols_pass(data, dir, workspace);
+            }
         }
     }
 
@@ -1181,7 +1207,10 @@ impl Fft2 {
     /// Panics if shapes do not match.
     pub fn convolve_spectrum(&self, field: &mut Field, transfer: &Field) {
         self.forward(field);
-        field.hadamard_assign(transfer);
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            field.hadamard_assign(transfer);
+        }
         self.inverse(field);
     }
 
@@ -1198,7 +1227,10 @@ impl Fft2 {
         workspace: &mut Fft2Workspace,
     ) {
         self.process_with(field, Direction::Forward, workspace);
-        field.hadamard_assign(transfer);
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            field.hadamard_assign(transfer);
+        }
         self.process_with(field, Direction::Inverse, workspace);
     }
 
@@ -1207,7 +1239,10 @@ impl Fft2 {
     /// adjoint of `F⁻¹ diag(H) F` is exactly `F⁻¹ diag(H̄) F`.
     pub fn convolve_spectrum_adjoint(&self, grad: &mut Field, transfer: &Field) {
         self.forward(grad);
-        grad.hadamard_conj_assign(transfer);
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            grad.hadamard_conj_assign(transfer);
+        }
         self.inverse(grad);
     }
 
@@ -1223,7 +1258,10 @@ impl Fft2 {
         workspace: &mut Fft2Workspace,
     ) {
         self.process_with(grad, Direction::Forward, workspace);
-        grad.hadamard_conj_assign(transfer);
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            grad.hadamard_conj_assign(transfer);
+        }
         self.process_with(grad, Direction::Inverse, workspace);
     }
 
@@ -1246,8 +1284,11 @@ impl Fft2 {
             "transfer shape mismatch"
         );
         self.process_slice_with(data, Direction::Forward, workspace);
-        for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
-            *a *= h;
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
+                *a *= h;
+            }
         }
         self.process_slice_with(data, Direction::Inverse, workspace);
     }
@@ -1269,8 +1310,11 @@ impl Fft2 {
             "transfer shape mismatch"
         );
         self.process_slice_with(data, Direction::Forward, workspace);
-        for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
-            *a *= h.conj();
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            for (a, &h) in data.iter_mut().zip(transfer.as_slice()) {
+                *a *= h.conj();
+            }
         }
         self.process_slice_with(data, Direction::Inverse, workspace);
     }

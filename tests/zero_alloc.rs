@@ -17,6 +17,10 @@
 
 use lightridge::{BatchTraceRing, CodesignMode, Detector, DonnBuilder, ModelGrads, TraceRing};
 use lr_nn::loss::{one_hot_into, softmax_mse_into};
+// NB: `lightridge::TraceRing` above is the autodiff trace ring; the
+// observability ring lives in `lr_obs` and is only referenced through
+// qualified paths here.
+use lr_obs::{kernel_profile, reset_kernel_profile, set_kernel_profiling, KernelKind};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_tensor::{parallel, Complex64, Field, FieldBatch};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -262,6 +266,53 @@ fn steady_state_forward_pass_allocates_nothing() {
         after - before
     );
     assert_eq!(last_batch_loss, reference_batch_loss);
+
+    // ---- Kernel profiling: with the profiler ON, the same steady-state
+    // forward pass must still allocate nothing (the aggregation cells are
+    // process-global atomics), and the profile must attribute time to the
+    // FFT passes, the transfer-function apply, and the detector readout.
+    // With it OFF again, the counters must stop moving. ----
+    reset_kernel_profile();
+    set_kernel_profiling(true);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        model.infer_into(&input, &mut ws, &mut logits);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "kernel-profiled forward pass must not allocate (got {} allocations over 10 passes)",
+        after - before
+    );
+    let profile = kernel_profile();
+    for kind in [
+        KernelKind::FftRows,
+        KernelKind::FftCols,
+        KernelKind::Transfer,
+        KernelKind::Detector,
+    ] {
+        let stat = profile.get(kind);
+        assert!(
+            stat.calls > 0,
+            "profiler on: {} must record calls",
+            stat.name()
+        );
+    }
+    // 64 is a power of two: the radix-2/4 path, no Stockham or Bluestein.
+    assert_eq!(profile.get(KernelKind::Stockham).calls, 0);
+    assert_eq!(profile.get(KernelKind::Bluestein).calls, 0);
+
+    set_kernel_profiling(false);
+    let frozen = kernel_profile();
+    for _ in 0..10 {
+        model.infer_into(&input, &mut ws, &mut logits);
+    }
+    assert_eq!(
+        kernel_profile(),
+        frozen,
+        "profiler off: kernel counters must not move"
+    );
 
     parallel::set_threads(0);
 }

@@ -39,7 +39,8 @@
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    BatchPolicy, FaultKind, FaultPlan, ModelRegistry, ReadoutMode, ServeError, Server, Transport,
+    BatchPolicy, FaultKind, FaultPlan, ModelRegistry, ReadoutMode, ServeError, Server,
+    StageLatency, TraceConfig, Transport,
 };
 use lr_tensor::{parallel, Complex64, Field};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -69,6 +70,17 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
+
+fn assert_no_overflow(stage: &StageLatency, ctx: &str) {
+    for (name, s) in [
+        ("queue_wait", stage.queue_wait),
+        ("staging", stage.staging),
+        ("forward", stage.forward),
+        ("respond", stage.respond),
+    ] {
+        assert_eq!(s.overflow, 0, "{ctx}: {name} histogram must not overflow");
+    }
+}
 
 fn donn(n: usize, depth: usize, seed: u64) -> DonnModel {
     let grid = Grid::square(n, PixelPitch::from_um(36.0));
@@ -336,6 +348,73 @@ fn steady_state_sharded_serve_path_allocates_nothing() {
         stats.per_shard.iter().all(|s| s.completed > 0),
         "both shards must have served their affinity traffic"
     );
+    // The always-on stage breakdown must have recorded every completion
+    // without saturating any histogram.
+    assert_eq!(stats.stage_latency.forward.count, stats.completed);
+    assert_no_overflow(&stats.stage_latency, "server");
+    for (i, sh) in stats.per_shard.iter().enumerate() {
+        assert_no_overflow(&sh.stage_latency, &format!("shard {i}"));
+    }
+    // Tracing was never enabled on this server.
+    assert!(server.drain_trace().is_none());
     server.shutdown();
+
+    // ---- Tracing enabled: recording must be allocation-free ----------
+    // A second server with the trace ring on and *every* request sampled
+    // (1000‰): span recording is a cursor bump plus atomic slot writes
+    // into the preallocated ring, so the steady-state window must still
+    // count zero allocations. Draining/exporting allocates by design and
+    // stays outside the window.
+    let model_c = donn(32, 2, 11);
+    let mut registry = ModelRegistry::new();
+    registry.register_emulated("c", 1, model_c.clone(), ReadoutMode::Emulation);
+    let traced = Server::start(
+        registry,
+        BatchPolicy {
+            shards: 2,
+            max_batch: 4,
+            max_delay: Duration::ZERO,
+            trace: Some(Arc::new(TraceConfig {
+                sample_per_mille: 1000,
+                ..TraceConfig::default()
+            })),
+            ..BatchPolicy::default()
+        },
+    );
+    let c = traced.resolve("c", None).unwrap();
+    let reference_c = model_c.infer(&input_a);
+    let mut client_c = traced.client();
+    for _ in 0..4 {
+        client_c.infer(c, &input_a, &mut logits).unwrap();
+        assert_eq!(logits, reference_c);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        client_c.infer(c, &input_a, &mut logits).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "traced serve path must not allocate while recording \
+         (got {} allocations over 10 fully-sampled requests)",
+        after - before
+    );
+    assert_eq!(logits, reference_c);
+
+    // The window really was recorded: every request left its four stage
+    // spans in the ring, none were lost, and no histogram overflowed.
+    let snapshot = traced.drain_trace().expect("tracing is enabled");
+    assert_eq!(snapshot.dropped, 0, "ring must not have wrapped");
+    assert_eq!(
+        snapshot.events.len(),
+        14 * 4,
+        "every request must contribute its four stage spans"
+    );
+    let traced_stats = traced.stats();
+    assert_eq!(traced_stats.completed, 14);
+    assert_no_overflow(&traced_stats.stage_latency, "traced server");
+    traced.shutdown();
     parallel::set_threads(0);
 }
