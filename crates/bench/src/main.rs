@@ -9,10 +9,11 @@
 //! parallelism). Future PRs diff this file to keep a perf trajectory.
 //!
 //! `lr-bench serve` runs the deterministic synthetic load generator
-//! against the sharded `lr-serve` runtime and emits `BENCH_serve.json`
-//! (see `serve_bench`). `lr-bench compare` diffs a current artifact
-//! against a committed baseline and fails on regression — the CI perf
-//! gate (see `compare`).
+//! against the sharded `lr-serve` runtime — both in-process and through
+//! the `lr-net` socket front end over loopback TCP — and emits
+//! `BENCH_serve.json` (see `serve_bench`). `lr-bench compare` diffs a
+//! current artifact against a committed baseline and fails on
+//! regression — the CI perf gate (see `compare`).
 //!
 //! Usage:
 //! * `lr-bench [--out PATH] [--quick]`

@@ -56,12 +56,26 @@
 //! value to a tripped gate. `p99_survivor_ns` records the tail the
 //! survivor's successful requests paid under the fault mix
 //! (informational).
+//!
+//! A seventh scenario, `socket_tcp`, drives the same steady mixed load
+//! through the **network front end** ([`Server::listen`], loopback TCP,
+//! the `lr-net` wire protocol) instead of the in-process client. Its
+//! latencies are **coordinated-omission-safe**: each request's latency is
+//! measured from its *scheduled* open-loop arrival time, not from when
+//! the blocking client got around to sending it, so a stalled server
+//! inflates the recorded tail instead of silently thinning the sample.
+//! The artifact adds the wire-side `recv`/`decode` stage quantiles and
+//! the connection-layer counters; `throughput_rps` and the histogram
+//! `overflow` fields gate, the socket latencies stay informational (they
+//! carry loopback + syscall noise the in-process `steady_mixed` gate
+//! already excludes).
 
 use lightridge::{Detector, DonnBuilder, DonnModel};
 use lr_optics::{Distance, Grid, PixelPitch, Wavelength};
 use lr_serve::{
-    AdmissionPolicy, BatchPolicy, FaultKind, FaultPlan, ModelId, ModelRegistry, PoolMode,
-    ReadoutMode, Server, ServerStats, StageLatency, TraceConfig, TraceSnapshot, Transport,
+    AdmissionPolicy, BatchPolicy, FaultKind, FaultPlan, LatencyHistogram, LatencySummary, ModelId,
+    ModelRegistry, NetBind, NetClient, NetConfig, NetStats, PoolMode, ReadoutMode, Server,
+    ServerStats, StageLatency, TraceConfig, TraceSnapshot, Transport,
 };
 use lr_tensor::{parallel, Complex64, Field};
 use rand::rngs::StdRng;
@@ -238,6 +252,176 @@ fn run_scenario(
         wall_secs,
         stats,
     }
+}
+
+struct SocketOutcome {
+    offered_rps: f64,
+    ok: u64,
+    failed: u64,
+    wall_secs: f64,
+    /// Client-observed latency, **coordinated-omission-safe**: measured
+    /// from each request's scheduled open-loop arrival time, not its
+    /// actual (possibly delayed) send time.
+    latency: LatencySummary,
+    net: NetStats,
+    stats: ServerStats,
+}
+
+/// Runs the steady mixed load through the network front end over loopback
+/// TCP: `threads` blocking `lr-net` clients firing their open-loop
+/// schedules at a socket-served fresh server.
+///
+/// Coordinated-omission handling: a blocking client that falls behind its
+/// schedule does **not** skip or re-time requests — it fires immediately
+/// and the latency is still measured from the scheduled arrival, so the
+/// time spent waiting for the server counts against the server.
+fn run_socket(
+    policy: BatchPolicy,
+    rate_rps: f64,
+    threads: usize,
+    requests_per_thread: usize,
+    seed: u64,
+    model_a: &DonnModel,
+    model_b: &DonnModel,
+) -> SocketOutcome {
+    let mut registry = ModelRegistry::new();
+    let a =
+        registry.register_emulated("mnist-emulated", 1, model_a.clone(), ReadoutMode::Emulation);
+    let b = registry.register_emulated("mnist-deployed", 1, model_b.clone(), ReadoutMode::Deployed);
+    let server = Server::start(registry, policy);
+    let net = server
+        .listen(
+            NetBind::Tcp("127.0.0.1:0".parse().unwrap()),
+            NetConfig::default(),
+        )
+        .expect("bind loopback listener");
+    let addr = net.local_addr().unwrap();
+
+    let (na, _) = model_a.grid().shape();
+    let (nb, _) = model_b.grid().shape();
+    let inputs_a: Vec<Field> = (0..4).map(|p| make_input(na, p)).collect();
+    let inputs_b: Vec<Field> = (0..4).map(|p| make_input(nb, p)).collect();
+
+    let per_thread_rate = rate_rps / threads as f64;
+    let latency = LatencyHistogram::new();
+    let epoch = Instant::now();
+    let (ok, failed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let schedule = build_schedule(
+                    seed.wrapping_add(t as u64),
+                    requests_per_thread,
+                    per_thread_rate,
+                    a,
+                    b,
+                    inputs_a.len(),
+                );
+                // One connection per model, mirroring the in-process
+                // clients: the server-side slot stays shape-stable.
+                let mut client_a = NetClient::connect_tcp(addr).expect("connect");
+                let mut client_b = NetClient::connect_tcp(addr).expect("connect");
+                let inputs_a = &inputs_a;
+                let inputs_b = &inputs_b;
+                let latency = &latency;
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut failed = 0u64;
+                    let mut logits = Vec::new();
+                    for req in &schedule {
+                        let target = epoch + req.at;
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        let result = if req.model == a {
+                            client_a.infer(a, &inputs_a[req.input_idx], &mut logits)
+                        } else {
+                            client_b.infer(b, &inputs_b[req.input_idx], &mut logits)
+                        };
+                        // From the *scheduled* arrival: open-loop timing
+                        // that a slow server cannot thin out.
+                        let ns = u64::try_from(
+                            Instant::now().saturating_duration_since(target).as_nanos(),
+                        )
+                        .unwrap_or(u64::MAX);
+                        latency.record(ns);
+                        match result {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("socket load thread panicked"))
+            .fold((0u64, 0u64), |(o, f), (a, b)| (o + a, f + b))
+    });
+    let wall_secs = epoch.elapsed().as_secs_f64();
+    let net_stats = net.stats();
+    drop(net);
+    let stats = server.stats();
+    server.shutdown();
+    SocketOutcome {
+        offered_rps: rate_rps,
+        ok,
+        failed,
+        wall_secs,
+        latency: latency.summary(),
+        net: net_stats,
+        stats,
+    }
+}
+
+fn write_socket(json: &mut String, o: &SocketOutcome, last: bool) {
+    let _ = writeln!(json, "    \"socket_tcp\": {{");
+    let _ = writeln!(json, "      \"offered_rps\": {:.1},", o.offered_rps);
+    let _ = writeln!(json, "      \"wall_secs\": {:.3},", o.wall_secs);
+    let _ = writeln!(json, "      \"client_ok\": {},", o.ok);
+    let _ = writeln!(json, "      \"client_failed\": {},", o.failed);
+    let _ = writeln!(
+        json,
+        "      \"throughput_rps\": {:.1},",
+        o.ok as f64 / o.wall_secs.max(1e-12)
+    );
+    let _ = writeln!(json, "      \"completed\": {},", o.stats.completed);
+    let n = &o.net;
+    let _ = writeln!(json, "      \"connections_accepted\": {},", n.accepted);
+    let _ = writeln!(json, "      \"frames_admitted\": {},", n.requests);
+    let _ = writeln!(json, "      \"responses\": {},", n.responses);
+    let _ = writeln!(json, "      \"request_errors\": {},", n.request_errors);
+    let _ = writeln!(json, "      \"protocol_errors\": {},", n.protocol_errors);
+    let l = &o.latency;
+    let _ = writeln!(json, "      \"latency_ns\": {{");
+    let _ = writeln!(json, "        \"p50\": {},", l.p50_ns);
+    let _ = writeln!(json, "        \"p95\": {},", l.p95_ns);
+    let _ = writeln!(json, "        \"p99\": {},", l.p99_ns);
+    let _ = writeln!(json, "        \"mean\": {:.1},", l.mean_ns);
+    let _ = writeln!(json, "        \"max\": {}", l.max_ns);
+    let _ = writeln!(json, "      }},");
+    // The two wire-side stages; the in-process four are in the nested
+    // server stage block below. Overflow gates at 0 like every histogram.
+    let _ = writeln!(json, "      \"wire_stage_latency_ns\": {{");
+    let wire = [("recv", &n.recv), ("decode", &n.decode)];
+    for (i, (name, s)) in wire.iter().enumerate() {
+        let comma = if i + 1 < wire.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        \"{name}\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+             \"overflow\": {} }}{comma}",
+            s.p50_ns, s.p95_ns, s.p99_ns, s.overflow,
+        );
+    }
+    let _ = writeln!(json, "      }},");
+    write_stage_latency(json, &o.stats.stage_latency);
+    let _ = writeln!(
+        json,
+        "      \"mean_batch_size\": {:.3}",
+        o.stats.mean_batch_size
+    );
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
 }
 
 struct ChurnOutcome {
@@ -888,7 +1072,7 @@ pub fn run(args: &[String]) {
     let churn = run_churn(
         BatchPolicy {
             workers: shards,
-            ..steady_policy
+            ..steady_policy.clone()
         },
         if quick { 4 } else { 8 },
         &model_a,
@@ -915,6 +1099,20 @@ pub fn run(args: &[String]) {
                 ..TraceConfig::default()
             })
         }),
+    );
+    // Same steady mixed load, but through the network front end: loopback
+    // TCP, wire framing, and the event-driven connection layer in front of
+    // the exact same admission path. `throughput_rps` and the histogram
+    // `overflow` fields gate; the CO-safe socket latencies stay
+    // informational (loopback jitter is not a regression signal).
+    let socket = run_socket(
+        steady_policy,
+        0.5 * capacity_rps,
+        threads,
+        per_thread,
+        45,
+        &model_a,
+        &model_b,
     );
 
     let mut json = String::from("{\n");
@@ -944,7 +1142,8 @@ pub fn run(args: &[String]) {
     );
     write_scenario(&mut json, "colocated_shared", &colocated_shared, false);
     write_churn(&mut json, &churn, false);
-    write_chaos(&mut json, &chaos, true);
+    write_chaos(&mut json, &chaos, false);
+    write_socket(&mut json, &socket, true);
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("failed to write serve bench artifact");

@@ -1,5 +1,5 @@
 //! Real-time multi-task DONN (extension; Li et al. 2021, the paper's
-//! reference [31]).
+//! reference \[31\]).
 //!
 //! One shared diffractive stack answers several classification tasks in a
 //! single optical pass: each task owns a disjoint set of detector regions

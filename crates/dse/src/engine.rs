@@ -39,7 +39,7 @@ impl DsePoint {
     /// Alongside the raw `(λ, d, D)` the paper's regressor takes, we add
     /// the two dimensionless groups the underlying diffraction physics is
     /// invariant under — the paper points at exactly this structure when
-    /// it says the model "confirms critical domain-knowledge insights [5]
+    /// it says the model "confirms critical domain-knowledge insights \[5\]
     /// ... following the traditional maximum half-cone diffraction angle
     /// theory":
     ///

@@ -49,7 +49,7 @@
 //! ## Pipeline
 //!
 //! [`parse`] → [`ast::Program`] → [`SystemSpec::from_program`] (validation)
-//! → [`compile`] → [`CompiledSystem`], or [`compile_str`] for the whole
+//! → [`compile()`] → [`CompiledSystem`], or [`compile_str`] for the whole
 //! chain:
 //!
 //! ```

@@ -3,7 +3,7 @@
 //! [`SystemSpec::from_program`] lowers the untyped AST into a fully-typed
 //! spec, rejecting unknown sections/keys, duplicates, type mismatches, and
 //! physically meaningless values — each with the span of the offending
-//! construct. A valid spec always compiles (see [`crate::compile`]).
+//! construct. A valid spec always compiles (see [`crate::compile()`]).
 
 use crate::ast::{Assignment, LayerEntry, Program, Section, Value};
 use crate::error::{DslError, ErrorKind, Result, Span};

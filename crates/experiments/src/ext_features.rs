@@ -10,9 +10,9 @@
 //! 2. **Interpixel crosstalk** — deployment accuracy vs coupling strength,
 //!    quantifying how fringing fields erode a trained mask.
 //! 3. **Ensemble** — the optical-vote ensemble versus its members.
-//! 4. **Multi-task readout** (reference [31]) — one shared stack answering
-//!    two tasks (digit identity + digit parity) from disjoint detector
-//!    regions in a single optical pass.
+//! 4. **Multi-task readout** (the paper's reference \[31\]) — one shared
+//!    stack answering two tasks (digit identity + digit parity) from
+//!    disjoint detector regions in a single optical pass.
 
 use crate::common::{f3, Mode, Report};
 use lightridge::deploy::{HardwareEnvironment, PhysicalDonn};

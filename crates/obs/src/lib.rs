@@ -68,10 +68,17 @@ pub enum EventKind {
     /// Instant: an idle dispatcher stole work from a hot sibling
     /// (`request` carries the stolen count).
     Steal = 9,
+    /// Span: first byte of a socket request frame on the wire → frame
+    /// fully received (network transports only; see `lr-serve`'s net
+    /// layer).
+    Recv = 10,
+    /// Span: frame fully received → request decoded and admitted into a
+    /// shard queue (network transports only).
+    Decode = 11,
 }
 
 impl EventKind {
-    const ALL: [EventKind; 10] = [
+    const ALL: [EventKind; 12] = [
         EventKind::QueueWait,
         EventKind::Staging,
         EventKind::Forward,
@@ -82,13 +89,21 @@ impl EventKind {
         EventKind::DeadlineExpired,
         EventKind::Shed,
         EventKind::Steal,
+        EventKind::Recv,
+        EventKind::Decode,
     ];
 
-    /// True for the four request-path stages (events with a duration).
+    /// True for the request-path stages (events with a duration): the
+    /// four in-process stages plus the network-side `recv`/`decode` pair.
     pub fn is_span(self) -> bool {
         matches!(
             self,
-            EventKind::QueueWait | EventKind::Staging | EventKind::Forward | EventKind::Respond
+            EventKind::QueueWait
+                | EventKind::Staging
+                | EventKind::Forward
+                | EventKind::Respond
+                | EventKind::Recv
+                | EventKind::Decode
         )
     }
 
@@ -105,6 +120,8 @@ impl EventKind {
             EventKind::DeadlineExpired => "deadline_expired",
             EventKind::Shed => "shed",
             EventKind::Steal => "steal",
+            EventKind::Recv => "recv",
+            EventKind::Decode => "decode",
         }
     }
 

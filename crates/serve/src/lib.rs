@@ -211,6 +211,27 @@
 //!   timeline. `lr-bench serve --trace-out trace.json` wires this end to
 //!   end under chaos faults.
 //!
+//! ## The network front end
+//!
+//! [`Server::listen`] puts the same serving core behind a real socket:
+//! the **`lr-net`** length-prefixed binary protocol (normative spec:
+//! `docs/PROTOCOL.md`) over TCP or Unix-domain sockets, served by one
+//! event-driven connection thread per listener (an epoll-backed poll —
+//! the vendored `mio`-subset shim — with non-blocking sockets; no async
+//! runtime). Socket requests decode **straight off the wire into the
+//! same reusable request slots** the in-process client uses and flow
+//! through the identical admission → shard queue → micro-batch →
+//! settle path, so every contract above — bit-identical results, typed
+//! errors, deadlines, fault tolerance — holds verbatim over the wire;
+//! the error-code registry maps [`ServeError`] 1:1. Backpressure is
+//! structural: one request in flight per connection (reads pause while
+//! it runs), frames over the negotiated cap are refused without
+//! buffering, and queue pressure falls through to the existing
+//! reject/shed admission control. Two wire-side stages (`recv`,
+//! `decode`) extend the stage breakdown in [`NetStats`] and the trace
+//! rings. [`NetClient`] is the blocking reference client. See
+//! `docs/ARCHITECTURE.md` for the full request-path walkthrough.
+//!
 //! ## Shard routing contract
 //!
 //! Requests route to `model_id % shards` (affinity keeps one model's
@@ -264,12 +285,17 @@
 
 mod fault;
 mod metrics;
+mod net;
 mod registry;
 mod server;
 
 pub use fault::{FaultKind, FaultPlan};
 pub use metrics::{
     LatencyHistogram, LatencySummary, ModelStats, ServerStats, ShardStats, StageLatency,
+};
+pub use net::{
+    NetBind, NetClient, NetConfig, NetError, NetServer, NetStats, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 pub use registry::{
     ModelId, ModelLifecycle, ModelRegistry, ReadoutMode, RegisteredModel, ServableVariant,

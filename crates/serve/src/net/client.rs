@@ -1,0 +1,291 @@
+//! A small blocking client for the `lr-net` protocol.
+//!
+//! [`NetClient`] is the reference implementation of the client side of
+//! `docs/PROTOCOL.md`: plain blocking sockets, one `Hello`/`HelloAck`
+//! handshake at connect, then strictly alternating request/response
+//! frames. It exists for tests, the `lr-bench serve` socket load
+//! generator, and as executable documentation of the wire format — a
+//! production client would multiplex, but the protocol itself does not
+//! require it.
+
+use super::protocol::*;
+use crate::registry::ModelId;
+use crate::server::ServeError;
+use lr_tensor::Field;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// What a remote inference can fail with, seen from the client.
+#[derive(Debug)]
+pub enum NetError {
+    /// The server rejected or failed the request with a typed serve-path
+    /// error — exactly what an in-process client would have gotten. The
+    /// connection remains usable.
+    Serve(ServeError),
+    /// The server reported a protocol-level error (code ≥ 64: malformed
+    /// frame, version mismatch, oversized frame) and closed the
+    /// connection.
+    Protocol {
+        /// The wire error code (see the registry in `docs/PROTOCOL.md`).
+        code: u8,
+    },
+    /// The transport failed or the server's bytes violated the framing
+    /// spec.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Serve(e) => write!(f, "server rejected request: {e}"),
+            NetError::Protocol { code } => write!(f, "protocol error (code {code})"),
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+enum ClientSock {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for ClientSock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientSock::Tcp(s) => s.read(buf),
+            ClientSock::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientSock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientSock::Tcp(s) => s.write(buf),
+            ClientSock::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientSock::Tcp(s) => s.flush(),
+            ClientSock::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking `lr-net` connection: connect (handshake included), then
+/// call [`NetClient::infer`] / [`NetClient::infer_with_budget`]. One
+/// request is in flight at a time; buffers are reused across calls.
+pub struct NetClient {
+    sock: ClientSock,
+    /// Outbound frame assembly buffer (reused).
+    send: Vec<u8>,
+    /// Inbound frame buffer (reused).
+    recv: Vec<u8>,
+    next_request_id: u64,
+    /// The server's advertised frame cap from `HelloAck`.
+    max_frame_len: u32,
+}
+
+impl NetClient {
+    /// Connects over TCP and performs the `Hello` handshake.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        Self::handshake(ClientSock::Tcp(sock))
+    }
+
+    /// Connects over a Unix-domain socket and performs the `Hello`
+    /// handshake.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<NetClient, NetError> {
+        let sock = UnixStream::connect(path)?;
+        Self::handshake(ClientSock::Unix(sock))
+    }
+
+    fn handshake(sock: ClientSock) -> Result<NetClient, NetError> {
+        let mut client = NetClient {
+            sock,
+            send: Vec::with_capacity(4096),
+            recv: Vec::with_capacity(4096),
+            next_request_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        };
+        let at = begin_frame(&mut client.send, KIND_HELLO, 0);
+        put_u16(&mut client.send, u16::from(PROTOCOL_VERSION)); // min
+        put_u16(&mut client.send, u16::from(PROTOCOL_VERSION)); // max
+        finish_frame(&mut client.send, at);
+        client.flush_send()?;
+        let header = client.read_frame()?;
+        if header.kind == KIND_ERROR {
+            return Err(client.parse_error_frame());
+        }
+        if header.kind != KIND_HELLO_ACK || client.recv.len() != HEADER_LEN + HELLO_ACK_BODY_LEN {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "handshake: expected HelloAck",
+            )));
+        }
+        let body = &client.recv[HEADER_LEN..];
+        let version = get_u16(body, 0);
+        if version != u16::from(PROTOCOL_VERSION) {
+            return Err(NetError::Protocol {
+                code: ERR_UNSUPPORTED_VERSION,
+            });
+        }
+        client.max_frame_len = get_u32(body, 4);
+        Ok(client)
+    }
+
+    /// Remote inference with the server's default deadline. Appends the
+    /// returned logits to `logits` (cleared first), mirroring the
+    /// in-process client's contract.
+    pub fn infer(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), NetError> {
+        self.request(model, input, Duration::ZERO, logits)
+    }
+
+    /// Remote inference with an explicit deadline budget, measured by the
+    /// server from the moment it decodes the request (so the budget
+    /// excludes time on the wire). A zero budget selects the server's
+    /// default.
+    pub fn infer_with_budget(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        budget: Duration,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), NetError> {
+        self.request(model, input, budget, logits)
+    }
+
+    fn request(
+        &mut self,
+        model: ModelId,
+        input: &Field,
+        budget: Duration,
+        logits: &mut Vec<f64>,
+    ) -> Result<(), NetError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let (rows, cols) = input.shape();
+        self.send.clear();
+        let at = begin_frame(&mut self.send, KIND_REQUEST, request_id);
+        put_u32(&mut self.send, model.index() as u32);
+        put_u64(&mut self.send, budget.as_micros() as u64);
+        put_u16(&mut self.send, rows as u16);
+        put_u16(&mut self.send, cols as u16);
+        for z in input.as_slice() {
+            self.send.extend_from_slice(&z.re.to_le_bytes());
+            self.send.extend_from_slice(&z.im.to_le_bytes());
+        }
+        finish_frame(&mut self.send, at);
+        if self.send.len() - LEN_PREFIX > self.max_frame_len as usize {
+            return Err(NetError::Protocol {
+                code: ERR_OVERSIZED,
+            });
+        }
+        self.flush_send()?;
+        let header = self.read_frame()?;
+        if header.request_id != request_id {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response for a different request id",
+            )));
+        }
+        match header.kind {
+            KIND_RESPONSE => {
+                let body = &self.recv[HEADER_LEN..];
+                if body.len() < RESPONSE_FIXED_LEN || body[0] != 0 {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed response frame",
+                    )));
+                }
+                let count = get_u16(body, 2) as usize;
+                if body.len() != RESPONSE_FIXED_LEN + count * 8 {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response length disagrees with logit count",
+                    )));
+                }
+                logits.clear();
+                for i in 0..count {
+                    logits.push(get_f64(body, RESPONSE_FIXED_LEN + i * 8));
+                }
+                Ok(())
+            }
+            KIND_ERROR => Err(self.parse_error_frame()),
+            _ => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected frame kind in response position",
+            ))),
+        }
+    }
+
+    fn flush_send(&mut self) -> Result<(), NetError> {
+        self.sock.write_all(&self.send)?;
+        self.sock.flush()?;
+        self.send.clear();
+        Ok(())
+    }
+
+    /// Reads exactly one frame into `self.recv` (header + body, length
+    /// prefix stripped) and returns its parsed header.
+    fn read_frame(&mut self) -> Result<FrameHeader, NetError> {
+        let mut prefix = [0u8; LEN_PREFIX];
+        self.sock.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len < HEADER_LEN || len > DEFAULT_MAX_FRAME_LEN as usize {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame length outside protocol bounds",
+            )));
+        }
+        self.recv.resize(len, 0);
+        self.sock.read_exact(&mut self.recv)?;
+        parse_header(&self.recv).map_err(|()| {
+            NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad frame magic",
+            ))
+        })
+    }
+
+    /// Interprets the error frame sitting in `self.recv`.
+    fn parse_error_frame(&self) -> NetError {
+        let body = &self.recv[HEADER_LEN..];
+        if body.len() != ERROR_BODY_LEN {
+            return NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed error frame",
+            ));
+        }
+        let code = body[0];
+        let detail = [
+            get_u16(body, 2),
+            get_u16(body, 4),
+            get_u16(body, 6),
+            get_u16(body, 8),
+        ];
+        match decode_error(code, detail) {
+            Some(err) => NetError::Serve(err),
+            None => NetError::Protocol { code },
+        }
+    }
+}

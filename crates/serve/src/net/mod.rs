@@ -1,0 +1,979 @@
+//! Network serving front end: the `lr-net` wire protocol over TCP and
+//! Unix-domain sockets, served by an event-driven connection layer.
+//!
+//! The protocol is a length-prefixed little-endian binary format —
+//! versioned magic, `Hello`/`HelloAck` negotiation, request/response
+//! frames carrying a complex input plane and returning logits, and a
+//! typed error-code registry that maps 1:1 onto [`ServeError`] so a
+//! remote client sees exactly the failures an in-process client would.
+//! `docs/PROTOCOL.md` is the normative spec (sufficient to hand-encode a
+//! request); [`protocol`] is its in-repo implementation.
+//!
+//! # Connection layer
+//!
+//! One event-loop thread owns every connection (an epoll-backed
+//! [`mio`]-style poll — see the vendored shim), non-blocking sockets, and
+//! a slab of per-connection state. Frames are parsed in place and the
+//! input plane is decoded **straight off the receive buffer into the
+//! request slot's reusable [`Field`]** (the same staging
+//! [`ServerCore::submit`] does for in-process clients), so a socket
+//! request enters the shard queues without an intermediate copy and is
+//! batched, sharded, stolen, shed, and traced exactly like any other
+//! request. Completion is push-based: every terminal stage transition
+//! fires the slot's [`SlotWaker`](crate::server), which lands the
+//! connection token on a [`CompletionSignal`] and wakes the poll — the
+//! event loop never blocks on a slot.
+//!
+//! # Backpressure
+//!
+//! Socket buffers are bounded by construction, never by luck:
+//!
+//! * at most **one request in flight per connection** — while a request
+//!   is queued the connection's read side is deregistered, so a flooding
+//!   client backs up into its own kernel socket buffer, not our heap;
+//! * a frame longer than the negotiated cap is refused (`OVERSIZED`)
+//!   without ever being buffered;
+//! * queue pressure is delegated to the existing admission control — a
+//!   full shard queue rejects or sheds ([`AdmissionPolicy`]) and the
+//!   typed error goes back on the wire immediately.
+//!
+//! # Stage breakdown
+//!
+//! Two wire-side stages extend the request-path latency decomposition:
+//! `recv` (first byte of a request frame → frame complete) and `decode`
+//! (frame complete → admitted into a shard queue), recorded in
+//! [`NetStats`] and — for sampled requests — as [`EventKind::Recv`] /
+//! [`EventKind::Decode`] spans in the same trace rings as the in-process
+//! stages.
+//!
+//! [`ServeError`]: crate::ServeError
+//! [`AdmissionPolicy`]: crate::AdmissionPolicy
+//! [`EventKind::Recv`]: lr_obs::EventKind::Recv
+//! [`EventKind::Decode`]: lr_obs::EventKind::Decode
+//! [`ServerCore::submit`]: crate::server
+//! [`Field`]: lr_tensor::Field
+
+mod client;
+pub(crate) mod protocol;
+
+pub use client::{NetClient, NetError};
+pub use protocol::{DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+use crate::metrics::{LatencyHistogram, LatencySummary};
+use crate::registry::ModelId;
+use crate::server::{ServeError, Server, ServerCore, SlotWaker, Stage};
+use lr_obs::EventKind;
+use mio::{Events, Interest, Poll, Token, Waker};
+use protocol::*;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::server::RequestSlot;
+
+// --- Tokens ---------------------------------------------------------------
+
+const TOKEN_LISTENER: Token = Token(0);
+const TOKEN_WAKER: Token = Token(1);
+const FIRST_CONN: usize = 2;
+
+/// How many readiness events one poll call can deliver.
+const EVENTS_CAPACITY: usize = 256;
+
+/// Read chunk granularity for the per-connection receive buffer.
+const READ_CHUNK: usize = 16 * 1024;
+
+// --- Public configuration -------------------------------------------------
+
+/// Where a [`NetServer`] listens. Loopback TCP and Unix-domain sockets
+/// are the supported transports (the build/test environment has no
+/// external network).
+#[derive(Debug, Clone)]
+pub enum NetBind {
+    /// TCP on `addr` (use port 0 for an ephemeral port, then
+    /// [`NetServer::local_addr`]).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket at `path` (created on bind, unlinked on
+    /// shutdown).
+    Unix(PathBuf),
+}
+
+/// Tunables for the network front end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Cap on a frame's declared length (header + body), advertised to
+    /// clients in `HelloAck`. A longer frame is refused with `OVERSIZED`
+    /// and never buffered.
+    pub max_frame_len: u32,
+    /// Cap on concurrently open connections; excess accepts are closed
+    /// immediately.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_connections: 256,
+        }
+    }
+}
+
+/// Point-in-time counters and wire-stage latencies for one [`NetServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed (any reason, including protocol errors).
+    pub closed: u64,
+    /// Accepts refused because [`NetConfig::max_connections`] was reached.
+    pub refused: u64,
+    /// Protocol-level errors sent (`MALFORMED`/`UNSUPPORTED_VERSION`/
+    /// `OVERSIZED` — each also closes its connection).
+    pub protocol_errors: u64,
+    /// Request frames admitted into a shard queue.
+    pub requests: u64,
+    /// Successful responses written.
+    pub responses: u64,
+    /// Request-level typed error frames written (connection kept alive).
+    pub request_errors: u64,
+    /// Wire stage: first byte of a request frame → frame fully received.
+    pub recv: LatencySummary,
+    /// Wire stage: frame fully received → admitted into a shard queue.
+    pub decode: LatencySummary,
+}
+
+// --- Completion plumbing --------------------------------------------------
+
+/// The dispatcher → event-loop completion channel: dispatchers (via
+/// [`SlotWaker`]) push the settled connection's token and wake the poll;
+/// the event loop swaps the list out and writes the responses. The list
+/// is preallocated to the connection cap (each connection has at most one
+/// request in flight), so steady-state completion is one mutex push and
+/// one `eventfd` write — no allocation.
+#[derive(Debug)]
+pub(crate) struct CompletionSignal {
+    waker: Waker,
+    ready: Mutex<Vec<u64>>,
+}
+
+impl CompletionSignal {
+    /// Called from dispatcher threads on every settled socket request.
+    pub(crate) fn complete(&self, token: u64) {
+        let mut ready = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ready.push(token);
+        drop(ready);
+        let _ = self.waker.wake();
+    }
+
+    fn drain_into(&self, scratch: &mut Vec<u64>) {
+        scratch.clear();
+        let mut ready = self
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::swap(&mut *ready, scratch);
+    }
+}
+
+/// Recording half of [`NetStats`] (shared with the event-loop thread).
+#[derive(Debug)]
+struct NetMetrics {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    refused: AtomicU64,
+    protocol_errors: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    request_errors: AtomicU64,
+    recv: LatencyHistogram,
+    decode: LatencyHistogram,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        NetMetrics {
+            accepted: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            request_errors: AtomicU64::new(0),
+            recv: LatencyHistogram::new(),
+            decode: LatencyHistogram::new(),
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            request_errors: self.request_errors.load(Ordering::Relaxed),
+            recv: self.recv.summary(),
+            decode: self.decode.summary(),
+        }
+    }
+}
+
+// --- Sockets --------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Sock> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                s.set_nodelay(true)?;
+                Ok(Sock::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                Ok(Sock::Unix(s))
+            }
+        }
+    }
+
+    fn fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+impl std::os::fd::AsRawFd for Listener {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.fd()
+    }
+}
+
+enum Sock {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            Sock::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Unix(s) => s.write(buf),
+        }
+    }
+}
+
+impl std::os::fd::AsRawFd for Sock {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        match self {
+            Sock::Tcp(s) => s.as_raw_fd(),
+            Sock::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+// --- Per-connection state -------------------------------------------------
+
+/// What the connection's registration with the poll currently watches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Reg {
+    /// Not registered (a request is in flight; reads are paused).
+    None,
+    /// Watching for readable (idle, or mid-frame).
+    Read,
+    /// Watching for writable (a response flush hit `WouldBlock`).
+    Write,
+}
+
+struct Conn {
+    sock: Sock,
+    /// This connection's reusable request slot (same lifecycle as an
+    /// in-process client's).
+    slot: Arc<RequestSlot>,
+    /// Receive buffer; `valid` bytes at the front are meaningful. Grows
+    /// to the largest frame seen (capped by `max_frame_len`), then stays.
+    recv: Vec<u8>,
+    valid: usize,
+    /// Pending outbound bytes (`sent..` remain to be written).
+    send: Vec<u8>,
+    sent: usize,
+    reg: Reg,
+    hello_done: bool,
+    in_flight: bool,
+    /// Request id of the in-flight request (echoed in its response).
+    req_id: u64,
+    /// Set once a protocol-level error frame is queued: flush, then close.
+    close_after_flush: bool,
+    /// When the first byte of the frame currently being assembled
+    /// arrived — the start of the `recv` stage.
+    frame_start: Option<Instant>,
+}
+
+impl Conn {
+    fn new(sock: Sock, slot: Arc<RequestSlot>) -> Conn {
+        Conn {
+            sock,
+            slot,
+            recv: vec![0; 4096],
+            valid: 0,
+            send: Vec::with_capacity(4096),
+            sent: 0,
+            reg: Reg::None,
+            hello_done: false,
+            in_flight: false,
+            req_id: 0,
+            close_after_flush: false,
+            frame_start: None,
+        }
+    }
+
+    /// Discards `n` consumed bytes from the front of the receive buffer.
+    fn consume(&mut self, n: usize) {
+        self.recv.copy_within(n..self.valid, 0);
+        self.valid -= n;
+        self.frame_start = if self.valid > 0 {
+            Some(Instant::now())
+        } else {
+            None
+        };
+    }
+}
+
+// --- The server handle ----------------------------------------------------
+
+/// A running network front end: one event-loop thread serving the
+/// `lr-net` protocol on a TCP or Unix-domain listener, feeding the
+/// [`Server`] it was started from. Created by [`Server::listen`]; stays
+/// up until [`NetServer::shutdown`] (or drop).
+pub struct NetServer {
+    thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    signal: Arc<CompletionSignal>,
+    metrics: Arc<NetMetrics>,
+    local_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Starts a network front end for this server on `bind`: binds the
+    /// listener, spawns the event-loop thread, and returns its handle.
+    /// Multiple listeners (e.g. one TCP, one UDS) can serve one `Server`
+    /// concurrently; each gets its own event loop and connections, while
+    /// admission, batching, and fault tolerance are shared.
+    pub fn listen(&self, bind: NetBind, config: NetConfig) -> io::Result<NetServer> {
+        NetServer::spawn(Arc::clone(&self.core), bind, config)
+    }
+}
+
+impl NetServer {
+    fn spawn(core: Arc<ServerCore>, bind: NetBind, config: NetConfig) -> io::Result<NetServer> {
+        let (listener, local_addr, uds_path) = match bind {
+            NetBind::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                let local = l.local_addr()?;
+                (Listener::Tcp(l), Some(local), None)
+            }
+            NetBind::Unix(path) => {
+                // A stale socket file from a previous run would make bind
+                // fail; remove it first (ignore "not found").
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                l.set_nonblocking(true)?;
+                (Listener::Unix(l), None, Some(path))
+            }
+        };
+        let poll = Poll::new()?;
+        poll.registry()
+            .register(&listener, TOKEN_LISTENER, Interest::READABLE)?;
+        let signal = Arc::new(CompletionSignal {
+            waker: Waker::new(poll.registry(), TOKEN_WAKER)?,
+            ready: Mutex::new(Vec::with_capacity(config.max_connections)),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(NetMetrics::new());
+        let mut event_loop = EventLoop {
+            core,
+            poll,
+            listener,
+            signal: Arc::clone(&signal),
+            conns: Vec::new(),
+            free: Vec::new(),
+            scratch: Vec::with_capacity(config.max_connections),
+            metrics: Arc::clone(&metrics),
+            config,
+            stop: Arc::clone(&stop),
+        };
+        let thread = std::thread::Builder::new()
+            .name("lr-net".to_string())
+            .spawn(move || event_loop.run())
+            .expect("failed to spawn the net event-loop thread");
+        Ok(NetServer {
+            thread: Some(thread),
+            stop,
+            signal,
+            metrics,
+            local_addr,
+            uds_path,
+        })
+    }
+
+    /// The bound TCP address (`None` for a Unix-domain listener). With
+    /// port 0 in [`NetBind::Tcp`] this is where the ephemeral port lands.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Snapshot of this front end's connection counters and wire-stage
+    /// (`recv`/`decode`) latency distributions.
+    pub fn stats(&self) -> NetStats {
+        self.metrics.snapshot()
+    }
+
+    /// Stops the event loop and closes every connection (in-flight
+    /// requests still settle inside the serving core; their responses are
+    /// not written). Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.signal.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// --- The event loop -------------------------------------------------------
+
+struct EventLoop {
+    core: Arc<ServerCore>,
+    poll: Poll,
+    listener: Listener,
+    signal: Arc<CompletionSignal>,
+    /// Connection slab; token = [`FIRST_CONN`] + index.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Reused completion-drain buffer.
+    scratch: Vec<u64>,
+    metrics: Arc<NetMetrics>,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(EVENTS_CAPACITY);
+        loop {
+            if self.poll.poll(&mut events, None).is_err() {
+                // Interrupted is retried inside the shim; anything else
+                // here is unrecoverable for the loop.
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for event in events.iter() {
+                match event.token() {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_completions(),
+                    Token(t) => {
+                        let idx = t - FIRST_CONN;
+                        if idx >= self.conns.len() || self.conns[idx].is_none() {
+                            continue; // already closed this poll round
+                        }
+                        if event.is_writable() && self.conns[idx].is_some() {
+                            self.flush(idx);
+                            self.resume_buffered(idx);
+                        }
+                        if event.is_readable() && self.conns[idx].is_some() {
+                            self.readable(idx);
+                        }
+                    }
+                }
+            }
+        }
+        // Loop exit: close every connection (sockets close on drop; any
+        // in-flight slots settle inside the core and the completion
+        // pushes land on a signal nobody reads — harmless).
+        self.conns.clear();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok(sock) => {
+                    let open = self.conns.iter().filter(|c| c.is_some()).count();
+                    if open >= self.config.max_connections {
+                        self.metrics.refused.fetch_add(1, Ordering::Relaxed);
+                        drop(sock);
+                        continue;
+                    }
+                    let idx = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let conn = Conn::new(sock, Arc::new(RequestSlot::new()));
+                    if self
+                        .poll
+                        .registry()
+                        .register(&conn.sock, Token(FIRST_CONN + idx), Interest::READABLE)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    let mut conn = conn;
+                    conn.reg = Reg::Read;
+                    self.conns[idx] = Some(conn);
+                    self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let signal = Arc::clone(&self.signal);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        signal.drain_into(&mut scratch);
+        for &token in &scratch {
+            let idx = token as usize - FIRST_CONN;
+            if idx < self.conns.len() && self.conns[idx].is_some() {
+                self.completed(idx);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Moves a connection's poll registration to `want` (issuing the
+    /// matching epoll op for the transition).
+    fn reregister(&mut self, idx: usize, want: Reg) {
+        let token = Token(FIRST_CONN + idx);
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        if conn.reg == want {
+            return;
+        }
+        let registry = self.poll.registry();
+        let result = match want {
+            Reg::None => registry.deregister(&conn.sock),
+            Reg::Read if conn.reg == Reg::None => {
+                registry.register(&conn.sock, token, Interest::READABLE)
+            }
+            Reg::Read => registry.reregister(&conn.sock, token, Interest::READABLE),
+            Reg::Write if conn.reg == Reg::None => {
+                registry.register(&conn.sock, token, Interest::WRITABLE)
+            }
+            Reg::Write => registry.reregister(&conn.sock, token, Interest::WRITABLE),
+        };
+        match result {
+            Ok(()) => conn.reg = want,
+            Err(_) => self.close(idx),
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        if self.conns[idx].take().is_some() {
+            // Socket (and its registration) close with the drop. A slot
+            // still in flight keeps living through the queue's Arc; the
+            // dispatcher settles it, releases its in-flight count, and
+            // the completion push targets a token that no longer resolves
+            // to a connection — exactly the disconnect-mid-request path.
+            self.metrics.closed.fetch_add(1, Ordering::Relaxed);
+            self.free.push(idx);
+        }
+    }
+
+    // --- Read path --------------------------------------------------------
+
+    fn readable(&mut self, idx: usize) {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.in_flight || conn.close_after_flush {
+                return;
+            }
+            if conn.valid == conn.recv.len() {
+                let grown = (conn.recv.len() * 2)
+                    .max(READ_CHUNK)
+                    .min(LEN_PREFIX + self.config.max_frame_len as usize);
+                conn.recv.resize(grown.max(conn.recv.len()), 0);
+            }
+            match conn.sock.read(&mut conn.recv[conn.valid..]) {
+                Ok(0) => {
+                    // EOF. Mid-frame this is a truncated frame — the peer
+                    // is gone either way, so the close is the whole story.
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => {
+                    if conn.valid == 0 {
+                        conn.frame_start = Some(Instant::now());
+                    }
+                    conn.valid += n;
+                    self.process_frames(idx);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handles every complete frame sitting in the receive buffer,
+    /// stopping when a request goes in flight, a protocol error queues a
+    /// close, or only a partial frame remains.
+    fn process_frames(&mut self, idx: usize) {
+        loop {
+            let conn = match self.conns[idx].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.in_flight || conn.close_after_flush {
+                return;
+            }
+            if conn.valid < LEN_PREFIX {
+                return;
+            }
+            let len = get_u32(&conn.recv, 0) as usize;
+            if len < HEADER_LEN {
+                self.protocol_error(idx, ERR_MALFORMED, 0);
+                return;
+            }
+            if len > self.config.max_frame_len as usize {
+                // Refused by declared length alone — the frame is never
+                // buffered.
+                self.protocol_error(idx, ERR_OVERSIZED, 0);
+                return;
+            }
+            let total = LEN_PREFIX + len;
+            if conn.recv.len() < total {
+                conn.recv.resize(total, 0);
+            }
+            if conn.valid < total {
+                return; // partial frame: keep the read registration
+            }
+            let recv_done = Instant::now();
+            self.handle_frame(idx, total, recv_done);
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.consume(total);
+            }
+        }
+    }
+
+    /// Dispatches one complete frame (`LEN_PREFIX..total` of the receive
+    /// buffer).
+    fn handle_frame(&mut self, idx: usize, total: usize, recv_done: Instant) {
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        let header = match parse_header(&conn.recv[LEN_PREFIX..total]) {
+            Ok(h) => h,
+            Err(()) => {
+                self.protocol_error(idx, ERR_MALFORMED, 0);
+                return;
+            }
+        };
+        if header.version != PROTOCOL_VERSION {
+            self.protocol_error(idx, ERR_UNSUPPORTED_VERSION, header.request_id);
+            return;
+        }
+        match header.kind {
+            KIND_HELLO => self.handle_hello(idx, total, header.request_id),
+            KIND_REQUEST if self.conns[idx].as_ref().expect("live").hello_done => {
+                self.handle_request(idx, total, header.request_id, recv_done)
+            }
+            // A request before Hello, or any server→client kind arriving
+            // at the server, is a framing-contract violation.
+            _ => self.protocol_error(idx, ERR_MALFORMED, header.request_id),
+        }
+    }
+
+    fn handle_hello(&mut self, idx: usize, total: usize, request_id: u64) {
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        let body = &conn.recv[LEN_PREFIX + HEADER_LEN..total];
+        if body.len() != HELLO_BODY_LEN {
+            self.protocol_error(idx, ERR_MALFORMED, request_id);
+            return;
+        }
+        let min = get_u16(body, 0) as u8;
+        let max = get_u16(body, 2) as u8;
+        if min > PROTOCOL_VERSION || max < PROTOCOL_VERSION {
+            self.protocol_error(idx, ERR_UNSUPPORTED_VERSION, request_id);
+            return;
+        }
+        conn.hello_done = true;
+        let at = begin_frame(&mut conn.send, KIND_HELLO_ACK, request_id);
+        put_u16(&mut conn.send, u16::from(PROTOCOL_VERSION));
+        put_u16(&mut conn.send, 0);
+        put_u32(&mut conn.send, self.config.max_frame_len);
+        finish_frame(&mut conn.send, at);
+        self.flush(idx);
+    }
+
+    fn handle_request(&mut self, idx: usize, total: usize, request_id: u64, recv_done: Instant) {
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        let body = &conn.recv[LEN_PREFIX + HEADER_LEN..total];
+        if body.len() < REQUEST_FIXED_LEN {
+            self.protocol_error(idx, ERR_MALFORMED, request_id);
+            return;
+        }
+        let model_raw = get_u32(body, 0);
+        let deadline_us = get_u64(body, 4);
+        let rows = get_u16(body, 12) as usize;
+        let cols = get_u16(body, 14) as usize;
+        let expected = REQUEST_FIXED_LEN + rows * cols * BYTES_PER_SAMPLE;
+        if body.len() != expected {
+            self.protocol_error(idx, ERR_MALFORMED, request_id);
+            return;
+        }
+        // The recv stage covers request frames only (Hello is handshake
+        // overhead, not request latency).
+        if let Some(start) = conn.frame_start {
+            self.metrics.recv.record(ns_between(start, recv_done));
+        }
+        let model = ModelId(model_raw as usize);
+        let budget = if deadline_us == 0 {
+            self.core.policy.default_deadline
+        } else {
+            Duration::from_micros(deadline_us)
+        };
+        let deadline = Instant::now() + budget;
+        let payload = &body[REQUEST_FIXED_LEN..];
+        let waker = SlotWaker {
+            signal: Arc::clone(&self.signal),
+            token: (FIRST_CONN + idx) as u64,
+        };
+        // Decode straight off the wire into the slot's input plane (the
+        // `fill` callback runs under the slot lock inside `submit`).
+        let submitted = self.core.submit(
+            &conn.slot,
+            model,
+            (rows, cols),
+            deadline,
+            Some(waker),
+            |staged| {
+                for (i, z) in staged.as_mut_slice().iter_mut().enumerate() {
+                    z.re = get_f64(payload, i * BYTES_PER_SAMPLE);
+                    z.im = get_f64(payload, i * BYTES_PER_SAMPLE + 8);
+                }
+            },
+        );
+        match submitted {
+            Ok((request, sampled)) => {
+                let decode_done = Instant::now();
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .decode
+                    .record(ns_between(recv_done, decode_done));
+                if sampled {
+                    let shard = self.core.shard_of(model);
+                    let frame_start = conn.frame_start.unwrap_or(recv_done);
+                    self.core.trace_net_span(
+                        EventKind::Recv,
+                        shard,
+                        model.0,
+                        request,
+                        frame_start,
+                        recv_done,
+                    );
+                    self.core.trace_net_span(
+                        EventKind::Decode,
+                        shard,
+                        model.0,
+                        request,
+                        recv_done,
+                        decode_done,
+                    );
+                }
+                conn.in_flight = true;
+                conn.req_id = request_id;
+                // Pause reads until the response is out: backpressure
+                // stays in the client's socket buffer.
+                self.reregister(idx, Reg::None);
+            }
+            Err(err) => {
+                self.metrics.request_errors.fetch_add(1, Ordering::Relaxed);
+                encode_serve_error(&mut conn.send, request_id, err);
+                self.flush(idx);
+            }
+        }
+    }
+
+    /// Queues a protocol-level error frame and arranges the close.
+    fn protocol_error(&mut self, idx: usize, code: u8, request_id: u64) {
+        self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        let at = begin_frame(&mut conn.send, KIND_ERROR, request_id);
+        conn.send.push(code);
+        conn.send.push(0);
+        for _ in 0..4 {
+            put_u16(&mut conn.send, 0);
+        }
+        finish_frame(&mut conn.send, at);
+        conn.close_after_flush = true;
+        self.flush(idx);
+    }
+
+    // --- Completion / write path ------------------------------------------
+
+    /// A dispatcher settled this connection's slot: read the outcome,
+    /// encode the response or typed error, and resume reading.
+    fn completed(&mut self, idx: usize) {
+        let conn = self.conns[idx].as_mut().expect("live connection");
+        if !conn.in_flight {
+            return; // stale token (connection was recycled)
+        }
+        let outcome = {
+            let mut st = conn.slot.lock();
+            let outcome = st.stage;
+            match outcome {
+                Stage::Done => {
+                    let at = begin_frame(&mut conn.send, KIND_RESPONSE, conn.req_id);
+                    conn.send.push(0); // status: ok
+                    conn.send.push(0); // reserved
+                    put_u16(&mut conn.send, st.logits.len() as u16);
+                    for &l in &st.logits {
+                        conn.send.extend_from_slice(&l.to_le_bytes());
+                    }
+                    finish_frame(&mut conn.send, at);
+                }
+                Stage::Failed(err) => encode_serve_error(&mut conn.send, conn.req_id, err),
+                // Spurious wake (cannot happen: completions fire exactly
+                // once per settle) — leave the slot alone.
+                Stage::Idle | Stage::Queued => return,
+            }
+            st.stage = Stage::Idle;
+            st.entry = None;
+            st.waker = None;
+            outcome
+        };
+        match outcome {
+            Stage::Done => self.metrics.responses.fetch_add(1, Ordering::Relaxed),
+            _ => self.metrics.request_errors.fetch_add(1, Ordering::Relaxed),
+        };
+        conn.in_flight = false;
+        self.flush(idx);
+        // Frames that arrived before the read side was paused are already
+        // in the user-space buffer; the poll will not re-announce them.
+        self.resume_buffered(idx);
+    }
+
+    /// Picks frame processing back up after an out-of-band flush (response
+    /// completion, or a writable event draining a backed-up send buffer).
+    /// Never called from inside [`EventLoop::process_frames`] — the frame
+    /// being handled there is not yet consumed, and re-entering would
+    /// process it twice.
+    fn resume_buffered(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].as_ref() {
+            if !conn.in_flight && !conn.close_after_flush {
+                self.process_frames(idx);
+            }
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts. Transitions
+    /// the registration: pending bytes → `Write`, drained → `Read` (or
+    /// close, if a protocol error asked for it). Does **not** resume frame
+    /// processing — see [`EventLoop::resume_buffered`].
+    fn flush(&mut self, idx: usize) {
+        let conn = match self.conns[idx].as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        while conn.sent < conn.send.len() {
+            match conn.sock.write(&conn.send[conn.sent..]) {
+                Ok(0) => {
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => conn.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reregister(idx, Reg::Write);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // The peer vanished (reset/EPIPE). For an in-flight
+                    // completion this is the disconnect-mid-request path:
+                    // the slot has already settled and its in-flight count
+                    // is released, so closing here leaks nothing.
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+        conn.send.clear();
+        conn.sent = 0;
+        if conn.close_after_flush {
+            self.close(idx);
+            return;
+        }
+        if !conn.in_flight {
+            self.reregister(idx, Reg::Read);
+        }
+    }
+}
+
+fn ns_between(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn encode_serve_error(send: &mut Vec<u8>, request_id: u64, err: ServeError) {
+    let at = begin_frame(send, KIND_ERROR, request_id);
+    send.push(error_code(err));
+    send.push(0);
+    let detail: [u16; 4] = match err {
+        ServeError::ShapeMismatch { expected, got } => [
+            expected.0 as u16,
+            expected.1 as u16,
+            got.0 as u16,
+            got.1 as u16,
+        ],
+        _ => [0; 4],
+    };
+    for d in detail {
+        put_u16(send, d);
+    }
+    finish_frame(send, at);
+}

@@ -1,0 +1,219 @@
+//! Wire-format constants and codec helpers for the `lr-net` protocol.
+//!
+//! This module is the single in-repo implementation of the frame layout
+//! specified normatively in `docs/PROTOCOL.md` — the server connection
+//! layer, the blocking [`crate::NetClient`], and the load generator all
+//! encode and decode through these helpers. Keep the two in lockstep: a
+//! change here is a protocol revision and must bump [`VERSION`] (or stay
+//! wire-compatible) and update the spec.
+//!
+//! Layout recap (all integers little-endian; see the spec for the
+//! normative field tables):
+//!
+//! ```text
+//! frame    := len:u32  header  body
+//! header   := magic:"LR"  version:u8  kind:u8  request_id:u64
+//! len      counts header + body (so len >= 12)
+//! ```
+
+use crate::server::ServeError;
+
+/// Frame magic: the two bytes `"LR"`, in byte order (not an integer).
+pub(crate) const MAGIC: [u8; 2] = *b"LR";
+
+/// The protocol version this build speaks (offered in `Hello`, selected
+/// in `HelloAck`, stamped on every subsequent frame).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Size of the fixed frame header counted by the length prefix:
+/// magic (2) + version (1) + kind (1) + request id (8).
+pub(crate) const HEADER_LEN: usize = 12;
+
+/// Size of the length prefix itself.
+pub(crate) const LEN_PREFIX: usize = 4;
+
+/// Default cap on `len` (header + body) a peer will accept, advertised by
+/// the server in `HelloAck`. Sized for the largest supported input plane
+/// (a 512×512 complex field is 4 MiB of payload) with headroom.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
+
+// --- Frame kinds ----------------------------------------------------------
+
+/// Client → server: version negotiation opener (must be the first frame).
+pub(crate) const KIND_HELLO: u8 = 1;
+/// Server → client: negotiation accept (version chosen + frame cap).
+pub(crate) const KIND_HELLO_ACK: u8 = 2;
+/// Client → server: one inference request.
+pub(crate) const KIND_REQUEST: u8 = 3;
+/// Server → client: successful response (logits).
+pub(crate) const KIND_RESPONSE: u8 = 4;
+/// Server → client: typed failure (request-level or protocol-level).
+pub(crate) const KIND_ERROR: u8 = 5;
+
+// --- Body sizes -----------------------------------------------------------
+
+/// `Hello` body: min_version u16 + max_version u16.
+pub(crate) const HELLO_BODY_LEN: usize = 4;
+/// `HelloAck` body: version u16 + reserved u16 + max_frame_len u32.
+pub(crate) const HELLO_ACK_BODY_LEN: usize = 8;
+/// Fixed prefix of a `Request` body: model u32 + deadline_us u64 +
+/// rows u16 + cols u16 (the complex-f64 payload follows).
+pub(crate) const REQUEST_FIXED_LEN: usize = 16;
+/// Fixed prefix of a `Response` body: status u8 + reserved u8 +
+/// count u16 (the f64 logits follow).
+pub(crate) const RESPONSE_FIXED_LEN: usize = 4;
+/// `Error` body: code u8 + reserved u8 + four u16 shape details.
+pub(crate) const ERROR_BODY_LEN: usize = 10;
+
+/// Bytes per complex input sample on the wire (re f64 + im f64).
+pub(crate) const BYTES_PER_SAMPLE: usize = 16;
+
+// --- Error-code registry --------------------------------------------------
+// Codes 1..=10 map 1:1 onto `ServeError` (request-level: the connection
+// stays usable). Codes 64.. are protocol-level: the server sends the
+// error frame and then closes the connection, because framing can no
+// longer be trusted.
+
+/// [`ServeError::QueueFull`].
+pub(crate) const ERR_QUEUE_FULL: u8 = 1;
+/// [`ServeError::ModelBusy`].
+pub(crate) const ERR_MODEL_BUSY: u8 = 2;
+/// [`ServeError::Shed`].
+pub(crate) const ERR_SHED: u8 = 3;
+/// [`ServeError::ShuttingDown`].
+pub(crate) const ERR_SHUTTING_DOWN: u8 = 4;
+/// [`ServeError::UnknownModel`].
+pub(crate) const ERR_UNKNOWN_MODEL: u8 = 5;
+/// [`ServeError::Deadline`].
+pub(crate) const ERR_DEADLINE: u8 = 6;
+/// [`ServeError::WorkerPanic`].
+pub(crate) const ERR_WORKER_PANIC: u8 = 7;
+/// [`ServeError::Quarantined`].
+pub(crate) const ERR_QUARANTINED: u8 = 8;
+/// [`ServeError::ChannelClosed`].
+pub(crate) const ERR_CHANNEL_CLOSED: u8 = 9;
+/// [`ServeError::ShapeMismatch`] (shape details in the error body).
+pub(crate) const ERR_SHAPE_MISMATCH: u8 = 10;
+
+/// Protocol-level: unparseable frame (bad magic, bad kind, inconsistent
+/// lengths, `Request` before `Hello`). Connection closes.
+pub(crate) const ERR_MALFORMED: u8 = 64;
+/// Protocol-level: no overlap between the client's offered version range
+/// and the server's. Connection closes.
+pub(crate) const ERR_UNSUPPORTED_VERSION: u8 = 65;
+/// Protocol-level: declared frame length exceeds the negotiated cap.
+/// Connection closes (the server never buffers an oversized frame).
+pub(crate) const ERR_OVERSIZED: u8 = 66;
+
+/// Maps a serve-path failure onto its wire code (1:1; see the registry in
+/// `docs/PROTOCOL.md`).
+pub(crate) fn error_code(err: ServeError) -> u8 {
+    match err {
+        ServeError::QueueFull => ERR_QUEUE_FULL,
+        ServeError::ModelBusy => ERR_MODEL_BUSY,
+        ServeError::Shed => ERR_SHED,
+        ServeError::ShuttingDown => ERR_SHUTTING_DOWN,
+        ServeError::UnknownModel => ERR_UNKNOWN_MODEL,
+        ServeError::Deadline => ERR_DEADLINE,
+        ServeError::WorkerPanic => ERR_WORKER_PANIC,
+        ServeError::Quarantined => ERR_QUARANTINED,
+        ServeError::ChannelClosed => ERR_CHANNEL_CLOSED,
+        ServeError::ShapeMismatch { .. } => ERR_SHAPE_MISMATCH,
+    }
+}
+
+/// Decodes a request-level wire code (+ shape details) back into the
+/// typed [`ServeError`]; `None` for protocol-level or unknown codes.
+pub(crate) fn decode_error(code: u8, detail: [u16; 4]) -> Option<ServeError> {
+    Some(match code {
+        ERR_QUEUE_FULL => ServeError::QueueFull,
+        ERR_MODEL_BUSY => ServeError::ModelBusy,
+        ERR_SHED => ServeError::Shed,
+        ERR_SHUTTING_DOWN => ServeError::ShuttingDown,
+        ERR_UNKNOWN_MODEL => ServeError::UnknownModel,
+        ERR_DEADLINE => ServeError::Deadline,
+        ERR_WORKER_PANIC => ServeError::WorkerPanic,
+        ERR_QUARANTINED => ServeError::Quarantined,
+        ERR_CHANNEL_CLOSED => ServeError::ChannelClosed,
+        ERR_SHAPE_MISMATCH => ServeError::ShapeMismatch {
+            expected: (detail[0] as usize, detail[1] as usize),
+            got: (detail[2] as usize, detail[3] as usize),
+        },
+        _ => return None,
+    })
+}
+
+// --- Little-endian read/write helpers -------------------------------------
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+pub(crate) fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+pub(crate) fn get_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+pub(crate) fn get_f64(buf: &[u8], at: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Appends a frame header (after reserving the length prefix) and returns
+/// the index of the length prefix for [`finish_frame`].
+pub(crate) fn begin_frame(buf: &mut Vec<u8>, kind: u8, request_id: u64) -> usize {
+    let at = buf.len();
+    put_u32(buf, 0); // length prefix, patched by finish_frame
+    buf.extend_from_slice(&MAGIC);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(kind);
+    put_u64(buf, request_id);
+    at
+}
+
+/// Patches the length prefix of the frame begun at `at` to cover
+/// everything appended since (header + body).
+pub(crate) fn finish_frame(buf: &mut [u8], at: usize) {
+    let len = (buf.len() - at - LEN_PREFIX) as u32;
+    buf[at..at + LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+}
+
+/// One parsed frame header (the 12 bytes after the length prefix).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameHeader {
+    pub(crate) version: u8,
+    pub(crate) kind: u8,
+    pub(crate) request_id: u64,
+}
+
+/// Parses the header of a complete frame (`frame` excludes the length
+/// prefix and is exactly `len` bytes). `Err` means bad magic or a
+/// too-short frame — [`ERR_MALFORMED`] territory.
+pub(crate) fn parse_header(frame: &[u8]) -> Result<FrameHeader, ()> {
+    if frame.len() < HEADER_LEN || frame[0..2] != MAGIC {
+        return Err(());
+    }
+    Ok(FrameHeader {
+        version: frame[2],
+        kind: frame[3],
+        request_id: get_u64(frame, 4),
+    })
+}

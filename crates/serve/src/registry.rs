@@ -45,6 +45,17 @@ impl ModelId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw registry slot index. Needed by wire
+    /// clients: the `lr-net` protocol addresses models by this index
+    /// (`docs/PROTOCOL.md`), and a remote peer has no
+    /// [`crate::Server::resolve`] to mint handles with, so the index
+    /// travels out of band. An index that names no live slot fails at
+    /// admission with [`crate::ServeError::UnknownModel`] — never
+    /// undefined behavior.
+    pub fn from_index(index: usize) -> ModelId {
+        ModelId(index)
+    }
 }
 
 /// Which detector-plane readout scheme an emulated variant serves.

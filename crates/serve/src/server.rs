@@ -272,22 +272,43 @@ impl std::error::Error for ServeError {}
 
 /// Where a request slot is in its lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Stage {
+pub(crate) enum Stage {
     Idle,
     Queued,
     Done,
     Failed(ServeError),
 }
 
+/// Completion notifier for socket-served slots: instead of blocking on the
+/// slot condvar (the in-process client's protocol), the connection event
+/// loop parks the request and asks to be poked — any terminal stage
+/// transition pushes the connection's token onto the net layer's
+/// completion queue and wakes its poll. `None` for in-process clients, so
+/// every completion site stays one branch when no socket is involved
+/// (mirroring the fault/trace seams); cloning is an `Arc` refcount bump
+/// plus a `u64` copy — never an allocation.
+#[derive(Clone, Debug)]
+pub(crate) struct SlotWaker {
+    pub(crate) signal: Arc<crate::net::CompletionSignal>,
+    pub(crate) token: u64,
+}
+
+impl SlotWaker {
+    #[inline]
+    fn wake(&self) {
+        self.signal.complete(self.token);
+    }
+}
+
 /// Mutable half of a request slot, guarded by the slot mutex.
 #[derive(Debug)]
-struct SlotState {
-    stage: Stage,
+pub(crate) struct SlotState {
+    pub(crate) stage: Stage,
     model: ModelId,
     /// The registry entry this request was admitted against: an in-flight
     /// request completes on its own version even if the registry flips or
     /// the entry is retired while it is queued.
-    entry: Option<Arc<RegisteredModel>>,
+    pub(crate) entry: Option<Arc<RegisteredModel>>,
     /// Bumped on every submission staged into this reusable slot. Panic
     /// recovery captures the ticket of each drained request and only
     /// fails a slot whose ticket still matches — a client that already
@@ -296,7 +317,7 @@ struct SlotState {
     /// twice) by the recovery of the old batch.
     ticket: u64,
     input: Field,
-    logits: Vec<f64>,
+    pub(crate) logits: Vec<f64>,
     enqueued_at: Instant,
     /// Stamped by the dispatcher's pre-staging sweep when the request
     /// leaves the queues for good: the boundary between the `queue_wait`
@@ -314,19 +335,22 @@ struct SlotState {
     /// Whether this request's stage spans are recorded into the trace
     /// ring ([`TraceConfig::sampled`]; always false when tracing is off).
     sampled: bool,
+    /// Set (per submission) for socket-served requests; `None` for the
+    /// in-process client. See [`SlotWaker`].
+    pub(crate) waker: Option<SlotWaker>,
 }
 
 /// One client's reusable request cell: the input/output buffers live here
 /// across requests, which is what keeps the client side of the serve path
 /// allocation-free in steady state.
 #[derive(Debug)]
-struct RequestSlot {
+pub(crate) struct RequestSlot {
     state: Mutex<SlotState>,
     cv: Condvar,
 }
 
 impl RequestSlot {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         RequestSlot {
             state: Mutex::new(SlotState {
                 stage: Stage::Idle,
@@ -340,15 +364,40 @@ impl RequestSlot {
                 deadline: Instant::now(),
                 request: 0,
                 sampled: false,
+                waker: None,
             }),
             cv: Condvar::new(),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, SlotState> {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, SlotState> {
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Finishes a terminal stage transition: releases the slot lock, wakes
+    /// the in-process condvar waiter, and — socket-served slots — pokes
+    /// the connection event loop. **Every** `Queued → Done/Failed` flip
+    /// must go through here (or [`RequestSlot::fail`], which does); a site
+    /// that only notifies the condvar would leave a socket request parked
+    /// forever.
+    fn settle(&self, st: MutexGuard<'_, SlotState>) {
+        let waker = st.waker.clone();
+        drop(st);
+        self.notify(waker);
+    }
+
+    /// The notification half of [`RequestSlot::settle`], for sites that
+    /// must retire in-flight accounting between the stage flip and the
+    /// wake (so a woken client never sees its own completed request still
+    /// counted): wakes the condvar waiter plus the optional net waker
+    /// captured under the slot lock.
+    fn notify(&self, waker: Option<SlotWaker>) {
+        self.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
     }
 
     /// Fails a queued request and wakes its client.
@@ -356,8 +405,7 @@ impl RequestSlot {
         let mut st = self.lock();
         if st.stage == Stage::Queued {
             st.stage = Stage::Failed(err);
-            drop(st);
-            self.cv.notify_all();
+            self.settle(st);
         }
     }
 }
@@ -530,9 +578,9 @@ impl TraceSnapshot {
 }
 
 /// Shared core between the server handle, clients, and the dispatchers.
-struct ServerCore {
+pub(crate) struct ServerCore {
     registry: SharedRegistry,
-    policy: BatchPolicy,
+    pub(crate) policy: BatchPolicy,
     shards: Vec<Shard>,
     /// Worker-context count per shard (fixed at start; registration uses
     /// it to size workspace deliveries).
@@ -578,7 +626,7 @@ struct ServerCore {
 }
 
 impl ServerCore {
-    fn shard_of(&self, model: ModelId) -> usize {
+    pub(crate) fn shard_of(&self, model: ModelId) -> usize {
         model.0 % self.shards.len()
     }
 
@@ -695,6 +743,34 @@ impl ServerCore {
                 (request, t.config.sampled(request))
             }
             None => (0, false),
+        }
+    }
+
+    /// Trace seam for the network front end's wire-side stage spans
+    /// ([`EventKind::Recv`] / [`EventKind::Decode`]): records one span
+    /// into `shard`'s ring for a sampled request. Only called when the
+    /// admission already reported `sampled == true`, so the tracing-off
+    /// case never reaches here.
+    #[inline]
+    pub(crate) fn trace_net_span(
+        &self,
+        kind: EventKind,
+        shard: usize,
+        model: usize,
+        request: u64,
+        start: Instant,
+        end: Instant,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.shard_rings[shard].record(&TraceEvent::span(
+                kind,
+                Outcome::Ok,
+                shard,
+                model,
+                request,
+                t.ns_of(start),
+                t.ns_of(end),
+            ));
         }
     }
 
@@ -829,6 +905,189 @@ impl ServerCore {
         }
     }
 
+    /// Validates, stages, and enqueues one request into `slot` **without
+    /// blocking** — the shared admission path under both front ends. The
+    /// in-process client calls this and then waits on the slot condvar;
+    /// the net layer's event loop calls it from connection handling (with
+    /// a [`SlotWaker`]) and returns to its poll, so one slow request never
+    /// stalls the other connections.
+    ///
+    /// The sequence (each step's locks released before the next): registry
+    /// snapshot → liveness/shape/deadline checks → pin the entry, drop the
+    /// snapshot → stage into `slot` (slot lock; `fill` writes the input
+    /// plane directly into the slot's reusable buffer — the network path
+    /// decodes straight off the wire here, no intermediate `Field`) →
+    /// per-model in-flight cap → shard queue admission (reject/shed per
+    /// policy) → dispatcher wakeup. On `Ok` the request is queued and will
+    /// settle (Done or Failed) exactly once; the returned pair is the
+    /// trace id and sampling decision from [`ServerCore::trace_admit`].
+    /// On `Err` the slot is back to `Idle` and nothing is queued or
+    /// counted.
+    ///
+    /// Allocation-free in steady state: staging reuses the slot's buffers
+    /// (the input plane is reallocated only when the request shape
+    /// changes), and every queue push lands in preallocated capacity.
+    pub(crate) fn submit(
+        &self,
+        slot: &Arc<RequestSlot>,
+        model: ModelId,
+        shape: (usize, usize),
+        deadline: Instant,
+        waker: Option<SlotWaker>,
+        fill: impl FnOnce(&mut Field),
+    ) -> Result<(u64, bool), ServeError> {
+        let snapshot = self.registry.load();
+        let entry = match snapshot.slot(model) {
+            Some(EntrySlot::Live(entry)) => entry,
+            Some(EntrySlot::Quarantined { .. }) => {
+                // Fail fast: the model panicked on consecutive serves and
+                // the supervisor pulled it out of rotation.
+                self.metrics.record_rejected();
+                return Err(ServeError::Quarantined);
+            }
+            _ => return Err(ServeError::UnknownModel),
+        };
+        if entry.shape() != shape {
+            return Err(ServeError::ShapeMismatch {
+                expected: entry.shape(),
+                got: shape,
+            });
+        }
+        if Instant::now() >= deadline {
+            self.metrics.record_deadline_expired();
+            // No request id yet (assignment happens at slot staging);
+            // attributable by shard/model and timestamp.
+            self.trace_instant(EventKind::DeadlineExpired, self.shard_of(model), model.0, 0);
+            return Err(ServeError::Deadline);
+        }
+        // Fault seam: refuse one admission as if the queue were full.
+        // Placed before any slot/counter staging so nothing needs undoing.
+        if self.fault_fires(FaultKind::QueueFull) {
+            self.metrics.record_rejected();
+            return Err(ServeError::QueueFull);
+        }
+        let entry = Arc::clone(entry);
+        let admit_epoch = snapshot.epoch;
+        // Drop the snapshot before doing anything that can block: a
+        // waiting client must pin only its *own* entry, never every entry
+        // of its admission epoch — a held snapshot would keep retired
+        // siblings' parameters alive and stall their reclaim (an Arc
+        // refcount drop, not an allocation).
+        drop(snapshot);
+        // Stage the request in the slot (slot lock only).
+        let (request, sampled) = self.trace_admit();
+        {
+            let mut st = slot.lock();
+            debug_assert_eq!(
+                st.stage,
+                Stage::Idle,
+                "client reused while a request is in flight"
+            );
+            st.model = model;
+            st.entry = Some(entry);
+            st.ticket = st.ticket.wrapping_add(1);
+            st.request = request;
+            st.sampled = sampled;
+            st.waker = waker;
+            if st.input.shape() != shape {
+                st.input = Field::zeros(shape.0, shape.1);
+            }
+            fill(&mut st.input);
+            st.enqueued_at = Instant::now();
+            st.deadline = deadline;
+            st.stage = Stage::Queued;
+        }
+        // Per-model cap first (atomic, shard-independent) ...
+        if !self.inflight_try_acquire(model) {
+            let mut st = slot.lock();
+            st.stage = Stage::Idle;
+            st.entry = None;
+            st.waker = None;
+            drop(st);
+            self.metrics.record_rejected();
+            return Err(ServeError::ModelBusy);
+        }
+        // ... then shard admission (queue lock only — never while holding
+        // the slot lock).
+        let shard_idx = self.shard_of(model);
+        let shard = &self.shards[shard_idx];
+        let admitted = {
+            let mut q = shard.lock_queue();
+            if q.shutdown {
+                Err(ServeError::ShuttingDown)
+            } else if q.queue.len() >= self.policy.queue_cap {
+                match self.policy.admission {
+                    AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
+                    AdmissionPolicy::ShedOldest => {
+                        // Shed by least remaining lifetime, not arrival
+                        // order: the victim is the queued request closest
+                        // to (or past) its deadline — with uniform
+                        // deadlines that is still the oldest request.
+                        let victim_idx = q
+                            .queue
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| r.deadline)
+                            .map(|(i, _)| i)
+                            // queue_cap > 0 (asserted at start) and this
+                            // branch requires len >= cap, so the queue is
+                            // non-empty here.
+                            .expect("cap > 0 so queue non-empty");
+                        let victim = q
+                            .queue
+                            .remove(victim_idx)
+                            .expect("index from enumerate is in bounds");
+                        q.queue.push_back(QueuedRequest {
+                            epoch: admit_epoch,
+                            deadline,
+                            slot: Arc::clone(slot),
+                        });
+                        shard.depth.store(q.queue.len(), Ordering::Relaxed);
+                        // Fail the victim outside the queue lock.
+                        Ok(Some(victim.slot))
+                    }
+                }
+            } else {
+                q.queue.push_back(QueuedRequest {
+                    epoch: admit_epoch,
+                    deadline,
+                    slot: Arc::clone(slot),
+                });
+                shard.depth.store(q.queue.len(), Ordering::Relaxed);
+                Ok(None)
+            }
+        };
+        match admitted {
+            Err(e) => {
+                let mut st = slot.lock();
+                st.stage = Stage::Idle;
+                st.entry = None;
+                st.waker = None;
+                drop(st);
+                self.inflight_release(model);
+                if e != ServeError::ShuttingDown {
+                    self.metrics.record_rejected();
+                }
+                Err(e)
+            }
+            Ok(victim) => {
+                shard.work_cv.notify_all();
+                self.notify_siblings_if_hot(shard_idx);
+                if let Some(victim) = victim {
+                    let (victim_model, victim_request) = {
+                        let st = victim.lock();
+                        (st.model, st.request)
+                    };
+                    self.inflight_release(victim_model);
+                    self.metrics.record_shed();
+                    self.trace_instant(EventKind::Shed, shard_idx, victim_model.0, victim_request);
+                    victim.fail(ServeError::Shed);
+                }
+                Ok((request, sampled))
+            }
+        }
+    }
+
     /// Mails `model` to the supervisor for a quarantine flip and wakes it.
     /// Safe from dispatcher threads: no registry write lock taken here.
     fn request_quarantine(&self, model: ModelId) {
@@ -901,163 +1160,10 @@ impl InProcessClient {
         deadline: Instant,
         logits: &mut Vec<f64>,
     ) -> Result<(), ServeError> {
-        let snapshot = self.core.registry.load();
-        let entry = match snapshot.slot(model) {
-            Some(EntrySlot::Live(entry)) => entry,
-            Some(EntrySlot::Quarantined { .. }) => {
-                // Fail fast: the model panicked on consecutive serves and
-                // the supervisor pulled it out of rotation.
-                self.core.metrics.record_rejected();
-                return Err(ServeError::Quarantined);
-            }
-            _ => return Err(ServeError::UnknownModel),
-        };
-        if entry.shape() != input.shape() {
-            return Err(ServeError::ShapeMismatch {
-                expected: entry.shape(),
-                got: input.shape(),
-            });
-        }
-        if Instant::now() >= deadline {
-            self.core.metrics.record_deadline_expired();
-            // No request id yet (assignment happens at slot staging);
-            // attributable by shard/model and timestamp.
-            self.core.trace_instant(
-                EventKind::DeadlineExpired,
-                self.core.shard_of(model),
-                model.0,
-                0,
-            );
-            return Err(ServeError::Deadline);
-        }
-        // Fault seam: refuse one admission as if the queue were full.
-        // Placed before any slot/counter staging so nothing needs undoing.
-        if self.core.fault_fires(FaultKind::QueueFull) {
-            self.core.metrics.record_rejected();
-            return Err(ServeError::QueueFull);
-        }
-        let entry = Arc::clone(entry);
-        let admit_epoch = snapshot.epoch;
-        // Drop the snapshot before doing anything that can block: a
-        // waiting client must pin only its *own* entry, never every entry
-        // of its admission epoch — a held snapshot would keep retired
-        // siblings' parameters alive and stall their reclaim (an Arc
-        // refcount drop, not an allocation).
-        drop(snapshot);
-        // Stage the request in our slot (slot lock only).
-        let (request, sampled) = self.core.trace_admit();
-        {
-            let mut st = self.slot.lock();
-            debug_assert_eq!(
-                st.stage,
-                Stage::Idle,
-                "client reused while a request is in flight"
-            );
-            st.model = model;
-            st.entry = Some(entry);
-            st.ticket = st.ticket.wrapping_add(1);
-            st.request = request;
-            st.sampled = sampled;
-            if st.input.shape() != input.shape() {
-                st.input = input.clone();
-            } else {
-                st.input.copy_from(input);
-            }
-            st.enqueued_at = Instant::now();
-            st.deadline = deadline;
-            st.stage = Stage::Queued;
-        }
-        // Per-model cap first (atomic, shard-independent) ...
-        if !self.core.inflight_try_acquire(model) {
-            let mut st = self.slot.lock();
-            st.stage = Stage::Idle;
-            st.entry = None;
-            drop(st);
-            self.core.metrics.record_rejected();
-            return Err(ServeError::ModelBusy);
-        }
-        // ... then shard admission (queue lock only — never while holding
-        // the slot lock).
-        let shard_idx = self.core.shard_of(model);
-        let shard = &self.core.shards[shard_idx];
-        let admitted = {
-            let mut q = shard.lock_queue();
-            if q.shutdown {
-                Err(ServeError::ShuttingDown)
-            } else if q.queue.len() >= self.core.policy.queue_cap {
-                match self.core.policy.admission {
-                    AdmissionPolicy::RejectNew => Err(ServeError::QueueFull),
-                    AdmissionPolicy::ShedOldest => {
-                        // Shed by least remaining lifetime, not arrival
-                        // order: the victim is the queued request closest
-                        // to (or past) its deadline — with uniform
-                        // deadlines that is still the oldest request.
-                        let victim_idx = q
-                            .queue
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, r)| r.deadline)
-                            .map(|(i, _)| i)
-                            // queue_cap > 0 (asserted at start) and this
-                            // branch requires len >= cap, so the queue is
-                            // non-empty here.
-                            .expect("cap > 0 so queue non-empty");
-                        let victim = q
-                            .queue
-                            .remove(victim_idx)
-                            .expect("index from enumerate is in bounds");
-                        q.queue.push_back(QueuedRequest {
-                            epoch: admit_epoch,
-                            deadline,
-                            slot: Arc::clone(&self.slot),
-                        });
-                        shard.depth.store(q.queue.len(), Ordering::Relaxed);
-                        // Fail the victim outside the queue lock.
-                        Ok(Some(victim.slot))
-                    }
-                }
-            } else {
-                q.queue.push_back(QueuedRequest {
-                    epoch: admit_epoch,
-                    deadline,
-                    slot: Arc::clone(&self.slot),
-                });
-                shard.depth.store(q.queue.len(), Ordering::Relaxed);
-                Ok(None)
-            }
-        };
-        match admitted {
-            Err(e) => {
-                let mut st = self.slot.lock();
-                st.stage = Stage::Idle;
-                st.entry = None;
-                drop(st);
-                self.core.inflight_release(model);
-                if e != ServeError::ShuttingDown {
-                    self.core.metrics.record_rejected();
-                }
-                return Err(e);
-            }
-            Ok(victim) => {
-                shard.work_cv.notify_all();
-                self.core.notify_siblings_if_hot(shard_idx);
-                if let Some(victim) = victim {
-                    let (victim_model, victim_request) = {
-                        let st = victim.lock();
-                        (st.model, st.request)
-                    };
-                    self.core.inflight_release(victim_model);
-                    self.core.metrics.record_shed();
-                    self.core.trace_instant(
-                        EventKind::Shed,
-                        shard_idx,
-                        victim_model.0,
-                        victim_request,
-                    );
-                    victim.fail(ServeError::Shed);
-                }
-            }
-        }
+        self.core
+            .submit(&self.slot, model, input.shape(), deadline, None, |staged| {
+                staged.copy_from(input)
+            })?;
         // Wait for a dispatcher to fill our slot.
         let mut st = self.slot.lock();
         while st.stage == Stage::Queued {
@@ -1089,7 +1195,7 @@ impl InProcessClient {
 /// owns dispatcher liveness) and exposes clients, live registration,
 /// statistics, and shutdown.
 pub struct Server {
-    core: Arc<ServerCore>,
+    pub(crate) core: Arc<ServerCore>,
     supervisor: Option<JoinHandle<()>>,
 }
 
@@ -1222,7 +1328,7 @@ impl Server {
     }
 
     /// Registers a digital-emulation variant on the **running** server —
-    /// no queue drain, no pause; see [`Server::register_entry`] mechanics.
+    /// no queue drain, no pause; see the shared `register_entry` mechanics.
     ///
     /// # Panics
     ///
@@ -2199,16 +2305,16 @@ fn process_deliveries(core: &ServerCore, shard_idx: usize, ctxs: &mut [WorkerCtx
 fn recover_failed_batch(core: &ServerCore, batch: &[Arc<RequestSlot>], tickets: &[u64]) {
     debug_assert_eq!(batch.len(), tickets.len());
     for (slot, &ticket) in batch.iter().zip(tickets) {
-        let model = {
+        let (model, waker) = {
             let mut st = slot.lock();
             if st.stage != Stage::Queued || st.ticket != ticket {
                 continue;
             }
             st.stage = Stage::Failed(ServeError::WorkerPanic);
-            st.model
+            (st.model, st.waker.clone())
         };
         core.inflight_release(model);
-        slot.cv.notify_all();
+        slot.notify(waker);
     }
 }
 
@@ -2224,16 +2330,16 @@ fn fail_staged(core: &ServerCore, shard: &Shard, err: ServeError) {
     // allocation is fine here).
     let staged: Vec<(u64, Arc<RequestSlot>)> = shard.lock_staged().drain(..).collect();
     for (ticket, slot) in staged {
-        let model = {
+        let (model, waker) = {
             let mut st = slot.lock();
             if st.stage != Stage::Queued || st.ticket != ticket {
                 continue;
             }
             st.stage = Stage::Failed(err);
-            st.model
+            (st.model, st.waker.clone())
         };
         core.inflight_release(model);
-        slot.cv.notify_all();
+        slot.notify(waker);
     }
 }
 
@@ -2379,14 +2485,14 @@ fn recover_failed_run(
             let mut st = slot.lock();
             if st.stage == Stage::Queued {
                 st.stage = Stage::Failed(ServeError::WorkerPanic);
-                true
+                Some(st.waker.clone())
             } else {
-                false
+                None
             }
         };
-        if failed {
+        if let Some(waker) = failed {
             core.inflight_release(model);
-            slot.cv.notify_all();
+            slot.notify(waker);
         }
     }
     rebuild_workspace(core, ctx, model);
@@ -2516,6 +2622,7 @@ fn serve_run(
         core.inflight_release(model);
         let mut st = slot.lock();
         st.stage = Stage::Done;
+        let waker = st.waker.clone();
         drop(st);
         core.metrics
             .record_completed(shard_idx, model.0, latency_ns);
@@ -2530,7 +2637,7 @@ fn serve_run(
             forward_end,
             Instant::now(),
         );
-        slot.cv.notify_all();
+        slot.notify(waker);
     }
 }
 
@@ -2553,10 +2660,11 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
         // retired — rather than serve from freed memory.
         if ctx.workspaces[model.0].is_reclaimed() {
             state.stage = Stage::Failed(ServeError::UnknownModel);
+            let waker = state.waker.clone();
             drop(st);
             core.inflight_release(model);
             core.metrics.record_rejected();
-            slot.cv.notify_all();
+            slot.notify(waker);
             return;
         }
         let entry = state
@@ -2590,6 +2698,7 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
     core.inflight_release(model);
     let mut st = slot.lock();
     st.stage = Stage::Done;
+    let waker = st.waker.clone();
     drop(st);
     core.metrics
         .record_completed(shard_idx, model.0, latency_ns);
@@ -2604,7 +2713,7 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
         forward_end,
         Instant::now(),
     );
-    slot.cv.notify_all();
+    slot.notify(waker);
 }
 
 #[cfg(test)]

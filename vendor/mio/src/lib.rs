@@ -1,0 +1,415 @@
+//! Offline shim for the subset of `mio` this workspace uses.
+//!
+//! The real crate wraps each platform's readiness API; the build
+//! environment cannot reach crates.io, so this shim speaks **Linux epoll
+//! directly** through `extern "C"` declarations (std already links the C
+//! library on `linux-gnu` targets — no `libc` crate needed). The surface
+//! mirrors mio's: a [`Poll`] owning an epoll instance, a [`Registry`] to
+//! (de)register any [`Source`] (anything with a raw fd — std's
+//! non-blocking `TcpListener`/`TcpStream`/`UnixListener`/`UnixStream`
+//! work as-is), [`Events`]/[`Event`] for readiness delivery, [`Token`]
+//! for correlation, and an eventfd-backed [`Waker`] for cross-thread
+//! wakeups. Swapping back to the real crate is a manifest-only change.
+//!
+//! One semantic difference, safe for this workspace's usage: sockets are
+//! registered **level-triggered** (mio is edge-triggered), so a readiness
+//! event repeats until the condition is consumed — callers that drain on
+//! every event (as `lr-serve`'s connection layer does) observe identical
+//! behavior, minus the lost-wakeup hazards. The [`Waker`] alone is
+//! edge-triggered on its eventfd, exactly like mio's Linux backend, so
+//! wakes never need draining and never spin.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// --- Raw epoll / eventfd bindings (std links libc on linux-gnu) ----------
+
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// --- Public API -----------------------------------------------------------
+
+/// Opaque readiness-event correlation id, chosen by the caller at
+/// registration and echoed back on every [`Event`] for the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration listens for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness (data, EOF, or a pending accept).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Writable readiness (send-buffer space available).
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)`).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+/// Anything registrable with a [`Poll`]: any type exposing a raw fd.
+/// Blanket-implemented, so std's non-blocking socket types are sources.
+pub trait Source {
+    /// The raw file descriptor epoll should watch.
+    fn source_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn source_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Handle for (de)registering [`Source`]s with a [`Poll`]. Cloneable view
+/// in real mio; here it borrows the poll's epoll fd.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token.0 as u64,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Starts watching `source` for `interests`, tagging its events with
+    /// `token`. Level-triggered (see the crate docs).
+    pub fn register(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.source_fd(), interests.0, token)
+    }
+
+    /// Replaces an existing registration's interests and token.
+    pub fn reregister(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.source_fd(), interests.0, token)
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister(&self, source: &impl Source) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.source_fd(), 0, Token(0))
+    }
+}
+
+/// One readiness event: which registration fired ([`Event::token`]) and
+/// how ([`Event::is_readable`] / [`Event::is_writable`] / closure flags).
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    events: u32,
+    token: u64,
+}
+
+impl Event {
+    /// The token the fired registration was made with.
+    pub fn token(&self) -> Token {
+        Token(self.token as usize)
+    }
+
+    /// Readable: data pending, a connection to accept, or EOF/hangup
+    /// (which must be observed by reading).
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0
+    }
+
+    /// Writable: the send buffer has room (or the error is write-visible).
+    pub fn is_writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer closed its write half (or the connection hung up).
+    pub fn is_read_closed(&self) -> bool {
+        self.events & (EPOLLRDHUP | EPOLLHUP) != 0
+    }
+
+    /// An error condition is pending on the source.
+    pub fn is_error(&self) -> bool {
+        self.events & EPOLLERR != 0
+    }
+}
+
+/// Reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events delivered by the most recent poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        // `data` may be unaligned on x86_64 (packed struct); copying the
+        // whole struct out first makes the field reads aligned.
+        self.buf[..self.len].iter().copied().map(|e| Event {
+            events: e.events,
+            token: e.data,
+        })
+    }
+
+    /// True when the most recent poll delivered no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events")
+            .field("capacity", &self.buf.len())
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// The readiness selector: owns one epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a new epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this poll.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`events` left empty), or a wakeup is delivered — then
+    /// fills `events`. `None` blocks indefinitely.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            None => -1i32,
+            // Round up so a nonzero timeout never busy-loops as 0 ms.
+            Some(d) => i32::try_from(d.as_millis().max(u128::from(u32::from(!d.is_zero()))))
+                .unwrap_or(i32::MAX),
+        };
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.registry.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                events.len = n as usize;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.registry.epfd);
+        }
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`]: an eventfd registered
+/// edge-triggered, exactly like mio's Linux backend. [`Waker::wake`] is
+/// one `write(2)`; the poller needs no drain (each write re-arms the
+/// edge, and the counter cannot practically overflow).
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker delivering events tagged `token` to `registry`'s
+    /// poll.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLET,
+            data: token.0 as u64,
+        };
+        if let Err(e) = cvt(unsafe { epoll_ctl(registry.epfd, EPOLL_CTL_ADD, fd, &mut ev) }) {
+            unsafe {
+                close(fd);
+            }
+            return Err(e);
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Wakes the poll this waker is registered with. Safe to call from
+    /// any thread; never blocks.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        if ret == 8 {
+            Ok(())
+        } else {
+            let err = io::Error::last_os_error();
+            // A full counter still leaves the poll woken.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(err)
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_delivers_accept_read_and_waker_events() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Timeout path: nothing registered, nothing ready.
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(1) && e.is_readable()));
+
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&conn, Token(2), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(2) && e.is_readable()));
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Level-triggered write readiness on an idle socket.
+        poll.registry()
+            .reregister(&conn, Token(2), Interest::READABLE.add(Interest::WRITABLE))
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(2) && e.is_writable()));
+        poll.registry().deregister(&conn).unwrap();
+
+        // Cross-thread waker.
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(7)).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || w.wake().unwrap());
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(7) && e.is_readable()));
+        t.join().unwrap();
+
+        // Edge-triggered waker: no re-delivery without a new wake.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token() == Token(7)));
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(7)));
+    }
+}
