@@ -1,0 +1,21 @@
+//! `lr-check`: model tests for the workspace's lock-free algorithms.
+//!
+//! The tests live in `tests/models.rs` and are compiled only under
+//! `RUSTFLAGS="--cfg loom"`, which also swaps every checked crate's
+//! `sync` facade onto the vendored checker in `vendor/loom`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p lr-check --release
+//! ```
+//!
+//! Each model asserts its algorithm's contract under **exhaustive**
+//! interleaving up to a documented preemption bound (≥ 2 everywhere);
+//! see `docs/CONCURRENCY.md` for the catalogue of algorithms,
+//! invariants, and bounds.
+
+/// True when this build was compiled with `--cfg loom` (the model tests
+/// are active). Lets CI assert the lane actually ran the checker rather
+/// than silently compiling an empty test binary.
+pub fn loom_enabled() -> bool {
+    cfg!(loom)
+}

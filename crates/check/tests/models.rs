@@ -1,0 +1,383 @@
+//! Loom model tests for the workspace's five load-bearing lock-free
+//! algorithms (`docs/CONCURRENCY.md` catalogues the invariants).
+//!
+//! Every test builds its state *inside* the model closure, explores the
+//! schedule space exhaustively at **preemption bound 2** (the
+//! documented bound for the whole suite; `LOOM_MAX_PREEMPTIONS` can
+//! raise it, never lower it below 2), and asserts `report.complete` so
+//! a fallback to random walks can never silently stand in for the
+//! exhaustiveness claim.
+//!
+//! The suite only exists under `RUSTFLAGS="--cfg loom"`; the CI `check`
+//! lane runs it with `cargo test -p lr-check --release`.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use lr_obs::{TraceEvent, TraceRing};
+use lr_serve::drain::DrainFence;
+use lr_serve::LatencyHistogram;
+use lr_tensor::PinnedCache;
+
+/// A `Builder` at the suite's documented preemption bound (2), which
+/// the environment may raise but never lower.
+fn builder() -> loom::Builder {
+    let mut b = loom::Builder::new();
+    b.preemption_bound = b.preemption_bound.max(2);
+    b
+}
+
+/// A trace event whose payload fields are all derived from the request
+/// id, so a torn (mixed-slot) read is detectable field-by-field.
+fn ev(request: u64) -> TraceEvent {
+    TraceEvent {
+        kind: 1,
+        outcome: 2,
+        shard: 7,
+        model: request as u32 * 3,
+        request,
+        t_start_ns: request * 10,
+        t_end_ns: request * 10 + 5,
+    }
+}
+
+/// Asserts `e` is exactly the event [`ev`] built for its request id —
+/// the seqlock must never surface a slot mixing two tickets' payloads.
+fn assert_untorn(e: &TraceEvent) {
+    let want = ev(e.request);
+    assert_eq!(
+        (
+            e.kind,
+            e.outcome,
+            e.shard,
+            e.model,
+            e.t_start_ns,
+            e.t_end_ns
+        ),
+        (
+            want.kind,
+            want.outcome,
+            want.shard,
+            want.model,
+            want.t_start_ns,
+            want.t_end_ns
+        ),
+        "torn trace event: payload words from different tickets"
+    );
+}
+
+/// Algorithm 1, schedule A — `TraceRing` record vs. drain with
+/// guaranteed wraparound.
+///
+/// The ring holds 2 slots (the loom-mode minimum capacity). The main
+/// thread pre-fills both slots sequentially, then drains concurrently
+/// with a writer recording a third event — so the drain races a seqlock
+/// write that *reuses* slot 0. Invariants, under every interleaving:
+///
+/// * conservation: `drained + dropped == recorded` once quiescent;
+/// * no torn events: every drained payload decodes to exactly one
+///   recorded event;
+/// * order: request ids strictly increase across sequential drains.
+#[test]
+fn trace_ring_drain_races_wrapping_writer() {
+    let report = builder().check(|| {
+        let ring = Arc::new(TraceRing::new(2));
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+
+        let writer = {
+            let ring = Arc::clone(&ring);
+            loom::thread::spawn(move || ring.record(&ev(3)))
+        };
+
+        let mut out = Vec::new();
+        let first = ring.drain_into(&mut out);
+        writer.join().unwrap();
+        let second = ring.drain_into(&mut out);
+
+        let drained = first.drained + second.drained;
+        let dropped = first.dropped + second.dropped;
+        assert_eq!(
+            drained + dropped,
+            ring.recorded(),
+            "ring lost or invented a ticket"
+        );
+        assert_eq!(ring.recorded(), 3);
+        for e in &out {
+            assert_untorn(e);
+        }
+        for pair in out.windows(2) {
+            assert!(
+                pair[0].request < pair[1].request,
+                "drain surfaced tickets out of record order"
+            );
+        }
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 1, schedule B — two concurrent `TraceRing` writers.
+///
+/// With a 2-slot ring and one record each, the two writers race the
+/// head `fetch_add` and the per-slot seqlock but can never overrun.
+/// After both join, a drain must surface **both** events intact:
+/// `drained == 2, dropped == 0` proves ticket allocation never loses an
+/// update (the classic load+store race a non-RMW head would have).
+#[test]
+fn trace_ring_concurrent_writers_never_lose_a_ticket() {
+    let report = builder().check(|| {
+        let ring = Arc::new(TraceRing::new(2));
+        let handles: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|r| {
+                let ring = Arc::clone(&ring);
+                loom::thread::spawn(move || ring.record(&ev(r)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut out = Vec::new();
+        let stats = ring.drain_into(&mut out);
+        assert_eq!((stats.drained, stats.dropped), (2, 0));
+        for e in &out {
+            assert_untorn(e);
+        }
+        let mut requests: Vec<u64> = out.iter().map(|e| e.request).collect();
+        requests.sort_unstable();
+        assert_eq!(requests, [1, 2], "a writer's ticket vanished");
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 2 — `ArcSwap` registry-flip vs. reader-pin.
+///
+/// A reader pins a snapshot (`load_full`) while a writer flips the
+/// current pointer. The pinned snapshot must stay fully intact and
+/// readable after the flip (the registry contract: an admitted request
+/// completes against the epoch it pinned, never a half-built or freed
+/// one), and a load after the flip joins must observe the new value.
+#[test]
+fn arc_swap_pin_survives_flip() {
+    let report = builder().check(|| {
+        let slot = Arc::new(arc_swap::ArcSwap::from_pointee((0u32, 0u32)));
+
+        let flipper = {
+            let slot = Arc::clone(&slot);
+            loom::thread::spawn(move || slot.store(Arc::new((1, 1))))
+        };
+
+        let pin = slot.load_full();
+        assert_eq!(pin.0, pin.1, "pinned a half-built snapshot");
+        flipper.join().unwrap();
+
+        // The flip must not have disturbed the pinned epoch…
+        assert!(*pin == (0, 0) || *pin == (1, 1));
+        assert_eq!(pin.0, pin.1);
+        // …and post-join loads see the flipped value.
+        assert_eq!(*slot.load_full(), (1, 1));
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 2, schedule B — racing `compare_and_swap` publishers.
+///
+/// Two threads CAS from the same observed snapshot; exactly one may
+/// win, the loser's return value must be the winner's `Arc` (so it can
+/// retry against reality), and the slot must end on the winner.
+#[test]
+fn arc_swap_compare_and_swap_has_one_winner() {
+    let report = builder().check(|| {
+        let slot = Arc::new(arc_swap::ArcSwap::from_pointee(0u32));
+        let init = slot.load_full();
+        let a = Arc::new(1u32);
+        let b = Arc::new(2u32);
+
+        let racer = {
+            let slot = Arc::clone(&slot);
+            let init = Arc::clone(&init);
+            let a = Arc::clone(&a);
+            loom::thread::spawn(move || slot.compare_and_swap(&init, a))
+        };
+        let main_prev = slot.compare_and_swap(&init, Arc::clone(&b));
+        let racer_prev = racer.join().unwrap();
+
+        let main_won = Arc::ptr_eq(&main_prev, &init);
+        let racer_won = Arc::ptr_eq(&racer_prev, &init);
+        assert!(
+            main_won ^ racer_won,
+            "compare_and_swap must have exactly one winner"
+        );
+        let end = slot.load_full();
+        if main_won {
+            assert!(Arc::ptr_eq(&end, &b));
+            assert!(Arc::ptr_eq(&racer_prev, &b), "loser saw a stale winner");
+        } else {
+            assert!(Arc::ptr_eq(&end, &a));
+            assert!(Arc::ptr_eq(&main_prev, &a), "loser saw a stale winner");
+        }
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 3 — the PR-4 drain fence (`lr_serve::drain::DrainFence`).
+///
+/// One shard, one model, in-flight cap 1. Concurrently: two submitters
+/// race admission (main thread + one spawned), and a dispatcher thread
+/// advances the shard fence. Invariants, under every interleaving:
+///
+/// * the cap bounds *successful* concurrent admissions — the serving
+///   gauge never exceeds 1 even though `try_acquire`'s optimistic
+///   `fetch_add` transiently overshoots;
+/// * at least one submitter is admitted (the first `fetch_add` always
+///   observes 0);
+/// * `fetch_max` keeps the fence monotone: it ends at the highest
+///   epoch and a stale candidate afterwards reports no rise;
+/// * quiescence: after every release the in-flight count is exactly 0
+///   and `passed` opens the reclaim gate — a missing undo on the
+///   rejected path, or a missed/double release, fails here.
+#[test]
+fn drain_fence_cap_accounting_and_monotone_fences() {
+    let report = builder().check(|| {
+        let fence = Arc::new(DrainFence::new(1, 1));
+        let serving = Arc::new(AtomicUsize::new(0));
+        let admitted = Arc::new(AtomicUsize::new(0));
+
+        let submit =
+            |fence: &Arc<DrainFence>, serving: &Arc<AtomicUsize>, admitted: &Arc<AtomicUsize>| {
+                let (fence, serving, admitted) =
+                    (Arc::clone(fence), Arc::clone(serving), Arc::clone(admitted));
+                move || {
+                    if fence.try_acquire(0, 1) {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                        let live = serving.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(live, 0, "cap=1 admitted two concurrent requests");
+                        serving.fetch_sub(1, Ordering::SeqCst);
+                        fence.release(0);
+                    }
+                }
+            };
+
+        let racer = loom::thread::spawn(submit(&fence, &serving, &admitted));
+        let dispatcher = {
+            let fence = Arc::clone(&fence);
+            loom::thread::spawn(move || assert!(fence.advance(0, 2), "2 always tops 0 or 1"))
+        };
+        fence.advance(0, 1);
+        submit(&fence, &serving, &admitted)();
+
+        racer.join().unwrap();
+        dispatcher.join().unwrap();
+
+        assert!(admitted.load(Ordering::SeqCst) >= 1, "someone must get in");
+        assert_eq!(fence.shard_fence(0), 2);
+        assert!(
+            !fence.advance(0, 1),
+            "stale candidate must not report a rise"
+        );
+        assert_eq!(fence.inflight(0), 0, "in-flight accounting drifted");
+        assert!(fence.passed(0, 2), "quiescent reclaim gate must open");
+        assert!(!fence.passed(0, 3), "gate open past the fence watermark");
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 4 — `PinnedCache` refcount eviction under a racing pin
+/// holder.
+///
+/// The cache (soft cap 2, behind a loom `Mutex` exactly as the plan
+/// cache holds it) contains entry 1, whose `Arc` a reader thread pins.
+/// The main thread inserts entries 2 and 3, forcing an eviction scan
+/// each time. The reader publishes a flag *before* dropping its pin, so
+/// whenever the flag still reads 0 after the inserts the pin was
+/// provably live through both scans — and entry 1 must have survived
+/// with the orphan (entry 2) evicted instead. The pinned `Arc` stays
+/// valid regardless of eviction, and once the pin is dropped a sweep
+/// reaps everything.
+#[test]
+fn pinned_cache_never_evicts_a_live_pin() {
+    let report = builder().check(|| {
+        let cache = Arc::new(Mutex::new(PinnedCache::new()));
+        let pin = {
+            let mut c = cache.lock().unwrap();
+            c.insert(1u32, Arc::new(11u32), 2);
+            c.hit(&1).expect("just inserted")
+        };
+        let pin_dropped = Arc::new(AtomicUsize::new(0));
+
+        let reader = {
+            let pin_dropped = Arc::clone(&pin_dropped);
+            loom::thread::spawn(move || {
+                assert_eq!(*pin, 11, "pinned value must outlive any eviction");
+                pin_dropped.store(1, Ordering::SeqCst);
+                drop(pin);
+            })
+        };
+
+        {
+            let mut c = cache.lock().unwrap();
+            c.insert(2, Arc::new(22), 2);
+            c.insert(3, Arc::new(33), 2);
+            assert_eq!(c.len(), 2, "soft cap violated with an orphan on hand");
+            assert!(c.hit(&3).is_some(), "the fresh insert itself went missing");
+            if pin_dropped.load(Ordering::SeqCst) == 0 {
+                // The pin is still live: entry 1 was pinned through both
+                // eviction scans, so the stalest *orphan* (2) went instead.
+                assert!(c.hit(&1).is_some(), "evicted a pinned entry");
+                assert!(c.hit(&2).is_none(), "orphan survived over the cap");
+            }
+        }
+
+        reader.join().unwrap();
+        let mut c = cache.lock().unwrap();
+        c.sweep_orphans();
+        assert_eq!(c.len(), 0, "sweep must reap everything once unpinned");
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}
+
+/// Algorithm 5 — `LatencyHistogram::quantile_ns` vs. concurrent
+/// `record`.
+///
+/// A writer records 3 ns then 5 ns while the main thread takes a
+/// mid-flight quantile. The snapshot discipline (bucket counts copied
+/// once, rank derived from that same copy) means the scan must always
+/// land on a *recorded* value or 0 — never the `unreachable!` the
+/// pre-snapshot code could hit, and never an invented bucket. Post-join
+/// the histogram must be exact: count, extreme quantiles, max.
+#[test]
+fn histogram_quantile_consistent_under_concurrent_records() {
+    let report = builder().check(|| {
+        let hist = Arc::new(LatencyHistogram::new());
+        let writer = {
+            let hist = Arc::clone(&hist);
+            loom::thread::spawn(move || {
+                hist.record(3);
+                hist.record(5);
+            })
+        };
+
+        let mid = hist.quantile_ns(0.5);
+        assert!(
+            mid == 0 || mid == 3 || mid == 5,
+            "mid-flight quantile invented a value: {mid}"
+        );
+
+        writer.join().unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.overflow(), 0);
+        assert_eq!(hist.quantile_ns(0.01), 3);
+        assert_eq!(hist.quantile_ns(1.0), 5);
+        assert_eq!(hist.summary().max_ns, 5);
+    });
+    eprintln!("explored {} schedules exhaustively", report.iterations);
+    assert!(report.complete, "state space must be exhausted at bound 2");
+}

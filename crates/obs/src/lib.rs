@@ -30,8 +30,11 @@
 
 #![warn(missing_docs)]
 
+mod sync;
+
+use crate::sync::{fence, AtomicU64, Ordering};
 use std::fmt::Write as _;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64 as StdAtomicU64};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -313,9 +316,11 @@ pub struct DrainStats {
 
 impl TraceRing {
     /// Creates a ring holding at least `capacity` events (rounded up to a
-    /// power of two, minimum 8).
+    /// power of two, minimum 8 — minimum 2 under the model checker, so
+    /// wraparound is reachable within an explorable schedule count).
     pub fn new(capacity: usize) -> TraceRing {
-        let cap = capacity.next_power_of_two().max(8);
+        const MIN_CAP: usize = if cfg!(loom) { 2 } else { 8 };
+        let cap = capacity.next_power_of_two().max(MIN_CAP);
         TraceRing {
             mask: cap as u64 - 1,
             head: AtomicU64::new(0),
@@ -323,7 +328,7 @@ impl TraceRing {
             slots: (0..cap)
                 .map(|_| Slot {
                     seq: AtomicU64::new(0),
-                    w: [const { AtomicU64::new(0) }; 4],
+                    w: std::array::from_fn(|_| AtomicU64::new(0)),
                 })
                 .collect(),
         }
@@ -501,15 +506,15 @@ const KERNEL_NAMES: [&str; KERNEL_KINDS] = [
 ];
 
 struct KernelCell {
-    calls: AtomicU64,
-    total_ns: AtomicU64,
+    calls: StdAtomicU64,
+    total_ns: StdAtomicU64,
 }
 
 static KERNEL_ENABLED: AtomicBool = AtomicBool::new(false);
 static KERNEL_CELLS: [KernelCell; KERNEL_KINDS] = [const {
     KernelCell {
-        calls: AtomicU64::new(0),
-        total_ns: AtomicU64::new(0),
+        calls: StdAtomicU64::new(0),
+        total_ns: StdAtomicU64::new(0),
     }
 }; KERNEL_KINDS];
 

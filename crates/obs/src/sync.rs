@@ -1,0 +1,13 @@
+//! Swappable sync layer: `std::sync::atomic` normally, the vendored
+//! model checker under `RUSTFLAGS="--cfg loom"`.
+//!
+//! The trace ring imports its atomics from here so `crates/check` can
+//! explore its seqlock protocol under exhaustive interleaving
+//! (`docs/CONCURRENCY.md`). Process-global statics (the kernel-profiler
+//! cells) stay on `std` directly: loom atomics are not
+//! const-constructible and global state is outside any model's scope.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicU64, Ordering};

@@ -1,0 +1,119 @@
+//! The drain-fence layer of the PR-4 reclaim protocol, extracted so the
+//! model checker can explore it in isolation (`crates/check`) and so
+//! `server.rs` states *policy* (when to advance, when to wait) while
+//! this module owns the *mechanism*.
+//!
+//! [`DrainFence`] combines the first two of the reclaim protocol's
+//! three safety layers (`docs/CONCURRENCY.md` has the full catalogue):
+//!
+//! 1. **Per-shard fence watermarks** — monotone epoch highs advanced by
+//!    each dispatcher whenever its execution batch is empty. A fence at
+//!    `F` acknowledges that every request the shard admitted-and-owned
+//!    before epoch `F` has drained.
+//! 2. **Per-model in-flight counters** — queued + executing requests,
+//!    global across shards so stolen work stays accounted. Covers the
+//!    flip-racing stragglers the fences cannot see (validated before
+//!    the retire flip, enqueued after a fence rose).
+//!
+//! The third layer — the server's `Reclaimed` workspace
+//! placeholder — lives with the workspaces themselves; a request that
+//! slips past both layers here executes against the placeholder and
+//! fails closed with `UnknownModel`.
+//!
+//! Reclaim frees a retired model's workspaces only after
+//! [`DrainFence::passed`]: every fence at or past the retire epoch
+//! *and* the model's in-flight count at zero.
+
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
+use arc_swap::ArcSwap;
+use std::sync::Arc;
+
+/// Fence watermarks + in-flight accounting for drain-fenced reclaim.
+#[derive(Debug)]
+pub struct DrainFence {
+    /// One monotone epoch watermark per shard.
+    fences: Box<[AtomicU64]>,
+    /// One in-flight counter per model, behind an `ArcSwap` so live
+    /// registration can grow the vector with one pointer flip while
+    /// request threads keep loading it allocation-free.
+    inflight: ArcSwap<Vec<Arc<AtomicUsize>>>,
+}
+
+impl DrainFence {
+    /// A fence for `shards` dispatchers and `models` registered ids.
+    pub fn new(shards: usize, models: usize) -> DrainFence {
+        DrainFence {
+            fences: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            inflight: ArcSwap::from_pointee(
+                (0..models).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+            ),
+        }
+    }
+
+    /// Raises shard `shard`'s watermark to `epoch` if that is higher
+    /// (`fetch_max`, so concurrent advances and stale candidates can
+    /// never lower it). Returns whether the stored fence actually rose —
+    /// the caller signals waiting reclaims only on a rise. `AcqRel`
+    /// pairs with the `Acquire` read in [`DrainFence::passed`]: a
+    /// reclaimer that observes the risen fence also observes every queue
+    /// drain that preceded it.
+    pub fn advance(&self, shard: usize, epoch: u64) -> bool {
+        self.fences[shard].fetch_max(epoch, Ordering::AcqRel) < epoch
+    }
+
+    /// Shard `shard`'s current watermark.
+    pub fn shard_fence(&self, shard: usize) -> u64 {
+        self.fences[shard].load(Ordering::Acquire)
+    }
+
+    /// Claims one in-flight slot for `model`; `false` (and no slot held)
+    /// when `cap` is already reached. The optimistic `fetch_add` + undo
+    /// means a racing admission can transiently overshoot `cap` by the
+    /// number of racers, but the counter is exact again once they undo —
+    /// and the undo path must release its slot like any other holder or
+    /// reclaim would wait forever.
+    pub fn try_acquire(&self, model: usize, cap: usize) -> bool {
+        let counters = self.inflight.load_full();
+        let counter = &counters[model];
+        if counter.fetch_add(1, Ordering::Relaxed) >= cap {
+            counter.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Releases one in-flight slot for `model`. `Release` ordering
+    /// publishes every effect of the finished request before the count
+    /// drops: the audit found the original `Relaxed` here relied on the
+    /// lifecycle mutex for the happens-before edge, which the
+    /// shed/reject paths don't take (`docs/CONCURRENCY.md`).
+    pub fn release(&self, model: usize) {
+        self.inflight.load_full()[model].fetch_sub(1, Ordering::Release);
+    }
+
+    /// `model`'s current in-flight count (queued + executing).
+    pub fn inflight(&self, model: usize) -> usize {
+        self.inflight.load_full()[model].load(Ordering::Acquire)
+    }
+
+    /// Appends one zeroed counter for a newly registered model. Called
+    /// under the registry write lock (one grower at a time).
+    pub fn grow_models(&self) {
+        let current = self.inflight.load_full();
+        let mut next = Vec::with_capacity(current.len() + 1);
+        next.extend(current.iter().cloned());
+        next.push(Arc::new(AtomicUsize::new(0)));
+        self.inflight.store(Arc::new(next));
+    }
+
+    /// The reclaim gate: every shard's fence at or past `retired_at`
+    /// *and* `model`'s in-flight count zero. A true result means no
+    /// request admitted against the retired entry is still queued or
+    /// executing anywhere — freeing its workspaces is safe.
+    pub fn passed(&self, model: usize, retired_at: u64) -> bool {
+        self.fences
+            .iter()
+            .all(|f| f.load(Ordering::Acquire) >= retired_at)
+            && self.inflight(model) == 0
+    }
+}

@@ -283,11 +283,13 @@
 
 #![warn(missing_docs)]
 
+pub mod drain;
 mod fault;
 mod metrics;
 mod net;
 mod registry;
 mod server;
+mod sync;
 
 pub use fault::{FaultKind, FaultPlan};
 pub use metrics::{

@@ -432,6 +432,9 @@ impl NetServer {
         let thread = std::thread::Builder::new()
             .name("lr-net".to_string())
             .spawn(move || event_loop.run())
+            // UNWRAP: bind-time, before any request is accepted — if the
+            // OS cannot spawn the event-loop thread the server cannot
+            // exist, so construction aborts rather than limping on.
             .expect("failed to spawn the net event-loop thread");
         Ok(NetServer {
             thread: Some(thread),
@@ -587,6 +590,9 @@ impl EventLoop {
     /// matching epoll op for the transition).
     fn reregister(&mut self, idx: usize, want: Reg) {
         let token = Token(FIRST_CONN + idx);
+        // UNWRAP: `idx` comes from a poll token, and tokens are only
+        // registered while the slot is live — a `None` here is event-loop
+        // bookkeeping corruption, which must fail fast, not limp.
         let conn = self.conns[idx].as_mut().expect("live connection");
         if conn.reg == want {
             return;
@@ -706,6 +712,8 @@ impl EventLoop {
     /// Dispatches one complete frame (`LEN_PREFIX..total` of the receive
     /// buffer).
     fn handle_frame(&mut self, idx: usize, total: usize, recv_done: Instant) {
+        // UNWRAP: only called from the readable path of a live slot (the
+        // poll token ↔ slot mapping guarantees occupancy).
         let conn = self.conns[idx].as_mut().expect("live connection");
         let header = match parse_header(&conn.recv[LEN_PREFIX..total]) {
             Ok(h) => h,
@@ -720,6 +728,8 @@ impl EventLoop {
         }
         match header.kind {
             KIND_HELLO => self.handle_hello(idx, total, header.request_id),
+            // UNWRAP: same slot-liveness invariant as the `handle_frame`
+            // entry above; the slot cannot die inside one dispatch.
             KIND_REQUEST if self.conns[idx].as_ref().expect("live").hello_done => {
                 self.handle_request(idx, total, header.request_id, recv_done)
             }
@@ -730,6 +740,7 @@ impl EventLoop {
     }
 
     fn handle_hello(&mut self, idx: usize, total: usize, request_id: u64) {
+        // UNWRAP: reached only from `handle_frame` on a live slot.
         let conn = self.conns[idx].as_mut().expect("live connection");
         let body = &conn.recv[LEN_PREFIX + HEADER_LEN..total];
         if body.len() != HELLO_BODY_LEN {
@@ -752,6 +763,7 @@ impl EventLoop {
     }
 
     fn handle_request(&mut self, idx: usize, total: usize, request_id: u64, recv_done: Instant) {
+        // UNWRAP: reached only from `handle_frame` on a live slot.
         let conn = self.conns[idx].as_mut().expect("live connection");
         let body = &conn.recv[LEN_PREFIX + HEADER_LEN..total];
         if body.len() < REQUEST_FIXED_LEN {
@@ -843,6 +855,8 @@ impl EventLoop {
     /// Queues a protocol-level error frame and arranges the close.
     fn protocol_error(&mut self, idx: usize, code: u8, request_id: u64) {
         self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        // UNWRAP: callers hold the same poll-token slot-liveness
+        // invariant as `handle_frame`.
         let conn = self.conns[idx].as_mut().expect("live connection");
         let at = begin_frame(&mut conn.send, KIND_ERROR, request_id);
         conn.send.push(code);
@@ -860,6 +874,9 @@ impl EventLoop {
     /// A dispatcher settled this connection's slot: read the outcome,
     /// encode the response or typed error, and resume reading.
     fn completed(&mut self, idx: usize) {
+        // UNWRAP: completion wakeups carry indices of slots the loop
+        // itself parked in-flight; the slot stays occupied until the
+        // response is flushed.
         let conn = self.conns[idx].as_mut().expect("live connection");
         if !conn.in_flight {
             return; // stale token (connection was recycled)

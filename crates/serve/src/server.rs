@@ -35,6 +35,7 @@
 //! ever nested, and clients never touch mailboxes, so the graph is
 //! cycle-free.
 
+use crate::drain::DrainFence;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::{MetricsCore, ServerStats};
 use crate::registry::{
@@ -450,17 +451,6 @@ struct Shard {
     /// Mirror of `queue.len()`, readable without the lock; siblings use it
     /// to decide whether this shard is hot enough to steal from.
     depth: AtomicUsize,
-    /// The shard's **drain fence**: a monotone epoch watermark advanced by
-    /// the dispatcher, under its queue lock, whenever its execution batch
-    /// is empty — toward the oldest queued admit-epoch, or (queue empty)
-    /// one past the current registry epoch. A fence at `F` acknowledges
-    /// that every request this shard admitted-and-owned before epoch `F`
-    /// has drained. Work this shard *stole*, and submissions that
-    /// validated before `F` rose but enqueued after, are not covered —
-    /// the global per-model in-flight counters and the
-    /// [`VariantWorkspace::Reclaimed`] placeholder are, which is why
-    /// [`Server::reclaim`] gates on all three layers.
-    fence: AtomicU64,
     /// Lifecycle deliveries ([`Delivery`]), pushed by the registering/
     /// reclaiming thread and processed by the dispatcher between batches
     /// and while idle. Workspace deliveries land **before** the snapshot
@@ -489,7 +479,6 @@ impl Shard {
             }),
             work_cv: Condvar::new(),
             depth: AtomicUsize::new(0),
-            fence: AtomicU64::new(0),
             mailbox: Mutex::new(Vec::new()),
             staged: Mutex::new(Vec::with_capacity(max_batch)),
         }
@@ -585,10 +574,14 @@ pub(crate) struct ServerCore {
     /// Worker-context count per shard (fixed at start; registration uses
     /// it to size workspace deliveries).
     ctxs_per_shard: Vec<usize>,
-    /// Per-model in-flight counters (queued + executing), global across
-    /// shards so stolen requests stay accounted. Grown under the registry
-    /// write lock; loaded per request (an `Arc` clone — no allocation).
-    inflight: ArcSwap<Vec<Arc<AtomicUsize>>>,
+    /// The drain-fence layer of the reclaim protocol: per-shard epoch
+    /// watermarks (advanced by dispatchers, under their queue lock, when
+    /// the execution batch is empty — see [`advance_fence`] for the
+    /// candidate rules and what a fence does *not* cover) plus the
+    /// per-model in-flight counters. Counters are grown under the
+    /// registry write lock; loaded per request (an `Arc` clone — no
+    /// allocation). Mechanism and invariants live in [`crate::drain`].
+    drain: DrainFence,
     /// Per-model resident per-worker-workspace bytes, summed across every
     /// shard's worker contexts. Credited by the thread that builds warmed
     /// workspaces (startup and live registration), debited by dispatchers
@@ -638,17 +631,12 @@ impl ServerCore {
 
     /// Claims one in-flight slot for `model`; false when the cap is hit.
     fn inflight_try_acquire(&self, model: ModelId) -> bool {
-        let counters = self.inflight.load_full();
-        let counter = &counters[model.0];
-        if counter.fetch_add(1, Ordering::Relaxed) >= self.policy.per_model_inflight_cap {
-            counter.fetch_sub(1, Ordering::Relaxed);
-            return false;
-        }
-        true
+        self.drain
+            .try_acquire(model.0, self.policy.per_model_inflight_cap)
     }
 
     fn inflight_release(&self, model: ModelId) {
-        self.inflight.load_full()[model.0].fetch_sub(1, Ordering::Relaxed);
+        self.drain.release(model.0);
     }
 
     /// Credits freshly built per-worker workspace bytes to `model`.
@@ -1029,13 +1017,15 @@ impl ServerCore {
                             .enumerate()
                             .min_by_key(|(_, r)| r.deadline)
                             .map(|(i, _)| i)
-                            // queue_cap > 0 (asserted at start) and this
-                            // branch requires len >= cap, so the queue is
-                            // non-empty here.
+                            // UNWRAP: queue_cap > 0 (asserted at start)
+                            // and this branch requires len >= cap, so the
+                            // queue is non-empty here.
                             .expect("cap > 0 so queue non-empty");
                         let victim = q
                             .queue
                             .remove(victim_idx)
+                            // UNWRAP: the index came from enumerate()
+                            // over this queue under the same lock.
                             .expect("index from enumerate is in bounds");
                         q.queue.push_back(QueuedRequest {
                             epoch: admit_epoch,
@@ -1254,11 +1244,7 @@ impl Server {
             dispatcher_handles: Mutex::new((0..num_shards).map(|_| None).collect()),
             shutting_down: AtomicBool::new(false),
             metrics: MetricsCore::new(num_models, num_shards),
-            inflight: ArcSwap::from_pointee(
-                (0..num_models)
-                    .map(|_| Arc::new(AtomicUsize::new(0)))
-                    .collect(),
-            ),
+            drain: DrainFence::new(num_shards, num_models),
             resident: ArcSwap::from_pointee(
                 (0..num_models)
                     .map(|_| Arc::new(AtomicUsize::new(0)))
@@ -1295,8 +1281,8 @@ impl Server {
         let supervisor = std::thread::Builder::new()
             .name("lr-serve-supervisor".to_string())
             .spawn(move || supervisor_loop(supervisor_core))
-            // Startup-path panic: if the OS refuses a thread here the
-            // server cannot exist, so failing loudly at start is correct.
+            // UNWRAP: startup-path panic — if the OS refuses a thread
+            // here the server cannot exist, so failing loudly is correct.
             .expect("failed to spawn the lr-serve supervisor");
         Server {
             core,
@@ -1381,7 +1367,8 @@ impl Server {
         let id = ModelId(snapshot.entries.len());
         let entry = Arc::new(entry);
         // Grow per-model accounting before anything references the id.
-        for counters in [&core.inflight, &core.resident, &core.panic_streak] {
+        core.drain.grow_models();
+        for counters in [&core.resident, &core.panic_streak] {
             let current = counters.load_full();
             let mut next = Vec::with_capacity(current.len() + 1);
             next.extend(current.iter().cloned());
@@ -1623,9 +1610,9 @@ fn spawn_dispatcher(core: &Arc<ServerCore>, s: usize, ctxs: Vec<WorkerCtx>) -> J
     std::thread::Builder::new()
         .name(format!("lr-serve-shard{s}"))
         .spawn(move || dispatcher_loop(dispatcher_core, s, ctxs, partition))
-        // Justified panic: thread creation fails only on OS resource
-        // exhaustion, where neither starting nor healing the server is
-        // possible — fail loudly rather than limp with a missing shard.
+        // UNWRAP: thread creation fails only on OS resource exhaustion,
+        // where neither starting nor healing the server is possible —
+        // fail loudly rather than limp with a missing shard.
         .expect("failed to spawn an lr-serve shard dispatcher")
 }
 
@@ -1688,11 +1675,7 @@ fn reclaim_locked(core: &ServerCore, id: ModelId, retired_at: u64) -> bool {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     loop {
-        let fences_ok = core
-            .shards
-            .iter()
-            .all(|s| s.fence.load(Ordering::Acquire) >= retired_at);
-        if fences_ok && core.inflight.load_full()[id.0].load(Ordering::Acquire) == 0 {
+        if core.drain.passed(id.0, retired_at) {
             break;
         }
         if core.shutting_down.load(Ordering::Acquire) || any_dispatcher_dead(core) {
@@ -1812,6 +1795,8 @@ fn respawn_dead_dispatchers(core: &Arc<ServerCore>) {
                 .position(|h| h.as_ref().is_some_and(JoinHandle::is_finished))
             {
                 Some(s) => {
+                    // UNWRAP: position() just found a Some in this slot,
+                    // and the lock is still held.
                     let handle = slots[s].take().expect("position() found a Some slot");
                     (s, handle)
                 }
@@ -2124,13 +2109,13 @@ fn dispatcher_loop(
 /// rose but enqueue later are exactly the flip-racing stragglers covered
 /// by the global in-flight counters and, past those, by the
 /// [`VariantWorkspace::Reclaimed`] placeholder. A *risen* fence signals
-/// any waiting reclaim.
-fn advance_fence(core: &ServerCore, shard: &Shard, q: &ShardQueue) {
+/// any waiting reclaim. The watermark itself lives in [`crate::drain`].
+fn advance_fence(core: &ServerCore, shard_idx: usize, q: &ShardQueue) {
     let fence = match q.queue.iter().map(|r| r.epoch).min() {
         Some(oldest) => oldest,
         None => core.registry.load().epoch + 1,
     };
-    if shard.fence.fetch_max(fence, Ordering::AcqRel) < fence {
+    if core.drain.advance(shard_idx, fence) {
         core.lifecycle_notify();
     }
 }
@@ -2153,7 +2138,7 @@ fn collect_batch(
         // The batch is empty at every pass through this point, so the
         // fence may rise to whatever the queue (or, when empty, the
         // current epoch) supports.
-        advance_fence(core, shard, &q);
+        advance_fence(core, shard_idx, &q);
         if q.shutdown {
             drain_on_shutdown(core, shard, q);
             return Collected::Shutdown;
@@ -2239,8 +2224,8 @@ fn steal_from_hot_sibling(
         }
         let take = q.queue.len().div_ceil(2).min(core.policy.max_batch);
         for _ in 0..take {
-            // `take` was computed from `len` under this same lock, so the
-            // pops cannot run dry.
+            // UNWRAP: `take` was computed from `len` under this same
+            // lock, so the pops cannot run dry.
             batch.push(q.queue.pop_front().expect("len checked above").slot);
         }
         sibling.depth.store(q.queue.len(), Ordering::Relaxed);
@@ -2573,8 +2558,8 @@ fn serve_run(
         Arc::clone(
             st.entry
                 .as_ref()
-                // Admission pins the entry before the slot ever enters a
-                // queue, so a drained queued slot always carries one; if
+                // UNWRAP: admission pins the entry before the slot ever
+                // enters a queue, so a drained queued slot carries one; if
                 // the invariant ever broke, this unwinds into the
                 // run-level containment and surfaces to the client as a
                 // typed `WorkerPanic`, never a hang.
@@ -2670,9 +2655,9 @@ fn serve_one(core: &ServerCore, shard_idx: usize, ctx: &mut WorkerCtx, slot: &Re
         let entry = state
             .entry
             .as_ref()
-            // Same invariant (and same containment) as the batched path:
-            // a break here unwinds into run-level recovery and reaches
-            // the client as a typed `WorkerPanic`.
+            // UNWRAP: same invariant (and same containment) as the
+            // batched path — a break here unwinds into run-level recovery
+            // and reaches the client as a typed `WorkerPanic`.
             .expect("queued slot carries its pinned entry");
         let forward_start = Instant::now();
         entry.infer_into(
@@ -2759,7 +2744,9 @@ mod tests {
             st.model = id;
             st.ticket = 4; // batch captured ticket 3; the client re-submitted
         }
-        server.core.inflight.load_full()[id.0].store(2, Ordering::Relaxed);
+        // Two in-flight claims, as if both tickets were still queued.
+        assert!(server.core.inflight_try_acquire(id));
+        assert!(server.core.inflight_try_acquire(id));
 
         let batch = vec![
             Arc::clone(&served),
@@ -2783,7 +2770,7 @@ mod tests {
             "a re-submitted request (newer ticket) must not be failed by old-batch recovery"
         );
         assert_eq!(
-            server.core.inflight.load_full()[id.0].load(Ordering::Relaxed),
+            server.core.drain.inflight(id.0),
             1,
             "exactly one in-flight release: the ticket-matched unserved slot"
         );

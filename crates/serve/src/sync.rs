@@ -1,0 +1,15 @@
+//! Swappable sync layer: `std::sync::atomic` normally, the vendored
+//! model checker under `RUSTFLAGS="--cfg loom"`.
+//!
+//! The two algorithms `crates/check` explores — the drain-fence reclaim
+//! protocol ([`crate::drain`]) and the latency histogram
+//! (`metrics.rs`) — import their atomics from here. The rest of the
+//! serving runtime (shard queues, lifecycle condvars, the dispatcher)
+//! stays on `std` directly: those paths block on real time
+//! (`wait_timeout`), which the checker deliberately does not model
+//! (`docs/CONCURRENCY.md`).
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -1113,6 +1113,8 @@ impl Fft2 {
                 self.col_plan
                     .process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
             }
+            // SAFETY: same exclusive borrow and in-bounds argument as the
+            // gather above; the write-back targets the same columns.
             unsafe {
                 scatter_columns(block, rows, cols, c0, bw, data.as_mut_ptr());
             }
@@ -1165,6 +1167,8 @@ impl Fft2 {
                     for k in 0..bw {
                         plan.process(&mut block[k * rows..(k + 1) * rows], dir, scratch);
                     }
+                    // SAFETY: write-back to this task's own disjoint
+                    // columns — the same argument as the gather above.
                     unsafe {
                         scatter_columns(block, rows, cols, c0, bw, base.0);
                     }
@@ -1382,6 +1386,8 @@ unsafe fn scatter_columns(
 struct RowsPtr(*mut Complex64);
 // SAFETY: tasks dereference disjoint index ranges only (see call sites).
 unsafe impl Send for RowsPtr {}
+// SAFETY: same disjointness argument as `Send` above — shared references
+// to the wrapper never alias writes to the same indices.
 unsafe impl Sync for RowsPtr {}
 
 thread_local! {

@@ -37,6 +37,7 @@ mod fft;
 mod field;
 pub mod parallel;
 mod pinned_cache;
+mod sync;
 
 pub use batch::FieldBatch;
 pub use complex::{Complex64, J};

@@ -276,7 +276,9 @@ fn worker_loop(core: Arc<PoolCore>) {
         // SAFETY: `running` was incremented under the lock, so the caller's
         // completion barrier keeps these referents alive while we run.
         let func = unsafe { &*job.func };
+        // SAFETY: same lifetime argument as `func` above.
         let next = unsafe { &*job.next };
+        // SAFETY: same lifetime argument as `func` above.
         let panicked = unsafe { &*job.panicked };
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -711,6 +713,7 @@ struct SendPtr<T>(*mut T);
 // SAFETY: the pointer is only dereferenced at indices claimed through the
 // atomic work counter, guaranteeing exclusive access per slot.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same per-slot exclusivity argument as `Send` above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Serializes tests that mutate the process-global thread count

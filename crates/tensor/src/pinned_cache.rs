@@ -18,9 +18,9 @@
 //!   registry-tied eviction the serving runtime runs after reclaiming a
 //!   retired model.
 
+use crate::sync::Arc;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
 
 #[derive(Debug)]
 struct Entry<V> {

@@ -1,0 +1,14 @@
+//! Swappable sync layer: `std::sync` normally, the vendored model
+//! checker under `RUSTFLAGS="--cfg loom"`.
+//!
+//! [`crate::PinnedCache`]'s only concurrency surface is
+//! `Arc::strong_count` (pin detection), so `Arc` is the one primitive
+//! routed through the facade; the FFT plan cache and the worker pool
+//! keep `parking_lot`/`std` directly — their statics cannot be
+//! iteration-scoped, which puts them outside any model's reach
+//! (`docs/CONCURRENCY.md` records that boundary).
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Arc;
+#[cfg(not(loom))]
+pub(crate) use std::sync::Arc;

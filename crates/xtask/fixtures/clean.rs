@@ -1,0 +1,46 @@
+//! Clean fixture: every annotation form the lint accepts. Scanned (not
+//! compiled) by `cargo test -p xtask`; must produce zero violations
+//! even when treated as a serve-request-path file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn same_line_safety(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+fn multi_line_safety(p: *const u64) -> u64 {
+    // SAFETY: `p` points into a live allocation owned by this frame;
+    // the read cannot outlive it.
+    #[allow(clippy::let_and_return)]
+    let v = unsafe { *p };
+    v
+}
+
+// SAFETY: Widget's raw pointer is only dereferenced on the owning
+// thread; Send transfers ownership wholesale.
+unsafe impl Send for Widget {}
+
+fn allowlisted_relaxed(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn justified_unwrap(v: Option<u64>) -> u64 {
+    // UNWRAP: `v` is produced two lines up and is always Some here.
+    v.unwrap()
+}
+
+fn same_line_justified(v: Option<u64>) -> u64 {
+    v.unwrap() // UNWRAP: infallible by construction.
+}
+
+struct Widget(*mut u8);
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

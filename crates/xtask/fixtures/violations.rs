@@ -1,0 +1,25 @@
+//! Seeded violation fixture for the lint engine (NOT compiled; scanned
+//! by `cargo test -p xtask`). Every rule must fire on this file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bare_unsafe_block(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+// A comment that is not a safety argument.
+unsafe impl Send for Widget {}
+
+fn relaxed_without_allowlist(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn unwrap_on_request_path(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+fn expect_on_request_path(v: Result<u64, ()>) -> u64 {
+    v.expect("boom")
+}
+
+struct Widget(*mut u8);

@@ -1,0 +1,41 @@
+//! Workspace automation entry point. `cargo xtask lint` runs the
+//! static concurrency/safety audit described in `docs/CONCURRENCY.md`.
+
+mod lint;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            match lint::run(&root) {
+                Ok(()) => println!("xtask lint: clean"),
+                Err(report) => {
+                    eprintln!("{report}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask <command>\n\ncommands:\n  lint    static audit: \
+                 SAFETY comments, relaxed-ordering allowlist, serve-path unwrap ban"
+            );
+            if let Some(cmd) = other {
+                eprintln!("\nunknown command: {cmd}");
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root: xtask always runs via the `cargo xtask` alias,
+/// so the manifest dir is `<root>/crates/xtask`.
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}

@@ -10,7 +10,14 @@
 
 #![warn(missing_docs)]
 
-use std::sync::{Arc, RwLock};
+// Swappable sync layer: under `RUSTFLAGS="--cfg loom"` the lock comes
+// from the vendored model checker, so `crates/check` can explore the
+// flip-vs-pin race exhaustively (`docs/CONCURRENCY.md`).
+#[cfg(loom)]
+use loom::sync::RwLock;
+use std::sync::Arc;
+#[cfg(not(loom))]
+use std::sync::RwLock;
 
 /// An atomically swappable `Arc<T>`: readers always observe a fully
 /// consistent snapshot, writers replace the snapshot as one pointer flip.
@@ -59,6 +66,23 @@ impl<T> ArcSwap<T> {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         std::mem::replace(&mut *guard, value)
+    }
+
+    /// Stores `new` only if the current snapshot is pointer-identical to
+    /// `current`, returning the snapshot that was present before the
+    /// call (like the real crate's `compare_and_swap`: on success the
+    /// returned `Arc` is `current`; on failure it is the winner, and
+    /// callers typically reload and retry).
+    pub fn compare_and_swap(&self, current: &Arc<T>, new: Arc<T>) -> Arc<T> {
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if Arc::ptr_eq(&guard, current) {
+            std::mem::replace(&mut *guard, new)
+        } else {
+            Arc::clone(&guard)
+        }
     }
 }
 

@@ -1,0 +1,100 @@
+//! Semantics tests for the vendored `arc-swap` shim, written against
+//! the real crate's documented behavior so swapping the shim back out
+//! for crates.io `arc-swap` keeps this suite green.
+
+use arc_swap::ArcSwap;
+use std::sync::Arc;
+
+#[test]
+fn load_returns_current_snapshot() {
+    let cell = ArcSwap::from_pointee(41u64);
+    assert_eq!(*cell.load_full(), 41);
+    // load_full hands out the same allocation, not a copy.
+    let a = cell.load_full();
+    let b = cell.load_full();
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn store_detaches_existing_snapshots() {
+    let cell = ArcSwap::from_pointee(String::from("epoch-0"));
+    let pinned = cell.load_full();
+    cell.store(Arc::new(String::from("epoch-1")));
+    // The pin keeps the old allocation alive and unchanged; new loads
+    // see the new snapshot.
+    assert_eq!(*pinned, "epoch-0");
+    assert_eq!(*cell.load_full(), "epoch-1");
+}
+
+#[test]
+fn swap_returns_previous_snapshot() {
+    let cell = ArcSwap::from_pointee(1u32);
+    let prev = cell.swap(Arc::new(2));
+    assert_eq!(*prev, 1);
+    assert_eq!(*cell.load_full(), 2);
+}
+
+#[test]
+fn compare_and_swap_succeeds_on_identical_pointer() {
+    let cell = ArcSwap::from_pointee(1u32);
+    let current = cell.load_full();
+    let prev = cell.compare_and_swap(&current, Arc::new(2));
+    // Success: the returned snapshot is the one passed as `current`.
+    assert!(Arc::ptr_eq(&prev, &current));
+    assert_eq!(*cell.load_full(), 2);
+}
+
+#[test]
+fn compare_and_swap_fails_on_stale_pointer() {
+    let cell = ArcSwap::from_pointee(1u32);
+    let stale = cell.load_full();
+    cell.store(Arc::new(2));
+    let winner = cell.compare_and_swap(&stale, Arc::new(3));
+    // Failure: the cell is untouched and the winner comes back so the
+    // caller can retry against it.
+    assert_eq!(*winner, 2);
+    assert_eq!(*cell.load_full(), 2);
+    let prev = cell.compare_and_swap(&winner, Arc::new(3));
+    assert!(Arc::ptr_eq(&prev, &winner));
+    assert_eq!(*cell.load_full(), 3);
+}
+
+#[test]
+fn compare_and_swap_is_pointer_equality_not_value_equality() {
+    let cell = ArcSwap::from_pointee(7u32);
+    // Same value, different allocation: must NOT swap.
+    let impostor = Arc::new(7u32);
+    let prev = cell.compare_and_swap(&impostor, Arc::new(8));
+    assert!(!Arc::ptr_eq(&prev, &impostor));
+    assert_eq!(*cell.load_full(), 7);
+}
+
+#[test]
+fn default_wraps_default_value() {
+    let cell: ArcSwap<Vec<u8>> = ArcSwap::default();
+    assert!(cell.load_full().is_empty());
+}
+
+/// Epoch-chain shape from the serve registry: concurrent flippers and
+/// pinning readers; every reader must observe some complete epoch, and
+/// dropping the cell last must not leak or double-free (exercised under
+/// the Miri CI lane).
+#[test]
+fn concurrent_flip_and_pin() {
+    let cell = Arc::new(ArcSwap::from_pointee((0usize, 0usize)));
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let snap = cell.load_full();
+                    let (a, b) = *snap;
+                    assert_eq!(a, b, "torn epoch snapshot");
+                }
+            });
+        }
+        for epoch in 1..50usize {
+            cell.store(Arc::new((epoch, epoch)));
+        }
+    });
+}

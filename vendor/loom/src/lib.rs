@@ -1,0 +1,137 @@
+//! Offline API-compatible subset of [`loom`], vendored for the
+//! LightRidge-RS concurrency audit (`docs/CONCURRENCY.md`).
+//!
+//! The workspace's lock-free algorithms import their sync primitives
+//! through per-crate `sync` facades that re-export `std::sync` normally
+//! and this crate under `RUSTFLAGS="--cfg loom"`. A model test then
+//! wraps the algorithm in [`model`] (or a tuned [`Builder`]) and the
+//! runtime executes the closure once per schedule, depth-first over
+//! every interleaving reachable within the preemption bound:
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::Builder::new().check(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let b = a.clone();
+//!     let t = loom::thread::spawn(move || b.fetch_add(1, Ordering::SeqCst));
+//!     a.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! Differences from upstream loom worth knowing:
+//!
+//! * [`Builder::check`] returns a [`Report`] stating whether the
+//!   bounded state space was explored **exhaustively** — model tests in
+//!   `crates/check` assert `report.complete` so a silent fallback can
+//!   never masquerade as a proof.
+//! * The memory model is sequential consistency only (see the caveat
+//!   in the `rt` module docs); `Ordering` arguments are accepted but
+//!   not weakened.
+//! * No `UnsafeCell`/`alloc` tracking and no `wait_timeout`; `Arc` is
+//!   `std`'s (refcount races are out of scope — the checker explores
+//!   schedules, not reference-count tearing, which Miri covers).
+//!
+//! [`loom`]: https://docs.rs/loom
+
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub mod hint {
+    //! Spin hints that become scheduling points under the checker, so
+    //! bounded spin loops in models actually let other threads run.
+
+    pub fn spin_loop() {
+        if crate::rt::in_model() {
+            crate::rt::schedule();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+use std::sync::Arc;
+
+/// Exploration budget and strategy knobs.
+///
+/// `preemption_bound` is the maximum number of *forced* context
+/// switches (away from a runnable thread) per schedule; blocking and
+/// thread-exit switches are free. Bound 2 already exposes the vast
+/// majority of real-world interleaving bugs (Musuvathi & Qadeer's
+/// empirical result, reproduced by this repo's own checker self-tests)
+/// while keeping the space polynomial.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum forced preemptions per schedule. Overridable with the
+    /// `LOOM_MAX_PREEMPTIONS` environment variable, like upstream.
+    pub preemption_bound: usize,
+    /// DFS iteration budget before degrading to random walks.
+    /// Overridable with `LOOM_MAX_ITERATIONS`.
+    pub max_iterations: u64,
+    /// Number of seeded random-walk schedules run after the DFS budget
+    /// is exhausted.
+    pub random_walks: u64,
+    /// Seed for the random-walk fallback; fixed so failures replay.
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: env_u64("LOOM_MAX_PREEMPTIONS")
+                .map(|v| v as usize)
+                .unwrap_or(2),
+            max_iterations: env_u64("LOOM_MAX_ITERATIONS").unwrap_or(200_000),
+            random_walks: env_u64("LOOM_RANDOM_WALKS").unwrap_or(2_000),
+            seed: 0x4c52_9d0c_5eed_0001, // "LR" | fixed so runs replay
+        }
+    }
+
+    /// Explore `f` under every schedule within the budget. Panics with
+    /// the model's own panic payload on the first failing interleaving
+    /// (assertion failure, deadlock, or thread-cap overflow); the
+    /// decision path that failed is replayed deterministically, so a
+    /// failure seen once is a failure every run.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        rt::explore(self, Arc::new(f))
+    }
+}
+
+/// What an exploration did. `complete` means the *entire* state space
+/// within the preemption bound was enumerated — the exhaustiveness
+/// claim model tests assert. `!complete` means the DFS budget ran out
+/// and coverage continued as seeded random walks.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Total schedules executed (DFS + random walks).
+    pub iterations: u64,
+    /// True iff the bounded state space was exhausted.
+    pub complete: bool,
+}
+
+/// Check `f` with default settings, panicking on any failing
+/// interleaving — the upstream-loom entry point.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

@@ -1,0 +1,539 @@
+//! The scheduler at the heart of the model checker.
+//!
+//! One *model iteration* executes the user's closure under a fully
+//! serialized schedule: every virtual thread runs on its own OS thread,
+//! but exactly one holds the *token* at any instant, and the token only
+//! changes hands at explicit scheduling points (every operation on a
+//! [`crate::sync`] primitive). Each point where more than one thread
+//! could run next is a *choice*; the sequence of choices taken is the
+//! iteration's *decision path*.
+//!
+//! Exploration is depth-first over decision paths with **bounded
+//! preemption** (Musuvathi & Qadeer, PLDI 2007): switching away from a
+//! thread that could have continued costs one preemption, and paths
+//! using more than [`crate::Builder::preemption_bound`] preemptions are
+//! pruned at choice construction. Context switches at blocking or
+//! thread exit are free, so every schedule a cooperative scheduler
+//! could produce is always explored; the bound only limits *forced*
+//! interleaving depth. When the DFS frontier exceeds the iteration
+//! budget, exploration degrades to seeded random walks over the same
+//! choice structure and the final [`crate::Report`] says so
+//! (`complete == false`).
+//!
+//! ## Memory model caveat
+//!
+//! Execution is serialized, so every exploration observes
+//! **sequentially consistent** outcomes only: `Ordering` arguments are
+//! accepted and forwarded to the underlying `std` atomics but never
+//! *weakened*. The checker therefore proves schedule-interleaving
+//! properties (lost updates, ABA windows, publication races, deadlock),
+//! not relaxed-memory reordering properties — that gap is covered by
+//! the ThreadSanitizer CI lane (`docs/CONCURRENCY.md`).
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on virtual threads per model, like upstream loom's
+/// `MAX_THREADS`. Keeps the choice fan-out (and OS-thread churn on the
+/// single-core CI container) bounded.
+pub(crate) const MAX_THREADS: usize = 5;
+
+/// Token value meaning "no virtual thread may run" (iteration over, or
+/// abort in progress).
+const NO_ACTIVE: usize = usize::MAX;
+
+/// Sentinel panic payload used to unwind virtual threads parked in the
+/// scheduler when an iteration aborts (a failure was recorded
+/// elsewhere, so these unwinds carry no information). The controller
+/// filters it out; only real payloads surface to the caller.
+pub(crate) struct ScheduleAborted;
+
+/// Resource id a thread can block on: a `sync` primitive's address, or
+/// a join target. Virtual-thread ids are tiny and heap addresses are
+/// never in the null page, so the two spaces cannot collide.
+pub(crate) fn join_res(tid: usize) -> usize {
+    tid + 1
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Eligible to receive the token.
+    Runnable,
+    /// Parked on a resource id until some `unblock_*` call.
+    Blocked(usize),
+    /// Closure returned or unwound; never scheduled again.
+    Finished,
+}
+
+/// One recorded scheduling decision: which threads were runnable
+/// (current-first, so index 0 is the preemption-free continuation) and
+/// which option this iteration took.
+struct Choice {
+    options: Vec<usize>,
+    index: usize,
+}
+
+enum Failure {
+    Panic(Box<dyn std::any::Any + Send>),
+    Deadlock(String),
+    TooManyThreads,
+}
+
+struct ExecState {
+    /// Which virtual thread holds the token.
+    active: usize,
+    threads: Vec<Run>,
+    /// Decision path: one entry per scheduling point with > 1 option.
+    path: Vec<Choice>,
+    /// Replay cursor into `path`.
+    depth: usize,
+    /// Preemptions spent so far this iteration.
+    preemptions: usize,
+    /// Set on first failure; every parked thread then unwinds.
+    abort: bool,
+    failure: Option<Failure>,
+    /// OS join handles for spawned virtual threads (not thread 0).
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Virtual threads not yet `Finished`.
+    live: usize,
+    /// `Some(seed)` switches choice selection from DFS replay to a
+    /// splitmix64 random walk.
+    rng: Option<u64>,
+}
+
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    bound: usize,
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling OS thread is a virtual thread inside a model.
+/// Outside a model every shim passes straight through to `std`, so the
+/// same binary can mix checked models and ordinary tests.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn current_tid() -> Option<usize> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.tid))
+}
+
+/// Runnable successors of `me` at this point, current thread first so
+/// DFS explores the preemption-free continuation before any switch.
+/// When `me` could continue and the preemption budget is exhausted,
+/// the only option is to keep running `me`.
+fn runnable_options(st: &ExecState, me: usize, self_runnable: bool, bound: usize) -> Vec<usize> {
+    let me_can_continue = self_runnable && st.threads[me] == Run::Runnable;
+    let mut opts = Vec::new();
+    if me_can_continue {
+        opts.push(me);
+    }
+    if !me_can_continue || st.preemptions < bound {
+        for (tid, r) in st.threads.iter().enumerate() {
+            if tid != me && *r == Run::Runnable {
+                opts.push(tid);
+            }
+        }
+    }
+    opts
+}
+
+/// Pick the next token holder: replay the recorded path, extend it with
+/// a fresh choice, or draw from the random-walk PRNG. Records a
+/// deadlock failure if live threads remain but none is runnable.
+fn pick_next(ctx: &Ctx, st: &mut ExecState, self_runnable: bool) {
+    let me = ctx.tid;
+    let opts = runnable_options(st, me, self_runnable, ctx.exec.bound);
+    if opts.is_empty() {
+        if st.live > 0 {
+            st.failure.get_or_insert_with(|| {
+                let parked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(tid, r)| match r {
+                        Run::Blocked(res) => Some(format!("thread {tid} blocked on {res:#x}")),
+                        _ => None,
+                    })
+                    .collect();
+                Failure::Deadlock(format!(
+                    "{} virtual thread(s) cannot make progress: {}",
+                    st.live,
+                    parked.join(", ")
+                ))
+            });
+            st.abort = true;
+        }
+        st.active = NO_ACTIVE;
+        ctx.exec.cv.notify_all();
+        return;
+    }
+    let next = if opts.len() == 1 {
+        // Deterministic continuation: not a choice, not recorded.
+        opts[0]
+    } else if let Some(seed) = st.rng.as_mut() {
+        // Random walk: one splitmix64 step per decision.
+        *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        opts[(z % opts.len() as u64) as usize]
+    } else if st.depth < st.path.len() {
+        // Replay: the path prefix is identical to the iteration that
+        // recorded this choice, so the option set must match — a
+        // mismatch means the model is nondeterministic under identical
+        // schedules, which the checker cannot explore soundly.
+        let c = &st.path[st.depth];
+        debug_assert_eq!(
+            c.options, opts,
+            "model is nondeterministic: replayed schedule produced a different runnable set"
+        );
+        let chosen = c.options[c.index];
+        st.depth += 1;
+        chosen
+    } else {
+        st.path.push(Choice {
+            options: opts.clone(),
+            index: 0,
+        });
+        st.depth += 1;
+        opts[0]
+    };
+    if next != me && self_runnable && st.threads[me] == Run::Runnable {
+        st.preemptions += 1;
+    }
+    st.active = next;
+    ctx.exec.cv.notify_all();
+}
+
+/// Park until the token comes back to `ctx.tid` (or the iteration
+/// aborts, in which case unwind with the sentinel).
+fn wait_for_token(ctx: &Ctx, mut st: MutexGuard<'_, ExecState>) {
+    loop {
+        if st.abort {
+            drop(st);
+            panic::panic_any(ScheduleAborted);
+        }
+        if st.active == ctx.tid {
+            return;
+        }
+        st = ctx
+            .exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(|poison| poison.into_inner());
+    }
+}
+
+/// A scheduling point: offer the token to every runnable thread. No-op
+/// outside a model or while the calling thread is unwinding (so shim
+/// guards can drop during a panic without re-entering the scheduler).
+pub(crate) fn schedule() {
+    let Some(ctx) = current() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    if st.abort {
+        drop(st);
+        panic::panic_any(ScheduleAborted);
+    }
+    pick_next(&ctx, &mut st, true);
+    wait_for_token(&ctx, st);
+}
+
+/// Mark the current thread blocked on `res` *without* yielding. Used by
+/// `Condvar::wait`, which must register as a waiter before releasing
+/// its mutex or a notify landing in between would be lost.
+pub(crate) fn prepare_block(res: usize) {
+    let Some(ctx) = current() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    st.threads[ctx.tid] = Run::Blocked(res);
+}
+
+/// Yield after [`prepare_block`]: hand the token elsewhere and park
+/// until some `unblock_*` makes this thread runnable and a later
+/// scheduling decision picks it.
+pub(crate) fn yield_blocked() {
+    let Some(ctx) = current() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    if st.abort {
+        drop(st);
+        panic::panic_any(ScheduleAborted);
+    }
+    pick_next(&ctx, &mut st, false);
+    wait_for_token(&ctx, st);
+}
+
+/// Block the current virtual thread on `res` until unblocked.
+pub(crate) fn block_on(res: usize) {
+    prepare_block(res);
+    yield_blocked();
+}
+
+/// Make every thread blocked on `res` runnable again. Does not yield.
+pub(crate) fn unblock_all(res: usize) {
+    let Some(ctx) = current() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    for r in st.threads.iter_mut() {
+        if *r == Run::Blocked(res) {
+            *r = Run::Runnable;
+        }
+    }
+}
+
+/// Make the lowest-tid thread blocked on `res` runnable. Waking the
+/// lowest id (rather than making the wake target itself a choice)
+/// under-explores notify orderings; `docs/CONCURRENCY.md` lists this as
+/// a checker limitation.
+pub(crate) fn unblock_one(res: usize) {
+    let Some(ctx) = current() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    for r in st.threads.iter_mut() {
+        if *r == Run::Blocked(res) {
+            *r = Run::Runnable;
+            return;
+        }
+    }
+}
+
+/// Register a new virtual thread running `f` and hand exploration a
+/// chance to switch to it. Returns the virtual thread id.
+pub(crate) fn spawn_thread(f: Box<dyn FnOnce() + Send>) -> usize {
+    let ctx = current().expect("loom::thread::spawn outside a model");
+    let tid;
+    {
+        let mut st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.threads.len() >= MAX_THREADS {
+            st.failure.get_or_insert(Failure::TooManyThreads);
+            st.abort = true;
+            ctx.exec.cv.notify_all();
+            drop(st);
+            panic::panic_any(ScheduleAborted);
+        }
+        tid = st.threads.len();
+        st.threads.push(Run::Runnable);
+        st.live += 1;
+        let exec = ctx.exec.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || run_thread(exec, tid, f))
+            .expect("spawn model OS thread");
+        st.os_handles.push(handle);
+    }
+    // The new thread is runnable: switching to it here is a choice.
+    schedule();
+    tid
+}
+
+/// Virtually join thread `tid`: park until it is `Finished`. Execution
+/// is token-serial, so the Finished check cannot race the block.
+pub(crate) fn join_thread(tid: usize) {
+    let ctx = current().expect("loom JoinHandle::join outside a model");
+    loop {
+        {
+            let st = ctx.exec.state.lock().unwrap_or_else(|p| p.into_inner());
+            if st.abort {
+                drop(st);
+                panic::panic_any(ScheduleAborted);
+            }
+            if st.threads[tid] == Run::Finished {
+                return;
+            }
+        }
+        block_on(join_res(tid));
+    }
+}
+
+/// Body of every virtual thread's OS thread: install the context, wait
+/// to be scheduled for the first time, run the closure, then retire the
+/// thread — recording any real panic as the iteration's failure.
+fn run_thread(exec: Arc<Exec>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    let ctx = Ctx {
+        exec: exec.clone(),
+        tid,
+    };
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let st = exec.state.lock().unwrap_or_else(|p| p.into_inner());
+        wait_for_token(&ctx, st);
+        f();
+    }));
+    let mut st = exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    st.threads[tid] = Run::Finished;
+    st.live -= 1;
+    if let Err(payload) = result {
+        if !payload.is::<ScheduleAborted>() {
+            st.failure.get_or_insert(Failure::Panic(payload));
+            st.abort = true;
+        }
+    }
+    for r in st.threads.iter_mut() {
+        if *r == Run::Blocked(join_res(tid)) {
+            *r = Run::Runnable;
+        }
+    }
+    if st.abort || st.live == 0 {
+        st.active = NO_ACTIVE;
+        exec.cv.notify_all();
+    } else {
+        pick_next(&ctx, &mut st, false);
+    }
+    drop(st);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Run one iteration of `f` under the schedule described by `path`
+/// (DFS mode) or a random walk seeded with `rng`. Returns the possibly
+/// extended path and the iteration's failure, if any.
+fn run_iteration(
+    bound: usize,
+    path: Vec<Choice>,
+    rng: Option<u64>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Choice>, Option<Failure>) {
+    let exec = Arc::new(Exec {
+        state: Mutex::new(ExecState {
+            active: 0,
+            threads: vec![Run::Runnable],
+            path,
+            depth: 0,
+            preemptions: 0,
+            abort: false,
+            failure: None,
+            os_handles: Vec::new(),
+            live: 1,
+            rng,
+        }),
+        cv: Condvar::new(),
+        bound,
+    });
+    let exec0 = exec.clone();
+    let h0 = std::thread::Builder::new()
+        .name("loom-0".into())
+        .spawn(move || run_thread(exec0, 0, Box::new(move || f())))
+        .expect("spawn model OS thread 0");
+    h0.join().ok();
+    // Thread 0 exiting does not end the iteration: children it spawned
+    // (and grandchildren they spawn) keep scheduling among themselves.
+    // Drain handles until none remain; joining a live thread blocks
+    // until the virtual schedule retires it.
+    loop {
+        let handle = {
+            let mut st = exec.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.os_handles.pop()
+        };
+        match handle {
+            Some(h) => {
+                h.join().ok();
+            }
+            None => break,
+        }
+    }
+    let mut st = exec.state.lock().unwrap_or_else(|p| p.into_inner());
+    (std::mem::take(&mut st.path), st.failure.take())
+}
+
+/// DFS backtrack: advance the deepest choice that still has an
+/// unexplored option and truncate everything below it. Returns false
+/// when the whole bounded space has been visited.
+fn advance_path(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.index + 1 < last.options.len() {
+            last.index += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn raise(failure: Failure, iterations: u64, mode: &str) -> ! {
+    match failure {
+        Failure::Panic(payload) => {
+            eprintln!("loom: model failed on iteration {iterations} ({mode}); re-raising the model's panic");
+            panic::resume_unwind(payload)
+        }
+        Failure::Deadlock(detail) => {
+            panic!("loom: deadlock on iteration {iterations} ({mode}): {detail}")
+        }
+        Failure::TooManyThreads => panic!(
+            "loom: model spawned more than {MAX_THREADS} virtual threads (iteration {iterations})"
+        ),
+    }
+}
+
+/// Explore `f` per `builder`'s budget. Panics (with the model's own
+/// panic payload where possible) on any failing interleaving.
+pub(crate) fn explore(builder: &crate::Builder, f: Arc<dyn Fn() + Send + Sync>) -> crate::Report {
+    assert!(
+        !in_model(),
+        "loom: nested models are not supported (model() called from inside a model)"
+    );
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        let (next_path, failure) = run_iteration(builder.preemption_bound, path, None, f.clone());
+        path = next_path;
+        if let Some(failure) = failure {
+            raise(failure, iterations, "exhaustive DFS");
+        }
+        if !advance_path(&mut path) {
+            return crate::Report {
+                iterations,
+                complete: true,
+            };
+        }
+        if iterations >= builder.max_iterations {
+            break;
+        }
+    }
+    // DFS budget exhausted: fall back to seeded random walks so big
+    // state spaces still get probabilistic coverage. `complete: false`
+    // tells the caller the exhaustiveness claim does NOT hold.
+    let mut seed = builder.seed;
+    for _ in 0..builder.random_walks {
+        iterations += 1;
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let (_, failure) =
+            run_iteration(builder.preemption_bound, Vec::new(), Some(seed), f.clone());
+        if let Some(failure) = failure {
+            raise(failure, iterations, "random walk");
+        }
+    }
+    crate::Report {
+        iterations,
+        complete: false,
+    }
+}

@@ -1,0 +1,570 @@
+//! `std::sync`-shaped primitives that double as model-checker probes.
+//!
+//! Inside a [`crate::model`] every operation is a scheduling point for
+//! the `rt` explorer; outside a model each type passes straight
+//! through to its `std` counterpart, so crates compiled with
+//! `--cfg loom` still behave normally in ordinary tests and binaries.
+//!
+//! Blocking is *virtual* in model mode: a `Mutex` under contention or a
+//! `Condvar` waiter parks the virtual thread in the scheduler (the real
+//! `std` lock is uncontended because execution is token-serial), which
+//! is what lets the explorer enumerate who wins each race.
+
+use crate::rt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomics that yield to the scheduler before every access.
+    //!
+    //! The `Ordering` argument is forwarded to the underlying `std`
+    //! atomic but — because model execution is serialized — every
+    //! exploration observes sequentially consistent outcomes. See the
+    //! memory-model caveat in the `rt` module docs.
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    /// An atomic memory fence; a scheduling point in model mode.
+    pub fn fence(order: Ordering) {
+        rt::schedule();
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-checked counterpart of the `std` atomic of the
+            /// same name: every method first offers the scheduler a
+            /// chance to interleave another thread.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                pub fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.load(order)
+                }
+
+                pub fn store(&self, val: $ty, order: Ordering) {
+                    rt::schedule();
+                    self.0.store(val, order)
+                }
+
+                pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.swap(val, order)
+                }
+
+                pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_add(val, order)
+                }
+
+                pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_sub(val, order)
+                }
+
+                pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_max(val, order)
+                }
+
+                pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_min(val, order)
+                }
+
+                pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_and(val, order)
+                }
+
+                pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                    rt::schedule();
+                    self.0.fetch_or(val, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::schedule();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    // The shim never fails spuriously: a weak-CAS retry
+                    // loop is explored exactly like the strong form.
+                    rt::schedule();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU32, AtomicU32, u32);
+    atomic_int!(AtomicU64, AtomicU64, u64);
+    atomic_int!(AtomicUsize, AtomicUsize, usize);
+    atomic_int!(AtomicI64, AtomicI64, i64);
+    atomic_int!(AtomicIsize, AtomicIsize, isize);
+
+    /// Model-checked `AtomicBool` (no arithmetic fetch ops).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::schedule();
+            self.0.load(order)
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            rt::schedule();
+            self.0.store(val, order)
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            rt::schedule();
+            self.0.swap(val, order)
+        }
+
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            rt::schedule();
+            self.0.fetch_and(val, order)
+        }
+
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            rt::schedule();
+            self.0.fetch_or(val, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::schedule();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+    }
+}
+
+/// Model-mode lock book-keeping: `usize::MAX` = free, otherwise the
+/// owning virtual thread id. Execution is token-serial, so plain
+/// store/load on a `std` atomic suffices — no real contention exists.
+const FREE: usize = usize::MAX;
+
+fn res_id<T: ?Sized>(obj: &T) -> usize {
+    obj as *const T as *const () as usize
+}
+
+/// Mutual exclusion with virtual blocking in model mode.
+pub struct Mutex<T: ?Sized> {
+    owner: std::sync::atomic::AtomicUsize,
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            owner: std::sync::atomic::AtomicUsize::new(FREE),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(tid) = rt::current_tid() {
+            // Acquisition is a scheduling point; losing the race parks
+            // the virtual thread until the holder's guard drops.
+            rt::schedule();
+            let res = res_id(self);
+            loop {
+                if self.owner.load(std::sync::atomic::Ordering::Relaxed) == FREE {
+                    self.owner.store(tid, std::sync::atomic::Ordering::Relaxed);
+                    break;
+                }
+                rt::block_on(res);
+            }
+            let inner = self
+                .inner
+                .try_lock()
+                .expect("loom Mutex: token-serial execution cannot contend the real lock");
+            Ok(MutexGuard {
+                mutex: self,
+                inner: Some(inner),
+                model: true,
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    mutex: self,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if let Some(tid) = rt::current_tid() {
+            rt::schedule();
+            if self.owner.load(std::sync::atomic::Ordering::Relaxed) == FREE {
+                self.owner.store(tid, std::sync::atomic::Ordering::Relaxed);
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("loom Mutex: token-serial execution cannot contend the real lock");
+                Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: true,
+                })
+            } else {
+                Err(TryLockError::WouldBlock)
+            }
+        } else {
+            match self.inner.try_lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(poison)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        mutex: self,
+                        inner: Some(poison.into_inner()),
+                        model: false,
+                    })))
+                }
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Release the lock without a scheduling point, for `Condvar::wait`
+    /// which must atomically (w.r.t. the virtual schedule) move from
+    /// "holding the mutex" to "parked on the condvar".
+    fn release_raw(&mut self) {
+        self.inner.take();
+        if self.model {
+            self.mutex
+                .owner
+                .store(FREE, std::sync::atomic::Ordering::Relaxed);
+            rt::unblock_all(res_id(self.mutex));
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let was_held = self.inner.is_some();
+        self.release_raw();
+        if self.model && was_held {
+            // Releasing a lock is a scheduling point: a woken waiter
+            // may win the token before this thread runs on.
+            rt::schedule();
+        }
+    }
+}
+
+/// Reader-writer lock with virtual blocking in model mode. Book-keeping
+/// is a signed count: `-1` writer, `0` free, `n > 0` readers.
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::atomic::AtomicIsize,
+    inner: std::sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self {
+        RwLock {
+            state: std::sync::atomic::AtomicIsize::new(0),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if rt::in_model() {
+            rt::schedule();
+            let res = res_id(self);
+            loop {
+                let s = self.state.load(std::sync::atomic::Ordering::Relaxed);
+                if s >= 0 {
+                    self.state
+                        .store(s + 1, std::sync::atomic::Ordering::Relaxed);
+                    break;
+                }
+                rt::block_on(res);
+            }
+            let inner = self
+                .inner
+                .try_read()
+                .expect("loom RwLock: token-serial execution cannot contend the real lock");
+            Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(inner),
+                model: true,
+            })
+        } else {
+            match self.inner.read() {
+                Ok(inner) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if rt::in_model() {
+            rt::schedule();
+            let res = res_id(self);
+            loop {
+                if self.state.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+                    self.state.store(-1, std::sync::atomic::Ordering::Relaxed);
+                    break;
+                }
+                rt::block_on(res);
+            }
+            let inner = self
+                .inner
+                .try_write()
+                .expect("loom RwLock: token-serial execution cannot contend the real lock");
+            Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                model: true,
+            })
+        } else {
+            match self.inner.write() {
+                Ok(inner) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if self.model {
+            let prev = self
+                .lock
+                .state
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            if prev == 1 {
+                rt::unblock_all(res_id(self.lock));
+            }
+            rt::schedule();
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if self.model {
+            self.lock
+                .state
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+            rt::unblock_all(res_id(self.lock));
+            rt::schedule();
+        }
+    }
+}
+
+/// Condition variable with virtual parking in model mode.
+///
+/// The shim deliberately omits `wait_timeout`: a virtual clock would
+/// multiply the state space, and every checked algorithm's timeout path
+/// is modeled as "the wait returned without the predicate" instead
+/// (see `crates/check`).
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.model {
+            let mutex = guard.mutex;
+            // Register as a waiter *before* releasing the mutex so a
+            // notify between the two cannot be lost, then forget the
+            // guard so its Drop does not double-release.
+            rt::prepare_block(res_id(self));
+            guard.release_raw();
+            std::mem::forget(guard);
+            rt::yield_blocked();
+            mutex.lock()
+        } else {
+            let inner = guard.inner.take().expect("guard released");
+            let mutex = guard.mutex;
+            match self.inner.wait(inner) {
+                Ok(inner) => Ok(MutexGuard {
+                    mutex,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    mutex,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if rt::in_model() {
+            rt::unblock_one(res_id(self));
+            rt::schedule();
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if rt::in_model() {
+            rt::unblock_all(res_id(self));
+            rt::schedule();
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}

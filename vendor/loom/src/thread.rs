@@ -1,0 +1,68 @@
+//! Virtual threads: `spawn`/`join` that the explorer schedules in model
+//! mode and that defer to `std::thread` outside one.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned thread, virtual or real.
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+enum Imp<T> {
+    Model {
+        tid: usize,
+        /// Filled by the virtual thread just before it retires.
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if rt::in_model() {
+        let slot = Arc::new(Mutex::new(None));
+        let out = slot.clone();
+        let tid = rt::spawn_thread(Box::new(move || {
+            let value = f();
+            *out.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+        }));
+        JoinHandle {
+            imp: Imp::Model { tid, slot },
+        }
+    } else {
+        JoinHandle {
+            imp: Imp::Real(std::thread::spawn(f)),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Model { tid, slot } => {
+                rt::join_thread(tid);
+                match slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                    Some(value) => Ok(value),
+                    // Only reachable when the joined thread unwound; the
+                    // iteration is aborting and this error is discarded.
+                    None => Err(Box::new("loom: joined virtual thread panicked")),
+                }
+            }
+            Imp::Real(handle) => handle.join(),
+        }
+    }
+}
+
+/// A pure scheduling point in model mode; `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::schedule();
+    } else {
+        std::thread::yield_now();
+    }
+}

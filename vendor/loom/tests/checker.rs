@@ -1,0 +1,232 @@
+//! Self-tests for the vendored model checker: the checker must *find*
+//! planted interleaving bugs (no false negatives on the classic races),
+//! must *not* flag correct code (no false positives), and must report
+//! exhaustiveness honestly.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn fails(builder: loom::Builder, f: impl Fn() + Send + Sync + 'static) -> bool {
+    catch_unwind(AssertUnwindSafe(move || builder.check(f))).is_err()
+}
+
+/// Two racing load-then-store increments lose an update under exactly
+/// one preemption; the checker must find that schedule and surface the
+/// model's own assertion panic.
+#[test]
+fn finds_lost_update() {
+    let builder = loom::Builder::new();
+    assert!(
+        fails(builder, || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = a.clone();
+            let t = loom::thread::spawn(move || {
+                let v = b.load(Ordering::SeqCst);
+                b.store(v + 1, Ordering::SeqCst);
+            });
+            let v = a.load(Ordering::SeqCst);
+            a.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        }),
+        "checker failed to find the textbook lost-update interleaving"
+    );
+}
+
+/// The same racy increment is invisible at preemption bound 0: each
+/// thread runs to completion before the other starts, so exploration
+/// must complete after a single schedule without failing. This pins
+/// the bound semantics (switches at thread exit are free, forced
+/// switches are not).
+#[test]
+fn preemption_bound_zero_serializes() {
+    let mut builder = loom::Builder::new();
+    builder.preemption_bound = 0;
+    let report = builder.check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = a.clone();
+        let t = loom::thread::spawn(move || {
+            let v = b.load(Ordering::SeqCst);
+            b.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete);
+    assert_eq!(
+        report.iterations, 1,
+        "bound 0 admits exactly the serial schedule"
+    );
+}
+
+/// `fetch_add` is atomic, so the same shape with a proper RMW must
+/// survive every interleaving — and the exploration must visit more
+/// than one schedule to have actually checked anything.
+#[test]
+fn atomic_rmw_is_race_free() {
+    let report = loom::Builder::new().check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = a.clone();
+        let t = loom::thread::spawn(move || {
+            b.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete);
+    assert!(report.iterations > 1, "only one schedule explored");
+}
+
+/// Mutex-protected read-modify-write: mutual exclusion must hold under
+/// every schedule, including ones where the spawned thread wins the
+/// lock first.
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    let report = loom::Builder::new().check(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let t = loom::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+    assert!(report.complete);
+    assert!(report.iterations > 1);
+}
+
+/// Condvar handoff: the waiter parks until the flag is set, the
+/// notifier wakes it, and no schedule deadlocks — including the one
+/// where the notifier runs entirely before the waiter first checks.
+#[test]
+fn condvar_handoff_never_deadlocks() {
+    let report = loom::Builder::new().check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = loom::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+    assert!(report.iterations > 1);
+}
+
+/// Classic ABBA lock-order inversion: some schedule must deadlock, and
+/// the checker must report it as such rather than hanging.
+#[test]
+fn detects_abba_deadlock() {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        loom::Builder::new().check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = loom::thread::spawn(move || {
+                let _gb = b2.lock().unwrap();
+                let _ga = a2.lock().unwrap();
+            });
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+    }));
+    let payload = caught.expect_err("ABBA deadlock not detected");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// When the DFS budget is too small for the state space, the checker
+/// must degrade to random walks and say so — `complete` must be false,
+/// never a silent lie.
+#[test]
+fn exhausted_budget_reports_incomplete() {
+    let mut builder = loom::Builder::new();
+    builder.max_iterations = 2;
+    builder.random_walks = 8;
+    let report = builder.check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = a.clone();
+        let t = loom::thread::spawn(move || {
+            b.fetch_add(1, Ordering::SeqCst);
+            b.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(1, Ordering::SeqCst);
+        a.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 4);
+    });
+    assert!(!report.complete);
+    assert_eq!(report.iterations, 2 + 8);
+}
+
+/// Three threads and an RwLock: writers are exclusive, readers
+/// coexist, and the whole space within bound 2 stays explorable.
+#[test]
+fn rwlock_readers_and_writer() {
+    use loom::sync::RwLock;
+    let report = loom::Builder::new().check(|| {
+        let l = Arc::new(RwLock::new(0u32));
+        let (l1, l2) = (l.clone(), l.clone());
+        let w = loom::thread::spawn(move || {
+            *l1.write().unwrap() = 7;
+        });
+        let r = loom::thread::spawn(move || {
+            let v = *l2.read().unwrap();
+            assert!(v == 0 || v == 7, "torn read through RwLock");
+        });
+        w.join().unwrap();
+        r.join().unwrap();
+        assert_eq!(*l.read().unwrap(), 7);
+    });
+    assert!(report.complete);
+    assert!(report.iterations > 1);
+}
+
+/// Outside a model every shim passes through to `std`: this ordinary
+/// test exercises the direct-mode paths (real lock, real condvar, real
+/// spawn) that the `--cfg loom` workspace build relies on.
+#[test]
+fn direct_mode_passthrough() {
+    let m = Arc::new(Mutex::new(0u32));
+    let cv = Arc::new(Condvar::new());
+    let (m2, cv2) = (m.clone(), cv.clone());
+    let t = loom::thread::spawn(move || {
+        *m2.lock().unwrap() = 5;
+        cv2.notify_all();
+    });
+    {
+        let mut g = m.lock().unwrap();
+        while *g != 5 {
+            g = cv.wait(g).unwrap();
+        }
+    }
+    t.join().unwrap();
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+    loom::thread::yield_now();
+    loom::hint::spin_loop();
+}

@@ -117,6 +117,8 @@ impl Registry {
             events,
             data: token.0 as u64,
         };
+        // SAFETY: `epfd` is a live epoll fd owned by this registry and
+        // `ev` is a valid, initialized epoll_event for the call's duration.
         cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
     }
 
@@ -232,6 +234,8 @@ pub struct Poll {
 impl Poll {
     /// Creates a new epoll instance.
     pub fn new() -> io::Result<Poll> {
+        // SAFETY: epoll_create1 takes no pointers; the returned fd is
+        // checked by `cvt` before use.
         let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         Ok(Poll {
             registry: Registry { epfd },
@@ -254,6 +258,9 @@ impl Poll {
                 .unwrap_or(i32::MAX),
         };
         loop {
+            // SAFETY: the buffer pointer/len come from a live, exclusively
+            // borrowed `Events` vec; the kernel writes at most `cap`
+            // entries, and `set_len` below only exposes initialized ones.
             let n = unsafe {
                 epoll_wait(
                     self.registry.epfd,
@@ -276,6 +283,8 @@ impl Poll {
 
 impl Drop for Poll {
     fn drop(&mut self) {
+        // SAFETY: this registry owns `epfd` and nothing uses it after
+        // drop; double-close is impossible because Poll is not Clone.
         unsafe {
             close(self.registry.epfd);
         }
@@ -295,12 +304,18 @@ impl Waker {
     /// Creates a waker delivering events tagged `token` to `registry`'s
     /// poll.
     pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers; the returned fd is checked
+        // by `cvt` before use.
         let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
         let mut ev = EpollEvent {
             events: EPOLLIN | EPOLLET,
             data: token.0 as u64,
         };
+        // SAFETY: both fds are live (created/validated just above) and
+        // `ev` is a valid epoll_event for the call's duration.
         if let Err(e) = cvt(unsafe { epoll_ctl(registry.epfd, EPOLL_CTL_ADD, fd, &mut ev) }) {
+            // SAFETY: `fd` was created above, registration failed, and it
+            // escapes nowhere else — closing it here is the only close.
             unsafe {
                 close(fd);
             }
@@ -313,6 +328,8 @@ impl Waker {
     /// any thread; never blocks.
     pub fn wake(&self) -> io::Result<()> {
         let one: u64 = 1;
+        // SAFETY: writes exactly the 8 bytes of the local `one`, which
+        // outlives the call; `self.fd` is a live eventfd owned by us.
         let ret = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
         if ret == 8 {
             Ok(())
@@ -330,6 +347,8 @@ impl Waker {
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: the waker owns `self.fd` (an eventfd created in `new`)
+        // and nothing uses it after drop.
         unsafe {
             close(self.fd);
         }
