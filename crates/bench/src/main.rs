@@ -6,7 +6,11 @@
 //! measured for both the current zero-copy pipeline and the
 //! pre-optimization reference (transpose-based FFT2, plain radix-2
 //! butterflies, clone-per-layer forward, thread-spawn-per-batch
-//! parallelism). Future PRs diff this file to keep a perf trajectory.
+//! parallelism). It also sweeps the cross-plane SIMD kernels at forced
+//! lane widths (`simd_lanes/*`, see [`simd_lanes_entries`]) and gates the
+//! fused batched forward pass at both a pow2-friendly (200) and a prime
+//! Rader-path (197) grid. Future PRs diff this file to keep a perf
+//! trajectory.
 //!
 //! `lr-bench serve` runs the deterministic synthetic load generator
 //! against the sharded `lr-serve` runtime — both in-process and through
@@ -25,7 +29,8 @@ mod serve_bench;
 
 use lightridge::{CodesignMode, Detector, DonnBuilder, DonnModel, Layer};
 use lr_optics::{Approximation, Distance, Grid, PixelPitch, Wavelength};
-use lr_tensor::{parallel, Complex64, Direction, Fft2, Field};
+use lr_tensor::simd::{self, SimdLevel};
+use lr_tensor::{parallel, Complex64, Direction, Fft2, Field, FieldBatch};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -121,6 +126,128 @@ fn pooled_batched_forward(model: &DonnModel, batch: &[Field]) -> usize {
     .sum()
 }
 
+/// Measures the fused batched forward pass (`infer_batch_into`) against a
+/// per-sample `infer_into` loop over the same inputs and emits
+/// `forward_batch/{lightridge,per_sample,speedup}/<tag>`. The two paths
+/// run the same per-plane operation sequence by construction — the delta
+/// is cross-plane SIMD, dispatch, plan-lookup, and transfer-broadcast
+/// amortization across the batch.
+fn forward_batch_entries(
+    entries: &mut Vec<(String, f64)>,
+    model: &DonnModel,
+    batch: &[Field],
+    tag: &str,
+    samples: usize,
+) {
+    let input_refs: Vec<&Field> = batch.iter().collect();
+    let mut batch_ws = model.make_batch_workspace(batch.len());
+    let mut outputs: Vec<Vec<f64>> = (0..batch.len())
+        .map(|_| Vec::with_capacity(model.num_classes()))
+        .collect();
+    let batched_ns = median_ns(samples, || {
+        model.infer_batch_into(&input_refs, CodesignMode::Soft, &mut batch_ws, &mut outputs);
+        std::hint::black_box(&outputs);
+    });
+    entries.push((format!("forward_batch/lightridge/{tag}"), batched_ns));
+    let mut sample_ws = model.make_workspace();
+    let per_sample_ns = median_ns(samples, || {
+        for (input, out) in batch.iter().zip(outputs.iter_mut()) {
+            model.infer_into(input, &mut sample_ws, out);
+        }
+        std::hint::black_box(&outputs);
+    });
+    entries.push((format!("forward_batch/per_sample/{tag}"), per_sample_ns));
+    entries.push((
+        format!("forward_batch/speedup/{tag}"),
+        per_sample_ns / batched_ns,
+    ));
+}
+
+/// Sweeps the cross-plane kernels at forced SIMD lane widths and emits
+/// `simd_lanes/<kernel>/scalar` raw medians, scalar-relative
+/// `{x2,x4}_speedup` ratios, and `simd_lanes/dispatch_width` (the lane
+/// count the runtime detector picks on this machine).
+///
+/// 128×128 planes stay under the pooled-parallel threshold
+/// (`PAR_MIN_LEN`), so the lane-packed path engages at every width on any
+/// machine. Widths the CPU cannot execute (`force` clamps them) are
+/// skipped — the committed baselines assume an AVX2-capable x86-64 host,
+/// which every hosted CI runner provides. `force` is process-global; this
+/// sweep runs single-threaded and restores auto-detection afterwards.
+fn simd_lanes_entries(entries: &mut Vec<(String, f64)>, samples: usize) {
+    const N: usize = 128;
+    const B: usize = 8;
+    // Speedup ratios divide two noisy medians, so this sweep needs
+    // tighter medians than the raw trend metrics even in --quick mode.
+    let samples = samples.max(11);
+    let fft = Fft2::new(N, N);
+    let transfer = make_field(N);
+    let plane = make_field(N);
+    let mut batch = FieldBatch::zeros(B, N, N);
+    for b in 0..B {
+        batch.copy_plane_from(b, &plane);
+    }
+    let mut planes: Vec<Complex64> = Vec::with_capacity(B * N * N);
+    for _ in 0..B {
+        planes.extend_from_slice(plane.as_slice());
+    }
+
+    let widths = [
+        ("scalar", SimdLevel::Scalar),
+        ("x2", SimdLevel::X2),
+        ("x4", SimdLevel::X4),
+    ];
+    let kernels = ["fft2_batch", "transfer_apply", "detector_readout"];
+    let mut medians = [[0.0f64; 3]; 3];
+    for (w, &(name, level)) in widths.iter().enumerate() {
+        simd::force(Some(level));
+        if simd::dispatch() != level {
+            // Clamped: this CPU cannot execute the requested width.
+            continue;
+        }
+        let mut batch_ws = fft.make_batch_workspace();
+        medians[0][w] = median_ns(samples, || {
+            fft.fft2_batch_with(&mut batch, &mut batch_ws);
+            fft.ifft2_batch_with(&mut batch, &mut batch_ws);
+            std::hint::black_box(&batch);
+        });
+        let mut ws = fft.make_workspace();
+        fft.prepare_batch_workspace(&mut ws);
+        medians[1][w] = median_ns(samples, || {
+            fft.convolve_spectrum_batch_with(&mut planes, &transfer, &mut ws);
+            std::hint::black_box(&planes);
+        });
+        medians[2][w] = median_ns(samples, || {
+            // 16 repetitions per timed iteration: one reduction over the
+            // 8-plane buffer is ~100 µs, too small for a stable median on
+            // a noisy box. The emitted value is the 16-rep total; the
+            // gated speedup ratios are unaffected by the constant factor.
+            for _ in 0..16 {
+                std::hint::black_box(simd::sum_norm_sqr(&planes));
+            }
+        });
+        // Raw nanoseconds only for the scalar anchor (largest, most
+        // stable); the vector widths land as scalar-relative speedups —
+        // gating both the ratio and its noisy numerator would double the
+        // flake exposure without adding information.
+        for (k, kernel) in kernels.iter().enumerate() {
+            if w == 0 {
+                entries.push((format!("simd_lanes/{kernel}/scalar"), medians[k][w]));
+            } else if medians[k][0] > 0.0 {
+                entries.push((
+                    format!("simd_lanes/{kernel}/{name}_speedup"),
+                    medians[k][0] / medians[k][w],
+                ));
+            }
+        }
+    }
+    simd::force(None);
+    entries.push((
+        "simd_lanes/dispatch_width".to_string(),
+        simd::dispatch().lanes() as f64,
+    ));
+}
+
 fn donn_200(grid_n: usize, depth: usize) -> DonnModel {
     let grid = Grid::square(grid_n, PixelPitch::from_um(36.0));
     DonnBuilder::new(grid, Wavelength::from_nm(532.0))
@@ -196,33 +323,32 @@ fn main() {
     ));
 
     // --- Fused batched forward: one infer_batch_into vs a per-sample loop
-    // (same kernels by construction — the delta is dispatch, plan-lookup,
-    // and transfer-broadcast amortization across the batch).
-    let input_refs: Vec<&Field> = batch.iter().collect();
-    let mut batch_ws = model.make_batch_workspace(batch.len());
-    let mut outputs: Vec<Vec<f64>> = (0..batch.len())
-        .map(|_| Vec::with_capacity(model.num_classes()))
+    // (same kernels by construction — the delta is cross-plane SIMD,
+    // dispatch, plan-lookup, and transfer-broadcast amortization).
+    forward_batch_entries(&mut entries, &model, &batch, "200x3x16", fwd_samples);
+
+    // --- Prime-grid honesty check: 197 is prime, so every per-plane FFT
+    // takes the Rader path (196 = 2²·7² is smooth) where it used to fall
+    // back to Bluestein. Gating batched speedup at this size keeps the
+    // Bluestein→Rader retirement honest, not just the pow2 fast path.
+    let model_prime = donn_200(197, 3);
+    let batch_prime: Vec<Field> = (0..16)
+        .map(|i| {
+            Field::from_fn(197, 197, |r, c| {
+                Complex64::from_real(if (r + c + i) % 7 < 3 { 1.0 } else { 0.0 })
+            })
+        })
         .collect();
-    let batched_ns = median_ns(fwd_samples, || {
-        model.infer_batch_into(&input_refs, CodesignMode::Soft, &mut batch_ws, &mut outputs);
-        std::hint::black_box(&outputs);
-    });
-    entries.push(("forward_batch/lightridge/200x3x16".to_string(), batched_ns));
-    let mut sample_ws = model.make_workspace();
-    let per_sample_ns = median_ns(fwd_samples, || {
-        for (input, out) in batch.iter().zip(outputs.iter_mut()) {
-            model.infer_into(input, &mut sample_ws, out);
-        }
-        std::hint::black_box(&outputs);
-    });
-    entries.push((
-        "forward_batch/per_sample/200x3x16".to_string(),
-        per_sample_ns,
-    ));
-    entries.push((
-        "forward_batch/speedup/200x3x16".to_string(),
-        per_sample_ns / batched_ns,
-    ));
+    forward_batch_entries(
+        &mut entries,
+        &model_prime,
+        &batch_prime,
+        "197x3x16",
+        fwd_samples,
+    );
+
+    // --- Cross-plane SIMD lane sweep ------------------------------------
+    simd_lanes_entries(&mut entries, fft_samples);
 
     // --- Emit ------------------------------------------------------------
     let mut json = String::from("{\n");

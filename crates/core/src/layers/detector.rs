@@ -181,6 +181,15 @@ impl Detector {
     /// readout kernel behind the per-sample and batched paths (a plane of
     /// a [`FieldBatch`] has no `Field` wrapper).
     ///
+    /// Each region row reduces through [`lr_tensor::simd::sum_norm_sqr`],
+    /// vectorized at the runtime SIMD dispatch level. The lane-partial
+    /// reduction re-associates the sum, so readout is the one entry point
+    /// whose equivalence contract is tolerance-based rather than bitwise:
+    /// scalar dispatch (`LR_SIMD=scalar`) is the exact sequential oracle
+    /// and wider dispatch agrees within ≤1e-12 relative error. Batched and
+    /// per-sample readout share this kernel, so they remain exactly equal
+    /// to *each other* at every dispatch level.
+    ///
     /// # Panics
     ///
     /// Panics if `samples.len() != rows·cols`.
@@ -194,9 +203,8 @@ impl Detector {
         for reg in &self.regions {
             let mut sum = 0.0;
             for r in reg.row..reg.row + reg.height {
-                for c in reg.col..reg.col + reg.width {
-                    sum += samples[r * self.cols + c].norm_sqr();
-                }
+                let start = r * self.cols + reg.col;
+                sum += lr_tensor::simd::sum_norm_sqr(&samples[start..start + reg.width]);
             }
             out.push(sum);
         }

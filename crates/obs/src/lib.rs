@@ -491,10 +491,23 @@ pub enum KernelKind {
     Transfer = 4,
     /// Detector region readout.
     Detector = 5,
+    /// Attribution: the pass ran Rader's prime-length plan.
+    Rader = 6,
+    /// Batched work that fell back to the per-plane scalar kernels
+    /// (remainder planes, forced-scalar dispatch, or the pooled path).
+    SimdScalar = 7,
+    /// Batched cross-plane work executed at 2 lanes over SSE2.
+    SimdSse2 = 8,
+    /// Batched cross-plane work executed at 4 lanes over AVX2.
+    SimdAvx2 = 9,
+    /// Batched cross-plane work executed over NEON lanes.
+    SimdNeon = 10,
+    /// Batched cross-plane work executed by the portable array backend.
+    SimdPortable = 11,
 }
 
 /// Number of [`KernelKind`] cells.
-const KERNEL_KINDS: usize = 6;
+const KERNEL_KINDS: usize = 12;
 
 const KERNEL_NAMES: [&str; KERNEL_KINDS] = [
     "fft_rows",
@@ -503,6 +516,12 @@ const KERNEL_NAMES: [&str; KERNEL_KINDS] = [
     "bluestein",
     "transfer",
     "detector",
+    "rader",
+    "simd_scalar",
+    "simd_sse2",
+    "simd_avx2",
+    "simd_neon",
+    "simd_portable",
 ];
 
 struct KernelCell {
@@ -645,6 +664,12 @@ pub fn kernel_profile() -> KernelProfile {
             KernelKind::Bluestein,
             KernelKind::Transfer,
             KernelKind::Detector,
+            KernelKind::Rader,
+            KernelKind::SimdScalar,
+            KernelKind::SimdSse2,
+            KernelKind::SimdAvx2,
+            KernelKind::SimdNeon,
+            KernelKind::SimdPortable,
         ]
         .iter()
         .map(|&kind| KernelStat {

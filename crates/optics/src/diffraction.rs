@@ -17,7 +17,6 @@
 
 use crate::grid::Grid;
 use crate::units::{Distance, PixelPitch, Wavelength};
-use lr_obs::{KernelKind, KernelTimer};
 use lr_tensor::{
     fftshift_slice_into, ifftshift_slice_into, Complex64, Direction, Fft2, Fft2Workspace, Field,
     FieldBatch, PinnedCache, J,
@@ -345,6 +344,21 @@ impl PropagationScratch {
         }
     }
 
+    /// Builds scratch for a `rows × cols` plane with the lane-packed
+    /// buffers of the batched entry points pre-sized for the runtime SIMD
+    /// dispatch level ([`Fft2::prepare_batch_workspace`]), so batched
+    /// propagation through this scratch is allocation-free from the first
+    /// call.
+    pub fn new_batched(rows: usize, cols: usize) -> Self {
+        let fft2 = Fft2::new(rows, cols);
+        let mut fft = fft2.make_workspace();
+        fft2.prepare_batch_workspace(&mut fft);
+        PropagationScratch {
+            fft,
+            shift: Field::zeros(rows, cols),
+        }
+    }
+
     /// Plane shape this scratch serves.
     pub fn shape(&self) -> (usize, usize) {
         self.fft.shape()
@@ -551,13 +565,14 @@ impl FreeSpace {
     }
 
     /// Propagates **every active plane** of a [`FieldBatch`] in place — the
-    /// batched free-space hop. The cached spectral transfer function is
-    /// applied across the whole batch in one pass
-    /// ([`FieldBatch::hadamard_broadcast_assign`]); the per-plane FFTs
-    /// share `scratch` and the plans already held by this propagator, so
-    /// the call performs **zero heap allocations** in steady state and is
+    /// batched free-space hop. The spectral path runs the fused batched
+    /// convolve ([`Fft2::convolve_spectrum_batch_with`]), which co-processes
+    /// groups of planes per vector op at the runtime SIMD dispatch level and
+    /// broadcasts the cached transfer kernel across batch lanes; the lane
+    /// kernels mirror the scalar operation sequence, so the call stays
     /// **bit-identical** to `B` separate [`FreeSpace::propagate_with`]
-    /// calls (one shared plane kernel; see [`Fft2::process_slice_with`]).
+    /// calls at every dispatch level, and performs **zero heap allocations**
+    /// in steady state.
     ///
     /// # Panics
     ///
@@ -576,16 +591,7 @@ impl FreeSpace {
         );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
-                for plane in batch.planes_mut() {
-                    fft.process_slice_with(plane, Direction::Forward, &mut scratch.fft);
-                }
-                {
-                    let _t = KernelTimer::start(KernelKind::Transfer);
-                    batch.hadamard_broadcast_assign(transfer);
-                }
-                for plane in batch.planes_mut() {
-                    fft.process_slice_with(plane, Direction::Inverse, &mut scratch.fft);
-                }
+                fft.convolve_spectrum_batch_with(batch.as_mut_slice(), transfer, &mut scratch.fft);
             }
             Inner::SingleFourier { .. } => {
                 for b in 0..batch.batch() {
@@ -693,13 +699,11 @@ impl FreeSpace {
         );
         match &self.inner {
             Inner::Spectral { transfer, fft } => {
-                for plane in grad.planes_mut() {
-                    fft.process_slice_with(plane, Direction::Forward, &mut scratch.fft);
-                }
-                grad.hadamard_conj_broadcast_assign(transfer);
-                for plane in grad.planes_mut() {
-                    fft.process_slice_with(plane, Direction::Inverse, &mut scratch.fft);
-                }
+                fft.convolve_spectrum_adjoint_batch_with(
+                    grad.as_mut_slice(),
+                    transfer,
+                    &mut scratch.fft,
+                );
             }
             Inner::SingleFourier { .. } => {
                 for b in 0..grad.batch() {

@@ -10,6 +10,13 @@
 //!   count is odd.
 //! * **Bluestein's chirp-z algorithm** for arbitrary sizes — the paper's
 //!   system resolutions (200², 350², 500²) are *not* powers of two.
+//! * **Rader's algorithm** for prime lengths `p` whose `p − 1` is
+//!   2·3·5·7-smooth: the length-`p` DFT becomes a length-`p−1` cyclic
+//!   convolution run through the radix-2 or Stockham pipeline — one
+//!   inner transform pair at size `p−1` instead of Bluestein's two at
+//!   `m ≥ 2p−1`. This retires the Bluestein fallback for most primes
+//!   (e.g. 197, 211); only primes like 23 or 199 whose `p − 1` has a
+//!   factor above 7 still take the chirp-z path.
 //! * A global, thread-safe **plan cache** so repeated propagations at the
 //!   same resolution reuse twiddle tables and chirp spectra. Plan reuse is
 //!   one of the runtime optimizations that separates LightRidge from the
@@ -59,12 +66,60 @@
 //! Normalization convention: forward transforms are unnormalized, inverse
 //! transforms carry the `1/N` factor. For the 2-D transforms the inverse
 //! therefore scales by `1/(rows·cols)`.
+//!
+//! # Plan selection
+//!
+//! [`FftPlan::new`] picks, in order: the radix-4/8/2 power-of-two kernel;
+//! the Stockham mixed-radix pipeline for 2·3·5·7-smooth lengths; Rader's
+//! algorithm for primes `p` with smooth `p − 1`; Bluestein's chirp-z for
+//! everything else. Power-of-two plans with an odd stage count open with
+//! one **radix-8** stage (split-radix-style: three fused radix-2 levels,
+//! two non-trivial twiddles) instead of the old radix-2 stage, so the
+//! remaining passes are pure radix-4. Every fast path keeps its
+//! pre-optimization oracle: `process_reference` runs plain radix-2 /
+//! reference-Bluestein kernels and the fast paths agree with it to
+//! ≤ 1e-12 relative (`radix4_agrees_with_reference_butterflies`).
+//!
+//! # Cross-plane SIMD (batched entry points)
+//!
+//! The batched entry points ([`Fft2::process_batch_with`],
+//! [`Fft2::convolve_spectrum_batch_with`], …) vectorize **across batch
+//! lanes**: groups of `L ∈ {2, 4}` co-resident planes are packed into a
+//! split re/im, lane-major layout (element `i` holds
+//! `[re₀‥re_{L−1}, im₀‥im_{L−1}]`), so one twiddle load drives `L` planes
+//! through the identical butterfly and every complex multiply is plain
+//! lanewise arithmetic — no shuffles. The lane width comes from
+//! [`crate::simd::dispatch`] (SSE2 baseline / AVX2 by runtime detection on
+//! x86-64, NEON on aarch64, scalar elsewhere; `LR_SIMD=scalar|x2|x4`
+//! overrides), and the kernel profile attributes batched FFT time to
+//! `simd_scalar` / `simd_sse2` / `simd_avx2` / `simd_neon` cells.
+//!
+//! **Equivalence contract** (the renegotiated workspace-reuse contract):
+//! every vector lane executes the *exact scalar operation sequence* of the
+//! per-plane kernel, so batched results stay **bitwise identical** to the
+//! per-sample path at every dispatch level — including forced-scalar
+//! (`LR_SIMD=scalar`), which simply routes each plane through
+//! [`Fft2::process_slice_with`] unchanged. The serve-path bit-identity
+//! guarantee is therefore preserved unconditionally for the FFT and
+//! transfer-apply kernels. The one tolerance-renegotiated entry point is
+//! the detector readout ([`crate::simd::sum_norm_sqr`]): its lane-partial
+//! reduction re-associates the intensity sum, and scalar remains the
+//! oracle within a documented **≤ 1e-12 relative** tolerance (batched and
+//! per-sample detector readouts share one kernel, so batched-vs-per-sample
+//! stays exact; only SIMD-vs-scalar is tolerance-checked).
+//!
+//! SIMD staging buffers live in [`Fft2Workspace`] but are **empty until a
+//! batched entry point is used** (or [`Fft2::prepare_batch_workspace`]
+//! sizes them eagerly), so per-sample workspaces pay nothing. Pooled
+//! multi-thread execution (`PAR_MIN_LEN`) keeps the scalar per-plane
+//! kernels — lane packing engages on the sequential path only.
 
 use crate::batch::FieldBatch;
 use crate::complex::Complex64;
 use crate::field::Field;
 use crate::parallel;
 use crate::pinned_cache::PinnedCache;
+use crate::simd::{self, SimdF64, SimdLevel};
 use lr_obs::{KernelKind, KernelTimer};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -116,6 +171,14 @@ enum PlanKind {
         mixed: MixedRadixPlan,
         reference: BluesteinPlan,
     },
+    /// Prime lengths `p` with 2·3·5·7-smooth `p − 1` run Rader's
+    /// prime-length algorithm (a length-`p−1` cyclic convolution). The
+    /// Bluestein plan these lengths previously used is kept alongside as
+    /// the `process_reference` oracle.
+    Rader {
+        rader: RaderPlan,
+        reference: BluesteinPlan,
+    },
     Bluestein(BluesteinPlan),
 }
 
@@ -125,10 +188,29 @@ struct Radix2Plan {
     bitrev: Vec<u32>,
     /// `tw[k] = e^{-2πi k/n}` for `k < n/2` (reference kernel).
     twiddles: Vec<Complex64>,
+    /// Opening stage when the radix-4 pass count alone cannot cover `n`.
+    leading: Leading,
     /// Per-pass twiddle triples `(wa, wb0, wb1)` for the fused radix-4
     /// stages, laid out sequentially in traversal order so the hot loop
     /// streams them instead of gathering `tw[k·stride]`.
     fused: Vec<FusedStage>,
+}
+
+/// Opening butterfly stage of the power-of-two kernel. An even stage count
+/// needs none; an odd count opens with one split-radix-style **radix-8**
+/// butterfly (three fused radix-2 levels, twiddles `1, w₈, −j, w₈³` — two
+/// complex multiplies per octet) except for `n = 2`, which keeps the plain
+/// radix-2 pair.
+#[derive(Debug)]
+enum Leading {
+    None,
+    Radix2,
+    Radix8 {
+        /// `e^{−2πi/8}`.
+        w1: Complex64,
+        /// `e^{−2πi·3/8}`.
+        w3: Complex64,
+    },
 }
 
 /// One fused pair of stages (sizes `2h` and `4h`) of the radix-4 kernel.
@@ -170,6 +252,11 @@ impl FftPlan {
                 mixed: MixedRadixPlan::new(n, &factors),
                 reference: BluesteinPlan::new(n),
             }
+        } else if let Some(rader) = RaderPlan::try_new(n) {
+            PlanKind::Rader {
+                rader,
+                reference: BluesteinPlan::new(n),
+            }
         } else {
             PlanKind::Bluestein(BluesteinPlan::new(n))
         };
@@ -201,6 +288,12 @@ impl FftPlan {
         matches!(self.kind, PlanKind::Mixed { .. })
     }
 
+    /// True if this plan uses Rader's prime-length algorithm (prime `n`
+    /// with 2·3·5·7-smooth `n − 1`).
+    pub fn is_rader(&self) -> bool {
+        matches!(self.kind, PlanKind::Rader { .. })
+    }
+
     /// Scratch length this plan needs (`0` for pure radix-2 plans).
     pub fn scratch_len(&self) -> usize {
         match &self.kind {
@@ -208,6 +301,10 @@ impl FftPlan {
             // The reference Bluestein buffer (m ≥ 2n−1) also covers the
             // Stockham ping-pong buffer (n).
             PlanKind::Mixed { reference, .. } => reference.m,
+            // m ≥ 2n−1 also covers Rader's needs: the length-(n−1)
+            // convolution buffer plus (for a mixed-radix inner plan) its
+            // ping-pong scratch — at most 2(n−1) elements.
+            PlanKind::Rader { reference, .. } => reference.m,
             PlanKind::Bluestein(b) => b.m,
         }
     }
@@ -297,7 +394,256 @@ impl FftPlan {
                     mixed.forward(data, scratch);
                 }
             }
+            PlanKind::Rader {
+                rader,
+                reference: oracle,
+            } => {
+                if reference {
+                    oracle.forward_reference(data, scratch);
+                } else {
+                    rader.forward(data, scratch);
+                }
+            }
             PlanKind::Bluestein(p) => p.forward(data, scratch, reference),
+        }
+    }
+
+    /// Lane-packed variant of [`FftPlan::process`]: transforms `V::LANES`
+    /// independent length-`n` signals stored in the split re/im lane-major
+    /// layout (element `i` at `data[i·2L..]` holds `L` re then `L` im
+    /// values). Every lane performs the scalar kernel's exact operation
+    /// sequence, so per-lane results are bitwise identical to
+    /// [`FftPlan::process`]. `scratch` must hold `scratch_len()·2L` f64s.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn process_v<V: SimdF64>(&self, data: &mut [f64], dir: Direction, scratch: &mut [f64]) {
+        debug_assert_eq!(data.len(), self.n * 2 * V::LANES);
+        match dir {
+            Direction::Forward => self.forward_v::<V>(data, scratch),
+            Direction::Inverse => {
+                if let PlanKind::Radix2(p) = &self.kind {
+                    // Mirrors the scalar conjugated-twiddle inverse.
+                    p.butterflies_v::<V, true>(data);
+                    scale_packed::<V>(data, 1.0 / self.n as f64);
+                    return;
+                }
+                // x = conj(F(conj(X))) / n — the scalar sandwich, lanewise.
+                conj_packed::<V>(data);
+                self.forward_v::<V>(data, scratch);
+                conj_scale_packed::<V>(data, 1.0 / self.n as f64);
+            }
+        }
+    }
+
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn forward_v<V: SimdF64>(&self, data: &mut [f64], scratch: &mut [f64]) {
+        match &self.kind {
+            PlanKind::Radix2(p) => p.butterflies_v::<V, false>(data),
+            PlanKind::Mixed { mixed, .. } => mixed.forward_slice_v::<V>(data, scratch),
+            PlanKind::Rader { rader, .. } => rader.forward_v::<V>(data, scratch),
+            PlanKind::Bluestein(p) => p.forward_v::<V>(data, scratch),
+        }
+    }
+}
+
+/// A complex number per vector lane, in split re/im form. The arithmetic
+/// mirrors [`Complex64`]'s formulas operation-for-operation, which is what
+/// makes the lane-packed kernels bitwise identical to the scalar path.
+#[derive(Clone, Copy)]
+struct VComplex<V> {
+    re: V,
+    im: V,
+}
+
+impl<V: SimdF64> VComplex<V> {
+    /// Broadcasts one complex value (a twiddle) to all lanes.
+    #[inline(always)]
+    fn splat(z: Complex64) -> Self {
+        VComplex {
+            re: V::splat(z.re),
+            im: V::splat(z.im),
+        }
+    }
+
+    /// Loads one packed element (`L` re values then `L` im values).
+    ///
+    /// # Safety
+    ///
+    /// `p` must be valid for reading `2·LANES` f64s.
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller provides 2·LANES readable f64s at `p`.
+        unsafe {
+            VComplex {
+                re: V::load(p),
+                im: V::load(p.add(V::LANES)),
+            }
+        }
+    }
+
+    /// Stores one packed element.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be valid for writing `2·LANES` f64s.
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller provides 2·LANES writable f64s at `p`.
+        unsafe {
+            self.re.store(p);
+            self.im.store(p.add(V::LANES));
+        }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        VComplex {
+            re: self.re.add(o.re),
+            im: self.im.add(o.im),
+        }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        VComplex {
+            re: self.re.sub(o.re),
+            im: self.im.sub(o.im),
+        }
+    }
+
+    /// Complex multiply, in exactly [`Complex64`]'s operation order:
+    /// `re = a.re·b.re − a.im·b.im`, `im = a.re·b.im + a.im·b.re`.
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        VComplex {
+            re: self.re.mul(o.re).sub(self.im.mul(o.im)),
+            im: self.re.mul(o.im).add(self.im.mul(o.re)),
+        }
+    }
+
+    /// `∓j` rotation exactly as the scalar butterflies write it:
+    /// forward `(im, −re)`, inverse `(−im, re)`.
+    #[inline(always)]
+    fn rot<const INV: bool>(self) -> Self {
+        if INV {
+            VComplex {
+                re: self.im.neg(),
+                im: self.re,
+            }
+        } else {
+            VComplex {
+                re: self.im,
+                im: self.re.neg(),
+            }
+        }
+    }
+}
+
+/// Lanewise `*z *= s` over a whole packed buffer (every f64 scales).
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn scale_packed<V: SimdF64>(data: &mut [f64], s: f64) {
+    let s = V::splat(s);
+    let ptr = data.as_mut_ptr();
+    let vecs = data.len() / V::LANES;
+    for i in 0..vecs {
+        // SAFETY: (i+1)·LANES ≤ data.len() — packed buffers are a multiple
+        // of 2·LANES long.
+        unsafe {
+            let p = ptr.add(i * V::LANES);
+            V::load(p).mul(s).store(p);
+        }
+    }
+}
+
+/// Lanewise `*z = z.conj()` over a packed buffer (negates im halves).
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn conj_packed<V: SimdF64>(data: &mut [f64]) {
+    let stride = 2 * V::LANES;
+    let count = data.len() / stride;
+    let ptr = data.as_mut_ptr();
+    for i in 0..count {
+        // SAFETY: element i's im half spans [i·2L+L, (i+1)·2L) ≤ len.
+        unsafe {
+            let p = ptr.add(i * stride + V::LANES);
+            V::load(p).neg().store(p);
+        }
+    }
+}
+
+/// Lanewise `*z = z.conj() * s` over a packed buffer.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn conj_scale_packed<V: SimdF64>(data: &mut [f64], s: f64) {
+    let s = V::splat(s);
+    let stride = 2 * V::LANES;
+    let count = data.len() / stride;
+    let ptr = data.as_mut_ptr();
+    for i in 0..count {
+        // SAFETY: both halves of element i lie inside the packed buffer.
+        unsafe {
+            let pre = ptr.add(i * stride);
+            let pim = pre.add(V::LANES);
+            V::load(pre).mul(s).store(pre);
+            V::load(pim).neg().mul(s).store(pim);
+        }
+    }
+}
+
+/// Lanewise `*z *= h[i]` (or `h[i].conj()`) over a packed buffer, one
+/// broadcast complex coefficient per element — the transfer-function and
+/// Rader/Bluestein spectrum multiplies.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn mul_coeffs_packed<V: SimdF64>(data: &mut [f64], coeffs: &[Complex64], conj: bool) {
+    let stride = 2 * V::LANES;
+    debug_assert!(data.len() >= coeffs.len() * stride);
+    let ptr = data.as_mut_ptr();
+    for (i, &h) in coeffs.iter().enumerate() {
+        let h = if conj { h.conj() } else { h };
+        let hv = VComplex::<V>::splat(h);
+        // SAFETY: i < coeffs.len() ≤ data.len()/2L packed elements.
+        unsafe {
+            let p = ptr.add(i * stride);
+            VComplex::<V>::load(p).mul(hv).store(p);
+        }
+    }
+}
+
+/// Packs `LANES` contiguous row-major planes into the split re/im
+/// lane-major layout: packed element `i` is `[re₀‥re_{L−1}, im₀‥im_{L−1}]`
+/// at offset `i·2L`, lane `l` carrying plane `l` of the group.
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn pack_group<V: SimdF64>(group: &[Complex64], packed: &mut [f64]) {
+    let lanes = V::LANES;
+    let n = group.len() / lanes;
+    debug_assert_eq!(packed.len(), n * 2 * lanes);
+    // Complex64 is repr(C) { re, im }: a plane is interleaved re/im pairs.
+    let src = group.as_ptr() as *const f64;
+    let dst = packed.as_mut_ptr();
+    for l in 0..lanes {
+        for i in 0..n {
+            // SAFETY: (l·n + i) < lanes·n samples of `group` (2 f64s each);
+            // the packed offsets are < n·2·lanes.
+            unsafe {
+                *dst.add(i * 2 * lanes + l) = *src.add((l * n + i) * 2);
+                *dst.add(i * 2 * lanes + lanes + l) = *src.add((l * n + i) * 2 + 1);
+            }
+        }
+    }
+}
+
+/// Inverse of [`pack_group`].
+#[cfg_attr(not(debug_assertions), inline(always))]
+fn unpack_group<V: SimdF64>(packed: &[f64], group: &mut [Complex64]) {
+    let lanes = V::LANES;
+    let n = group.len() / lanes;
+    debug_assert_eq!(packed.len(), n * 2 * lanes);
+    let src = packed.as_ptr();
+    let dst = group.as_mut_ptr() as *mut f64;
+    for l in 0..lanes {
+        for i in 0..n {
+            // SAFETY: same bounds as `pack_group`, directions swapped.
+            unsafe {
+                *dst.add((l * n + i) * 2) = *src.add(i * 2 * lanes + l);
+                *dst.add((l * n + i) * 2 + 1) = *src.add(i * 2 * lanes + lanes + l);
+            }
         }
     }
 }
@@ -319,11 +665,24 @@ impl Radix2Plan {
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
             .collect();
         // Precompute the fused-stage twiddle stream: after the optional
-        // leading radix-2 stage, each radix-4 pass fuses stages of size
-        // `2h` and `4h`; its lane-k twiddles are wa = e^{-2πik/2h},
-        // wb0 = e^{-2πik/4h}, wb1 = e^{-2πi(k+h)/4h}.
+        // leading radix-8 (or radix-2 for n = 2) stage, each radix-4 pass
+        // fuses stages of size `2h` and `4h`; its lane-k twiddles are
+        // wa = e^{-2πik/2h}, wb0 = e^{-2πik/4h}, wb1 = e^{-2πi(k+h)/4h}.
+        let (leading, first_len) = if bits.is_multiple_of(2) {
+            (Leading::None, 2)
+        } else if bits == 1 {
+            (Leading::Radix2, 4)
+        } else {
+            (
+                Leading::Radix8 {
+                    w1: twiddles[n / 8],
+                    w3: twiddles[3 * n / 8],
+                },
+                16,
+            )
+        };
         let mut fused = Vec::new();
-        let mut len = if bits % 2 == 1 { 4 } else { 2 };
+        let mut len = first_len;
         while len * 2 <= n {
             let h = len / 2;
             let stride1 = n / len;
@@ -340,6 +699,7 @@ impl Radix2Plan {
         Radix2Plan {
             bitrev,
             twiddles,
+            leading,
             fused,
         }
     }
@@ -388,19 +748,86 @@ impl Radix2Plan {
         }
         self.permute(data);
         let ptr = data.as_mut_ptr();
-        if n.trailing_zeros() & 1 == 1 {
-            // Odd stage count: one radix-2 stage (twiddle 1) brings the
-            // remaining count even so the radix-4 passes can finish the job.
-            let mut base = 0;
-            while base < n {
-                // SAFETY: base + 1 < n (n is an even power of two here).
-                unsafe {
-                    let a = *ptr.add(base);
-                    let b = *ptr.add(base + 1);
-                    *ptr.add(base) = a + b;
-                    *ptr.add(base + 1) = a - b;
+        match &self.leading {
+            Leading::None => {}
+            Leading::Radix2 => {
+                // n = 2: a single radix-2 pair (twiddle 1).
+                let mut base = 0;
+                while base < n {
+                    // SAFETY: base + 1 < n (n is even here).
+                    unsafe {
+                        let a = *ptr.add(base);
+                        let b = *ptr.add(base + 1);
+                        *ptr.add(base) = a + b;
+                        *ptr.add(base + 1) = a - b;
+                    }
+                    base += 2;
                 }
-                base += 2;
+            }
+            Leading::Radix8 { w1, w3 } => {
+                // Odd stage count, n ≥ 8: one radix-8 butterfly — the exact
+                // composition of the three opening radix-2 levels (lengths
+                // 2, 4, 8) with twiddles 1, ∓j, w₈^{±1}, w₈^{±3} — brings
+                // the remaining count even for the radix-4 passes.
+                let (w1, w3) = if INV {
+                    (w1.conj(), w3.conj())
+                } else {
+                    (*w1, *w3)
+                };
+                let rot = |x: Complex64| {
+                    if INV {
+                        Complex64::new(-x.im, x.re)
+                    } else {
+                        Complex64::new(x.im, -x.re)
+                    }
+                };
+                let mut base = 0;
+                while base < n {
+                    // SAFETY: base + 7 < n (n is a multiple of 8 here).
+                    unsafe {
+                        let a0 = *ptr.add(base);
+                        let a1 = *ptr.add(base + 1);
+                        let a2 = *ptr.add(base + 2);
+                        let a3 = *ptr.add(base + 3);
+                        let a4 = *ptr.add(base + 4);
+                        let a5 = *ptr.add(base + 5);
+                        let a6 = *ptr.add(base + 6);
+                        let a7 = *ptr.add(base + 7);
+                        // Level 1 (pairs).
+                        let b0 = a0 + a1;
+                        let b1 = a0 - a1;
+                        let b2 = a2 + a3;
+                        let b3 = a2 - a3;
+                        let b4 = a4 + a5;
+                        let b5 = a4 - a5;
+                        let b6 = a6 + a7;
+                        let b7 = a6 - a7;
+                        // Level 2 (quartets, twiddles 1 and ∓j).
+                        let t3 = rot(b3);
+                        let t7 = rot(b7);
+                        let c0 = b0 + b2;
+                        let c2 = b0 - b2;
+                        let c1 = b1 + t3;
+                        let c3 = b1 - t3;
+                        let c4 = b4 + b6;
+                        let c6 = b4 - b6;
+                        let c5 = b5 + t7;
+                        let c7 = b5 - t7;
+                        // Level 3 (octet, twiddles 1, w₈, ∓j, w₈³).
+                        let e5 = c5 * w1;
+                        let t6 = rot(c6);
+                        let e7 = c7 * w3;
+                        *ptr.add(base) = c0 + c4;
+                        *ptr.add(base + 4) = c0 - c4;
+                        *ptr.add(base + 1) = c1 + e5;
+                        *ptr.add(base + 5) = c1 - e5;
+                        *ptr.add(base + 2) = c2 + t6;
+                        *ptr.add(base + 6) = c2 - t6;
+                        *ptr.add(base + 3) = c3 + e7;
+                        *ptr.add(base + 7) = c3 - e7;
+                    }
+                    base += 8;
+                }
             }
         }
         for stage in &self.fused {
@@ -455,6 +882,166 @@ impl Radix2Plan {
                         *p2 = u0 - v0;
                         *p1 = u1 + v1;
                         *p3 = u1 - v1;
+                    }
+                }
+                base += block;
+            }
+        }
+    }
+
+    /// Lane-packed mirror of [`Radix2Plan::butterflies`]: the identical
+    /// permutation/leading/fused-stage network with every scalar operation
+    /// replaced by its lanewise counterpart in the same order, so each
+    /// lane's result is bitwise identical to the scalar kernel.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn butterflies_v<V: SimdF64, const INV: bool>(&self, data: &mut [f64]) {
+        #[inline(always)]
+        fn mul_tw_v<V: SimdF64, const INV: bool>(a: VComplex<V>, w: Complex64) -> VComplex<V> {
+            let w = if INV { w.conj() } else { w };
+            a.mul(VComplex::splat(w))
+        }
+        let stride = 2 * V::LANES;
+        let n = data.len() / stride;
+        if n <= 1 {
+            return;
+        }
+        let ptr = data.as_mut_ptr();
+        for (i, &r) in self.bitrev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                // SAFETY: i, r < n and i ≠ r — disjoint in-bounds packed
+                // elements swap as whole lane groups.
+                unsafe {
+                    let a = VComplex::<V>::load(ptr.add(i * stride));
+                    let b = VComplex::<V>::load(ptr.add(r * stride));
+                    a.store(ptr.add(r * stride));
+                    b.store(ptr.add(i * stride));
+                }
+            }
+        }
+        match &self.leading {
+            Leading::None => {}
+            Leading::Radix2 => {
+                let mut base = 0;
+                while base < n {
+                    // SAFETY: base + 1 < n (n is even here).
+                    unsafe {
+                        let pa = ptr.add(base * stride);
+                        let pb = ptr.add((base + 1) * stride);
+                        let a = VComplex::<V>::load(pa);
+                        let b = VComplex::<V>::load(pb);
+                        a.add(b).store(pa);
+                        a.sub(b).store(pb);
+                    }
+                    base += 2;
+                }
+            }
+            Leading::Radix8 { w1, w3 } => {
+                let (w1, w3) = if INV {
+                    (w1.conj(), w3.conj())
+                } else {
+                    (*w1, *w3)
+                };
+                let w1 = VComplex::<V>::splat(w1);
+                let w3 = VComplex::<V>::splat(w3);
+                let mut base = 0;
+                while base < n {
+                    // SAFETY: base + 7 < n (n is a multiple of 8 here); the
+                    // octet's packed elements are disjoint and in bounds.
+                    unsafe {
+                        let a0 = VComplex::<V>::load(ptr.add(base * stride));
+                        let a1 = VComplex::<V>::load(ptr.add((base + 1) * stride));
+                        let a2 = VComplex::<V>::load(ptr.add((base + 2) * stride));
+                        let a3 = VComplex::<V>::load(ptr.add((base + 3) * stride));
+                        let a4 = VComplex::<V>::load(ptr.add((base + 4) * stride));
+                        let a5 = VComplex::<V>::load(ptr.add((base + 5) * stride));
+                        let a6 = VComplex::<V>::load(ptr.add((base + 6) * stride));
+                        let a7 = VComplex::<V>::load(ptr.add((base + 7) * stride));
+                        let b0 = a0.add(a1);
+                        let b1 = a0.sub(a1);
+                        let b2 = a2.add(a3);
+                        let b3 = a2.sub(a3);
+                        let b4 = a4.add(a5);
+                        let b5 = a4.sub(a5);
+                        let b6 = a6.add(a7);
+                        let b7 = a6.sub(a7);
+                        let t3 = b3.rot::<INV>();
+                        let t7 = b7.rot::<INV>();
+                        let c0 = b0.add(b2);
+                        let c2 = b0.sub(b2);
+                        let c1 = b1.add(t3);
+                        let c3 = b1.sub(t3);
+                        let c4 = b4.add(b6);
+                        let c6 = b4.sub(b6);
+                        let c5 = b5.add(t7);
+                        let c7 = b5.sub(t7);
+                        let e5 = c5.mul(w1);
+                        let t6 = c6.rot::<INV>();
+                        let e7 = c7.mul(w3);
+                        c0.add(c4).store(ptr.add(base * stride));
+                        c0.sub(c4).store(ptr.add((base + 4) * stride));
+                        c1.add(e5).store(ptr.add((base + 1) * stride));
+                        c1.sub(e5).store(ptr.add((base + 5) * stride));
+                        c2.add(t6).store(ptr.add((base + 2) * stride));
+                        c2.sub(t6).store(ptr.add((base + 6) * stride));
+                        c3.add(e7).store(ptr.add((base + 3) * stride));
+                        c3.sub(e7).store(ptr.add((base + 7) * stride));
+                    }
+                    base += 8;
+                }
+            }
+        }
+        for stage in &self.fused {
+            let h = stage.half;
+            let block = 4 * h;
+            let tw = stage.tw.as_ptr();
+            let mut base = 0;
+            while base < n {
+                // SAFETY: every packed element index below is
+                // < base + 4h ≤ n, and the twiddle stream holds 3·(h−1)
+                // entries read at ti < 3(h−1) — as in the scalar kernel.
+                unsafe {
+                    let p0 = ptr.add(base * stride);
+                    let p1 = ptr.add((base + h) * stride);
+                    let p2 = ptr.add((base + 2 * h) * stride);
+                    let p3 = ptr.add((base + 3 * h) * stride);
+                    let a0 = VComplex::<V>::load(p0);
+                    let a1 = VComplex::<V>::load(p1);
+                    let a2 = VComplex::<V>::load(p2);
+                    let a3 = VComplex::<V>::load(p3);
+                    let u0 = a0.add(a1);
+                    let u1 = a0.sub(a1);
+                    let u2 = a2.add(a3);
+                    let u3 = a2.sub(a3);
+                    let v1 = u3.rot::<INV>();
+                    u0.add(u2).store(p0);
+                    u0.sub(u2).store(p2);
+                    u1.add(v1).store(p1);
+                    u1.sub(v1).store(p3);
+                    let mut ti = 0;
+                    for k in 1..h {
+                        let wa = *tw.add(ti);
+                        let wb0 = *tw.add(ti + 1);
+                        let wb1 = *tw.add(ti + 2);
+                        ti += 3;
+                        let p0 = ptr.add((base + k) * stride);
+                        let p1 = ptr.add((base + k + h) * stride);
+                        let p2 = ptr.add((base + k + 2 * h) * stride);
+                        let p3 = ptr.add((base + k + 3 * h) * stride);
+                        let a0 = VComplex::<V>::load(p0);
+                        let a1 = mul_tw_v::<V, INV>(VComplex::load(p1), wa);
+                        let a2 = VComplex::<V>::load(p2);
+                        let a3 = mul_tw_v::<V, INV>(VComplex::load(p3), wa);
+                        let u0 = a0.add(a1);
+                        let u1 = a0.sub(a1);
+                        let u2 = a2.add(a3);
+                        let u3 = a2.sub(a3);
+                        let v0 = mul_tw_v::<V, INV>(u2, wb0);
+                        let v1 = mul_tw_v::<V, INV>(u3, wb1);
+                        u0.add(v0).store(p0);
+                        u0.sub(v0).store(p2);
+                        u1.add(v1).store(p1);
+                        u1.sub(v1).store(p3);
                     }
                 }
                 base += block;
@@ -547,6 +1134,44 @@ impl BluesteinPlan {
         }
     }
 
+    /// Lane-packed mirror of [`BluesteinPlan::forward`]; `scratch` must
+    /// hold at least `m·2L` f64s.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn forward_v<V: SimdF64>(&self, data: &mut [f64], scratch: &mut [f64]) {
+        let stride = 2 * V::LANES;
+        let n = data.len() / stride;
+        let m = self.m;
+        let buf = &mut scratch[..m * stride];
+        {
+            let dp = data.as_ptr();
+            let bp = buf.as_mut_ptr();
+            for j in 0..n {
+                // SAFETY: j < n ≤ m packed elements on both sides.
+                unsafe {
+                    let x = VComplex::<V>::load(dp.add(j * stride));
+                    x.mul(VComplex::splat(self.chirp[j]))
+                        .store(bp.add(j * stride));
+                }
+            }
+        }
+        buf[n * stride..].fill(0.0);
+        self.inner.butterflies_v::<V, false>(buf);
+        mul_coeffs_packed::<V>(buf, &self.chirp_spectrum, false);
+        self.inner.butterflies_v::<V, true>(buf);
+        {
+            let bp = buf.as_ptr();
+            let dp = data.as_mut_ptr();
+            for k in 0..n {
+                // SAFETY: k < n ≤ m packed elements on both sides.
+                unsafe {
+                    let s = VComplex::<V>::load(bp.add(k * stride));
+                    s.mul(VComplex::splat(self.post_chirp[k]))
+                        .store(dp.add(k * stride));
+                }
+            }
+        }
+    }
+
     /// The pre-optimization Bluestein pipeline: full-buffer re-zeroing,
     /// radix-2 inner transforms, and the conj-sandwich inner inverse.
     fn forward_reference(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
@@ -570,6 +1195,238 @@ impl BluesteinPlan {
             data[k] = scratch[k].conj() * inv_m * self.chirp[k];
         }
     }
+}
+
+/// Rader's prime-length FFT: for prime `p`, the nonzero outputs
+/// `X[g^{−t}]` are `x₀` plus the length-`q = p−1` cyclic convolution of
+/// the generator-permuted input `a[m] = x[g^m]` with `b[r] = W^{g^{−r}}`
+/// (`W = e^{−2πi/p}`, `g` a primitive root mod `p`). The convolution runs
+/// through the radix-2 kernel when `q` is a power of two, else the
+/// Stockham pipeline — applicable exactly when `q` is 2·3·5·7-smooth.
+/// `DFT(b)/q` is precomputed; the runtime cost is one forward + one
+/// unnormalized inverse at length `q`, versus Bluestein's pair at
+/// `m ≥ 2p−1`.
+#[derive(Debug)]
+struct RaderPlan {
+    p: usize,
+    /// `perm_in[m] = g^m mod p` — gather order for `a`.
+    perm_in: Vec<u32>,
+    /// `perm_out[t] = g^{−t} mod p` — scatter target for `x₀ + conv[t]`.
+    perm_out: Vec<u32>,
+    /// Forward inner transform of `b[r] = W^{g^{−r}} / q` (the `1/q`
+    /// normalization of the unnormalized inner inverse folded in).
+    b_spec: Vec<Complex64>,
+    inner: RaderInner,
+}
+
+#[derive(Debug)]
+enum RaderInner {
+    Radix2(Radix2Plan),
+    Mixed(MixedRadixPlan),
+}
+
+impl RaderPlan {
+    /// Builds a plan for prime `p` with 2·3·5·7-smooth `p − 1`; `None` if
+    /// `p` does not qualify (then Bluestein stays the fallback).
+    fn try_new(p: usize) -> Option<Self> {
+        if p < 3 || p > u32::MAX as usize || !is_prime(p) {
+            return None;
+        }
+        let q = p - 1;
+        let inner = if q.is_power_of_two() {
+            RaderInner::Radix2(Radix2Plan::new(q))
+        } else {
+            RaderInner::Mixed(MixedRadixPlan::new(q, &MixedRadixPlan::factorize(q)?))
+        };
+        let g = primitive_root(p as u64);
+        let g_inv = mod_pow(g, (p - 2) as u64, p as u64);
+        let mut perm_in = Vec::with_capacity(q);
+        let mut perm_out = Vec::with_capacity(q);
+        let (mut f, mut fi) = (1u64, 1u64);
+        for _ in 0..q {
+            perm_in.push(f as u32);
+            perm_out.push(fi as u32);
+            f = f * g % p as u64;
+            fi = fi * g_inv % p as u64;
+        }
+        let inv_q = 1.0 / q as f64;
+        let mut b: Vec<Complex64> = perm_out
+            .iter()
+            .map(|&e| Complex64::cis(-2.0 * PI * e as f64 / p as f64) * inv_q)
+            .collect();
+        let mut scratch = vec![Complex64::ZERO; q];
+        match &inner {
+            RaderInner::Radix2(plan) => plan.forward(&mut b),
+            RaderInner::Mixed(plan) => plan.forward_slice(&mut b, &mut scratch),
+        }
+        Some(RaderPlan {
+            p,
+            perm_in,
+            perm_out,
+            b_spec: b,
+            inner,
+        })
+    }
+
+    fn forward(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        let q = self.p - 1;
+        let need = match self.inner {
+            RaderInner::Radix2(_) => q,
+            RaderInner::Mixed(_) => 2 * q,
+        };
+        if scratch.len() < need {
+            scratch.resize(need, Complex64::ZERO);
+        }
+        let (a, rest) = scratch.split_at_mut(q);
+        let x0 = data[0];
+        let mut x0_sum = x0;
+        for (am, &idx) in a.iter_mut().zip(&self.perm_in) {
+            let v = data[idx as usize];
+            *am = v;
+            x0_sum += v;
+        }
+        match &self.inner {
+            RaderInner::Radix2(plan) => {
+                plan.forward(a);
+                for (z, &h) in a.iter_mut().zip(&self.b_spec) {
+                    *z *= h;
+                }
+                plan.backward_noscale(a);
+            }
+            RaderInner::Mixed(plan) => {
+                let rest = &mut rest[..q];
+                plan.forward_slice(a, rest);
+                for (z, &h) in a.iter_mut().zip(&self.b_spec) {
+                    *z *= h;
+                }
+                // Unnormalized inverse via the conj sandwich (the 1/q is
+                // folded into b_spec).
+                for z in a.iter_mut() {
+                    *z = z.conj();
+                }
+                plan.forward_slice(a, rest);
+                for z in a.iter_mut() {
+                    *z = z.conj();
+                }
+            }
+        }
+        // X[0] = Σ x; X[g^{−t}] = x₀ + conv[t].
+        data[0] = x0_sum;
+        for (cv, &idx) in a.iter().zip(&self.perm_out) {
+            data[idx as usize] = x0 + *cv;
+        }
+    }
+
+    /// Lane-packed mirror of [`RaderPlan::forward`]; `scratch` must hold
+    /// at least `2q·2L` f64s.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn forward_v<V: SimdF64>(&self, data: &mut [f64], scratch: &mut [f64]) {
+        let stride = 2 * V::LANES;
+        let q = self.p - 1;
+        let (a, rest) = scratch.split_at_mut(q * stride);
+        let x0;
+        let mut x0_sum;
+        {
+            let dp = data.as_ptr();
+            let ap = a.as_mut_ptr();
+            // SAFETY: element 0 of a p-element packed buffer.
+            x0 = unsafe { VComplex::<V>::load(dp) };
+            x0_sum = x0;
+            for (mi, &idx) in self.perm_in.iter().enumerate() {
+                // SAFETY: 1 ≤ idx < p elements of data; mi < q elements
+                // of the convolution buffer.
+                unsafe {
+                    let v = VComplex::<V>::load(dp.add(idx as usize * stride));
+                    v.store(ap.add(mi * stride));
+                    x0_sum = x0_sum.add(v);
+                }
+            }
+        }
+        match &self.inner {
+            RaderInner::Radix2(plan) => {
+                plan.butterflies_v::<V, false>(a);
+                mul_coeffs_packed::<V>(a, &self.b_spec, false);
+                plan.butterflies_v::<V, true>(a);
+            }
+            RaderInner::Mixed(plan) => {
+                let rest = &mut rest[..q * stride];
+                plan.forward_slice_v::<V>(a, rest);
+                mul_coeffs_packed::<V>(a, &self.b_spec, false);
+                conj_packed::<V>(a);
+                plan.forward_slice_v::<V>(a, rest);
+                conj_packed::<V>(a);
+            }
+        }
+        {
+            let ap = a.as_ptr();
+            let dp = data.as_mut_ptr();
+            // SAFETY: element 0 of the packed output.
+            unsafe { x0_sum.store(dp) };
+            for (t, &idx) in self.perm_out.iter().enumerate() {
+                // SAFETY: t < q convolution elements; 1 ≤ idx < p outputs.
+                unsafe {
+                    let conv = VComplex::<V>::load(ap.add(t * stride));
+                    x0.add(conv).store(dp.add(idx as usize * stride));
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic trial-division primality (plan construction only).
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// `b^e mod m` by square-and-multiply (`m < 2³²`, so products fit u64).
+fn mod_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    b %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        e >>= 1;
+    }
+    acc
+}
+
+/// Smallest primitive root mod prime `p`: the first `g` with
+/// `g^{(p−1)/f} ≠ 1` for every prime factor `f` of `p − 1`.
+fn primitive_root(p: u64) -> u64 {
+    let q = p - 1;
+    let mut factors = Vec::new();
+    let mut rem = q;
+    let mut d = 2;
+    while d * d <= rem {
+        if rem.is_multiple_of(d) {
+            factors.push(d);
+            while rem.is_multiple_of(d) {
+                rem /= d;
+            }
+        }
+        d += 1;
+    }
+    if rem > 1 {
+        factors.push(rem);
+    }
+    (2..p)
+        .find(|&g| factors.iter().all(|&f| mod_pow(g, q / f, p) != 1))
+        .expect("every prime has a primitive root")
 }
 
 /// Stockham autosort mixed-radix FFT (decimation in frequency) for
@@ -663,13 +1520,40 @@ impl MixedRadixPlan {
         if scratch.len() < n {
             scratch.resize(n, Complex64::ZERO);
         }
-        let scratch = &mut scratch[..n];
+        self.forward_slice(data, &mut scratch[..n]);
+    }
+
+    /// [`MixedRadixPlan::forward`] over a caller-sliced ping-pong buffer of
+    /// exactly `n` elements (lets Rader's plan carve its scratch out of one
+    /// shared allocation).
+    fn forward_slice(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        debug_assert_eq!(scratch.len(), self.n);
         let mut in_data = true;
         for stage in &self.stages {
             if in_data {
                 Self::step(stage, data, scratch);
             } else {
                 Self::step(stage, scratch, data);
+            }
+            in_data = !in_data;
+        }
+        if !in_data {
+            data.copy_from_slice(scratch);
+        }
+    }
+
+    /// Lane-packed mirror of [`MixedRadixPlan::forward_slice`]; `scratch`
+    /// must hold at least `n·2L` f64s.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn forward_slice_v<V: SimdF64>(&self, data: &mut [f64], scratch: &mut [f64]) {
+        let stride = 2 * V::LANES;
+        let scratch = &mut scratch[..self.n * stride];
+        let mut in_data = true;
+        for stage in &self.stages {
+            if in_data {
+                Self::step_v::<V>(stage, data, scratch);
+            } else {
+                Self::step_v::<V>(stage, scratch, data);
             }
             in_data = !in_data;
         }
@@ -752,6 +1636,89 @@ impl MixedRadixPlan {
             }
         }
     }
+
+    /// Lane-packed mirror of [`MixedRadixPlan::step`]: the same index
+    /// invariants, every element offset scaled by the packed stride `2L`.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn step_v<V: SimdF64>(stage: &MixedStage, src: &[f64], dst: &mut [f64]) {
+        let stride = 2 * V::LANES;
+        let (r, m, s) = (stage.radix, stage.m, stage.s);
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        match r {
+            2 => {
+                for p in 0..m {
+                    let w = VComplex::<V>::splat(stage.tw[p * 2 + 1]);
+                    for q in 0..s {
+                        // SAFETY: same index invariants as the scalar step;
+                        // packed offsets scale element indices by 2L.
+                        unsafe {
+                            let a = VComplex::<V>::load(sp.add((q + s * p) * stride));
+                            let b = VComplex::<V>::load(sp.add((q + s * (p + m)) * stride));
+                            a.add(b).store(dp.add((q + s * (2 * p)) * stride));
+                            a.sub(b)
+                                .mul(w)
+                                .store(dp.add((q + s * (2 * p + 1)) * stride));
+                        }
+                    }
+                }
+            }
+            4 => {
+                for p in 0..m {
+                    let w1 = VComplex::<V>::splat(stage.tw[p * 4 + 1]);
+                    let w2 = VComplex::<V>::splat(stage.tw[p * 4 + 2]);
+                    let w3 = VComplex::<V>::splat(stage.tw[p * 4 + 3]);
+                    for q in 0..s {
+                        // SAFETY: as above; all element indices < n.
+                        unsafe {
+                            let a0 = VComplex::<V>::load(sp.add((q + s * p) * stride));
+                            let a1 = VComplex::<V>::load(sp.add((q + s * (p + m)) * stride));
+                            let a2 = VComplex::<V>::load(sp.add((q + s * (p + 2 * m)) * stride));
+                            let a3 = VComplex::<V>::load(sp.add((q + s * (p + 3 * m)) * stride));
+                            let t0 = a0.add(a2);
+                            let t1 = a1.add(a3);
+                            let t2 = a0.sub(a2);
+                            let t3 = a1.sub(a3);
+                            let jt3 = t3.rot::<false>();
+                            t0.add(t1).store(dp.add((q + s * (4 * p)) * stride));
+                            t2.add(jt3)
+                                .mul(w1)
+                                .store(dp.add((q + s * (4 * p + 1)) * stride));
+                            t0.sub(t1)
+                                .mul(w2)
+                                .store(dp.add((q + s * (4 * p + 2)) * stride));
+                            t2.sub(jt3)
+                                .mul(w3)
+                                .store(dp.add((q + s * (4 * p + 3)) * stride));
+                        }
+                    }
+                }
+            }
+            _ => {
+                for p in 0..m {
+                    let wrow = &stage.tw[p * r..(p + 1) * r];
+                    for q in 0..s {
+                        // SAFETY: as in the scalar generic arm; r ≤ 7.
+                        unsafe {
+                            let mut at = [VComplex::<V>::splat(Complex64::ZERO); 8];
+                            for (t, a) in at[..r].iter_mut().enumerate() {
+                                *a = VComplex::load(sp.add((q + s * (p + m * t)) * stride));
+                            }
+                            for (u, &w) in wrow.iter().enumerate() {
+                                let row = &stage.roots[u * r..u * r + r];
+                                let mut acc = at[0];
+                                for t in 1..r {
+                                    acc = acc.add(at[t].mul(VComplex::splat(row[t])));
+                                }
+                                acc.mul(VComplex::splat(w))
+                                    .store(dp.add((q + s * (r * p + u)) * stride));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Global plan cache keyed by transform length. Eviction semantics live
@@ -820,6 +1787,56 @@ const COL_BLOCK: usize = 32;
 /// resolutions).
 const PAR_MIN_LEN: usize = 32_768;
 
+/// Column-block width of the lane-packed column pass. Narrower than the
+/// scalar [`COL_BLOCK`]: each staged column already carries `2L` f64s per
+/// element, so 8 columns at 4 lanes fill the same cache footprint as 32
+/// scalar columns.
+const SIMD_COL_BLOCK: usize = 8;
+
+/// Lane-packed scratch for the batched cross-plane kernels.
+///
+/// Empty until a batched entry point actually takes the SIMD path
+/// (`Default`), so per-sample workspaces — and the serve runtime's
+/// resident-memory accounting for them — are unchanged. Sized once for the
+/// widest requested lane count and reused for every narrower group.
+#[derive(Debug, Clone, Default)]
+struct SimdScratch {
+    /// One group of `L` planes in split re/im lane-major packed form
+    /// (`rows·cols` elements × `2L` f64s).
+    packed: Vec<f64>,
+    /// Lane-packed per-plan scratch (`max(plan scratch) × 2L` f64s).
+    scratch: Vec<f64>,
+    /// Lane-packed column staging (up to [`SIMD_COL_BLOCK`] columns).
+    col_block: Vec<f64>,
+}
+
+impl SimdScratch {
+    /// Grows the buffers to serve `lanes`-wide groups of a `rows × cols`
+    /// plane whose axis plans need at most `plan_scratch` elements. A no-op
+    /// once sized (steady-state zero allocation).
+    fn ensure(&mut self, rows: usize, cols: usize, plan_scratch: usize, lanes: usize) {
+        let stride = 2 * lanes;
+        let packed = rows * cols * stride;
+        if self.packed.len() < packed {
+            self.packed.resize(packed, 0.0);
+        }
+        let scratch = plan_scratch * stride;
+        if self.scratch.len() < scratch {
+            self.scratch.resize(scratch, 0.0);
+        }
+        let col_block = rows * SIMD_COL_BLOCK.min(cols) * stride;
+        if self.col_block.len() < col_block {
+            self.col_block.resize(col_block, 0.0);
+        }
+    }
+
+    /// Heap bytes held (capacity), for resident-memory accounting.
+    fn resident_bytes(&self) -> usize {
+        (self.packed.capacity() + self.scratch.capacity() + self.col_block.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
 /// Owned scratch for one [`Fft2`] shape.
 ///
 /// Holds the Bluestein convolution buffers for both axes plus the staging
@@ -836,6 +1853,9 @@ pub struct Fft2Workspace {
     col_scratch: Vec<Complex64>,
     /// Column staging: up to [`COL_BLOCK`] columns stored contiguously.
     col_block: Vec<Complex64>,
+    /// Lane-packed buffers for the batched cross-plane kernels; empty until
+    /// a batched entry point runs with SIMD dispatch enabled.
+    simd: SimdScratch,
 }
 
 impl Fft2Workspace {
@@ -849,6 +1869,7 @@ impl Fft2Workspace {
     pub fn resident_bytes(&self) -> usize {
         (self.row_scratch.capacity() + self.col_scratch.capacity() + self.col_block.capacity())
             * std::mem::size_of::<Complex64>()
+            + self.simd.resident_bytes()
     }
 }
 
@@ -925,8 +1946,24 @@ fn pass_timer(kind: KernelKind, plan: &FftPlan) -> KernelTimer {
         KernelTimer::start_attributed(kind, KernelKind::Bluestein)
     } else if plan.is_mixed_radix() {
         KernelTimer::start_attributed(kind, KernelKind::Stockham)
+    } else if plan.is_rader() {
+        KernelTimer::start_attributed(kind, KernelKind::Rader)
     } else {
         KernelTimer::start(kind)
+    }
+}
+
+/// Profile cell attributing batched cross-plane work to the ISA that
+/// executed it (`simd_sse2` / `simd_avx2` / `simd_neon` / `simd_portable`;
+/// `simd_scalar` covers remainder planes and forced-scalar dispatch).
+#[inline]
+fn simd_cell(level: SimdLevel) -> KernelKind {
+    match level.isa_name() {
+        "sse2" => KernelKind::SimdSse2,
+        "avx2" => KernelKind::SimdAvx2,
+        "neon" => KernelKind::SimdNeon,
+        "portable" => KernelKind::SimdPortable,
+        _ => KernelKind::SimdScalar,
     }
 }
 
@@ -955,14 +1992,36 @@ impl Fft2 {
             row_scratch: self.row_plan.make_scratch(),
             col_scratch: self.col_plan.make_scratch(),
             col_block: vec![Complex64::ZERO; self.rows * COL_BLOCK.min(self.cols)],
+            simd: SimdScratch::default(),
         }
     }
 
     /// Allocates a batched workspace sized for this engine's shape (valid
-    /// for any batch count — per-plane scratch is batch-independent).
+    /// for any batch count — per-plane scratch is batch-independent), with
+    /// the lane-packed SIMD buffers pre-sized for the runtime dispatch
+    /// level so the batched entry points stay allocation-free from the
+    /// first call.
     pub fn make_batch_workspace(&self) -> BatchWorkspace {
-        BatchWorkspace {
-            fft: self.make_workspace(),
+        let mut fft = self.make_workspace();
+        self.prepare_batch_workspace(&mut fft);
+        BatchWorkspace { fft }
+    }
+
+    /// Widest per-axis plan scratch requirement, in elements.
+    fn max_plan_scratch(&self) -> usize {
+        self.row_plan.scratch_len().max(self.col_plan.scratch_len())
+    }
+
+    /// Pre-sizes `workspace`'s lane-packed SIMD buffers for this shape at
+    /// the current runtime dispatch width, so a later batched call does not
+    /// allocate. A no-op when dispatch is scalar (the buffers stay empty)
+    /// or when already sized.
+    pub fn prepare_batch_workspace(&self, workspace: &mut Fft2Workspace) {
+        let lanes = simd::dispatch().lanes();
+        if lanes > 1 {
+            workspace
+                .simd
+                .ensure(self.rows, self.cols, self.max_plan_scratch(), lanes);
         }
     }
 
@@ -1069,8 +2128,152 @@ impl Fft2 {
             (self.rows, self.cols),
             "Fft2 batch plane shape mismatch"
         );
-        for plane in batch.planes_mut() {
-            self.process_slice_with(plane, dir, &mut workspace.fft);
+        self.process_planes(batch.as_mut_slice(), dir, &mut workspace.fft);
+    }
+
+    /// Picks how many planes to co-process per vector op for this batch:
+    /// the runtime [`simd::dispatch`] level, except when the per-plane
+    /// kernels would split across the worker pool — pooled row/column
+    /// passes already saturate the core budget, so batched work keeps the
+    /// scalar per-plane kernels there (see the module docs).
+    fn batch_level(&self) -> SimdLevel {
+        let parallel_ok = self.rows * self.cols >= PAR_MIN_LEN
+            && parallel::threads() > 1
+            && !parallel::in_parallel_region();
+        if parallel_ok {
+            SimdLevel::Scalar
+        } else {
+            simd::dispatch()
+        }
+    }
+
+    /// Transforms a contiguous run of row-major planes, co-processing
+    /// groups of 4 then 2 planes per vector op at the dispatched level and
+    /// finishing remainder planes with the scalar per-plane kernel. Every
+    /// lane executes the scalar operation sequence, so results are bitwise
+    /// identical to per-plane [`Fft2::process_slice_with`] calls at every
+    /// dispatch level.
+    fn process_planes(&self, planes: &mut [Complex64], dir: Direction, ws: &mut Fft2Workspace) {
+        let plane_len = self.rows * self.cols;
+        debug_assert_eq!(planes.len() % plane_len, 0);
+        let level = self.batch_level();
+        let mut rest = planes;
+        if level >= SimdLevel::X4 {
+            while rest.len() >= 4 * plane_len {
+                let (group, tail) = rest.split_at_mut(4 * plane_len);
+                let _t = KernelTimer::start(simd_cell(SimdLevel::X4));
+                self.process_group_x4(group, dir, ws);
+                rest = tail;
+            }
+        }
+        if level >= SimdLevel::X2 {
+            while rest.len() >= 2 * plane_len {
+                let (group, tail) = rest.split_at_mut(2 * plane_len);
+                let _t = KernelTimer::start(simd_cell(SimdLevel::X2));
+                self.process_group_v::<simd::F64x2>(group, dir, ws);
+                rest = tail;
+            }
+        }
+        for plane in rest.chunks_exact_mut(plane_len) {
+            let _t = KernelTimer::start(KernelKind::SimdScalar);
+            self.process_slice_with(plane, dir, ws);
+        }
+    }
+
+    /// Four-lane group transform, routed through the AVX2-enabled wrapper
+    /// on x86-64 so the generic kernels compile to AVX instructions.
+    #[inline]
+    fn process_group_x4(&self, group: &mut [Complex64], dir: Direction, ws: &mut Fft2Workspace) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: reached only when `batch_level() ≥ X4`, and dispatch/force
+        // clamp X4 to X2 unless AVX2 was detected at runtime on this CPU.
+        unsafe {
+            self.process_group_avx2(group, dir, ws)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.process_group_v::<simd::F64x4>(group, dir, ws)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn process_group_avx2(&self, group: &mut [Complex64], dir: Direction, ws: &mut Fft2Workspace) {
+        self.process_group_v::<simd::F64x4>(group, dir, ws)
+    }
+
+    /// Packs `V::LANES` planes into the split re/im lane-major layout, runs
+    /// the 2-D pipeline on the packed buffer, and unpacks.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn process_group_v<V: SimdF64>(
+        &self,
+        group: &mut [Complex64],
+        dir: Direction,
+        ws: &mut Fft2Workspace,
+    ) {
+        let stride = 2 * V::LANES;
+        let n = self.rows * self.cols;
+        // Steady-state no-op: `make_batch_workspace` pre-sizes for the
+        // dispatch width; this covers caller-assembled workspaces.
+        ws.simd
+            .ensure(self.rows, self.cols, self.max_plan_scratch(), V::LANES);
+        let SimdScratch {
+            packed,
+            scratch,
+            col_block,
+        } = &mut ws.simd;
+        let packed = &mut packed[..n * stride];
+        pack_group::<V>(group, packed);
+        self.fft2_packed_v::<V>(dir, packed, scratch, col_block);
+        unpack_group::<V>(packed, group);
+    }
+
+    /// The 2-D row/column pipeline over one lane-packed group, mirroring
+    /// [`Fft2::process_slice_with`] pass-for-pass (same pass order, same
+    /// cache-blocked column staging, same per-pass kernel attribution).
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn fft2_packed_v<V: SimdF64>(
+        &self,
+        dir: Direction,
+        packed: &mut [f64],
+        scratch: &mut [f64],
+        col_block: &mut [f64],
+    ) {
+        let (rows, cols) = (self.rows, self.cols);
+        let stride = 2 * V::LANES;
+        {
+            let _t = pass_timer(KernelKind::FftRows, &self.row_plan);
+            for row in packed.chunks_exact_mut(cols * stride) {
+                self.row_plan.process_v::<V>(row, dir, scratch);
+            }
+        }
+        {
+            let _t = pass_timer(KernelKind::FftCols, &self.col_plan);
+            let bw_max = SIMD_COL_BLOCK.min(cols);
+            let mut c0 = 0;
+            while c0 < cols {
+                let bw = bw_max.min(cols - c0);
+                for r in 0..rows {
+                    let src = (r * cols + c0) * stride;
+                    for k in 0..bw {
+                        col_block[(k * rows + r) * stride..][..stride]
+                            .copy_from_slice(&packed[src + k * stride..][..stride]);
+                    }
+                }
+                for k in 0..bw {
+                    self.col_plan.process_v::<V>(
+                        &mut col_block[k * rows * stride..(k + 1) * rows * stride],
+                        dir,
+                        scratch,
+                    );
+                }
+                for r in 0..rows {
+                    let dst = (r * cols + c0) * stride;
+                    for k in 0..bw {
+                        packed[dst + k * stride..][..stride]
+                            .copy_from_slice(&col_block[(k * rows + r) * stride..][..stride]);
+                    }
+                }
+                c0 += bw;
+            }
         }
     }
 
@@ -1321,6 +2524,149 @@ impl Fft2 {
             }
         }
         self.process_slice_with(data, Direction::Inverse, workspace);
+    }
+
+    /// Batched [`Fft2::convolve_spectrum_slice_with`]: the fused
+    /// `IFFT2( FFT2(plane) ⊙ transfer )` propagation step over a contiguous
+    /// run of row-major planes, with the cached transfer kernel broadcast
+    /// across batch lanes. Bitwise identical per plane to the per-sample
+    /// path at every dispatch level (each lane runs the scalar operation
+    /// sequence; the transfer multiply uses the scalar `Complex64` product
+    /// formula lanewise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transfer` or `planes` does not match the planned shape.
+    pub fn convolve_spectrum_batch_with(
+        &self,
+        planes: &mut [Complex64],
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        self.convolve_planes(planes, transfer, false, workspace);
+    }
+
+    /// Batched [`Fft2::convolve_spectrum_adjoint_slice_with`]: gradient
+    /// propagation with the conjugated transfer function across batch
+    /// lanes (see [`Fft2::convolve_spectrum_batch_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transfer` or `planes` does not match the planned shape.
+    pub fn convolve_spectrum_adjoint_batch_with(
+        &self,
+        planes: &mut [Complex64],
+        transfer: &Field,
+        workspace: &mut Fft2Workspace,
+    ) {
+        self.convolve_planes(planes, transfer, true, workspace);
+    }
+
+    /// Shared grouped driver behind both batched convolve entry points;
+    /// `adj` selects the conjugated (adjoint) transfer multiply.
+    fn convolve_planes(
+        &self,
+        planes: &mut [Complex64],
+        transfer: &Field,
+        adj: bool,
+        ws: &mut Fft2Workspace,
+    ) {
+        assert_eq!(
+            transfer.shape(),
+            (self.rows, self.cols),
+            "transfer shape mismatch"
+        );
+        let plane_len = self.rows * self.cols;
+        assert_eq!(planes.len() % plane_len, 0, "Fft2 plane length mismatch");
+        let level = self.batch_level();
+        let mut rest = planes;
+        if level >= SimdLevel::X4 {
+            while rest.len() >= 4 * plane_len {
+                let (group, tail) = rest.split_at_mut(4 * plane_len);
+                let _t = KernelTimer::start(simd_cell(SimdLevel::X4));
+                self.convolve_group_x4(group, transfer, adj, ws);
+                rest = tail;
+            }
+        }
+        if level >= SimdLevel::X2 {
+            while rest.len() >= 2 * plane_len {
+                let (group, tail) = rest.split_at_mut(2 * plane_len);
+                let _t = KernelTimer::start(simd_cell(SimdLevel::X2));
+                self.convolve_group_v::<simd::F64x2>(group, transfer, adj, ws);
+                rest = tail;
+            }
+        }
+        for plane in rest.chunks_exact_mut(plane_len) {
+            let _t = KernelTimer::start(KernelKind::SimdScalar);
+            if adj {
+                self.convolve_spectrum_adjoint_slice_with(plane, transfer, ws);
+            } else {
+                self.convolve_spectrum_slice_with(plane, transfer, ws);
+            }
+        }
+    }
+
+    /// Four-lane group convolve, routed through the AVX2-enabled wrapper
+    /// on x86-64 (see [`Fft2::process_group_x4`]).
+    #[inline]
+    fn convolve_group_x4(
+        &self,
+        group: &mut [Complex64],
+        transfer: &Field,
+        adj: bool,
+        ws: &mut Fft2Workspace,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: reached only when `batch_level() ≥ X4`, and dispatch/force
+        // clamp X4 to X2 unless AVX2 was detected at runtime on this CPU.
+        unsafe {
+            self.convolve_group_avx2(group, transfer, adj, ws)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        self.convolve_group_v::<simd::F64x4>(group, transfer, adj, ws)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    fn convolve_group_avx2(
+        &self,
+        group: &mut [Complex64],
+        transfer: &Field,
+        adj: bool,
+        ws: &mut Fft2Workspace,
+    ) {
+        self.convolve_group_v::<simd::F64x4>(group, transfer, adj, ws)
+    }
+
+    /// One packed group of the fused convolve: forward pipeline, broadcast
+    /// transfer multiply, inverse pipeline — one pack/unpack round trip for
+    /// the whole step.
+    #[cfg_attr(not(debug_assertions), inline(always))]
+    fn convolve_group_v<V: SimdF64>(
+        &self,
+        group: &mut [Complex64],
+        transfer: &Field,
+        adj: bool,
+        ws: &mut Fft2Workspace,
+    ) {
+        let stride = 2 * V::LANES;
+        let n = self.rows * self.cols;
+        ws.simd
+            .ensure(self.rows, self.cols, self.max_plan_scratch(), V::LANES);
+        let SimdScratch {
+            packed,
+            scratch,
+            col_block,
+        } = &mut ws.simd;
+        let packed = &mut packed[..n * stride];
+        pack_group::<V>(group, packed);
+        self.fft2_packed_v::<V>(Direction::Forward, packed, scratch, col_block);
+        {
+            let _t = KernelTimer::start(KernelKind::Transfer);
+            mul_coeffs_packed::<V>(packed, transfer.as_slice(), adj);
+        }
+        self.fft2_packed_v::<V>(Direction::Inverse, packed, scratch, col_block);
+        unpack_group::<V>(packed, group);
     }
 }
 
@@ -1583,13 +2929,22 @@ mod tests {
         assert!(plan.is_mixed_radix());
         assert!(!plan.is_bluestein());
         assert_eq!(plan.scratch_len(), 512); // (2·200-1).next_power_of_two()
-                                             // 211 is prime → true Bluestein path.
+
+        // 211 is prime with smooth 210 = 2·3·5·7 → Rader path.
         let prime = FftPlan::new(211);
-        assert!(prime.is_bluestein());
+        assert!(prime.is_rader());
+        assert!(!prime.is_bluestein());
         assert!(!prime.is_mixed_radix());
+
+        // 23 is prime but 22 = 2·11 is not smooth → true Bluestein path.
+        let rough = FftPlan::new(23);
+        assert!(rough.is_bluestein());
+        assert!(!rough.is_rader());
+
         let pow2 = FftPlan::new(64);
         assert!(!pow2.is_bluestein());
         assert!(!pow2.is_mixed_radix());
+        assert!(!pow2.is_rader());
         assert_eq!(pow2.scratch_len(), 0);
     }
 
@@ -1851,6 +3206,39 @@ mod tests {
         assert_eq!(
             par, seq,
             "pooled FFT loops must be bit-identical to sequential"
+        );
+    }
+
+    #[test]
+    fn batched_transforms_attribute_dispatch_in_kernel_profile() {
+        use crate::batch::FieldBatch;
+        use lr_obs::{kernel_profile, reset_kernel_profile, set_kernel_profiling, KernelKind};
+
+        // 31 rows → Rader plan (30 = 2·3·5), 16 cols → radix-2; 496
+        // samples stay far under the pooled-parallel threshold, so the
+        // lane-packed path runs at the dispatched level on any machine.
+        let fft = Fft2::new(31, 16);
+        let mut batch = FieldBatch::zeros(4, 31, 16);
+        for b in 0..4 {
+            let f = Field::from_fn(31, 16, |r, c| {
+                Complex64::new((r + b) as f64 * 0.1, c as f64 * 0.2)
+            });
+            batch.copy_plane_from(b, &f);
+        }
+        let mut ws = fft.make_batch_workspace();
+        set_kernel_profiling(true);
+        reset_kernel_profile();
+        fft.fft2_batch_with(&mut batch, &mut ws);
+        set_kernel_profiling(false);
+        let profile = kernel_profile();
+        let cell = simd_cell(simd::dispatch());
+        assert!(
+            profile.get(cell).calls > 0,
+            "batched transform must attribute time to the dispatched tier ({cell:?})"
+        );
+        assert!(
+            profile.get(KernelKind::Rader).calls > 0,
+            "prime-size rows must attribute their passes to the Rader cell"
         );
     }
 }

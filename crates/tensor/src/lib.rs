@@ -37,6 +37,7 @@ mod fft;
 mod field;
 pub mod parallel;
 mod pinned_cache;
+pub mod simd;
 mod sync;
 
 pub use batch::FieldBatch;

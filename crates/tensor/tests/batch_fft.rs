@@ -2,8 +2,9 @@
 //! (`fft2_batch_with`/`ifft2_batch_with`) must be **bit-identical** to
 //! per-plane `process_with` for every plane, across batch sizes, shapes
 //! (square and non-square), and FFT code paths (radix-2, mixed-radix
-//! Stockham, and Bluestein). This is the invariant the whole batched
-//! propagation stack inherits.
+//! Stockham, Rader, and Bluestein) — and every forced SIMD dispatch level
+//! must be bitwise identical to the forced-scalar oracle. This is the
+//! invariant the whole batched propagation stack inherits.
 
 use lr_tensor::{Complex64, Direction, Fft2, Field, FieldBatch};
 use proptest::prelude::*;
@@ -111,6 +112,79 @@ fn one_workspace_serves_shrinking_and_growing_batches() {
             assert_eq!(batch.plane(b), f.as_slice());
         }
     }
+}
+
+/// The cross-plane SIMD contract: every forced dispatch level the CPU can
+/// execute produces **bitwise identical** batched FFT and spectrum-
+/// convolution results to the forced-scalar oracle — each vector lane
+/// performs the exact scalar operation sequence, so there is no tolerance
+/// to negotiate on these paths. Covers batch sizes {1, 3, 32} (remainder
+/// lanes at both x2 and x4 grouping), non-square grids, and every plan
+/// kind: radix-2 (16), mixed-radix Stockham (20, 24), Rader primes
+/// (31: 30 = 2·3·5), and Bluestein (23: 22 has the factor 11).
+///
+/// `simd::force` is process-global; a level flip mid-run cannot break the
+/// other tests here (batched == per-plane holds bitwise at every level),
+/// and auto-detection is restored before returning.
+#[test]
+fn forced_simd_levels_bitwise_match_scalar_oracle() {
+    use lr_tensor::simd::{self, SimdLevel};
+
+    for &(rows, cols) in &[(16, 16), (20, 24), (31, 31), (23, 23), (31, 24), (16, 23)] {
+        let fft = Fft2::new(rows, cols);
+        let transfer = Field::from_fn(rows, cols, |r, c| plane_value(9, r, c, 5));
+        for &batch_size in &[1usize, 3, 32] {
+            let fill = |batch: &mut FieldBatch| {
+                for b in 0..batch_size {
+                    let f = Field::from_fn(rows, cols, |r, c| plane_value(b, r, c, 3));
+                    batch.copy_plane_from(b, &f);
+                }
+            };
+
+            // Scalar oracle: one forward transform, one spectrum convolve.
+            simd::force(Some(SimdLevel::Scalar));
+            let mut oracle_fft = FieldBatch::zeros(batch_size, rows, cols);
+            fill(&mut oracle_fft);
+            let mut ws = fft.make_batch_workspace();
+            fft.fft2_batch_with(&mut oracle_fft, &mut ws);
+            let mut oracle_conv = FieldBatch::zeros(batch_size, rows, cols);
+            fill(&mut oracle_conv);
+            let mut plane_ws = fft.make_workspace();
+            fft.prepare_batch_workspace(&mut plane_ws);
+            fft.convolve_spectrum_batch_with(oracle_conv.as_mut_slice(), &transfer, &mut plane_ws);
+
+            for level in [SimdLevel::X2, SimdLevel::X4] {
+                simd::force(Some(level));
+                if simd::dispatch() != level {
+                    // Clamped: this CPU cannot execute the requested width.
+                    continue;
+                }
+                let mut got = FieldBatch::zeros(batch_size, rows, cols);
+                fill(&mut got);
+                fft.fft2_batch_with(&mut got, &mut ws);
+                for b in 0..batch_size {
+                    assert_eq!(
+                        got.plane(b),
+                        oracle_fft.plane(b),
+                        "fft2 {level:?} vs scalar divergence at plane {b}/{batch_size} \
+                         ({rows}x{cols})"
+                    );
+                }
+                let mut got = FieldBatch::zeros(batch_size, rows, cols);
+                fill(&mut got);
+                fft.convolve_spectrum_batch_with(got.as_mut_slice(), &transfer, &mut plane_ws);
+                for b in 0..batch_size {
+                    assert_eq!(
+                        got.plane(b),
+                        oracle_conv.plane(b),
+                        "convolve {level:?} vs scalar divergence at plane {b}/{batch_size} \
+                         ({rows}x{cols})"
+                    );
+                }
+            }
+        }
+    }
+    simd::force(None);
 }
 
 proptest! {
